@@ -1,0 +1,69 @@
+//! M1 — micro-benchmark: unified queue-manager operation throughput.
+//!
+//! Measures the cost of one request/grant/release round trip through the
+//! unified item state under each of the three protocols, and the cost of a
+//! contended round where a waiter is promoted on release.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbmodel::{AccessMode, CcMethod, LogicalItemId, PhysicalItemId, SiteId, Timestamp, TsTuple, TxnId};
+use unified_cc::{EnforcementMode, ItemState};
+
+fn item() -> PhysicalItemId {
+    PhysicalItemId::new(LogicalItemId(1), SiteId(0))
+}
+
+fn uncontended_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("m1_uncontended_request_release");
+    for method in CcMethod::ALL {
+        group.bench_function(method.label(), |b| {
+            let mut state = ItemState::new(item(), 0, EnforcementMode::SemiLock);
+            let mut ts = 0u64;
+            let mut id = 0u64;
+            b.iter(|| {
+                ts += 1;
+                id += 1;
+                let txn = TxnId(id);
+                let events = state.handle_access(
+                    txn,
+                    SiteId(0),
+                    AccessMode::Write,
+                    method,
+                    TsTuple::new(Timestamp(ts), 10),
+                );
+                std::hint::black_box(&events);
+                let events = state.handle_release(txn, Some(ts as i64));
+                std::hint::black_box(&events);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn contended_round(c: &mut Criterion) {
+    c.bench_function("m1_contended_writer_queue_of_8", |b| {
+        let mut ts = 0u64;
+        let mut id = 0u64;
+        b.iter(|| {
+            let mut state = ItemState::new(item(), 0, EnforcementMode::SemiLock);
+            let base = id;
+            for k in 0..8 {
+                ts += 1;
+                id += 1;
+                state.handle_access(
+                    TxnId(id),
+                    SiteId((k % 4) as u32),
+                    AccessMode::Write,
+                    CcMethod::PrecedenceAgreement,
+                    TsTuple::new(Timestamp(ts), 10),
+                );
+            }
+            for k in 1..=8 {
+                state.handle_release(TxnId(base + k), Some(k as i64));
+            }
+            std::hint::black_box(state.value());
+        });
+    });
+}
+
+criterion_group!(benches, uncontended_round, contended_round);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! M2 — micro-benchmark: unified precedence assignment and data-queue
+//! maintenance (the paper's Section 4.1 machinery).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbmodel::{AccessMode, CcMethod, SiteId, Timestamp, TxnId};
+use pam::precedence::AssignmentPolicy;
+use pam::queue::{DataQueue, EntryStatus, QueueEntry};
+
+fn assignment(c: &mut Criterion) {
+    c.bench_function("m2_precedence_assignment_mixed", |b| {
+        let mut policy = AssignmentPolicy::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let method = CcMethod::ALL[(i % 3) as usize];
+            let p = policy.assign(method, Timestamp(i), SiteId((i % 8) as u32), TxnId(i));
+            std::hint::black_box(p);
+        });
+    });
+}
+
+fn queue_insert_remove(c: &mut Criterion) {
+    c.bench_function("m2_data_queue_insert_grant_remove_64", |b| {
+        let mut policy = AssignmentPolicy::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            let mut queue = DataQueue::new();
+            let base = i;
+            for _ in 0..64 {
+                i += 1;
+                let method = CcMethod::ALL[(i % 3) as usize];
+                let precedence =
+                    policy.assign(method, Timestamp(i ^ 0x5a5a), SiteId((i % 8) as u32), TxnId(i));
+                queue.insert(QueueEntry {
+                    txn: TxnId(i),
+                    mode: if i % 4 == 0 { AccessMode::Write } else { AccessMode::Read },
+                    method,
+                    precedence,
+                    status: EntryStatus::Accepted,
+                    granted: false,
+                });
+            }
+            for k in 1..=64 {
+                queue.mark_granted(TxnId(base + k));
+                queue.remove(TxnId(base + k));
+            }
+            std::hint::black_box(queue.len());
+        });
+    });
+}
+
+criterion_group!(benches, assignment, queue_insert_remove);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! M3 — micro-benchmark: cost of evaluating the STL model.
+//!
+//! The paper argues STL′ "can be evaluated efficiently through Dynamic
+//! Programming techniques"; this benchmark measures one STL′ evaluation and
+//! one full three-way selection decision, which is the work added to every
+//! transaction's admission path under dynamic concurrency control.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use selection::{stl_2pl, stl_pa, stl_to, ProtocolParams, StlModel, TxnShape};
+
+fn model() -> StlModel {
+    StlModel {
+        lambda_a: 400.0,
+        lambda_r: 8.0,
+        lambda_w: 5.0,
+        q_r: 0.6,
+        k: 4.0,
+    }
+}
+
+fn shape() -> TxnShape {
+    TxnShape {
+        read_items: vec![(8.0, 5.0); 3],
+        write_items: vec![(8.0, 5.0); 2],
+    }
+}
+
+fn stl_prime_eval(c: &mut Criterion) {
+    let m = model();
+    c.bench_function("m3_stl_prime_single_eval", |b| {
+        let mut u = 0.01;
+        b.iter(|| {
+            u = if u > 0.5 { 0.01 } else { u + 0.001 };
+            std::hint::black_box(m.stl_prime(std::hint::black_box(25.0), u));
+        });
+    });
+}
+
+fn full_selection(c: &mut Criterion) {
+    let m = model();
+    let s = shape();
+    let params = ProtocolParams {
+        u_ok: 0.04,
+        u_denied: 0.06,
+        p_abort: 0.05,
+        p_read_denial: 0.1,
+        p_write_denial: 0.15,
+    };
+    c.bench_function("m3_three_way_stl_decision", |b| {
+        b.iter(|| {
+            let a = stl_2pl(&m, &s, &params);
+            let t = stl_to(&m, &s, &params);
+            let p = stl_pa(&m, &s, &params);
+            std::hint::black_box(a.min(t).min(p));
+        });
+    });
+}
+
+criterion_group!(benches, stl_prime_eval, full_selection);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! M4 — micro-benchmark: serializability-oracle cost.
+//!
+//! The oracle is run after every simulation in the experiment suite; this
+//! measures conflict-graph construction plus topological sort on a synthetic
+//! execution of configurable size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbmodel::{AccessMode, LogSet, LogicalItemId, PhysicalItemId, SiteId, TxnId};
+use sercheck::check_serializable;
+use simkit::rng::SimRng;
+
+/// Build a serializable execution of `txns` transactions over `items` items
+/// (each transaction touches 4 items, implemented in transaction-id order so
+/// the graph is acyclic).
+fn synthetic_logs(txns: u64, items: u64, seed: u64) -> LogSet {
+    let mut logs = LogSet::new();
+    let mut rng = SimRng::new(seed);
+    for t in 0..txns {
+        for _ in 0..4 {
+            let item = PhysicalItemId::new(
+                LogicalItemId(rng.next_below(items)),
+                SiteId((rng.next_below(4)) as u32),
+            );
+            let mode = if rng.next_bool(0.4) {
+                AccessMode::Write
+            } else {
+                AccessMode::Read
+            };
+            logs.record(item, TxnId(t), mode);
+        }
+    }
+    logs
+}
+
+fn oracle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("m4_serializability_check");
+    for &txns in &[100u64, 500, 2_000] {
+        let logs = synthetic_logs(txns, txns / 2, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(txns), &logs, |b, logs| {
+            b.iter(|| {
+                let verdict = check_serializable(std::hint::black_box(logs));
+                std::hint::black_box(verdict.is_ok());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, oracle);
+criterion_main!(benches);

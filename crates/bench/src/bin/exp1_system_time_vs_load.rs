@@ -1,0 +1,33 @@
+//! E1 — mean transaction system time `S` versus arrival rate λ.
+//!
+//! Paper (Section 5): "2PL performs well when λ is low. When λ is high … S
+//! goes up dramatically … For T/O, S grows steadily as λ increases. It
+//! outperforms 2PL when λ is high. … PA … performs like 2PL when λ is low
+//! and like T/O while λ is high. When λ is moderate, it outperforms both."
+
+use bench::{base_config, run_protocols, table};
+use sim::SimConfig;
+
+fn main() {
+    let lambdas = [10.0, 25.0, 50.0, 100.0, 200.0, 300.0];
+    let widths = [10usize, 12, 12, 12, 12];
+    println!("E1: mean system time S (ms) vs arrival rate (txn/s); txn size = 4, Qr = 0.6");
+    table::header(&["lambda", "2PL", "T/O", "PA", "dynamic"], &widths);
+    for &lambda in &lambdas {
+        let row = run_protocols(|| SimConfig {
+            arrival_rate: lambda,
+            ..base_config(11)
+        });
+        let s = row.mean_system_time_ms();
+        table::row(
+            &[
+                format!("{lambda:.0}"),
+                format!("{:.2}", s[0]),
+                format!("{:.2}", s[1]),
+                format!("{:.2}", s[2]),
+                format!("{:.2}", s[3]),
+            ],
+            &widths,
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! E2 — mean system time `S` versus transaction size `st`.
+//!
+//! Paper (Section 5): "T/O becomes worse than 2PL and PA as st increases.
+//! Apparently, this is due to the significant increase of restart
+//! probability."
+
+use bench::{base_config, run_protocols, table};
+use dbmodel::CcMethod;
+use sim::SimConfig;
+
+fn main() {
+    let sizes = [1usize, 2, 4, 6, 8, 12];
+    let widths = [8usize, 12, 12, 12, 12, 14];
+    println!("E2: mean system time S (ms) vs transaction size st; lambda = 80/s, Qr = 0.6");
+    table::header(
+        &["st", "2PL", "T/O", "PA", "dynamic", "T/O restarts"],
+        &widths,
+    );
+    for &size in &sizes {
+        let row = run_protocols(|| SimConfig {
+            txn_size: size,
+            ..base_config(22)
+        });
+        let s = row.mean_system_time_ms();
+        let to_restarts = row.reports[1]
+            .metrics
+            .method(CcMethod::TimestampOrdering)
+            .restarts();
+        table::row(
+            &[
+                format!("{size}"),
+                format!("{:.2}", s[0]),
+                format!("{:.2}", s[1]),
+                format!("{:.2}", s[2]),
+                format!("{:.2}", s[3]),
+                format!("{to_restarts}"),
+            ],
+            &widths,
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! E3 — the anatomy of conflicts as load grows: deadlock aborts and blocked
+//! transactions (2PL), rejections (T/O), backoff rounds (PA).
+//!
+//! Paper (Section 5): "although the number of transactions directly involved
+//! in deadlocks does not increase very much, S goes up dramatically since
+//! more transactions are blocked by deadlocked transactions."
+
+use bench::{base_config, table};
+use dbmodel::CcMethod;
+use sim::{MethodPolicy, SimConfig, Simulation};
+
+fn run(policy: MethodPolicy, lambda: f64) -> sim::SimReport {
+    let config = SimConfig {
+        arrival_rate: lambda,
+        method_policy: policy,
+        ..base_config(33)
+    };
+    let report = Simulation::run(config);
+    assert!(report.serializable().is_ok());
+    report
+}
+
+fn main() {
+    let lambdas = [25.0, 50.0, 100.0, 200.0, 300.0];
+    let widths = [10usize, 14, 16, 14, 14];
+    println!("E3: conflict anatomy vs arrival rate; 2000 transactions per cell");
+    table::header(
+        &["lambda", "2PL deadlocks", "2PL blocked-obs", "T/O restarts", "PA backoffs"],
+        &widths,
+    );
+    for &lambda in &lambdas {
+        let two_pl = run(MethodPolicy::Static(CcMethod::TwoPhaseLocking), lambda);
+        let to = run(MethodPolicy::Static(CcMethod::TimestampOrdering), lambda);
+        let pa = run(MethodPolicy::Static(CcMethod::PrecedenceAgreement), lambda);
+        table::row(
+            &[
+                format!("{lambda:.0}"),
+                format!("{}", two_pl.total_deadlocks()),
+                format!("{}", two_pl.metrics.blocked_observations.get()),
+                format!("{}", to.metrics.method(CcMethod::TimestampOrdering).restarts()),
+                format!(
+                    "{}",
+                    pa.metrics
+                        .method(CcMethod::PrecedenceAgreement)
+                        .backoff_rounds
+                        .get()
+                ),
+            ],
+            &widths,
+        );
+    }
+}

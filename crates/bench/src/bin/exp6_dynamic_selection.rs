@@ -1,0 +1,68 @@
+//! E6 — dynamic (STL-based) selection versus static concurrency control.
+//!
+//! Paper (Section 5): static concurrency control "can only capture the
+//! average behavior but fails to reflect the individual differences among
+//! transactions"; the STL criterion picks, per transaction, the protocol
+//! with the smallest estimated system throughput loss. This experiment
+//! sweeps arrival rate and reports both the mean system time and the commit
+//! throughput of each static choice and of the dynamic selector, plus the
+//! mix the selector converged to.
+
+use bench::{base_config, run_protocols, table};
+use dbmodel::CcMethod;
+use sim::SimConfig;
+
+fn main() {
+    let lambdas = [25.0, 80.0, 200.0, 300.0];
+    let widths = [10usize, 11, 11, 11, 11, 24];
+    println!("E6: mean system time S (ms): static vs STL-dynamic; selection mix shown for dynamic");
+    table::header(
+        &["lambda", "2PL", "T/O", "PA", "dynamic", "dyn mix (2PL/T\\O/PA)"],
+        &widths,
+    );
+    for &lambda in &lambdas {
+        let row = run_protocols(|| SimConfig {
+            arrival_rate: lambda,
+            ..base_config(66)
+        });
+        let s = row.mean_system_time_ms();
+        let dynamic = &row.reports[3];
+        let counts = &dynamic.selection_counts;
+        let mix = format!(
+            "{}/{}/{}",
+            counts.get(&CcMethod::TwoPhaseLocking).copied().unwrap_or(0),
+            counts.get(&CcMethod::TimestampOrdering).copied().unwrap_or(0),
+            counts.get(&CcMethod::PrecedenceAgreement).copied().unwrap_or(0),
+        );
+        table::row(
+            &[
+                format!("{lambda:.0}"),
+                format!("{:.2}", s[0]),
+                format!("{:.2}", s[1]),
+                format!("{:.2}", s[2]),
+                format!("{:.2}", s[3]),
+                mix,
+            ],
+            &widths,
+        );
+    }
+    println!();
+    println!("Throughput (committed txn/s) at the highest load:");
+    let row = run_protocols(|| SimConfig {
+        arrival_rate: 300.0,
+        ..base_config(67)
+    });
+    let t = row.throughput();
+    let widths = [10usize, 11, 11, 11, 11];
+    table::header(&["", "2PL", "T/O", "PA", "dynamic"], &widths);
+    table::row(
+        &[
+            "thrpt".to_string(),
+            format!("{:.1}", t[0]),
+            format!("{:.1}", t[1]),
+            format!("{:.1}", t[2]),
+            format!("{:.1}", t[3]),
+        ],
+        &widths,
+    );
+}

@@ -1,0 +1,103 @@
+//! Experiment presets and sweep helpers.
+
+use dbmodel::CcMethod;
+use sim::{MethodPolicy, SimConfig, SimReport, Simulation};
+
+/// Labels for the four policies every comparative experiment reports, in
+/// presentation order.
+pub const PROTOCOL_LABELS: [&str; 4] = ["2PL", "T/O", "PA", "dynamic"];
+
+/// The shared baseline configuration of the experiment suite. Individual
+/// experiments override the swept parameter(s).
+pub fn base_config(seed: u64) -> SimConfig {
+    SimConfig {
+        seed,
+        num_sites: 4,
+        num_items: 60,
+        arrival_rate: 80.0,
+        txn_size: 4,
+        read_fraction: 0.6,
+        num_transactions: 1_200,
+        restart_delay: simkit::time::Duration::from_millis(30),
+        local_compute: simkit::time::Duration::from_millis(10),
+        remote_delay: network::DelaySpec::Uniform(2_000, 8_000),
+        ..SimConfig::default()
+    }
+}
+
+/// One row of a protocol-comparison sweep.
+#[derive(Debug)]
+pub struct ProtocolRow {
+    /// Reports in [`PROTOCOL_LABELS`] order: 2PL, T/O, PA, dynamic.
+    pub reports: Vec<SimReport>,
+}
+
+impl ProtocolRow {
+    /// Mean system time (ms) per policy.
+    pub fn mean_system_time_ms(&self) -> Vec<f64> {
+        self.reports
+            .iter()
+            .map(|r| r.mean_system_time() * 1e3)
+            .collect()
+    }
+
+    /// Committed-transaction throughput per policy.
+    pub fn throughput(&self) -> Vec<f64> {
+        self.reports.iter().map(|r| r.throughput()).collect()
+    }
+
+    /// Messages per committed transaction per policy.
+    pub fn messages_per_commit(&self) -> Vec<f64> {
+        self.reports.iter().map(|r| r.messages_per_commit()).collect()
+    }
+}
+
+/// Run the same configuration under static 2PL, static T/O, static PA and
+/// STL-dynamic assignment, asserting that every run commits its whole
+/// workload and stays serializable.
+pub fn run_protocols(mut make_config: impl FnMut() -> SimConfig) -> ProtocolRow {
+    let policies = [
+        MethodPolicy::Static(CcMethod::TwoPhaseLocking),
+        MethodPolicy::Static(CcMethod::TimestampOrdering),
+        MethodPolicy::Static(CcMethod::PrecedenceAgreement),
+        MethodPolicy::DynamicStl,
+    ];
+    let reports = policies
+        .into_iter()
+        .map(|policy| {
+            let mut config = make_config();
+            config.method_policy = policy;
+            let report = Simulation::run(config);
+            assert!(
+                report.serializable().is_ok(),
+                "experiment produced a non-serializable execution"
+            );
+            report
+        })
+        .collect();
+    ProtocolRow { reports }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_config_is_valid() {
+        assert!(base_config(1).validate().is_ok());
+    }
+
+    #[test]
+    fn run_protocols_produces_four_reports() {
+        let row = run_protocols(|| SimConfig {
+            num_transactions: 60,
+            arrival_rate: 50.0,
+            num_items: 60,
+            ..base_config(3)
+        });
+        assert_eq!(row.reports.len(), 4);
+        assert_eq!(row.mean_system_time_ms().len(), 4);
+        assert!(row.throughput().iter().all(|&t| t > 0.0));
+        assert!(row.messages_per_commit().iter().all(|&m| m > 0.0));
+    }
+}

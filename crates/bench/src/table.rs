@@ -1,0 +1,22 @@
+//! Minimal fixed-width table printer used by every experiment binary.
+
+/// Print a header row followed by a separator.
+pub fn header(cols: &[&str], widths: &[usize]) {
+    let row: Vec<String> = cols
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect();
+    println!("{}", row.join("  "));
+    println!("{}", "-".repeat(row.join("  ").len()));
+}
+
+/// Print one data row.
+pub fn row(cells: &[String], widths: &[usize]) {
+    let row: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect();
+    println!("{}", row.join("  "));
+}

@@ -1,0 +1,1058 @@
+//! Per-item state: unified precedence assignment, the data queue, and the
+//! semi-lock table (paper, Sections 4.1–4.2).
+//!
+//! One [`ItemState`] exists for every physical data item. It owns
+//!
+//! * the item's [`DataQueue`] (`QUEUE(j)`),
+//! * the unified [`AssignmentPolicy`] (timestamp space, 2PL tail insertion),
+//! * the `R-TS(j)` / `W-TS(j)` acceptance thresholds of T/O and PA,
+//! * the table of currently held locks (RL / WL / SRL / SWL, normal or
+//!   pre-scheduled), and
+//! * the item's current value.
+//!
+//! The grant rules implement the semi-lock protocol:
+//!
+//! | head request            | may be granted when …                                   | lock granted |
+//! |-------------------------|----------------------------------------------------------|--------------|
+//! | read by 2PL or PA       | no unreleased WL or SWL                                   | RL           |
+//! | write by 2PL or PA      | no unreleased lock of any kind                            | WL           |
+//! | read by T/O             | no unreleased WL (SWL does **not** block)                 | SRL          |
+//! | write by T/O            | no unreleased RL or WL (SRL/SWL do **not** block)         | WL           |
+//!
+//! A grant issued while a *conflicting* lock is still outstanding is
+//! *pre-scheduled*; when the last such conflicting lock is released the item
+//! issues a second, *normal* grant for it. T/O transactions that executed
+//! while holding a pre-scheduled lock demote their locks to semi-locks and
+//! keep them until those normal grants arrive (driven by the request issuer).
+
+use dbmodel::{AccessMode, CcMethod, PhysicalItemId, SiteId, Timestamp, TsTuple, TxnId, Value};
+use pam::precedence::{AssignmentPolicy, PrecClass, Precedence};
+use pam::queue::{DataQueue, EntryStatus, QueueEntry};
+use pam::{GrantClass, LockMode};
+
+/// Which precedence-enforcement variant the item runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnforcementMode {
+    /// The semi-lock protocol of Section 4.2 (the paper's proposal).
+    SemiLock,
+    /// The simpler "use locking for all requests" alternative the paper
+    /// mentions and rejects: T/O requests are treated exactly like PA
+    /// requests for locking purposes. Used as the ablation baseline (E5).
+    LockAll,
+}
+
+/// A lock currently held on the item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeldLock {
+    /// The holding transaction.
+    pub txn: TxnId,
+    /// The lock mode currently held (may have been demoted to a semi-lock).
+    pub mode: LockMode,
+    /// Normal or pre-scheduled, as decided at grant time.
+    pub class: GrantClass,
+    /// Grant order on this item (smaller = granted earlier).
+    pub seq: u64,
+    /// The access mode of the underlying request (read/write), independent of
+    /// later demotion.
+    pub access: AccessMode,
+}
+
+/// Events produced by item-state transitions, to be turned into reply
+/// messages and metric updates by the owning queue manager.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ItemEvent {
+    /// A lock was granted.
+    Granted {
+        /// The transaction granted.
+        txn: TxnId,
+        /// The lock mode granted.
+        lock: LockMode,
+        /// Normal or pre-scheduled.
+        class: GrantClass,
+        /// For read requests, the value read.
+        value: Option<Value>,
+        /// The access mode of the request.
+        access: AccessMode,
+    },
+    /// A previously pre-scheduled lock became normal; a second (normal) grant
+    /// must be sent to the issuer.
+    BecameNormal {
+        /// The transaction whose lock became normal.
+        txn: TxnId,
+        /// The lock mode (as currently held, possibly a semi-lock).
+        lock: LockMode,
+    },
+    /// A T/O request arrived out of timestamp order and is rejected.
+    Rejected {
+        /// The rejected transaction.
+        txn: TxnId,
+    },
+    /// A PA request was accepted at its own timestamp but is queued behind
+    /// earlier requests; the issuer is acknowledged so it can complete its
+    /// grant-or-backoff collection without waiting for the actual grant.
+    PaAccepted {
+        /// The accepted transaction.
+        txn: TxnId,
+    },
+    /// A PA request cannot be accepted at its timestamp; the proposed backoff
+    /// timestamp is attached.
+    BackedOff {
+        /// The transaction being backed off.
+        txn: TxnId,
+        /// The smallest acceptable backed-off timestamp at this item.
+        new_ts: Timestamp,
+    },
+    /// An operation of `txn` was *implemented* on this item (lock released
+    /// for 2PL/PA, lock demoted to a semi-lock or released for T/O). This is
+    /// the point at which the operation enters the item's log.
+    Implemented {
+        /// The transaction whose operation was implemented.
+        txn: TxnId,
+        /// The access mode implemented.
+        access: AccessMode,
+    },
+}
+
+/// The complete concurrency-control state of one physical data item.
+#[derive(Debug, Clone)]
+pub struct ItemState {
+    item: PhysicalItemId,
+    queue: DataQueue,
+    assign: AssignmentPolicy,
+    r_ts: Timestamp,
+    w_ts: Timestamp,
+    locks: Vec<HeldLock>,
+    value: Value,
+    grant_counter: u64,
+    enforcement: EnforcementMode,
+}
+
+impl ItemState {
+    /// Create the state of `item` with an initial value.
+    pub fn new(item: PhysicalItemId, initial_value: Value, enforcement: EnforcementMode) -> Self {
+        ItemState {
+            item,
+            queue: DataQueue::new(),
+            assign: AssignmentPolicy::new(),
+            r_ts: Timestamp::ZERO,
+            w_ts: Timestamp::ZERO,
+            locks: Vec::new(),
+            value: initial_value,
+            grant_counter: 0,
+            enforcement,
+        }
+    }
+
+    /// The physical item this state belongs to.
+    pub fn item(&self) -> PhysicalItemId {
+        self.item
+    }
+
+    /// The item's current (committed) value.
+    pub fn value(&self) -> Value {
+        self.value
+    }
+
+    /// The currently held locks, in grant order.
+    pub fn locks(&self) -> &[HeldLock] {
+        &self.locks
+    }
+
+    /// The `R-TS(j)` threshold.
+    pub fn r_ts(&self) -> Timestamp {
+        self.r_ts
+    }
+
+    /// The `W-TS(j)` threshold.
+    pub fn w_ts(&self) -> Timestamp {
+        self.w_ts
+    }
+
+    /// Number of queued (waiting or granted) requests.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when no requests are queued and no locks are held.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.locks.is_empty()
+    }
+
+    // ------------------------------------------------------------------
+    // Incoming protocol actions
+    // ------------------------------------------------------------------
+
+    /// Handle an incoming access request (the `Access` message).
+    pub fn handle_access(
+        &mut self,
+        txn: TxnId,
+        site: SiteId,
+        mode: AccessMode,
+        method: CcMethod,
+        ts: TsTuple,
+    ) -> Vec<ItemEvent> {
+        let mut events = Vec::new();
+        let effective_method = self.effective_method(method);
+        match effective_method {
+            CcMethod::TwoPhaseLocking => {
+                let precedence = self.assign.assign(CcMethod::TwoPhaseLocking, ts.ts, site, txn);
+                self.queue.insert(QueueEntry {
+                    txn,
+                    mode,
+                    method,
+                    precedence,
+                    status: EntryStatus::Accepted,
+                    granted: false,
+                });
+            }
+            CcMethod::TimestampOrdering => {
+                if self.to_acceptable(mode, ts.ts) {
+                    let precedence = self.assign.assign(method, ts.ts, site, txn);
+                    self.queue.insert(QueueEntry {
+                        txn,
+                        mode,
+                        method,
+                        precedence,
+                        status: EntryStatus::Accepted,
+                        granted: false,
+                    });
+                } else {
+                    events.push(ItemEvent::Rejected { txn });
+                    return events;
+                }
+            }
+            CcMethod::PrecedenceAgreement => {
+                if self.to_acceptable(mode, ts.ts) {
+                    let precedence = self.assign.assign(method, ts.ts, site, txn);
+                    self.queue.insert(QueueEntry {
+                        txn,
+                        mode,
+                        method,
+                        precedence,
+                        status: EntryStatus::Accepted,
+                        granted: false,
+                    });
+                    // Acknowledge the acceptance unless the grant is issued in
+                    // this very call (the grant then subsumes the ack).
+                    let grants = self.try_grants();
+                    let granted_now = grants
+                        .iter()
+                        .any(|e| matches!(e, ItemEvent::Granted { txn: t, .. } if *t == txn));
+                    if !granted_now {
+                        events.push(ItemEvent::PaAccepted { txn });
+                    }
+                    events.extend(grants);
+                    return events;
+                } else {
+                    let floor = match mode {
+                        AccessMode::Read => self.w_ts,
+                        AccessMode::Write => self.w_ts.max(self.r_ts),
+                    };
+                    let new_ts = ts.ts.min_backoff_above(ts.interval, floor);
+                    self.assign.observe_ts(new_ts);
+                    self.queue.insert(QueueEntry {
+                        txn,
+                        mode,
+                        method,
+                        precedence: Precedence::timestamped(new_ts, site, txn),
+                        status: EntryStatus::Blocked,
+                        granted: false,
+                    });
+                    events.push(ItemEvent::BackedOff { txn, new_ts });
+                }
+            }
+        }
+        events.extend(self.try_grants());
+        events
+    }
+
+    /// Handle a PA `UpdatedTs` message: the issuer's final backed-off
+    /// timestamp for this transaction.
+    pub fn handle_updated_ts(&mut self, txn: TxnId, new_ts: Timestamp) -> Vec<ItemEvent> {
+        let Some(entry) = self.queue.get(txn) else {
+            return Vec::new();
+        };
+        let site = match entry.precedence.class {
+            PrecClass::NonTwoPl { site, .. } => site,
+            // A 2PL entry never receives timestamp updates; ignore.
+            PrecClass::TwoPl { .. } => return Vec::new(),
+        };
+        let was_granted = entry.granted;
+        let access = entry.mode;
+        self.assign.observe_ts(new_ts);
+        self.queue
+            .reprioritise(txn, Precedence::timestamped(new_ts, site, txn));
+        if was_granted {
+            // Keep the grant; restore the granted flag lost by re-insertion
+            // and keep the acceptance thresholds consistent with the larger
+            // timestamp.
+            self.queue.mark_granted(txn);
+            match access {
+                AccessMode::Read => self.r_ts = self.r_ts.max(new_ts),
+                AccessMode::Write => self.w_ts = self.w_ts.max(new_ts),
+            }
+        }
+        self.try_grants()
+    }
+
+    /// Handle a `Release` message: drop the transaction's lock and queue
+    /// entry. For a write access of a 2PL/PA transaction (or of a T/O
+    /// transaction that never demoted), the value is installed and the
+    /// operation is implemented now.
+    pub fn handle_release(&mut self, txn: TxnId, write_value: Option<Value>) -> Vec<ItemEvent> {
+        let mut events = Vec::new();
+        let Some(pos) = self.locks.iter().position(|l| l.txn == txn) else {
+            // No lock held (already released, or the request never granted);
+            // still drop any queue entry so the item does not leak state.
+            self.queue.remove(txn);
+            return self.after_lock_removal();
+        };
+        let lock = self.locks.remove(pos);
+        // A semi-lock means the operation was already implemented at demote
+        // time; a normal lock is implemented now.
+        if !lock.mode.is_semi() {
+            if lock.access == AccessMode::Write {
+                if let Some(v) = write_value {
+                    self.value = v;
+                }
+            }
+            events.push(ItemEvent::Implemented {
+                txn,
+                access: lock.access,
+            });
+        }
+        self.queue.remove(txn);
+        events.extend(self.after_lock_removal());
+        events
+    }
+
+    /// Handle a T/O `Demote` message: the transaction executed while holding
+    /// at least one pre-scheduled lock; its lock on this item becomes a
+    /// semi-lock and the operation is implemented now.
+    pub fn handle_demote(&mut self, txn: TxnId, write_value: Option<Value>) -> Vec<ItemEvent> {
+        let mut events = Vec::new();
+        let Some(lock) = self.locks.iter_mut().find(|l| l.txn == txn) else {
+            return events;
+        };
+        if lock.mode.is_semi() {
+            // Already demoted; nothing to do.
+            return events;
+        }
+        if lock.access == AccessMode::Write {
+            if let Some(v) = write_value {
+                self.value = v;
+            }
+        }
+        lock.mode = lock.mode.demoted();
+        events.push(ItemEvent::Implemented {
+            txn,
+            access: lock.access,
+        });
+        // Demotion can unblock waiting T/O requests (a WL that blocked a T/O
+        // read became an SWL, an RL that blocked a T/O write became an SRL).
+        events.extend(self.try_grants());
+        events
+    }
+
+    /// Handle an `Abort`: remove the transaction's lock and queue entry
+    /// without implementing anything.
+    pub fn handle_abort(&mut self, txn: TxnId) -> Vec<ItemEvent> {
+        self.locks.retain(|l| l.txn != txn);
+        self.queue.remove(txn);
+        self.after_lock_removal()
+    }
+
+    // ------------------------------------------------------------------
+    // Wait-for edges for deadlock detection
+    // ------------------------------------------------------------------
+
+    /// The wait-for edges contributed by this item: `(waiter, holder)` pairs
+    /// where `waiter` is an ungranted request and `holder` is a transaction
+    /// it must wait for (either the holder of a conflicting unreleased lock,
+    /// or an earlier ungranted entry that must reach the head first).
+    pub fn wait_edges(&self) -> Vec<(TxnId, TxnId)> {
+        let mut edges = Vec::new();
+        let mut earlier_ungranted: Vec<TxnId> = Vec::new();
+        for entry in self.queue.iter() {
+            if entry.granted {
+                continue;
+            }
+            // Lock-conflict edges: only locks held by smaller-precedence
+            // entries actually block this request (mirrors the grant rule).
+            for holder in self.queue.iter() {
+                if !holder.granted
+                    || holder.txn == entry.txn
+                    || holder.precedence >= entry.precedence
+                {
+                    continue;
+                }
+                for lock in &self.locks {
+                    if lock.txn == holder.txn
+                        && self.lock_blocks_request(lock, entry.mode, entry.method)
+                    {
+                        edges.push((entry.txn, lock.txn));
+                    }
+                }
+            }
+            // Head-order edges: every earlier ungranted entry must be granted
+            // before this one can reach the head.
+            for &earlier in &earlier_ungranted {
+                edges.push((entry.txn, earlier));
+            }
+            earlier_ungranted.push(entry.txn);
+        }
+        // A transaction holding a *pre-scheduled* lock is waiting for the
+        // conflicting locks of smaller-precedence entries to be released
+        // (that is when its normal grant is issued). Without these edges a
+        // cycle running through a T/O transaction in its collect-normal-
+        // grants phase would be invisible to the deadlock detector and the
+        // 2PL member of the cycle would never be chosen as a victim.
+        for lock in &self.locks {
+            if lock.class != GrantClass::PreScheduled {
+                continue;
+            }
+            let Some(my_prec) = self.queue.get(lock.txn).map(|e| e.precedence) else {
+                continue;
+            };
+            for other in &self.locks {
+                if other.txn != lock.txn
+                    && other.mode.conflicts_with(lock.mode)
+                    && self
+                        .queue
+                        .get(other.txn)
+                        .is_some_and(|e| e.precedence < my_prec)
+                {
+                    edges.push((lock.txn, other.txn));
+                }
+            }
+        }
+        edges
+    }
+
+    /// The transactions currently waiting (queued but not granted) at this
+    /// item.
+    pub fn waiting_txns(&self) -> Vec<TxnId> {
+        self.queue
+            .iter()
+            .filter(|e| !e.granted)
+            .map(|e| e.txn)
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    /// Under [`EnforcementMode::LockAll`] every T/O request is treated like a
+    /// PA request for queueing and locking purposes (but it is still rejected
+    /// rather than backed off, so the ablation changes only the enforcement
+    /// side).
+    fn effective_method(&self, method: CcMethod) -> CcMethod {
+        match (self.enforcement, method) {
+            (EnforcementMode::LockAll, CcMethod::TimestampOrdering) => {
+                CcMethod::TimestampOrdering
+            }
+            _ => method,
+        }
+    }
+
+    fn to_acceptable(&self, mode: AccessMode, ts: Timestamp) -> bool {
+        match mode {
+            AccessMode::Read => ts > self.w_ts,
+            AccessMode::Write => ts > self.w_ts && ts > self.r_ts,
+        }
+    }
+
+    /// Does an outstanding lock block a head request of the given mode and
+    /// method?
+    fn lock_blocks_request(&self, lock: &HeldLock, mode: AccessMode, method: CcMethod) -> bool {
+        let semi_aware = self.enforcement == EnforcementMode::SemiLock
+            && method == CcMethod::TimestampOrdering;
+        match (mode, semi_aware) {
+            // 2PL/PA read: blocked by WL and SWL.
+            (AccessMode::Read, false) => lock.mode.is_write_kind(),
+            // 2PL/PA write: blocked by every lock.
+            (AccessMode::Write, false) => true,
+            // T/O read: blocked only by WL.
+            (AccessMode::Read, true) => lock.mode == LockMode::Write,
+            // T/O write: blocked by RL and WL (not by semi-locks).
+            (AccessMode::Write, true) => {
+                lock.mode == LockMode::Read || lock.mode == LockMode::Write
+            }
+        }
+    }
+
+    /// Whether an outstanding lock *conflicts* with a request (for deciding
+    /// the pre-scheduled class), per the semi-lock conflict rule: at least
+    /// one of the two is a write or semi-write lock.
+    fn lock_conflicts_with_request(lock: &HeldLock, mode: AccessMode) -> bool {
+        let requested = match mode {
+            AccessMode::Read => LockMode::Read,
+            AccessMode::Write => LockMode::Write,
+        };
+        lock.mode.conflicts_with(requested)
+    }
+
+    fn try_grants(&mut self) -> Vec<ItemEvent> {
+        let mut events = Vec::new();
+        while let Some(head) = self.queue.head() {
+            if head.status == EntryStatus::Blocked {
+                break;
+            }
+            let txn = head.txn;
+            let mode = head.mode;
+            let method = head.method;
+            let precedence = head.precedence;
+            let prec_ts = precedence.ts;
+            // The head is blocked only by conflicting locks whose queue
+            // entries have *smaller precedence*. Locks held by later-
+            // precedence requests (possible when a PA transaction's granted
+            // entry was re-timestamped upwards by its backoff round) do not
+            // block it — this is the reading of "previously granted" under
+            // which the paper's Theorem 3 (only 2PL can block the system)
+            // actually holds; blocking on wall-clock grant order instead
+            // lets two PA transactions deadlock.
+            let blocked = self.queue.iter().any(|e| {
+                e.granted
+                    && e.txn != txn
+                    && e.precedence < precedence
+                    && self
+                        .locks
+                        .iter()
+                        .any(|l| l.txn == e.txn && self.lock_blocks_request(l, mode, method))
+            });
+            if blocked {
+                break;
+            }
+            // Grant. The grant is pre-scheduled when a *smaller-precedence*
+            // entry still holds a conflicting (possibly semi-) lock — the
+            // same precedence-based reading of "granted earlier" as the
+            // blocking rule above. Conflicting locks held by larger-
+            // precedence entries are logically after this request and must
+            // not tie its release to theirs (doing so creates PA/T-O wait
+            // cycles with no 2PL member, which Theorem 3 rules out).
+            let class = if self.queue.iter().any(|e| {
+                e.granted
+                    && e.txn != txn
+                    && e.precedence < precedence
+                    && self
+                        .locks
+                        .iter()
+                        .any(|l| l.txn == e.txn && Self::lock_conflicts_with_request(l, mode))
+            }) {
+                GrantClass::PreScheduled
+            } else {
+                GrantClass::Normal
+            };
+            let lock_mode = match (mode, method, self.enforcement) {
+                (AccessMode::Read, CcMethod::TimestampOrdering, EnforcementMode::SemiLock) => {
+                    LockMode::SemiRead
+                }
+                (AccessMode::Read, _, _) => LockMode::Read,
+                (AccessMode::Write, _, _) => LockMode::Write,
+            };
+            let seq = self.grant_counter;
+            self.grant_counter += 1;
+            self.locks.push(HeldLock {
+                txn,
+                mode: lock_mode,
+                class,
+                seq,
+                access: mode,
+            });
+            self.queue.mark_granted(txn);
+            match mode {
+                AccessMode::Read => self.r_ts = self.r_ts.max(prec_ts),
+                AccessMode::Write => self.w_ts = self.w_ts.max(prec_ts),
+            }
+            let value = match mode {
+                AccessMode::Read => Some(self.value),
+                AccessMode::Write => None,
+            };
+            events.push(ItemEvent::Granted {
+                txn,
+                lock: lock_mode,
+                class,
+                value,
+                access: mode,
+            });
+        }
+        events
+    }
+
+    /// After a lock disappears (release or abort): upgrade pre-scheduled
+    /// locks whose conflicts are gone, then try to grant the head.
+    fn after_lock_removal(&mut self) -> Vec<ItemEvent> {
+        let mut events = Vec::new();
+        // Upgrade pre-scheduled locks that no longer have a conflicting lock
+        // held by a smaller-precedence entry (mirror of the pre-scheduled
+        // classification at grant time).
+        let snapshot = self.locks.clone();
+        let mut upgrades: Vec<TxnId> = Vec::new();
+        for lock in snapshot.iter().filter(|l| l.class == GrantClass::PreScheduled) {
+            let Some(my_prec) = self.queue.get(lock.txn).map(|e| e.precedence) else {
+                continue;
+            };
+            let still_conflicted = snapshot.iter().any(|other| {
+                other.txn != lock.txn
+                    && other.mode.conflicts_with(lock.mode)
+                    && self
+                        .queue
+                        .get(other.txn)
+                        .is_some_and(|e| e.precedence < my_prec)
+            });
+            if !still_conflicted {
+                upgrades.push(lock.txn);
+            }
+        }
+        for txn in upgrades {
+            if let Some(lock) = self.locks.iter_mut().find(|l| l.txn == txn) {
+                lock.class = GrantClass::Normal;
+                events.push(ItemEvent::BecameNormal {
+                    txn: lock.txn,
+                    lock: lock.mode,
+                });
+            }
+        }
+        events.extend(self.try_grants());
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbmodel::LogicalItemId;
+
+    fn item() -> PhysicalItemId {
+        PhysicalItemId::new(LogicalItemId(1), SiteId(0))
+    }
+
+    fn ts(v: u64) -> TsTuple {
+        TsTuple::new(Timestamp(v), 10)
+    }
+
+    fn state() -> ItemState {
+        ItemState::new(item(), 100, EnforcementMode::SemiLock)
+    }
+
+    fn grant_txns(events: &[ItemEvent]) -> Vec<TxnId> {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                ItemEvent::Granted { txn, .. } => Some(*txn),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn two_pl_requests_grant_fcfs_and_block_on_conflict() {
+        let mut s = state();
+        let e1 = s.handle_access(
+            TxnId(1),
+            SiteId(0),
+            AccessMode::Read,
+            CcMethod::TwoPhaseLocking,
+            ts(0),
+        );
+        assert_eq!(grant_txns(&e1), vec![TxnId(1)]);
+        // A second reader is also granted (read locks are compatible).
+        let e2 = s.handle_access(
+            TxnId(2),
+            SiteId(1),
+            AccessMode::Read,
+            CcMethod::TwoPhaseLocking,
+            ts(0),
+        );
+        assert_eq!(grant_txns(&e2), vec![TxnId(2)]);
+        // A writer must wait for both readers.
+        let e3 = s.handle_access(
+            TxnId(3),
+            SiteId(2),
+            AccessMode::Write,
+            CcMethod::TwoPhaseLocking,
+            ts(0),
+        );
+        assert!(grant_txns(&e3).is_empty());
+        // Release one reader: still blocked; release the second: granted.
+        let e4 = s.handle_release(TxnId(1), None);
+        assert!(grant_txns(&e4).is_empty());
+        let e5 = s.handle_release(TxnId(2), None);
+        assert_eq!(grant_txns(&e5), vec![TxnId(3)]);
+    }
+
+    #[test]
+    fn read_grant_attaches_current_value_and_write_applies_at_release() {
+        let mut s = state();
+        let e = s.handle_access(
+            TxnId(1),
+            SiteId(0),
+            AccessMode::Write,
+            CcMethod::TwoPhaseLocking,
+            ts(0),
+        );
+        assert_eq!(grant_txns(&e), vec![TxnId(1)]);
+        assert_eq!(s.value(), 100, "value unchanged until release");
+        s.handle_release(TxnId(1), Some(250));
+        assert_eq!(s.value(), 250);
+        let e = s.handle_access(
+            TxnId(2),
+            SiteId(0),
+            AccessMode::Read,
+            CcMethod::TwoPhaseLocking,
+            ts(0),
+        );
+        match &e[0] {
+            ItemEvent::Granted { value, .. } => assert_eq!(*value, Some(250)),
+            other => panic!("expected grant, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn to_read_below_w_ts_is_rejected() {
+        let mut s = state();
+        // A T/O writer with ts 50 is granted and released, setting W-TS = 50.
+        s.handle_access(
+            TxnId(1),
+            SiteId(0),
+            AccessMode::Write,
+            CcMethod::TimestampOrdering,
+            ts(50),
+        );
+        s.handle_release(TxnId(1), Some(7));
+        // A reader with a smaller timestamp must be rejected.
+        let e = s.handle_access(
+            TxnId(2),
+            SiteId(1),
+            AccessMode::Read,
+            CcMethod::TimestampOrdering,
+            ts(40),
+        );
+        assert_eq!(e, vec![ItemEvent::Rejected { txn: TxnId(2) }]);
+        // A reader with a larger timestamp is accepted.
+        let e = s.handle_access(
+            TxnId(3),
+            SiteId(1),
+            AccessMode::Read,
+            CcMethod::TimestampOrdering,
+            ts(60),
+        );
+        assert_eq!(grant_txns(&e), vec![TxnId(3)]);
+    }
+
+    #[test]
+    fn to_write_checks_both_thresholds() {
+        let mut s = state();
+        s.handle_access(
+            TxnId(1),
+            SiteId(0),
+            AccessMode::Read,
+            CcMethod::TimestampOrdering,
+            ts(80),
+        );
+        // R-TS is now 80; a write with ts 70 is rejected even though W-TS is 0.
+        let e = s.handle_access(
+            TxnId(2),
+            SiteId(1),
+            AccessMode::Write,
+            CcMethod::TimestampOrdering,
+            ts(70),
+        );
+        assert_eq!(e, vec![ItemEvent::Rejected { txn: TxnId(2) }]);
+    }
+
+    #[test]
+    fn pa_request_backs_off_instead_of_rejecting() {
+        let mut s = state();
+        s.handle_access(
+            TxnId(1),
+            SiteId(0),
+            AccessMode::Write,
+            CcMethod::PrecedenceAgreement,
+            ts(50),
+        );
+        s.handle_release(TxnId(1), Some(1));
+        // PA read at ts 30 with interval 10: smallest 30 + 10k above 50 is 60.
+        let e = s.handle_access(
+            TxnId(2),
+            SiteId(1),
+            AccessMode::Read,
+            CcMethod::PrecedenceAgreement,
+            TsTuple::new(Timestamp(30), 10),
+        );
+        assert_eq!(
+            e,
+            vec![ItemEvent::BackedOff {
+                txn: TxnId(2),
+                new_ts: Timestamp(60)
+            }]
+        );
+        // The blocked entry is not granted until the updated timestamp arrives.
+        assert!(s.queue_len() == 1);
+        let e = s.handle_updated_ts(TxnId(2), Timestamp(75));
+        assert_eq!(grant_txns(&e), vec![TxnId(2)]);
+    }
+
+    #[test]
+    fn blocked_pa_entry_prevents_later_grants() {
+        let mut s = state();
+        // Seed thresholds with a granted+released PA write at ts 50.
+        s.handle_access(
+            TxnId(1),
+            SiteId(0),
+            AccessMode::Write,
+            CcMethod::PrecedenceAgreement,
+            ts(50),
+        );
+        s.handle_release(TxnId(1), None);
+        // PA write at ts 20 gets backed off (blocked, proposed 60).
+        let e = s.handle_access(
+            TxnId(2),
+            SiteId(1),
+            AccessMode::Write,
+            CcMethod::PrecedenceAgreement,
+            TsTuple::new(Timestamp(20), 40),
+        );
+        assert!(matches!(e[0], ItemEvent::BackedOff { .. }));
+        // A later T/O read at ts 100 queues behind the blocked entry and must
+        // not be granted while the head is blocked.
+        let e = s.handle_access(
+            TxnId(3),
+            SiteId(2),
+            AccessMode::Read,
+            CcMethod::TimestampOrdering,
+            ts(100),
+        );
+        assert!(grant_txns(&e).is_empty(), "head is blocked; nothing grants");
+        // Once the PA entry is accepted, both grant in precedence order.
+        let e = s.handle_updated_ts(TxnId(2), Timestamp(60));
+        assert_eq!(grant_txns(&e), vec![TxnId(2)]);
+    }
+
+    #[test]
+    fn semi_lock_lets_to_read_overlap_semi_write() {
+        let mut s = state();
+        // A T/O writer is granted (normal), executes, and demotes because it
+        // held a pre-scheduled lock elsewhere — here we just demote directly.
+        s.handle_access(
+            TxnId(1),
+            SiteId(0),
+            AccessMode::Write,
+            CcMethod::TimestampOrdering,
+            ts(10),
+        );
+        let e = s.handle_demote(TxnId(1), Some(777));
+        assert!(e.contains(&ItemEvent::Implemented {
+            txn: TxnId(1),
+            access: AccessMode::Write
+        }));
+        assert_eq!(s.value(), 777, "demote implements the write");
+        // A T/O reader with a later timestamp may be granted an SRL even
+        // though the SWL is still held…
+        let e = s.handle_access(
+            TxnId(2),
+            SiteId(1),
+            AccessMode::Read,
+            CcMethod::TimestampOrdering,
+            ts(20),
+        );
+        let grants = grant_txns(&e);
+        assert_eq!(grants, vec![TxnId(2)]);
+        match &e[0] {
+            ItemEvent::Granted { lock, class, value, .. } => {
+                assert_eq!(*lock, LockMode::SemiRead);
+                assert_eq!(*class, GrantClass::PreScheduled);
+                assert_eq!(*value, Some(777), "reads the demoted writer's value");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // …but a PA reader is still blocked by the semi-write lock.
+        let e = s.handle_access(
+            TxnId(3),
+            SiteId(2),
+            AccessMode::Read,
+            CcMethod::PrecedenceAgreement,
+            ts(30),
+        );
+        assert!(grant_txns(&e).is_empty());
+        // When the T/O writer finally releases, the pre-scheduled SRL becomes
+        // normal and the PA reader is granted.
+        let e = s.handle_release(TxnId(1), None);
+        assert!(e.contains(&ItemEvent::BecameNormal {
+            txn: TxnId(2),
+            lock: LockMode::SemiRead
+        }));
+        assert!(grant_txns(&e).contains(&TxnId(3)));
+    }
+
+    #[test]
+    fn lock_all_mode_blocks_to_read_behind_semi_write() {
+        let mut s = ItemState::new(item(), 0, EnforcementMode::LockAll);
+        s.handle_access(
+            TxnId(1),
+            SiteId(0),
+            AccessMode::Write,
+            CcMethod::TimestampOrdering,
+            ts(10),
+        );
+        s.handle_demote(TxnId(1), Some(5));
+        let e = s.handle_access(
+            TxnId(2),
+            SiteId(1),
+            AccessMode::Read,
+            CcMethod::TimestampOrdering,
+            ts(20),
+        );
+        assert!(
+            grant_txns(&e).is_empty(),
+            "under lock-all enforcement the T/O read waits for the release"
+        );
+        let e = s.handle_release(TxnId(1), None);
+        assert_eq!(grant_txns(&e), vec![TxnId(2)]);
+    }
+
+    #[test]
+    fn release_implements_and_purges_state() {
+        let mut s = state();
+        s.handle_access(
+            TxnId(1),
+            SiteId(0),
+            AccessMode::Write,
+            CcMethod::PrecedenceAgreement,
+            ts(5),
+        );
+        let e = s.handle_release(TxnId(1), Some(9));
+        assert!(e.contains(&ItemEvent::Implemented {
+            txn: TxnId(1),
+            access: AccessMode::Write
+        }));
+        assert!(s.is_idle());
+        assert_eq!(s.value(), 9);
+        // Releasing again is a no-op.
+        let e = s.handle_release(TxnId(1), Some(1000));
+        assert!(e.iter().all(|ev| !matches!(ev, ItemEvent::Implemented { .. })));
+        assert_eq!(s.value(), 9);
+    }
+
+    #[test]
+    fn release_after_demote_does_not_reimplement() {
+        let mut s = state();
+        s.handle_access(
+            TxnId(1),
+            SiteId(0),
+            AccessMode::Write,
+            CcMethod::TimestampOrdering,
+            ts(5),
+        );
+        let implemented_at_demote = s.handle_demote(TxnId(1), Some(1));
+        assert_eq!(
+            implemented_at_demote
+                .iter()
+                .filter(|e| matches!(e, ItemEvent::Implemented { .. }))
+                .count(),
+            1
+        );
+        let release_events = s.handle_release(TxnId(1), Some(2));
+        assert_eq!(
+            release_events
+                .iter()
+                .filter(|e| matches!(e, ItemEvent::Implemented { .. }))
+                .count(),
+            0,
+            "a demoted lock's operation is implemented only once"
+        );
+        assert_eq!(s.value(), 1, "the release after demote does not overwrite");
+    }
+
+    #[test]
+    fn abort_discards_without_implementing() {
+        let mut s = state();
+        s.handle_access(
+            TxnId(1),
+            SiteId(0),
+            AccessMode::Write,
+            CcMethod::TwoPhaseLocking,
+            ts(0),
+        );
+        s.handle_access(
+            TxnId(2),
+            SiteId(1),
+            AccessMode::Write,
+            CcMethod::TwoPhaseLocking,
+            ts(0),
+        );
+        let e = s.handle_abort(TxnId(1));
+        assert!(e.iter().all(|ev| !matches!(ev, ItemEvent::Implemented { .. })));
+        assert_eq!(grant_txns(&e), vec![TxnId(2)], "the waiter is granted after the abort");
+        assert_eq!(s.value(), 100);
+    }
+
+    #[test]
+    fn wait_edges_capture_lock_and_order_waits() {
+        let mut s = state();
+        s.handle_access(
+            TxnId(1),
+            SiteId(0),
+            AccessMode::Write,
+            CcMethod::TwoPhaseLocking,
+            ts(0),
+        );
+        s.handle_access(
+            TxnId(2),
+            SiteId(1),
+            AccessMode::Write,
+            CcMethod::TwoPhaseLocking,
+            ts(0),
+        );
+        s.handle_access(
+            TxnId(3),
+            SiteId(2),
+            AccessMode::Write,
+            CcMethod::TwoPhaseLocking,
+            ts(0),
+        );
+        let edges = s.wait_edges();
+        // t2 waits for the holder t1; t3 waits for t1 (lock) and t2 (order).
+        assert!(edges.contains(&(TxnId(2), TxnId(1))));
+        assert!(edges.contains(&(TxnId(3), TxnId(1))));
+        assert!(edges.contains(&(TxnId(3), TxnId(2))));
+        assert!(!edges.iter().any(|&(w, _)| w == TxnId(1)));
+        assert_eq!(s.waiting_txns(), vec![TxnId(2), TxnId(3)]);
+    }
+
+    #[test]
+    fn to_timestamp_order_enforced_among_queued_requests() {
+        let mut s = state();
+        // Two T/O writers arrive out of order while a 2PL reader holds the item.
+        s.handle_access(
+            TxnId(1),
+            SiteId(0),
+            AccessMode::Read,
+            CcMethod::TwoPhaseLocking,
+            ts(0),
+        );
+        let e = s.handle_access(
+            TxnId(2),
+            SiteId(1),
+            AccessMode::Write,
+            CcMethod::TimestampOrdering,
+            ts(50),
+        );
+        assert!(grant_txns(&e).is_empty());
+        let e = s.handle_access(
+            TxnId(3),
+            SiteId(2),
+            AccessMode::Write,
+            CcMethod::TimestampOrdering,
+            ts(40),
+        );
+        assert!(grant_txns(&e).is_empty());
+        // Release the reader: the smaller-timestamp writer (t3) must be
+        // granted first, then t2 after t3 releases.
+        let e = s.handle_release(TxnId(1), None);
+        assert_eq!(grant_txns(&e), vec![TxnId(3)]);
+        let e = s.handle_release(TxnId(3), Some(1));
+        assert_eq!(grant_txns(&e), vec![TxnId(2)]);
+    }
+}

@@ -1,0 +1,682 @@
+//! The request issuer (RI): the per-transaction coordinator state machine.
+//!
+//! One [`RequestIssuer`] exists per transaction *incarnation* (a restart
+//! creates a fresh incarnation with a fresh transaction id). It sends the
+//! transaction's physical requests to the queue managers, reacts to grants,
+//! rejections and backoff proposals according to the transaction's chosen
+//! protocol, and drives the release (or demote-then-release) sequence after
+//! execution.
+//!
+//! The issuer is a pure state machine: every entry point returns an
+//! [`RiOutput`] containing the messages to send and the lifecycle actions the
+//! driver must take (start the local-computation timer, record a commit,
+//! restart the transaction, …).
+
+use std::collections::BTreeMap;
+
+use dbmodel::{AccessMode, CcMethod, LogicalItemId, PhysicalItemId, Timestamp, Transaction, TsTuple, TxnId, Value};
+use pam::{GrantClass, ReplyMsg, RequestMsg};
+
+/// The lifecycle phase of a transaction incarnation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RiPhase {
+    /// Requests sent; waiting for the first reply from every item.
+    Requesting,
+    /// PA only: the final backed-off timestamp has been broadcast; waiting
+    /// for the remaining grants.
+    AwaitingBackoffGrants,
+    /// All items granted; the local computing phase is in progress.
+    Executing,
+    /// T/O only: executed while holding a pre-scheduled lock; locks were
+    /// demoted to semi-locks and the issuer is collecting normal grants.
+    AwaitingNormalGrants,
+    /// All locks released; the incarnation is complete.
+    Finished,
+    /// The incarnation was aborted (T/O rejection or deadlock victim) and
+    /// will be restarted by the driver.
+    Aborted,
+}
+
+/// Lifecycle actions the driver must take in response to issuer output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RiAction {
+    /// Every item is granted: schedule the end of the local computing phase.
+    StartExecution,
+    /// The transaction is considered executed: record its system time.
+    Committed,
+    /// Every lock has been released; the incarnation holds no more resources.
+    FullyReleased,
+    /// The incarnation aborted and must be restarted. `rejected` is true for
+    /// a T/O rejection and false for a deadlock abort.
+    Restart {
+        /// True when the restart was caused by a T/O rejection.
+        rejected: bool,
+    },
+    /// PA: one backoff round was performed.
+    BackoffRound,
+}
+
+/// The output of one issuer step.
+#[derive(Debug, Clone, Default)]
+pub struct RiOutput {
+    /// Messages to send; each message's item identifies the destination site.
+    pub sends: Vec<RequestMsg>,
+    /// Lifecycle actions for the driver.
+    pub actions: Vec<RiAction>,
+}
+
+impl RiOutput {
+    fn send(&mut self, msg: RequestMsg) {
+        self.sends.push(msg);
+    }
+    fn action(&mut self, a: RiAction) {
+        self.actions.push(a);
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ItemProgress {
+    /// No reply (or no final reply after a backoff round) received yet.
+    Waiting,
+    /// PA: the request was accepted at its timestamp; the grant will follow.
+    Acked,
+    /// Granted, but the grant was pre-scheduled and no normal grant has
+    /// arrived yet.
+    PreScheduled,
+    /// A normal grant has been received.
+    NormalGranted,
+    /// PA: this item proposed a backoff timestamp.
+    BackoffProposed(Timestamp),
+}
+
+impl ItemProgress {
+    fn is_granted(self) -> bool {
+        matches!(self, ItemProgress::PreScheduled | ItemProgress::NormalGranted)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ItemReq {
+    item: PhysicalItemId,
+    mode: AccessMode,
+    progress: ItemProgress,
+}
+
+/// The per-incarnation request issuer.
+#[derive(Debug, Clone)]
+pub struct RequestIssuer {
+    txn: Transaction,
+    ts: TsTuple,
+    items: Vec<ItemReq>,
+    phase: RiPhase,
+    had_prescheduled: bool,
+    read_results: BTreeMap<PhysicalItemId, Value>,
+    write_values: BTreeMap<LogicalItemId, Value>,
+}
+
+impl RequestIssuer {
+    /// Create an issuer for one transaction incarnation.
+    ///
+    /// `accesses` is the transaction's physical access list (one entry per
+    /// physical item), normally produced by
+    /// [`dbmodel::Catalog::translate_txn`].
+    pub fn new(txn: Transaction, ts: TsTuple, accesses: Vec<(PhysicalItemId, AccessMode)>) -> Self {
+        let items = accesses
+            .into_iter()
+            .map(|(item, mode)| ItemReq {
+                item,
+                mode,
+                progress: ItemProgress::Waiting,
+            })
+            .collect();
+        RequestIssuer {
+            txn,
+            ts,
+            items,
+            phase: RiPhase::Requesting,
+            had_prescheduled: false,
+            read_results: BTreeMap::new(),
+            write_values: BTreeMap::new(),
+        }
+    }
+
+    /// The transaction this issuer coordinates.
+    pub fn txn(&self) -> &Transaction {
+        &self.txn
+    }
+
+    /// The transaction id.
+    pub fn txn_id(&self) -> TxnId {
+        self.txn.id
+    }
+
+    /// The current phase.
+    pub fn phase(&self) -> RiPhase {
+        self.phase
+    }
+
+    /// The current (possibly backed-off) timestamp tuple.
+    pub fn ts(&self) -> TsTuple {
+        self.ts
+    }
+
+    /// The values read so far, keyed by physical item.
+    pub fn read_results(&self) -> &BTreeMap<PhysicalItemId, Value> {
+        &self.read_results
+    }
+
+    /// The value read for a logical item, if any copy of it was read.
+    pub fn read_value(&self, item: LogicalItemId) -> Option<Value> {
+        self.read_results
+            .iter()
+            .find(|(p, _)| p.logical == item)
+            .map(|(_, &v)| v)
+    }
+
+    /// Provide the value the transaction will write to a logical item during
+    /// its write phase. If not provided, the transaction id is written (the
+    /// simulator does not care about values, only about ordering).
+    pub fn set_write_value(&mut self, item: LogicalItemId, value: Value) {
+        self.write_values.insert(item, value);
+    }
+
+    /// True if every item has at least one grant.
+    pub fn all_granted(&self) -> bool {
+        self.items.iter().all(|i| i.progress.is_granted())
+    }
+
+    /// The physical items this incarnation accesses.
+    pub fn accessed_items(&self) -> impl Iterator<Item = (PhysicalItemId, AccessMode)> + '_ {
+        self.items.iter().map(|i| (i.item, i.mode))
+    }
+
+    /// A human-readable snapshot of the per-item progress, for diagnostics
+    /// ("which grant is this transaction still waiting for?").
+    pub fn progress_summary(&self) -> String {
+        let items: Vec<String> = self
+            .items
+            .iter()
+            .map(|i| {
+                let state = match i.progress {
+                    ItemProgress::Waiting => "waiting",
+                    ItemProgress::Acked => "acked",
+                    ItemProgress::PreScheduled => "pre-scheduled",
+                    ItemProgress::NormalGranted => "granted",
+                    ItemProgress::BackoffProposed(_) => "backoff-proposed",
+                };
+                format!("{}:{state}", i.item)
+            })
+            .collect();
+        format!("{:?} [{}]", self.phase, items.join(", "))
+    }
+
+    /// Emit the initial request messages. Must be called exactly once.
+    pub fn start(&mut self) -> RiOutput {
+        assert_eq!(self.phase, RiPhase::Requesting, "start() may only be called once");
+        let mut out = RiOutput::default();
+        for req in &self.items {
+            out.send(RequestMsg::Access {
+                txn: self.txn.id,
+                item: req.item,
+                mode: req.mode,
+                method: self.txn.method,
+                ts: self.ts,
+            });
+        }
+        // A degenerate transaction with no accesses commits immediately.
+        if self.items.is_empty() {
+            self.phase = RiPhase::Executing;
+            out.action(RiAction::StartExecution);
+        }
+        out
+    }
+
+    /// Process one reply from a queue manager.
+    pub fn on_reply(&mut self, reply: &ReplyMsg) -> RiOutput {
+        let mut out = RiOutput::default();
+        if matches!(self.phase, RiPhase::Finished | RiPhase::Aborted) {
+            return out;
+        }
+        debug_assert_eq!(reply.txn(), self.txn.id, "reply routed to the wrong issuer");
+        match reply {
+            ReplyMsg::Ack { item, .. } => {
+                if let Some(req) = self.items.iter_mut().find(|r| r.item == *item) {
+                    if req.progress == ItemProgress::Waiting {
+                        req.progress = ItemProgress::Acked;
+                    }
+                }
+                self.after_progress(&mut out);
+            }
+            ReplyMsg::Grant {
+                item,
+                class,
+                value,
+                ..
+            } => {
+                if let Some(v) = value {
+                    self.read_results.insert(*item, *v);
+                }
+                if let Some(req) = self.items.iter_mut().find(|r| r.item == *item) {
+                    req.progress = match (req.progress, class) {
+                        // A second (normal) grant upgrades a pre-scheduled one.
+                        (_, GrantClass::Normal) => ItemProgress::NormalGranted,
+                        (ItemProgress::NormalGranted, _) => ItemProgress::NormalGranted,
+                        (_, GrantClass::PreScheduled) => {
+                            self.had_prescheduled = true;
+                            ItemProgress::PreScheduled
+                        }
+                    };
+                }
+                self.after_progress(&mut out);
+            }
+            ReplyMsg::Reject { .. } => {
+                self.abort(&mut out, true);
+            }
+            ReplyMsg::Backoff { item, new_ts, .. } => {
+                if let Some(req) = self.items.iter_mut().find(|r| r.item == *item) {
+                    req.progress = ItemProgress::BackoffProposed(*new_ts);
+                }
+                self.after_progress(&mut out);
+            }
+        }
+        out
+    }
+
+    /// The driver signals that the local computing phase has finished.
+    pub fn on_execution_done(&mut self) -> RiOutput {
+        let mut out = RiOutput::default();
+        if self.phase != RiPhase::Executing {
+            return out;
+        }
+        let semi_path = self.txn.method == CcMethod::TimestampOrdering && self.had_prescheduled;
+        if semi_path {
+            for req in &self.items {
+                out.send(RequestMsg::Demote {
+                    txn: self.txn.id,
+                    item: req.item,
+                    write_value: self.write_value_for(req),
+                });
+            }
+            out.action(RiAction::Committed);
+            if self.all_normal_granted() {
+                self.release_all(&mut out);
+            } else {
+                self.phase = RiPhase::AwaitingNormalGrants;
+            }
+        } else {
+            for req in &self.items {
+                out.send(RequestMsg::Release {
+                    txn: self.txn.id,
+                    item: req.item,
+                    write_value: self.write_value_for(req),
+                });
+            }
+            out.action(RiAction::Committed);
+            out.action(RiAction::FullyReleased);
+            self.phase = RiPhase::Finished;
+        }
+        out
+    }
+
+    /// The driver selected this incarnation as a deadlock victim. Only
+    /// meaningful while the incarnation is still waiting for grants.
+    pub fn abort_for_deadlock(&mut self) -> RiOutput {
+        let mut out = RiOutput::default();
+        if !matches!(self.phase, RiPhase::Requesting | RiPhase::AwaitingBackoffGrants) {
+            return out;
+        }
+        self.abort(&mut out, false);
+        out
+    }
+
+    // ------------------------------------------------------------------
+
+    fn write_value_for(&self, req: &ItemReq) -> Option<Value> {
+        if req.mode == AccessMode::Write {
+            Some(
+                self.write_values
+                    .get(&req.item.logical)
+                    .copied()
+                    .unwrap_or(self.txn.id.0 as Value),
+            )
+        } else {
+            None
+        }
+    }
+
+    fn all_normal_granted(&self) -> bool {
+        self.items
+            .iter()
+            .all(|i| i.progress == ItemProgress::NormalGranted)
+    }
+
+    /// Every item has answered the initial request round with an
+    /// acknowledgement, a grant or a backoff proposal.
+    fn all_replied(&self) -> bool {
+        self.items
+            .iter()
+            .all(|i| !matches!(i.progress, ItemProgress::Waiting))
+    }
+
+    fn any_backoff(&self) -> bool {
+        self.items
+            .iter()
+            .any(|i| matches!(i.progress, ItemProgress::BackoffProposed(_)))
+    }
+
+    fn after_progress(&mut self, out: &mut RiOutput) {
+        match self.phase {
+            RiPhase::Requesting | RiPhase::AwaitingBackoffGrants => {
+                if self.all_granted() {
+                    self.phase = RiPhase::Executing;
+                    out.action(RiAction::StartExecution);
+                } else if self.phase == RiPhase::Requesting
+                    && self.txn.method == CcMethod::PrecedenceAgreement
+                    && self.all_replied()
+                    && self.any_backoff()
+                {
+                    // One backoff round: TS' = max over the proposed
+                    // timestamps, broadcast to every accessed queue.
+                    let new_ts = self
+                        .items
+                        .iter()
+                        .filter_map(|i| match i.progress {
+                            ItemProgress::BackoffProposed(ts) => Some(ts),
+                            _ => None,
+                        })
+                        .max()
+                        .expect("any_backoff() guarantees at least one proposal");
+                    self.ts = TsTuple::new(new_ts, self.ts.interval);
+                    for req in self.items.iter_mut() {
+                        if matches!(req.progress, ItemProgress::BackoffProposed(_)) {
+                            req.progress = ItemProgress::Waiting;
+                        }
+                    }
+                    for req in &self.items {
+                        out.send(RequestMsg::UpdatedTs {
+                            txn: self.txn.id,
+                            item: req.item,
+                            new_ts,
+                        });
+                    }
+                    self.phase = RiPhase::AwaitingBackoffGrants;
+                    out.action(RiAction::BackoffRound);
+                }
+            }
+            RiPhase::AwaitingNormalGrants => {
+                if self.all_normal_granted() {
+                    self.release_all(out);
+                }
+            }
+            // Upgrades arriving during execution are just recorded.
+            RiPhase::Executing | RiPhase::Finished | RiPhase::Aborted => {}
+        }
+    }
+
+    fn release_all(&mut self, out: &mut RiOutput) {
+        // Values were already installed at demote time on this path.
+        for req in &self.items {
+            out.send(RequestMsg::Release {
+                txn: self.txn.id,
+                item: req.item,
+                write_value: None,
+            });
+        }
+        out.action(RiAction::FullyReleased);
+        self.phase = RiPhase::Finished;
+    }
+
+    fn abort(&mut self, out: &mut RiOutput, rejected: bool) {
+        for req in &self.items {
+            out.send(RequestMsg::Abort {
+                txn: self.txn.id,
+                item: req.item,
+            });
+        }
+        out.action(RiAction::Restart { rejected });
+        self.phase = RiPhase::Aborted;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbmodel::{SiteId, Transaction};
+    use pam::LockMode;
+
+    fn li(i: u64) -> LogicalItemId {
+        LogicalItemId(i)
+    }
+    fn pi(i: u64, s: u32) -> PhysicalItemId {
+        PhysicalItemId::new(li(i), SiteId(s))
+    }
+
+    fn txn(id: u64, method: CcMethod) -> Transaction {
+        Transaction::builder(TxnId(id), SiteId(0))
+            .method(method)
+            .read(li(1))
+            .write(li(2))
+            .build()
+    }
+
+    fn accesses() -> Vec<(PhysicalItemId, AccessMode)> {
+        vec![(pi(1, 0), AccessMode::Read), (pi(2, 1), AccessMode::Write)]
+    }
+
+    fn grant(txn: u64, item: PhysicalItemId, class: GrantClass, value: Option<Value>) -> ReplyMsg {
+        ReplyMsg::Grant {
+            txn: TxnId(txn),
+            item,
+            lock: LockMode::Read,
+            class,
+            value,
+        }
+    }
+
+    #[test]
+    fn two_pl_happy_path_commits_and_releases() {
+        let mut ri = RequestIssuer::new(
+            txn(1, CcMethod::TwoPhaseLocking),
+            TsTuple::new(Timestamp(0), 10),
+            accesses(),
+        );
+        let out = ri.start();
+        assert_eq!(out.sends.len(), 2);
+        assert!(matches!(out.sends[0], RequestMsg::Access { .. }));
+        assert_eq!(ri.phase(), RiPhase::Requesting);
+
+        let out = ri.on_reply(&grant(1, pi(1, 0), GrantClass::Normal, Some(42)));
+        assert!(out.actions.is_empty());
+        let out = ri.on_reply(&grant(1, pi(2, 1), GrantClass::Normal, None));
+        assert_eq!(out.actions, vec![RiAction::StartExecution]);
+        assert_eq!(ri.phase(), RiPhase::Executing);
+        assert_eq!(ri.read_value(li(1)), Some(42));
+
+        ri.set_write_value(li(2), 777);
+        let out = ri.on_execution_done();
+        assert_eq!(out.actions, vec![RiAction::Committed, RiAction::FullyReleased]);
+        assert_eq!(out.sends.len(), 2);
+        let release_value = out.sends.iter().find_map(|m| match m {
+            RequestMsg::Release {
+                item, write_value, ..
+            } if *item == pi(2, 1) => Some(*write_value),
+            _ => None,
+        });
+        assert_eq!(release_value, Some(Some(777)));
+        assert_eq!(ri.phase(), RiPhase::Finished);
+    }
+
+    #[test]
+    fn to_rejection_aborts_everything() {
+        let mut ri = RequestIssuer::new(
+            txn(2, CcMethod::TimestampOrdering),
+            TsTuple::new(Timestamp(5), 10),
+            accesses(),
+        );
+        ri.start();
+        ri.on_reply(&grant(2, pi(1, 0), GrantClass::Normal, Some(1)));
+        let out = ri.on_reply(&ReplyMsg::Reject {
+            txn: TxnId(2),
+            item: pi(2, 1),
+        });
+        assert_eq!(out.actions, vec![RiAction::Restart { rejected: true }]);
+        assert_eq!(out.sends.len(), 2, "aborts go to every accessed item");
+        assert!(out.sends.iter().all(|m| matches!(m, RequestMsg::Abort { .. })));
+        assert_eq!(ri.phase(), RiPhase::Aborted);
+        // Stale replies after the abort are ignored.
+        let out = ri.on_reply(&grant(2, pi(2, 1), GrantClass::Normal, None));
+        assert!(out.sends.is_empty() && out.actions.is_empty());
+    }
+
+    #[test]
+    fn pa_backoff_round_broadcasts_max_timestamp() {
+        let mut ri = RequestIssuer::new(
+            txn(3, CcMethod::PrecedenceAgreement),
+            TsTuple::new(Timestamp(10), 5),
+            accesses(),
+        );
+        ri.start();
+        let out = ri.on_reply(&ReplyMsg::Backoff {
+            txn: TxnId(3),
+            item: pi(1, 0),
+            new_ts: Timestamp(30),
+        });
+        assert!(out.actions.is_empty(), "waits for the second item's reply");
+        let out = ri.on_reply(&ReplyMsg::Backoff {
+            txn: TxnId(3),
+            item: pi(2, 1),
+            new_ts: Timestamp(45),
+        });
+        assert_eq!(out.actions, vec![RiAction::BackoffRound]);
+        assert_eq!(out.sends.len(), 2);
+        for msg in &out.sends {
+            match msg {
+                RequestMsg::UpdatedTs { new_ts, .. } => assert_eq!(*new_ts, Timestamp(45)),
+                other => panic!("expected UpdatedTs, got {other:?}"),
+            }
+        }
+        assert_eq!(ri.ts().ts, Timestamp(45));
+        assert_eq!(ri.phase(), RiPhase::AwaitingBackoffGrants);
+        // Grants now complete the negotiation.
+        ri.on_reply(&grant(3, pi(1, 0), GrantClass::Normal, Some(0)));
+        let out = ri.on_reply(&grant(3, pi(2, 1), GrantClass::Normal, None));
+        assert_eq!(out.actions, vec![RiAction::StartExecution]);
+    }
+
+    #[test]
+    fn pa_mixed_grant_and_backoff_still_rounds() {
+        let mut ri = RequestIssuer::new(
+            txn(4, CcMethod::PrecedenceAgreement),
+            TsTuple::new(Timestamp(10), 5),
+            accesses(),
+        );
+        ri.start();
+        ri.on_reply(&grant(4, pi(1, 0), GrantClass::Normal, Some(3)));
+        let out = ri.on_reply(&ReplyMsg::Backoff {
+            txn: TxnId(4),
+            item: pi(2, 1),
+            new_ts: Timestamp(20),
+        });
+        assert_eq!(out.actions, vec![RiAction::BackoffRound]);
+        // The update is broadcast to all queues, including the granted one.
+        assert_eq!(out.sends.len(), 2);
+        let out = ri.on_reply(&grant(4, pi(2, 1), GrantClass::Normal, None));
+        assert_eq!(out.actions, vec![RiAction::StartExecution]);
+    }
+
+    #[test]
+    fn to_semi_lock_path_demotes_then_releases_after_normal_grants() {
+        let mut ri = RequestIssuer::new(
+            txn(5, CcMethod::TimestampOrdering),
+            TsTuple::new(Timestamp(10), 5),
+            accesses(),
+        );
+        ri.start();
+        ri.on_reply(&grant(5, pi(1, 0), GrantClass::PreScheduled, Some(9)));
+        let out = ri.on_reply(&grant(5, pi(2, 1), GrantClass::Normal, None));
+        assert_eq!(out.actions, vec![RiAction::StartExecution]);
+        let out = ri.on_execution_done();
+        assert_eq!(out.actions, vec![RiAction::Committed]);
+        assert!(out.sends.iter().all(|m| matches!(m, RequestMsg::Demote { .. })));
+        assert_eq!(ri.phase(), RiPhase::AwaitingNormalGrants);
+        // The normal grant for the pre-scheduled item arrives later.
+        let out = ri.on_reply(&grant(5, pi(1, 0), GrantClass::Normal, None));
+        assert_eq!(out.actions, vec![RiAction::FullyReleased]);
+        assert!(out.sends.iter().all(|m| matches!(m, RequestMsg::Release { .. })));
+        assert_eq!(ri.phase(), RiPhase::Finished);
+    }
+
+    #[test]
+    fn to_without_prescheduled_releases_directly() {
+        let mut ri = RequestIssuer::new(
+            txn(6, CcMethod::TimestampOrdering),
+            TsTuple::new(Timestamp(10), 5),
+            accesses(),
+        );
+        ri.start();
+        ri.on_reply(&grant(6, pi(1, 0), GrantClass::Normal, Some(9)));
+        ri.on_reply(&grant(6, pi(2, 1), GrantClass::Normal, None));
+        let out = ri.on_execution_done();
+        assert_eq!(out.actions, vec![RiAction::Committed, RiAction::FullyReleased]);
+        assert!(out.sends.iter().all(|m| matches!(m, RequestMsg::Release { .. })));
+    }
+
+    #[test]
+    fn deadlock_abort_only_while_waiting() {
+        let mut ri = RequestIssuer::new(
+            txn(7, CcMethod::TwoPhaseLocking),
+            TsTuple::new(Timestamp(0), 10),
+            accesses(),
+        );
+        ri.start();
+        let out = ri.abort_for_deadlock();
+        assert_eq!(out.actions, vec![RiAction::Restart { rejected: false }]);
+        assert_eq!(ri.phase(), RiPhase::Aborted);
+
+        // Once executing, a deadlock abort is refused (the transaction is not
+        // waiting for anything).
+        let mut ri = RequestIssuer::new(
+            txn(8, CcMethod::TwoPhaseLocking),
+            TsTuple::new(Timestamp(0), 10),
+            accesses(),
+        );
+        ri.start();
+        ri.on_reply(&grant(8, pi(1, 0), GrantClass::Normal, Some(1)));
+        ri.on_reply(&grant(8, pi(2, 1), GrantClass::Normal, None));
+        assert_eq!(ri.phase(), RiPhase::Executing);
+        let out = ri.abort_for_deadlock();
+        assert!(out.sends.is_empty() && out.actions.is_empty());
+        assert_eq!(ri.phase(), RiPhase::Executing);
+    }
+
+    #[test]
+    fn empty_transaction_executes_immediately() {
+        let t = Transaction::builder(TxnId(9), SiteId(0)).build();
+        let mut ri = RequestIssuer::new(t, TsTuple::new(Timestamp(1), 1), vec![]);
+        let out = ri.start();
+        assert!(out.sends.is_empty());
+        assert_eq!(out.actions, vec![RiAction::StartExecution]);
+        let out = ri.on_execution_done();
+        assert_eq!(out.actions, vec![RiAction::Committed, RiAction::FullyReleased]);
+    }
+
+    #[test]
+    fn default_write_value_is_txn_id() {
+        let mut ri = RequestIssuer::new(
+            txn(11, CcMethod::TwoPhaseLocking),
+            TsTuple::new(Timestamp(0), 10),
+            accesses(),
+        );
+        ri.start();
+        ri.on_reply(&grant(11, pi(1, 0), GrantClass::Normal, Some(1)));
+        ri.on_reply(&grant(11, pi(2, 1), GrantClass::Normal, None));
+        let out = ri.on_execution_done();
+        let release_value = out.sends.iter().find_map(|m| match m {
+            RequestMsg::Release {
+                item, write_value, ..
+            } if *item == pi(2, 1) => Some(*write_value),
+            _ => None,
+        });
+        assert_eq!(release_value, Some(Some(11)));
+    }
+}

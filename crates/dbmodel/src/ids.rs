@@ -1,0 +1,193 @@
+//! Identifier newtypes and the timestamp tuple.
+//!
+//! The paper identifies transactions, sites, logical data items and physical
+//! copies; each gets a `Copy` newtype so the rest of the codebase cannot mix
+//! them up. [`Timestamp`] is the T/O and PA timestamp (a logical clock value),
+//! and [`TsTuple`] is PA's `(TS, INT)` pair — the initial timestamp plus the
+//! backoff interval used to compute `TS' = TS + k·INT`.
+
+use std::fmt;
+
+/// Identifier of a computer site in the distributed system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SiteId(pub u32);
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// Identifier of a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnId(pub u64);
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Identifier of a logical data item `Di`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LogicalItemId(pub u64);
+
+impl fmt::Display for LogicalItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "D{}", self.0)
+    }
+}
+
+/// Identifier of a physical copy `Dij`: logical item `Di` stored at site `j`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhysicalItemId {
+    /// The logical item this is a copy of.
+    pub logical: LogicalItemId,
+    /// The site holding this copy.
+    pub site: SiteId,
+}
+
+impl PhysicalItemId {
+    /// Convenience constructor.
+    pub fn new(logical: LogicalItemId, site: SiteId) -> Self {
+        PhysicalItemId { logical, site }
+    }
+}
+
+impl fmt::Display for PhysicalItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "D{}@S{}", self.logical.0, self.site.0)
+    }
+}
+
+/// A logical-clock timestamp as used by T/O and PA.
+///
+/// Timestamps are drawn from the natural numbers (paper, Section 4.3); ties
+/// between transactions are broken by the unified precedence order, never by
+/// the timestamp alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The smallest timestamp.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// The timestamp `self + k·interval`, saturating on overflow.
+    pub fn backed_off(self, interval: u64, k: u64) -> Timestamp {
+        Timestamp(self.0.saturating_add(interval.saturating_mul(k)))
+    }
+
+    /// The smallest `TS' = self + k·interval` with `k ≥ 1` such that
+    /// `TS' > floor`. This is PA's backoff computation at a data queue.
+    ///
+    /// `interval` must be non-zero; a zero interval is treated as 1 so the
+    /// computation always terminates.
+    pub fn min_backoff_above(self, interval: u64, floor: Timestamp) -> Timestamp {
+        let interval = interval.max(1);
+        if self.0.saturating_add(interval) > floor.0 {
+            return Timestamp(self.0.saturating_add(interval));
+        }
+        // Need the smallest k with self + k*interval > floor, i.e.
+        // k = floor((floor - self) / interval) + 1.
+        let gap = floor.0 - self.0;
+        let k = gap / interval + 1;
+        self.backed_off(interval, k)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ts{}", self.0)
+    }
+}
+
+/// PA's per-transaction timestamp tuple `(TS, INT)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TsTuple {
+    /// The transaction's (possibly backed-off) timestamp.
+    pub ts: Timestamp,
+    /// The transaction's backoff interval `INT`.
+    pub interval: u64,
+}
+
+impl TsTuple {
+    /// Convenience constructor.
+    pub fn new(ts: Timestamp, interval: u64) -> Self {
+        TsTuple { ts, interval }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_compact() {
+        assert_eq!(SiteId(3).to_string(), "S3");
+        assert_eq!(TxnId(17).to_string(), "T17");
+        assert_eq!(LogicalItemId(5).to_string(), "D5");
+        assert_eq!(
+            PhysicalItemId::new(LogicalItemId(5), SiteId(2)).to_string(),
+            "D5@S2"
+        );
+        assert_eq!(Timestamp(9).to_string(), "ts9");
+    }
+
+    #[test]
+    fn backed_off_multiplies_interval() {
+        assert_eq!(Timestamp(10).backed_off(5, 3), Timestamp(25));
+        assert_eq!(Timestamp(u64::MAX - 1).backed_off(10, 10), Timestamp(u64::MAX));
+    }
+
+    #[test]
+    fn min_backoff_goes_just_above_floor() {
+        // self=10, INT=4: candidates 14, 18, 22, ...
+        assert_eq!(
+            Timestamp(10).min_backoff_above(4, Timestamp(12)),
+            Timestamp(14)
+        );
+        assert_eq!(
+            Timestamp(10).min_backoff_above(4, Timestamp(14)),
+            Timestamp(18)
+        );
+        assert_eq!(
+            Timestamp(10).min_backoff_above(4, Timestamp(21)),
+            Timestamp(22)
+        );
+        // Already above the floor: still must move by at least one interval
+        // (k ∈ N, k ≥ 1 — the request is being backed off, so it changes).
+        assert_eq!(
+            Timestamp(10).min_backoff_above(4, Timestamp(3)),
+            Timestamp(14)
+        );
+    }
+
+    #[test]
+    fn min_backoff_handles_zero_interval() {
+        assert_eq!(
+            Timestamp(10).min_backoff_above(0, Timestamp(12)),
+            Timestamp(13)
+        );
+    }
+
+    #[test]
+    fn min_backoff_result_exceeds_floor_property() {
+        for start in [0u64, 1, 7, 100, 1000] {
+            for interval in [1u64, 2, 5, 17] {
+                for floor in [0u64, 3, 99, 100, 101, 5000] {
+                    let got = Timestamp(start).min_backoff_above(interval, Timestamp(floor));
+                    assert!(got.0 > floor, "start={start} int={interval} floor={floor}");
+                    assert!(got.0 > start);
+                    assert_eq!((got.0 - start) % interval, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn physical_item_ordering_groups_by_logical_then_site() {
+        let a = PhysicalItemId::new(LogicalItemId(1), SiteId(9));
+        let b = PhysicalItemId::new(LogicalItemId(2), SiteId(0));
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,158 @@
+//! Logical and physical operations and their conflict predicates.
+//!
+//! A transaction is a sequence of *logical* read/write operations on logical
+//! data items; the system translates each logical operation into *physical*
+//! operations on the physical copies (read-one/write-all in this
+//! reproduction, see [`crate::catalog`]). Two operations conflict when they
+//! access the same item and at least one of them writes (paper, Section 2).
+
+use crate::ids::{LogicalItemId, PhysicalItemId, TxnId};
+
+/// Whether an operation reads or writes its data item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessMode {
+    /// A read access.
+    Read,
+    /// A write access.
+    Write,
+}
+
+impl AccessMode {
+    /// True if at least one of the two modes is a write — i.e. the modes
+    /// conflict when applied to the same data item.
+    pub fn conflicts_with(self, other: AccessMode) -> bool {
+        matches!(self, AccessMode::Write) || matches!(other, AccessMode::Write)
+    }
+
+    /// True if this is a write.
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessMode::Write)
+    }
+
+    /// True if this is a read.
+    pub fn is_read(self) -> bool {
+        matches!(self, AccessMode::Read)
+    }
+}
+
+/// A logical operation issued by a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LogicalOp {
+    /// The transaction issuing the operation.
+    pub txn: TxnId,
+    /// The logical data item accessed.
+    pub item: LogicalItemId,
+    /// Read or write.
+    pub mode: AccessMode,
+}
+
+impl LogicalOp {
+    /// A logical read.
+    pub fn read(txn: TxnId, item: LogicalItemId) -> Self {
+        LogicalOp {
+            txn,
+            item,
+            mode: AccessMode::Read,
+        }
+    }
+
+    /// A logical write.
+    pub fn write(txn: TxnId, item: LogicalItemId) -> Self {
+        LogicalOp {
+            txn,
+            item,
+            mode: AccessMode::Write,
+        }
+    }
+
+    /// Two logical operations conflict when they come from distinct
+    /// transactions, access the same logical item, and at least one writes.
+    pub fn conflicts_with(&self, other: &LogicalOp) -> bool {
+        self.txn != other.txn && self.item == other.item && self.mode.conflicts_with(other.mode)
+    }
+}
+
+/// A physical operation `r(Dij)` / `w(Dij)` on one physical copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PhysicalOp {
+    /// The transaction issuing the operation.
+    pub txn: TxnId,
+    /// The physical copy accessed.
+    pub item: PhysicalItemId,
+    /// Read or write.
+    pub mode: AccessMode,
+}
+
+impl PhysicalOp {
+    /// A physical read.
+    pub fn read(txn: TxnId, item: PhysicalItemId) -> Self {
+        PhysicalOp {
+            txn,
+            item,
+            mode: AccessMode::Read,
+        }
+    }
+
+    /// A physical write.
+    pub fn write(txn: TxnId, item: PhysicalItemId) -> Self {
+        PhysicalOp {
+            txn,
+            item,
+            mode: AccessMode::Write,
+        }
+    }
+
+    /// Two physical operations conflict when they come from distinct
+    /// transactions, access the same physical copy, and at least one writes.
+    pub fn conflicts_with(&self, other: &PhysicalOp) -> bool {
+        self.txn != other.txn && self.item == other.item && self.mode.conflicts_with(other.mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::SiteId;
+
+    fn li(i: u64) -> LogicalItemId {
+        LogicalItemId(i)
+    }
+    fn pi(i: u64, s: u32) -> PhysicalItemId {
+        PhysicalItemId::new(LogicalItemId(i), SiteId(s))
+    }
+
+    #[test]
+    fn mode_conflicts() {
+        use AccessMode::*;
+        assert!(!Read.conflicts_with(Read));
+        assert!(Read.conflicts_with(Write));
+        assert!(Write.conflicts_with(Read));
+        assert!(Write.conflicts_with(Write));
+        assert!(Write.is_write() && !Write.is_read());
+        assert!(Read.is_read() && !Read.is_write());
+    }
+
+    #[test]
+    fn logical_conflicts_require_same_item_distinct_txn_and_a_write() {
+        let r1 = LogicalOp::read(TxnId(1), li(7));
+        let w2 = LogicalOp::write(TxnId(2), li(7));
+        let w2_other_item = LogicalOp::write(TxnId(2), li(8));
+        let r2 = LogicalOp::read(TxnId(2), li(7));
+        let w1 = LogicalOp::write(TxnId(1), li(7));
+
+        assert!(r1.conflicts_with(&w2));
+        assert!(w2.conflicts_with(&r1));
+        assert!(!r1.conflicts_with(&w2_other_item));
+        assert!(!r1.conflicts_with(&r2));
+        assert!(!r1.conflicts_with(&w1), "same transaction never conflicts with itself");
+    }
+
+    #[test]
+    fn physical_conflicts_distinguish_copies() {
+        let w_a = PhysicalOp::write(TxnId(1), pi(7, 0));
+        let w_b = PhysicalOp::write(TxnId(2), pi(7, 1));
+        let w_c = PhysicalOp::write(TxnId(2), pi(7, 0));
+        assert!(!w_a.conflicts_with(&w_b), "different copies do not conflict physically");
+        assert!(w_a.conflicts_with(&w_c));
+    }
+}

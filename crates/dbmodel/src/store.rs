@@ -1,0 +1,257 @@
+//! Per-site in-memory storage of physical data items.
+//!
+//! The store is deliberately simple — a map from physical item to a
+//! [`Value`] plus a write-version counter — because the concurrency-control
+//! protocols above it are what this reproduction studies. The version counter
+//! lets tests and examples observe lost updates or out-of-order writes
+//! directly at the storage level, independent of the serializability oracle.
+
+use std::collections::BTreeMap;
+
+use crate::ids::{PhysicalItemId, SiteId, TxnId};
+
+/// The value stored in a physical data item.
+///
+/// Values are 64-bit integers; that is sufficient for every workload in the
+/// reproduction (account balances, stock counts, counters) while keeping the
+/// store trivially cloneable for snapshot-based assertions in tests.
+pub type Value = i64;
+
+/// Errors reported by the store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The physical item is not stored at this site.
+    UnknownItem(PhysicalItemId),
+    /// The physical item belongs to a different site than this store serves.
+    WrongSite {
+        /// The site this store serves.
+        store_site: SiteId,
+        /// The item that was addressed to it.
+        item: PhysicalItemId,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::UnknownItem(item) => write!(f, "item {item} not stored here"),
+            StoreError::WrongSite { store_site, item } => {
+                write!(f, "item {item} addressed to store of site {store_site}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// A record for one physical item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Record {
+    value: Value,
+    version: u64,
+    last_writer: Option<TxnId>,
+}
+
+/// The storage of one site: every physical copy the site holds.
+#[derive(Debug, Clone)]
+pub struct SiteStore {
+    site: SiteId,
+    records: BTreeMap<PhysicalItemId, Record>,
+}
+
+impl SiteStore {
+    /// Create an empty store for `site`.
+    pub fn new(site: SiteId) -> Self {
+        SiteStore {
+            site,
+            records: BTreeMap::new(),
+        }
+    }
+
+    /// The site this store serves.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// Number of physical items stored.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the store holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Install a physical item with an initial value. Overwrites any existing
+    /// record and resets its version to zero.
+    pub fn install(&mut self, item: PhysicalItemId, value: Value) -> Result<(), StoreError> {
+        self.check_site(item)?;
+        self.records.insert(
+            item,
+            Record {
+                value,
+                version: 0,
+                last_writer: None,
+            },
+        );
+        Ok(())
+    }
+
+    /// Read the current value of an item.
+    pub fn read(&self, item: PhysicalItemId) -> Result<Value, StoreError> {
+        self.check_site(item)?;
+        self.records
+            .get(&item)
+            .map(|r| r.value)
+            .ok_or(StoreError::UnknownItem(item))
+    }
+
+    /// Write a new value on behalf of `writer`, bumping the version counter.
+    pub fn write(
+        &mut self,
+        item: PhysicalItemId,
+        value: Value,
+        writer: TxnId,
+    ) -> Result<(), StoreError> {
+        self.check_site(item)?;
+        let rec = self
+            .records
+            .get_mut(&item)
+            .ok_or(StoreError::UnknownItem(item))?;
+        rec.value = value;
+        rec.version += 1;
+        rec.last_writer = Some(writer);
+        Ok(())
+    }
+
+    /// The number of committed writes applied to the item so far.
+    pub fn version(&self, item: PhysicalItemId) -> Result<u64, StoreError> {
+        self.check_site(item)?;
+        self.records
+            .get(&item)
+            .map(|r| r.version)
+            .ok_or(StoreError::UnknownItem(item))
+    }
+
+    /// The transaction that last wrote the item, if any write has occurred.
+    pub fn last_writer(&self, item: PhysicalItemId) -> Result<Option<TxnId>, StoreError> {
+        self.check_site(item)?;
+        self.records
+            .get(&item)
+            .map(|r| r.last_writer)
+            .ok_or(StoreError::UnknownItem(item))
+    }
+
+    /// Iterate over `(item, value)` pairs in item order.
+    pub fn iter(&self) -> impl Iterator<Item = (PhysicalItemId, Value)> + '_ {
+        self.records.iter().map(|(&k, r)| (k, r.value))
+    }
+
+    fn check_site(&self, item: PhysicalItemId) -> Result<(), StoreError> {
+        if item.site != self.site {
+            Err(StoreError::WrongSite {
+                store_site: self.site,
+                item,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Build one store per site and install every physical copy from the catalog
+/// with the given initial value.
+pub fn stores_from_catalog(
+    catalog: &crate::catalog::Catalog,
+    initial: Value,
+) -> BTreeMap<SiteId, SiteStore> {
+    let mut stores: BTreeMap<SiteId, SiteStore> = catalog
+        .sites()
+        .iter()
+        .map(|&s| (s, SiteStore::new(s)))
+        .collect();
+    for item in catalog.all_physical_items() {
+        if let Some(store) = stores.get_mut(&item.site) {
+            store
+                .install(item, initial)
+                .expect("catalog item installed at its own site");
+        }
+    }
+    stores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{Catalog, ReplicationPolicy};
+    use crate::ids::LogicalItemId;
+
+    fn pi(i: u64, s: u32) -> PhysicalItemId {
+        PhysicalItemId::new(LogicalItemId(i), SiteId(s))
+    }
+
+    #[test]
+    fn install_read_write_roundtrip() {
+        let mut store = SiteStore::new(SiteId(0));
+        store.install(pi(1, 0), 100).unwrap();
+        assert_eq!(store.read(pi(1, 0)).unwrap(), 100);
+        assert_eq!(store.version(pi(1, 0)).unwrap(), 0);
+        store.write(pi(1, 0), 250, TxnId(7)).unwrap();
+        assert_eq!(store.read(pi(1, 0)).unwrap(), 250);
+        assert_eq!(store.version(pi(1, 0)).unwrap(), 1);
+        assert_eq!(store.last_writer(pi(1, 0)).unwrap(), Some(TxnId(7)));
+    }
+
+    #[test]
+    fn unknown_item_errors() {
+        let mut store = SiteStore::new(SiteId(0));
+        assert_eq!(
+            store.read(pi(5, 0)).unwrap_err(),
+            StoreError::UnknownItem(pi(5, 0))
+        );
+        assert!(store.write(pi(5, 0), 1, TxnId(1)).is_err());
+        assert!(store.version(pi(5, 0)).is_err());
+    }
+
+    #[test]
+    fn wrong_site_is_rejected() {
+        let mut store = SiteStore::new(SiteId(0));
+        let err = store.install(pi(1, 3), 0).unwrap_err();
+        assert!(matches!(err, StoreError::WrongSite { .. }));
+        assert!(store.read(pi(1, 3)).is_err());
+    }
+
+    #[test]
+    fn reinstall_resets_version() {
+        let mut store = SiteStore::new(SiteId(0));
+        store.install(pi(1, 0), 1).unwrap();
+        store.write(pi(1, 0), 2, TxnId(1)).unwrap();
+        store.install(pi(1, 0), 9).unwrap();
+        assert_eq!(store.version(pi(1, 0)).unwrap(), 0);
+        assert_eq!(store.read(pi(1, 0)).unwrap(), 9);
+        assert_eq!(store.last_writer(pi(1, 0)).unwrap(), None);
+    }
+
+    #[test]
+    fn stores_from_catalog_installs_all_copies() {
+        let catalog = Catalog::generate(3, 4, ReplicationPolicy::FullReplication);
+        let stores = stores_from_catalog(&catalog, 42);
+        assert_eq!(stores.len(), 3);
+        for (&site, store) in &stores {
+            assert_eq!(store.site(), site);
+            assert_eq!(store.len(), 4);
+            for (item, value) in store.iter() {
+                assert_eq!(item.site, site);
+                assert_eq!(value, 42);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_store_reports_empty() {
+        let store = SiteStore::new(SiteId(1));
+        assert!(store.is_empty());
+        assert_eq!(store.len(), 0);
+    }
+}

@@ -1,0 +1,410 @@
+//! Metric collection for simulation runs.
+
+use std::collections::BTreeMap;
+
+use dbmodel::{AccessMode, CcMethod, PhysicalItemId};
+use simkit::stats::{Counter, Histogram, RunningStat};
+use simkit::time::{Duration, SimTime};
+
+/// How a transaction attempt (one incarnation) ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnOutcome {
+    /// The incarnation executed and committed.
+    Committed,
+    /// The incarnation was rejected by the T/O rule and restarted.
+    RejectedRestart,
+    /// The incarnation was aborted as a deadlock victim and restarted.
+    DeadlockRestart,
+}
+
+/// Statistics broken down for one concurrency-control method.
+#[derive(Debug, Clone)]
+pub struct MethodStats {
+    /// Committed transactions.
+    pub committed: Counter,
+    /// Transaction restarts caused by T/O rejections.
+    pub rejections: Counter,
+    /// Transaction restarts caused by deadlock victim selection.
+    pub deadlock_aborts: Counter,
+    /// PA backoff rounds performed.
+    pub backoff_rounds: Counter,
+    /// System time (submission to execution) of committed transactions, in
+    /// seconds.
+    pub system_time: Histogram,
+    /// Lock-hold time (grant to release) of requests whose transaction
+    /// committed, in seconds.
+    pub lock_time_ok: RunningStat,
+    /// Lock-hold time of requests whose transaction was aborted, in seconds.
+    pub lock_time_aborted: RunningStat,
+    /// Per-request acceptance outcomes, split by access mode: `(accepted,
+    /// rejected-or-backed-off)` counts for reads and writes. For T/O the
+    /// second component counts rejections; for PA it counts backoffs.
+    pub read_requests: (u64, u64),
+    /// See [`MethodStats::read_requests`].
+    pub write_requests: (u64, u64),
+}
+
+impl Default for MethodStats {
+    fn default() -> Self {
+        MethodStats {
+            committed: Counter::new(),
+            rejections: Counter::new(),
+            deadlock_aborts: Counter::new(),
+            backoff_rounds: Counter::new(),
+            // 10 ms buckets, up to 20 s of system time before overflow.
+            system_time: Histogram::new(0.010, 2000),
+            lock_time_ok: RunningStat::new(),
+            lock_time_aborted: RunningStat::new(),
+            read_requests: (0, 0),
+            write_requests: (0, 0),
+        }
+    }
+}
+
+impl MethodStats {
+    /// Mean system time in seconds (the paper's `S`) for this method.
+    pub fn mean_system_time(&self) -> f64 {
+        self.system_time.mean()
+    }
+
+    /// Total restarts (rejections plus deadlock aborts).
+    pub fn restarts(&self) -> u64 {
+        self.rejections.get() + self.deadlock_aborts.get()
+    }
+
+    /// Probability that a read request is rejected (T/O) or backed off (PA).
+    pub fn read_denial_prob(&self) -> f64 {
+        ratio(self.read_requests.1, self.read_requests.0 + self.read_requests.1)
+    }
+
+    /// Probability that a write request is rejected (T/O) or backed off (PA).
+    pub fn write_denial_prob(&self) -> f64 {
+        ratio(self.write_requests.1, self.write_requests.0 + self.write_requests.1)
+    }
+
+    /// Probability that a transaction incarnation aborts due to deadlock.
+    pub fn deadlock_abort_prob(&self) -> f64 {
+        let attempts = self.committed.get() + self.restarts();
+        ratio(self.deadlock_aborts.get(), attempts)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// All metrics of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimMetrics {
+    per_method: BTreeMap<CcMethod, MethodStats>,
+    /// Read locks granted per physical item.
+    read_grants: BTreeMap<PhysicalItemId, u64>,
+    /// Write locks granted per physical item.
+    write_grants: BTreeMap<PhysicalItemId, u64>,
+    /// Committed transactions across all methods.
+    pub total_committed: Counter,
+    /// Transactions observed blocked (waiting for at least one grant) when a
+    /// deadlock scan ran; a proxy for the paper's "transactions blocked by
+    /// deadlocked transactions".
+    pub blocked_observations: Counter,
+    /// Overall system-time statistics in seconds.
+    pub overall_system_time: RunningStat,
+    start: SimTime,
+    end: SimTime,
+}
+
+impl Default for SimMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimMetrics {
+    /// Create an empty metrics collection.
+    pub fn new() -> Self {
+        SimMetrics {
+            per_method: CcMethod::ALL
+                .iter()
+                .map(|&m| (m, MethodStats::default()))
+                .collect(),
+            read_grants: BTreeMap::new(),
+            write_grants: BTreeMap::new(),
+            total_committed: Counter::new(),
+            blocked_observations: Counter::new(),
+            overall_system_time: RunningStat::new(),
+            start: SimTime::ZERO,
+            end: SimTime::ZERO,
+        }
+    }
+
+    /// Record the simulated time span covered by the run (used to turn counts
+    /// into rates).
+    pub fn set_time_span(&mut self, start: SimTime, end: SimTime) {
+        self.start = start;
+        self.end = end.max(start);
+    }
+
+    /// The simulated wall-clock length of the run in seconds.
+    pub fn elapsed_secs(&self) -> f64 {
+        (self.end - self.start).as_secs_f64()
+    }
+
+    /// The statistics of one method.
+    pub fn method(&self, m: CcMethod) -> &MethodStats {
+        &self.per_method[&m]
+    }
+
+    /// Mutable access to the statistics of one method.
+    pub fn method_mut(&mut self, m: CcMethod) -> &mut MethodStats {
+        self.per_method.get_mut(&m).expect("all methods present")
+    }
+
+    /// Record a committed transaction and its system time.
+    pub fn record_commit(&mut self, method: CcMethod, system_time: Duration) {
+        let secs = system_time.as_secs_f64();
+        self.method_mut(method).committed.incr();
+        self.method_mut(method).system_time.record(secs);
+        self.total_committed.incr();
+        self.overall_system_time.record(secs);
+    }
+
+    /// Record a restart of a transaction incarnation.
+    pub fn record_restart(&mut self, method: CcMethod, outcome: TxnOutcome) {
+        match outcome {
+            TxnOutcome::RejectedRestart => self.method_mut(method).rejections.incr(),
+            TxnOutcome::DeadlockRestart => self.method_mut(method).deadlock_aborts.incr(),
+            TxnOutcome::Committed => {}
+        }
+    }
+
+    /// Record a PA backoff round (one per transaction incarnation that had to
+    /// back off its timestamp).
+    pub fn record_backoff_round(&mut self, method: CcMethod) {
+        self.method_mut(method).backoff_rounds.incr();
+    }
+
+    /// Record that a lock was granted on an item (feeds the per-queue
+    /// throughputs λr(j), λw(j) of the STL model).
+    pub fn record_grant(&mut self, item: PhysicalItemId, mode: AccessMode) {
+        let map = match mode {
+            AccessMode::Read => &mut self.read_grants,
+            AccessMode::Write => &mut self.write_grants,
+        };
+        *map.entry(item).or_insert(0) += 1;
+    }
+
+    /// Record the hold time of one lock (grant to release/demote), noting
+    /// whether the owning transaction incarnation was aborted.
+    pub fn record_lock_hold(&mut self, method: CcMethod, held: Duration, aborted: bool) {
+        let stats = self.method_mut(method);
+        if aborted {
+            stats.lock_time_aborted.record(held.as_secs_f64());
+        } else {
+            stats.lock_time_ok.record(held.as_secs_f64());
+        }
+    }
+
+    /// Record the acceptance outcome of one request: `denied` is a T/O
+    /// rejection or PA backoff.
+    pub fn record_request_outcome(&mut self, method: CcMethod, mode: AccessMode, denied: bool) {
+        let stats = self.method_mut(method);
+        let slot = match mode {
+            AccessMode::Read => &mut stats.read_requests,
+            AccessMode::Write => &mut stats.write_requests,
+        };
+        if denied {
+            slot.1 += 1;
+        } else {
+            slot.0 += 1;
+        }
+    }
+
+    /// Record that a transaction was observed blocked during a deadlock scan.
+    pub fn record_blocked_observation(&mut self) {
+        self.blocked_observations.incr();
+    }
+
+    /// Read-lock throughput of one item, in grants per simulated second
+    /// (the paper's λr(j)).
+    pub fn read_throughput(&self, item: PhysicalItemId) -> f64 {
+        rate(self.read_grants.get(&item).copied().unwrap_or(0), self.elapsed_secs())
+    }
+
+    /// Write-lock throughput of one item (λw(j)).
+    pub fn write_throughput(&self, item: PhysicalItemId) -> f64 {
+        rate(self.write_grants.get(&item).copied().unwrap_or(0), self.elapsed_secs())
+    }
+
+    /// Average read-lock throughput over all items that granted at least one
+    /// lock (the paper's λ̄r).
+    pub fn avg_read_throughput(&self) -> f64 {
+        avg_rate(&self.read_grants, self.elapsed_secs())
+    }
+
+    /// Average write-lock throughput over all items (λ̄w).
+    pub fn avg_write_throughput(&self) -> f64 {
+        avg_rate(&self.write_grants, self.elapsed_secs())
+    }
+
+    /// Total system throughput λA: the sum of all per-item read and write
+    /// throughputs.
+    pub fn system_throughput(&self) -> f64 {
+        let elapsed = self.elapsed_secs();
+        let total: u64 =
+            self.read_grants.values().sum::<u64>() + self.write_grants.values().sum::<u64>();
+        rate(total, elapsed)
+    }
+
+    /// Fraction of granted locks that were read locks (the paper's Q_r).
+    pub fn read_fraction(&self) -> f64 {
+        let r: u64 = self.read_grants.values().sum();
+        let w: u64 = self.write_grants.values().sum();
+        ratio(r, r + w)
+    }
+
+    /// Committed transactions per simulated second.
+    pub fn commit_throughput(&self) -> f64 {
+        rate(self.total_committed.get(), self.elapsed_secs())
+    }
+
+    /// Mean system time over all committed transactions, in seconds (the
+    /// paper's `S`).
+    pub fn mean_system_time(&self) -> f64 {
+        self.overall_system_time.mean()
+    }
+}
+
+fn rate(count: u64, elapsed_secs: f64) -> f64 {
+    if elapsed_secs <= 0.0 {
+        0.0
+    } else {
+        count as f64 / elapsed_secs
+    }
+}
+
+fn avg_rate(map: &BTreeMap<PhysicalItemId, u64>, elapsed_secs: f64) -> f64 {
+    if map.is_empty() {
+        return 0.0;
+    }
+    let total: u64 = map.values().sum();
+    rate(total, elapsed_secs) / map.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbmodel::{LogicalItemId, SiteId};
+
+    fn pi(i: u64, s: u32) -> PhysicalItemId {
+        PhysicalItemId::new(LogicalItemId(i), SiteId(s))
+    }
+
+    fn m() -> SimMetrics {
+        let mut m = SimMetrics::new();
+        m.set_time_span(SimTime::ZERO, SimTime::from_secs(10));
+        m
+    }
+
+    #[test]
+    fn commit_updates_method_and_overall() {
+        let mut metrics = m();
+        metrics.record_commit(CcMethod::TwoPhaseLocking, Duration::from_millis(50));
+        metrics.record_commit(CcMethod::TwoPhaseLocking, Duration::from_millis(150));
+        metrics.record_commit(CcMethod::TimestampOrdering, Duration::from_millis(100));
+        assert_eq!(metrics.method(CcMethod::TwoPhaseLocking).committed.get(), 2);
+        assert_eq!(metrics.total_committed.get(), 3);
+        assert!((metrics.method(CcMethod::TwoPhaseLocking).mean_system_time() - 0.1).abs() < 0.01);
+        assert!((metrics.mean_system_time() - 0.1).abs() < 0.01);
+        assert!((metrics.commit_throughput() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn restart_counters_split_by_cause() {
+        let mut metrics = m();
+        metrics.record_restart(CcMethod::TimestampOrdering, TxnOutcome::RejectedRestart);
+        metrics.record_restart(CcMethod::TwoPhaseLocking, TxnOutcome::DeadlockRestart);
+        metrics.record_restart(CcMethod::TwoPhaseLocking, TxnOutcome::Committed);
+        assert_eq!(metrics.method(CcMethod::TimestampOrdering).rejections.get(), 1);
+        assert_eq!(metrics.method(CcMethod::TwoPhaseLocking).deadlock_aborts.get(), 1);
+        assert_eq!(metrics.method(CcMethod::TwoPhaseLocking).restarts(), 1);
+    }
+
+    #[test]
+    fn throughputs_are_rates_over_elapsed_time() {
+        let mut metrics = m();
+        for _ in 0..20 {
+            metrics.record_grant(pi(1, 0), AccessMode::Read);
+        }
+        for _ in 0..10 {
+            metrics.record_grant(pi(1, 0), AccessMode::Write);
+            metrics.record_grant(pi(2, 0), AccessMode::Write);
+        }
+        assert!((metrics.read_throughput(pi(1, 0)) - 2.0).abs() < 1e-9);
+        assert!((metrics.write_throughput(pi(1, 0)) - 1.0).abs() < 1e-9);
+        assert_eq!(metrics.read_throughput(pi(9, 9)), 0.0);
+        assert!((metrics.system_throughput() - 4.0).abs() < 1e-9);
+        assert!((metrics.avg_write_throughput() - 1.0).abs() < 1e-9);
+        assert!((metrics.read_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn request_outcome_probabilities() {
+        let mut metrics = m();
+        for _ in 0..8 {
+            metrics.record_request_outcome(CcMethod::TimestampOrdering, AccessMode::Read, false);
+        }
+        for _ in 0..2 {
+            metrics.record_request_outcome(CcMethod::TimestampOrdering, AccessMode::Read, true);
+        }
+        metrics.record_request_outcome(CcMethod::TimestampOrdering, AccessMode::Write, true);
+        let stats = metrics.method(CcMethod::TimestampOrdering);
+        assert!((stats.read_denial_prob() - 0.2).abs() < 1e-9);
+        assert!((stats.write_denial_prob() - 1.0).abs() < 1e-9);
+        assert_eq!(metrics.method(CcMethod::PrecedenceAgreement).read_denial_prob(), 0.0);
+    }
+
+    #[test]
+    fn lock_hold_split_by_abort() {
+        let mut metrics = m();
+        metrics.record_lock_hold(CcMethod::PrecedenceAgreement, Duration::from_millis(10), false);
+        metrics.record_lock_hold(CcMethod::PrecedenceAgreement, Duration::from_millis(30), false);
+        metrics.record_lock_hold(CcMethod::PrecedenceAgreement, Duration::from_millis(100), true);
+        let stats = metrics.method(CcMethod::PrecedenceAgreement);
+        assert!((stats.lock_time_ok.mean() - 0.02).abs() < 1e-9);
+        assert!((stats.lock_time_aborted.mean() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deadlock_abort_probability_uses_attempts() {
+        let mut metrics = m();
+        metrics.record_commit(CcMethod::TwoPhaseLocking, Duration::from_millis(10));
+        metrics.record_commit(CcMethod::TwoPhaseLocking, Duration::from_millis(10));
+        metrics.record_commit(CcMethod::TwoPhaseLocking, Duration::from_millis(10));
+        metrics.record_restart(CcMethod::TwoPhaseLocking, TxnOutcome::DeadlockRestart);
+        let p = metrics.method(CcMethod::TwoPhaseLocking).deadlock_abort_prob();
+        assert!((p - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_elapsed_time_gives_zero_rates() {
+        let mut metrics = SimMetrics::new();
+        metrics.record_grant(pi(1, 0), AccessMode::Read);
+        assert_eq!(metrics.read_throughput(pi(1, 0)), 0.0);
+        assert_eq!(metrics.system_throughput(), 0.0);
+        assert_eq!(metrics.commit_throughput(), 0.0);
+    }
+
+    #[test]
+    fn backoff_and_blocked_counters() {
+        let mut metrics = m();
+        metrics.record_backoff_round(CcMethod::PrecedenceAgreement);
+        metrics.record_backoff_round(CcMethod::PrecedenceAgreement);
+        metrics.record_blocked_observation();
+        assert_eq!(metrics.method(CcMethod::PrecedenceAgreement).backoff_rounds.get(), 2);
+        assert_eq!(metrics.blocked_observations.get(), 1);
+    }
+}

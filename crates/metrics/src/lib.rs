@@ -1,0 +1,12 @@
+//! # metrics — measurement of the quantities the paper's evaluation uses
+//!
+//! Section 5 of the paper defines its performance measure as the average
+//! transaction system time `S` and reasons about restart probabilities,
+//! deadlock counts, blocking, lock-hold times and per-queue read/write
+//! throughputs (the λ's of the STL model). This crate collects all of those,
+//! broken down by concurrency-control method, and exposes the aggregates the
+//! STL parameter estimator consumes.
+
+pub mod collector;
+
+pub use collector::{MethodStats, SimMetrics, TxnOutcome};

@@ -1,0 +1,139 @@
+//! Transmission-delay model.
+
+use dbmodel::SiteId;
+use simkit::dist::{Distribution, Exponential, Fixed, Uniform};
+use simkit::rng::SimRng;
+use simkit::time::Duration;
+
+/// Specification of a delay distribution, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DelaySpec {
+    /// Always exactly this many microseconds.
+    Fixed(u64),
+    /// Uniform between the two bounds (inclusive low, exclusive high).
+    Uniform(u64, u64),
+    /// Exponential with the given mean.
+    ExponentialMean(u64),
+}
+
+impl DelaySpec {
+    fn sample(&self, rng: &mut SimRng) -> Duration {
+        let us = match *self {
+            DelaySpec::Fixed(v) => Fixed(v as f64).sample(rng),
+            DelaySpec::Uniform(lo, hi) => Uniform::new(lo as f64, hi.max(lo + 1) as f64).sample(rng),
+            DelaySpec::ExponentialMean(m) => {
+                if m == 0 {
+                    0.0
+                } else {
+                    Exponential::with_mean(m as f64).sample(rng)
+                }
+            }
+        };
+        Duration::from_micros(us.max(0.0).round() as u64)
+    }
+
+    /// Expected delay of this specification.
+    pub fn mean_micros(&self) -> f64 {
+        match *self {
+            DelaySpec::Fixed(v) => v as f64,
+            DelaySpec::Uniform(lo, hi) => (lo as f64 + hi.max(lo + 1) as f64) / 2.0,
+            DelaySpec::ExponentialMean(m) => m as f64,
+        }
+    }
+}
+
+/// Latency model distinguishing intra-site ("local") from inter-site
+/// ("remote") messages.
+#[derive(Debug, Clone)]
+pub struct LatencyModel {
+    local: DelaySpec,
+    remote: DelaySpec,
+    rng: SimRng,
+}
+
+impl LatencyModel {
+    /// Create a latency model from local/remote delay specs and an RNG stream.
+    pub fn new(local: DelaySpec, remote: DelaySpec, rng: SimRng) -> Self {
+        LatencyModel { local, remote, rng }
+    }
+
+    /// A model with zero delay everywhere — useful in unit tests where only
+    /// protocol logic matters.
+    pub fn instantaneous() -> Self {
+        LatencyModel::new(DelaySpec::Fixed(0), DelaySpec::Fixed(0), SimRng::new(0))
+    }
+
+    /// Sample the delay of one message from `from` to `to`.
+    pub fn delay(&mut self, from: SiteId, to: SiteId) -> Duration {
+        let spec = if from == to { self.local } else { self.remote };
+        spec.sample(&mut self.rng)
+    }
+
+    /// Expected one-way delay between two (distinct or equal) sites.
+    pub fn mean_delay_micros(&self, from: SiteId, to: SiteId) -> f64 {
+        if from == to {
+            self.local.mean_micros()
+        } else {
+            self.remote.mean_micros()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_delay_is_exact() {
+        let mut m = LatencyModel::new(DelaySpec::Fixed(5), DelaySpec::Fixed(100), SimRng::new(1));
+        assert_eq!(m.delay(SiteId(0), SiteId(0)), Duration::from_micros(5));
+        assert_eq!(m.delay(SiteId(0), SiteId(1)), Duration::from_micros(100));
+    }
+
+    #[test]
+    fn uniform_delay_in_bounds() {
+        let mut m = LatencyModel::new(
+            DelaySpec::Uniform(10, 20),
+            DelaySpec::Uniform(50, 60),
+            SimRng::new(2),
+        );
+        for _ in 0..1000 {
+            let d = m.delay(SiteId(0), SiteId(0)).as_micros();
+            assert!((10..=20).contains(&d), "local {d}");
+            let d = m.delay(SiteId(0), SiteId(3)).as_micros();
+            assert!((50..=60).contains(&d), "remote {d}");
+        }
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut m = LatencyModel::new(
+            DelaySpec::ExponentialMean(0),
+            DelaySpec::ExponentialMean(200),
+            SimRng::new(3),
+        );
+        assert_eq!(m.delay(SiteId(1), SiteId(1)), Duration::ZERO);
+        let n = 20_000;
+        let total: u64 = (0..n)
+            .map(|_| m.delay(SiteId(0), SiteId(1)).as_micros())
+            .sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 200.0).abs() < 10.0, "mean {mean}");
+    }
+
+    #[test]
+    fn mean_micros_matches_spec() {
+        assert_eq!(DelaySpec::Fixed(7).mean_micros(), 7.0);
+        assert_eq!(DelaySpec::Uniform(10, 30).mean_micros(), 20.0);
+        assert_eq!(DelaySpec::ExponentialMean(42).mean_micros(), 42.0);
+        let m = LatencyModel::new(DelaySpec::Fixed(1), DelaySpec::Fixed(9), SimRng::new(0));
+        assert_eq!(m.mean_delay_micros(SiteId(0), SiteId(0)), 1.0);
+        assert_eq!(m.mean_delay_micros(SiteId(0), SiteId(2)), 9.0);
+    }
+
+    #[test]
+    fn instantaneous_model_is_zero() {
+        let mut m = LatencyModel::instantaneous();
+        assert_eq!(m.delay(SiteId(0), SiteId(5)), Duration::ZERO);
+    }
+}

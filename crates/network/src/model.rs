@@ -1,0 +1,241 @@
+//! Envelope stamping and message accounting.
+
+use std::collections::BTreeMap;
+
+use dbmodel::SiteId;
+use simkit::time::SimTime;
+
+use crate::latency::LatencyModel;
+
+/// Coarse message categories tracked for the communication-cost experiment
+/// (E4). They correspond to the message kinds of the paper's protocols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MsgCategory {
+    /// A read/write request sent from a request issuer to a queue manager.
+    Request,
+    /// A PA acceptance acknowledgement (accepted, grant to follow).
+    Ack,
+    /// A lock grant (normal or pre-scheduled) sent back to the issuer.
+    Grant,
+    /// A T/O rejection forcing a transaction restart.
+    Reject,
+    /// A PA backoff timestamp proposal.
+    Backoff,
+    /// A PA updated-timestamp broadcast after collecting backoffs.
+    TimestampUpdate,
+    /// A lock release (or semi-lock demotion) from issuer to queue manager.
+    Release,
+    /// Abort/cleanup traffic (deadlock victims, rejected T/O transactions).
+    Abort,
+}
+
+impl MsgCategory {
+    /// All categories, for iteration in reports.
+    pub const ALL: [MsgCategory; 8] = [
+        MsgCategory::Request,
+        MsgCategory::Ack,
+        MsgCategory::Grant,
+        MsgCategory::Reject,
+        MsgCategory::Backoff,
+        MsgCategory::TimestampUpdate,
+        MsgCategory::Release,
+        MsgCategory::Abort,
+    ];
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            MsgCategory::Request => "request",
+            MsgCategory::Ack => "ack",
+            MsgCategory::Grant => "grant",
+            MsgCategory::Reject => "reject",
+            MsgCategory::Backoff => "backoff",
+            MsgCategory::TimestampUpdate => "ts-update",
+            MsgCategory::Release => "release",
+            MsgCategory::Abort => "abort",
+        }
+    }
+}
+
+/// A message in flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Sending site.
+    pub from: SiteId,
+    /// Destination site.
+    pub to: SiteId,
+    /// When the message was handed to the network.
+    pub sent_at: SimTime,
+    /// When the destination receives it.
+    pub deliver_at: SimTime,
+    /// Category, for accounting.
+    pub category: MsgCategory,
+    /// The protocol payload.
+    pub payload: M,
+}
+
+/// Per-category and per-link message counters.
+#[derive(Debug, Clone, Default)]
+pub struct MsgStats {
+    by_category: BTreeMap<MsgCategory, u64>,
+    total: u64,
+    remote: u64,
+}
+
+impl MsgStats {
+    /// Total messages sent.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Messages that crossed sites (excludes same-site messages).
+    pub fn remote(&self) -> u64 {
+        self.remote
+    }
+
+    /// Count for one category.
+    pub fn count(&self, cat: MsgCategory) -> u64 {
+        self.by_category.get(&cat).copied().unwrap_or(0)
+    }
+
+    /// Iterate over `(category, count)` pairs with non-zero counts.
+    pub fn iter(&self) -> impl Iterator<Item = (MsgCategory, u64)> + '_ {
+        self.by_category.iter().map(|(&k, &v)| (k, v))
+    }
+
+    fn record(&mut self, cat: MsgCategory, is_remote: bool) {
+        *self.by_category.entry(cat).or_insert(0) += 1;
+        self.total += 1;
+        if is_remote {
+            self.remote += 1;
+        }
+    }
+}
+
+/// The network: stamps envelopes with delivery times (FIFO per directed link)
+/// and counts traffic.
+pub struct NetworkModel {
+    latency: LatencyModel,
+    stats: MsgStats,
+    // Last delivery time per (from, to) link, to enforce FIFO delivery.
+    last_delivery: BTreeMap<(SiteId, SiteId), SimTime>,
+}
+
+impl NetworkModel {
+    /// Create a network from a latency model.
+    pub fn new(latency: LatencyModel) -> Self {
+        NetworkModel {
+            latency,
+            stats: MsgStats::default(),
+            last_delivery: BTreeMap::new(),
+        }
+    }
+
+    /// Stamp a payload into an [`Envelope`], assigning its delivery time and
+    /// recording it in the statistics.
+    pub fn send<M>(
+        &mut self,
+        now: SimTime,
+        from: SiteId,
+        to: SiteId,
+        category: MsgCategory,
+        payload: M,
+    ) -> Envelope<M> {
+        let delay = self.latency.delay(from, to);
+        let mut deliver_at = now + delay;
+        let link = (from, to);
+        if let Some(&last) = self.last_delivery.get(&link) {
+            if deliver_at < last {
+                deliver_at = last;
+            }
+        }
+        self.last_delivery.insert(link, deliver_at);
+        self.stats.record(category, from != to);
+        Envelope {
+            from,
+            to,
+            sent_at: now,
+            deliver_at,
+            category,
+            payload,
+        }
+    }
+
+    /// The accumulated message statistics.
+    pub fn stats(&self) -> &MsgStats {
+        &self.stats
+    }
+
+    /// Expected one-way delay between two sites (used by analytic estimators).
+    pub fn mean_delay_micros(&self, from: SiteId, to: SiteId) -> f64 {
+        self.latency.mean_delay_micros(from, to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::DelaySpec;
+    use simkit::rng::SimRng;
+
+    fn net_fixed(local: u64, remote: u64) -> NetworkModel {
+        NetworkModel::new(LatencyModel::new(
+            DelaySpec::Fixed(local),
+            DelaySpec::Fixed(remote),
+            SimRng::new(7),
+        ))
+    }
+
+    #[test]
+    fn send_stamps_delivery_time() {
+        let mut net = net_fixed(1, 50);
+        let env = net.send(SimTime::from_micros(100), SiteId(0), SiteId(1), MsgCategory::Request, "hi");
+        assert_eq!(env.sent_at, SimTime::from_micros(100));
+        assert_eq!(env.deliver_at, SimTime::from_micros(150));
+        assert_eq!(env.payload, "hi");
+        let env2 = net.send(SimTime::from_micros(100), SiteId(2), SiteId(2), MsgCategory::Grant, "lo");
+        assert_eq!(env2.deliver_at, SimTime::from_micros(101));
+    }
+
+    #[test]
+    fn fifo_per_link_is_enforced() {
+        let mut net = NetworkModel::new(LatencyModel::new(
+            DelaySpec::Fixed(0),
+            DelaySpec::Uniform(10, 1000),
+            SimRng::new(3),
+        ));
+        let mut prev = SimTime::ZERO;
+        for i in 0..200 {
+            let env = net.send(
+                SimTime::from_micros(i),
+                SiteId(0),
+                SiteId(1),
+                MsgCategory::Request,
+                (),
+            );
+            assert!(env.deliver_at >= prev, "link delivery must be FIFO");
+            prev = env.deliver_at;
+        }
+    }
+
+    #[test]
+    fn stats_count_by_category_and_remote() {
+        let mut net = net_fixed(0, 10);
+        net.send(SimTime::ZERO, SiteId(0), SiteId(1), MsgCategory::Request, ());
+        net.send(SimTime::ZERO, SiteId(0), SiteId(0), MsgCategory::Request, ());
+        net.send(SimTime::ZERO, SiteId(1), SiteId(0), MsgCategory::Grant, ());
+        assert_eq!(net.stats().total(), 3);
+        assert_eq!(net.stats().remote(), 2);
+        assert_eq!(net.stats().count(MsgCategory::Request), 2);
+        assert_eq!(net.stats().count(MsgCategory::Grant), 1);
+        assert_eq!(net.stats().count(MsgCategory::Abort), 0);
+        assert_eq!(net.stats().iter().count(), 2);
+    }
+
+    #[test]
+    fn category_labels_are_unique() {
+        let labels: std::collections::BTreeSet<_> =
+            MsgCategory::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), MsgCategory::ALL.len());
+    }
+}

@@ -1,0 +1,298 @@
+//! The message vocabulary between request issuers (RI) and data-queue
+//! managers (QM).
+//!
+//! These are the protocol-level payloads; transport concerns (delay,
+//! accounting) are handled by the `network` crate, and the driving loop by
+//! the `sim` crate. The unified system and the standalone protocol engines
+//! speak the same vocabulary so they can be cross-validated.
+
+use dbmodel::{AccessMode, CcMethod, PhysicalItemId, Timestamp, TsTuple, TxnId, Value};
+
+/// The four lock modes of the semi-lock protocol (paper, Section 4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockMode {
+    /// Read lock.
+    Read,
+    /// Write lock.
+    Write,
+    /// Semi-read lock: unlocked from T/O's point of view, locked for 2PL/PA.
+    SemiRead,
+    /// Semi-write lock: unlocked from T/O's point of view, locked for 2PL/PA.
+    SemiWrite,
+}
+
+impl LockMode {
+    /// Two locks conflict if they lock the same data item and at least one of
+    /// them is a write or semi-write lock (paper, Section 4.2 rule 2).
+    pub fn conflicts_with(self, other: LockMode) -> bool {
+        self.is_write_kind() || other.is_write_kind()
+    }
+
+    /// True for `Write` and `SemiWrite`.
+    pub fn is_write_kind(self) -> bool {
+        matches!(self, LockMode::Write | LockMode::SemiWrite)
+    }
+
+    /// True for `SemiRead` and `SemiWrite`.
+    pub fn is_semi(self) -> bool {
+        matches!(self, LockMode::SemiRead | LockMode::SemiWrite)
+    }
+
+    /// The semi-lock this lock transforms into when a T/O transaction
+    /// finishes execution while holding pre-scheduled locks
+    /// (RL → SRL, WL → SWL; semi-locks stay as they are).
+    pub fn demoted(self) -> LockMode {
+        match self {
+            LockMode::Read | LockMode::SemiRead => LockMode::SemiRead,
+            LockMode::Write | LockMode::SemiWrite => LockMode::SemiWrite,
+        }
+    }
+}
+
+/// Whether a grant is normal or pre-scheduled.
+///
+/// A lock is *pre-scheduled* if at least one conflicting lock was granted
+/// earlier and has not yet been released; otherwise it is *normal*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GrantClass {
+    /// No conflicting lock was outstanding at grant time.
+    Normal,
+    /// A conflicting (semi-)lock was still outstanding at grant time.
+    PreScheduled,
+}
+
+/// Messages from a request issuer to a data-queue manager.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestMsg {
+    /// A read or write request for one physical item.
+    Access {
+        /// Issuing transaction.
+        txn: TxnId,
+        /// Target physical item.
+        item: PhysicalItemId,
+        /// Read or write.
+        mode: AccessMode,
+        /// Concurrency-control method of the issuing transaction.
+        method: CcMethod,
+        /// Timestamp tuple `(TS, INT)`; ignored by 2PL requests.
+        ts: TsTuple,
+    },
+    /// PA only: the issuer's final (backed-off) timestamp `TS'_i`, broadcast
+    /// to every queue the transaction accesses.
+    UpdatedTs {
+        /// Issuing transaction.
+        txn: TxnId,
+        /// Target physical item.
+        item: PhysicalItemId,
+        /// The new timestamp.
+        new_ts: Timestamp,
+    },
+    /// Release the transaction's lock (normal or semi) on this item. For a
+    /// write access, carries the value to install; the physical write is
+    /// *implemented* at this point for 2PL/PA transactions.
+    Release {
+        /// Issuing transaction.
+        txn: TxnId,
+        /// Target physical item.
+        item: PhysicalItemId,
+        /// New value for write accesses; `None` for reads.
+        write_value: Option<Value>,
+    },
+    /// T/O only: the transaction executed while holding at least one
+    /// pre-scheduled lock; transform its locks on this item into semi-locks
+    /// (RL → SRL, WL → SWL). The operation is *implemented* at this point;
+    /// write accesses carry the value to install.
+    Demote {
+        /// Issuing transaction.
+        txn: TxnId,
+        /// Target physical item.
+        item: PhysicalItemId,
+        /// New value for write accesses; `None` for reads.
+        write_value: Option<Value>,
+    },
+    /// Abort: drop the transaction's queue entry and any locks it holds on
+    /// this item without implementing anything (T/O restarts, 2PL deadlock
+    /// victims).
+    Abort {
+        /// Issuing transaction.
+        txn: TxnId,
+        /// Target physical item.
+        item: PhysicalItemId,
+    },
+}
+
+impl RequestMsg {
+    /// The physical item this message addresses.
+    pub fn item(&self) -> PhysicalItemId {
+        match self {
+            RequestMsg::Access { item, .. }
+            | RequestMsg::UpdatedTs { item, .. }
+            | RequestMsg::Release { item, .. }
+            | RequestMsg::Demote { item, .. }
+            | RequestMsg::Abort { item, .. } => *item,
+        }
+    }
+
+    /// The transaction this message belongs to.
+    pub fn txn(&self) -> TxnId {
+        match self {
+            RequestMsg::Access { txn, .. }
+            | RequestMsg::UpdatedTs { txn, .. }
+            | RequestMsg::Release { txn, .. }
+            | RequestMsg::Demote { txn, .. }
+            | RequestMsg::Abort { txn, .. } => *txn,
+        }
+    }
+}
+
+/// Messages from a data-queue manager back to a request issuer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplyMsg {
+    /// PA only: the request was *accepted* at its own timestamp but cannot be
+    /// granted yet (it is queued behind earlier requests). The acknowledgement
+    /// lets the issuer complete its grant-or-backoff collection phase without
+    /// waiting for the actual lock grant — without it, two PA transactions
+    /// each backed off at one queue and queued behind the other's blocked
+    /// entry at a second queue would wait on each other forever.
+    Ack {
+        /// The acknowledged transaction.
+        txn: TxnId,
+        /// The item whose queue accepted it.
+        item: PhysicalItemId,
+    },
+    /// The request has been granted a lock. A pre-scheduled grant may later
+    /// be followed by a second, normal grant for the same item once the
+    /// conflicting locks are released.
+    Grant {
+        /// The transaction whose request is granted.
+        txn: TxnId,
+        /// The item the grant is for.
+        item: PhysicalItemId,
+        /// The lock mode granted.
+        lock: LockMode,
+        /// Normal or pre-scheduled.
+        class: GrantClass,
+        /// For read requests: the value read, attached to the grant
+        /// ("the data read are attached to the corresponding lock grant").
+        value: Option<Value>,
+    },
+    /// T/O only: the request arrived out of timestamp order and is rejected;
+    /// the transaction must restart with a new timestamp.
+    Reject {
+        /// The rejected transaction.
+        txn: TxnId,
+        /// The item whose queue rejected it.
+        item: PhysicalItemId,
+    },
+    /// PA only: the proposed backoff timestamp `TS'_ij` for this item.
+    Backoff {
+        /// The transaction being backed off.
+        txn: TxnId,
+        /// The item whose queue computed the backoff.
+        item: PhysicalItemId,
+        /// The smallest acceptable timestamp at this queue.
+        new_ts: Timestamp,
+    },
+}
+
+impl ReplyMsg {
+    /// The physical item this reply concerns.
+    pub fn item(&self) -> PhysicalItemId {
+        match self {
+            ReplyMsg::Ack { item, .. }
+            | ReplyMsg::Grant { item, .. }
+            | ReplyMsg::Reject { item, .. }
+            | ReplyMsg::Backoff { item, .. } => *item,
+        }
+    }
+
+    /// The transaction this reply is addressed to.
+    pub fn txn(&self) -> TxnId {
+        match self {
+            ReplyMsg::Ack { txn, .. }
+            | ReplyMsg::Grant { txn, .. }
+            | ReplyMsg::Reject { txn, .. }
+            | ReplyMsg::Backoff { txn, .. } => *txn,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbmodel::{LogicalItemId, SiteId};
+
+    fn pi(i: u64, s: u32) -> PhysicalItemId {
+        PhysicalItemId::new(LogicalItemId(i), SiteId(s))
+    }
+
+    #[test]
+    fn lock_conflicts_follow_semi_lock_rule() {
+        use LockMode::*;
+        assert!(!Read.conflicts_with(Read));
+        assert!(!Read.conflicts_with(SemiRead));
+        assert!(!SemiRead.conflicts_with(SemiRead));
+        assert!(Read.conflicts_with(Write));
+        assert!(Read.conflicts_with(SemiWrite));
+        assert!(Write.conflicts_with(Write));
+        assert!(SemiWrite.conflicts_with(SemiWrite));
+        assert!(SemiRead.conflicts_with(Write));
+    }
+
+    #[test]
+    fn demotion_maps_to_semi_locks() {
+        assert_eq!(LockMode::Read.demoted(), LockMode::SemiRead);
+        assert_eq!(LockMode::Write.demoted(), LockMode::SemiWrite);
+        assert_eq!(LockMode::SemiRead.demoted(), LockMode::SemiRead);
+        assert_eq!(LockMode::SemiWrite.demoted(), LockMode::SemiWrite);
+    }
+
+    #[test]
+    fn semi_flags() {
+        assert!(LockMode::SemiRead.is_semi());
+        assert!(LockMode::SemiWrite.is_semi());
+        assert!(!LockMode::Read.is_semi());
+        assert!(LockMode::SemiWrite.is_write_kind());
+        assert!(!LockMode::SemiRead.is_write_kind());
+    }
+
+    #[test]
+    fn request_accessors() {
+        let m = RequestMsg::Access {
+            txn: TxnId(4),
+            item: pi(2, 1),
+            mode: AccessMode::Read,
+            method: CcMethod::TimestampOrdering,
+            ts: TsTuple::new(Timestamp(9), 5),
+        };
+        assert_eq!(m.item(), pi(2, 1));
+        assert_eq!(m.txn(), TxnId(4));
+        let r = RequestMsg::Release {
+            txn: TxnId(5),
+            item: pi(3, 0),
+            write_value: Some(11),
+        };
+        assert_eq!(r.item(), pi(3, 0));
+        assert_eq!(r.txn(), TxnId(5));
+    }
+
+    #[test]
+    fn reply_accessors() {
+        let g = ReplyMsg::Grant {
+            txn: TxnId(1),
+            item: pi(7, 2),
+            lock: LockMode::SemiRead,
+            class: GrantClass::PreScheduled,
+            value: Some(3),
+        };
+        assert_eq!(g.item(), pi(7, 2));
+        assert_eq!(g.txn(), TxnId(1));
+        let b = ReplyMsg::Backoff {
+            txn: TxnId(2),
+            item: pi(7, 2),
+            new_ts: Timestamp(55),
+        };
+        assert_eq!(b.txn(), TxnId(2));
+        assert_eq!(b.item(), pi(7, 2));
+    }
+}

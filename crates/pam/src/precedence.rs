@@ -1,0 +1,238 @@
+//! The unified precedence space (paper, Section 4.1).
+//!
+//! All three protocols assign precedences drawn from the *timestamp space*;
+//! the total order on precedences is:
+//!
+//! 1. compare the timestamp values;
+//! 2. on a tie, compare the site ids of the issuing transactions, where a
+//!    2PL-controlled transaction is regarded as having the *biggest* site id;
+//! 3. if still tied, either both requests are 2PL or both are not:
+//!    * two 2PL requests compare by their arrival order at the data queue;
+//!    * two non-2PL requests compare by their transaction ids.
+//!
+//! The per-protocol assignment rules are:
+//!
+//! * **T/O** and **PA** requests carry their transaction's timestamp;
+//! * a **2PL** request entering queue `j` is assigned the biggest timestamp
+//!   that has ever appeared in queue `j` before its arrival, which (together
+//!   with the tie-breaking rules) inserts it at the tail of the queue and
+//!   preserves FCFS order among 2PL requests.
+
+use dbmodel::{CcMethod, SiteId, Timestamp, TxnId};
+
+/// The tie-breaking class of a precedence: either a non-2PL request
+/// identified by `(site, txn)`, or a 2PL request identified by its arrival
+/// sequence number at the data queue.
+///
+/// The derived ordering puts every `NonTwoPl` before every `TwoPl`, which is
+/// exactly the paper's "a 2PL controlled transaction is regarded as having
+/// the biggest site id".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PrecClass {
+    /// A T/O or PA request: tie-break by issuing site, then transaction id.
+    NonTwoPl {
+        /// The site of the issuing request issuer.
+        site: SiteId,
+        /// The issuing transaction.
+        txn: TxnId,
+    },
+    /// A 2PL request: tie-break by arrival order at the data queue.
+    TwoPl {
+        /// Arrival sequence number at this data queue.
+        arrival_seq: u64,
+    },
+}
+
+/// An element of the unified precedence space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Precedence {
+    /// The timestamp component (compared first).
+    pub ts: Timestamp,
+    /// The tie-breaking component.
+    pub class: PrecClass,
+}
+
+impl Precedence {
+    /// The precedence of a T/O or PA request with the given transaction
+    /// timestamp.
+    pub fn timestamped(ts: Timestamp, site: SiteId, txn: TxnId) -> Self {
+        Precedence {
+            ts,
+            class: PrecClass::NonTwoPl { site, txn },
+        }
+    }
+
+    /// The precedence of a 2PL request: the largest timestamp seen at the
+    /// queue so far, tie-broken by arrival order.
+    pub fn two_pl(max_seen_ts: Timestamp, arrival_seq: u64) -> Self {
+        Precedence {
+            ts: max_seen_ts,
+            class: PrecClass::TwoPl { arrival_seq },
+        }
+    }
+
+    /// True if this precedence belongs to a 2PL request.
+    pub fn is_two_pl(&self) -> bool {
+        matches!(self.class, PrecClass::TwoPl { .. })
+    }
+}
+
+/// The per-queue assignment policy: given the queue's running state (largest
+/// timestamp seen, arrival counter), compute the precedence of an incoming
+/// request. This is the paper's assignment function `ASj`, specialised per
+/// protocol, plus the bookkeeping needed to keep it one-to-one.
+#[derive(Debug, Clone, Default)]
+pub struct AssignmentPolicy {
+    max_seen_ts: Timestamp,
+    arrival_counter: u64,
+}
+
+impl AssignmentPolicy {
+    /// Create a fresh policy for an empty queue.
+    pub fn new() -> Self {
+        AssignmentPolicy::default()
+    }
+
+    /// The biggest timestamp that has appeared in the queue so far.
+    pub fn max_seen_ts(&self) -> Timestamp {
+        self.max_seen_ts
+    }
+
+    /// Assign a precedence to a request from a transaction running under
+    /// `method` with (for T/O and PA) timestamp `ts`.
+    ///
+    /// The call also performs the bookkeeping: timestamped requests raise the
+    /// queue's largest-seen timestamp; 2PL requests consume an arrival
+    /// sequence number.
+    pub fn assign(&mut self, method: CcMethod, ts: Timestamp, site: SiteId, txn: TxnId) -> Precedence {
+        match method {
+            CcMethod::TwoPhaseLocking => {
+                let seq = self.arrival_counter;
+                self.arrival_counter += 1;
+                Precedence::two_pl(self.max_seen_ts, seq)
+            }
+            CcMethod::TimestampOrdering | CcMethod::PrecedenceAgreement => {
+                self.observe_ts(ts);
+                Precedence::timestamped(ts, site, txn)
+            }
+        }
+    }
+
+    /// Record that a (possibly backed-off) timestamp has appeared in the
+    /// queue, raising the largest-seen timestamp used for 2PL assignment.
+    pub fn observe_ts(&mut self, ts: Timestamp) {
+        if ts > self.max_seen_ts {
+            self.max_seen_ts = ts;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(i: u32) -> SiteId {
+        SiteId(i)
+    }
+    fn txn(i: u64) -> TxnId {
+        TxnId(i)
+    }
+
+    #[test]
+    fn timestamp_dominates() {
+        let a = Precedence::timestamped(Timestamp(5), site(9), txn(9));
+        let b = Precedence::timestamped(Timestamp(6), site(0), txn(0));
+        assert!(a < b);
+        let c = Precedence::two_pl(Timestamp(5), 0);
+        let d = Precedence::timestamped(Timestamp(6), site(0), txn(0));
+        assert!(c < d);
+    }
+
+    #[test]
+    fn two_pl_is_biggest_site_on_ties() {
+        let non = Precedence::timestamped(Timestamp(5), site(u32::MAX), txn(u64::MAX));
+        let two = Precedence::two_pl(Timestamp(5), 0);
+        assert!(non < two, "2PL acts as the biggest site id on a timestamp tie");
+    }
+
+    #[test]
+    fn non_two_pl_tie_breaks_by_site_then_txn() {
+        let a = Precedence::timestamped(Timestamp(5), site(1), txn(50));
+        let b = Precedence::timestamped(Timestamp(5), site(2), txn(3));
+        assert!(a < b, "site id compared before txn id");
+        let c = Precedence::timestamped(Timestamp(5), site(1), txn(51));
+        assert!(a < c, "same site falls back to txn id");
+    }
+
+    #[test]
+    fn two_pl_tie_breaks_by_arrival_order() {
+        let a = Precedence::two_pl(Timestamp(5), 3);
+        let b = Precedence::two_pl(Timestamp(5), 4);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn assignment_keeps_two_pl_fcfs() {
+        let mut policy = AssignmentPolicy::new();
+        let p1 = policy.assign(CcMethod::TwoPhaseLocking, Timestamp::ZERO, site(0), txn(1));
+        let p2 = policy.assign(CcMethod::TwoPhaseLocking, Timestamp::ZERO, site(0), txn(2));
+        assert!(p1 < p2);
+        // A timestamped request raises the bar for later 2PL arrivals.
+        let p3 = policy.assign(CcMethod::TimestampOrdering, Timestamp(100), site(1), txn(3));
+        let p4 = policy.assign(CcMethod::TwoPhaseLocking, Timestamp::ZERO, site(0), txn(4));
+        assert!(p3 < p4, "new 2PL request goes to the tail after the T/O request");
+        assert!(p2 < p4);
+        assert_eq!(policy.max_seen_ts(), Timestamp(100));
+    }
+
+    #[test]
+    fn two_pl_requests_do_not_raise_max_seen() {
+        let mut policy = AssignmentPolicy::new();
+        policy.observe_ts(Timestamp(10));
+        let p = policy.assign(CcMethod::TwoPhaseLocking, Timestamp(999), site(0), txn(1));
+        assert_eq!(p.ts, Timestamp(10), "2PL precedence uses the queue's max seen ts");
+        assert_eq!(policy.max_seen_ts(), Timestamp(10));
+    }
+
+    #[test]
+    fn pa_and_to_assignments_are_their_timestamps() {
+        let mut policy = AssignmentPolicy::new();
+        let p = policy.assign(CcMethod::PrecedenceAgreement, Timestamp(7), site(2), txn(9));
+        assert_eq!(p.ts, Timestamp(7));
+        assert!(!p.is_two_pl());
+        let q = policy.assign(CcMethod::TimestampOrdering, Timestamp(3), site(2), txn(10));
+        assert_eq!(q.ts, Timestamp(3));
+        assert_eq!(policy.max_seen_ts(), Timestamp(7));
+    }
+
+    #[test]
+    fn ordering_is_total_and_antisymmetric_over_samples() {
+        // A small exhaustive check that the derived order behaves like a
+        // strict total order on a mixed population.
+        let mut pop = Vec::new();
+        for ts in 0..4u64 {
+            for s in 0..3u32 {
+                for t in 0..3u64 {
+                    pop.push(Precedence::timestamped(Timestamp(ts), site(s), txn(t)));
+                }
+            }
+            for seq in 0..3u64 {
+                pop.push(Precedence::two_pl(Timestamp(ts), seq));
+            }
+        }
+        for &a in &pop {
+            for &b in &pop {
+                if a == b {
+                    assert!(!(a < b) && !(b < a));
+                } else {
+                    assert!((a < b) ^ (b < a), "exactly one of a<b, b<a for distinct elements");
+                }
+                for &c in &pop {
+                    if a < b && b < c {
+                        assert!(a < c, "transitivity");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Standalone Basic Timestamp Ordering (paper, Section 3.3).
+//!
+//! Every data item keeps the largest timestamp of a granted read (`R-TS`) and
+//! of a granted write (`W-TS`). A read with timestamp `ts` is accepted iff
+//! `ts > W-TS`; a write iff `ts > W-TS` and `ts > R-TS`. Anything else is
+//! rejected and the issuing transaction restarts with a fresh (larger)
+//! timestamp. Accepted operations immediately advance the thresholds, which
+//! automatically yields condition E2 (the serialization order is the
+//! timestamp order) while E1 is enforced by the rejections.
+
+use std::collections::BTreeMap;
+
+use dbmodel::{AccessMode, LogicalItemId, Timestamp, TxnId};
+
+/// The decision for one operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ToDecision {
+    /// The operation is accepted and (conceptually) implemented.
+    Accepted,
+    /// The operation arrived out of timestamp order; the transaction must
+    /// restart with a larger timestamp.
+    Rejected,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct ItemTs {
+    r_ts: Timestamp,
+    w_ts: Timestamp,
+}
+
+/// A Basic T/O scheduler over logical items.
+#[derive(Debug, Clone, Default)]
+pub struct BasicTimestampOrdering {
+    items: BTreeMap<LogicalItemId, ItemTs>,
+    accepted: u64,
+    rejected: u64,
+}
+
+impl BasicTimestampOrdering {
+    /// Create an empty scheduler.
+    pub fn new() -> Self {
+        BasicTimestampOrdering::default()
+    }
+
+    /// Submit one operation of transaction `txn` (identified only by its
+    /// timestamp, as Basic T/O requires nothing else).
+    pub fn submit(
+        &mut self,
+        _txn: TxnId,
+        ts: Timestamp,
+        item: LogicalItemId,
+        mode: AccessMode,
+    ) -> ToDecision {
+        let entry = self.items.entry(item).or_default();
+        let ok = match mode {
+            AccessMode::Read => ts > entry.w_ts,
+            AccessMode::Write => ts > entry.w_ts && ts > entry.r_ts,
+        };
+        if ok {
+            match mode {
+                AccessMode::Read => entry.r_ts = entry.r_ts.max(ts),
+                AccessMode::Write => entry.w_ts = entry.w_ts.max(ts),
+            }
+            self.accepted += 1;
+            ToDecision::Accepted
+        } else {
+            self.rejected += 1;
+            ToDecision::Rejected
+        }
+    }
+
+    /// Submit every operation of a transaction atomically: if any operation
+    /// would be rejected, nothing is applied and `Rejected` is returned.
+    /// This models the paper's transaction model where all requests are sent
+    /// before execution and a single rejection restarts the transaction.
+    pub fn submit_transaction(
+        &mut self,
+        txn: TxnId,
+        ts: Timestamp,
+        reads: &[LogicalItemId],
+        writes: &[LogicalItemId],
+    ) -> ToDecision {
+        // Dry-run first.
+        let acceptable = reads.iter().all(|&i| {
+            let e = self.items.get(&i).copied().unwrap_or_default();
+            ts > e.w_ts
+        }) && writes.iter().all(|&i| {
+            let e = self.items.get(&i).copied().unwrap_or_default();
+            ts > e.w_ts && ts > e.r_ts
+        });
+        if !acceptable {
+            self.rejected += 1;
+            return ToDecision::Rejected;
+        }
+        for &i in reads {
+            self.submit(txn, ts, i, AccessMode::Read);
+        }
+        for &i in writes {
+            self.submit(txn, ts, i, AccessMode::Write);
+        }
+        ToDecision::Accepted
+    }
+
+    /// The current `R-TS` of an item.
+    pub fn r_ts(&self, item: LogicalItemId) -> Timestamp {
+        self.items.get(&item).copied().unwrap_or_default().r_ts
+    }
+
+    /// The current `W-TS` of an item.
+    pub fn w_ts(&self, item: LogicalItemId) -> Timestamp {
+        self.items.get(&item).copied().unwrap_or_default().w_ts
+    }
+
+    /// Number of accepted operations.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Number of rejected operations (or transactions via
+    /// [`BasicTimestampOrdering::submit_transaction`]).
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// The observed rejection probability.
+    pub fn rejection_rate(&self) -> f64 {
+        let total = self.accepted + self.rejected;
+        if total == 0 {
+            0.0
+        } else {
+            self.rejected as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn li(i: u64) -> LogicalItemId {
+        LogicalItemId(i)
+    }
+    fn t(i: u64) -> TxnId {
+        TxnId(i)
+    }
+    fn ts(v: u64) -> Timestamp {
+        Timestamp(v)
+    }
+
+    #[test]
+    fn in_order_operations_are_accepted() {
+        let mut to = BasicTimestampOrdering::new();
+        assert_eq!(to.submit(t(1), ts(1), li(1), AccessMode::Read), ToDecision::Accepted);
+        assert_eq!(to.submit(t(2), ts(2), li(1), AccessMode::Write), ToDecision::Accepted);
+        assert_eq!(to.submit(t(3), ts(3), li(1), AccessMode::Read), ToDecision::Accepted);
+        assert_eq!(to.rejected(), 0);
+        assert_eq!(to.r_ts(li(1)), ts(3));
+        assert_eq!(to.w_ts(li(1)), ts(2));
+    }
+
+    #[test]
+    fn late_read_is_rejected_after_newer_write() {
+        let mut to = BasicTimestampOrdering::new();
+        to.submit(t(2), ts(20), li(1), AccessMode::Write);
+        assert_eq!(to.submit(t(1), ts(10), li(1), AccessMode::Read), ToDecision::Rejected);
+        // A late write after a newer read is also rejected.
+        to.submit(t(3), ts(30), li(2), AccessMode::Read);
+        assert_eq!(to.submit(t(1), ts(10), li(2), AccessMode::Write), ToDecision::Rejected);
+        assert_eq!(to.rejected(), 2);
+        assert!(to.rejection_rate() > 0.0);
+    }
+
+    #[test]
+    fn late_read_after_newer_read_is_fine() {
+        let mut to = BasicTimestampOrdering::new();
+        to.submit(t(2), ts(20), li(1), AccessMode::Read);
+        assert_eq!(to.submit(t(1), ts(10), li(1), AccessMode::Read), ToDecision::Accepted);
+        assert_eq!(to.r_ts(li(1)), ts(20), "R-TS keeps the max");
+    }
+
+    #[test]
+    fn transaction_submission_is_all_or_nothing() {
+        let mut to = BasicTimestampOrdering::new();
+        to.submit(t(9), ts(50), li(2), AccessMode::Write);
+        // Transaction at ts 40 reads item 1 (fine) and writes item 2 (too late):
+        // nothing must be applied.
+        let d = to.submit_transaction(t(1), ts(40), &[li(1)], &[li(2)]);
+        assert_eq!(d, ToDecision::Rejected);
+        assert_eq!(to.r_ts(li(1)), Timestamp::ZERO, "read not applied on rejection");
+        // Retried with a larger timestamp it succeeds.
+        let d = to.submit_transaction(t(1), ts(60), &[li(1)], &[li(2)]);
+        assert_eq!(d, ToDecision::Accepted);
+        assert_eq!(to.r_ts(li(1)), ts(60));
+        assert_eq!(to.w_ts(li(2)), ts(60));
+    }
+
+    #[test]
+    fn equal_timestamp_is_rejected() {
+        // Strict inequality: a second operation with the same timestamp on a
+        // written item is out of order.
+        let mut to = BasicTimestampOrdering::new();
+        to.submit(t(1), ts(5), li(1), AccessMode::Write);
+        assert_eq!(to.submit(t(2), ts(5), li(1), AccessMode::Read), ToDecision::Rejected);
+    }
+
+    #[test]
+    fn rejection_rate_counts_both_paths() {
+        let mut to = BasicTimestampOrdering::new();
+        to.submit(t(1), ts(10), li(1), AccessMode::Write);
+        to.submit(t(2), ts(5), li(1), AccessMode::Read); // rejected
+        to.submit_transaction(t(3), ts(3), &[li(1)], &[]); // rejected
+        to.submit_transaction(t(4), ts(30), &[li(1)], &[]); // accepted
+        assert_eq!(to.accepted(), 2);
+        assert_eq!(to.rejected(), 2);
+        assert!((to.rejection_rate() - 0.5).abs() < 1e-9);
+    }
+}

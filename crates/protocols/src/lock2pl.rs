@@ -1,0 +1,338 @@
+//! Standalone static two-phase locking.
+//!
+//! Requests are served first-come-first-served per item; a request is granted
+//! when no conflicting lock is held by another transaction. Waiting requests
+//! queue in arrival order. Deadlocks are detected on a wait-for graph and
+//! broken by aborting the youngest transaction in the cycle.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use dbmodel::{LogicalItemId, TxnId};
+
+/// Shared (read) or exclusive (write) lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode2pl {
+    /// Shared lock (multiple readers allowed).
+    Shared,
+    /// Exclusive lock (single writer).
+    Exclusive,
+}
+
+impl LockMode2pl {
+    fn conflicts_with(self, other: LockMode2pl) -> bool {
+        matches!(self, LockMode2pl::Exclusive) || matches!(other, LockMode2pl::Exclusive)
+    }
+}
+
+/// The outcome of a lock request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockRequestOutcome {
+    /// The lock was granted immediately.
+    Granted,
+    /// The request is queued behind conflicting holders/waiters.
+    Waiting,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Waiter {
+    txn: TxnId,
+    mode: LockMode2pl,
+}
+
+#[derive(Debug, Clone, Default)]
+struct ItemLocks {
+    holders: BTreeMap<TxnId, LockMode2pl>,
+    waiters: VecDeque<Waiter>,
+}
+
+impl ItemLocks {
+    fn can_grant(&self, txn: TxnId, mode: LockMode2pl) -> bool {
+        self.holders
+            .iter()
+            .all(|(&h, &m)| h == txn || !m.conflicts_with(mode))
+    }
+}
+
+/// A centralised (per-site or whole-system) 2PL lock manager.
+#[derive(Debug, Clone, Default)]
+pub struct LockManager {
+    items: BTreeMap<LogicalItemId, ItemLocks>,
+    // item sets per transaction, for release_all.
+    txn_items: BTreeMap<TxnId, BTreeSet<LogicalItemId>>,
+}
+
+impl LockManager {
+    /// Create an empty lock manager.
+    pub fn new() -> Self {
+        LockManager::default()
+    }
+
+    /// Request a lock. FCFS: if anyone is already waiting on the item, a new
+    /// conflicting request waits behind them even if it is compatible with
+    /// the current holders (no barging past the queue for writers; readers
+    /// may join current readers only when no writer waits ahead of them).
+    pub fn request(&mut self, txn: TxnId, item: LogicalItemId, mode: LockMode2pl) -> LockRequestOutcome {
+        let entry = self.items.entry(item).or_default();
+        // Re-entrant requests: upgrade shared -> exclusive is modelled as a
+        // fresh exclusive request; same-mode repeats are no-ops.
+        if let Some(&held) = entry.holders.get(&txn) {
+            if held == mode || held == LockMode2pl::Exclusive {
+                return LockRequestOutcome::Granted;
+            }
+        }
+        let blocked_by_waiters = entry
+            .waiters
+            .iter()
+            .any(|w| w.txn != txn && (w.mode.conflicts_with(mode)));
+        if !blocked_by_waiters && entry.can_grant(txn, mode) {
+            entry.holders.insert(txn, mode);
+            self.txn_items.entry(txn).or_default().insert(item);
+            LockRequestOutcome::Granted
+        } else {
+            entry.waiters.push_back(Waiter { txn, mode });
+            self.txn_items.entry(txn).or_default().insert(item);
+            LockRequestOutcome::Waiting
+        }
+    }
+
+    /// Release every lock (and cancel every wait) of `txn`, returning the
+    /// transactions that acquired locks as a result.
+    pub fn release_all(&mut self, txn: TxnId) -> Vec<TxnId> {
+        let items = self.txn_items.remove(&txn).unwrap_or_default();
+        let mut newly_granted = Vec::new();
+        for item in items {
+            if let Some(entry) = self.items.get_mut(&item) {
+                entry.holders.remove(&txn);
+                entry.waiters.retain(|w| w.txn != txn);
+                newly_granted.extend(Self::promote(entry, item, &mut self.txn_items));
+            }
+        }
+        newly_granted.sort_unstable();
+        newly_granted.dedup();
+        newly_granted
+    }
+
+    fn promote(
+        entry: &mut ItemLocks,
+        item: LogicalItemId,
+        txn_items: &mut BTreeMap<TxnId, BTreeSet<LogicalItemId>>,
+    ) -> Vec<TxnId> {
+        let mut granted = Vec::new();
+        while let Some(&front) = entry.waiters.front() {
+            if entry.can_grant(front.txn, front.mode) {
+                entry.waiters.pop_front();
+                entry.holders.insert(front.txn, front.mode);
+                txn_items.entry(front.txn).or_default().insert(item);
+                granted.push(front.txn);
+                // After granting an exclusive lock nothing else can follow.
+                if front.mode == LockMode2pl::Exclusive {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        granted
+    }
+
+    /// True if `txn` currently holds a lock on `item`.
+    pub fn holds(&self, txn: TxnId, item: LogicalItemId) -> bool {
+        self.items
+            .get(&item)
+            .is_some_and(|e| e.holders.contains_key(&txn))
+    }
+
+    /// True if `txn` is waiting for any lock.
+    pub fn is_waiting(&self, txn: TxnId) -> bool {
+        self.items
+            .values()
+            .any(|e| e.waiters.iter().any(|w| w.txn == txn))
+    }
+
+    /// The wait-for edges `(waiter, holder-or-earlier-waiter)` of the current
+    /// state.
+    pub fn wait_edges(&self) -> Vec<(TxnId, TxnId)> {
+        let mut edges = Vec::new();
+        for entry in self.items.values() {
+            for (i, w) in entry.waiters.iter().enumerate() {
+                for (&holder, &hmode) in &entry.holders {
+                    if holder != w.txn && hmode.conflicts_with(w.mode) {
+                        edges.push((w.txn, holder));
+                    }
+                }
+                for earlier in entry.waiters.iter().take(i) {
+                    if earlier.txn != w.txn && earlier.mode.conflicts_with(w.mode) {
+                        edges.push((w.txn, earlier.txn));
+                    }
+                }
+            }
+        }
+        edges
+    }
+
+    /// Detect deadlocks and return one victim per cycle (the youngest, i.e.
+    /// largest-id, transaction). The caller is responsible for calling
+    /// [`LockManager::release_all`] on the victims.
+    pub fn find_deadlock_victims(&self) -> Vec<TxnId> {
+        // Cycle detection by DFS over the wait-for edges.
+        let mut adj: BTreeMap<TxnId, BTreeSet<TxnId>> = BTreeMap::new();
+        for (a, b) in self.wait_edges() {
+            adj.entry(a).or_default().insert(b);
+        }
+        let nodes: Vec<TxnId> = adj
+            .iter()
+            .flat_map(|(&a, bs)| std::iter::once(a).chain(bs.iter().copied()))
+            .collect();
+        let mut victims = Vec::new();
+        let mut processed: BTreeSet<TxnId> = BTreeSet::new();
+        for &start in &nodes {
+            if processed.contains(&start) {
+                continue;
+            }
+            // DFS from start looking for a cycle containing start.
+            let mut stack = vec![(start, adj.get(&start).cloned().unwrap_or_default().into_iter())];
+            let mut path = vec![start];
+            let mut on_path: BTreeSet<TxnId> = BTreeSet::from([start]);
+            let mut visited: BTreeSet<TxnId> = BTreeSet::from([start]);
+            let mut found: Option<Vec<TxnId>> = None;
+            'dfs: while let Some((_, iter)) = stack.last_mut() {
+                if let Some(next) = iter.next() {
+                    if on_path.contains(&next) {
+                        // Cycle found: slice path from next.
+                        let pos = path.iter().position(|&t| t == next).unwrap();
+                        found = Some(path[pos..].to_vec());
+                        break 'dfs;
+                    }
+                    if visited.insert(next) {
+                        on_path.insert(next);
+                        path.push(next);
+                        stack.push((next, adj.get(&next).cloned().unwrap_or_default().into_iter()));
+                    }
+                } else {
+                    let (node, _) = stack.pop().unwrap();
+                    on_path.remove(&node);
+                    path.pop();
+                }
+            }
+            processed.extend(visited);
+            if let Some(cycle) = found {
+                if let Some(&victim) = cycle.iter().max() {
+                    victims.push(victim);
+                }
+            }
+        }
+        victims.sort_unstable();
+        victims.dedup();
+        victims
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn li(i: u64) -> LogicalItemId {
+        LogicalItemId(i)
+    }
+    fn t(i: u64) -> TxnId {
+        TxnId(i)
+    }
+
+    #[test]
+    fn shared_locks_coexist_exclusive_waits() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.request(t(1), li(1), LockMode2pl::Shared), LockRequestOutcome::Granted);
+        assert_eq!(lm.request(t(2), li(1), LockMode2pl::Shared), LockRequestOutcome::Granted);
+        assert_eq!(lm.request(t(3), li(1), LockMode2pl::Exclusive), LockRequestOutcome::Waiting);
+        assert!(lm.holds(t(1), li(1)));
+        assert!(lm.is_waiting(t(3)));
+        assert!(lm.release_all(t(1)).is_empty());
+        let granted = lm.release_all(t(2));
+        assert_eq!(granted, vec![t(3)]);
+        assert!(lm.holds(t(3), li(1)));
+    }
+
+    #[test]
+    fn fcfs_readers_do_not_barge_past_waiting_writer() {
+        let mut lm = LockManager::new();
+        lm.request(t(1), li(1), LockMode2pl::Shared);
+        lm.request(t(2), li(1), LockMode2pl::Exclusive); // waits
+        // A later reader must queue behind the writer, not join t1.
+        assert_eq!(lm.request(t(3), li(1), LockMode2pl::Shared), LockRequestOutcome::Waiting);
+        let granted = lm.release_all(t(1));
+        assert_eq!(granted, vec![t(2)]);
+        let granted = lm.release_all(t(2));
+        assert_eq!(granted, vec![t(3)]);
+    }
+
+    #[test]
+    fn reentrant_requests_are_granted() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.request(t(1), li(1), LockMode2pl::Exclusive), LockRequestOutcome::Granted);
+        assert_eq!(lm.request(t(1), li(1), LockMode2pl::Shared), LockRequestOutcome::Granted);
+        assert_eq!(lm.request(t(1), li(1), LockMode2pl::Exclusive), LockRequestOutcome::Granted);
+    }
+
+    #[test]
+    fn classic_two_transaction_deadlock_is_detected() {
+        let mut lm = LockManager::new();
+        lm.request(t(1), li(1), LockMode2pl::Exclusive);
+        lm.request(t(2), li(2), LockMode2pl::Exclusive);
+        lm.request(t(1), li(2), LockMode2pl::Exclusive);
+        lm.request(t(2), li(1), LockMode2pl::Exclusive);
+        let victims = lm.find_deadlock_victims();
+        assert_eq!(victims, vec![t(2)], "youngest transaction is the victim");
+        // Breaking the deadlock lets t1 proceed.
+        let granted = lm.release_all(t(2));
+        assert!(granted.contains(&t(1)));
+        assert!(lm.find_deadlock_victims().is_empty());
+    }
+
+    #[test]
+    fn no_false_deadlocks_on_plain_contention() {
+        let mut lm = LockManager::new();
+        lm.request(t(1), li(1), LockMode2pl::Exclusive);
+        lm.request(t(2), li(1), LockMode2pl::Exclusive);
+        lm.request(t(3), li(1), LockMode2pl::Exclusive);
+        assert!(lm.find_deadlock_victims().is_empty());
+    }
+
+    #[test]
+    fn three_way_deadlock_resolved_by_single_victim() {
+        let mut lm = LockManager::new();
+        lm.request(t(1), li(1), LockMode2pl::Exclusive);
+        lm.request(t(2), li(2), LockMode2pl::Exclusive);
+        lm.request(t(3), li(3), LockMode2pl::Exclusive);
+        lm.request(t(1), li(2), LockMode2pl::Exclusive);
+        lm.request(t(2), li(3), LockMode2pl::Exclusive);
+        lm.request(t(3), li(1), LockMode2pl::Exclusive);
+        let victims = lm.find_deadlock_victims();
+        assert_eq!(victims.len(), 1);
+        lm.release_all(victims[0]);
+        assert!(lm.find_deadlock_victims().is_empty());
+    }
+
+    #[test]
+    fn release_of_waiting_transaction_removes_it_from_queue() {
+        let mut lm = LockManager::new();
+        lm.request(t(1), li(1), LockMode2pl::Exclusive);
+        lm.request(t(2), li(1), LockMode2pl::Exclusive);
+        lm.request(t(3), li(1), LockMode2pl::Exclusive);
+        // t2 gives up while waiting.
+        lm.release_all(t(2));
+        let granted = lm.release_all(t(1));
+        assert_eq!(granted, vec![t(3)]);
+    }
+
+    #[test]
+    fn wait_edges_reflect_conflicts_only() {
+        let mut lm = LockManager::new();
+        lm.request(t(1), li(1), LockMode2pl::Shared);
+        lm.request(t(2), li(1), LockMode2pl::Exclusive);
+        lm.request(t(3), li(1), LockMode2pl::Shared);
+        let edges = lm.wait_edges();
+        assert!(edges.contains(&(t(2), t(1))));
+        assert!(edges.contains(&(t(3), t(2))), "reader waits behind the queued writer");
+        assert!(!edges.contains(&(t(3), t(1))), "shared locks do not conflict");
+    }
+}

@@ -1,0 +1,272 @@
+//! Standalone Precedence Agreement (paper, Section 3.4).
+//!
+//! One [`PaQueueManager`] manages a single data item's queue. Transactions
+//! carry a timestamp tuple `(TS, INT)`. A request that cannot be accepted at
+//! its timestamp is *backed off*: the queue proposes the smallest
+//! `TS' = TS + k·INT` acceptable locally and marks the entry blocked; the
+//! issuer collects proposals from every queue it touches, takes the maximum,
+//! and broadcasts the final timestamp with [`PaQueueManager::update_ts`].
+//! No request is ever rejected, so PA is restart-free; grants are issued in
+//! timestamp order subject to the release of previously granted conflicting
+//! requests, so it is also deadlock-free (Corollary 1).
+
+use std::collections::BTreeMap;
+
+use dbmodel::{AccessMode, CcMethod, LogicalItemId, SiteId, Timestamp, TsTuple, TxnId};
+use pam::precedence::Precedence;
+use pam::queue::{DataQueue, EntryStatus, QueueEntry};
+
+/// The immediate decision for one submitted request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PaDecision {
+    /// The request is accepted at its own timestamp.
+    Accepted,
+    /// The request must back off; the payload is this queue's proposed
+    /// timestamp `TS'`.
+    BackedOff(Timestamp),
+}
+
+/// The Precedence Agreement queue manager for a single data item.
+#[derive(Debug, Clone)]
+pub struct PaQueueManager {
+    item: LogicalItemId,
+    queue: DataQueue,
+    r_ts: Timestamp,
+    w_ts: Timestamp,
+    /// Granted but not yet released requests.
+    outstanding: BTreeMap<TxnId, AccessMode>,
+    backoffs: u64,
+}
+
+impl PaQueueManager {
+    /// Create the queue manager for one item.
+    pub fn new(item: LogicalItemId) -> Self {
+        PaQueueManager {
+            item,
+            queue: DataQueue::new(),
+            r_ts: Timestamp::ZERO,
+            w_ts: Timestamp::ZERO,
+            outstanding: BTreeMap::new(),
+            backoffs: 0,
+        }
+    }
+
+    /// The item this queue serves.
+    pub fn item(&self) -> LogicalItemId {
+        self.item
+    }
+
+    /// Number of backoff proposals issued so far.
+    pub fn backoffs(&self) -> u64 {
+        self.backoffs
+    }
+
+    /// Current `R-TS` / `W-TS` thresholds.
+    pub fn thresholds(&self) -> (Timestamp, Timestamp) {
+        (self.r_ts, self.w_ts)
+    }
+
+    /// Submit a request.
+    pub fn submit(&mut self, txn: TxnId, site: SiteId, ts: TsTuple, mode: AccessMode) -> PaDecision {
+        let acceptable = match mode {
+            AccessMode::Read => ts.ts > self.w_ts,
+            AccessMode::Write => ts.ts > self.w_ts && ts.ts > self.r_ts,
+        };
+        if acceptable {
+            self.queue.insert(QueueEntry {
+                txn,
+                mode,
+                method: CcMethod::PrecedenceAgreement,
+                precedence: Precedence::timestamped(ts.ts, site, txn),
+                status: EntryStatus::Accepted,
+                granted: false,
+            });
+            PaDecision::Accepted
+        } else {
+            let floor = match mode {
+                AccessMode::Read => self.w_ts,
+                AccessMode::Write => self.w_ts.max(self.r_ts),
+            };
+            let proposal = ts.ts.min_backoff_above(ts.interval, floor);
+            self.queue.insert(QueueEntry {
+                txn,
+                mode,
+                method: CcMethod::PrecedenceAgreement,
+                precedence: Precedence::timestamped(proposal, site, txn),
+                status: EntryStatus::Blocked,
+                granted: false,
+            });
+            self.backoffs += 1;
+            PaDecision::BackedOff(proposal)
+        }
+    }
+
+    /// Deliver the issuer's final timestamp for a previously blocked (or
+    /// accepted) request.
+    pub fn update_ts(&mut self, txn: TxnId, site: SiteId, new_ts: Timestamp) {
+        self.queue
+            .reprioritise(txn, Precedence::timestamped(new_ts, site, txn));
+    }
+
+    /// Grant every request that is currently allowed to proceed, in
+    /// timestamp order, and return the granted transactions.
+    ///
+    /// The rules are the paper's step (e): a read at the head is granted when
+    /// every previously granted *write* has been released; a write at the
+    /// head is granted when every previously granted request has been
+    /// released.
+    pub fn poll_grants(&mut self) -> Vec<TxnId> {
+        let mut granted = Vec::new();
+        while let Some(head) = self.queue.head() {
+            if head.status == EntryStatus::Blocked {
+                break;
+            }
+            let txn = head.txn;
+            let mode = head.mode;
+            let ts = head.precedence.ts;
+            let allowed = match mode {
+                AccessMode::Read => self
+                    .outstanding
+                    .iter()
+                    .all(|(&other, &m)| other == txn || m != AccessMode::Write),
+                AccessMode::Write => self.outstanding.keys().all(|&other| other == txn),
+            };
+            if !allowed {
+                break;
+            }
+            self.queue.mark_granted(txn);
+            self.outstanding.insert(txn, mode);
+            match mode {
+                AccessMode::Read => self.r_ts = self.r_ts.max(ts),
+                AccessMode::Write => self.w_ts = self.w_ts.max(ts),
+            }
+            granted.push(txn);
+        }
+        granted
+    }
+
+    /// Release the lock held by `txn` (after execution).
+    pub fn release(&mut self, txn: TxnId) {
+        self.outstanding.remove(&txn);
+        self.queue.remove(txn);
+    }
+
+    /// Number of requests still queued (granted or waiting).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn li() -> LogicalItemId {
+        LogicalItemId(1)
+    }
+    fn t(i: u64) -> TxnId {
+        TxnId(i)
+    }
+    fn tup(ts: u64, int: u64) -> TsTuple {
+        TsTuple::new(Timestamp(ts), int)
+    }
+    fn s(i: u32) -> SiteId {
+        SiteId(i)
+    }
+
+    #[test]
+    fn in_order_requests_are_accepted_and_granted_fifo() {
+        let mut q = PaQueueManager::new(li());
+        assert_eq!(q.submit(t(1), s(0), tup(10, 5), AccessMode::Write), PaDecision::Accepted);
+        assert_eq!(q.submit(t(2), s(1), tup(20, 5), AccessMode::Write), PaDecision::Accepted);
+        assert_eq!(q.poll_grants(), vec![t(1)]);
+        assert!(q.poll_grants().is_empty(), "second writer waits for the release");
+        q.release(t(1));
+        assert_eq!(q.poll_grants(), vec![t(2)]);
+    }
+
+    #[test]
+    fn out_of_order_request_backs_off_not_rejects() {
+        let mut q = PaQueueManager::new(li());
+        q.submit(t(1), s(0), tup(50, 5), AccessMode::Write);
+        q.poll_grants();
+        q.release(t(1));
+        // ts 30, INT 8: smallest 30+8k above 50 is 54.
+        match q.submit(t(2), s(1), tup(30, 8), AccessMode::Read) {
+            PaDecision::BackedOff(ts) => assert_eq!(ts, Timestamp(54)),
+            other => panic!("expected backoff, got {other:?}"),
+        }
+        assert_eq!(q.backoffs(), 1);
+        // Blocked entries are not granted until the final timestamp arrives.
+        assert!(q.poll_grants().is_empty());
+        q.update_ts(t(2), s(1), Timestamp(60));
+        assert_eq!(q.poll_grants(), vec![t(2)]);
+    }
+
+    #[test]
+    fn readers_share_but_wait_for_writers() {
+        let mut q = PaQueueManager::new(li());
+        q.submit(t(1), s(0), tup(10, 5), AccessMode::Read);
+        q.submit(t(2), s(1), tup(20, 5), AccessMode::Read);
+        assert_eq!(q.poll_grants(), vec![t(1), t(2)]);
+        q.submit(t(3), s(2), tup(30, 5), AccessMode::Write);
+        assert!(q.poll_grants().is_empty());
+        q.release(t(1));
+        assert!(q.poll_grants().is_empty());
+        q.release(t(2));
+        assert_eq!(q.poll_grants(), vec![t(3)]);
+    }
+
+    #[test]
+    fn write_threshold_includes_reads() {
+        let mut q = PaQueueManager::new(li());
+        q.submit(t(1), s(0), tup(40, 5), AccessMode::Read);
+        q.poll_grants();
+        q.release(t(1));
+        // A write at ts 35 conflicts with R-TS = 40 and must back off above 40.
+        match q.submit(t(2), s(1), tup(35, 10), AccessMode::Write) {
+            PaDecision::BackedOff(ts) => assert_eq!(ts, Timestamp(45)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_queue_negotiation_uses_max_proposal() {
+        // Two queues; the issuer collects both proposals and broadcasts the max.
+        let mut qa = PaQueueManager::new(LogicalItemId(1));
+        let mut qb = PaQueueManager::new(LogicalItemId(2));
+        // Seed thresholds.
+        qa.submit(t(1), s(0), tup(100, 1), AccessMode::Write);
+        qa.poll_grants();
+        qa.release(t(1));
+        qb.submit(t(2), s(0), tup(200, 1), AccessMode::Write);
+        qb.poll_grants();
+        qb.release(t(2));
+        // Transaction 3 at ts 50 accesses both.
+        let pa = qa.submit(t(3), s(1), tup(50, 7), AccessMode::Write);
+        let pb = qb.submit(t(3), s(1), tup(50, 7), AccessMode::Write);
+        let (PaDecision::BackedOff(a), PaDecision::BackedOff(b)) = (pa, pb) else {
+            panic!("both queues must back the request off");
+        };
+        let final_ts = a.max(b);
+        assert!(final_ts > Timestamp(200));
+        qa.update_ts(t(3), s(1), final_ts);
+        qb.update_ts(t(3), s(1), final_ts);
+        assert_eq!(qa.poll_grants(), vec![t(3)]);
+        assert_eq!(qb.poll_grants(), vec![t(3)]);
+        // PA never restarts: the transaction proceeded despite arriving late.
+    }
+
+    #[test]
+    fn thresholds_track_grants() {
+        let mut q = PaQueueManager::new(li());
+        q.submit(t(1), s(0), tup(10, 1), AccessMode::Read);
+        q.submit(t(2), s(1), tup(20, 1), AccessMode::Write);
+        q.poll_grants(); // grants the read only
+        assert_eq!(q.thresholds(), (Timestamp(10), Timestamp::ZERO));
+        q.release(t(1));
+        q.poll_grants();
+        assert_eq!(q.thresholds(), (Timestamp(10), Timestamp(20)));
+        assert_eq!(q.queue_len(), 1);
+    }
+}

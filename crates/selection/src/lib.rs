@@ -1,0 +1,28 @@
+//! # selection — the System-Throughput-Loss (STL) model and the dynamic
+//! concurrency-control selector (paper, Section 5)
+//!
+//! The paper rejects picking the protocol that minimises a transaction's own
+//! system time (it is biased towards 2PL, which shortens its own latency by
+//! degrading everyone else) and instead estimates, for each candidate
+//! protocol, the **system throughput loss** the new transaction would inflict
+//! while it holds its locks. The protocol with the smallest estimated STL is
+//! chosen.
+//!
+//! * [`stl`] — the recursive `STL'(λ_loss, U)` function evaluated with the
+//!   dynamic-programming scheme the paper suggests (level/τ grid), plus the
+//!   `λ_block` / `λ_new` auxiliaries.
+//! * [`estimators`] — the closed-form per-protocol estimators
+//!   `STL_2PL`, `STL_T/O`, `STL_PA` built from measured parameters
+//!   (abort/rejection/backoff probabilities, mean lock-hold times).
+//! * [`selector`] — [`selector::StlSelector`], which pulls those parameters
+//!   from a [`metrics::SimMetrics`] and picks the method for each incoming
+//!   transaction, with a round-robin warm-up while estimates are still
+//!   unreliable.
+
+pub mod estimators;
+pub mod selector;
+pub mod stl;
+
+pub use estimators::{stl_2pl, stl_pa, stl_to, ProtocolParams, TxnShape};
+pub use selector::{SelectionDecision, StlSelector};
+pub use stl::StlModel;

@@ -1,0 +1,337 @@
+//! The per-transaction dynamic selector.
+//!
+//! [`StlSelector`] pulls the STL model parameters and the per-protocol
+//! statistics out of a [`SimMetrics`] collection, evaluates the three
+//! estimators for the incoming transaction, and returns the method with the
+//! smallest estimated system throughput loss.
+//!
+//! Two practical details the paper leaves open are handled explicitly:
+//!
+//! * **Warm-up** — while fewer than `warmup_commits` transactions have
+//!   committed under a method, its statistics are too noisy to trust; the
+//!   selector cycles through the three methods round-robin so every protocol
+//!   keeps collecting fresh measurements (this also implements the paper's
+//!   suggestion that parameters "be collected periodically").
+//! * **Exploration** — after warm-up a small fraction (`explore_every`) of
+//!   transactions is still assigned round-robin, so the estimates of
+//!   currently-unselected protocols do not go stale.
+
+use dbmodel::{CcMethod, Catalog, Transaction};
+use metrics::SimMetrics;
+
+use crate::estimators::{stl_2pl, stl_pa, stl_to, ProtocolParams, TxnShape};
+use crate::stl::StlModel;
+
+/// The outcome of one selection, including the estimated costs (for
+/// reporting and for the selection experiment E6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelectionDecision {
+    /// The method chosen.
+    pub method: CcMethod,
+    /// Estimated STL under 2PL.
+    pub stl_2pl: f64,
+    /// Estimated STL under T/O.
+    pub stl_to: f64,
+    /// Estimated STL under PA.
+    pub stl_pa: f64,
+    /// True if the decision was a warm-up / exploration round-robin pick
+    /// rather than a cost-based one.
+    pub exploratory: bool,
+}
+
+/// Dynamic concurrency-control selector based on the STL criterion.
+#[derive(Debug, Clone)]
+pub struct StlSelector {
+    /// Commits per method required before its estimates are trusted.
+    pub warmup_commits: u64,
+    /// After warm-up, every `explore_every`-th transaction is assigned
+    /// round-robin regardless of cost (0 disables exploration).
+    pub explore_every: u64,
+    counter: u64,
+}
+
+impl Default for StlSelector {
+    fn default() -> Self {
+        StlSelector {
+            warmup_commits: 30,
+            explore_every: 20,
+            counter: 0,
+        }
+    }
+}
+
+impl StlSelector {
+    /// Create a selector with the default warm-up and exploration settings.
+    pub fn new() -> Self {
+        StlSelector::default()
+    }
+
+    /// Create a selector with explicit warm-up / exploration settings.
+    pub fn with_settings(warmup_commits: u64, explore_every: u64) -> Self {
+        StlSelector {
+            warmup_commits,
+            explore_every,
+            counter: 0,
+        }
+    }
+
+    /// Choose the concurrency-control method for `txn`.
+    pub fn select(
+        &mut self,
+        txn: &Transaction,
+        catalog: &Catalog,
+        metrics: &SimMetrics,
+    ) -> SelectionDecision {
+        self.counter += 1;
+        let round_robin = CcMethod::ALL[(self.counter % 3) as usize];
+
+        let warmed_up = CcMethod::ALL
+            .iter()
+            .all(|&m| metrics.method(m).committed.get() >= self.warmup_commits);
+        let exploring = self.explore_every > 0 && self.counter % self.explore_every == 0;
+        if !warmed_up || exploring {
+            return SelectionDecision {
+                method: round_robin,
+                stl_2pl: f64::NAN,
+                stl_to: f64::NAN,
+                stl_pa: f64::NAN,
+                exploratory: true,
+            };
+        }
+
+        let model = Self::model_from_metrics(metrics);
+        let shape = Self::shape_for(txn, catalog, metrics);
+        let params_2pl = Self::params_for(metrics, CcMethod::TwoPhaseLocking);
+        let params_to = Self::params_for(metrics, CcMethod::TimestampOrdering);
+        let params_pa = Self::params_for(metrics, CcMethod::PrecedenceAgreement);
+
+        let cost_2pl = stl_2pl(&model, &shape, &params_2pl);
+        let cost_to = stl_to(&model, &shape, &params_to);
+        let cost_pa = stl_pa(&model, &shape, &params_pa);
+
+        let method = if cost_2pl <= cost_to && cost_2pl <= cost_pa {
+            CcMethod::TwoPhaseLocking
+        } else if cost_to <= cost_pa {
+            CcMethod::TimestampOrdering
+        } else {
+            CcMethod::PrecedenceAgreement
+        };
+        SelectionDecision {
+            method,
+            stl_2pl: cost_2pl,
+            stl_to: cost_to,
+            stl_pa: cost_pa,
+            exploratory: false,
+        }
+    }
+
+    /// Build the system-wide STL model from measured rates.
+    pub fn model_from_metrics(metrics: &SimMetrics) -> StlModel {
+        let commit_rate = metrics.commit_throughput();
+        let k = if commit_rate > 0.0 {
+            (metrics.system_throughput() / commit_rate).max(1.0)
+        } else {
+            1.0
+        };
+        StlModel {
+            lambda_a: metrics.system_throughput(),
+            lambda_r: metrics.avg_read_throughput(),
+            lambda_w: metrics.avg_write_throughput(),
+            q_r: metrics.read_fraction(),
+            k,
+        }
+    }
+
+    /// Build the per-item loss shape for a transaction (read-one at the
+    /// origin site, write-all over the item's copies).
+    pub fn shape_for(txn: &Transaction, catalog: &Catalog, metrics: &SimMetrics) -> TxnShape {
+        let mut shape = TxnShape::default();
+        for &item in txn.read_set() {
+            if let Ok(copy) = catalog.read_copy(item, txn.origin) {
+                shape
+                    .read_items
+                    .push((metrics.read_throughput(copy), metrics.write_throughput(copy)));
+            }
+        }
+        for &item in txn.write_set() {
+            if let Ok(copies) = catalog.physical_copies(item) {
+                let (mut lr, mut lw) = (0.0, 0.0);
+                for copy in copies {
+                    lr += metrics.read_throughput(copy);
+                    lw += metrics.write_throughput(copy);
+                }
+                shape.write_items.push((lr, lw));
+            }
+        }
+        shape
+    }
+
+    /// Extract the measured parameters of one protocol.
+    pub fn params_for(metrics: &SimMetrics, method: CcMethod) -> ProtocolParams {
+        let stats = metrics.method(method);
+        let u_ok = stats.lock_time_ok.mean();
+        let u_denied = if stats.lock_time_aborted.count() > 0 {
+            stats.lock_time_aborted.mean()
+        } else {
+            u_ok
+        };
+        ProtocolParams {
+            u_ok,
+            u_denied,
+            p_abort: stats.deadlock_abort_prob(),
+            p_read_denial: stats.read_denial_prob(),
+            p_write_denial: stats.write_denial_prob(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbmodel::{AccessMode, LogicalItemId, PhysicalItemId, ReplicationPolicy, SiteId, TxnId};
+    use metrics::TxnOutcome;
+    use simkit::time::{Duration, SimTime};
+
+    fn catalog() -> Catalog {
+        Catalog::generate(2, 10, ReplicationPolicy::SingleCopy)
+    }
+
+    fn txn(id: u64, reads: &[u64], writes: &[u64]) -> Transaction {
+        let mut b = Transaction::builder(TxnId(id), SiteId(0));
+        for &r in reads {
+            b = b.read(LogicalItemId(r));
+        }
+        for &w in writes {
+            b = b.write(LogicalItemId(w));
+        }
+        b.build()
+    }
+
+    /// Populate metrics so that all three methods look warmed up, with the
+    /// given per-method tuning.
+    fn warmed_metrics(tune: impl Fn(CcMethod, &mut SimMetrics)) -> SimMetrics {
+        let mut m = SimMetrics::new();
+        m.set_time_span(SimTime::ZERO, SimTime::from_secs(100));
+        for &method in &CcMethod::ALL {
+            for _ in 0..50 {
+                m.record_commit(method, Duration::from_millis(40));
+                m.record_lock_hold(method, Duration::from_millis(30), false);
+            }
+            tune(method, &mut m);
+        }
+        for i in 0..10u64 {
+            for _ in 0..200 {
+                m.record_grant(
+                    PhysicalItemId::new(LogicalItemId(i), SiteId((i % 2) as u32)),
+                    if i % 3 == 0 { AccessMode::Write } else { AccessMode::Read },
+                );
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn warmup_cycles_round_robin() {
+        let mut sel = StlSelector::with_settings(1000, 0);
+        let metrics = SimMetrics::new();
+        let cat = catalog();
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..6 {
+            let d = sel.select(&txn(i, &[1], &[2]), &cat, &metrics);
+            assert!(d.exploratory);
+            seen.insert(d.method);
+        }
+        assert_eq!(seen.len(), 3, "warm-up must exercise every method");
+    }
+
+    #[test]
+    fn selects_away_from_deadlock_prone_2pl() {
+        let metrics = warmed_metrics(|method, m| {
+            if method == CcMethod::TwoPhaseLocking {
+                for _ in 0..40 {
+                    m.record_restart(method, TxnOutcome::DeadlockRestart);
+                    m.record_lock_hold(method, Duration::from_millis(200), true);
+                }
+            }
+        });
+        let mut sel = StlSelector::with_settings(10, 0);
+        let d = sel.select(&txn(1, &[1, 2], &[3]), &catalog(), &metrics);
+        assert!(!d.exploratory);
+        assert_ne!(d.method, CcMethod::TwoPhaseLocking);
+        assert!(d.stl_2pl > d.stl_to.min(d.stl_pa));
+    }
+
+    #[test]
+    fn selects_away_from_rejection_prone_to_for_large_txns() {
+        let metrics = warmed_metrics(|method, m| {
+            if method == CcMethod::TimestampOrdering {
+                for _ in 0..60 {
+                    m.record_request_outcome(method, AccessMode::Read, true);
+                    m.record_request_outcome(method, AccessMode::Write, true);
+                }
+                for _ in 0..40 {
+                    m.record_request_outcome(method, AccessMode::Read, false);
+                    m.record_request_outcome(method, AccessMode::Write, false);
+                }
+                for _ in 0..30 {
+                    m.record_restart(method, TxnOutcome::RejectedRestart);
+                    m.record_lock_hold(method, Duration::from_millis(100), true);
+                }
+            }
+        });
+        let mut sel = StlSelector::with_settings(10, 0);
+        let big = txn(1, &[1, 2, 3, 4], &[5, 6, 7, 8]);
+        let d = sel.select(&big, &catalog(), &metrics);
+        assert!(!d.exploratory);
+        assert_ne!(d.method, CcMethod::TimestampOrdering);
+        assert!(d.stl_to > d.stl_2pl.min(d.stl_pa));
+    }
+
+    #[test]
+    fn exploration_interleaves_after_warmup() {
+        let metrics = warmed_metrics(|_, _| {});
+        let mut sel = StlSelector::with_settings(10, 4);
+        let cat = catalog();
+        let mut exploratory = 0;
+        for i in 0..40 {
+            let d = sel.select(&txn(i, &[1], &[2]), &cat, &metrics);
+            if d.exploratory {
+                exploratory += 1;
+            }
+        }
+        assert_eq!(exploratory, 10, "every 4th decision explores");
+    }
+
+    #[test]
+    fn model_from_metrics_reflects_rates() {
+        let metrics = warmed_metrics(|_, _| {});
+        let model = StlSelector::model_from_metrics(&metrics);
+        assert!(model.lambda_a > 0.0);
+        assert!(model.q_r > 0.0 && model.q_r < 1.0);
+        assert!(model.k >= 1.0);
+        let empty = SimMetrics::new();
+        let model = StlSelector::model_from_metrics(&empty);
+        assert_eq!(model.lambda_a, 0.0);
+        assert_eq!(model.k, 1.0);
+    }
+
+    #[test]
+    fn shape_uses_read_one_write_all() {
+        let metrics = warmed_metrics(|_, _| {});
+        let cat = catalog();
+        let t = txn(1, &[0], &[1, 2]);
+        let shape = StlSelector::shape_for(&t, &cat, &metrics);
+        assert_eq!(shape.m(), 1);
+        assert_eq!(shape.n(), 2);
+        assert!(shape.lambda_t() > 0.0);
+    }
+
+    #[test]
+    fn params_fall_back_to_ok_time_when_no_aborts_measured() {
+        let metrics = warmed_metrics(|_, _| {});
+        let p = StlSelector::params_for(&metrics, CcMethod::PrecedenceAgreement);
+        assert!(p.u_ok > 0.0);
+        assert_eq!(p.u_ok, p.u_denied);
+        assert_eq!(p.p_abort, 0.0);
+    }
+}

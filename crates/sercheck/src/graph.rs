@@ -1,0 +1,309 @@
+//! Conflict-graph construction, cycle detection and serialization-order
+//! recovery.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use dbmodel::{LogSet, PhysicalItemId, TxnId};
+
+/// Why an execution failed the serializability check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SerializabilityError {
+    /// The conflict graph contains a cycle; the payload is one cycle found,
+    /// as a sequence of transactions `t0 → t1 → … → t0` (the first element is
+    /// repeated at the end).
+    Cycle(Vec<TxnId>),
+}
+
+impl std::fmt::Display for SerializabilityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SerializabilityError::Cycle(cycle) => {
+                let names: Vec<String> = cycle.iter().map(|t| t.to_string()).collect();
+                write!(f, "conflict-graph cycle: {}", names.join(" -> "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for SerializabilityError {}
+
+/// The conflict (serialization) graph of an execution.
+///
+/// Nodes are committed transactions; there is an edge `ti → tj` when some
+/// item's log implements a conflicting operation of `ti` before one of `tj`.
+#[derive(Debug, Clone, Default)]
+pub struct ConflictGraph {
+    nodes: BTreeSet<TxnId>,
+    edges: BTreeMap<TxnId, BTreeSet<TxnId>>,
+    // One witness item per edge, for diagnostics.
+    witnesses: BTreeMap<(TxnId, TxnId), PhysicalItemId>,
+}
+
+impl ConflictGraph {
+    /// Build the conflict graph from a set of per-item implementation logs.
+    pub fn from_logs(logs: &LogSet) -> Self {
+        let mut g = ConflictGraph::default();
+        for (item, log) in logs.iter() {
+            for entry in log.entries() {
+                g.nodes.insert(entry.txn);
+            }
+            for (earlier, later) in log.conflict_pairs() {
+                g.add_edge(earlier.txn, later.txn, item);
+            }
+        }
+        g
+    }
+
+    /// Add an explicit node (useful for transactions that committed without
+    /// conflicting with anyone).
+    pub fn add_node(&mut self, txn: TxnId) {
+        self.nodes.insert(txn);
+    }
+
+    /// Add an edge `from → to`, recording `item` as a witness.
+    pub fn add_edge(&mut self, from: TxnId, to: TxnId, item: PhysicalItemId) {
+        if from == to {
+            return;
+        }
+        self.nodes.insert(from);
+        self.nodes.insert(to);
+        self.edges.entry(from).or_default().insert(to);
+        self.witnesses.entry((from, to)).or_insert(item);
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.values().map(|s| s.len()).sum()
+    }
+
+    /// The successors of a transaction.
+    pub fn successors(&self, txn: TxnId) -> impl Iterator<Item = TxnId> + '_ {
+        self.edges
+            .get(&txn)
+            .into_iter()
+            .flat_map(|s| s.iter().copied())
+    }
+
+    /// The item witnessing an edge, if the edge exists.
+    pub fn witness(&self, from: TxnId, to: TxnId) -> Option<PhysicalItemId> {
+        self.witnesses.get(&(from, to)).copied()
+    }
+
+    /// True if the graph contains the edge `from → to`.
+    pub fn has_edge(&self, from: TxnId, to: TxnId) -> bool {
+        self.edges.get(&from).is_some_and(|s| s.contains(&to))
+    }
+
+    /// Topologically sort the graph. On success the returned order is a valid
+    /// serialization order (Theorem 1); on failure a cycle is returned.
+    pub fn serialization_order(&self) -> Result<Vec<TxnId>, SerializabilityError> {
+        // Kahn's algorithm with deterministic (BTree) tie-breaking.
+        let mut indegree: BTreeMap<TxnId, usize> =
+            self.nodes.iter().map(|&n| (n, 0)).collect();
+        for succs in self.edges.values() {
+            for &to in succs {
+                *indegree.entry(to).or_insert(0) += 1;
+            }
+        }
+        let mut ready: BTreeSet<TxnId> = indegree
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&n, _)| n)
+            .collect();
+        let mut order = Vec::with_capacity(self.nodes.len());
+        while let Some(&next) = ready.iter().next() {
+            ready.remove(&next);
+            order.push(next);
+            for succ in self.successors(next) {
+                let d = indegree.get_mut(&succ).expect("successor is a node");
+                *d -= 1;
+                if *d == 0 {
+                    ready.insert(succ);
+                }
+            }
+        }
+        if order.len() == self.nodes.len() {
+            Ok(order)
+        } else {
+            Err(SerializabilityError::Cycle(self.find_cycle()))
+        }
+    }
+
+    /// Find one cycle in the graph (only called when one exists).
+    fn find_cycle(&self) -> Vec<TxnId> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            White,
+            Grey,
+            Black,
+        }
+        let mut mark: BTreeMap<TxnId, Mark> =
+            self.nodes.iter().map(|&n| (n, Mark::White)).collect();
+        let mut stack: Vec<TxnId> = Vec::new();
+
+        fn dfs(
+            g: &ConflictGraph,
+            node: TxnId,
+            mark: &mut BTreeMap<TxnId, Mark>,
+            stack: &mut Vec<TxnId>,
+        ) -> Option<Vec<TxnId>> {
+            mark.insert(node, Mark::Grey);
+            stack.push(node);
+            for succ in g.successors(node) {
+                match mark.get(&succ).copied().unwrap_or(Mark::White) {
+                    Mark::Grey => {
+                        // Found a cycle: slice the stack from the first
+                        // occurrence of succ.
+                        let start = stack.iter().position(|&t| t == succ).unwrap_or(0);
+                        let mut cycle: Vec<TxnId> = stack[start..].to_vec();
+                        cycle.push(succ);
+                        return Some(cycle);
+                    }
+                    Mark::White => {
+                        if let Some(c) = dfs(g, succ, mark, stack) {
+                            return Some(c);
+                        }
+                    }
+                    Mark::Black => {}
+                }
+            }
+            stack.pop();
+            mark.insert(node, Mark::Black);
+            None
+        }
+
+        for &node in &self.nodes {
+            if mark[&node] == Mark::White {
+                if let Some(cycle) = dfs(self, node, &mut mark, &mut stack) {
+                    return cycle;
+                }
+            }
+        }
+        Vec::new()
+    }
+}
+
+/// Check that the execution recorded in `logs` is conflict serializable,
+/// returning a serialization order on success.
+pub fn check_serializable(logs: &LogSet) -> Result<Vec<TxnId>, SerializabilityError> {
+    ConflictGraph::from_logs(logs).serialization_order()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbmodel::{AccessMode, LogicalItemId, SiteId};
+
+    fn pi(i: u64, s: u32) -> PhysicalItemId {
+        PhysicalItemId::new(LogicalItemId(i), SiteId(s))
+    }
+
+    #[test]
+    fn empty_logs_are_serializable() {
+        let logs = LogSet::new();
+        assert_eq!(check_serializable(&logs).unwrap(), Vec::<TxnId>::new());
+    }
+
+    #[test]
+    fn serial_execution_is_serializable_in_log_order() {
+        let mut logs = LogSet::new();
+        // t1 then t2 on the same item.
+        logs.record(pi(1, 0), TxnId(1), AccessMode::Write);
+        logs.record(pi(1, 0), TxnId(2), AccessMode::Write);
+        logs.record(pi(2, 0), TxnId(1), AccessMode::Read);
+        logs.record(pi(2, 0), TxnId(2), AccessMode::Write);
+        let order = check_serializable(&logs).unwrap();
+        assert_eq!(order, vec![TxnId(1), TxnId(2)]);
+    }
+
+    #[test]
+    fn classic_nonserializable_interleaving_is_caught() {
+        // The example from Section 4.2 of the paper:
+        //   Queue(x): r1 < w3, Queue(y): r2 < w1, Queue(z): r3 < w2.
+        // Implementing in those orders yields the cycle t1 -> t3? No:
+        // r1 before w3 gives t1 -> t3; r2 before w1 gives t2 -> t1;
+        // r3 before w2 gives t3 -> t2. Cycle t1 -> t3 -> t2 -> t1.
+        let mut logs = LogSet::new();
+        logs.record(pi(0, 0), TxnId(1), AccessMode::Read); // r1(x)
+        logs.record(pi(0, 0), TxnId(3), AccessMode::Write); // w3(x)
+        logs.record(pi(1, 0), TxnId(2), AccessMode::Read); // r2(y)
+        logs.record(pi(1, 0), TxnId(1), AccessMode::Write); // w1(y)
+        logs.record(pi(2, 0), TxnId(3), AccessMode::Read); // r3(z)
+        logs.record(pi(2, 0), TxnId(2), AccessMode::Write); // w2(z)
+        let err = check_serializable(&logs).unwrap_err();
+        let SerializabilityError::Cycle(cycle) = err;
+        assert!(cycle.len() >= 4, "cycle includes the repeated start node");
+        assert_eq!(cycle.first(), cycle.last());
+    }
+
+    #[test]
+    fn read_only_transactions_do_not_create_edges() {
+        let mut logs = LogSet::new();
+        logs.record(pi(1, 0), TxnId(1), AccessMode::Read);
+        logs.record(pi(1, 0), TxnId(2), AccessMode::Read);
+        logs.record(pi(1, 0), TxnId(3), AccessMode::Read);
+        let g = ConflictGraph::from_logs(&logs);
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.serialization_order().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn graph_accessors_report_edges_and_witnesses() {
+        let mut g = ConflictGraph::default();
+        g.add_edge(TxnId(1), TxnId(2), pi(9, 1));
+        g.add_edge(TxnId(1), TxnId(1), pi(9, 1)); // self edges ignored
+        g.add_node(TxnId(5));
+        assert!(g.has_edge(TxnId(1), TxnId(2)));
+        assert!(!g.has_edge(TxnId(2), TxnId(1)));
+        assert_eq!(g.witness(TxnId(1), TxnId(2)), Some(pi(9, 1)));
+        assert_eq!(g.witness(TxnId(2), TxnId(1)), None);
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.successors(TxnId(1)).collect::<Vec<_>>(), vec![TxnId(2)]);
+    }
+
+    #[test]
+    fn two_node_cycle_is_reported() {
+        let mut logs = LogSet::new();
+        // Item a: t1 writes before t2 writes. Item b: t2 writes before t1 writes.
+        logs.record(pi(0, 0), TxnId(1), AccessMode::Write);
+        logs.record(pi(0, 0), TxnId(2), AccessMode::Write);
+        logs.record(pi(1, 0), TxnId(2), AccessMode::Write);
+        logs.record(pi(1, 0), TxnId(1), AccessMode::Write);
+        let err = check_serializable(&logs).unwrap_err();
+        let SerializabilityError::Cycle(cycle) = err;
+        assert_eq!(cycle.first(), cycle.last());
+        let set: BTreeSet<TxnId> = cycle.iter().copied().collect();
+        assert_eq!(set, BTreeSet::from([TxnId(1), TxnId(2)]));
+        assert!(format!("{}", SerializabilityError::Cycle(cycle)).contains("cycle"));
+    }
+
+    #[test]
+    fn serialization_order_respects_every_edge() {
+        let mut logs = LogSet::new();
+        // A diamond: t1 before t2 and t3, both before t4.
+        logs.record(pi(0, 0), TxnId(1), AccessMode::Write);
+        logs.record(pi(0, 0), TxnId(2), AccessMode::Read);
+        logs.record(pi(1, 0), TxnId(1), AccessMode::Write);
+        logs.record(pi(1, 0), TxnId(3), AccessMode::Read);
+        logs.record(pi(2, 0), TxnId(2), AccessMode::Write);
+        logs.record(pi(2, 0), TxnId(4), AccessMode::Write);
+        logs.record(pi(3, 0), TxnId(3), AccessMode::Write);
+        logs.record(pi(3, 0), TxnId(4), AccessMode::Read);
+        let order = check_serializable(&logs).unwrap();
+        let pos: BTreeMap<TxnId, usize> =
+            order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        let g = ConflictGraph::from_logs(&logs);
+        for &from in &order {
+            for to in g.successors(from) {
+                assert!(pos[&from] < pos[&to], "{from} must precede {to}");
+            }
+        }
+    }
+}

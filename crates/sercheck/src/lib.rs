@@ -1,0 +1,15 @@
+//! # sercheck — the serializability oracle
+//!
+//! The paper's correctness criterion is conflict serializability (Theorem 1):
+//! an execution is conflict serializable iff the conflict graph induced by
+//! the per-item implementation logs is acyclic. This crate reconstructs that
+//! graph from a [`dbmodel::LogSet`] and either recovers a serialization order
+//! (a topological sort of the graph) or reports a cycle as a witness of a
+//! non-serializable execution.
+//!
+//! Every integration and property test of the concurrency-control engines
+//! funnels its execution logs through [`check_serializable`].
+
+pub mod graph;
+
+pub use graph::{check_serializable, ConflictGraph, SerializabilityError};

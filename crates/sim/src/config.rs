@@ -1,0 +1,198 @@
+//! Simulation configuration: the paper's "relevant system parameters".
+
+use dbmodel::{CcMethod, ReplicationPolicy, Value};
+use network::DelaySpec;
+use simkit::time::Duration;
+use unified_cc::EnforcementMode;
+
+/// How concurrency-control methods are assigned to transactions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MethodPolicy {
+    /// Every transaction uses the same method (static concurrency control).
+    Static(CcMethod),
+    /// Each transaction independently picks 2PL with probability `p_2pl`,
+    /// T/O with probability `p_to`, and PA otherwise.
+    Mix {
+        /// Probability of 2PL.
+        p_2pl: f64,
+        /// Probability of T/O.
+        p_to: f64,
+    },
+    /// Dynamic selection with the STL criterion (Section 5).
+    DynamicStl,
+}
+
+/// Full configuration of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// RNG seed; equal seeds reproduce identical runs.
+    pub seed: u64,
+    /// Number of computer sites.
+    pub num_sites: u32,
+    /// Number of logical data items.
+    pub num_items: u64,
+    /// How logical items are replicated across sites.
+    pub replication: ReplicationPolicy,
+    /// System-wide transaction arrival rate λ, in transactions per second
+    /// (parameter (1) of the paper's list).
+    pub arrival_rate: f64,
+    /// Number of logical items accessed per transaction, the paper's `st`
+    /// (parameter (4)).
+    pub txn_size: usize,
+    /// Probability that an accessed item is read rather than written
+    /// (parameter (2)).
+    pub read_fraction: f64,
+    /// Zipfian skew of item selection; 0 = uniform.
+    pub access_skew: f64,
+    /// Mean of the (exponential) local computing time.
+    pub local_compute: Duration,
+    /// Transmission delay between co-located request issuer and queue manager.
+    pub local_delay: DelaySpec,
+    /// Transmission delay between distinct sites (parameter (3)).
+    pub remote_delay: DelaySpec,
+    /// Delay before an aborted transaction is resubmitted (parameter (5),
+    /// the cost of restarts).
+    pub restart_delay: Duration,
+    /// Period of the global deadlock scan (parameter (6)).
+    pub deadlock_scan_period: Duration,
+    /// PA backoff interval `INT`, in timestamp units (microseconds).
+    pub pa_backoff_interval: u64,
+    /// Semi-lock protocol (the paper's proposal) or lock-everything
+    /// enforcement (the ablation baseline).
+    pub enforcement: EnforcementMode,
+    /// How methods are assigned to transactions.
+    pub method_policy: MethodPolicy,
+    /// Number of transactions to generate.
+    pub num_transactions: usize,
+    /// Initial value of every physical item.
+    pub initial_value: Value,
+    /// Hard cap on simulated time; the run stops even if transactions remain.
+    pub max_sim_time: Duration,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 42,
+            num_sites: 4,
+            num_items: 200,
+            replication: ReplicationPolicy::SingleCopy,
+            arrival_rate: 50.0,
+            txn_size: 4,
+            read_fraction: 0.6,
+            access_skew: 0.0,
+            local_compute: Duration::from_millis(5),
+            local_delay: DelaySpec::Uniform(50, 200),
+            remote_delay: DelaySpec::Uniform(1_000, 4_000),
+            restart_delay: Duration::from_millis(10),
+            deadlock_scan_period: Duration::from_millis(50),
+            pa_backoff_interval: 1_000,
+            enforcement: EnforcementMode::SemiLock,
+            method_policy: MethodPolicy::Static(CcMethod::TwoPhaseLocking),
+            num_transactions: 1_000,
+            initial_value: 100,
+            max_sim_time: Duration::from_secs(3_600),
+        }
+    }
+}
+
+impl SimConfig {
+    /// Convenience: the default configuration with a different method policy.
+    pub fn with_policy(policy: MethodPolicy) -> Self {
+        SimConfig {
+            method_policy: policy,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Validate the configuration, returning a human-readable complaint for
+    /// the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_sites == 0 {
+            return Err("num_sites must be at least 1".into());
+        }
+        if self.num_items == 0 {
+            return Err("num_items must be at least 1".into());
+        }
+        if self.txn_size == 0 {
+            return Err("txn_size must be at least 1".into());
+        }
+        if self.txn_size as u64 > self.num_items {
+            return Err(format!(
+                "txn_size ({}) cannot exceed num_items ({})",
+                self.txn_size, self.num_items
+            ));
+        }
+        if !(self.arrival_rate > 0.0 && self.arrival_rate.is_finite()) {
+            return Err("arrival_rate must be positive and finite".into());
+        }
+        if !(0.0..=1.0).contains(&self.read_fraction) {
+            return Err("read_fraction must be within [0, 1]".into());
+        }
+        if self.access_skew < 0.0 || !self.access_skew.is_finite() {
+            return Err("access_skew must be a finite non-negative number".into());
+        }
+        if let MethodPolicy::Mix { p_2pl, p_to } = self.method_policy {
+            if !(0.0..=1.0).contains(&p_2pl) || !(0.0..=1.0).contains(&p_to) || p_2pl + p_to > 1.0 {
+                return Err("Mix probabilities must be in [0,1] and sum to at most 1".into());
+            }
+        }
+        if self.num_transactions == 0 {
+            return Err("num_transactions must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert_eq!(SimConfig::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn with_policy_overrides_only_policy() {
+        let c = SimConfig::with_policy(MethodPolicy::DynamicStl);
+        assert_eq!(c.method_policy, MethodPolicy::DynamicStl);
+        assert_eq!(c.num_sites, SimConfig::default().num_sites);
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut c = SimConfig::default();
+        c.num_sites = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default();
+        c.txn_size = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default();
+        c.txn_size = 1000;
+        c.num_items = 10;
+        assert!(c.validate().unwrap_err().contains("txn_size"));
+
+        let mut c = SimConfig::default();
+        c.arrival_rate = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default();
+        c.read_fraction = 1.5;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default();
+        c.method_policy = MethodPolicy::Mix { p_2pl: 0.8, p_to: 0.5 };
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default();
+        c.num_transactions = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default();
+        c.access_skew = f64::NAN;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,189 @@
+//! Per-run summary consumed by the experiment binaries and the tests.
+
+use std::collections::BTreeMap;
+
+use dbmodel::{CcMethod, LogSet, TxnId};
+use metrics::SimMetrics;
+use network::MsgStats;
+use sercheck::SerializabilityError;
+
+/// A compact per-method summary row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodReport {
+    /// The method.
+    pub method: CcMethod,
+    /// Committed transactions that ran under this method.
+    pub committed: u64,
+    /// Mean system time in seconds.
+    pub mean_system_time: f64,
+    /// 95th-percentile system time in seconds.
+    pub p95_system_time: f64,
+    /// Restarts caused by T/O rejections.
+    pub rejections: u64,
+    /// Restarts caused by deadlock aborts.
+    pub deadlock_aborts: u64,
+    /// PA backoff rounds.
+    pub backoff_rounds: u64,
+}
+
+/// The result of one simulation run.
+#[derive(Debug)]
+pub struct SimReport {
+    /// Full metric collection.
+    pub metrics: SimMetrics,
+    /// Message accounting.
+    pub messages: MsgStats,
+    /// The per-item implementation logs of the execution.
+    pub logs: LogSet,
+    /// Number of workload transactions that committed.
+    pub committed: usize,
+    /// Number of workload transactions submitted.
+    pub submitted: usize,
+    /// How many transactions were assigned each method.
+    pub selection_counts: BTreeMap<CcMethod, u64>,
+    serializability: Result<Vec<TxnId>, SerializabilityError>,
+}
+
+impl SimReport {
+    /// Assemble a report (used by the driver).
+    pub fn new(
+        metrics: SimMetrics,
+        messages: MsgStats,
+        logs: LogSet,
+        serializability: Result<Vec<TxnId>, SerializabilityError>,
+        committed: usize,
+        submitted: usize,
+        selection_counts: BTreeMap<CcMethod, u64>,
+    ) -> Self {
+        SimReport {
+            metrics,
+            messages,
+            logs,
+            committed,
+            submitted,
+            selection_counts,
+            serializability,
+        }
+    }
+
+    /// The serializability verdict for the whole execution: a serialization
+    /// order on success, a conflict-graph cycle on failure.
+    pub fn serializable(&self) -> &Result<Vec<TxnId>, SerializabilityError> {
+        &self.serializability
+    }
+
+    /// Mean system time over all committed transactions, in seconds (the
+    /// paper's `S`).
+    pub fn mean_system_time(&self) -> f64 {
+        self.metrics.mean_system_time()
+    }
+
+    /// Committed transactions per simulated second.
+    pub fn throughput(&self) -> f64 {
+        self.metrics.commit_throughput()
+    }
+
+    /// Messages sent per committed transaction.
+    pub fn messages_per_commit(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.messages.total() as f64 / self.committed as f64
+        }
+    }
+
+    /// Total restarts over all methods.
+    pub fn total_restarts(&self) -> u64 {
+        CcMethod::ALL
+            .iter()
+            .map(|&m| self.metrics.method(m).restarts())
+            .sum()
+    }
+
+    /// Total deadlock aborts over all methods.
+    pub fn total_deadlocks(&self) -> u64 {
+        CcMethod::ALL
+            .iter()
+            .map(|&m| self.metrics.method(m).deadlock_aborts.get())
+            .sum()
+    }
+
+    /// One summary row per method that committed at least one transaction.
+    pub fn method_rows(&self) -> Vec<MethodReport> {
+        CcMethod::ALL
+            .iter()
+            .map(|&method| {
+                let stats = self.metrics.method(method);
+                MethodReport {
+                    method,
+                    committed: stats.committed.get(),
+                    mean_system_time: stats.mean_system_time(),
+                    p95_system_time: stats.system_time.quantile(0.95),
+                    rejections: stats.rejections.get(),
+                    deadlock_aborts: stats.deadlock_aborts.get(),
+                    backoff_rounds: stats.backoff_rounds.get(),
+                }
+            })
+            .filter(|r| r.committed > 0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::time::{Duration, SimTime};
+
+    fn report_with(committed: usize) -> SimReport {
+        let mut metrics = SimMetrics::new();
+        metrics.set_time_span(SimTime::ZERO, SimTime::from_secs(10));
+        for _ in 0..committed {
+            metrics.record_commit(CcMethod::TwoPhaseLocking, Duration::from_millis(20));
+        }
+        SimReport::new(
+            metrics,
+            MsgStats::default(),
+            LogSet::new(),
+            Ok(vec![]),
+            committed,
+            committed,
+            BTreeMap::new(),
+        )
+    }
+
+    #[test]
+    fn messages_per_commit_handles_zero_commits() {
+        let r = report_with(0);
+        assert_eq!(r.messages_per_commit(), 0.0);
+        assert_eq!(r.throughput(), 0.0);
+    }
+
+    #[test]
+    fn method_rows_skip_unused_methods() {
+        let r = report_with(5);
+        let rows = r.method_rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].method, CcMethod::TwoPhaseLocking);
+        assert_eq!(rows[0].committed, 5);
+        assert!(rows[0].mean_system_time > 0.0);
+    }
+
+    #[test]
+    fn totals_aggregate_over_methods() {
+        let mut metrics = SimMetrics::new();
+        metrics.set_time_span(SimTime::ZERO, SimTime::from_secs(1));
+        metrics.record_restart(CcMethod::TimestampOrdering, metrics::TxnOutcome::RejectedRestart);
+        metrics.record_restart(CcMethod::TwoPhaseLocking, metrics::TxnOutcome::DeadlockRestart);
+        let r = SimReport::new(
+            metrics,
+            MsgStats::default(),
+            LogSet::new(),
+            Ok(vec![]),
+            0,
+            0,
+            BTreeMap::new(),
+        );
+        assert_eq!(r.total_restarts(), 2);
+        assert_eq!(r.total_deadlocks(), 1);
+    }
+}

@@ -1,0 +1,64 @@
+//! Mixed-protocol inventory workload: the unified system's selling point.
+//!
+//! A warehouse database serves two very different transaction classes at the
+//! same time:
+//!
+//! * *order lines* — tiny write-heavy transactions (reserve one SKU), which
+//!   the paper notes favour 2PL ("each transaction only accesses one data
+//!   item through a write operation"), and
+//! * *stock checks* — medium read-mostly transactions, which favour T/O or
+//!   PA under load.
+//!
+//! Instead of forcing one protocol on everyone, the unified system lets each
+//! class use its own: this example runs the mixed assignment and compares it
+//! with forcing either class's favourite on the whole system.
+//!
+//! Run with: `cargo run --release -p examples --bin inventory_mixed`
+
+use dbmodel::CcMethod;
+use sim::{MethodPolicy, SimConfig, Simulation};
+
+fn config(policy: MethodPolicy) -> SimConfig {
+    SimConfig {
+        seed: 99,
+        num_sites: 4,
+        num_items: 100,
+        arrival_rate: 200.0,
+        txn_size: 3,
+        read_fraction: 0.6,
+        access_skew: 0.6,
+        num_transactions: 1_500,
+        method_policy: policy,
+        ..SimConfig::default()
+    }
+}
+
+fn main() {
+    println!("Inventory workload (Zipf-skewed SKU access, 200 txn/s)");
+    let policies = [
+        ("all 2PL", MethodPolicy::Static(CcMethod::TwoPhaseLocking)),
+        ("all T/O", MethodPolicy::Static(CcMethod::TimestampOrdering)),
+        ("all PA", MethodPolicy::Static(CcMethod::PrecedenceAgreement)),
+        ("mixed 50/25/25", MethodPolicy::Mix { p_2pl: 0.5, p_to: 0.25 }),
+        ("STL dynamic", MethodPolicy::DynamicStl),
+    ];
+    println!(
+        "{:>16}  {:>12}  {:>12}  {:>10}  {:>11}",
+        "assignment", "mean S (ms)", "thrpt (t/s)", "restarts", "deadlocks"
+    );
+    for (label, policy) in policies {
+        let report = Simulation::run(config(policy));
+        assert!(report.serializable().is_ok(), "{label} must stay serializable");
+        println!(
+            "{:>16}  {:>12.2}  {:>12.1}  {:>10}  {:>11}",
+            label,
+            report.mean_system_time() * 1e3,
+            report.throughput(),
+            report.total_restarts(),
+            report.total_deadlocks(),
+        );
+    }
+    println!();
+    println!("Every assignment — including the mixed ones — produced a serializable execution,");
+    println!("which is exactly Theorem 2 of the paper exercised end to end.");
+}

@@ -1,0 +1,2 @@
+//! Shared helpers for the runnable examples (each example is a binary in
+//! `src/bin/`).

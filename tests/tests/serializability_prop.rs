@@ -1,0 +1,101 @@
+//! Property-based tests: for *every* randomly drawn configuration — load,
+//! transaction size, read mix, replication, skew, delays, method mix — the
+//! unified system commits the whole workload and the execution is conflict
+//! serializable (Theorem 2), PA transactions never restart (Corollary 1), and
+//! T/O / PA transactions are never deadlock victims (Corollary 2).
+
+use dbmodel::{CcMethod, ReplicationPolicy};
+use network::DelaySpec;
+use proptest::prelude::*;
+use sim::{MethodPolicy, SimConfig, Simulation};
+use simkit::time::Duration;
+
+fn arb_policy() -> impl Strategy<Value = MethodPolicy> {
+    prop_oneof![
+        Just(MethodPolicy::Static(CcMethod::TwoPhaseLocking)),
+        Just(MethodPolicy::Static(CcMethod::TimestampOrdering)),
+        Just(MethodPolicy::Static(CcMethod::PrecedenceAgreement)),
+        (0.0f64..=1.0, 0.0f64..=1.0).prop_map(|(a, b)| {
+            // Normalise so the probabilities always sum below 1.
+            let total = a + b + 1.0;
+            MethodPolicy::Mix {
+                p_2pl: a / total,
+                p_to: b / total,
+            }
+        }),
+        Just(MethodPolicy::DynamicStl),
+    ]
+}
+
+fn arb_replication() -> impl Strategy<Value = ReplicationPolicy> {
+    prop_oneof![
+        Just(ReplicationPolicy::SingleCopy),
+        Just(ReplicationPolicy::FullReplication),
+        (2usize..4).prop_map(ReplicationPolicy::KCopies),
+    ]
+}
+
+fn arb_config() -> impl Strategy<Value = SimConfig> {
+    (
+        any::<u64>(),
+        2u32..5,
+        10u64..80,
+        20.0f64..400.0,
+        1usize..6,
+        0.0f64..=1.0,
+        0.0f64..1.2,
+        arb_replication(),
+        arb_policy(),
+        1u64..20_000,
+    )
+        .prop_map(
+            |(seed, sites, items, rate, size, read_frac, skew, replication, policy, backoff)| {
+                SimConfig {
+                    seed,
+                    num_sites: sites,
+                    num_items: items,
+                    replication,
+                    arrival_rate: rate,
+                    txn_size: size.min(items as usize),
+                    read_fraction: read_frac,
+                    access_skew: skew,
+                    num_transactions: 120,
+                    local_compute: Duration::from_millis(3),
+                    local_delay: DelaySpec::Uniform(20, 150),
+                    remote_delay: DelaySpec::ExponentialMean(1_500),
+                    pa_backoff_interval: backoff,
+                    method_policy: policy,
+                    ..SimConfig::default()
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        max_shrink_iters: 0,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn every_random_configuration_is_serializable_and_live(config in arb_config()) {
+        prop_assert!(config.validate().is_ok(), "generated config must be valid");
+        let report = Simulation::run(config);
+        // Liveness: the whole workload commits.
+        prop_assert_eq!(report.committed, report.submitted);
+        // Safety: Theorem 2.
+        prop_assert!(report.serializable().is_ok(), "{:?}", report.serializable());
+        // Corollary 1: PA transactions never restart.
+        prop_assert_eq!(report.metrics.method(CcMethod::PrecedenceAgreement).restarts(), 0);
+        // Corollary 2 / Theorem 3: only 2PL transactions are deadlock victims.
+        prop_assert_eq!(
+            report.metrics.method(CcMethod::TimestampOrdering).deadlock_aborts.get(),
+            0
+        );
+        prop_assert_eq!(
+            report.metrics.method(CcMethod::PrecedenceAgreement).deadlock_aborts.get(),
+            0
+        );
+    }
+}
