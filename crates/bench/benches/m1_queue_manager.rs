@@ -5,7 +5,9 @@
 //! contended round where a waiter is promoted on release.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dbmodel::{AccessMode, CcMethod, LogicalItemId, PhysicalItemId, SiteId, Timestamp, TsTuple, TxnId};
+use dbmodel::{
+    AccessMode, CcMethod, LogicalItemId, PhysicalItemId, SiteId, Timestamp, TsTuple, TxnId,
+};
 use unified_cc::{EnforcementMode, ItemState};
 
 fn item() -> PhysicalItemId {

@@ -29,11 +29,19 @@ fn queue_insert_remove(c: &mut Criterion) {
             for _ in 0..64 {
                 i += 1;
                 let method = CcMethod::ALL[(i % 3) as usize];
-                let precedence =
-                    policy.assign(method, Timestamp(i ^ 0x5a5a), SiteId((i % 8) as u32), TxnId(i));
+                let precedence = policy.assign(
+                    method,
+                    Timestamp(i ^ 0x5a5a),
+                    SiteId((i % 8) as u32),
+                    TxnId(i),
+                );
                 queue.insert(QueueEntry {
                     txn: TxnId(i),
-                    mode: if i % 4 == 0 { AccessMode::Write } else { AccessMode::Read },
+                    mode: if i.is_multiple_of(4) {
+                        AccessMode::Write
+                    } else {
+                        AccessMode::Read
+                    },
                     method,
                     precedence,
                     status: EntryStatus::Accepted,

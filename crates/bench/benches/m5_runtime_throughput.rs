@@ -1,0 +1,92 @@
+//! M5 — macro-benchmark: live runtime commit throughput vs. thread count.
+//!
+//! Runs batches of read-modify-write transactions against a 4-shard
+//! [`runtime::Database`] from 1/2/4/8 client threads, once with every
+//! transaction pinned to static 2PL and once under the unified mixed
+//! assignment (one third of the traffic per protocol). One benchmark
+//! iteration is one batch of 64 transactions, so committed txns/sec is
+//! `64 / (ns-per-iter * 1e-9)`. This is the perf baseline later
+//! scheduler/runtime work is measured against.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbmodel::{CcMethod, LogicalItemId};
+use runtime::{CcPolicy, Database, RuntimeConfig, TxnSpec};
+
+const ITEMS: u64 = 64;
+const BATCH: u64 = 64;
+
+fn db(policy: CcPolicy) -> Database {
+    Database::open(RuntimeConfig {
+        num_shards: 4,
+        num_items: ITEMS,
+        initial_value: 100,
+        policy,
+        ..RuntimeConfig::default()
+    })
+    .expect("valid config")
+}
+
+/// Run one batch of `BATCH` transfers spread over `threads` client threads.
+fn run_batch(db: &Database, threads: u64, round: u64) {
+    let workers: Vec<_> = (0..threads)
+        .map(|t| {
+            let db = db.clone();
+            std::thread::spawn(move || {
+                for k in 0..BATCH / threads {
+                    let i = t * 31 + k * 7 + round;
+                    let from = LogicalItemId(i % ITEMS);
+                    let to = LogicalItemId((i * 3 + 1) % ITEMS);
+                    if from == to {
+                        continue;
+                    }
+                    let spec = TxnSpec::new().write(from).write(to);
+                    db.run_transaction(&spec, |reads| {
+                        vec![(from, reads[&from] - 1), (to, reads[&to] + 1)]
+                    })
+                    .expect("benchmark transaction commits");
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("benchmark worker panicked");
+    }
+}
+
+fn throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("m5_runtime_batch64_latency");
+    for (label, policy) in [
+        ("static-2pl", CcPolicy::Static(CcMethod::TwoPhaseLocking)),
+        (
+            "unified-mixed",
+            CcPolicy::Mix {
+                p_2pl: 0.34,
+                p_to: 0.33,
+            },
+        ),
+    ] {
+        for threads in [1u64, 2, 4, 8] {
+            let database = db(policy);
+            let mut round = 0u64;
+            group.bench_function(format!("{label}/{threads}threads"), |b| {
+                b.iter(|| {
+                    round += 1;
+                    run_batch(&database, threads, round);
+                });
+            });
+            let stats = database.stats();
+            let report = database.shutdown().expect("shutdown");
+            assert!(report.serializable().is_ok());
+            println!(
+                "    -> {label}/{threads}threads: {} committed, {} restarts, {} PA backoffs",
+                stats.committed,
+                stats.restarts(),
+                stats.backoff_rounds
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, throughput);
+criterion_main!(benches);

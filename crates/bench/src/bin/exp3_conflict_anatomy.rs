@@ -25,7 +25,13 @@ fn main() {
     let widths = [10usize, 14, 16, 14, 14];
     println!("E3: conflict anatomy vs arrival rate; 2000 transactions per cell");
     table::header(
-        &["lambda", "2PL deadlocks", "2PL blocked-obs", "T/O restarts", "PA backoffs"],
+        &[
+            "lambda",
+            "2PL deadlocks",
+            "2PL blocked-obs",
+            "T/O restarts",
+            "PA backoffs",
+        ],
         &widths,
     );
     for &lambda in &lambdas {
@@ -37,7 +43,10 @@ fn main() {
                 format!("{lambda:.0}"),
                 format!("{}", two_pl.total_deadlocks()),
                 format!("{}", two_pl.metrics.blocked_observations.get()),
-                format!("{}", to.metrics.method(CcMethod::TimestampOrdering).restarts()),
+                format!(
+                    "{}",
+                    to.metrics.method(CcMethod::TimestampOrdering).restarts()
+                ),
                 format!(
                     "{}",
                     pa.metrics

@@ -49,11 +49,18 @@ fn main() {
                 format!("{lambda:.0}"),
                 format!(
                     "{:.2}",
-                    semi.metrics.method(CcMethod::TimestampOrdering).mean_system_time() * 1e3
+                    semi.metrics
+                        .method(CcMethod::TimestampOrdering)
+                        .mean_system_time()
+                        * 1e3
                 ),
                 format!(
                     "{:.2}",
-                    lockall.metrics.method(CcMethod::TimestampOrdering).mean_system_time() * 1e3
+                    lockall
+                        .metrics
+                        .method(CcMethod::TimestampOrdering)
+                        .mean_system_time()
+                        * 1e3
                 ),
                 format!("{:.2}", semi.mean_system_time() * 1e3),
                 format!("{:.2}", lockall.mean_system_time() * 1e3),

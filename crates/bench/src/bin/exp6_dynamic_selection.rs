@@ -17,7 +17,14 @@ fn main() {
     let widths = [10usize, 11, 11, 11, 11, 24];
     println!("E6: mean system time S (ms): static vs STL-dynamic; selection mix shown for dynamic");
     table::header(
-        &["lambda", "2PL", "T/O", "PA", "dynamic", "dyn mix (2PL/T\\O/PA)"],
+        &[
+            "lambda",
+            "2PL",
+            "T/O",
+            "PA",
+            "dynamic",
+            "dyn mix (2PL/T\\O/PA)",
+        ],
         &widths,
     );
     for &lambda in &lambdas {
@@ -31,8 +38,14 @@ fn main() {
         let mix = format!(
             "{}/{}/{}",
             counts.get(&CcMethod::TwoPhaseLocking).copied().unwrap_or(0),
-            counts.get(&CcMethod::TimestampOrdering).copied().unwrap_or(0),
-            counts.get(&CcMethod::PrecedenceAgreement).copied().unwrap_or(0),
+            counts
+                .get(&CcMethod::TimestampOrdering)
+                .copied()
+                .unwrap_or(0),
+            counts
+                .get(&CcMethod::PrecedenceAgreement)
+                .copied()
+                .unwrap_or(0),
         );
         table::row(
             &[

@@ -21,7 +21,13 @@ fn main() {
     let widths = [12usize, 16, 16, 16, 14];
     println!("E7: deadlock-victim counts by method; lambda = 250/s, 2000 transactions");
     table::header(
-        &["mix", "2PL victims", "T/O victims", "PA victims", "restarts"],
+        &[
+            "mix",
+            "2PL victims",
+            "T/O victims",
+            "PA victims",
+            "restarts",
+        ],
         &widths,
     );
     for &(label, p_2pl, p_to) in &mixes {
@@ -33,8 +39,16 @@ fn main() {
         let report = Simulation::run(config);
         assert!(report.serializable().is_ok());
         let victims = |m: CcMethod| report.metrics.method(m).deadlock_aborts.get();
-        assert_eq!(victims(CcMethod::TimestampOrdering), 0, "T/O never deadlocks");
-        assert_eq!(victims(CcMethod::PrecedenceAgreement), 0, "PA never deadlocks");
+        assert_eq!(
+            victims(CcMethod::TimestampOrdering),
+            0,
+            "T/O never deadlocks"
+        );
+        assert_eq!(
+            victims(CcMethod::PrecedenceAgreement),
+            0,
+            "PA never deadlocks"
+        );
         table::row(
             &[
                 label.to_string(),

@@ -29,7 +29,10 @@ fn main() {
         let report = Simulation::run(config);
         assert!(report.serializable().is_ok());
         assert_eq!(
-            report.metrics.method(CcMethod::PrecedenceAgreement).restarts(),
+            report
+                .metrics
+                .method(CcMethod::PrecedenceAgreement)
+                .restarts(),
             0,
             "PA stays restart-free for every interval"
         );

@@ -1,0 +1,124 @@
+//! E9 — live-runtime sweep: commit throughput and restart behaviour as a
+//! function of client count × shard count × method mix.
+//!
+//! Unlike experiments E1–E8, which run on the discrete-event simulator,
+//! this experiment exercises the `runtime` crate: real client threads
+//! drive read-modify-write transactions through the sharded multi-threaded
+//! engine, and every cell of the sweep replays its captured execution log
+//! through the serializability oracle. The questions it answers are the
+//! ones the simulator cannot: how does *real* parallel throughput scale
+//! with cores (shards), and how much does the method mix matter under
+//! genuine contention?
+//!
+//! Run with: `cargo run --release -p bench --bin exp9_runtime_sweep`
+
+use std::time::Instant;
+
+use bench::table;
+use dbmodel::{CcMethod, LogicalItemId};
+use runtime::{CcPolicy, Database, RuntimeConfig, TxnSpec};
+
+const ITEMS: u64 = 96;
+const TXNS_PER_CLIENT: u64 = 150;
+
+fn policy_label(policy: CcPolicy) -> &'static str {
+    match policy {
+        CcPolicy::Static(CcMethod::TwoPhaseLocking) => "2PL",
+        CcPolicy::Static(CcMethod::TimestampOrdering) => "T/O",
+        CcPolicy::Static(CcMethod::PrecedenceAgreement) => "PA",
+        CcPolicy::Mix { .. } => "mixed",
+        CcPolicy::DynamicStl => "dynamic",
+    }
+}
+
+fn run_cell(clients: u64, shards: u32, policy: CcPolicy) -> Vec<String> {
+    let db = Database::open(RuntimeConfig {
+        num_shards: shards,
+        num_items: ITEMS,
+        initial_value: 1_000,
+        policy,
+        ..RuntimeConfig::default()
+    })
+    .expect("valid config");
+
+    let begun = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|t| {
+            let db = db.clone();
+            std::thread::spawn(move || {
+                for k in 0..TXNS_PER_CLIENT {
+                    let i = t * 131 + k * 17;
+                    let from = LogicalItemId(i % ITEMS);
+                    let to = LogicalItemId((i * 5 + 1) % ITEMS);
+                    if from == to {
+                        continue;
+                    }
+                    let spec = TxnSpec::new().write(from).write(to);
+                    db.run_transaction(&spec, |reads| {
+                        vec![(from, reads[&from] - 1), (to, reads[&to] + 1)]
+                    })
+                    .expect("sweep transaction commits");
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("sweep worker panicked");
+    }
+    let elapsed = begun.elapsed().as_secs_f64();
+
+    let stats = db.stats();
+    let report = db.shutdown().expect("shutdown");
+    let serializable = report.serializable().is_ok();
+    vec![
+        clients.to_string(),
+        shards.to_string(),
+        policy_label(policy).to_string(),
+        stats.committed.to_string(),
+        format!("{:.0}", stats.committed as f64 / elapsed),
+        stats.restarts().to_string(),
+        stats.backoff_rounds.to_string(),
+        if serializable {
+            "yes".into()
+        } else {
+            "NO".into()
+        },
+    ]
+}
+
+fn main() {
+    println!("E9: live runtime sweep — clients x shards x method mix");
+    println!(
+        "    ({TXNS_PER_CLIENT} transfers per client over {ITEMS} items, read-modify-write)\n"
+    );
+    let widths = [7, 6, 8, 10, 10, 9, 9, 6];
+    table::header(
+        &[
+            "clients",
+            "shards",
+            "policy",
+            "committed",
+            "txn/s",
+            "restarts",
+            "backoffs",
+            "ser.",
+        ],
+        &widths,
+    );
+    let policies = [
+        CcPolicy::Static(CcMethod::TwoPhaseLocking),
+        CcPolicy::Mix {
+            p_2pl: 0.34,
+            p_to: 0.33,
+        },
+        CcPolicy::DynamicStl,
+    ];
+    for &shards in &[1u32, 2, 4] {
+        for &clients in &[1u64, 4, 8] {
+            for &policy in &policies {
+                table::row(&run_cell(clients, shards, policy), &widths);
+            }
+        }
+        println!();
+    }
+}

@@ -48,7 +48,10 @@ impl ProtocolRow {
 
     /// Messages per committed transaction per policy.
     pub fn messages_per_commit(&self) -> Vec<f64> {
-        self.reports.iter().map(|r| r.messages_per_commit()).collect()
+        self.reports
+            .iter()
+            .map(|r| r.messages_per_commit())
+            .collect()
     }
 }
 

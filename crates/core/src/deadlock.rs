@@ -81,11 +81,8 @@ impl WaitForGraph {
             on_stack: bool,
         }
         let node_list: Vec<TxnId> = self.nodes.iter().copied().collect();
-        let idx_of: BTreeMap<TxnId, usize> = node_list
-            .iter()
-            .enumerate()
-            .map(|(i, &t)| (t, i))
-            .collect();
+        let idx_of: BTreeMap<TxnId, usize> =
+            node_list.iter().enumerate().map(|(i, &t)| (t, i)).collect();
         let mut data = vec![NodeData::default(); node_list.len()];
         let mut index = 0usize;
         let mut stack: Vec<usize> = Vec::new();

@@ -69,10 +69,12 @@ pub enum ItemEvent {
         lock: LockMode,
         /// Normal or pre-scheduled.
         class: GrantClass,
-        /// For read requests, the value read.
+        /// The item value at grant time (the request's predecessor state).
         value: Option<Value>,
         /// The access mode of the request.
         access: AccessMode,
+        /// The precedence timestamp the grant was issued at.
+        at: Timestamp,
     },
     /// A previously pre-scheduled lock became normal; a second (normal) grant
     /// must be sent to the issuer.
@@ -81,6 +83,8 @@ pub enum ItemEvent {
         txn: TxnId,
         /// The lock mode (as currently held, possibly a semi-lock).
         lock: LockMode,
+        /// The precedence timestamp of the upgraded entry.
+        at: Timestamp,
     },
     /// A T/O request arrived out of timestamp order and is rejected.
     Rejected {
@@ -195,7 +199,9 @@ impl ItemState {
         let effective_method = self.effective_method(method);
         match effective_method {
             CcMethod::TwoPhaseLocking => {
-                let precedence = self.assign.assign(CcMethod::TwoPhaseLocking, ts.ts, site, txn);
+                let precedence = self
+                    .assign
+                    .assign(CcMethod::TwoPhaseLocking, ts.ts, site, txn);
                 self.queue.insert(QueueEntry {
                     txn,
                     mode,
@@ -278,19 +284,26 @@ impl ItemState {
             PrecClass::TwoPl { .. } => return Vec::new(),
         };
         let was_granted = entry.granted;
-        let access = entry.mode;
         self.assign.observe_ts(new_ts);
         self.queue
             .reprioritise(txn, Precedence::timestamped(new_ts, site, txn));
         if was_granted {
-            // Keep the grant; restore the granted flag lost by re-insertion
-            // and keep the acceptance thresholds consistent with the larger
-            // timestamp.
-            self.queue.mark_granted(txn);
-            match access {
-                AccessMode::Read => self.r_ts = self.r_ts.max(new_ts),
-                AccessMode::Write => self.w_ts = self.w_ts.max(new_ts),
+            // Revoke the grant rather than carry it to the new precedence.
+            // A grant kept while its entry moves *up* lets a conflicting
+            // smaller-precedence request be granted and implemented
+            // underneath the still-unimplemented lock; the log stays
+            // serializable (the implementation order follows precedence),
+            // but the value that was attached to this transaction's original
+            // grant is then no longer its predecessor state — a lost update
+            // for read-modify-write embedders. Dropping the lock re-queues
+            // the entry at its backed-off precedence; `try_grants` re-issues
+            // the grant (immediately, unless a smaller-precedence conflict
+            // now exists) with a fresh value, and the issuer awaits fresh
+            // grants for every item after its backoff round.
+            if let Some(pos) = self.locks.iter().position(|l| l.txn == txn) {
+                self.locks.remove(pos);
             }
+            return self.after_lock_removal();
         }
         self.try_grants()
     }
@@ -449,9 +462,7 @@ impl ItemState {
     /// side).
     fn effective_method(&self, method: CcMethod) -> CcMethod {
         match (self.enforcement, method) {
-            (EnforcementMode::LockAll, CcMethod::TimestampOrdering) => {
-                CcMethod::TimestampOrdering
-            }
+            (EnforcementMode::LockAll, CcMethod::TimestampOrdering) => CcMethod::TimestampOrdering,
             _ => method,
         }
     }
@@ -466,8 +477,8 @@ impl ItemState {
     /// Does an outstanding lock block a head request of the given mode and
     /// method?
     fn lock_blocks_request(&self, lock: &HeldLock, mode: AccessMode, method: CcMethod) -> bool {
-        let semi_aware = self.enforcement == EnforcementMode::SemiLock
-            && method == CcMethod::TimestampOrdering;
+        let semi_aware =
+            self.enforcement == EnforcementMode::SemiLock && method == CcMethod::TimestampOrdering;
         match (mode, semi_aware) {
             // 2PL/PA read: blocked by WL and SWL.
             (AccessMode::Read, false) => lock.mode.is_write_kind(),
@@ -565,16 +576,22 @@ impl ItemState {
                 AccessMode::Read => self.r_ts = self.r_ts.max(prec_ts),
                 AccessMode::Write => self.w_ts = self.w_ts.max(prec_ts),
             }
-            let value = match mode {
-                AccessMode::Read => Some(self.value),
-                AccessMode::Write => None,
-            };
+            // The current value is attached to every grant, not only to
+            // read grants. Whenever a grant is issued — normal or
+            // pre-scheduled — every conflicting predecessor has already been
+            // implemented (a semi-lock installs its value at demote time,
+            // and a not-yet-implemented normal lock blocks the grant), so
+            // the value is the request's correct predecessor state. Write
+            // grants carrying the value is what gives embedders
+            // read-modify-write semantics for items in the write set.
+            let value = Some(self.value);
             events.push(ItemEvent::Granted {
                 txn,
                 lock: lock_mode,
                 class,
                 value,
                 access: mode,
+                at: prec_ts,
             });
         }
         events
@@ -589,7 +606,10 @@ impl ItemState {
         // classification at grant time).
         let snapshot = self.locks.clone();
         let mut upgrades: Vec<TxnId> = Vec::new();
-        for lock in snapshot.iter().filter(|l| l.class == GrantClass::PreScheduled) {
+        for lock in snapshot
+            .iter()
+            .filter(|l| l.class == GrantClass::PreScheduled)
+        {
             let Some(my_prec) = self.queue.get(lock.txn).map(|e| e.precedence) else {
                 continue;
             };
@@ -606,11 +626,17 @@ impl ItemState {
             }
         }
         for txn in upgrades {
+            let at = self
+                .queue
+                .get(txn)
+                .map(|e| e.precedence.ts)
+                .unwrap_or(Timestamp::ZERO);
             if let Some(lock) = self.locks.iter_mut().find(|l| l.txn == txn) {
                 lock.class = GrantClass::Normal;
                 events.push(ItemEvent::BecameNormal {
                     txn: lock.txn,
                     lock: lock.mode,
+                    at,
                 });
             }
         }
@@ -860,7 +886,9 @@ mod tests {
         let grants = grant_txns(&e);
         assert_eq!(grants, vec![TxnId(2)]);
         match &e[0] {
-            ItemEvent::Granted { lock, class, value, .. } => {
+            ItemEvent::Granted {
+                lock, class, value, ..
+            } => {
                 assert_eq!(*lock, LockMode::SemiRead);
                 assert_eq!(*class, GrantClass::PreScheduled);
                 assert_eq!(*value, Some(777), "reads the demoted writer's value");
@@ -879,10 +907,14 @@ mod tests {
         // When the T/O writer finally releases, the pre-scheduled SRL becomes
         // normal and the PA reader is granted.
         let e = s.handle_release(TxnId(1), None);
-        assert!(e.contains(&ItemEvent::BecameNormal {
-            txn: TxnId(2),
-            lock: LockMode::SemiRead
-        }));
+        assert!(e.iter().any(|ev| matches!(
+            ev,
+            ItemEvent::BecameNormal {
+                txn: TxnId(2),
+                lock: LockMode::SemiRead,
+                ..
+            }
+        )));
         assert!(grant_txns(&e).contains(&TxnId(3)));
     }
 
@@ -931,7 +963,9 @@ mod tests {
         assert_eq!(s.value(), 9);
         // Releasing again is a no-op.
         let e = s.handle_release(TxnId(1), Some(1000));
-        assert!(e.iter().all(|ev| !matches!(ev, ItemEvent::Implemented { .. })));
+        assert!(e
+            .iter()
+            .all(|ev| !matches!(ev, ItemEvent::Implemented { .. })));
         assert_eq!(s.value(), 9);
     }
 
@@ -983,8 +1017,14 @@ mod tests {
             ts(0),
         );
         let e = s.handle_abort(TxnId(1));
-        assert!(e.iter().all(|ev| !matches!(ev, ItemEvent::Implemented { .. })));
-        assert_eq!(grant_txns(&e), vec![TxnId(2)], "the waiter is granted after the abort");
+        assert!(e
+            .iter()
+            .all(|ev| !matches!(ev, ItemEvent::Implemented { .. })));
+        assert_eq!(
+            grant_txns(&e),
+            vec![TxnId(2)],
+            "the waiter is granted after the abort"
+        );
         assert_eq!(s.value(), 100);
     }
 
@@ -1054,5 +1094,57 @@ mod tests {
         assert_eq!(grant_txns(&e), vec![TxnId(3)]);
         let e = s.handle_release(TxnId(3), Some(1));
         assert_eq!(grant_txns(&e), vec![TxnId(2)]);
+    }
+
+    #[test]
+    fn updated_ts_revokes_and_regrants_with_fresh_value() {
+        // P (PA) is granted a write at ts 10, then backs off to ts 50 while
+        // T (T/O, ts 20) waits. The timestamp update must revoke P's grant:
+        // T is granted first (value 100), implements its write (v = 7), and
+        // only then is P re-granted — with the fresh value, not the one
+        // attached to its original grant. Keeping the original grant would
+        // let P overwrite T's update from a stale read.
+        let mut s = state();
+        let e = s.handle_access(
+            TxnId(1),
+            SiteId(0),
+            AccessMode::Write,
+            CcMethod::PrecedenceAgreement,
+            ts(10),
+        );
+        assert_eq!(grant_txns(&e), vec![TxnId(1)]);
+        let e = s.handle_access(
+            TxnId(2),
+            SiteId(1),
+            AccessMode::Write,
+            CcMethod::TimestampOrdering,
+            ts(20),
+        );
+        assert!(grant_txns(&e).is_empty(), "blocked behind P's write lock");
+
+        let e = s.handle_updated_ts(TxnId(1), Timestamp(50));
+        assert_eq!(grant_txns(&e), vec![TxnId(2)], "revocation unblocks T");
+        let t_value = e.iter().find_map(|ev| match ev {
+            ItemEvent::Granted {
+                txn: TxnId(2),
+                value,
+                ..
+            } => *value,
+            _ => None,
+        });
+        assert_eq!(t_value, Some(100), "T reads the original value");
+
+        let e = s.handle_release(TxnId(2), Some(7));
+        assert_eq!(grant_txns(&e), vec![TxnId(1)], "P re-granted after T");
+        let p_value = e.iter().find_map(|ev| match ev {
+            ItemEvent::Granted {
+                txn: TxnId(1),
+                value,
+                ..
+            } => *value,
+            _ => None,
+        });
+        assert_eq!(p_value, Some(7), "P's re-grant carries the fresh value");
+        assert_eq!(s.w_ts(), Timestamp(50));
     }
 }

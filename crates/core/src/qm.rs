@@ -89,7 +89,12 @@ impl QueueManager {
     }
 
     /// Register a physical item managed by this site.
-    pub fn add_item(&mut self, item: PhysicalItemId, initial_value: Value, enforcement: EnforcementMode) {
+    pub fn add_item(
+        &mut self,
+        item: PhysicalItemId,
+        initial_value: Value,
+        enforcement: EnforcementMode,
+    ) {
         assert_eq!(item.site, self.site, "item must belong to this site");
         self.items
             .insert(item, ItemState::new(item, initial_value, enforcement));
@@ -116,6 +121,16 @@ impl QueueManager {
         self.items.values().flat_map(|i| i.wait_edges()).collect()
     }
 
+    /// Every transaction queued at some item of this site without a grant
+    /// yet (sorted, deduplicated). Used by the runtime's diagnostics and
+    /// blocked-transaction accounting.
+    pub fn waiting_txns(&self) -> Vec<TxnId> {
+        let mut waiting: Vec<TxnId> = self.items.values().flat_map(|i| i.waiting_txns()).collect();
+        waiting.sort_unstable();
+        waiting.dedup();
+        waiting
+    }
+
     /// Current committed value of an item (for examples and tests).
     pub fn value_of(&self, item: PhysicalItemId) -> Option<Value> {
         self.items.get(&item).map(|i| i.value())
@@ -129,7 +144,11 @@ impl QueueManager {
             // Message addressed to an item this site does not hold; in the
             // simulator this indicates a routing bug, so fail loudly in debug
             // builds and ignore in release.
-            debug_assert!(false, "message for unknown item {item_id} at site {}", self.site);
+            debug_assert!(
+                false,
+                "message for unknown item {item_id} at site {}",
+                self.site
+            );
             return QmOutput::default();
         };
         let events = match msg {
@@ -162,6 +181,7 @@ impl QueueManager {
                     class,
                     value,
                     access,
+                    at,
                 } => {
                     out.replies.push(ReplyMsg::Grant {
                         txn,
@@ -169,6 +189,7 @@ impl QueueManager {
                         lock,
                         class,
                         value,
+                        at,
                     });
                     out.events.push(QmEvent::GrantIssued {
                         item,
@@ -178,13 +199,14 @@ impl QueueManager {
                         class,
                     });
                 }
-                ItemEvent::BecameNormal { txn, lock } => {
+                ItemEvent::BecameNormal { txn, lock, at } => {
                     out.replies.push(ReplyMsg::Grant {
                         txn,
                         item,
                         lock,
                         class: GrantClass::Normal,
                         value: None,
+                        at,
                     });
                 }
                 ItemEvent::Rejected { txn } => {
@@ -214,7 +236,13 @@ mod tests {
         PhysicalItemId::new(LogicalItemId(i), SiteId(s))
     }
 
-    fn access(txn: u64, item: PhysicalItemId, mode: AccessMode, method: CcMethod, ts: u64) -> RequestMsg {
+    fn access(
+        txn: u64,
+        item: PhysicalItemId,
+        mode: AccessMode,
+        method: CcMethod,
+        ts: u64,
+    ) -> RequestMsg {
         RequestMsg::Access {
             txn: TxnId(txn),
             item,
@@ -272,7 +300,13 @@ mod tests {
         // Raise W-TS to 100 via a granted+released T/O write.
         qm.handle(
             SiteId(0),
-            &access(1, pi(1, 0), AccessMode::Write, CcMethod::TimestampOrdering, 100),
+            &access(
+                1,
+                pi(1, 0),
+                AccessMode::Write,
+                CcMethod::TimestampOrdering,
+                100,
+            ),
         );
         qm.handle(
             SiteId(0),
@@ -284,12 +318,27 @@ mod tests {
         );
         let out = qm.handle(
             SiteId(1),
-            &access(2, pi(1, 0), AccessMode::Read, CcMethod::TimestampOrdering, 50),
+            &access(
+                2,
+                pi(1, 0),
+                AccessMode::Read,
+                CcMethod::TimestampOrdering,
+                50,
+            ),
         );
-        assert!(matches!(out.replies[0], ReplyMsg::Reject { txn: TxnId(2), .. }));
+        assert!(matches!(
+            out.replies[0],
+            ReplyMsg::Reject { txn: TxnId(2), .. }
+        ));
         let out = qm.handle(
             SiteId(1),
-            &access(3, pi(1, 0), AccessMode::Read, CcMethod::PrecedenceAgreement, 50),
+            &access(
+                3,
+                pi(1, 0),
+                AccessMode::Read,
+                CcMethod::PrecedenceAgreement,
+                50,
+            ),
         );
         assert!(matches!(
             out.replies[0],
@@ -306,10 +355,22 @@ mod tests {
         let mut qm = QueueManager::new(SiteId(0));
         qm.add_item(pi(1, 0), 0, EnforcementMode::SemiLock);
         qm.add_item(pi(2, 0), 0, EnforcementMode::SemiLock);
-        qm.handle(SiteId(0), &access(1, pi(1, 0), AccessMode::Write, CcMethod::TwoPhaseLocking, 0));
-        qm.handle(SiteId(0), &access(2, pi(2, 0), AccessMode::Write, CcMethod::TwoPhaseLocking, 0));
-        qm.handle(SiteId(0), &access(2, pi(1, 0), AccessMode::Write, CcMethod::TwoPhaseLocking, 0));
-        qm.handle(SiteId(0), &access(1, pi(2, 0), AccessMode::Write, CcMethod::TwoPhaseLocking, 0));
+        qm.handle(
+            SiteId(0),
+            &access(1, pi(1, 0), AccessMode::Write, CcMethod::TwoPhaseLocking, 0),
+        );
+        qm.handle(
+            SiteId(0),
+            &access(2, pi(2, 0), AccessMode::Write, CcMethod::TwoPhaseLocking, 0),
+        );
+        qm.handle(
+            SiteId(0),
+            &access(2, pi(1, 0), AccessMode::Write, CcMethod::TwoPhaseLocking, 0),
+        );
+        qm.handle(
+            SiteId(0),
+            &access(1, pi(2, 0), AccessMode::Write, CcMethod::TwoPhaseLocking, 0),
+        );
         let edges = qm.wait_edges();
         assert!(edges.contains(&(TxnId(2), TxnId(1))));
         assert!(edges.contains(&(TxnId(1), TxnId(2))));
@@ -321,7 +382,10 @@ mod tests {
         qm.add_item(pi(7, 0), 1, EnforcementMode::SemiLock);
         assert_eq!(qm.value_of(pi(7, 0)), Some(1));
         assert_eq!(qm.value_of(pi(8, 0)), None);
-        qm.handle(SiteId(0), &access(1, pi(7, 0), AccessMode::Write, CcMethod::TwoPhaseLocking, 0));
+        qm.handle(
+            SiteId(0),
+            &access(1, pi(7, 0), AccessMode::Write, CcMethod::TwoPhaseLocking, 0),
+        );
         qm.handle(
             SiteId(0),
             &RequestMsg::Release {

@@ -14,7 +14,10 @@
 
 use std::collections::BTreeMap;
 
-use dbmodel::{AccessMode, CcMethod, LogicalItemId, PhysicalItemId, Timestamp, Transaction, TsTuple, TxnId, Value};
+use dbmodel::{
+    AccessMode, CcMethod, LogicalItemId, PhysicalItemId, Timestamp, Transaction, TsTuple, TxnId,
+    Value,
+};
 use pam::{GrantClass, ReplyMsg, RequestMsg};
 
 /// The lifecycle phase of a transaction incarnation.
@@ -91,7 +94,10 @@ enum ItemProgress {
 
 impl ItemProgress {
     fn is_granted(self) -> bool {
-        matches!(self, ItemProgress::PreScheduled | ItemProgress::NormalGranted)
+        matches!(
+            self,
+            ItemProgress::PreScheduled | ItemProgress::NormalGranted
+        )
     }
 }
 
@@ -212,7 +218,11 @@ impl RequestIssuer {
 
     /// Emit the initial request messages. Must be called exactly once.
     pub fn start(&mut self) -> RiOutput {
-        assert_eq!(self.phase, RiPhase::Requesting, "start() may only be called once");
+        assert_eq!(
+            self.phase,
+            RiPhase::Requesting,
+            "start() may only be called once"
+        );
         let mut out = RiOutput::default();
         for req in &self.items {
             out.send(RequestMsg::Access {
@@ -251,8 +261,26 @@ impl RequestIssuer {
                 item,
                 class,
                 value,
+                at,
                 ..
             } => {
+                // After a PA backoff round, only grants issued at the
+                // backed-off timestamp count: a grant issued at the original
+                // timestamp was revoked by the `UpdatedTs` broadcast (it may
+                // still be in flight when the round fires) and its attached
+                // value may be stale — the queue re-issues the grant at the
+                // new timestamp once the intervening requests implement. The
+                // guard covers every post-round phase (not just the waiting
+                // one) so a reordered transport cannot sneak the stale value
+                // into `read_results` during execution. It is PA-specific:
+                // 2PL grants legitimately carry per-queue precedence
+                // timestamps that differ from the transaction's own.
+                if self.txn.method == CcMethod::PrecedenceAgreement
+                    && self.phase != RiPhase::Requesting
+                    && *at != self.ts.ts
+                {
+                    return out;
+                }
                 if let Some(v) = value {
                     self.read_results.insert(*item, *v);
                 }
@@ -322,7 +350,10 @@ impl RequestIssuer {
     /// meaningful while the incarnation is still waiting for grants.
     pub fn abort_for_deadlock(&mut self) -> RiOutput {
         let mut out = RiOutput::default();
-        if !matches!(self.phase, RiPhase::Requesting | RiPhase::AwaitingBackoffGrants) {
+        if !matches!(
+            self.phase,
+            RiPhase::Requesting | RiPhase::AwaitingBackoffGrants
+        ) {
             return out;
         }
         self.abort(&mut out, false);
@@ -387,10 +418,12 @@ impl RequestIssuer {
                         .max()
                         .expect("any_backoff() guarantees at least one proposal");
                     self.ts = TsTuple::new(new_ts, self.ts.interval);
+                    // Every item re-decides at the new timestamp: queues
+                    // revoke and re-issue grants held at the old precedence
+                    // (with fresh values), so previously granted items go
+                    // back to Waiting alongside the backed-off ones.
                     for req in self.items.iter_mut() {
-                        if matches!(req.progress, ItemProgress::BackoffProposed(_)) {
-                            req.progress = ItemProgress::Waiting;
-                        }
+                        req.progress = ItemProgress::Waiting;
                     }
                     for req in &self.items {
                         out.send(RequestMsg::UpdatedTs {
@@ -463,13 +496,20 @@ mod tests {
         vec![(pi(1, 0), AccessMode::Read), (pi(2, 1), AccessMode::Write)]
     }
 
-    fn grant(txn: u64, item: PhysicalItemId, class: GrantClass, value: Option<Value>) -> ReplyMsg {
+    fn grant(
+        txn: u64,
+        item: PhysicalItemId,
+        class: GrantClass,
+        value: Option<Value>,
+        at: u64,
+    ) -> ReplyMsg {
         ReplyMsg::Grant {
             txn: TxnId(txn),
             item,
             lock: LockMode::Read,
             class,
             value,
+            at: Timestamp(at),
         }
     }
 
@@ -485,16 +525,19 @@ mod tests {
         assert!(matches!(out.sends[0], RequestMsg::Access { .. }));
         assert_eq!(ri.phase(), RiPhase::Requesting);
 
-        let out = ri.on_reply(&grant(1, pi(1, 0), GrantClass::Normal, Some(42)));
+        let out = ri.on_reply(&grant(1, pi(1, 0), GrantClass::Normal, Some(42), 0));
         assert!(out.actions.is_empty());
-        let out = ri.on_reply(&grant(1, pi(2, 1), GrantClass::Normal, None));
+        let out = ri.on_reply(&grant(1, pi(2, 1), GrantClass::Normal, None, 0));
         assert_eq!(out.actions, vec![RiAction::StartExecution]);
         assert_eq!(ri.phase(), RiPhase::Executing);
         assert_eq!(ri.read_value(li(1)), Some(42));
 
         ri.set_write_value(li(2), 777);
         let out = ri.on_execution_done();
-        assert_eq!(out.actions, vec![RiAction::Committed, RiAction::FullyReleased]);
+        assert_eq!(
+            out.actions,
+            vec![RiAction::Committed, RiAction::FullyReleased]
+        );
         assert_eq!(out.sends.len(), 2);
         let release_value = out.sends.iter().find_map(|m| match m {
             RequestMsg::Release {
@@ -514,17 +557,20 @@ mod tests {
             accesses(),
         );
         ri.start();
-        ri.on_reply(&grant(2, pi(1, 0), GrantClass::Normal, Some(1)));
+        ri.on_reply(&grant(2, pi(1, 0), GrantClass::Normal, Some(1), 5));
         let out = ri.on_reply(&ReplyMsg::Reject {
             txn: TxnId(2),
             item: pi(2, 1),
         });
         assert_eq!(out.actions, vec![RiAction::Restart { rejected: true }]);
         assert_eq!(out.sends.len(), 2, "aborts go to every accessed item");
-        assert!(out.sends.iter().all(|m| matches!(m, RequestMsg::Abort { .. })));
+        assert!(out
+            .sends
+            .iter()
+            .all(|m| matches!(m, RequestMsg::Abort { .. })));
         assert_eq!(ri.phase(), RiPhase::Aborted);
         // Stale replies after the abort are ignored.
-        let out = ri.on_reply(&grant(2, pi(2, 1), GrantClass::Normal, None));
+        let out = ri.on_reply(&grant(2, pi(2, 1), GrantClass::Normal, None, 5));
         assert!(out.sends.is_empty() && out.actions.is_empty());
     }
 
@@ -558,8 +604,8 @@ mod tests {
         assert_eq!(ri.ts().ts, Timestamp(45));
         assert_eq!(ri.phase(), RiPhase::AwaitingBackoffGrants);
         // Grants now complete the negotiation.
-        ri.on_reply(&grant(3, pi(1, 0), GrantClass::Normal, Some(0)));
-        let out = ri.on_reply(&grant(3, pi(2, 1), GrantClass::Normal, None));
+        ri.on_reply(&grant(3, pi(1, 0), GrantClass::Normal, Some(0), 45));
+        let out = ri.on_reply(&grant(3, pi(2, 1), GrantClass::Normal, None, 45));
         assert_eq!(out.actions, vec![RiAction::StartExecution]);
     }
 
@@ -571,7 +617,7 @@ mod tests {
             accesses(),
         );
         ri.start();
-        ri.on_reply(&grant(4, pi(1, 0), GrantClass::Normal, Some(3)));
+        ri.on_reply(&grant(4, pi(1, 0), GrantClass::Normal, Some(3), 10));
         let out = ri.on_reply(&ReplyMsg::Backoff {
             txn: TxnId(4),
             item: pi(2, 1),
@@ -580,8 +626,15 @@ mod tests {
         assert_eq!(out.actions, vec![RiAction::BackoffRound]);
         // The update is broadcast to all queues, including the granted one.
         assert_eq!(out.sends.len(), 2);
-        let out = ri.on_reply(&grant(4, pi(2, 1), GrantClass::Normal, None));
+        // The queues revoke grants held at the old timestamp and re-issue
+        // them at the new one, so the issuer now awaits *both* grants; the
+        // re-issued grant carries a fresh value that supersedes the stale
+        // one.
+        let out = ri.on_reply(&grant(4, pi(2, 1), GrantClass::Normal, None, 20));
+        assert!(out.actions.is_empty(), "item 1's re-grant is still pending");
+        let out = ri.on_reply(&grant(4, pi(1, 0), GrantClass::Normal, Some(8), 20));
         assert_eq!(out.actions, vec![RiAction::StartExecution]);
+        assert_eq!(ri.read_value(li(1)), Some(8), "fresh value wins");
     }
 
     #[test]
@@ -592,17 +645,23 @@ mod tests {
             accesses(),
         );
         ri.start();
-        ri.on_reply(&grant(5, pi(1, 0), GrantClass::PreScheduled, Some(9)));
-        let out = ri.on_reply(&grant(5, pi(2, 1), GrantClass::Normal, None));
+        ri.on_reply(&grant(5, pi(1, 0), GrantClass::PreScheduled, Some(9), 10));
+        let out = ri.on_reply(&grant(5, pi(2, 1), GrantClass::Normal, None, 10));
         assert_eq!(out.actions, vec![RiAction::StartExecution]);
         let out = ri.on_execution_done();
         assert_eq!(out.actions, vec![RiAction::Committed]);
-        assert!(out.sends.iter().all(|m| matches!(m, RequestMsg::Demote { .. })));
+        assert!(out
+            .sends
+            .iter()
+            .all(|m| matches!(m, RequestMsg::Demote { .. })));
         assert_eq!(ri.phase(), RiPhase::AwaitingNormalGrants);
         // The normal grant for the pre-scheduled item arrives later.
-        let out = ri.on_reply(&grant(5, pi(1, 0), GrantClass::Normal, None));
+        let out = ri.on_reply(&grant(5, pi(1, 0), GrantClass::Normal, None, 10));
         assert_eq!(out.actions, vec![RiAction::FullyReleased]);
-        assert!(out.sends.iter().all(|m| matches!(m, RequestMsg::Release { .. })));
+        assert!(out
+            .sends
+            .iter()
+            .all(|m| matches!(m, RequestMsg::Release { .. })));
         assert_eq!(ri.phase(), RiPhase::Finished);
     }
 
@@ -614,11 +673,54 @@ mod tests {
             accesses(),
         );
         ri.start();
-        ri.on_reply(&grant(6, pi(1, 0), GrantClass::Normal, Some(9)));
-        ri.on_reply(&grant(6, pi(2, 1), GrantClass::Normal, None));
+        ri.on_reply(&grant(6, pi(1, 0), GrantClass::Normal, Some(9), 10));
+        ri.on_reply(&grant(6, pi(2, 1), GrantClass::Normal, None, 10));
         let out = ri.on_execution_done();
-        assert_eq!(out.actions, vec![RiAction::Committed, RiAction::FullyReleased]);
-        assert!(out.sends.iter().all(|m| matches!(m, RequestMsg::Release { .. })));
+        assert_eq!(
+            out.actions,
+            vec![RiAction::Committed, RiAction::FullyReleased]
+        );
+        assert!(out
+            .sends
+            .iter()
+            .all(|m| matches!(m, RequestMsg::Release { .. })));
+    }
+
+    #[test]
+    fn stale_pre_backoff_grant_is_ignored_after_round() {
+        let mut ri = RequestIssuer::new(
+            txn(12, CcMethod::PrecedenceAgreement),
+            TsTuple::new(Timestamp(10), 5),
+            accesses(),
+        );
+        ri.start();
+        // Item 2 proposes a backoff; item 1's grant (issued at the original
+        // timestamp) is still in flight when the round fires.
+        let out = ri.on_reply(&ReplyMsg::Backoff {
+            txn: TxnId(12),
+            item: pi(2, 1),
+            new_ts: Timestamp(45),
+        });
+        assert!(out.actions.is_empty());
+        let out = ri.on_reply(&grant(12, pi(1, 0), GrantClass::Normal, Some(3), 10));
+        assert_eq!(out.actions, vec![RiAction::BackoffRound]);
+        assert_eq!(ri.phase(), RiPhase::AwaitingBackoffGrants);
+        // The same grant, re-delivered late (it was revoked by the queue when
+        // the `UpdatedTs` arrived), must NOT count towards all-granted: the
+        // pre-round value it carries may no longer be the predecessor state
+        // by the time the entry is re-granted at the backed-off timestamp.
+        let out = ri.on_reply(&grant(12, pi(1, 0), GrantClass::Normal, Some(3), 10));
+        assert!(out.actions.is_empty(), "stale grant ignored");
+        assert_eq!(
+            ri.phase(),
+            RiPhase::AwaitingBackoffGrants,
+            "still awaiting the re-issued grants"
+        );
+        // Fresh grants at the backed-off timestamp complete the negotiation.
+        ri.on_reply(&grant(12, pi(1, 0), GrantClass::Normal, Some(9), 45));
+        let out = ri.on_reply(&grant(12, pi(2, 1), GrantClass::Normal, None, 45));
+        assert_eq!(out.actions, vec![RiAction::StartExecution]);
+        assert_eq!(ri.read_value(li(1)), Some(9));
     }
 
     #[test]
@@ -641,8 +743,8 @@ mod tests {
             accesses(),
         );
         ri.start();
-        ri.on_reply(&grant(8, pi(1, 0), GrantClass::Normal, Some(1)));
-        ri.on_reply(&grant(8, pi(2, 1), GrantClass::Normal, None));
+        ri.on_reply(&grant(8, pi(1, 0), GrantClass::Normal, Some(1), 0));
+        ri.on_reply(&grant(8, pi(2, 1), GrantClass::Normal, None, 0));
         assert_eq!(ri.phase(), RiPhase::Executing);
         let out = ri.abort_for_deadlock();
         assert!(out.sends.is_empty() && out.actions.is_empty());
@@ -657,7 +759,10 @@ mod tests {
         assert!(out.sends.is_empty());
         assert_eq!(out.actions, vec![RiAction::StartExecution]);
         let out = ri.on_execution_done();
-        assert_eq!(out.actions, vec![RiAction::Committed, RiAction::FullyReleased]);
+        assert_eq!(
+            out.actions,
+            vec![RiAction::Committed, RiAction::FullyReleased]
+        );
     }
 
     #[test]
@@ -668,8 +773,8 @@ mod tests {
             accesses(),
         );
         ri.start();
-        ri.on_reply(&grant(11, pi(1, 0), GrantClass::Normal, Some(1)));
-        ri.on_reply(&grant(11, pi(2, 1), GrantClass::Normal, None));
+        ri.on_reply(&grant(11, pi(1, 0), GrantClass::Normal, Some(1), 0));
+        ri.on_reply(&grant(11, pi(2, 1), GrantClass::Normal, None, 0));
         let out = ri.on_execution_done();
         let release_value = out.sends.iter().find_map(|m| match m {
             RequestMsg::Release {

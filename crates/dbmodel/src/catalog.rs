@@ -138,9 +138,7 @@ impl Catalog {
     pub fn all_physical_items(&self) -> Vec<PhysicalItemId> {
         self.copies
             .iter()
-            .flat_map(|(&item, holders)| {
-                holders.iter().map(move |&s| PhysicalItemId::new(item, s))
-            })
+            .flat_map(|(&item, holders)| holders.iter().map(move |&s| PhysicalItemId::new(item, s)))
             .collect()
     }
 
@@ -156,9 +154,7 @@ impl Catalog {
         let site = if holders.contains(&reader_site) {
             reader_site
         } else {
-            *holders
-                .first()
-                .ok_or(CatalogError::UnknownItem(item))?
+            *holders.first().ok_or(CatalogError::UnknownItem(item))?
         };
         Ok(PhysicalItemId::new(item, site))
     }
@@ -171,7 +167,10 @@ impl Catalog {
         origin: SiteId,
     ) -> Result<Vec<PhysicalOp>, CatalogError> {
         match op.mode {
-            AccessMode::Read => Ok(vec![PhysicalOp::read(op.txn, self.read_copy(op.item, origin)?)]),
+            AccessMode::Read => Ok(vec![PhysicalOp::read(
+                op.txn,
+                self.read_copy(op.item, origin)?,
+            )]),
             AccessMode::Write => Ok(self
                 .physical_copies(op.item)?
                 .into_iter()

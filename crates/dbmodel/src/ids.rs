@@ -136,7 +136,10 @@ mod tests {
     #[test]
     fn backed_off_multiplies_interval() {
         assert_eq!(Timestamp(10).backed_off(5, 3), Timestamp(25));
-        assert_eq!(Timestamp(u64::MAX - 1).backed_off(10, 10), Timestamp(u64::MAX));
+        assert_eq!(
+            Timestamp(u64::MAX - 1).backed_off(10, 10),
+            Timestamp(u64::MAX)
+        );
     }
 
     #[test]

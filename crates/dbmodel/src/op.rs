@@ -144,7 +144,10 @@ mod tests {
         assert!(w2.conflicts_with(&r1));
         assert!(!r1.conflicts_with(&w2_other_item));
         assert!(!r1.conflicts_with(&r2));
-        assert!(!r1.conflicts_with(&w1), "same transaction never conflicts with itself");
+        assert!(
+            !r1.conflicts_with(&w1),
+            "same transaction never conflicts with itself"
+        );
     }
 
     #[test]
@@ -152,7 +155,10 @@ mod tests {
         let w_a = PhysicalOp::write(TxnId(1), pi(7, 0));
         let w_b = PhysicalOp::write(TxnId(2), pi(7, 1));
         let w_c = PhysicalOp::write(TxnId(2), pi(7, 0));
-        assert!(!w_a.conflicts_with(&w_b), "different copies do not conflict physically");
+        assert!(
+            !w_a.conflicts_with(&w_b),
+            "different copies do not conflict physically"
+        );
         assert!(w_a.conflicts_with(&w_c));
     }
 }

@@ -74,12 +74,18 @@ impl MethodStats {
 
     /// Probability that a read request is rejected (T/O) or backed off (PA).
     pub fn read_denial_prob(&self) -> f64 {
-        ratio(self.read_requests.1, self.read_requests.0 + self.read_requests.1)
+        ratio(
+            self.read_requests.1,
+            self.read_requests.0 + self.read_requests.1,
+        )
     }
 
     /// Probability that a write request is rejected (T/O) or backed off (PA).
     pub fn write_denial_prob(&self) -> f64 {
-        ratio(self.write_requests.1, self.write_requests.0 + self.write_requests.1)
+        ratio(
+            self.write_requests.1,
+            self.write_requests.0 + self.write_requests.1,
+        )
     }
 
     /// Probability that a transaction incarnation aborts due to deadlock.
@@ -231,12 +237,18 @@ impl SimMetrics {
     /// Read-lock throughput of one item, in grants per simulated second
     /// (the paper's λr(j)).
     pub fn read_throughput(&self, item: PhysicalItemId) -> f64 {
-        rate(self.read_grants.get(&item).copied().unwrap_or(0), self.elapsed_secs())
+        rate(
+            self.read_grants.get(&item).copied().unwrap_or(0),
+            self.elapsed_secs(),
+        )
     }
 
     /// Write-lock throughput of one item (λw(j)).
     pub fn write_throughput(&self, item: PhysicalItemId) -> f64 {
-        rate(self.write_grants.get(&item).copied().unwrap_or(0), self.elapsed_secs())
+        rate(
+            self.write_grants.get(&item).copied().unwrap_or(0),
+            self.elapsed_secs(),
+        )
     }
 
     /// Average read-lock throughput over all items that granted at least one
@@ -328,8 +340,17 @@ mod tests {
         metrics.record_restart(CcMethod::TimestampOrdering, TxnOutcome::RejectedRestart);
         metrics.record_restart(CcMethod::TwoPhaseLocking, TxnOutcome::DeadlockRestart);
         metrics.record_restart(CcMethod::TwoPhaseLocking, TxnOutcome::Committed);
-        assert_eq!(metrics.method(CcMethod::TimestampOrdering).rejections.get(), 1);
-        assert_eq!(metrics.method(CcMethod::TwoPhaseLocking).deadlock_aborts.get(), 1);
+        assert_eq!(
+            metrics.method(CcMethod::TimestampOrdering).rejections.get(),
+            1
+        );
+        assert_eq!(
+            metrics
+                .method(CcMethod::TwoPhaseLocking)
+                .deadlock_aborts
+                .get(),
+            1
+        );
         assert_eq!(metrics.method(CcMethod::TwoPhaseLocking).restarts(), 1);
     }
 
@@ -364,15 +385,32 @@ mod tests {
         let stats = metrics.method(CcMethod::TimestampOrdering);
         assert!((stats.read_denial_prob() - 0.2).abs() < 1e-9);
         assert!((stats.write_denial_prob() - 1.0).abs() < 1e-9);
-        assert_eq!(metrics.method(CcMethod::PrecedenceAgreement).read_denial_prob(), 0.0);
+        assert_eq!(
+            metrics
+                .method(CcMethod::PrecedenceAgreement)
+                .read_denial_prob(),
+            0.0
+        );
     }
 
     #[test]
     fn lock_hold_split_by_abort() {
         let mut metrics = m();
-        metrics.record_lock_hold(CcMethod::PrecedenceAgreement, Duration::from_millis(10), false);
-        metrics.record_lock_hold(CcMethod::PrecedenceAgreement, Duration::from_millis(30), false);
-        metrics.record_lock_hold(CcMethod::PrecedenceAgreement, Duration::from_millis(100), true);
+        metrics.record_lock_hold(
+            CcMethod::PrecedenceAgreement,
+            Duration::from_millis(10),
+            false,
+        );
+        metrics.record_lock_hold(
+            CcMethod::PrecedenceAgreement,
+            Duration::from_millis(30),
+            false,
+        );
+        metrics.record_lock_hold(
+            CcMethod::PrecedenceAgreement,
+            Duration::from_millis(100),
+            true,
+        );
         let stats = metrics.method(CcMethod::PrecedenceAgreement);
         assert!((stats.lock_time_ok.mean() - 0.02).abs() < 1e-9);
         assert!((stats.lock_time_aborted.mean() - 0.1).abs() < 1e-9);
@@ -385,7 +423,9 @@ mod tests {
         metrics.record_commit(CcMethod::TwoPhaseLocking, Duration::from_millis(10));
         metrics.record_commit(CcMethod::TwoPhaseLocking, Duration::from_millis(10));
         metrics.record_restart(CcMethod::TwoPhaseLocking, TxnOutcome::DeadlockRestart);
-        let p = metrics.method(CcMethod::TwoPhaseLocking).deadlock_abort_prob();
+        let p = metrics
+            .method(CcMethod::TwoPhaseLocking)
+            .deadlock_abort_prob();
         assert!((p - 0.25).abs() < 1e-9);
     }
 
@@ -404,7 +444,13 @@ mod tests {
         metrics.record_backoff_round(CcMethod::PrecedenceAgreement);
         metrics.record_backoff_round(CcMethod::PrecedenceAgreement);
         metrics.record_blocked_observation();
-        assert_eq!(metrics.method(CcMethod::PrecedenceAgreement).backoff_rounds.get(), 2);
+        assert_eq!(
+            metrics
+                .method(CcMethod::PrecedenceAgreement)
+                .backoff_rounds
+                .get(),
+            2
+        );
         assert_eq!(metrics.blocked_observations.get(), 1);
     }
 }

@@ -20,7 +20,9 @@ impl DelaySpec {
     fn sample(&self, rng: &mut SimRng) -> Duration {
         let us = match *self {
             DelaySpec::Fixed(v) => Fixed(v as f64).sample(rng),
-            DelaySpec::Uniform(lo, hi) => Uniform::new(lo as f64, hi.max(lo + 1) as f64).sample(rng),
+            DelaySpec::Uniform(lo, hi) => {
+                Uniform::new(lo as f64, hi.max(lo + 1) as f64).sample(rng)
+            }
             DelaySpec::ExponentialMean(m) => {
                 if m == 0 {
                     0.0

@@ -189,11 +189,23 @@ mod tests {
     #[test]
     fn send_stamps_delivery_time() {
         let mut net = net_fixed(1, 50);
-        let env = net.send(SimTime::from_micros(100), SiteId(0), SiteId(1), MsgCategory::Request, "hi");
+        let env = net.send(
+            SimTime::from_micros(100),
+            SiteId(0),
+            SiteId(1),
+            MsgCategory::Request,
+            "hi",
+        );
         assert_eq!(env.sent_at, SimTime::from_micros(100));
         assert_eq!(env.deliver_at, SimTime::from_micros(150));
         assert_eq!(env.payload, "hi");
-        let env2 = net.send(SimTime::from_micros(100), SiteId(2), SiteId(2), MsgCategory::Grant, "lo");
+        let env2 = net.send(
+            SimTime::from_micros(100),
+            SiteId(2),
+            SiteId(2),
+            MsgCategory::Grant,
+            "lo",
+        );
         assert_eq!(env2.deliver_at, SimTime::from_micros(101));
     }
 
@@ -221,8 +233,20 @@ mod tests {
     #[test]
     fn stats_count_by_category_and_remote() {
         let mut net = net_fixed(0, 10);
-        net.send(SimTime::ZERO, SiteId(0), SiteId(1), MsgCategory::Request, ());
-        net.send(SimTime::ZERO, SiteId(0), SiteId(0), MsgCategory::Request, ());
+        net.send(
+            SimTime::ZERO,
+            SiteId(0),
+            SiteId(1),
+            MsgCategory::Request,
+            (),
+        );
+        net.send(
+            SimTime::ZERO,
+            SiteId(0),
+            SiteId(0),
+            MsgCategory::Request,
+            (),
+        );
         net.send(SimTime::ZERO, SiteId(1), SiteId(0), MsgCategory::Grant, ());
         assert_eq!(net.stats().total(), 3);
         assert_eq!(net.stats().remote(), 2);

@@ -172,9 +172,17 @@ pub enum ReplyMsg {
         lock: LockMode,
         /// Normal or pre-scheduled.
         class: GrantClass,
-        /// For read requests: the value read, attached to the grant
-        /// ("the data read are attached to the corresponding lock grant").
+        /// The value of the item at grant time, attached to the grant
+        /// ("the data read are attached to the corresponding lock grant";
+        /// write grants carry it too, giving embedders read-modify-write
+        /// semantics).
         value: Option<Value>,
+        /// The precedence timestamp the grant was issued at. A PA issuer
+        /// uses this to tell a grant issued before its backoff round (and
+        /// revoked by the timestamp update) from the re-issued grant at the
+        /// backed-off timestamp — the two can otherwise be confused when
+        /// the stale grant is still in flight as the round fires.
+        at: Timestamp,
     },
     /// T/O only: the request arrived out of timestamp order and is rejected;
     /// the transaction must restart with a new timestamp.
@@ -284,6 +292,7 @@ mod tests {
             lock: LockMode::SemiRead,
             class: GrantClass::PreScheduled,
             value: Some(3),
+            at: Timestamp(9),
         };
         assert_eq!(g.item(), pi(7, 2));
         assert_eq!(g.txn(), TxnId(1));

@@ -104,7 +104,13 @@ impl AssignmentPolicy {
     /// The call also performs the bookkeeping: timestamped requests raise the
     /// queue's largest-seen timestamp; 2PL requests consume an arrival
     /// sequence number.
-    pub fn assign(&mut self, method: CcMethod, ts: Timestamp, site: SiteId, txn: TxnId) -> Precedence {
+    pub fn assign(
+        &mut self,
+        method: CcMethod,
+        ts: Timestamp,
+        site: SiteId,
+        txn: TxnId,
+    ) -> Precedence {
         match method {
             CcMethod::TwoPhaseLocking => {
                 let seq = self.arrival_counter;
@@ -152,7 +158,10 @@ mod tests {
     fn two_pl_is_biggest_site_on_ties() {
         let non = Precedence::timestamped(Timestamp(5), site(u32::MAX), txn(u64::MAX));
         let two = Precedence::two_pl(Timestamp(5), 0);
-        assert!(non < two, "2PL acts as the biggest site id on a timestamp tie");
+        assert!(
+            non < two,
+            "2PL acts as the biggest site id on a timestamp tie"
+        );
     }
 
     #[test]
@@ -180,7 +189,10 @@ mod tests {
         // A timestamped request raises the bar for later 2PL arrivals.
         let p3 = policy.assign(CcMethod::TimestampOrdering, Timestamp(100), site(1), txn(3));
         let p4 = policy.assign(CcMethod::TwoPhaseLocking, Timestamp::ZERO, site(0), txn(4));
-        assert!(p3 < p4, "new 2PL request goes to the tail after the T/O request");
+        assert!(
+            p3 < p4,
+            "new 2PL request goes to the tail after the T/O request"
+        );
         assert!(p2 < p4);
         assert_eq!(policy.max_seen_ts(), Timestamp(100));
     }
@@ -190,7 +202,11 @@ mod tests {
         let mut policy = AssignmentPolicy::new();
         policy.observe_ts(Timestamp(10));
         let p = policy.assign(CcMethod::TwoPhaseLocking, Timestamp(999), site(0), txn(1));
-        assert_eq!(p.ts, Timestamp(10), "2PL precedence uses the queue's max seen ts");
+        assert_eq!(
+            p.ts,
+            Timestamp(10),
+            "2PL precedence uses the queue's max seen ts"
+        );
         assert_eq!(policy.max_seen_ts(), Timestamp(10));
     }
 
@@ -223,9 +239,12 @@ mod tests {
         for &a in &pop {
             for &b in &pop {
                 if a == b {
-                    assert!(!(a < b) && !(b < a));
+                    assert!((a >= b) && (b >= a));
                 } else {
-                    assert!((a < b) ^ (b < a), "exactly one of a<b, b<a for distinct elements");
+                    assert!(
+                        (a < b) ^ (b < a),
+                        "exactly one of a<b, b<a for distinct elements"
+                    );
                 }
                 for &c in &pop {
                     if a < b && b < c {

@@ -99,14 +99,18 @@ impl DataQueue {
     }
 
     /// Update the precedence of `txn`'s entry (PA timestamp update), mark it
-    /// accepted, and re-insert it at its new sorted position. Returns `false`
-    /// if the transaction has no entry in this queue.
+    /// accepted, and re-insert it at its new sorted position. Any grant the
+    /// entry held is dropped: a grant belongs to the precedence it was
+    /// issued at, and the owning item re-decides (and re-issues) it at the
+    /// new position. Returns `false` if the transaction has no entry in
+    /// this queue.
     pub fn reprioritise(&mut self, txn: TxnId, precedence: Precedence) -> bool {
         let Some(mut entry) = self.remove(txn) else {
             return false;
         };
         entry.precedence = precedence;
         entry.status = EntryStatus::Accepted;
+        entry.granted = false;
         self.insert(entry);
         true
     }

@@ -150,9 +150,18 @@ mod tests {
     #[test]
     fn in_order_operations_are_accepted() {
         let mut to = BasicTimestampOrdering::new();
-        assert_eq!(to.submit(t(1), ts(1), li(1), AccessMode::Read), ToDecision::Accepted);
-        assert_eq!(to.submit(t(2), ts(2), li(1), AccessMode::Write), ToDecision::Accepted);
-        assert_eq!(to.submit(t(3), ts(3), li(1), AccessMode::Read), ToDecision::Accepted);
+        assert_eq!(
+            to.submit(t(1), ts(1), li(1), AccessMode::Read),
+            ToDecision::Accepted
+        );
+        assert_eq!(
+            to.submit(t(2), ts(2), li(1), AccessMode::Write),
+            ToDecision::Accepted
+        );
+        assert_eq!(
+            to.submit(t(3), ts(3), li(1), AccessMode::Read),
+            ToDecision::Accepted
+        );
         assert_eq!(to.rejected(), 0);
         assert_eq!(to.r_ts(li(1)), ts(3));
         assert_eq!(to.w_ts(li(1)), ts(2));
@@ -162,10 +171,16 @@ mod tests {
     fn late_read_is_rejected_after_newer_write() {
         let mut to = BasicTimestampOrdering::new();
         to.submit(t(2), ts(20), li(1), AccessMode::Write);
-        assert_eq!(to.submit(t(1), ts(10), li(1), AccessMode::Read), ToDecision::Rejected);
+        assert_eq!(
+            to.submit(t(1), ts(10), li(1), AccessMode::Read),
+            ToDecision::Rejected
+        );
         // A late write after a newer read is also rejected.
         to.submit(t(3), ts(30), li(2), AccessMode::Read);
-        assert_eq!(to.submit(t(1), ts(10), li(2), AccessMode::Write), ToDecision::Rejected);
+        assert_eq!(
+            to.submit(t(1), ts(10), li(2), AccessMode::Write),
+            ToDecision::Rejected
+        );
         assert_eq!(to.rejected(), 2);
         assert!(to.rejection_rate() > 0.0);
     }
@@ -174,7 +189,10 @@ mod tests {
     fn late_read_after_newer_read_is_fine() {
         let mut to = BasicTimestampOrdering::new();
         to.submit(t(2), ts(20), li(1), AccessMode::Read);
-        assert_eq!(to.submit(t(1), ts(10), li(1), AccessMode::Read), ToDecision::Accepted);
+        assert_eq!(
+            to.submit(t(1), ts(10), li(1), AccessMode::Read),
+            ToDecision::Accepted
+        );
         assert_eq!(to.r_ts(li(1)), ts(20), "R-TS keeps the max");
     }
 
@@ -186,7 +204,11 @@ mod tests {
         // nothing must be applied.
         let d = to.submit_transaction(t(1), ts(40), &[li(1)], &[li(2)]);
         assert_eq!(d, ToDecision::Rejected);
-        assert_eq!(to.r_ts(li(1)), Timestamp::ZERO, "read not applied on rejection");
+        assert_eq!(
+            to.r_ts(li(1)),
+            Timestamp::ZERO,
+            "read not applied on rejection"
+        );
         // Retried with a larger timestamp it succeeds.
         let d = to.submit_transaction(t(1), ts(60), &[li(1)], &[li(2)]);
         assert_eq!(d, ToDecision::Accepted);
@@ -200,7 +222,10 @@ mod tests {
         // written item is out of order.
         let mut to = BasicTimestampOrdering::new();
         to.submit(t(1), ts(5), li(1), AccessMode::Write);
-        assert_eq!(to.submit(t(2), ts(5), li(1), AccessMode::Read), ToDecision::Rejected);
+        assert_eq!(
+            to.submit(t(2), ts(5), li(1), AccessMode::Read),
+            ToDecision::Rejected
+        );
     }
 
     #[test]

@@ -71,7 +71,12 @@ impl LockManager {
     /// conflicting request waits behind them even if it is compatible with
     /// the current holders (no barging past the queue for writers; readers
     /// may join current readers only when no writer waits ahead of them).
-    pub fn request(&mut self, txn: TxnId, item: LogicalItemId, mode: LockMode2pl) -> LockRequestOutcome {
+    pub fn request(
+        &mut self,
+        txn: TxnId,
+        item: LogicalItemId,
+        mode: LockMode2pl,
+    ) -> LockRequestOutcome {
         let entry = self.items.entry(item).or_default();
         // Re-entrant requests: upgrade shared -> exclusive is modelled as a
         // fresh exclusive request; same-mode repeats are no-ops.
@@ -190,7 +195,10 @@ impl LockManager {
                 continue;
             }
             // DFS from start looking for a cycle containing start.
-            let mut stack = vec![(start, adj.get(&start).cloned().unwrap_or_default().into_iter())];
+            let mut stack = vec![(
+                start,
+                adj.get(&start).cloned().unwrap_or_default().into_iter(),
+            )];
             let mut path = vec![start];
             let mut on_path: BTreeSet<TxnId> = BTreeSet::from([start]);
             let mut visited: BTreeSet<TxnId> = BTreeSet::from([start]);
@@ -206,7 +214,10 @@ impl LockManager {
                     if visited.insert(next) {
                         on_path.insert(next);
                         path.push(next);
-                        stack.push((next, adj.get(&next).cloned().unwrap_or_default().into_iter()));
+                        stack.push((
+                            next,
+                            adj.get(&next).cloned().unwrap_or_default().into_iter(),
+                        ));
                     }
                 } else {
                     let (node, _) = stack.pop().unwrap();
@@ -241,9 +252,18 @@ mod tests {
     #[test]
     fn shared_locks_coexist_exclusive_waits() {
         let mut lm = LockManager::new();
-        assert_eq!(lm.request(t(1), li(1), LockMode2pl::Shared), LockRequestOutcome::Granted);
-        assert_eq!(lm.request(t(2), li(1), LockMode2pl::Shared), LockRequestOutcome::Granted);
-        assert_eq!(lm.request(t(3), li(1), LockMode2pl::Exclusive), LockRequestOutcome::Waiting);
+        assert_eq!(
+            lm.request(t(1), li(1), LockMode2pl::Shared),
+            LockRequestOutcome::Granted
+        );
+        assert_eq!(
+            lm.request(t(2), li(1), LockMode2pl::Shared),
+            LockRequestOutcome::Granted
+        );
+        assert_eq!(
+            lm.request(t(3), li(1), LockMode2pl::Exclusive),
+            LockRequestOutcome::Waiting
+        );
         assert!(lm.holds(t(1), li(1)));
         assert!(lm.is_waiting(t(3)));
         assert!(lm.release_all(t(1)).is_empty());
@@ -257,8 +277,11 @@ mod tests {
         let mut lm = LockManager::new();
         lm.request(t(1), li(1), LockMode2pl::Shared);
         lm.request(t(2), li(1), LockMode2pl::Exclusive); // waits
-        // A later reader must queue behind the writer, not join t1.
-        assert_eq!(lm.request(t(3), li(1), LockMode2pl::Shared), LockRequestOutcome::Waiting);
+                                                         // A later reader must queue behind the writer, not join t1.
+        assert_eq!(
+            lm.request(t(3), li(1), LockMode2pl::Shared),
+            LockRequestOutcome::Waiting
+        );
         let granted = lm.release_all(t(1));
         assert_eq!(granted, vec![t(2)]);
         let granted = lm.release_all(t(2));
@@ -268,9 +291,18 @@ mod tests {
     #[test]
     fn reentrant_requests_are_granted() {
         let mut lm = LockManager::new();
-        assert_eq!(lm.request(t(1), li(1), LockMode2pl::Exclusive), LockRequestOutcome::Granted);
-        assert_eq!(lm.request(t(1), li(1), LockMode2pl::Shared), LockRequestOutcome::Granted);
-        assert_eq!(lm.request(t(1), li(1), LockMode2pl::Exclusive), LockRequestOutcome::Granted);
+        assert_eq!(
+            lm.request(t(1), li(1), LockMode2pl::Exclusive),
+            LockRequestOutcome::Granted
+        );
+        assert_eq!(
+            lm.request(t(1), li(1), LockMode2pl::Shared),
+            LockRequestOutcome::Granted
+        );
+        assert_eq!(
+            lm.request(t(1), li(1), LockMode2pl::Exclusive),
+            LockRequestOutcome::Granted
+        );
     }
 
     #[test]
@@ -332,7 +364,13 @@ mod tests {
         lm.request(t(3), li(1), LockMode2pl::Shared);
         let edges = lm.wait_edges();
         assert!(edges.contains(&(t(2), t(1))));
-        assert!(edges.contains(&(t(3), t(2))), "reader waits behind the queued writer");
-        assert!(!edges.contains(&(t(3), t(1))), "shared locks do not conflict");
+        assert!(
+            edges.contains(&(t(3), t(2))),
+            "reader waits behind the queued writer"
+        );
+        assert!(
+            !edges.contains(&(t(3), t(1))),
+            "shared locks do not conflict"
+        );
     }
 }

@@ -67,7 +67,13 @@ impl PaQueueManager {
     }
 
     /// Submit a request.
-    pub fn submit(&mut self, txn: TxnId, site: SiteId, ts: TsTuple, mode: AccessMode) -> PaDecision {
+    pub fn submit(
+        &mut self,
+        txn: TxnId,
+        site: SiteId,
+        ts: TsTuple,
+        mode: AccessMode,
+    ) -> PaDecision {
         let acceptable = match mode {
             AccessMode::Read => ts.ts > self.w_ts,
             AccessMode::Write => ts.ts > self.w_ts && ts.ts > self.r_ts,
@@ -177,10 +183,19 @@ mod tests {
     #[test]
     fn in_order_requests_are_accepted_and_granted_fifo() {
         let mut q = PaQueueManager::new(li());
-        assert_eq!(q.submit(t(1), s(0), tup(10, 5), AccessMode::Write), PaDecision::Accepted);
-        assert_eq!(q.submit(t(2), s(1), tup(20, 5), AccessMode::Write), PaDecision::Accepted);
+        assert_eq!(
+            q.submit(t(1), s(0), tup(10, 5), AccessMode::Write),
+            PaDecision::Accepted
+        );
+        assert_eq!(
+            q.submit(t(2), s(1), tup(20, 5), AccessMode::Write),
+            PaDecision::Accepted
+        );
         assert_eq!(q.poll_grants(), vec![t(1)]);
-        assert!(q.poll_grants().is_empty(), "second writer waits for the release");
+        assert!(
+            q.poll_grants().is_empty(),
+            "second writer waits for the release"
+        );
         q.release(t(1));
         assert_eq!(q.poll_grants(), vec![t(2)]);
     }

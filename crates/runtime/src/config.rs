@@ -1,0 +1,168 @@
+//! Configuration of the sharded execution runtime.
+
+use std::time::Duration;
+
+use dbmodel::{CcMethod, ReplicationPolicy, Value};
+use unified_cc::EnforcementMode;
+
+/// How the runtime assigns a concurrency-control method to a transaction
+/// that does not pin one explicitly (see [`crate::TxnSpec::method`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CcPolicy {
+    /// Every transaction runs under the same method.
+    Static(CcMethod),
+    /// Probabilistic mix: a transaction runs 2PL with probability `p_2pl`,
+    /// T/O with probability `p_to`, PA otherwise.
+    Mix {
+        /// Probability of assigning 2PL.
+        p_2pl: f64,
+        /// Probability of assigning T/O.
+        p_to: f64,
+    },
+    /// Pick the method with the smallest estimated system-throughput loss
+    /// using the live metrics (paper, Section 5).
+    DynamicStl,
+}
+
+/// Errors reported by [`RuntimeConfig::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `num_shards` must be at least 1.
+    NoShards,
+    /// `num_items` must be at least 1.
+    NoItems,
+    /// Mix probabilities must be in `[0, 1]` and sum to at most 1.
+    BadMix,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NoShards => write!(f, "num_shards must be at least 1"),
+            ConfigError::NoItems => write!(f, "num_items must be at least 1"),
+            ConfigError::BadMix => {
+                write!(f, "mix probabilities must be in [0,1] and sum to at most 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Configuration of a [`crate::Database`].
+///
+/// One shard thread is spawned per site; the catalog distributes the
+/// logical items over the shards according to `replication`, exactly as the
+/// simulator does over sites.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Number of shard threads (= sites). Each owns the queue manager of the
+    /// physical items placed at its site.
+    pub num_shards: u32,
+    /// Number of logical data items.
+    pub num_items: u64,
+    /// How copies of logical items are placed across shards.
+    pub replication: ReplicationPolicy,
+    /// Initial value of every physical item.
+    pub initial_value: Value,
+    /// Semi-lock enforcement (the paper's proposal) or the lock-all ablation.
+    pub enforcement: EnforcementMode,
+    /// Method assignment for transactions that do not pin a method.
+    pub policy: CcPolicy,
+    /// PA's backoff interval `INT` (in timestamp units).
+    pub pa_backoff_interval: u64,
+    /// Bound of each shard's command inbox; clients block (backpressure)
+    /// when a shard falls behind.
+    pub shard_inbox_capacity: usize,
+    /// Period of the background deadlock detector.
+    pub deadlock_scan_interval: Duration,
+    /// Restart attempts per transaction before giving up with
+    /// [`crate::TxnError::TooManyRestarts`].
+    pub max_restarts: u32,
+    /// Base delay between restart attempts (doubled per attempt up to 128×,
+    /// plus a per-transaction jitter to break symmetry).
+    pub restart_backoff: Duration,
+    /// Seed for the method-mix sampler.
+    pub seed: u64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            num_shards: 4,
+            num_items: 64,
+            replication: ReplicationPolicy::SingleCopy,
+            initial_value: 0,
+            enforcement: EnforcementMode::SemiLock,
+            policy: CcPolicy::Static(CcMethod::TwoPhaseLocking),
+            pa_backoff_interval: 1_000,
+            shard_inbox_capacity: 256,
+            deadlock_scan_interval: Duration::from_millis(5),
+            max_restarts: 256,
+            restart_backoff: Duration::from_micros(200),
+            seed: 0,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Check the configuration for internal consistency.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.num_shards == 0 {
+            return Err(ConfigError::NoShards);
+        }
+        if self.num_items == 0 {
+            return Err(ConfigError::NoItems);
+        }
+        if let CcPolicy::Mix { p_2pl, p_to } = self.policy {
+            let ok = (0.0..=1.0).contains(&p_2pl)
+                && (0.0..=1.0).contains(&p_to)
+                && p_2pl + p_to <= 1.0 + 1e-9;
+            if !ok {
+                return Err(ConfigError::BadMix);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert_eq!(RuntimeConfig::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn zero_shards_and_items_are_rejected() {
+        let c = RuntimeConfig {
+            num_shards: 0,
+            ..RuntimeConfig::default()
+        };
+        assert_eq!(c.validate(), Err(ConfigError::NoShards));
+        let c = RuntimeConfig {
+            num_items: 0,
+            ..RuntimeConfig::default()
+        };
+        assert_eq!(c.validate(), Err(ConfigError::NoItems));
+    }
+
+    #[test]
+    fn bad_mix_is_rejected() {
+        let mut c = RuntimeConfig {
+            policy: CcPolicy::Mix {
+                p_2pl: 0.8,
+                p_to: 0.5,
+            },
+            ..RuntimeConfig::default()
+        };
+        assert_eq!(c.validate(), Err(ConfigError::BadMix));
+        c.policy = CcPolicy::Mix {
+            p_2pl: 0.4,
+            p_to: 0.3,
+        };
+        assert_eq!(c.validate(), Ok(()));
+    }
+}

@@ -1,0 +1,974 @@
+//! The [`Database`] facade: thread-safe entry point for live transactions.
+//!
+//! A `Database` owns one shard thread per site plus the background deadlock
+//! detector. Any number of client threads may concurrently open
+//! transactions; each client thread *is* the request issuer of its own
+//! transaction — it drives the sans-IO [`RequestIssuer`] state machine,
+//! blocking on an event channel for queue-manager replies, exactly the way
+//! the simulator drives it from the event loop. Restarts (T/O rejections,
+//! deadlock victims) are retried transparently under a fresh transaction id
+//! and a larger timestamp, up to [`RuntimeConfig::max_restarts`] attempts.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use dbmodel::{
+    AccessMode, Catalog, CatalogError, CcMethod, LogSet, LogicalItemId, SiteId, Timestamp,
+    Transaction, TsTuple, TxnId, Value,
+};
+use metrics::{SimMetrics, TxnOutcome};
+use pam::{ReplyMsg, RequestMsg};
+use selection::StlSelector;
+use simkit::rng::SimRng;
+use simkit::time::SimTime;
+use unified_cc::{QueueManager, RequestIssuer, RiAction, RiOutput};
+
+use crate::config::{CcPolicy, ConfigError, RuntimeConfig};
+use crate::detector;
+use crate::registry::{ClientEvent, Registry};
+use crate::report::RuntimeReport;
+use crate::shard::{self, ShardCmd, ShardHandle};
+use crate::stats::{RuntimeStats, StatsSnapshot};
+
+/// How often a blocked client re-checks whether the database is shutting
+/// down underneath it.
+const SHUTDOWN_POLL: Duration = Duration::from_millis(50);
+
+/// The predeclared shape of one transaction: its read and write sets, and
+/// optionally a pinned origin site and concurrency-control method.
+#[derive(Debug, Clone, Default)]
+pub struct TxnSpec {
+    reads: Vec<LogicalItemId>,
+    writes: Vec<LogicalItemId>,
+    origin: Option<SiteId>,
+    method: Option<CcMethod>,
+}
+
+impl TxnSpec {
+    /// An empty spec.
+    pub fn new() -> Self {
+        TxnSpec::default()
+    }
+
+    /// Add a logical item to the read set.
+    pub fn read(mut self, item: LogicalItemId) -> Self {
+        self.reads.push(item);
+        self
+    }
+
+    /// Add a logical item to the write set.
+    pub fn write(mut self, item: LogicalItemId) -> Self {
+        self.writes.push(item);
+        self
+    }
+
+    /// Add several logical items to the read set.
+    pub fn reads<I: IntoIterator<Item = LogicalItemId>>(mut self, items: I) -> Self {
+        self.reads.extend(items);
+        self
+    }
+
+    /// Add several logical items to the write set.
+    pub fn writes<I: IntoIterator<Item = LogicalItemId>>(mut self, items: I) -> Self {
+        self.writes.extend(items);
+        self
+    }
+
+    /// Pin the origin site (default: round-robin over sites).
+    pub fn origin(mut self, site: SiteId) -> Self {
+        self.origin = Some(site);
+        self
+    }
+
+    /// Pin the concurrency-control method, overriding the database policy.
+    pub fn method(mut self, method: CcMethod) -> Self {
+        self.method = Some(method);
+        self
+    }
+}
+
+/// Why a transaction could not run to commit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnError {
+    /// The spec names a logical item the catalog does not know.
+    UnknownItem(CatalogError),
+    /// The transaction was restarted `attempts` times without reaching its
+    /// execution phase.
+    TooManyRestarts {
+        /// Number of attempts made.
+        attempts: u32,
+    },
+    /// A write was staged for an item outside the transaction's write set.
+    NotInWriteSet(LogicalItemId),
+    /// The database shut down while the transaction was in flight.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for TxnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TxnError::UnknownItem(e) => write!(f, "{e}"),
+            TxnError::TooManyRestarts { attempts } => {
+                write!(f, "transaction gave up after {attempts} restarts")
+            }
+            TxnError::NotInWriteSet(item) => {
+                write!(f, "item {item} is not in the transaction's write set")
+            }
+            TxnError::ShuttingDown => write!(f, "database is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for TxnError {}
+
+/// What a committed transaction observed.
+#[derive(Debug, Clone)]
+pub struct TxnReceipt {
+    /// Transaction id of the committed incarnation.
+    pub id: TxnId,
+    /// The method the committed incarnation ran under.
+    pub method: CcMethod,
+    /// Restart attempts before the committed incarnation (0 = first try).
+    pub restarts: u32,
+    /// The values read, keyed by logical item.
+    pub reads: BTreeMap<LogicalItemId, Value>,
+}
+
+struct Inner {
+    config: RuntimeConfig,
+    catalog: Catalog,
+    registry: Arc<Registry>,
+    shard_txs: Vec<SyncSender<ShardCmd>>,
+    site_index: HashMap<SiteId, usize>,
+    stats: Arc<RuntimeStats>,
+    metrics: Mutex<SimMetrics>,
+    selector: Mutex<StlSelector>,
+    mix_rng: Mutex<SimRng>,
+    selection_counts: Mutex<BTreeMap<CcMethod, u64>>,
+    next_txn_id: AtomicU64,
+    ts_counter: AtomicU64,
+    started: Instant,
+    stopped: Arc<AtomicBool>,
+    // Taken exactly once, by whoever performs the shutdown.
+    #[allow(clippy::type_complexity)]
+    teardown: Mutex<Option<(Vec<ShardHandle>, Sender<()>, JoinHandle<()>)>>,
+}
+
+/// A live, sharded, multi-threaded database running the unified
+/// concurrency-control engine. Cheap to clone; all clones share the same
+/// shards.
+#[derive(Clone)]
+pub struct Database {
+    inner: Arc<Inner>,
+}
+
+impl Database {
+    /// Start the shard threads and the deadlock detector.
+    pub fn open(config: RuntimeConfig) -> Result<Database, ConfigError> {
+        config.validate()?;
+        let catalog = Catalog::generate(config.num_shards, config.num_items, config.replication);
+        Self::open_with_catalog(config, catalog)
+    }
+
+    /// Start a database over an explicit catalog (one shard per catalog
+    /// site). The item-placement fields of `config` are ignored.
+    pub fn open_with_catalog(
+        config: RuntimeConfig,
+        catalog: Catalog,
+    ) -> Result<Database, ConfigError> {
+        config.validate()?;
+        let registry = Arc::new(Registry::new());
+        let stats = Arc::new(RuntimeStats::default());
+        let stopped = Arc::new(AtomicBool::new(false));
+
+        let mut shard_handles = Vec::new();
+        let mut shard_txs = Vec::new();
+        let mut site_index = HashMap::new();
+        for (idx, &site) in catalog.sites().iter().enumerate() {
+            let qm = QueueManager::from_catalog(
+                site,
+                &catalog,
+                config.initial_value,
+                config.enforcement,
+            );
+            let (tx, rx) = mpsc::sync_channel(config.shard_inbox_capacity.max(1));
+            let handle = shard::spawn(
+                qm,
+                rx,
+                tx.clone(),
+                Arc::clone(&registry),
+                Arc::clone(&stats),
+            );
+            shard_txs.push(tx);
+            site_index.insert(site, idx);
+            shard_handles.push(handle);
+        }
+
+        let (stop_tx, stop_rx) = mpsc::channel();
+        let detector_join = detector::spawn(
+            shard_txs.clone(),
+            Arc::clone(&registry),
+            Arc::clone(&stats),
+            config.deadlock_scan_interval,
+            stop_rx,
+            Arc::clone(&stopped),
+        );
+
+        Ok(Database {
+            inner: Arc::new(Inner {
+                mix_rng: Mutex::new(SimRng::new(config.seed)),
+                catalog,
+                registry,
+                shard_txs,
+                site_index,
+                stats,
+                metrics: Mutex::new(SimMetrics::new()),
+                selector: Mutex::new(StlSelector::new()),
+                selection_counts: Mutex::new(BTreeMap::new()),
+                next_txn_id: AtomicU64::new(0),
+                ts_counter: AtomicU64::new(0),
+                started: Instant::now(),
+                stopped,
+                teardown: Mutex::new(Some((shard_handles, stop_tx, detector_join))),
+                config,
+            }),
+        })
+    }
+
+    /// The replication catalog the shards were built from.
+    pub fn catalog(&self) -> &Catalog {
+        &self.inner.catalog
+    }
+
+    /// Number of shard threads.
+    pub fn num_shards(&self) -> usize {
+        self.inner.shard_txs.len()
+    }
+
+    /// A snapshot of the runtime counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    /// Number of transactions currently live (requesting, executing or
+    /// releasing).
+    pub fn live_transactions(&self) -> usize {
+        self.inner.registry.len()
+    }
+
+    /// Transactions currently queued at some shard without a grant
+    /// (diagnostics).
+    pub fn waiting_transactions(&self) -> Vec<TxnId> {
+        let mut waiting = Vec::new();
+        for shard in &self.inner.shard_txs {
+            let (tx, rx) = mpsc::channel();
+            if shard.send(ShardCmd::Waiting(tx)).is_ok() {
+                if let Ok(mut txns) = rx.recv() {
+                    waiting.append(&mut txns);
+                }
+            }
+        }
+        waiting.sort_unstable();
+        waiting.dedup();
+        waiting
+    }
+
+    /// A live copy of the execution log accumulated so far, merged across
+    /// shards — the tap the serializability oracle replays.
+    pub fn log_snapshot(&self) -> LogSet {
+        let mut merged = LogSet::new();
+        for shard in &self.inner.shard_txs {
+            let (tx, rx) = mpsc::channel();
+            if shard.send(ShardCmd::LogSnapshot(tx)).is_ok() {
+                if let Ok(slice) = rx.recv() {
+                    merge_logs(&mut merged, &slice);
+                }
+            }
+        }
+        merged
+    }
+
+    /// Open a transaction and drive it to its execution phase: all requests
+    /// granted, read values in hand. Restarts are retried internally.
+    pub fn begin(&self, spec: &TxnSpec) -> Result<ActiveTxn, TxnError> {
+        let inner = &self.inner;
+        let mut attempt: u32 = 0;
+        loop {
+            if inner.stopped.load(Ordering::Relaxed) {
+                return Err(TxnError::ShuttingDown);
+            }
+            let method = spec.method.unwrap_or_else(|| self.pick_method(spec));
+            let txn_id = TxnId(inner.next_txn_id.fetch_add(1, Ordering::Relaxed) + 1);
+            let ts = Timestamp(inner.ts_counter.fetch_add(1, Ordering::Relaxed) + 1);
+            let origin = spec
+                .origin
+                .unwrap_or_else(|| inner.catalog.origin_for(txn_id));
+            let txn = Transaction::builder(txn_id, origin)
+                .method(method)
+                .reads(spec.reads.iter().copied())
+                .writes(spec.writes.iter().copied())
+                .build();
+            let accesses: Vec<(dbmodel::PhysicalItemId, AccessMode)> = inner
+                .catalog
+                .translate_txn(&txn)
+                .map_err(TxnError::UnknownItem)?
+                .into_iter()
+                .map(|op| (op.item, op.mode))
+                .collect();
+
+            let (ev_tx, ev_rx) = mpsc::channel();
+            inner.registry.register(txn_id, method, ev_tx);
+            let mut ri = RequestIssuer::new(
+                txn,
+                TsTuple::new(ts, inner.config.pa_backoff_interval),
+                accesses,
+            );
+            let begun = Instant::now();
+            let out = ri.start();
+            let started_exec = out.actions.contains(&RiAction::StartExecution);
+            if let Err(e) = self.route_all(origin, out.sends) {
+                inner.registry.deregister(txn_id);
+                return Err(e);
+            }
+            if started_exec {
+                // Degenerate empty transaction: straight to execution.
+                return Ok(ActiveTxn::new(self.clone(), ri, ev_rx, begun, attempt));
+            }
+
+            match self.wait_for_execution(&mut ri, &ev_rx, origin, method)? {
+                WaitOutcome::Executing => {
+                    return Ok(ActiveTxn::new(self.clone(), ri, ev_rx, begun, attempt));
+                }
+                WaitOutcome::Restart { rejected } => {
+                    inner.registry.deregister(txn_id);
+                    let outcome = if rejected {
+                        inner
+                            .stats
+                            .rejected_restarts
+                            .fetch_add(1, Ordering::Relaxed);
+                        TxnOutcome::RejectedRestart
+                    } else {
+                        inner
+                            .stats
+                            .deadlock_restarts
+                            .fetch_add(1, Ordering::Relaxed);
+                        TxnOutcome::DeadlockRestart
+                    };
+                    {
+                        let mut m = inner.metrics.lock().expect("metrics poisoned");
+                        m.record_restart(method, outcome);
+                        m.record_lock_hold(
+                            method,
+                            simkit::time::Duration::from_secs_f64(begun.elapsed().as_secs_f64()),
+                            true,
+                        );
+                    }
+                    attempt += 1;
+                    if attempt > inner.config.max_restarts {
+                        inner.stats.failed.fetch_add(1, Ordering::Relaxed);
+                        return Err(TxnError::TooManyRestarts { attempts: attempt });
+                    }
+                    self.restart_pause(txn_id, attempt);
+                }
+            }
+        }
+    }
+
+    /// Run one transaction end to end: open it, call `compute` with the
+    /// values read, stage the writes `compute` returns, commit. `compute`
+    /// may run more than once if the transaction restarts between opening
+    /// and committing — it must be a pure function of the values read.
+    pub fn run_transaction<F>(&self, spec: &TxnSpec, mut compute: F) -> Result<TxnReceipt, TxnError>
+    where
+        F: FnMut(&BTreeMap<LogicalItemId, Value>) -> Vec<(LogicalItemId, Value)>,
+    {
+        let mut txn = self.begin(spec)?;
+        let writes = compute(txn.reads());
+        for (item, value) in writes {
+            txn.write(item, value)?;
+        }
+        txn.commit()
+    }
+
+    /// Stop accepting work, drain the shards and collapse the runtime into
+    /// its final report. Returns `None` on every call but the first.
+    pub fn shutdown(&self) -> Option<RuntimeReport> {
+        let (shards, stop_tx, detector_join) = self
+            .inner
+            .teardown
+            .lock()
+            .expect("teardown poisoned")
+            .take()?;
+        self.inner.stopped.store(true, Ordering::Relaxed);
+        // Stop the detector first so it cannot block on a draining shard.
+        let _ = stop_tx.send(());
+        let _ = detector_join.join();
+        let mut logs = LogSet::new();
+        for handle in &shards {
+            let _ = handle.tx.send(ShardCmd::Shutdown);
+        }
+        for handle in shards {
+            if let Ok((_site, slice)) = handle.join.join() {
+                merge_logs(&mut logs, &slice);
+            }
+        }
+        let mut metrics = self.inner.metrics.lock().expect("metrics poisoned").clone();
+        metrics.set_time_span(SimTime::ZERO, self.now());
+        Some(RuntimeReport {
+            logs,
+            stats: self.inner.stats.snapshot(),
+            metrics,
+            selection_counts: self
+                .inner
+                .selection_counts
+                .lock()
+                .expect("selection counts poisoned")
+                .clone(),
+        })
+    }
+
+    // ------------------------------------------------------------------
+
+    /// Wall-clock time since the database opened, as a simulation-style
+    /// timestamp (µs).
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.inner.started.elapsed().as_micros() as u64)
+    }
+
+    fn pick_method(&self, spec: &TxnSpec) -> CcMethod {
+        let inner = &self.inner;
+        let choice = match inner.config.policy {
+            CcPolicy::Static(m) => m,
+            CcPolicy::Mix { p_2pl, p_to } => {
+                let x = inner.mix_rng.lock().expect("rng poisoned").next_f64();
+                if x < p_2pl {
+                    CcMethod::TwoPhaseLocking
+                } else if x < p_2pl + p_to {
+                    CcMethod::TimestampOrdering
+                } else {
+                    CcMethod::PrecedenceAgreement
+                }
+            }
+            CcPolicy::DynamicStl => {
+                let probe = Transaction::builder(TxnId(u64::MAX), SiteId(0))
+                    .reads(spec.reads.iter().copied())
+                    .writes(spec.writes.iter().copied())
+                    .build();
+                let now = self.now();
+                let mut m = inner.metrics.lock().expect("metrics poisoned");
+                m.set_time_span(SimTime::ZERO, now);
+                inner
+                    .selector
+                    .lock()
+                    .expect("selector poisoned")
+                    .select(&probe, &inner.catalog, &m)
+                    .method
+            }
+        };
+        *self
+            .inner
+            .selection_counts
+            .lock()
+            .expect("selection counts poisoned")
+            .entry(choice)
+            .or_insert(0) += 1;
+        choice
+    }
+
+    /// Block on the event channel until the incarnation starts executing or
+    /// must restart.
+    fn wait_for_execution(
+        &self,
+        ri: &mut RequestIssuer,
+        events: &Receiver<ClientEvent>,
+        origin: SiteId,
+        method: CcMethod,
+    ) -> Result<WaitOutcome, TxnError> {
+        // One request outcome is recorded per item per incarnation (the
+        // reply to the initial `Access`), matching the simulator's
+        // accounting; later replies for the same item (backoff re-grants,
+        // normal-grant upgrades) would otherwise skew the denial
+        // probabilities the STL selector consumes.
+        let mut outcome_seen: std::collections::HashSet<dbmodel::PhysicalItemId> =
+            std::collections::HashSet::new();
+        loop {
+            let event = match events.recv_timeout(SHUTDOWN_POLL) {
+                Ok(ev) => ev,
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.inner.stopped.load(Ordering::Relaxed) {
+                        self.inner.registry.deregister(ri.txn_id());
+                        return Err(TxnError::ShuttingDown);
+                    }
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.inner.registry.deregister(ri.txn_id());
+                    return Err(TxnError::ShuttingDown);
+                }
+            };
+            let out = match event {
+                ClientEvent::Reply(reply) => {
+                    let first_for_item = outcome_seen.insert(reply.item());
+                    self.observe_reply(ri, method, &reply, first_for_item);
+                    ri.on_reply(&reply)
+                }
+                ClientEvent::DeadlockVictim => ri.abort_for_deadlock(),
+            };
+            let mut outcome = None;
+            for action in &out.actions {
+                match action {
+                    RiAction::StartExecution => outcome = Some(WaitOutcome::Executing),
+                    RiAction::Restart { rejected } => {
+                        outcome = Some(WaitOutcome::Restart {
+                            rejected: *rejected,
+                        })
+                    }
+                    RiAction::BackoffRound => {
+                        self.inner
+                            .stats
+                            .backoff_rounds
+                            .fetch_add(1, Ordering::Relaxed);
+                        let mut m = self.inner.metrics.lock().expect("metrics poisoned");
+                        m.record_backoff_round(method);
+                    }
+                    RiAction::Committed | RiAction::FullyReleased => {
+                        unreachable!("cannot commit before executing")
+                    }
+                }
+            }
+            self.route_all(origin, out.sends)?;
+            if let Some(outcome) = outcome {
+                return Ok(outcome);
+            }
+        }
+    }
+
+    /// Per-reply metric accounting (feeds the STL estimators).
+    /// `first_for_item` is true for the first reply this incarnation
+    /// received for the item — only that one counts as a request outcome.
+    fn observe_reply(
+        &self,
+        ri: &RequestIssuer,
+        method: CcMethod,
+        reply: &ReplyMsg,
+        first_for_item: bool,
+    ) {
+        // A backoff proposal lifts the global timestamp clock (Lamport
+        // style): the proposing queue's thresholds sit at `new_ts`, and
+        // without adoption a T/O transaction retrying against that item
+        // would crawl towards it one tick per incarnation and exhaust its
+        // restart budget.
+        if let ReplyMsg::Backoff { new_ts, .. } = reply {
+            self.inner.ts_counter.fetch_max(new_ts.0, Ordering::Relaxed);
+        }
+        let mode = ri
+            .accessed_items()
+            .find(|(item, _)| *item == reply.item())
+            .map(|(_, mode)| mode)
+            .unwrap_or(AccessMode::Read);
+        let mut m = self.inner.metrics.lock().expect("metrics poisoned");
+        if let ReplyMsg::Grant { value, .. } = reply {
+            // Counted per issued grant (value-carrying grants correspond to
+            // the queue's `GrantIssued` events; normal-grant upgrades carry
+            // no value and are not new grants).
+            if value.is_some() {
+                m.record_grant(reply.item(), mode);
+            }
+        }
+        if first_for_item {
+            let denied = matches!(reply, ReplyMsg::Reject { .. } | ReplyMsg::Backoff { .. });
+            m.record_request_outcome(method, mode, denied);
+        }
+    }
+
+    /// Send every message to the shard owning its item.
+    fn route_all(&self, origin: SiteId, sends: Vec<RequestMsg>) -> Result<(), TxnError> {
+        for msg in sends {
+            let site = msg.item().site;
+            let idx = *self
+                .inner
+                .site_index
+                .get(&site)
+                .expect("catalog routed a message to an unknown site");
+            if self.inner.shard_txs[idx]
+                .send(ShardCmd::Handle { origin, msg })
+                .is_err()
+            {
+                return Err(TxnError::ShuttingDown);
+            }
+        }
+        Ok(())
+    }
+
+    /// Exponential backoff with a deterministic per-transaction jitter.
+    /// Basic T/O livelocks under sustained write contention unless retries
+    /// are spread out (the losing transaction must reach every queue before
+    /// a younger competitor does); doubling the pause up to ~128× the base
+    /// creates the quiet windows it needs, and the jitter keeps two
+    /// symmetric victims from re-colliding forever.
+    fn restart_pause(&self, txn: TxnId, attempt: u32) {
+        let base = self.inner.config.restart_backoff;
+        if base.is_zero() {
+            std::thread::yield_now();
+            return;
+        }
+        let scaled = base.saturating_mul(1u32 << attempt.min(7));
+        let jitter_us =
+            (txn.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 48) % scaled.as_micros().max(1) as u64;
+        std::thread::sleep(scaled + Duration::from_micros(jitter_us));
+    }
+}
+
+fn merge_logs(into: &mut LogSet, from: &LogSet) {
+    for (item, log) in from.iter() {
+        for entry in log.entries() {
+            into.record(item, entry.txn, entry.mode);
+        }
+    }
+}
+
+enum WaitOutcome {
+    Executing,
+    Restart { rejected: bool },
+}
+
+/// A transaction in its execution phase: every request granted, read values
+/// available, writes stageable. Created by [`Database::begin`]; ends with
+/// [`ActiveTxn::commit`] or [`ActiveTxn::abort`] (dropping it aborts).
+pub struct ActiveTxn {
+    db: Database,
+    ri: RequestIssuer,
+    events: Receiver<ClientEvent>,
+    reads: BTreeMap<LogicalItemId, Value>,
+    staged: BTreeMap<LogicalItemId, Value>,
+    begun: Instant,
+    restarts: u32,
+    finished: bool,
+}
+
+impl ActiveTxn {
+    fn new(
+        db: Database,
+        ri: RequestIssuer,
+        events: Receiver<ClientEvent>,
+        begun: Instant,
+        restarts: u32,
+    ) -> Self {
+        let reads = ri
+            .read_results()
+            .iter()
+            .map(|(item, &value)| (item.logical, value))
+            .collect();
+        ActiveTxn {
+            db,
+            ri,
+            events,
+            reads,
+            staged: BTreeMap::new(),
+            begun,
+            restarts,
+            finished: false,
+        }
+    }
+
+    /// The id of this incarnation.
+    pub fn id(&self) -> TxnId {
+        self.ri.txn_id()
+    }
+
+    /// The concurrency-control method this incarnation runs under.
+    pub fn method(&self) -> CcMethod {
+        self.ri.txn().method
+    }
+
+    /// The value read for a logical item, if it is in the read set.
+    pub fn read(&self, item: LogicalItemId) -> Option<Value> {
+        self.reads.get(&item).copied()
+    }
+
+    /// All values read, keyed by logical item.
+    pub fn reads(&self) -> &BTreeMap<LogicalItemId, Value> {
+        &self.reads
+    }
+
+    /// Stage the value this transaction writes to `item` at commit.
+    pub fn write(&mut self, item: LogicalItemId, value: Value) -> Result<(), TxnError> {
+        if self.ri.txn().mode_for(item) != Some(AccessMode::Write) {
+            return Err(TxnError::NotInWriteSet(item));
+        }
+        self.staged.insert(item, value);
+        Ok(())
+    }
+
+    /// Commit: install the staged writes, release every lock, return the
+    /// receipt. Blocks until the release conversation completes (for T/O
+    /// transactions that executed on pre-scheduled locks this waits for the
+    /// trailing normal grants, per the semi-lock protocol).
+    pub fn commit(mut self) -> Result<TxnReceipt, TxnError> {
+        let origin = self.ri.txn().origin;
+        let method = self.ri.txn().method;
+        for (&item, &value) in &self.staged {
+            self.ri.set_write_value(item, value);
+        }
+        let out = self.ri.on_execution_done();
+        let mut released = out.actions.contains(&RiAction::FullyReleased);
+        self.db.route_all(origin, out.sends)?;
+        while !released {
+            let event = match self.events.recv_timeout(SHUTDOWN_POLL) {
+                Ok(ev) => ev,
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.db.inner.stopped.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
+            };
+            let out: RiOutput = match event {
+                ClientEvent::Reply(reply) => self.ri.on_reply(&reply),
+                // Executing or releasing transactions cannot be victims.
+                ClientEvent::DeadlockVictim => continue,
+            };
+            released = out.actions.contains(&RiAction::FullyReleased);
+            self.db.route_all(origin, out.sends)?;
+        }
+        self.finished = true;
+        self.db.inner.registry.deregister(self.ri.txn_id());
+        self.db
+            .inner
+            .stats
+            .committed
+            .fetch_add(1, Ordering::Relaxed);
+        {
+            let latency = simkit::time::Duration::from_secs_f64(self.begun.elapsed().as_secs_f64());
+            let mut m = self.db.inner.metrics.lock().expect("metrics poisoned");
+            m.record_commit(method, latency);
+            m.record_lock_hold(method, latency, false);
+        }
+        Ok(TxnReceipt {
+            id: self.ri.txn_id(),
+            method,
+            restarts: self.restarts,
+            reads: std::mem::take(&mut self.reads),
+        })
+    }
+
+    /// Abort: drop every lock and queue entry without implementing
+    /// anything.
+    pub fn abort(mut self) {
+        self.abort_inner();
+    }
+
+    fn abort_inner(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let origin = self.ri.txn().origin;
+        let sends: Vec<RequestMsg> = self
+            .ri
+            .accessed_items()
+            .map(|(item, _)| RequestMsg::Abort {
+                txn: self.ri.txn_id(),
+                item,
+            })
+            .collect();
+        let _ = self.db.route_all(origin, sends);
+        self.db.inner.registry.deregister(self.ri.txn_id());
+        self.db
+            .inner
+            .stats
+            .user_aborts
+            .fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl Drop for ActiveTxn {
+    fn drop(&mut self) {
+        self.abort_inner();
+    }
+}
+
+impl std::fmt::Debug for ActiveTxn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ActiveTxn")
+            .field("id", &self.ri.txn_id())
+            .field("method", &self.ri.txn().method)
+            .field("phase", &self.ri.phase())
+            .finish()
+    }
+}
+
+// The whole point of the runtime: the facade must be shareable across
+// client threads.
+const _: () = {
+    fn assert_send_sync<T: Send + Sync>() {}
+    fn assertions() {
+        assert_send_sync::<Database>();
+    }
+    let _ = assertions;
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbmodel::ReplicationPolicy;
+
+    fn li(i: u64) -> LogicalItemId {
+        LogicalItemId(i)
+    }
+
+    fn config(shards: u32, items: u64) -> RuntimeConfig {
+        RuntimeConfig {
+            num_shards: shards,
+            num_items: items,
+            deadlock_scan_interval: Duration::from_millis(2),
+            ..RuntimeConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_txn_reads_initial_value_and_installs_write() {
+        let db = Database::open(config(2, 8)).unwrap();
+        let spec = TxnSpec::new().read(li(0)).write(li(1));
+        let receipt = db
+            .run_transaction(&spec, |reads| {
+                assert_eq!(reads[&li(0)], 0);
+                vec![(li(1), 41)]
+            })
+            .unwrap();
+        assert_eq!(receipt.restarts, 0);
+        // A second transaction observes the installed value.
+        let spec = TxnSpec::new().read(li(1));
+        let receipt = db.run_transaction(&spec, |_| vec![]).unwrap();
+        assert_eq!(receipt.reads[&li(1)], 41);
+        let report = db.shutdown().unwrap();
+        assert_eq!(report.stats.committed, 2);
+        assert!(report.serializable().is_ok());
+        assert!(db.shutdown().is_none(), "second shutdown is a no-op");
+    }
+
+    #[test]
+    fn write_outside_write_set_is_rejected() {
+        let db = Database::open(config(1, 4)).unwrap();
+        let mut txn = db.begin(&TxnSpec::new().write(li(0))).unwrap();
+        assert_eq!(txn.write(li(1), 9), Err(TxnError::NotInWriteSet(li(1))));
+        txn.write(li(0), 7).unwrap();
+        txn.commit().unwrap();
+        let report = db.shutdown().unwrap();
+        assert_eq!(report.stats.committed, 1);
+    }
+
+    #[test]
+    fn user_abort_implements_nothing() {
+        let db = Database::open(config(1, 4)).unwrap();
+        let mut txn = db.begin(&TxnSpec::new().write(li(0))).unwrap();
+        txn.write(li(0), 123).unwrap();
+        txn.abort();
+        // A dropped (not committed) transaction also aborts.
+        let _ = db.begin(&TxnSpec::new().write(li(1))).unwrap();
+        let spec = TxnSpec::new().read(li(0));
+        let receipt = db.run_transaction(&spec, |_| vec![]).unwrap();
+        assert_eq!(receipt.reads[&li(0)], 0, "aborted write must not land");
+        let report = db.shutdown().unwrap();
+        assert_eq!(report.stats.user_aborts, 2);
+        assert_eq!(report.stats.committed, 1);
+        assert!(report.serializable().is_ok());
+    }
+
+    #[test]
+    fn unknown_item_is_reported() {
+        let db = Database::open(config(1, 2)).unwrap();
+        let err = db.begin(&TxnSpec::new().read(li(99))).unwrap_err();
+        assert!(matches!(err, TxnError::UnknownItem(_)));
+        db.shutdown();
+    }
+
+    #[test]
+    fn to_conflict_restarts_and_still_commits() {
+        let db = Database::open(config(1, 1)).unwrap();
+        // A hot single item written by T/O transactions from several
+        // threads: rejections are expected, every transaction must still
+        // commit within the restart budget.
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let db = db.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..25 {
+                        let spec = TxnSpec::new()
+                            .write(li(0))
+                            .method(CcMethod::TimestampOrdering);
+                        db.run_transaction(&spec, |_| vec![(li(0), 1)]).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let report = db.shutdown().unwrap();
+        assert_eq!(report.stats.committed, 100);
+        assert!(report.serializable().is_ok());
+    }
+
+    #[test]
+    fn deadlock_between_2pl_writers_is_broken() {
+        let db = Database::open(config(2, 2)).unwrap();
+        // Two 2PL transactions locking {0,1} in opposite orders cannot
+        // deadlock here because requests are issued up front, but a crowd of
+        // multi-item writers still produces genuine wait cycles under 2PL.
+        let threads: Vec<_> = (0..6)
+            .map(|k| {
+                let db = db.clone();
+                std::thread::spawn(move || {
+                    for i in 0..20 {
+                        let spec = TxnSpec::new()
+                            .write(li((k + i) % 2))
+                            .write(li((k + i + 1) % 2))
+                            .method(CcMethod::TwoPhaseLocking);
+                        db.run_transaction(&spec, |_| vec![]).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let report = db.shutdown().unwrap();
+        assert_eq!(report.stats.committed, 120);
+        assert!(report.serializable().is_ok());
+    }
+
+    #[test]
+    fn mix_policy_spreads_methods_and_log_tap_grows() {
+        let db = Database::open(RuntimeConfig {
+            num_shards: 2,
+            num_items: 16,
+            replication: ReplicationPolicy::KCopies(2),
+            policy: CcPolicy::Mix {
+                p_2pl: 0.34,
+                p_to: 0.33,
+            },
+            ..RuntimeConfig::default()
+        })
+        .unwrap();
+        for i in 0..60 {
+            let spec = TxnSpec::new().read(li(i % 16)).write(li((i + 1) % 16));
+            db.run_transaction(&spec, |_| vec![(li((i + 1) % 16), i as Value)])
+                .unwrap();
+        }
+        assert!(db.log_snapshot().total_ops() > 0, "live log tap works");
+        let report = db.shutdown().unwrap();
+        assert_eq!(report.stats.committed, 60);
+        assert!(
+            report.selection_counts.len() >= 2,
+            "mix uses several methods: {:?}",
+            report.selection_counts
+        );
+        assert!(report.serializable().is_ok());
+    }
+}

@@ -1,0 +1,87 @@
+//! The background deadlock detector.
+//!
+//! The runtime analogue of the simulator's periodic deadlock scan: every
+//! `deadlock_scan_interval` the detector asks each shard for its current
+//! wait-for edges, merges them into one [`WaitForGraph`], and — per the
+//! paper's Corollary 2, which guarantees every deadlock cycle contains a
+//! 2PL transaction — signals the youngest 2PL member of each cycle as a
+//! victim through the registry. The victim's own client thread performs the
+//! abort (it owns the request issuer), so the detector never touches
+//! protocol state directly.
+//!
+//! Because the scan is a racy snapshot assembled from per-shard reports, a
+//! reported "cycle" may have already dissolved by the time the victim reacts;
+//! that is harmless — `RequestIssuer::abort_for_deadlock` refuses to abort an
+//! incarnation that is no longer waiting.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use dbmodel::{CcMethod, TxnId};
+use unified_cc::WaitForGraph;
+
+use crate::registry::Registry;
+use crate::shard::ShardCmd;
+use crate::stats::RuntimeStats;
+
+/// How long the detector waits for one shard's edge report before skipping
+/// it for this scan.
+const EDGE_REPORT_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// Spawn the detector thread. It stops when `stop` receives a message or
+/// all senders of `stop` are dropped.
+pub(crate) fn spawn(
+    shards: Vec<SyncSender<ShardCmd>>,
+    registry: Arc<Registry>,
+    stats: Arc<RuntimeStats>,
+    interval: Duration,
+    stop: Receiver<()>,
+    stopped: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("cc-deadlock-detector".into())
+        .spawn(move || loop {
+            match stop.recv_timeout(interval) {
+                Ok(()) | Err(RecvTimeoutError::Disconnected) => return,
+                Err(RecvTimeoutError::Timeout) => {}
+            }
+            if stopped.load(Ordering::Relaxed) {
+                return;
+            }
+            scan_once(&shards, &registry, &stats);
+        })
+        .expect("failed to spawn deadlock detector")
+}
+
+/// One scan: gather edges, find cycles, signal victims.
+pub(crate) fn scan_once(
+    shards: &[SyncSender<ShardCmd>],
+    registry: &Registry,
+    stats: &RuntimeStats,
+) {
+    let mut edges: Vec<(TxnId, TxnId)> = Vec::new();
+    for shard in shards {
+        let (tx, rx) = mpsc::channel();
+        if shard.send(ShardCmd::WaitEdges(tx)).is_err() {
+            continue; // shard already shut down
+        }
+        match rx.recv_timeout(EDGE_REPORT_TIMEOUT) {
+            Ok(shard_edges) => edges.extend(shard_edges),
+            Err(_) => continue, // slow shard: skip this scan
+        }
+    }
+    if edges.is_empty() {
+        return;
+    }
+    let graph = WaitForGraph::from_edges(edges);
+    let victims =
+        graph.choose_victims(|txn| registry.method_of(txn) == Some(CcMethod::TwoPhaseLocking));
+    for victim in victims {
+        if registry.signal_deadlock(victim) {
+            stats.deadlock_victims.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! The live-transaction registry: the runtime's reply router.
+//!
+//! Shards and the deadlock detector address transactions by [`TxnId`]; the
+//! registry maps each live incarnation to the (unbounded) event channel its
+//! client thread is blocked on. Entries are registered when an incarnation
+//! starts and removed when it commits, aborts or restarts; events addressed
+//! to an unknown transaction are dropped, which is exactly the "stale reply
+//! for an aborted incarnation" rule the simulator implements.
+
+use std::collections::HashMap;
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+use dbmodel::{CcMethod, TxnId};
+use pam::ReplyMsg;
+
+/// An event delivered to the client thread driving one incarnation.
+#[derive(Debug)]
+pub(crate) enum ClientEvent {
+    /// A queue-manager reply.
+    Reply(ReplyMsg),
+    /// The deadlock detector chose this incarnation as a victim.
+    DeadlockVictim,
+}
+
+struct Entry {
+    sender: Sender<ClientEvent>,
+    method: CcMethod,
+}
+
+/// Shared map of live incarnations.
+#[derive(Default)]
+pub(crate) struct Registry {
+    inner: Mutex<HashMap<TxnId, Entry>>,
+}
+
+impl Registry {
+    pub(crate) fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Register a new incarnation.
+    pub(crate) fn register(&self, txn: TxnId, method: CcMethod, sender: Sender<ClientEvent>) {
+        let mut map = self.inner.lock().expect("registry poisoned");
+        let prev = map.insert(txn, Entry { sender, method });
+        debug_assert!(prev.is_none(), "transaction id {txn} reused while live");
+    }
+
+    /// Remove an incarnation (commit, abort or restart).
+    pub(crate) fn deregister(&self, txn: TxnId) {
+        self.inner.lock().expect("registry poisoned").remove(&txn);
+    }
+
+    /// Number of live incarnations.
+    pub(crate) fn len(&self) -> usize {
+        self.inner.lock().expect("registry poisoned").len()
+    }
+
+    /// Deliver a queue-manager reply to its incarnation; drops the reply if
+    /// the incarnation is gone (stale message).
+    pub(crate) fn deliver(&self, reply: ReplyMsg) {
+        let map = self.inner.lock().expect("registry poisoned");
+        if let Some(entry) = map.get(&reply.txn()) {
+            // A send error means the client hung up between deregistering
+            // and dropping the receiver; equivalent to a stale reply.
+            let _ = entry.sender.send(ClientEvent::Reply(reply));
+        }
+    }
+
+    /// The method a live incarnation runs under.
+    pub(crate) fn method_of(&self, txn: TxnId) -> Option<CcMethod> {
+        self.inner
+            .lock()
+            .expect("registry poisoned")
+            .get(&txn)
+            .map(|e| e.method)
+    }
+
+    /// Signal a deadlock victim. Returns true if the incarnation was live.
+    pub(crate) fn signal_deadlock(&self, txn: TxnId) -> bool {
+        let map = self.inner.lock().expect("registry poisoned");
+        match map.get(&txn) {
+            Some(entry) => entry.sender.send(ClientEvent::DeadlockVictim).is_ok(),
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbmodel::{LogicalItemId, PhysicalItemId, SiteId};
+    use std::sync::mpsc;
+
+    fn reply(txn: u64) -> ReplyMsg {
+        ReplyMsg::Ack {
+            txn: TxnId(txn),
+            item: PhysicalItemId::new(LogicalItemId(1), SiteId(0)),
+        }
+    }
+
+    #[test]
+    fn delivers_to_registered_and_drops_unknown() {
+        let registry = Registry::new();
+        let (tx, rx) = mpsc::channel();
+        registry.register(TxnId(1), CcMethod::TwoPhaseLocking, tx);
+        assert_eq!(registry.len(), 1);
+        registry.deliver(reply(1));
+        registry.deliver(reply(2)); // unknown: dropped silently
+        assert!(matches!(rx.try_recv(), Ok(ClientEvent::Reply(_))));
+        assert!(rx.try_recv().is_err());
+        registry.deregister(TxnId(1));
+        assert_eq!(registry.len(), 0);
+        registry.deliver(reply(1)); // now stale: dropped
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn deadlock_signal_reaches_live_victims_only() {
+        let registry = Registry::new();
+        let (tx, rx) = mpsc::channel();
+        registry.register(TxnId(7), CcMethod::TwoPhaseLocking, tx);
+        assert_eq!(
+            registry.method_of(TxnId(7)),
+            Some(CcMethod::TwoPhaseLocking)
+        );
+        assert_eq!(registry.method_of(TxnId(8)), None);
+        assert!(registry.signal_deadlock(TxnId(7)));
+        assert!(!registry.signal_deadlock(TxnId(8)));
+        assert!(matches!(rx.try_recv(), Ok(ClientEvent::DeadlockVictim)));
+    }
+}

@@ -1,0 +1,38 @@
+//! The final report of a runtime session.
+
+use std::collections::BTreeMap;
+
+use dbmodel::{CcMethod, LogSet, TxnId};
+use metrics::SimMetrics;
+use sercheck::SerializabilityError;
+
+use crate::stats::StatsSnapshot;
+
+/// Everything a drained [`crate::Database`] leaves behind: the merged
+/// execution log (the input of the serializability oracle), the runtime
+/// counters, the method-level metrics and the selection census.
+#[derive(Debug, Clone)]
+pub struct RuntimeReport {
+    /// Per-item implementation logs merged across shards.
+    pub logs: LogSet,
+    /// The runtime counters at shutdown.
+    pub stats: StatsSnapshot,
+    /// Method-level metrics (commits, restarts, denial rates, …) collected
+    /// for the STL selector.
+    pub metrics: SimMetrics,
+    /// How many transactions each method was assigned.
+    pub selection_counts: BTreeMap<CcMethod, u64>,
+}
+
+impl RuntimeReport {
+    /// Replay the captured execution log through the serializability
+    /// oracle: returns a valid serialization order, or the offending cycle.
+    pub fn serializable(&self) -> Result<Vec<TxnId>, SerializabilityError> {
+        sercheck::check_serializable(&self.logs)
+    }
+
+    /// Committed transactions per wall-clock second.
+    pub fn commit_throughput(&self) -> f64 {
+        self.metrics.commit_throughput()
+    }
+}

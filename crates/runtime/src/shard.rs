@@ -1,0 +1,183 @@
+//! Shard threads: one per site, each owning that site's [`QueueManager`].
+//!
+//! A shard is the runtime analogue of the simulator's per-site queue
+//! manager. It drains a bounded command inbox (backpressure towards the
+//! clients), applies each [`RequestMsg`] to its item states, routes the
+//! produced replies through the [`Registry`], and appends every implemented
+//! operation to its private slice of the execution log. Because every
+//! physical item lives on exactly one shard, the per-item implementation
+//! order — the thing the serializability oracle consumes — is exactly the
+//! order the owning shard processed the operations in, with no further
+//! synchronisation.
+
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use dbmodel::{LogSet, SiteId, TxnId};
+use pam::RequestMsg;
+use unified_cc::{QmEvent, QueueManager};
+
+use crate::registry::Registry;
+use crate::stats::RuntimeStats;
+
+/// Commands a shard thread processes.
+pub(crate) enum ShardCmd {
+    /// Apply one protocol message; `origin` is the issuing site (used for
+    /// precedence tie-breaking).
+    Handle { origin: SiteId, msg: RequestMsg },
+    /// Report the shard's current wait-for edges (deadlock detector).
+    WaitEdges(Sender<Vec<(TxnId, TxnId)>>),
+    /// Report the transactions currently queued and not granted
+    /// (diagnostics).
+    Waiting(Sender<Vec<TxnId>>),
+    /// Report a copy of the shard's execution-log slice (live log tap).
+    LogSnapshot(Sender<LogSet>),
+    /// Drain and exit, returning the final log slice through the join
+    /// handle.
+    Shutdown,
+}
+
+/// A running shard thread.
+pub(crate) struct ShardHandle {
+    pub(crate) tx: SyncSender<ShardCmd>,
+    pub(crate) join: JoinHandle<(SiteId, LogSet)>,
+}
+
+/// Spawn the shard thread for `site`, taking ownership of its queue
+/// manager.
+pub(crate) fn spawn(
+    qm: QueueManager,
+    inbox: Receiver<ShardCmd>,
+    tx: SyncSender<ShardCmd>,
+    registry: Arc<Registry>,
+    stats: Arc<RuntimeStats>,
+) -> ShardHandle {
+    let site = qm.site();
+    let join = std::thread::Builder::new()
+        .name(format!("cc-shard-{}", site.0))
+        .spawn(move || shard_loop(qm, inbox, registry, stats))
+        .expect("failed to spawn shard thread");
+    ShardHandle { tx, join }
+}
+
+fn shard_loop(
+    mut qm: QueueManager,
+    inbox: Receiver<ShardCmd>,
+    registry: Arc<Registry>,
+    stats: Arc<RuntimeStats>,
+) -> (SiteId, LogSet) {
+    let site = qm.site();
+    let mut logs = LogSet::new();
+    // Exiting on a closed channel (all senders dropped) covers the case of
+    // a `Database` dropped without an explicit shutdown.
+    while let Ok(cmd) = inbox.recv() {
+        match cmd {
+            ShardCmd::Handle { origin, msg } => {
+                let output = qm.handle(origin, &msg);
+                for event in &output.events {
+                    match *event {
+                        QmEvent::GrantIssued { .. } => {
+                            stats.grants.fetch_add(1, Ordering::Relaxed);
+                        }
+                        QmEvent::Implemented { item, txn, access } => {
+                            logs.record(item, txn, access);
+                            stats.implemented_ops.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                for reply in output.replies {
+                    registry.deliver(reply);
+                }
+            }
+            ShardCmd::WaitEdges(reply_to) => {
+                let _ = reply_to.send(qm.wait_edges());
+            }
+            ShardCmd::Waiting(reply_to) => {
+                let _ = reply_to.send(qm.waiting_txns());
+            }
+            ShardCmd::LogSnapshot(reply_to) => {
+                let _ = reply_to.send(logs.clone());
+            }
+            ShardCmd::Shutdown => break,
+        }
+    }
+    (site, logs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbmodel::{AccessMode, CcMethod, LogicalItemId, PhysicalItemId, Timestamp, TsTuple, TxnId};
+    use std::sync::mpsc;
+    use unified_cc::EnforcementMode;
+
+    fn item() -> PhysicalItemId {
+        PhysicalItemId::new(LogicalItemId(1), SiteId(0))
+    }
+
+    fn spawn_one() -> (ShardHandle, Arc<Registry>, Arc<RuntimeStats>) {
+        let mut qm = QueueManager::new(SiteId(0));
+        qm.add_item(item(), 42, EnforcementMode::SemiLock);
+        let registry = Arc::new(Registry::new());
+        let stats = Arc::new(RuntimeStats::default());
+        let (tx, rx) = mpsc::sync_channel(16);
+        let handle = spawn(qm, rx, tx, Arc::clone(&registry), Arc::clone(&stats));
+        (handle, registry, stats)
+    }
+
+    #[test]
+    fn shard_grants_logs_and_shuts_down() {
+        let (handle, registry, stats) = spawn_one();
+        let (ev_tx, ev_rx) = mpsc::channel();
+        registry.register(TxnId(1), CcMethod::TwoPhaseLocking, ev_tx);
+        handle
+            .tx
+            .send(ShardCmd::Handle {
+                origin: SiteId(0),
+                msg: RequestMsg::Access {
+                    txn: TxnId(1),
+                    item: item(),
+                    mode: AccessMode::Write,
+                    method: CcMethod::TwoPhaseLocking,
+                    ts: TsTuple::new(Timestamp(1), 10),
+                },
+            })
+            .unwrap();
+        // The grant is routed through the registry.
+        assert!(matches!(
+            ev_rx.recv().unwrap(),
+            crate::registry::ClientEvent::Reply(pam::ReplyMsg::Grant { .. })
+        ));
+        handle
+            .tx
+            .send(ShardCmd::Handle {
+                origin: SiteId(0),
+                msg: RequestMsg::Release {
+                    txn: TxnId(1),
+                    item: item(),
+                    write_value: Some(7),
+                },
+            })
+            .unwrap();
+        let (log_tx, log_rx) = mpsc::channel();
+        handle.tx.send(ShardCmd::LogSnapshot(log_tx)).unwrap();
+        let logs = log_rx.recv().unwrap();
+        assert_eq!(logs.total_ops(), 1);
+        handle.tx.send(ShardCmd::Shutdown).unwrap();
+        let (site, logs) = handle.join.join().unwrap();
+        assert_eq!(site, SiteId(0));
+        assert_eq!(logs.total_ops(), 1);
+        assert_eq!(stats.grants.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.implemented_ops.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn shard_exits_when_all_senders_drop() {
+        let (handle, _registry, _stats) = spawn_one();
+        drop(handle.tx);
+        let (_, logs) = handle.join.join().unwrap();
+        assert_eq!(logs.total_ops(), 0);
+    }
+}

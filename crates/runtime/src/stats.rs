@@ -1,0 +1,64 @@
+//! Lock-free runtime counters and their copyable snapshot.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters updated concurrently by client threads, shard threads and the
+/// deadlock detector.
+#[derive(Debug, Default)]
+pub(crate) struct RuntimeStats {
+    pub(crate) committed: AtomicU64,
+    pub(crate) rejected_restarts: AtomicU64,
+    pub(crate) deadlock_restarts: AtomicU64,
+    pub(crate) backoff_rounds: AtomicU64,
+    pub(crate) deadlock_victims: AtomicU64,
+    pub(crate) user_aborts: AtomicU64,
+    pub(crate) failed: AtomicU64,
+    pub(crate) grants: AtomicU64,
+    pub(crate) implemented_ops: AtomicU64,
+}
+
+/// A consistent-enough copy of the runtime counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Transactions committed.
+    pub committed: u64,
+    /// Incarnations restarted after a T/O rejection.
+    pub rejected_restarts: u64,
+    /// Incarnations restarted as deadlock victims.
+    pub deadlock_restarts: u64,
+    /// PA backoff rounds performed.
+    pub backoff_rounds: u64,
+    /// Victim signals raised by the deadlock detector.
+    pub deadlock_victims: u64,
+    /// Transactions aborted by the caller.
+    pub user_aborts: u64,
+    /// Transactions that gave up after `max_restarts` attempts.
+    pub failed: u64,
+    /// Lock grants issued across all shards.
+    pub grants: u64,
+    /// Operations implemented (entered the execution log) across all shards.
+    pub implemented_ops: u64,
+}
+
+impl RuntimeStats {
+    pub(crate) fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            committed: self.committed.load(Ordering::Relaxed),
+            rejected_restarts: self.rejected_restarts.load(Ordering::Relaxed),
+            deadlock_restarts: self.deadlock_restarts.load(Ordering::Relaxed),
+            backoff_rounds: self.backoff_rounds.load(Ordering::Relaxed),
+            deadlock_victims: self.deadlock_victims.load(Ordering::Relaxed),
+            user_aborts: self.user_aborts.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            grants: self.grants.load(Ordering::Relaxed),
+            implemented_ops: self.implemented_ops.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// Total restarts (rejections plus deadlock aborts).
+    pub fn restarts(&self) -> u64 {
+        self.rejected_restarts + self.deadlock_restarts
+    }
+}

@@ -211,7 +211,10 @@ mod tests {
             p_abort: 0.0,
             ..Default::default()
         };
-        let p_low = ProtocolParams { p_abort: 0.05, ..p0 };
+        let p_low = ProtocolParams {
+            p_abort: 0.05,
+            ..p0
+        };
         let p_high = ProtocolParams { p_abort: 0.4, ..p0 };
         let v0 = stl_2pl(&m, &s, &p0);
         let v1 = stl_2pl(&m, &s, &p_low);
@@ -238,11 +241,35 @@ mod tests {
             large > 4.0 * small,
             "restart probability compounds with size: {small} vs {large}"
         );
-        let low_rej = stl_to(&m, &shape(2, 2), &ProtocolParams { p_read_denial: 0.01, p_write_denial: 0.01, ..base });
-        let high_rej = stl_to(&m, &shape(2, 2), &ProtocolParams { p_read_denial: 0.4, p_write_denial: 0.4, ..base });
+        let low_rej = stl_to(
+            &m,
+            &shape(2, 2),
+            &ProtocolParams {
+                p_read_denial: 0.01,
+                p_write_denial: 0.01,
+                ..base
+            },
+        );
+        let high_rej = stl_to(
+            &m,
+            &shape(2, 2),
+            &ProtocolParams {
+                p_read_denial: 0.4,
+                p_write_denial: 0.4,
+                ..base
+            },
+        );
         assert!(high_rej > low_rej);
         // Certain rejection ⇒ effectively infinite cost.
-        let never = stl_to(&m, &shape(2, 2), &ProtocolParams { p_read_denial: 1.0, p_write_denial: 1.0, ..base });
+        let never = stl_to(
+            &m,
+            &shape(2, 2),
+            &ProtocolParams {
+                p_read_denial: 1.0,
+                p_write_denial: 1.0,
+                ..base
+            },
+        );
         assert!(never > 1e100);
     }
 
@@ -288,8 +315,18 @@ mod tests {
     fn longer_hold_times_cost_more_for_every_protocol() {
         let m = model();
         let s = shape(2, 2);
-        let short = ProtocolParams { u_ok: 0.02, u_denied: 0.02, p_abort: 0.1, p_read_denial: 0.1, p_write_denial: 0.1 };
-        let long = ProtocolParams { u_ok: 0.2, u_denied: 0.2, ..short };
+        let short = ProtocolParams {
+            u_ok: 0.02,
+            u_denied: 0.02,
+            p_abort: 0.1,
+            p_read_denial: 0.1,
+            p_write_denial: 0.1,
+        };
+        let long = ProtocolParams {
+            u_ok: 0.2,
+            u_denied: 0.2,
+            ..short
+        };
         assert!(stl_2pl(&m, &s, &long) > stl_2pl(&m, &s, &short));
         assert!(stl_to(&m, &s, &long) > stl_to(&m, &s, &short));
         assert!(stl_pa(&m, &s, &long) > stl_pa(&m, &s, &short));

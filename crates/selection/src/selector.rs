@@ -16,7 +16,7 @@
 //!   transactions is still assigned round-robin, so the estimates of
 //!   currently-unselected protocols do not go stale.
 
-use dbmodel::{CcMethod, Catalog, Transaction};
+use dbmodel::{Catalog, CcMethod, Transaction};
 use metrics::SimMetrics;
 
 use crate::estimators::{stl_2pl, stl_pa, stl_to, ProtocolParams, TxnShape};
@@ -88,7 +88,7 @@ impl StlSelector {
         let warmed_up = CcMethod::ALL
             .iter()
             .all(|&m| metrics.method(m).committed.get() >= self.warmup_commits);
-        let exploring = self.explore_every > 0 && self.counter % self.explore_every == 0;
+        let exploring = self.explore_every > 0 && self.counter.is_multiple_of(self.explore_every);
         if !warmed_up || exploring {
             return SelectionDecision {
                 method: round_robin,
@@ -148,9 +148,10 @@ impl StlSelector {
         let mut shape = TxnShape::default();
         for &item in txn.read_set() {
             if let Ok(copy) = catalog.read_copy(item, txn.origin) {
-                shape
-                    .read_items
-                    .push((metrics.read_throughput(copy), metrics.write_throughput(copy)));
+                shape.read_items.push((
+                    metrics.read_throughput(copy),
+                    metrics.write_throughput(copy),
+                ));
             }
         }
         for &item in txn.write_set() {
@@ -223,7 +224,11 @@ mod tests {
             for _ in 0..200 {
                 m.record_grant(
                     PhysicalItemId::new(LogicalItemId(i), SiteId((i % 2) as u32)),
-                    if i % 3 == 0 { AccessMode::Write } else { AccessMode::Read },
+                    if i % 3 == 0 {
+                        AccessMode::Write
+                    } else {
+                        AccessMode::Read
+                    },
                 );
             }
         }

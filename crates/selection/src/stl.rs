@@ -81,11 +81,15 @@ impl StlModel {
 
         // f[level][i] = STL'(λ_loss + level·Δ, i·dt).
         // Top level (saturated): λ_A · t.
-        let mut upper: Vec<f64> = (0..=TIME_STEPS).map(|i| self.lambda_a * (i as f64 * dt)).collect();
+        let mut upper: Vec<f64> = (0..=TIME_STEPS)
+            .map(|i| self.lambda_a * (i as f64 * dt))
+            .collect();
         for level in (0..levels).rev() {
             let lambda = (lambda_loss + level as f64 * delta).min(self.lambda_a);
             if lambda >= self.lambda_a {
-                upper = (0..=TIME_STEPS).map(|i| self.lambda_a * (i as f64 * dt)).collect();
+                upper = (0..=TIME_STEPS)
+                    .map(|i| self.lambda_a * (i as f64 * dt))
+                    .collect();
                 continue;
             }
             let beta = self.lambda_block(lambda);
@@ -233,7 +237,10 @@ mod tests {
         };
         let short = m.stl_prime(20.0, 0.2);
         let long = m.stl_prime(20.0, 0.4);
-        assert!(long > 2.0 * short, "escalation should compound: {short} vs {long}");
+        assert!(
+            long > 2.0 * short,
+            "escalation should compound: {short} vs {long}"
+        );
     }
 
     #[test]

@@ -103,8 +103,7 @@ impl ConflictGraph {
     /// serialization order (Theorem 1); on failure a cycle is returned.
     pub fn serialization_order(&self) -> Result<Vec<TxnId>, SerializabilityError> {
         // Kahn's algorithm with deterministic (BTree) tie-breaking.
-        let mut indegree: BTreeMap<TxnId, usize> =
-            self.nodes.iter().map(|&n| (n, 0)).collect();
+        let mut indegree: BTreeMap<TxnId, usize> = self.nodes.iter().map(|&n| (n, 0)).collect();
         for succs in self.edges.values() {
             for &to in succs {
                 *indegree.entry(to).or_insert(0) += 1;
@@ -297,8 +296,7 @@ mod tests {
         logs.record(pi(3, 0), TxnId(3), AccessMode::Write);
         logs.record(pi(3, 0), TxnId(4), AccessMode::Read);
         let order = check_serializable(&logs).unwrap();
-        let pos: BTreeMap<TxnId, usize> =
-            order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        let pos: BTreeMap<TxnId, usize> = order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
         let g = ConflictGraph::from_logs(&logs);
         for &from in &order {
             for to in g.successors(from) {

@@ -162,37 +162,48 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_values() {
-        let mut c = SimConfig::default();
-        c.num_sites = 0;
-        assert!(c.validate().is_err());
+        let bad = [
+            SimConfig {
+                num_sites: 0,
+                ..SimConfig::default()
+            },
+            SimConfig {
+                txn_size: 0,
+                ..SimConfig::default()
+            },
+            SimConfig {
+                arrival_rate: 0.0,
+                ..SimConfig::default()
+            },
+            SimConfig {
+                read_fraction: 1.5,
+                ..SimConfig::default()
+            },
+            SimConfig {
+                method_policy: MethodPolicy::Mix {
+                    p_2pl: 0.8,
+                    p_to: 0.5,
+                },
+                ..SimConfig::default()
+            },
+            SimConfig {
+                num_transactions: 0,
+                ..SimConfig::default()
+            },
+            SimConfig {
+                access_skew: f64::NAN,
+                ..SimConfig::default()
+            },
+        ];
+        for c in bad {
+            assert!(c.validate().is_err());
+        }
 
-        let mut c = SimConfig::default();
-        c.txn_size = 0;
-        assert!(c.validate().is_err());
-
-        let mut c = SimConfig::default();
-        c.txn_size = 1000;
-        c.num_items = 10;
+        let c = SimConfig {
+            txn_size: 1000,
+            num_items: 10,
+            ..SimConfig::default()
+        };
         assert!(c.validate().unwrap_err().contains("txn_size"));
-
-        let mut c = SimConfig::default();
-        c.arrival_rate = 0.0;
-        assert!(c.validate().is_err());
-
-        let mut c = SimConfig::default();
-        c.read_fraction = 1.5;
-        assert!(c.validate().is_err());
-
-        let mut c = SimConfig::default();
-        c.method_policy = MethodPolicy::Mix { p_2pl: 0.8, p_to: 0.5 };
-        assert!(c.validate().is_err());
-
-        let mut c = SimConfig::default();
-        c.num_transactions = 0;
-        assert!(c.validate().is_err());
-
-        let mut c = SimConfig::default();
-        c.access_skew = f64::NAN;
-        assert!(c.validate().is_err());
     }
 }

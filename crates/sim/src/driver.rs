@@ -15,8 +15,8 @@
 use std::collections::BTreeMap;
 
 use dbmodel::{
-    AccessMode, Catalog, CcMethod, LogSet, PhysicalItemId, SiteId, Timestamp, Transaction,
-    TsTuple, TxnId,
+    AccessMode, Catalog, CcMethod, LogSet, PhysicalItemId, SiteId, Timestamp, Transaction, TsTuple,
+    TxnId,
 };
 use metrics::{SimMetrics, TxnOutcome};
 use network::{Envelope, LatencyModel, MsgCategory, NetworkModel};
@@ -106,7 +106,12 @@ impl Simulation {
             .map(|&s| {
                 (
                     s,
-                    QueueManager::from_catalog(s, &catalog, config.initial_value, config.enforcement),
+                    QueueManager::from_catalog(
+                        s,
+                        &catalog,
+                        config.initial_value,
+                        config.enforcement,
+                    ),
                 )
             })
             .collect();
@@ -231,10 +236,8 @@ impl Simulation {
             Event::DeadlockScan => {
                 self.deadlock_scan(now);
                 if self.committed_roots < self.workload.len() {
-                    self.events.schedule(
-                        now + self.config.deadlock_scan_period,
-                        Event::DeadlockScan,
-                    );
+                    self.events
+                        .schedule(now + self.config.deadlock_scan_period, Event::DeadlockScan);
                 }
             }
         }
@@ -314,7 +317,9 @@ impl Simulation {
         // answered immediately with a reject/backoff is a denial, anything
         // else is an acceptance.
         let access_info = match &msg {
-            RequestMsg::Access { txn, mode, method, .. } => Some((*txn, *mode, *method)),
+            RequestMsg::Access {
+                txn, mode, method, ..
+            } => Some((*txn, *mode, *method)),
             _ => None,
         };
         let output = {
@@ -323,8 +328,7 @@ impl Simulation {
         };
         if let Some((txn, mode, method)) = access_info {
             let denied = output.replies.iter().any(|r| {
-                r.txn() == txn
-                    && matches!(r, ReplyMsg::Reject { .. } | ReplyMsg::Backoff { .. })
+                r.txn() == txn && matches!(r, ReplyMsg::Reject { .. } | ReplyMsg::Backoff { .. })
             });
             self.metrics.record_request_outcome(method, mode, denied);
         }
@@ -405,13 +409,9 @@ impl Simulation {
                 RequestMsg::Abort { .. } => MsgCategory::Abort,
             };
             let dest = msg.item().site;
-            let envelope = self.network.send(
-                now,
-                origin,
-                dest,
-                category,
-                NetMsg::ToQm { origin, msg },
-            );
+            let envelope =
+                self.network
+                    .send(now, origin, dest, category, NetMsg::ToQm { origin, msg });
             let at = envelope.deliver_at;
             self.events.schedule(at, Event::Deliver(envelope));
         }
@@ -423,7 +423,8 @@ impl Simulation {
                     let compute = simkit::time::Duration::from_secs_f64(
                         self.compute_dist.sample(&mut self.rng),
                     );
-                    self.events.schedule(now + compute, Event::ExecutionDone(txn));
+                    self.events
+                        .schedule(now + compute, Event::ExecutionDone(txn));
                 }
                 RiAction::BackoffRound => {
                     self.metrics.record_backoff_round(method);
@@ -537,7 +538,13 @@ mod tests {
         assert_eq!(report.committed, report.submitted);
         assert!(report.serializable().is_ok());
         // Under contention some rejections must have occurred.
-        assert!(report.metrics.method(CcMethod::TimestampOrdering).restarts() > 0);
+        assert!(
+            report
+                .metrics
+                .method(CcMethod::TimestampOrdering)
+                .restarts()
+                > 0
+        );
         // T/O never deadlocks.
         assert_eq!(
             report
@@ -606,8 +613,12 @@ mod tests {
 
     #[test]
     fn same_seed_same_report_different_seed_differs() {
-        let a = Simulation::run(small_config(MethodPolicy::Static(CcMethod::TwoPhaseLocking)));
-        let b = Simulation::run(small_config(MethodPolicy::Static(CcMethod::TwoPhaseLocking)));
+        let a = Simulation::run(small_config(MethodPolicy::Static(
+            CcMethod::TwoPhaseLocking,
+        )));
+        let b = Simulation::run(small_config(MethodPolicy::Static(
+            CcMethod::TwoPhaseLocking,
+        )));
         assert_eq!(a.metrics.mean_system_time(), b.metrics.mean_system_time());
         assert_eq!(a.messages.total(), b.messages.total());
         let mut cfg = small_config(MethodPolicy::Static(CcMethod::TwoPhaseLocking));

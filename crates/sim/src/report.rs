@@ -172,8 +172,14 @@ mod tests {
     fn totals_aggregate_over_methods() {
         let mut metrics = SimMetrics::new();
         metrics.set_time_span(SimTime::ZERO, SimTime::from_secs(1));
-        metrics.record_restart(CcMethod::TimestampOrdering, metrics::TxnOutcome::RejectedRestart);
-        metrics.record_restart(CcMethod::TwoPhaseLocking, metrics::TxnOutcome::DeadlockRestart);
+        metrics.record_restart(
+            CcMethod::TimestampOrdering,
+            metrics::TxnOutcome::RejectedRestart,
+        );
+        metrics.record_restart(
+            CcMethod::TwoPhaseLocking,
+            metrics::TxnOutcome::DeadlockRestart,
+        );
         let r = SimReport::new(
             metrics,
             MsgStats::default(),

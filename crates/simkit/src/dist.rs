@@ -43,7 +43,10 @@ impl Uniform {
     /// Create a uniform distribution. Panics if `high < low` or either bound
     /// is not finite.
     pub fn new(low: f64, high: f64) -> Self {
-        assert!(low.is_finite() && high.is_finite(), "uniform bounds must be finite");
+        assert!(
+            low.is_finite() && high.is_finite(),
+            "uniform bounds must be finite"
+        );
         assert!(high >= low, "uniform requires high >= low");
         Uniform { low, high }
     }
@@ -71,13 +74,19 @@ pub struct Exponential {
 impl Exponential {
     /// Create an exponential distribution from its rate parameter λ > 0.
     pub fn with_rate(rate: f64) -> Self {
-        assert!(rate.is_finite() && rate > 0.0, "exponential rate must be positive");
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "exponential rate must be positive"
+        );
         Exponential { rate }
     }
 
     /// Create an exponential distribution from its mean (1/λ).
     pub fn with_mean(mean: f64) -> Self {
-        assert!(mean.is_finite() && mean > 0.0, "exponential mean must be positive");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exponential mean must be positive"
+        );
         Exponential { rate: 1.0 / mean }
     }
 }
@@ -108,7 +117,10 @@ impl Zipfian {
     /// Create a Zipfian distribution over `0..n` with skew parameter `theta >= 0`.
     pub fn new(n: usize, theta: f64) -> Self {
         assert!(n > 0, "zipfian needs a non-empty support");
-        assert!(theta >= 0.0 && theta.is_finite(), "zipfian skew must be >= 0");
+        assert!(
+            theta >= 0.0 && theta.is_finite(),
+            "zipfian skew must be >= 0"
+        );
         let mut weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(theta)).collect();
         let total: f64 = weights.iter().sum();
         let mut acc = 0.0;
@@ -142,7 +154,11 @@ impl Distribution for Zipfian {
         let n = self.cdf.len();
         let mut mean = 0.0;
         for k in 0..n {
-            let p_k = if k == 0 { self.cdf[0] } else { self.cdf[k] - self.cdf[k - 1] };
+            let p_k = if k == 0 {
+                self.cdf[0]
+            } else {
+                self.cdf[k] - self.cdf[k - 1]
+            };
             mean += k as f64 * p_k;
         }
         mean
@@ -255,6 +271,9 @@ mod tests {
         let d = Zipfian::new(50, 0.9);
         let analytic = d.mean();
         let empirical = sample_mean(&d, 200_000, 10);
-        assert!((analytic - empirical).abs() < 0.5, "{analytic} vs {empirical}");
+        assert!(
+            (analytic - empirical).abs() < 0.5,
+            "{analytic} vs {empirical}"
+        );
     }
 }

@@ -217,6 +217,9 @@ mod tests {
     fn saturating_mul_caps_at_max() {
         let d = Duration::from_micros(u64::MAX / 2 + 1);
         assert_eq!(d.saturating_mul(3), Duration::MAX);
-        assert_eq!(Duration::from_micros(7).saturating_mul(3), Duration::from_micros(21));
+        assert_eq!(
+            Duration::from_micros(7).saturating_mul(3),
+            Duration::from_micros(21)
+        );
     }
 }

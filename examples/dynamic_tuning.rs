@@ -48,9 +48,21 @@ fn main() {
         println!("\n-- {label} load ({lambda} txn/s) --");
         println!(
             "  selector mix: 2PL={} T/O={} PA={}",
-            report.selection_counts.get(&CcMethod::TwoPhaseLocking).copied().unwrap_or(0),
-            report.selection_counts.get(&CcMethod::TimestampOrdering).copied().unwrap_or(0),
-            report.selection_counts.get(&CcMethod::PrecedenceAgreement).copied().unwrap_or(0),
+            report
+                .selection_counts
+                .get(&CcMethod::TwoPhaseLocking)
+                .copied()
+                .unwrap_or(0),
+            report
+                .selection_counts
+                .get(&CcMethod::TimestampOrdering)
+                .copied()
+                .unwrap_or(0),
+            report
+                .selection_counts
+                .get(&CcMethod::PrecedenceAgreement)
+                .copied()
+                .unwrap_or(0),
         );
         println!(
             "  sample 2-read/2-write txn: STL_2PL={:.3} STL_T/O={:.3} STL_PA={:.3} -> {}",

@@ -38,8 +38,17 @@ fn main() {
     let policies = [
         ("all 2PL", MethodPolicy::Static(CcMethod::TwoPhaseLocking)),
         ("all T/O", MethodPolicy::Static(CcMethod::TimestampOrdering)),
-        ("all PA", MethodPolicy::Static(CcMethod::PrecedenceAgreement)),
-        ("mixed 50/25/25", MethodPolicy::Mix { p_2pl: 0.5, p_to: 0.25 }),
+        (
+            "all PA",
+            MethodPolicy::Static(CcMethod::PrecedenceAgreement),
+        ),
+        (
+            "mixed 50/25/25",
+            MethodPolicy::Mix {
+                p_2pl: 0.5,
+                p_to: 0.25,
+            },
+        ),
         ("STL dynamic", MethodPolicy::DynamicStl),
     ];
     println!(
@@ -48,7 +57,10 @@ fn main() {
     );
     for (label, policy) in policies {
         let report = Simulation::run(config(policy));
-        assert!(report.serializable().is_ok(), "{label} must stay serializable");
+        assert!(
+            report.serializable().is_ok(),
+            "{label} must stay serializable"
+        );
         println!(
             "{:>16}  {:>12.2}  {:>12.1}  {:>10}  {:>11}",
             label,

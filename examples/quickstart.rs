@@ -42,7 +42,10 @@ fn main() {
         let accesses = vec![(item_x, AccessMode::Read), (item_y, AccessMode::Write)];
         let mut ri = RequestIssuer::new(txn, TsTuple::new(Timestamp(ts), 5), accesses);
 
-        println!("== {} transaction T{id} (timestamp {ts}) ==", method.label());
+        println!(
+            "== {} transaction T{id} (timestamp {ts}) ==",
+            method.label()
+        );
         let mut outbox = ri.start().sends;
         // Keep exchanging messages until the issuer has nothing left to send.
         while !outbox.is_empty() {
@@ -66,7 +69,10 @@ fn main() {
                         // The "local computing phase": read x, write x+1 into y.
                         let read = ri.read_value(LogicalItemId(1)).unwrap_or(0);
                         ri.set_write_value(LogicalItemId(2), read + 1);
-                        println!("     local compute: read x = {read}, will write y = {}", read + 1);
+                        println!(
+                            "     local compute: read x = {read}, will write y = {}",
+                            read + 1
+                        );
                         outbox.extend(ri.on_execution_done().sends);
                     }
                 }
@@ -81,9 +87,7 @@ fn main() {
     }
 
     match check_serializable(&logs) {
-        Ok(order) => println!(
-            "execution is conflict serializable; serialization order: {order:?}"
-        ),
+        Ok(order) => println!("execution is conflict serializable; serialization order: {order:?}"),
         Err(err) => println!("execution is NOT serializable: {err}"),
     }
 }

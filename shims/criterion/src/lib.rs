@@ -1,0 +1,181 @@
+//! Minimal, offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the real `criterion` cannot be used. This shim implements just the subset
+//! of the API the `bench` crate's benchmarks call — `Criterion`,
+//! `BenchmarkGroup`, `Bencher::iter`, `BenchmarkId` and the
+//! `criterion_group!` / `criterion_main!` macros — with a simple
+//! warmup-then-measure timing loop printing mean ns/iteration. Swapping the
+//! workspace dependency back to the real crate requires no source changes in
+//! the benchmarks.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Number of timed batches per benchmark.
+const BATCHES: u32 = 5;
+/// Target wall-clock time per timed batch.
+const BATCH_TARGET: Duration = Duration::from_millis(200);
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration over the timed batches.
+    mean_ns: f64,
+    iters_done: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            mean_ns: 0.0,
+            iters_done: 0,
+        }
+    }
+
+    /// Run `f` repeatedly: a calibration pass sizes the batch, then
+    /// `BATCHES` timed batches are averaged.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibration: find an iteration count that fills BATCH_TARGET.
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= BATCH_TARGET / 10 || n >= 1 << 30 {
+                let per_iter = elapsed.as_secs_f64() / n as f64;
+                n = ((BATCH_TARGET.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1 << 32);
+                break;
+            }
+            n *= 8;
+        }
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..BATCHES {
+            let start = Instant::now();
+            for _ in 0..n {
+                std::hint::black_box(f());
+            }
+            total += start.elapsed();
+            iters += n;
+        }
+        self.mean_ns = total.as_secs_f64() * 1e9 / iters as f64;
+        self.iters_done = iters;
+    }
+}
+
+/// Identifier for a parameterised benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_named(&full, f);
+        self
+    }
+
+    /// Run one benchmark in this group with an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_named(&full, |b| f(b, input));
+        self
+    }
+
+    /// End the group (a no-op in the shim; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run one free-standing benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_named(name, f);
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    fn run_named<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut bencher = Bencher::new();
+        f(&mut bencher);
+        println!(
+            "{name:<48} {:>12.1} ns/iter ({} iters)",
+            bencher.mean_ns, bencher.iters_done
+        );
+    }
+}
+
+/// Re-export matching `criterion::black_box` (deprecated upstream in favour
+/// of `std::hint::black_box`, but still part of the public API).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions into one group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Produce a `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

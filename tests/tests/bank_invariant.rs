@@ -52,7 +52,10 @@ fn transfer_with(id: u64, method: CcMethod, ts: u64, from: u64, to: u64, amount:
         .write(LogicalItemId(from))
         .write(LogicalItemId(to))
         .build();
-    let accesses = vec![(item(from), AccessMode::Write), (item(to), AccessMode::Write)];
+    let accesses = vec![
+        (item(from), AccessMode::Write),
+        (item(to), AccessMode::Write),
+    ];
     let mut ri = RequestIssuer::new(txn, TsTuple::new(Timestamp(ts), 7), accesses);
     let outbox = ri.start().sends;
     OpenTxn {

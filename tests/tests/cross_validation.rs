@@ -6,7 +6,10 @@ use dbmodel::{
     AccessMode, CcMethod, LogicalItemId, PhysicalItemId, SiteId, Timestamp, TsTuple, TxnId,
 };
 use pam::{ReplyMsg, RequestMsg};
-use protocols::{BasicTimestampOrdering, LockManager, LockMode2pl, LockRequestOutcome, PaDecision, PaQueueManager, ToDecision};
+use protocols::{
+    BasicTimestampOrdering, LockManager, LockMode2pl, LockRequestOutcome, PaDecision,
+    PaQueueManager, ToDecision,
+};
 use simkit::rng::SimRng;
 use unified_cc::{EnforcementMode, QueueManager};
 
@@ -41,7 +44,8 @@ fn to_decisions_match_standalone_basic_to() {
         } else {
             AccessMode::Write
         };
-        let standalone_verdict = standalone.submit(TxnId(txn), Timestamp(ts), LogicalItemId(1), mode);
+        let standalone_verdict =
+            standalone.submit(TxnId(txn), Timestamp(ts), LogicalItemId(1), mode);
 
         let out = unified.handle(
             SiteId(0),
@@ -68,7 +72,11 @@ fn to_decisions_match_standalone_basic_to() {
                 &RequestMsg::Release {
                     txn: TxnId(txn),
                     item: item(1),
-                    write_value: if mode == AccessMode::Write { Some(ts as i64) } else { None },
+                    write_value: if mode == AccessMode::Write {
+                        Some(ts as i64)
+                    } else {
+                        None
+                    },
                 },
             );
         }
@@ -97,7 +105,14 @@ fn pa_backoff_proposals_match_standalone_pa() {
         standalone.release(TxnId(1_000_000));
         unified.handle(
             SiteId(0),
-            &access(1_000_000, 1, AccessMode::Write, CcMethod::PrecedenceAgreement, seed_ts, 1),
+            &access(
+                1_000_000,
+                1,
+                AccessMode::Write,
+                CcMethod::PrecedenceAgreement,
+                seed_ts,
+                1,
+            ),
         );
         unified.handle(
             SiteId(0),
@@ -143,7 +158,11 @@ fn pa_backoff_proposals_match_standalone_pa() {
                     &RequestMsg::Release {
                         txn: TxnId(txn),
                         item: item(1),
-                        write_value: if mode == AccessMode::Write { Some(1) } else { None },
+                        write_value: if mode == AccessMode::Write {
+                            Some(1)
+                        } else {
+                            None
+                        },
                     },
                 );
             }
@@ -154,7 +173,10 @@ fn pa_backoff_proposals_match_standalone_pa() {
                 // few intervals because the unified engine's thresholds also
                 // account for the unified precedence bookkeeping; the
                 // decision agreement is what the cross-validation pins down.
-                assert!(expected > Timestamp(ts), "standalone proposal must exceed ts");
+                assert!(
+                    expected > Timestamp(ts),
+                    "standalone proposal must exceed ts"
+                );
                 assert!(actual > Timestamp(ts), "unified proposal must exceed ts");
                 assert_eq!(
                     (actual.0 - ts) % interval,
@@ -183,7 +205,11 @@ fn pa_backoff_proposals_match_standalone_pa() {
                     &RequestMsg::Release {
                         txn: TxnId(txn),
                         item: item(1),
-                        write_value: if mode == AccessMode::Write { Some(1) } else { None },
+                        write_value: if mode == AccessMode::Write {
+                            Some(1)
+                        } else {
+                            None
+                        },
                     },
                 );
             }

@@ -30,12 +30,7 @@ fn item(i: u64) -> PhysicalItemId {
 
 /// Drive a set of issuers against one queue manager until quiescence, in a
 /// caller-controlled round-robin order, recording implementations.
-fn drive(
-    qm: &mut QueueManager,
-    issuers: &mut [RequestIssuer],
-    logs: &mut LogSet,
-    order: &[usize],
-) {
+fn drive(qm: &mut QueueManager, issuers: &mut [RequestIssuer], logs: &mut LogSet, order: &[usize]) {
     // Seed with the start messages, interleaved in the requested order.
     let mut inboxes: Vec<Vec<RequestMsg>> = issuers.iter_mut().map(|ri| ri.start().sends).collect();
     for _round in 0..200 {
@@ -72,13 +67,7 @@ fn drive(
     }
 }
 
-fn build_issuer(
-    id: u64,
-    method: CcMethod,
-    ts: u64,
-    read: u64,
-    write: u64,
-) -> RequestIssuer {
+fn build_issuer(id: u64, method: CcMethod, ts: u64, read: u64, write: u64) -> RequestIssuer {
     let txn = Transaction::builder(TxnId(id), SiteId(0))
         .method(method)
         .read(LogicalItemId(read))
@@ -87,7 +76,10 @@ fn build_issuer(
     RequestIssuer::new(
         txn,
         TsTuple::new(Timestamp(ts), 5),
-        vec![(item(read), AccessMode::Read), (item(write), AccessMode::Write)],
+        vec![
+            (item(read), AccessMode::Read),
+            (item(write), AccessMode::Write),
+        ],
     )
 }
 

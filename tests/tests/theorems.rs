@@ -47,7 +47,10 @@ fn corollary_1_pa_is_free_from_deadlocks_and_restarts() {
     let stats = report.metrics.method(CcMethod::PrecedenceAgreement);
     assert_eq!(stats.restarts(), 0, "PA never restarts");
     assert_eq!(stats.deadlock_aborts.get(), 0, "PA never deadlocks");
-    assert_eq!(report.committed, report.submitted, "every PA transaction executes");
+    assert_eq!(
+        report.committed, report.submitted,
+        "every PA transaction executes"
+    );
     assert!(report.serializable().is_ok());
     // Under this contention level the backoff machinery was actually used,
     // so the absence of restarts is not vacuous.
@@ -92,17 +95,20 @@ fn to_never_deadlocks_but_does_restart_under_contention() {
     ));
     let stats = report.metrics.method(CcMethod::TimestampOrdering);
     assert_eq!(stats.deadlock_aborts.get(), 0);
-    assert!(stats.rejections.get() > 0, "contention must cause some rejections");
-    assert_eq!(report.committed, report.submitted, "restarts eventually succeed");
+    assert!(
+        stats.rejections.get() > 0,
+        "contention must cause some rejections"
+    );
+    assert_eq!(
+        report.committed, report.submitted,
+        "restarts eventually succeed"
+    );
     assert!(report.serializable().is_ok());
 }
 
 #[test]
 fn pure_2pl_runs_are_serializable_even_with_deadlock_recovery() {
-    let report = Simulation::run(config(
-        MethodPolicy::Static(CcMethod::TwoPhaseLocking),
-        31,
-    ));
+    let report = Simulation::run(config(MethodPolicy::Static(CcMethod::TwoPhaseLocking), 31));
     assert!(report.serializable().is_ok());
     assert_eq!(report.committed, report.submitted);
     // Deadlock victims (if any) must all be 2PL by construction.
