@@ -3,10 +3,17 @@
 //! The paper argues STL′ "can be evaluated efficiently through Dynamic
 //! Programming techniques"; this benchmark measures one STL′ evaluation and
 //! one full three-way selection decision, which is the work added to every
-//! transaction's admission path under dynamic concurrency control.
+//! transaction's admission path under dynamic concurrency control — and
+//! then the same decision served by the selection cache, which is what the
+//! runtime actually pays per transaction once the grid is warm. The ratio
+//! between `m3_three_way_stl_decision` and `m3_cached_decision_hit` is the
+//! amortization factor of the cache.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use selection::{stl_2pl, stl_pa, stl_to, ProtocolParams, StlModel, TxnShape};
+use selection::{
+    evaluate_decision, stl_2pl, stl_pa, stl_to, MethodParamSet, ProtocolParams, SelectionCache,
+    ShapeSummary, StlModel, TxnShape,
+};
 
 fn model() -> StlModel {
     StlModel {
@@ -56,5 +63,64 @@ fn full_selection(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, stl_prime_eval, full_selection);
+fn cached_selection(c: &mut Criterion) {
+    let m = model();
+    let params = ProtocolParams {
+        u_ok: 0.04,
+        u_denied: 0.06,
+        p_abort: 0.05,
+        p_read_denial: 0.1,
+        p_write_denial: 0.15,
+    };
+    let set = MethodParamSet {
+        p2pl: params,
+        to: params,
+        pa: params,
+    };
+
+    // Hit path: every shape already memoized — the steady-state cost the
+    // runtime pays per dynamic selection within an epoch.
+    let mut cache = SelectionCache::new(0.05, 8192);
+    let shapes: Vec<ShapeSummary> = (0..64)
+        .map(|i| ShapeSummary {
+            m: 1 + i % 4,
+            n: 1 + (i / 4) % 4,
+            read_loss: 5.0 + i as f64,
+            write_loss: 10.0 + i as f64 * 2.0,
+        })
+        .collect();
+    for s in &shapes {
+        cache.decide(&m, &set, s);
+    }
+    c.bench_function("m3_cached_decision_hit", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % shapes.len();
+            std::hint::black_box(cache.decide(&m, &set, std::hint::black_box(&shapes[i])));
+        });
+    });
+
+    // Miss path: one uncached decision through the shared pure core — the
+    // per-epoch cost of populating one grid cell (equals the fresh
+    // three-way decision plus the memoization bookkeeping).
+    c.bench_function("m3_cached_decision_miss", |b| {
+        let mut fresh = SelectionCache::new(0.05, 8192);
+        let s = ShapeSummary::of(&shape());
+        b.iter(|| {
+            // An emptied grid makes every lookup a miss.
+            fresh.clear();
+            std::hint::black_box(fresh.decide(&m, &set, std::hint::black_box(&s)));
+        });
+    });
+
+    // The pure evaluation the miss path amortizes, for reference.
+    c.bench_function("m3_evaluate_decision_fresh", |b| {
+        let s = ShapeSummary::of(&shape());
+        b.iter(|| {
+            std::hint::black_box(evaluate_decision(&m, std::hint::black_box(&s), &set));
+        });
+    });
+}
+
+criterion_group!(benches, stl_prime_eval, full_selection, cached_selection);
 criterion_main!(benches);

@@ -2,11 +2,16 @@
 //!
 //! Runs batches of read-modify-write transactions against a 4-shard
 //! [`runtime::Database`] from 1/2/4/8 client threads, once with every
-//! transaction pinned to static 2PL and once under the unified mixed
-//! assignment (one third of the traffic per protocol). One benchmark
-//! iteration is one batch of 64 transactions, so committed txns/sec is
-//! `64 / (ns-per-iter * 1e-9)`. This is the perf baseline later
-//! scheduler/runtime work is measured against.
+//! transaction pinned to static 2PL, once under the unified mixed
+//! assignment (one third of the traffic per protocol), and once under the
+//! cached dynamic STL policy. One benchmark iteration is one batch of 64
+//! transactions, so committed txns/sec is `64 / (ns-per-iter * 1e-9)`.
+//! Each dynamic cell also prints the selector overhead (µs per selection,
+//! cache hit rate) — the number that demonstrates the selection cache
+//! closed the ~500× per-transaction gap to the static policies.
+//!
+//! For CI smoke runs, `M5_THREADS=<n>` restricts the sweep to one thread
+//! count and `M5_POLICY=<label>` to one policy.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dbmodel::{CcMethod, LogicalItemId};
@@ -54,6 +59,11 @@ fn run_batch(db: &Database, threads: u64, round: u64) {
 }
 
 fn throughput(c: &mut Criterion) {
+    let thread_filter: Option<u64> = std::env::var("M5_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok());
+    let policy_filter: Option<String> = std::env::var("M5_POLICY").ok();
+
     let mut group = c.benchmark_group("m5_runtime_batch64_latency");
     for (label, policy) in [
         ("static-2pl", CcPolicy::Static(CcMethod::TwoPhaseLocking)),
@@ -64,8 +74,15 @@ fn throughput(c: &mut Criterion) {
                 p_to: 0.33,
             },
         ),
+        ("dynamic-stl", CcPolicy::DynamicStl),
     ] {
+        if policy_filter.as_deref().is_some_and(|p| p != label) {
+            continue;
+        }
         for threads in [1u64, 2, 4, 8] {
+            if thread_filter.is_some_and(|t| t != threads) {
+                continue;
+            }
             let database = db(policy);
             let mut round = 0u64;
             group.bench_function(format!("{label}/{threads}threads"), |b| {
@@ -83,6 +100,15 @@ fn throughput(c: &mut Criterion) {
                 stats.restarts(),
                 stats.backoff_rounds
             );
+            if stats.selections > 0 {
+                println!(
+                    "       selector: {} selections, {:.1} µs/selection, {:.1}% cache hits, {} refits",
+                    stats.selections,
+                    stats.selection_micros_per_txn(),
+                    stats.cache.hit_rate() * 100.0,
+                    stats.cache.refits
+                );
+            }
         }
     }
     group.finish();

@@ -7,8 +7,12 @@
 //! engine, and every cell of the sweep replays its captured execution log
 //! through the serializability oracle. The questions it answers are the
 //! ones the simulator cannot: how does *real* parallel throughput scale
-//! with cores (shards), and how much does the method mix matter under
-//! genuine contention?
+//! with cores (shards), how much does the method mix matter under genuine
+//! contention — and what does adaptive selection cost? The `dyn-cache`
+//! rows run the STL selector with the epoch-cached decision grid, the
+//! `dyn-fresh` rows re-evaluate the full STL′ dynamic program per
+//! transaction (the pre-cache behaviour); `sel us` and `hit%` report the
+//! mean per-selection overhead and the decision-grid hit rate.
 //!
 //! Run with: `cargo run --release -p bench --bin exp9_runtime_sweep`
 
@@ -21,23 +25,28 @@ use runtime::{CcPolicy, Database, RuntimeConfig, TxnSpec};
 const ITEMS: u64 = 96;
 const TXNS_PER_CLIENT: u64 = 150;
 
-fn policy_label(policy: CcPolicy) -> &'static str {
-    match policy {
-        CcPolicy::Static(CcMethod::TwoPhaseLocking) => "2PL",
-        CcPolicy::Static(CcMethod::TimestampOrdering) => "T/O",
-        CcPolicy::Static(CcMethod::PrecedenceAgreement) => "PA",
-        CcPolicy::Mix { .. } => "mixed",
-        CcPolicy::DynamicStl => "dynamic",
-    }
+/// One sweep configuration: an assignment policy plus, for the dynamic
+/// policy, whether the selection cache is enabled.
+#[derive(Clone, Copy)]
+struct Cell {
+    label: &'static str,
+    policy: CcPolicy,
+    cached: bool,
 }
 
-fn run_cell(clients: u64, shards: u32, policy: CcPolicy) -> Vec<String> {
+fn run_cell(clients: u64, shards: u32, cell: Cell) -> Vec<String> {
+    let defaults = RuntimeConfig::default();
     let db = Database::open(RuntimeConfig {
         num_shards: shards,
         num_items: ITEMS,
         initial_value: 1_000,
-        policy,
-        ..RuntimeConfig::default()
+        policy: cell.policy,
+        selection_cache: if cell.cached {
+            defaults.selection_cache
+        } else {
+            None
+        },
+        ..defaults
     })
     .expect("valid config");
 
@@ -73,11 +82,21 @@ fn run_cell(clients: u64, shards: u32, policy: CcPolicy) -> Vec<String> {
     vec![
         clients.to_string(),
         shards.to_string(),
-        policy_label(policy).to_string(),
+        cell.label.to_string(),
         stats.committed.to_string(),
         format!("{:.0}", stats.committed as f64 / elapsed),
         stats.restarts().to_string(),
         stats.backoff_rounds.to_string(),
+        if stats.selections > 0 {
+            format!("{:.1}", stats.selection_micros_per_txn())
+        } else {
+            "-".into()
+        },
+        if stats.cache.hits + stats.cache.misses > 0 {
+            format!("{:.0}", stats.cache.hit_rate() * 100.0)
+        } else {
+            "-".into()
+        },
         if serializable {
             "yes".into()
         } else {
@@ -91,7 +110,7 @@ fn main() {
     println!(
         "    ({TXNS_PER_CLIENT} transfers per client over {ITEMS} items, read-modify-write)\n"
     );
-    let widths = [7, 6, 8, 10, 10, 9, 9, 6];
+    let widths = [7, 6, 9, 10, 10, 9, 9, 8, 5, 6];
     table::header(
         &[
             "clients",
@@ -101,22 +120,41 @@ fn main() {
             "txn/s",
             "restarts",
             "backoffs",
+            "sel us",
+            "hit%",
             "ser.",
         ],
         &widths,
     );
-    let policies = [
-        CcPolicy::Static(CcMethod::TwoPhaseLocking),
-        CcPolicy::Mix {
-            p_2pl: 0.34,
-            p_to: 0.33,
+    let cells = [
+        Cell {
+            label: "2PL",
+            policy: CcPolicy::Static(CcMethod::TwoPhaseLocking),
+            cached: true,
         },
-        CcPolicy::DynamicStl,
+        Cell {
+            label: "mixed",
+            policy: CcPolicy::Mix {
+                p_2pl: 0.34,
+                p_to: 0.33,
+            },
+            cached: true,
+        },
+        Cell {
+            label: "dyn-cache",
+            policy: CcPolicy::DynamicStl,
+            cached: true,
+        },
+        Cell {
+            label: "dyn-fresh",
+            policy: CcPolicy::DynamicStl,
+            cached: false,
+        },
     ];
     for &shards in &[1u32, 2, 4] {
         for &clients in &[1u64, 4, 8] {
-            for &policy in &policies {
-                table::row(&run_cell(clients, shards, policy), &widths);
+            for &cell in &cells {
+                table::row(&run_cell(clients, shards, cell), &widths);
             }
         }
         println!();

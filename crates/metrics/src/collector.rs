@@ -251,6 +251,24 @@ impl SimMetrics {
         )
     }
 
+    /// The measured `(λ_r(j), λ_w(j))` of every item that granted at least
+    /// one lock, in grants per second. This is the per-item rate table an
+    /// epoch snapshot freezes so cached selections stay a pure function of
+    /// the transaction's access sets; the values equal what
+    /// [`SimMetrics::read_throughput`] / [`SimMetrics::write_throughput`]
+    /// return for the same item at the same instant.
+    pub fn item_rates(&self) -> BTreeMap<PhysicalItemId, (f64, f64)> {
+        let elapsed = self.elapsed_secs();
+        let mut rates: BTreeMap<PhysicalItemId, (f64, f64)> = BTreeMap::new();
+        for (&item, &count) in &self.read_grants {
+            rates.entry(item).or_default().0 = rate(count, elapsed);
+        }
+        for (&item, &count) in &self.write_grants {
+            rates.entry(item).or_default().1 = rate(count, elapsed);
+        }
+        rates
+    }
+
     /// Average read-lock throughput over all items that granted at least one
     /// lock (the paper's λ̄r).
     pub fn avg_read_throughput(&self) -> f64 {

@@ -3,6 +3,7 @@
 use std::time::Duration;
 
 use dbmodel::{CcMethod, ReplicationPolicy, Value};
+use selection::CacheSettings;
 use unified_cc::EnforcementMode;
 
 /// How the runtime assigns a concurrency-control method to a transaction
@@ -33,6 +34,8 @@ pub enum ConfigError {
     NoItems,
     /// Mix probabilities must be in `[0, 1]` and sum to at most 1.
     BadMix,
+    /// The selection-cache settings are internally inconsistent.
+    BadSelectionCache(String),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -42,6 +45,9 @@ impl std::fmt::Display for ConfigError {
             ConfigError::NoItems => write!(f, "num_items must be at least 1"),
             ConfigError::BadMix => {
                 write!(f, "mix probabilities must be in [0,1] and sum to at most 1")
+            }
+            ConfigError::BadSelectionCache(why) => {
+                write!(f, "bad selection-cache settings: {why}")
             }
         }
     }
@@ -84,6 +90,13 @@ pub struct RuntimeConfig {
     pub restart_backoff: Duration,
     /// Seed for the method-mix sampler.
     pub seed: u64,
+    /// Amortization of the [`CcPolicy::DynamicStl`] selector: `Some`
+    /// memoizes STL′ decisions per quantized transaction shape and re-fits
+    /// the model on epoch boundaries (every `epoch_commits` commits or on
+    /// observed drift, fed by the per-shard conflict counters); `None`
+    /// re-evaluates the full dynamic-programming grid on every selection
+    /// (the pre-cache behaviour, kept for overhead comparisons).
+    pub selection_cache: Option<CacheSettings>,
 }
 
 impl Default for RuntimeConfig {
@@ -101,6 +114,7 @@ impl Default for RuntimeConfig {
             max_restarts: 256,
             restart_backoff: Duration::from_micros(200),
             seed: 0,
+            selection_cache: Some(CacheSettings::default()),
         }
     }
 }
@@ -121,6 +135,11 @@ impl RuntimeConfig {
             if !ok {
                 return Err(ConfigError::BadMix);
             }
+        }
+        if let Some(settings) = &self.selection_cache {
+            settings
+                .validate()
+                .map_err(ConfigError::BadSelectionCache)?;
         }
         Ok(())
     }
@@ -164,5 +183,25 @@ mod tests {
             p_to: 0.3,
         };
         assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn bad_selection_cache_is_rejected() {
+        let c = RuntimeConfig {
+            selection_cache: Some(CacheSettings {
+                quant_rel: -1.0,
+                ..CacheSettings::default()
+            }),
+            ..RuntimeConfig::default()
+        };
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::BadSelectionCache(_))
+        ));
+        let c = RuntimeConfig {
+            selection_cache: None,
+            ..RuntimeConfig::default()
+        };
+        assert_eq!(c.validate(), Ok(()), "uncached selection is valid");
     }
 }

@@ -22,7 +22,7 @@ use dbmodel::{
 };
 use metrics::{SimMetrics, TxnOutcome};
 use pam::{ReplyMsg, RequestMsg};
-use selection::StlSelector;
+use selection::{CacheStats, CachedStlSelector, SelectionDecision, StlSelector, WorkloadSignal};
 use simkit::rng::SimRng;
 use simkit::time::SimTime;
 use unified_cc::{QueueManager, RequestIssuer, RiAction, RiOutput};
@@ -138,6 +138,36 @@ pub struct TxnReceipt {
     pub reads: BTreeMap<LogicalItemId, Value>,
 }
 
+/// The dynamic-policy selector engine: the amortized cached variant (the
+/// default) or the per-transaction fresh evaluation kept for overhead
+/// comparisons. Both produce identical decisions within an epoch.
+enum SelectorEngine {
+    Cached(Box<CachedStlSelector>),
+    Fresh(StlSelector),
+}
+
+impl SelectorEngine {
+    fn select(
+        &mut self,
+        txn: &Transaction,
+        catalog: &Catalog,
+        metrics: &SimMetrics,
+        signal: WorkloadSignal,
+    ) -> SelectionDecision {
+        match self {
+            SelectorEngine::Cached(c) => c.select_with_signal(txn, catalog, metrics, signal),
+            SelectorEngine::Fresh(s) => s.select(txn, catalog, metrics),
+        }
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        match self {
+            SelectorEngine::Cached(c) => c.cache_stats(),
+            SelectorEngine::Fresh(_) => CacheStats::default(),
+        }
+    }
+}
+
 struct Inner {
     config: RuntimeConfig,
     catalog: Catalog,
@@ -146,7 +176,7 @@ struct Inner {
     site_index: HashMap<SiteId, usize>,
     stats: Arc<RuntimeStats>,
     metrics: Mutex<SimMetrics>,
-    selector: Mutex<StlSelector>,
+    selector: Mutex<SelectorEngine>,
     mix_rng: Mutex<SimRng>,
     selection_counts: Mutex<BTreeMap<CcMethod, u64>>,
     next_txn_id: AtomicU64,
@@ -182,7 +212,7 @@ impl Database {
     ) -> Result<Database, ConfigError> {
         config.validate()?;
         let registry = Arc::new(Registry::new());
-        let stats = Arc::new(RuntimeStats::default());
+        let stats = Arc::new(RuntimeStats::with_shards(catalog.sites().len()));
         let stopped = Arc::new(AtomicBool::new(false));
 
         let mut shard_handles = Vec::new();
@@ -198,6 +228,7 @@ impl Database {
             let (tx, rx) = mpsc::sync_channel(config.shard_inbox_capacity.max(1));
             let handle = shard::spawn(
                 qm,
+                idx,
                 rx,
                 tx.clone(),
                 Arc::clone(&registry),
@@ -218,6 +249,12 @@ impl Database {
             Arc::clone(&stopped),
         );
 
+        let selector = match config.selection_cache {
+            Some(settings) => {
+                SelectorEngine::Cached(Box::new(CachedStlSelector::with_settings(settings)))
+            }
+            None => SelectorEngine::Fresh(StlSelector::new()),
+        };
         Ok(Database {
             inner: Arc::new(Inner {
                 mix_rng: Mutex::new(SimRng::new(config.seed)),
@@ -227,7 +264,7 @@ impl Database {
                 site_index,
                 stats,
                 metrics: Mutex::new(SimMetrics::new()),
-                selector: Mutex::new(StlSelector::new()),
+                selector: Mutex::new(selector),
                 selection_counts: Mutex::new(BTreeMap::new()),
                 next_txn_id: AtomicU64::new(0),
                 ts_counter: AtomicU64::new(0),
@@ -249,9 +286,17 @@ impl Database {
         self.inner.shard_txs.len()
     }
 
-    /// A snapshot of the runtime counters.
+    /// A snapshot of the runtime counters, including the selection-cache
+    /// counters when the dynamic policy runs cached.
     pub fn stats(&self) -> StatsSnapshot {
-        self.inner.stats.snapshot()
+        let mut snapshot = self.inner.stats.snapshot();
+        snapshot.cache = self
+            .inner
+            .selector
+            .lock()
+            .expect("selector poisoned")
+            .cache_stats();
+        snapshot
     }
 
     /// Number of transactions currently live (requesting, executing or
@@ -420,7 +465,7 @@ impl Database {
         metrics.set_time_span(SimTime::ZERO, self.now());
         Some(RuntimeReport {
             logs,
-            stats: self.inner.stats.snapshot(),
+            stats: self.stats(),
             metrics,
             selection_counts: self
                 .inner
@@ -458,15 +503,32 @@ impl Database {
                     .reads(spec.reads.iter().copied())
                     .writes(spec.writes.iter().copied())
                     .build();
+                // The per-shard feedback loop: grant / conflict counters
+                // maintained by the shard threads drive the cached
+                // selector's epoch logic (a conflict-ratio shift beyond the
+                // drift threshold re-fits the model early).
+                let signal = WorkloadSignal {
+                    grants: inner.stats.grants.load(Ordering::Relaxed),
+                    conflicts: inner.stats.prescheduled_grants(),
+                };
                 let now = self.now();
                 let mut m = inner.metrics.lock().expect("metrics poisoned");
                 m.set_time_span(SimTime::ZERO, now);
+                let mut selector = inner.selector.lock().expect("selector poisoned");
+                // Timed with both locks already held, so the metric reports
+                // selector work, not lock queueing (the metrics-lock
+                // bottleneck is tracked separately in the ROADMAP).
+                let begun = Instant::now();
+                let method = selector.select(&probe, &inner.catalog, &m, signal).method;
+                let spent = begun.elapsed();
+                drop(selector);
+                drop(m);
+                inner.stats.selections.fetch_add(1, Ordering::Relaxed);
                 inner
-                    .selector
-                    .lock()
-                    .expect("selector poisoned")
-                    .select(&probe, &inner.catalog, &m)
-                    .method
+                    .stats
+                    .selection_nanos
+                    .fetch_add(spent.as_nanos() as u64, Ordering::Relaxed);
+                method
             }
         };
         *self

@@ -85,3 +85,190 @@ pub(crate) fn scan_once(
         }
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ClientEvent;
+    use crate::shard::{ShardCmd, ShardHandle};
+    use dbmodel::{AccessMode, LogicalItemId, PhysicalItemId, SiteId, Timestamp, TsTuple, TxnId};
+    use pam::RequestMsg;
+    use std::sync::mpsc::Receiver;
+    use std::time::Duration;
+    use unified_cc::{EnforcementMode, QueueManager};
+
+    fn item(i: u64, site: u32) -> PhysicalItemId {
+        PhysicalItemId::new(LogicalItemId(i), SiteId(site))
+    }
+
+    fn spawn_shard(
+        site: u32,
+        idx: usize,
+        it: PhysicalItemId,
+        registry: &Arc<Registry>,
+        stats: &Arc<RuntimeStats>,
+    ) -> ShardHandle {
+        let mut qm = QueueManager::new(SiteId(site));
+        qm.add_item(it, 0, EnforcementMode::SemiLock);
+        let (tx, rx) = mpsc::sync_channel(16);
+        crate::shard::spawn(qm, idx, rx, tx, Arc::clone(registry), Arc::clone(stats))
+    }
+
+    fn access(txn: u64, it: PhysicalItemId, method: CcMethod, ts: u64) -> ShardCmd {
+        ShardCmd::Handle {
+            origin: SiteId(0),
+            msg: RequestMsg::Access {
+                txn: TxnId(txn),
+                item: it,
+                mode: AccessMode::Write,
+                method,
+                ts: TsTuple::new(Timestamp(ts), 10),
+            },
+        }
+    }
+
+    fn expect_grant(rx: &Receiver<ClientEvent>) {
+        match rx.recv_timeout(Duration::from_secs(2)) {
+            Ok(ClientEvent::Reply(pam::ReplyMsg::Grant { .. })) => {}
+            other => panic!("expected a grant, got {other:?}"),
+        }
+    }
+
+    /// Block until `shard` reports `txn` queued without a grant.
+    fn wait_until_waiting(shard: &SyncSender<ShardCmd>, txn: TxnId) {
+        for _ in 0..200 {
+            let (tx, rx) = mpsc::channel();
+            shard.send(ShardCmd::Waiting(tx)).expect("shard alive");
+            if rx
+                .recv_timeout(Duration::from_secs(2))
+                .expect("shard replies")
+                .contains(&txn)
+            {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        panic!("transaction {txn:?} never queued at the shard");
+    }
+
+    /// Inject a genuine wait cycle through the real shard machinery — two
+    /// 2PL writers holding one item each and queued behind the other's —
+    /// and check a single scan victimises exactly the *youngest* 2PL
+    /// member (Corollary 2's victim rule as the detector implements it).
+    #[test]
+    fn injected_cycle_victimises_the_youngest_2pl_member() {
+        let registry = Arc::new(Registry::new());
+        let stats = Arc::new(RuntimeStats::with_shards(2));
+        let a = item(0, 0);
+        let b = item(1, 1);
+        let shard0 = spawn_shard(0, 0, a, &registry, &stats);
+        let shard1 = spawn_shard(1, 1, b, &registry, &stats);
+        let shards = vec![shard0.tx.clone(), shard1.tx.clone()];
+
+        let (tx1, rx1) = mpsc::channel();
+        let (tx2, rx2) = mpsc::channel();
+        registry.register(TxnId(1), CcMethod::TwoPhaseLocking, tx1);
+        registry.register(TxnId(2), CcMethod::TwoPhaseLocking, tx2);
+
+        // T1 locks a, T2 locks b.
+        shard0
+            .tx
+            .send(access(1, a, CcMethod::TwoPhaseLocking, 1))
+            .unwrap();
+        shard1
+            .tx
+            .send(access(2, b, CcMethod::TwoPhaseLocking, 2))
+            .unwrap();
+        expect_grant(&rx1);
+        expect_grant(&rx2);
+        // Cross requests: T1 waits for b (held by T2), T2 waits for a
+        // (held by T1) — a genuine deadlock.
+        shard1
+            .tx
+            .send(access(1, b, CcMethod::TwoPhaseLocking, 1))
+            .unwrap();
+        shard0
+            .tx
+            .send(access(2, a, CcMethod::TwoPhaseLocking, 2))
+            .unwrap();
+        wait_until_waiting(&shard1.tx, TxnId(1));
+        wait_until_waiting(&shard0.tx, TxnId(2));
+
+        scan_once(&shards, &registry, &stats);
+
+        // The youngest 2PL member (the larger TxnId) is the victim …
+        match rx2.recv_timeout(Duration::from_secs(2)) {
+            Ok(ClientEvent::DeadlockVictim) => {}
+            other => panic!("expected T2 to be the victim, got {other:?}"),
+        }
+        // … and the older one is left alone.
+        assert!(
+            rx1.try_recv().is_err(),
+            "the older transaction must not be signalled"
+        );
+        assert_eq!(stats.deadlock_victims.load(Ordering::Relaxed), 1);
+
+        drop(shards);
+        let _ = shard0.tx.send(ShardCmd::Shutdown);
+        let _ = shard1.tx.send(ShardCmd::Shutdown);
+        let _ = shard0.join.join();
+        let _ = shard1.join.join();
+    }
+
+    /// With a T/O transaction in the cycle, the victim is still the 2PL
+    /// member — even when the T/O transaction is younger.
+    #[test]
+    fn to_member_of_a_cycle_is_never_the_victim() {
+        let registry = Arc::new(Registry::new());
+        let stats = Arc::new(RuntimeStats::with_shards(2));
+        let a = item(0, 0);
+        let b = item(1, 1);
+        let shard0 = spawn_shard(0, 0, a, &registry, &stats);
+        let shard1 = spawn_shard(1, 1, b, &registry, &stats);
+        let shards = vec![shard0.tx.clone(), shard1.tx.clone()];
+
+        let (tx1, rx1) = mpsc::channel();
+        let (tx3, rx3) = mpsc::channel();
+        registry.register(TxnId(1), CcMethod::TwoPhaseLocking, tx1);
+        registry.register(TxnId(3), CcMethod::TimestampOrdering, tx3);
+
+        // 2PL T1 locks a; T/O T3 locks b (fresh thresholds accept ts 3).
+        shard0
+            .tx
+            .send(access(1, a, CcMethod::TwoPhaseLocking, 1))
+            .unwrap();
+        shard1
+            .tx
+            .send(access(3, b, CcMethod::TimestampOrdering, 3))
+            .unwrap();
+        expect_grant(&rx1);
+        expect_grant(&rx3);
+        shard1
+            .tx
+            .send(access(1, b, CcMethod::TwoPhaseLocking, 1))
+            .unwrap();
+        shard0
+            .tx
+            .send(access(3, a, CcMethod::TimestampOrdering, 3))
+            .unwrap();
+        wait_until_waiting(&shard1.tx, TxnId(1));
+        wait_until_waiting(&shard0.tx, TxnId(3));
+
+        scan_once(&shards, &registry, &stats);
+
+        match rx1.recv_timeout(Duration::from_secs(2)) {
+            Ok(ClientEvent::DeadlockVictim) => {}
+            other => panic!("expected the 2PL member to be the victim, got {other:?}"),
+        }
+        assert!(
+            rx3.try_recv().is_err(),
+            "T/O transactions are never deadlock victims (Corollary 2)"
+        );
+
+        drop(shards);
+        let _ = shard0.tx.send(ShardCmd::Shutdown);
+        let _ = shard1.tx.send(ShardCmd::Shutdown);
+        let _ = shard0.join.join();
+        let _ = shard1.join.join();
+    }
+}

@@ -16,7 +16,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use dbmodel::{LogSet, SiteId, TxnId};
-use pam::RequestMsg;
+use pam::{GrantClass, RequestMsg};
 use unified_cc::{QmEvent, QueueManager};
 
 use crate::registry::Registry;
@@ -46,9 +46,11 @@ pub(crate) struct ShardHandle {
 }
 
 /// Spawn the shard thread for `site`, taking ownership of its queue
-/// manager.
+/// manager. `idx` is the shard's slot in the runtime's per-shard counter
+/// table.
 pub(crate) fn spawn(
     qm: QueueManager,
+    idx: usize,
     inbox: Receiver<ShardCmd>,
     tx: SyncSender<ShardCmd>,
     registry: Arc<Registry>,
@@ -57,33 +59,43 @@ pub(crate) fn spawn(
     let site = qm.site();
     let join = std::thread::Builder::new()
         .name(format!("cc-shard-{}", site.0))
-        .spawn(move || shard_loop(qm, inbox, registry, stats))
+        .spawn(move || shard_loop(qm, idx, inbox, registry, stats))
         .expect("failed to spawn shard thread");
     ShardHandle { tx, join }
 }
 
 fn shard_loop(
     mut qm: QueueManager,
+    idx: usize,
     inbox: Receiver<ShardCmd>,
     registry: Arc<Registry>,
     stats: Arc<RuntimeStats>,
 ) -> (SiteId, LogSet) {
     let site = qm.site();
     let mut logs = LogSet::new();
+    let counters = &stats.per_shard[idx];
     // Exiting on a closed channel (all senders dropped) covers the case of
     // a `Database` dropped without an explicit shutdown.
     while let Ok(cmd) = inbox.recv() {
         match cmd {
             ShardCmd::Handle { origin, msg } => {
+                if matches!(msg, RequestMsg::Abort { .. }) {
+                    counters.aborts.fetch_add(1, Ordering::Relaxed);
+                }
                 let output = qm.handle(origin, &msg);
                 for event in &output.events {
                     match *event {
-                        QmEvent::GrantIssued { .. } => {
+                        QmEvent::GrantIssued { class, .. } => {
                             stats.grants.fetch_add(1, Ordering::Relaxed);
+                            counters.grants.fetch_add(1, Ordering::Relaxed);
+                            if class == GrantClass::PreScheduled {
+                                counters.prescheduled.fetch_add(1, Ordering::Relaxed);
+                            }
                         }
                         QmEvent::Implemented { item, txn, access } => {
                             logs.record(item, txn, access);
                             stats.implemented_ops.fetch_add(1, Ordering::Relaxed);
+                            counters.implemented.fetch_add(1, Ordering::Relaxed);
                         }
                     }
                 }
@@ -121,9 +133,9 @@ mod tests {
         let mut qm = QueueManager::new(SiteId(0));
         qm.add_item(item(), 42, EnforcementMode::SemiLock);
         let registry = Arc::new(Registry::new());
-        let stats = Arc::new(RuntimeStats::default());
+        let stats = Arc::new(RuntimeStats::with_shards(1));
         let (tx, rx) = mpsc::sync_channel(16);
-        let handle = spawn(qm, rx, tx, Arc::clone(&registry), Arc::clone(&stats));
+        let handle = spawn(qm, 0, rx, tx, Arc::clone(&registry), Arc::clone(&stats));
         (handle, registry, stats)
     }
 
@@ -171,6 +183,11 @@ mod tests {
         assert_eq!(logs.total_ops(), 1);
         assert_eq!(stats.grants.load(Ordering::Relaxed), 1);
         assert_eq!(stats.implemented_ops.load(Ordering::Relaxed), 1);
+        let shard0 = &stats.snapshot().per_shard[0];
+        assert_eq!(shard0.grants, 1);
+        assert_eq!(shard0.implemented, 1);
+        assert_eq!(shard0.prescheduled, 0, "uncontended grant is normal");
+        assert_eq!(shard0.aborts, 0);
     }
 
     #[test]

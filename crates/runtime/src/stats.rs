@@ -2,6 +2,50 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use selection::CacheStats;
+
+/// Counters one shard thread maintains about its own queue manager: the
+/// per-shard half of the feedback loop that drives the selection cache's
+/// epoch logic (grant and conflict rates) and the per-shard balance
+/// reported by the experiment binaries.
+#[derive(Debug, Default)]
+pub(crate) struct ShardCounters {
+    /// Lock grants issued by this shard.
+    pub(crate) grants: AtomicU64,
+    /// Grants issued pre-scheduled, i.e. under a standing conflict — the
+    /// shard-local conflict signal.
+    pub(crate) prescheduled: AtomicU64,
+    /// Operations implemented (committed into this shard's log slice).
+    pub(crate) implemented: AtomicU64,
+    /// Abort messages processed (T/O restarts, deadlock victims, user
+    /// aborts reaching this shard).
+    pub(crate) aborts: AtomicU64,
+}
+
+impl ShardCounters {
+    fn snapshot(&self) -> ShardCounterSnapshot {
+        ShardCounterSnapshot {
+            grants: self.grants.load(Ordering::Relaxed),
+            prescheduled: self.prescheduled.load(Ordering::Relaxed),
+            implemented: self.implemented.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A copy of one shard's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardCounterSnapshot {
+    /// Lock grants issued by this shard.
+    pub grants: u64,
+    /// Grants issued under a standing conflict (pre-scheduled).
+    pub prescheduled: u64,
+    /// Operations implemented by this shard.
+    pub implemented: u64,
+    /// Abort messages this shard processed.
+    pub aborts: u64,
+}
+
 /// Counters updated concurrently by client threads, shard threads and the
 /// deadlock detector.
 #[derive(Debug, Default)]
@@ -15,10 +59,15 @@ pub(crate) struct RuntimeStats {
     pub(crate) failed: AtomicU64,
     pub(crate) grants: AtomicU64,
     pub(crate) implemented_ops: AtomicU64,
+    /// Dynamic-policy selections performed.
+    pub(crate) selections: AtomicU64,
+    /// Wall-clock nanoseconds spent inside the selector (dynamic policy).
+    pub(crate) selection_nanos: AtomicU64,
+    pub(crate) per_shard: Vec<ShardCounters>,
 }
 
 /// A consistent-enough copy of the runtime counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// Transactions committed.
     pub committed: u64,
@@ -38,9 +87,27 @@ pub struct StatsSnapshot {
     pub grants: u64,
     /// Operations implemented (entered the execution log) across all shards.
     pub implemented_ops: u64,
+    /// Dynamic-policy selections performed.
+    pub selections: u64,
+    /// Wall-clock nanoseconds spent inside the selector with its locks
+    /// already held (dynamic policy).
+    pub selection_nanos: u64,
+    /// Selection-cache counters (all zero when the cache is disabled or
+    /// the policy is not dynamic).
+    pub cache: CacheStats,
+    /// Per-shard grant / conflict / implementation counters.
+    pub per_shard: Vec<ShardCounterSnapshot>,
 }
 
 impl RuntimeStats {
+    /// Counters for a runtime with `shards` shard threads.
+    pub(crate) fn with_shards(shards: usize) -> Self {
+        RuntimeStats {
+            per_shard: (0..shards).map(|_| ShardCounters::default()).collect(),
+            ..RuntimeStats::default()
+        }
+    }
+
     pub(crate) fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             committed: self.committed.load(Ordering::Relaxed),
@@ -52,7 +119,19 @@ impl RuntimeStats {
             failed: self.failed.load(Ordering::Relaxed),
             grants: self.grants.load(Ordering::Relaxed),
             implemented_ops: self.implemented_ops.load(Ordering::Relaxed),
+            selections: self.selections.load(Ordering::Relaxed),
+            selection_nanos: self.selection_nanos.load(Ordering::Relaxed),
+            cache: CacheStats::default(),
+            per_shard: self.per_shard.iter().map(ShardCounters::snapshot).collect(),
         }
+    }
+
+    /// Total pre-scheduled (conflicted) grants over all shards.
+    pub(crate) fn prescheduled_grants(&self) -> u64 {
+        self.per_shard
+            .iter()
+            .map(|s| s.prescheduled.load(Ordering::Relaxed))
+            .sum()
     }
 }
 
@@ -60,5 +139,19 @@ impl StatsSnapshot {
     /// Total restarts (rejections plus deadlock aborts).
     pub fn restarts(&self) -> u64 {
         self.rejected_restarts + self.deadlock_restarts
+    }
+
+    /// Total pre-scheduled (conflicted) grants over all shards.
+    pub fn prescheduled_grants(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.prescheduled).sum()
+    }
+
+    /// Mean microseconds spent selecting a method per dynamic selection.
+    pub fn selection_micros_per_txn(&self) -> f64 {
+        if self.selections == 0 {
+            0.0
+        } else {
+            self.selection_nanos as f64 / self.selections as f64 / 1_000.0
+        }
     }
 }

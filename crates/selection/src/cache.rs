@@ -1,0 +1,925 @@
+//! Cached adaptive selection: amortizing the STL′ dynamic-programming grid.
+//!
+//! A fresh [`StlSelector`] re-evaluates the full STL′ grid for every
+//! selection — roughly milliseconds per transaction, a ~500× overhead
+//! against static policies. This module makes adaptive concurrency control
+//! pay for itself by splitting the selector into two very different
+//! cadences:
+//!
+//! * **Epoch re-fit** (slow path, every `epoch_commits` commits or on
+//!   drift): snapshot the [`StlModel`], the per-protocol
+//!   [`MethodParamSet`] and the per-item rate table out of the live
+//!   metrics into an [`EpochSnapshot`]. Within an epoch every decision is
+//!   a pure function of the transaction's access sets.
+//! * **Memoized decide** (fast path, every selection): collapse the
+//!   transaction to its [`ShapeSummary`], quantize it into a [`ShapeKey`],
+//!   and look the decision up in the [`SelectionCache`] grid. A miss runs
+//!   [`evaluate_decision`] once and memoizes it; a hit is a hash lookup.
+//!
+//! Because [`evaluate_decision`] depends on the shape only through its
+//! summary, memoization is *exact*: with quantization disabled the cached
+//! selector returns bit-identical [`SelectionDecision`]s to a fresh
+//! [`StlSelector`] evaluated against the same metrics, and with
+//! quantization enabled it returns exactly the fresh decision of the
+//! bucket's canonical representative — properties the test-suite checks
+//! byte-for-byte.
+
+use std::collections::{BTreeMap, HashMap};
+
+use dbmodel::{Catalog, PhysicalItemId, Transaction};
+use metrics::SimMetrics;
+
+use crate::estimators::{ProtocolParams, ShapeSummary};
+use crate::selector::{
+    evaluate_decision, exploratory_decision, is_exploration_round, MethodParamSet,
+    SelectionDecision, StlSelector,
+};
+use crate::stl::StlModel;
+
+/// Tuning of the cached selector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheSettings {
+    /// Commits between scheduled re-fits of the epoch snapshot. The model
+    /// is refreshed once at least this many new commits have been observed
+    /// since the last fit (minimum 1).
+    pub epoch_commits: u64,
+    /// Relative drift in the fitted model / protocol parameters (absolute
+    /// drift for probabilities and conflict ratios) that forces an early
+    /// re-fit. 0 disables drift-triggered refreshes.
+    pub drift_threshold: f64,
+    /// Selections between drift probes against the live metrics (the probe
+    /// re-measures the cheap aggregates, not the STL′ grid). 0 disables
+    /// probing; the workload-signal check still runs every selection.
+    pub drift_check_every: u64,
+    /// Width of the shape-quantization buckets, on a `ln(1+x)` scale:
+    /// losses above ~1 lock/s share a bucket when within a relative
+    /// factor of `1 + quant_rel` (e.g. 0.05 ⇒ ~5%), while losses below
+    /// ~1 — where every protocol's estimated cost is negligible anyway —
+    /// fall into absolute buckets about `quant_rel` wide. 0 keys the grid
+    /// on exact bit patterns instead (no collapsing at all).
+    pub quant_rel: f64,
+    /// Decisions kept in the grid before it is flushed wholesale.
+    pub max_entries: usize,
+    /// Commits per method required before estimates are trusted
+    /// (mirrors [`StlSelector::warmup_commits`]).
+    pub warmup_commits: u64,
+    /// After warm-up, every `explore_every`-th transaction is assigned
+    /// round-robin (mirrors [`StlSelector::explore_every`]).
+    pub explore_every: u64,
+}
+
+impl Default for CacheSettings {
+    fn default() -> Self {
+        CacheSettings {
+            // Every refit flushes the decision grid, and each flushed
+            // bucket costs one full STL′ evaluation (~ms) to repopulate;
+            // at live-runtime commit rates 1024 commits is still a
+            // sub-second epoch, and the drift checks below catch genuine
+            // workload shifts between scheduled boundaries.
+            epoch_commits: 1024,
+            drift_threshold: 0.5,
+            drift_check_every: 64,
+            quant_rel: 0.05,
+            max_entries: 8192,
+            warmup_commits: 30,
+            explore_every: 20,
+        }
+    }
+}
+
+impl CacheSettings {
+    /// Check the settings for internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.quant_rel.is_finite() || self.quant_rel < 0.0 {
+            return Err("quant_rel must be a finite value >= 0".into());
+        }
+        if !self.drift_threshold.is_finite() || self.drift_threshold < 0.0 {
+            return Err("drift_threshold must be a finite value >= 0".into());
+        }
+        if self.max_entries == 0 {
+            return Err("max_entries must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// Live workload feedback the runtime folds into the epoch logic: per-shard
+/// counters aggregated by the embedder. A change in the conflict ratio
+/// (pre-scheduled grants over all grants) beyond the drift threshold
+/// triggers an early re-fit even when the scheduled epoch boundary is far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkloadSignal {
+    /// Lock grants issued (all shards).
+    pub grants: u64,
+    /// Conflicted (pre-scheduled) grants issued (all shards).
+    pub conflicts: u64,
+}
+
+impl WorkloadSignal {
+    /// Fraction of grants that were pre-scheduled (issued under conflict).
+    pub fn conflict_ratio(&self) -> f64 {
+        if self.grants == 0 {
+            0.0
+        } else {
+            self.conflicts as f64 / self.grants as f64
+        }
+    }
+
+    /// The counter deltas accumulated since `earlier` (saturating, so a
+    /// stale baseline never underflows).
+    pub fn since(&self, earlier: WorkloadSignal) -> WorkloadSignal {
+        WorkloadSignal {
+            grants: self.grants.saturating_sub(earlier.grants),
+            conflicts: self.conflicts.saturating_sub(earlier.conflicts),
+        }
+    }
+}
+
+/// The quantized memoization key of one transaction shape: request counts
+/// exactly, aggregate losses as bucket indices (or raw bit patterns when
+/// quantization is disabled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShapeKey {
+    m: u32,
+    n: u32,
+    read_loss: u64,
+    write_loss: u64,
+}
+
+/// Bucket index of a non-negative loss on a `ln(1+x)` grid of pitch
+/// `ln(1+g)`: relative `1+g` buckets for losses above ~1, absolute
+/// ~`g`-wide buckets below (see [`CacheSettings::quant_rel`]).
+fn bucket(x: f64, g: f64) -> u64 {
+    let x = x.max(0.0);
+    if x <= 0.0 {
+        return 0;
+    }
+    if !x.is_finite() {
+        return u64::MAX;
+    }
+    (x.ln_1p() / g.ln_1p()).floor() as u64 + 1
+}
+
+/// The canonical representative of a bucket: its geometric midpoint. Pure
+/// in the bucket index, so hit and miss paths agree bit-for-bit.
+fn representative(b: u64, g: f64) -> f64 {
+    if b == 0 {
+        return 0.0;
+    }
+    ((b as f64 - 0.5) * g.ln_1p()).exp_m1()
+}
+
+/// The memoized decision grid: maps [`ShapeKey`]s to the
+/// [`SelectionDecision`] of the key's canonical shape. Model and protocol
+/// parameters are *not* part of the key — the owner must clear the grid
+/// whenever they change (the epoch re-fit does exactly that).
+#[derive(Debug, Clone)]
+pub struct SelectionCache {
+    quant_rel: f64,
+    max_entries: usize,
+    grid: HashMap<ShapeKey, SelectionDecision>,
+    hits: u64,
+    misses: u64,
+    flushes: u64,
+}
+
+impl SelectionCache {
+    /// A cache with the given relative quantization (0 = exact keys).
+    pub fn new(quant_rel: f64, max_entries: usize) -> SelectionCache {
+        SelectionCache {
+            quant_rel,
+            max_entries: max_entries.max(1),
+            grid: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            flushes: 0,
+        }
+    }
+
+    /// A cache keyed on exact bit patterns: memoization without any
+    /// collapsing of nearby shapes.
+    pub fn exact() -> SelectionCache {
+        SelectionCache::new(0.0, CacheSettings::default().max_entries)
+    }
+
+    /// The memoization key of a summary.
+    pub fn key_for(&self, summary: &ShapeSummary) -> ShapeKey {
+        let (read_loss, write_loss) = if self.quant_rel > 0.0 {
+            (
+                bucket(summary.read_loss, self.quant_rel),
+                bucket(summary.write_loss, self.quant_rel),
+            )
+        } else {
+            (
+                summary.read_loss.max(0.0).to_bits(),
+                summary.write_loss.max(0.0).to_bits(),
+            )
+        };
+        ShapeKey {
+            m: summary.m.min(u32::MAX as usize) as u32,
+            n: summary.n.min(u32::MAX as usize) as u32,
+            read_loss,
+            write_loss,
+        }
+    }
+
+    /// The canonical summary a key stands for: the exact summary when
+    /// quantization is off, the bucket midpoints otherwise. Decisions for a
+    /// key are always computed on this representative.
+    pub fn representative(&self, key: ShapeKey) -> ShapeSummary {
+        let (read_loss, write_loss) = if self.quant_rel > 0.0 {
+            (
+                representative(key.read_loss, self.quant_rel),
+                representative(key.write_loss, self.quant_rel),
+            )
+        } else {
+            (
+                f64::from_bits(key.read_loss),
+                f64::from_bits(key.write_loss),
+            )
+        };
+        ShapeSummary {
+            m: key.m as usize,
+            n: key.n as usize,
+            read_loss,
+            write_loss,
+        }
+    }
+
+    /// Look the decision up, computing and memoizing it on a miss.
+    pub fn decide(
+        &mut self,
+        model: &StlModel,
+        params: &MethodParamSet,
+        summary: &ShapeSummary,
+    ) -> SelectionDecision {
+        let key = self.key_for(summary);
+        if let Some(decision) = self.grid.get(&key) {
+            self.hits += 1;
+            return *decision;
+        }
+        self.misses += 1;
+        let decision = evaluate_decision(model, &self.representative(key), params);
+        if self.grid.len() >= self.max_entries {
+            self.grid.clear();
+            self.flushes += 1;
+        }
+        self.grid.insert(key, decision);
+        decision
+    }
+
+    /// Drop every memoized decision (the epoch re-fit path).
+    pub fn clear(&mut self) {
+        self.grid.clear();
+    }
+
+    /// Number of memoized decisions.
+    pub fn len(&self) -> usize {
+        self.grid.len()
+    }
+
+    /// True when nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.grid.is_empty()
+    }
+
+    /// Grid hits since creation.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Grid misses (full STL′ evaluations) since creation.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+/// Everything a selection depends on, frozen at one instant: the fitted
+/// STL model, the measured per-protocol parameters, and the per-item rate
+/// table the transaction shapes are built from. Decisions within an epoch
+/// are provably identical to fresh STL′ evaluation against this snapshot.
+#[derive(Debug, Clone)]
+pub struct EpochSnapshot {
+    /// Monotone epoch number (1 for the first fit).
+    pub epoch: u64,
+    /// Commits observed when the snapshot was fitted.
+    pub fitted_at_commits: u64,
+    /// Conflict ratio this epoch's drift checks compare against: the
+    /// ratio observed over the window preceding the fit (the cumulative
+    /// ratio for the very first fit).
+    pub conflict_ratio: f64,
+    /// The cumulative workload counters at fit time — the baseline the
+    /// drift check subtracts so it always reasons about *recent* grants,
+    /// not lifetime averages (which go inert as the run ages).
+    pub signal_at_fit: WorkloadSignal,
+    /// The fitted system-wide STL model.
+    pub model: StlModel,
+    /// The measured parameters of every protocol.
+    pub params: MethodParamSet,
+    rates: BTreeMap<PhysicalItemId, (f64, f64)>,
+}
+
+/// Grants that must accumulate since the fit before a conflict-ratio
+/// drift verdict is trusted (a handful of conflicted grants in a row is
+/// noise, not a regime change).
+const DRIFT_MIN_GRANTS: u64 = 64;
+
+impl EpochSnapshot {
+    /// Fit a snapshot from the live metrics. `prev_signal` is the
+    /// cumulative workload signal at the *previous* fit, used to derive
+    /// the recent-window conflict ratio this epoch is compared against.
+    pub fn fit(
+        metrics: &SimMetrics,
+        epoch: u64,
+        signal: WorkloadSignal,
+        prev_signal: Option<WorkloadSignal>,
+    ) -> EpochSnapshot {
+        let window = prev_signal
+            .map(|prev| signal.since(prev))
+            .filter(|w| w.grants > 0)
+            .unwrap_or(signal);
+        EpochSnapshot {
+            epoch,
+            fitted_at_commits: metrics.total_committed.get(),
+            conflict_ratio: window.conflict_ratio(),
+            signal_at_fit: signal,
+            model: StlSelector::model_from_metrics(metrics),
+            params: MethodParamSet::measure(metrics),
+            rates: metrics.item_rates(),
+        }
+    }
+
+    /// The `(λ_r, λ_w)` of one item at fit time (0 for items that had
+    /// granted nothing — matching what the live metrics report).
+    pub fn item_rate(&self, item: PhysicalItemId) -> (f64, f64) {
+        self.rates.get(&item).copied().unwrap_or((0.0, 0.0))
+    }
+
+    /// Build the transaction's shape summary from the frozen rate table,
+    /// mirroring [`StlSelector::shape_for`] (read-one at the origin site,
+    /// write-all over the item's copies) aggregation step for step so the
+    /// result is bit-identical to summarising the fresh shape at fit time.
+    pub fn summary_for(&self, txn: &Transaction, catalog: &Catalog) -> ShapeSummary {
+        let mut m = 0usize;
+        let mut n = 0usize;
+        let mut read_loss = 0.0f64;
+        let mut write_loss = 0.0f64;
+        for &item in txn.read_set() {
+            if let Ok(copy) = catalog.read_copy(item, txn.origin) {
+                m += 1;
+                read_loss += self.item_rate(copy).1;
+            }
+        }
+        for &item in txn.write_set() {
+            if let Ok(copies) = catalog.physical_copies(item) {
+                let (mut lr, mut lw) = (0.0, 0.0);
+                for copy in copies {
+                    let (r, w) = self.item_rate(copy);
+                    lr += r;
+                    lw += w;
+                }
+                n += 1;
+                write_loss += lr + lw;
+            }
+        }
+        ShapeSummary {
+            m,
+            n,
+            read_loss,
+            write_loss,
+        }
+    }
+
+    /// True when the freshly measured model / protocol parameters have
+    /// moved beyond `threshold` from the fitted ones: rates and hold times
+    /// relatively, probabilities absolutely. Note the comparison is
+    /// against lifetime metric aggregates, which respond ever more slowly
+    /// as a run ages — the delta-based [`EpochSnapshot::signal_drifted`]
+    /// check is the responsive trigger in long-lived runs, and windowed
+    /// metrics are an open ROADMAP item.
+    pub fn drifted_from(&self, metrics: &SimMetrics, threshold: f64) -> bool {
+        if threshold <= 0.0 {
+            return false;
+        }
+        let model = StlSelector::model_from_metrics(metrics);
+        let params = MethodParamSet::measure(metrics);
+        model_drift(&self.model, &model) > threshold
+            || params_drift(&self.params.p2pl, &params.p2pl) > threshold
+            || params_drift(&self.params.to, &params.to) > threshold
+            || params_drift(&self.params.pa, &params.pa) > threshold
+    }
+
+    /// True when the conflict ratio of the grants issued *since this fit*
+    /// has moved beyond `threshold` (absolute) from the ratio the epoch
+    /// was fitted against. Comparing deltas rather than lifetime ratios
+    /// keeps the trigger responsive in long-lived runs.
+    pub fn signal_drifted(&self, signal: WorkloadSignal, threshold: f64) -> bool {
+        if threshold <= 0.0 {
+            return false;
+        }
+        let window = signal.since(self.signal_at_fit);
+        window.grants >= DRIFT_MIN_GRANTS
+            && (window.conflict_ratio() - self.conflict_ratio).abs() > threshold
+    }
+}
+
+/// Relative distance between two non-negative quantities.
+fn rel_drift(a: f64, b: f64) -> f64 {
+    let scale = a.abs().max(b.abs());
+    if scale <= 1e-9 {
+        0.0
+    } else {
+        (a - b).abs() / scale
+    }
+}
+
+fn model_drift(a: &StlModel, b: &StlModel) -> f64 {
+    rel_drift(a.lambda_a, b.lambda_a)
+        .max(rel_drift(a.lambda_r, b.lambda_r))
+        .max(rel_drift(a.lambda_w, b.lambda_w))
+        .max(rel_drift(a.k, b.k))
+        .max((a.q_r - b.q_r).abs())
+}
+
+fn params_drift(a: &ProtocolParams, b: &ProtocolParams) -> f64 {
+    rel_drift(a.u_ok, b.u_ok)
+        .max(rel_drift(a.u_denied, b.u_denied))
+        .max((a.p_abort - b.p_abort).abs())
+        .max((a.p_read_denial - b.p_read_denial).abs())
+        .max((a.p_write_denial - b.p_write_denial).abs())
+}
+
+/// A point-in-time copy of the cached selector's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Selections answered from the memoized grid.
+    pub hits: u64,
+    /// Selections that ran the full STL′ evaluation.
+    pub misses: u64,
+    /// Epoch re-fits performed.
+    pub refits: u64,
+    /// Wholesale grid flushes forced by `max_entries`.
+    pub flushes: u64,
+    /// Decisions currently memoized.
+    pub entries: u64,
+    /// Current epoch number (0 before the first fit).
+    pub epoch: u64,
+}
+
+impl CacheStats {
+    /// Fraction of cost-based selections served from the grid.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The drop-in cached variant of [`StlSelector`]: same warm-up and
+/// exploration behaviour, same decisions, but the STL′ grid is evaluated
+/// once per distinct (quantized) shape per epoch instead of once per
+/// transaction.
+#[derive(Debug, Clone)]
+pub struct CachedStlSelector {
+    /// The tuning this selector was built with.
+    pub settings: CacheSettings,
+    counter: u64,
+    refits: u64,
+    snapshot: Option<EpochSnapshot>,
+    cache: SelectionCache,
+}
+
+impl Default for CachedStlSelector {
+    fn default() -> Self {
+        CachedStlSelector::with_settings(CacheSettings::default())
+    }
+}
+
+impl CachedStlSelector {
+    /// A cached selector with the default settings.
+    pub fn new() -> CachedStlSelector {
+        CachedStlSelector::default()
+    }
+
+    /// A cached selector with explicit settings.
+    pub fn with_settings(settings: CacheSettings) -> CachedStlSelector {
+        CachedStlSelector {
+            settings,
+            counter: 0,
+            refits: 0,
+            snapshot: None,
+            cache: SelectionCache::new(settings.quant_rel, settings.max_entries),
+        }
+    }
+
+    /// Choose the concurrency-control method for `txn` (no workload
+    /// signal; epoch boundaries are driven by commits and drift probes).
+    pub fn select(
+        &mut self,
+        txn: &Transaction,
+        catalog: &Catalog,
+        metrics: &SimMetrics,
+    ) -> SelectionDecision {
+        self.select_with_signal(txn, catalog, metrics, WorkloadSignal::default())
+    }
+
+    /// Choose the concurrency-control method for `txn`, folding the
+    /// embedder's live workload counters into the epoch logic.
+    pub fn select_with_signal(
+        &mut self,
+        txn: &Transaction,
+        catalog: &Catalog,
+        metrics: &SimMetrics,
+        signal: WorkloadSignal,
+    ) -> SelectionDecision {
+        self.counter += 1;
+        if !StlSelector::warmed_up(metrics, self.settings.warmup_commits)
+            || is_exploration_round(self.counter, self.settings.explore_every)
+        {
+            return exploratory_decision(self.counter);
+        }
+
+        if self.needs_refit(metrics, signal) {
+            self.refit_now(metrics, signal);
+        }
+        let snapshot = self
+            .snapshot
+            .as_ref()
+            .expect("needs_refit guarantees a snapshot");
+        let summary = snapshot.summary_for(txn, catalog);
+        self.cache
+            .decide(&snapshot.model, &snapshot.params, &summary)
+    }
+
+    fn needs_refit(&self, metrics: &SimMetrics, signal: WorkloadSignal) -> bool {
+        let Some(snapshot) = &self.snapshot else {
+            return true;
+        };
+        let commits = metrics.total_committed.get();
+        if commits.saturating_sub(snapshot.fitted_at_commits) >= self.settings.epoch_commits.max(1)
+        {
+            return true;
+        }
+        if snapshot.signal_drifted(signal, self.settings.drift_threshold) {
+            return true;
+        }
+        self.settings.drift_check_every > 0
+            && self.counter.is_multiple_of(self.settings.drift_check_every)
+            && snapshot.drifted_from(metrics, self.settings.drift_threshold)
+    }
+
+    /// Force an epoch re-fit from the live metrics, flushing the grid.
+    pub fn refit_now(&mut self, metrics: &SimMetrics, signal: WorkloadSignal) {
+        let prev = self.snapshot.as_ref();
+        let epoch = prev.map_or(0, |s| s.epoch) + 1;
+        let prev_signal = prev.map(|s| s.signal_at_fit);
+        self.snapshot = Some(EpochSnapshot::fit(metrics, epoch, signal, prev_signal));
+        self.cache.clear();
+        self.refits += 1;
+    }
+
+    /// The current epoch snapshot, if one has been fitted.
+    pub fn snapshot(&self) -> Option<&EpochSnapshot> {
+        self.snapshot.as_ref()
+    }
+
+    /// A copy of the cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.cache.hits(),
+            misses: self.cache.misses(),
+            refits: self.refits,
+            flushes: self.cache.flushes,
+            entries: self.cache.len() as u64,
+            epoch: self.snapshot.as_ref().map_or(0, |s| s.epoch),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbmodel::{AccessMode, CcMethod, LogicalItemId, ReplicationPolicy, SiteId, TxnId};
+    use simkit::time::{Duration, SimTime};
+
+    fn catalog() -> Catalog {
+        Catalog::generate(2, 12, ReplicationPolicy::SingleCopy)
+    }
+
+    fn txn(id: u64, reads: &[u64], writes: &[u64]) -> Transaction {
+        let mut b = Transaction::builder(TxnId(id), SiteId(0));
+        for &r in reads {
+            b = b.read(LogicalItemId(r));
+        }
+        for &w in writes {
+            b = b.write(LogicalItemId(w));
+        }
+        b.build()
+    }
+
+    /// Metrics with all methods warmed up and non-trivial item rates.
+    fn warmed_metrics() -> SimMetrics {
+        let mut m = SimMetrics::new();
+        m.set_time_span(SimTime::ZERO, SimTime::from_secs(100));
+        for &method in &CcMethod::ALL {
+            for _ in 0..50 {
+                m.record_commit(method, Duration::from_millis(40));
+                m.record_lock_hold(method, Duration::from_millis(30), false);
+            }
+        }
+        for i in 0..12u64 {
+            for _ in 0..(100 + i * 37) {
+                m.record_grant(
+                    PhysicalItemId::new(LogicalItemId(i), SiteId((i % 2) as u32)),
+                    if i % 3 == 0 {
+                        AccessMode::Write
+                    } else {
+                        AccessMode::Read
+                    },
+                );
+            }
+        }
+        m
+    }
+
+    fn bits(d: &SelectionDecision) -> (CcMethod, u64, u64, u64, bool) {
+        (
+            d.method,
+            d.stl_2pl.to_bits(),
+            d.stl_to.to_bits(),
+            d.stl_pa.to_bits(),
+            d.exploratory,
+        )
+    }
+
+    #[test]
+    fn exact_cache_matches_fresh_selector_bit_for_bit() {
+        let metrics = warmed_metrics();
+        let cat = catalog();
+        let settings = CacheSettings {
+            quant_rel: 0.0,
+            explore_every: 7,
+            warmup_commits: 10,
+            ..CacheSettings::default()
+        };
+        let mut cached = CachedStlSelector::with_settings(settings);
+        let mut fresh = StlSelector::with_settings(10, 7);
+        for i in 0..40 {
+            let t = txn(i, &[i % 12, (i + 3) % 12], &[(i + 1) % 12]);
+            let a = cached.select(&t, &cat, &metrics);
+            let b = fresh.select(&t, &cat, &metrics);
+            assert_eq!(bits(&a), bits(&b), "selection {i} diverged");
+        }
+        let stats = cached.cache_stats();
+        assert!(stats.hits > 0, "repeated shapes must hit: {stats:?}");
+        assert_eq!(stats.refits, 1, "no drift, no extra commits: one epoch");
+    }
+
+    #[test]
+    fn quantized_cache_hit_and_miss_paths_agree() {
+        let metrics = warmed_metrics();
+        let model = StlSelector::model_from_metrics(&metrics);
+        let params = MethodParamSet::measure(&metrics);
+        let mut cache = SelectionCache::new(0.05, 1024);
+        let summary = ShapeSummary {
+            m: 2,
+            n: 1,
+            read_loss: 13.37,
+            write_loss: 4.2,
+        };
+        let miss = cache.decide(&model, &params, &summary);
+        let hit = cache.decide(&model, &params, &summary);
+        assert_eq!(bits(&miss), bits(&hit));
+        // The decision is exactly the fresh evaluation of the bucket's
+        // canonical representative.
+        let rep = cache.representative(cache.key_for(&summary));
+        let fresh = evaluate_decision(&model, &rep, &params);
+        assert_eq!(bits(&miss), bits(&fresh));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn quantization_collapses_nearby_shapes_only() {
+        let cache = SelectionCache::new(0.05, 1024);
+        let base = ShapeSummary {
+            m: 2,
+            n: 1,
+            read_loss: 100.0,
+            write_loss: 50.0,
+        };
+        let nearby = ShapeSummary {
+            read_loss: 101.0,
+            ..base
+        };
+        let far = ShapeSummary {
+            read_loss: 160.0,
+            ..base
+        };
+        let other_m = ShapeSummary { m: 3, ..base };
+        assert_eq!(cache.key_for(&base), cache.key_for(&nearby));
+        assert_ne!(cache.key_for(&base), cache.key_for(&far));
+        assert_ne!(cache.key_for(&base), cache.key_for(&other_m));
+        // The representative sits inside its own bucket.
+        let key = cache.key_for(&base);
+        let rep = cache.representative(key);
+        assert_eq!(cache.key_for(&rep), key);
+    }
+
+    #[test]
+    fn exact_keys_separate_any_loss_difference() {
+        let cache = SelectionCache::exact();
+        let a = ShapeSummary {
+            m: 1,
+            n: 1,
+            read_loss: 10.0,
+            write_loss: 5.0,
+        };
+        let b = ShapeSummary {
+            read_loss: 10.0 + 1e-12,
+            ..a
+        };
+        assert_ne!(cache.key_for(&a), cache.key_for(&b));
+        let rep = cache.representative(cache.key_for(&a));
+        assert_eq!(rep.read_loss.to_bits(), a.read_loss.to_bits());
+        assert_eq!(rep.write_loss.to_bits(), a.write_loss.to_bits());
+    }
+
+    #[test]
+    fn epoch_boundary_refits_after_enough_commits() {
+        let mut metrics = warmed_metrics();
+        let cat = catalog();
+        let mut cached = CachedStlSelector::with_settings(CacheSettings {
+            epoch_commits: 10,
+            warmup_commits: 10,
+            explore_every: 0,
+            drift_check_every: 0,
+            ..CacheSettings::default()
+        });
+        let t = txn(1, &[1], &[2]);
+        cached.select(&t, &cat, &metrics);
+        assert_eq!(cached.cache_stats().epoch, 1);
+        // Fewer than epoch_commits new commits: same epoch.
+        for _ in 0..9 {
+            metrics.record_commit(CcMethod::TwoPhaseLocking, Duration::from_millis(10));
+        }
+        cached.select(&t, &cat, &metrics);
+        assert_eq!(cached.cache_stats().epoch, 1);
+        // Crossing the boundary re-fits and flushes the grid.
+        metrics.record_commit(CcMethod::TwoPhaseLocking, Duration::from_millis(10));
+        cached.select(&t, &cat, &metrics);
+        let stats = cached.cache_stats();
+        assert_eq!(stats.epoch, 2);
+        assert_eq!(stats.refits, 2);
+    }
+
+    #[test]
+    fn conflict_ratio_drift_forces_early_refit() {
+        let metrics = warmed_metrics();
+        let cat = catalog();
+        let mut cached = CachedStlSelector::with_settings(CacheSettings {
+            epoch_commits: 1_000_000,
+            drift_threshold: 0.2,
+            drift_check_every: 0,
+            warmup_commits: 10,
+            explore_every: 0,
+            ..CacheSettings::default()
+        });
+        let t = txn(1, &[1], &[2]);
+        let calm = WorkloadSignal {
+            grants: 10_000,
+            conflicts: 100,
+        };
+        cached.select_with_signal(&t, &cat, &metrics, calm);
+        cached.select_with_signal(&t, &cat, &metrics, calm);
+        assert_eq!(cached.cache_stats().refits, 1);
+        // The grants issued since the fit run at an 80% conflict ratio
+        // against the 1% the epoch was fitted on: early re-fit — even
+        // though the *cumulative* ratio (which lifetime counters would
+        // compare) has barely moved off 1%.
+        let stormy = WorkloadSignal {
+            grants: 10_100,
+            conflicts: 180,
+        };
+        assert!((stormy.conflict_ratio() - calm.conflict_ratio()).abs() < 0.2);
+        cached.select_with_signal(&t, &cat, &metrics, stormy);
+        assert_eq!(cached.cache_stats().refits, 2);
+        // A trickle of new grants is never enough to drift (noise guard).
+        let trickle = WorkloadSignal {
+            grants: stormy.grants + 10,
+            conflicts: stormy.conflicts + 10,
+        };
+        cached.select_with_signal(&t, &cat, &metrics, trickle);
+        assert_eq!(cached.cache_stats().refits, 2);
+    }
+
+    #[test]
+    fn params_drift_probe_refits_when_metrics_shift() {
+        let mut metrics = warmed_metrics();
+        let cat = catalog();
+        let mut cached = CachedStlSelector::with_settings(CacheSettings {
+            epoch_commits: 1_000_000,
+            drift_threshold: 0.3,
+            drift_check_every: 2,
+            warmup_commits: 10,
+            explore_every: 0,
+            ..CacheSettings::default()
+        });
+        let t = txn(1, &[1], &[2]);
+        cached.select(&t, &cat, &metrics);
+        cached.select(&t, &cat, &metrics);
+        assert_eq!(cached.cache_stats().refits, 1, "no drift yet");
+        // 2PL turns deadlock-prone: p_abort moves from 0 to ~0.5.
+        for _ in 0..150 {
+            metrics.record_restart(
+                CcMethod::TwoPhaseLocking,
+                metrics::TxnOutcome::DeadlockRestart,
+            );
+            metrics.record_lock_hold(CcMethod::TwoPhaseLocking, Duration::from_millis(300), true);
+        }
+        // Next probe (counter multiple of 2) must notice.
+        cached.select(&t, &cat, &metrics);
+        cached.select(&t, &cat, &metrics);
+        assert_eq!(cached.cache_stats().refits, 2, "probe caught the drift");
+    }
+
+    #[test]
+    fn warmup_and_exploration_mirror_the_fresh_selector() {
+        let cat = catalog();
+        let cold = SimMetrics::new();
+        let mut cached = CachedStlSelector::with_settings(CacheSettings {
+            warmup_commits: 1000,
+            explore_every: 0,
+            ..CacheSettings::default()
+        });
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..6 {
+            let d = cached.select(&txn(i, &[1], &[2]), &cat, &cold);
+            assert!(d.exploratory);
+            seen.insert(d.method);
+        }
+        assert_eq!(seen.len(), 3, "warm-up must exercise every method");
+        assert_eq!(cached.cache_stats().epoch, 0, "no fit during warm-up");
+    }
+
+    #[test]
+    fn snapshot_summary_matches_fresh_shape_at_fit_time() {
+        let metrics = warmed_metrics();
+        let cat = catalog();
+        let snapshot = EpochSnapshot::fit(&metrics, 1, WorkloadSignal::default(), None);
+        for i in 0..12u64 {
+            let t = txn(i, &[i % 12, (i + 5) % 12], &[(i + 1) % 12, (i + 7) % 12]);
+            let frozen = snapshot.summary_for(&t, &cat);
+            let fresh = StlSelector::shape_for(&t, &cat, &metrics).summary();
+            assert_eq!(frozen.m, fresh.m);
+            assert_eq!(frozen.n, fresh.n);
+            assert_eq!(frozen.read_loss.to_bits(), fresh.read_loss.to_bits());
+            assert_eq!(frozen.write_loss.to_bits(), fresh.write_loss.to_bits());
+        }
+    }
+
+    #[test]
+    fn full_grid_is_flushed_not_grown() {
+        let metrics = warmed_metrics();
+        let model = StlSelector::model_from_metrics(&metrics);
+        let params = MethodParamSet::measure(&metrics);
+        let mut cache = SelectionCache::new(0.0, 4);
+        for i in 0..10 {
+            let summary = ShapeSummary {
+                m: 1,
+                n: 1,
+                read_loss: i as f64,
+                write_loss: 1.0,
+            };
+            cache.decide(&model, &params, &summary);
+        }
+        assert!(cache.len() <= 4);
+        assert!(cache.flushes > 0);
+    }
+
+    #[test]
+    fn settings_validation_rejects_nonsense() {
+        assert!(CacheSettings::default().validate().is_ok());
+        assert!(CacheSettings {
+            quant_rel: -0.1,
+            ..CacheSettings::default()
+        }
+        .validate()
+        .is_err());
+        assert!(CacheSettings {
+            drift_threshold: f64::NAN,
+            ..CacheSettings::default()
+        }
+        .validate()
+        .is_err());
+        assert!(CacheSettings {
+            max_entries: 0,
+            ..CacheSettings::default()
+        }
+        .validate()
+        .is_err());
+    }
+}

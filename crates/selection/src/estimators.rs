@@ -47,27 +47,58 @@ impl TxnShape {
 
     /// The unconditional initial loss Λ_t.
     pub fn lambda_t(&self) -> f64 {
-        let read_loss: f64 = self.read_items.iter().map(|&(_, lw)| lw).sum();
-        let write_loss: f64 = self.write_items.iter().map(|&(lr, lw)| lr + lw).sum();
-        read_loss + write_loss
+        self.summary().lambda_t()
+    }
+
+    /// Collapse the shape to the four quantities the estimators consume.
+    pub fn summary(&self) -> ShapeSummary {
+        ShapeSummary::of(self)
+    }
+}
+
+/// A [`TxnShape`] collapsed to the four numbers the estimators actually
+/// depend on: the request counts `m(t)` / `n(t)` and the aggregate initial
+/// losses of the read and write sets. Two shapes with equal summaries
+/// produce bit-identical estimates under every protocol — the property the
+/// selection cache's memoization keys rely on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShapeSummary {
+    /// Number of read requests, `m(t)`.
+    pub m: usize,
+    /// Number of write requests, `n(t)`.
+    pub n: usize,
+    /// `Σ_reads λ_w(D(r_i))`: the loss a read lock on each item inflicts.
+    pub read_loss: f64,
+    /// `Σ_writes (λ_r(D(q_i)) + λ_w(D(q_i)))`: the loss from write locks.
+    pub write_loss: f64,
+}
+
+impl ShapeSummary {
+    /// Summarise a full shape.
+    pub fn of(shape: &TxnShape) -> ShapeSummary {
+        ShapeSummary {
+            m: shape.read_items.len(),
+            n: shape.write_items.len(),
+            read_loss: shape.read_items.iter().map(|&(_, lw)| lw).sum(),
+            write_loss: shape.write_items.iter().map(|&(lr, lw)| lr + lw).sum(),
+        }
+    }
+
+    /// The unconditional initial loss Λ_t.
+    pub fn lambda_t(&self) -> f64 {
+        self.read_loss + self.write_loss
     }
 
     /// The expected per-request loss with each request weighted by its
     /// probability of being accepted: used in the Λ*/Λ⁺ balance equations.
     fn weighted_loss(&self, p_read_ok: f64, p_write_ok: f64) -> f64 {
-        let read_loss: f64 = self.read_items.iter().map(|&(_, lw)| p_read_ok * lw).sum();
-        let write_loss: f64 = self
-            .write_items
-            .iter()
-            .map(|&(lr, lw)| p_write_ok * (lr + lw))
-            .sum();
-        read_loss + write_loss
+        p_read_ok * self.read_loss + p_write_ok * self.write_loss
     }
 
     /// The conditional loss given that at least one request was denied:
     /// solves `weighted = (1 − p_ok)·Λ* + p_ok·Λ_t` for Λ*, clamped at ≥ 0.
     fn conditional_loss(&self, p_read_ok: f64, p_write_ok: f64) -> f64 {
-        let p_ok = p_read_ok.powi(self.m() as i32) * p_write_ok.powi(self.n() as i32);
+        let p_ok = p_read_ok.powi(self.m as i32) * p_write_ok.powi(self.n as i32);
         if p_ok >= 1.0 - 1e-12 {
             return self.lambda_t();
         }
@@ -116,7 +147,12 @@ fn clamp_prob(p: f64) -> f64 {
 
 /// Estimated STL if the transaction runs under 2PL.
 pub fn stl_2pl(model: &StlModel, shape: &TxnShape, params: &ProtocolParams) -> f64 {
-    let lambda_t = shape.lambda_t();
+    stl_2pl_summary(model, &shape.summary(), params)
+}
+
+/// [`stl_2pl`] on a pre-computed summary.
+pub fn stl_2pl_summary(model: &StlModel, summary: &ShapeSummary, params: &ProtocolParams) -> f64 {
+    let lambda_t = summary.lambda_t();
     let p_a = clamp_prob(params.p_abort);
     let base = model.stl_prime(lambda_t, params.u_ok);
     if p_a >= 1.0 - 1e-9 {
@@ -130,25 +166,35 @@ pub fn stl_2pl(model: &StlModel, shape: &TxnShape, params: &ProtocolParams) -> f
 
 /// Estimated STL if the transaction runs under Basic T/O.
 pub fn stl_to(model: &StlModel, shape: &TxnShape, params: &ProtocolParams) -> f64 {
+    stl_to_summary(model, &shape.summary(), params)
+}
+
+/// [`stl_to`] on a pre-computed summary.
+pub fn stl_to_summary(model: &StlModel, summary: &ShapeSummary, params: &ProtocolParams) -> f64 {
     let p_read_ok = 1.0 - clamp_prob(params.p_read_denial);
     let p_write_ok = 1.0 - clamp_prob(params.p_write_denial);
-    let p_ok = p_read_ok.powi(shape.m() as i32) * p_write_ok.powi(shape.n() as i32);
-    let lambda_t = shape.lambda_t();
+    let p_ok = p_read_ok.powi(summary.m as i32) * p_write_ok.powi(summary.n as i32);
+    let lambda_t = summary.lambda_t();
     let base = model.stl_prime(lambda_t, params.u_ok);
     if p_ok <= 1e-9 {
         return f64::MAX / 4.0;
     }
-    let lambda_star = shape.conditional_loss(p_read_ok, p_write_ok);
+    let lambda_star = summary.conditional_loss(p_read_ok, p_write_ok);
     base + (1.0 - p_ok) / p_ok * model.stl_prime(lambda_star, params.u_denied)
 }
 
 /// Estimated STL if the transaction runs under PA.
 pub fn stl_pa(model: &StlModel, shape: &TxnShape, params: &ProtocolParams) -> f64 {
+    stl_pa_summary(model, &shape.summary(), params)
+}
+
+/// [`stl_pa`] on a pre-computed summary.
+pub fn stl_pa_summary(model: &StlModel, summary: &ShapeSummary, params: &ProtocolParams) -> f64 {
     let p_read_ok = 1.0 - clamp_prob(params.p_read_denial);
     let p_write_ok = 1.0 - clamp_prob(params.p_write_denial);
-    let p_ok = p_read_ok.powi(shape.m() as i32) * p_write_ok.powi(shape.n() as i32);
-    let lambda_t = shape.lambda_t();
-    let lambda_plus = shape.conditional_loss(p_read_ok, p_write_ok);
+    let p_ok = p_read_ok.powi(summary.m as i32) * p_write_ok.powi(summary.n as i32);
+    let lambda_t = summary.lambda_t();
+    let lambda_plus = summary.conditional_loss(p_read_ok, p_write_ok);
     // PA never restarts: the base term is always paid, and with probability
     // (1 − p_ok) one extra backoff-negotiation period of loss is added.
     model.stl_prime(lambda_t, params.u_ok)
@@ -187,7 +233,7 @@ mod tests {
 
     #[test]
     fn conditional_loss_equals_unconditional_when_never_denied() {
-        let s = shape(2, 2);
+        let s = shape(2, 2).summary();
         assert!((s.conditional_loss(1.0, 1.0) - s.lambda_t()).abs() < 1e-12);
     }
 
@@ -195,10 +241,48 @@ mod tests {
     fn conditional_loss_is_smaller_when_denials_remove_requests() {
         // With some requests denied, the conditional loss (locks actually
         // granted before the denial) is below the full Λ_t.
-        let s = shape(3, 3);
+        let s = shape(3, 3).summary();
         let cond = s.conditional_loss(0.7, 0.7);
         assert!(cond < s.lambda_t());
         assert!(cond >= 0.0);
+    }
+
+    #[test]
+    fn summary_collapses_shape_to_aggregate_losses() {
+        let s = shape(2, 3);
+        let sum = s.summary();
+        assert_eq!(sum.m, 2);
+        assert_eq!(sum.n, 3);
+        // reads: 2 × λ_w = 8; writes: 3 × (λ_r + λ_w) = 30.
+        assert!((sum.read_loss - 8.0).abs() < 1e-12);
+        assert!((sum.write_loss - 30.0).abs() < 1e-12);
+        assert_eq!(sum.lambda_t(), s.lambda_t());
+    }
+
+    #[test]
+    fn summary_estimators_match_shape_estimators_bit_for_bit() {
+        let m = model();
+        let s = shape(3, 2);
+        let sum = s.summary();
+        let p = ProtocolParams {
+            u_ok: 0.05,
+            u_denied: 0.08,
+            p_abort: 0.1,
+            p_read_denial: 0.2,
+            p_write_denial: 0.3,
+        };
+        assert_eq!(
+            stl_2pl(&m, &s, &p).to_bits(),
+            stl_2pl_summary(&m, &sum, &p).to_bits()
+        );
+        assert_eq!(
+            stl_to(&m, &s, &p).to_bits(),
+            stl_to_summary(&m, &sum, &p).to_bits()
+        );
+        assert_eq!(
+            stl_pa(&m, &s, &p).to_bits(),
+            stl_pa_summary(&m, &sum, &p).to_bits()
+        );
     }
 
     #[test]

@@ -18,11 +18,27 @@
 //!   from a [`metrics::SimMetrics`] and picks the method for each incoming
 //!   transaction, with a round-robin warm-up while estimates are still
 //!   unreliable.
+//! * [`cache`] — [`cache::CachedStlSelector`], the amortized variant: the
+//!   model and parameters are frozen into an [`cache::EpochSnapshot`]
+//!   refreshed every N commits (or on workload drift), and decisions are
+//!   memoized per quantized transaction shape — provably identical to
+//!   fresh STL′ evaluation within an epoch.
 
+pub mod cache;
 pub mod estimators;
 pub mod selector;
 pub mod stl;
 
-pub use estimators::{stl_2pl, stl_pa, stl_to, ProtocolParams, TxnShape};
-pub use selector::{SelectionDecision, StlSelector};
+pub use cache::{
+    CacheSettings, CacheStats, CachedStlSelector, EpochSnapshot, SelectionCache, ShapeKey,
+    WorkloadSignal,
+};
+pub use estimators::{
+    stl_2pl, stl_2pl_summary, stl_pa, stl_pa_summary, stl_to, stl_to_summary, ProtocolParams,
+    ShapeSummary, TxnShape,
+};
+pub use selector::{
+    evaluate_decision, exploratory_decision, is_exploration_round, MethodParamSet,
+    SelectionDecision, StlSelector,
+};
 pub use stl::StlModel;

@@ -19,7 +19,9 @@
 use dbmodel::{Catalog, CcMethod, Transaction};
 use metrics::SimMetrics;
 
-use crate::estimators::{stl_2pl, stl_pa, stl_to, ProtocolParams, TxnShape};
+use crate::estimators::{
+    stl_2pl_summary, stl_pa_summary, stl_to_summary, ProtocolParams, ShapeSummary, TxnShape,
+};
 use crate::stl::StlModel;
 
 /// The outcome of one selection, including the estimated costs (for
@@ -37,6 +39,77 @@ pub struct SelectionDecision {
     /// True if the decision was a warm-up / exploration round-robin pick
     /// rather than a cost-based one.
     pub exploratory: bool,
+}
+
+/// The measured [`ProtocolParams`] of all three protocols, bundled so one
+/// metrics read serves a whole selection (and, for the cached selector, a
+/// whole epoch).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MethodParamSet {
+    /// Parameters measured for 2PL.
+    pub p2pl: ProtocolParams,
+    /// Parameters measured for Basic T/O.
+    pub to: ProtocolParams,
+    /// Parameters measured for PA.
+    pub pa: ProtocolParams,
+}
+
+impl MethodParamSet {
+    /// Measure the current parameters of every protocol.
+    pub fn measure(metrics: &SimMetrics) -> MethodParamSet {
+        MethodParamSet {
+            p2pl: StlSelector::params_for(metrics, CcMethod::TwoPhaseLocking),
+            to: StlSelector::params_for(metrics, CcMethod::TimestampOrdering),
+            pa: StlSelector::params_for(metrics, CcMethod::PrecedenceAgreement),
+        }
+    }
+}
+
+/// True when the `counter`-th selection is an exploration round
+/// (`explore_every` of 0 disables exploration).
+pub fn is_exploration_round(counter: u64, explore_every: u64) -> bool {
+    explore_every > 0 && counter.is_multiple_of(explore_every)
+}
+
+/// The exploratory (warm-up / exploration) decision for the `counter`-th
+/// selection: round-robin over the three methods, costs unknown.
+pub fn exploratory_decision(counter: u64) -> SelectionDecision {
+    SelectionDecision {
+        method: CcMethod::ALL[(counter % 3) as usize],
+        stl_2pl: f64::NAN,
+        stl_to: f64::NAN,
+        stl_pa: f64::NAN,
+        exploratory: true,
+    }
+}
+
+/// Cost-evaluate the three protocols for one transaction summary and pick
+/// the cheapest — the pure core shared by the fresh [`StlSelector`] and the
+/// cached selector, so both produce bit-identical decisions from identical
+/// inputs.
+pub fn evaluate_decision(
+    model: &StlModel,
+    summary: &ShapeSummary,
+    params: &MethodParamSet,
+) -> SelectionDecision {
+    let cost_2pl = stl_2pl_summary(model, summary, &params.p2pl);
+    let cost_to = stl_to_summary(model, summary, &params.to);
+    let cost_pa = stl_pa_summary(model, summary, &params.pa);
+
+    let method = if cost_2pl <= cost_to && cost_2pl <= cost_pa {
+        CcMethod::TwoPhaseLocking
+    } else if cost_to <= cost_pa {
+        CcMethod::TimestampOrdering
+    } else {
+        CcMethod::PrecedenceAgreement
+    };
+    SelectionDecision {
+        method,
+        stl_2pl: cost_2pl,
+        stl_to: cost_to,
+        stl_pa: cost_pa,
+        exploratory: false,
+    }
 }
 
 /// Dynamic concurrency-control selector based on the STL criterion.
@@ -83,46 +156,24 @@ impl StlSelector {
         metrics: &SimMetrics,
     ) -> SelectionDecision {
         self.counter += 1;
-        let round_robin = CcMethod::ALL[(self.counter % 3) as usize];
-
-        let warmed_up = CcMethod::ALL
-            .iter()
-            .all(|&m| metrics.method(m).committed.get() >= self.warmup_commits);
-        let exploring = self.explore_every > 0 && self.counter.is_multiple_of(self.explore_every);
-        if !warmed_up || exploring {
-            return SelectionDecision {
-                method: round_robin,
-                stl_2pl: f64::NAN,
-                stl_to: f64::NAN,
-                stl_pa: f64::NAN,
-                exploratory: true,
-            };
+        if !Self::warmed_up(metrics, self.warmup_commits)
+            || is_exploration_round(self.counter, self.explore_every)
+        {
+            return exploratory_decision(self.counter);
         }
 
         let model = Self::model_from_metrics(metrics);
-        let shape = Self::shape_for(txn, catalog, metrics);
-        let params_2pl = Self::params_for(metrics, CcMethod::TwoPhaseLocking);
-        let params_to = Self::params_for(metrics, CcMethod::TimestampOrdering);
-        let params_pa = Self::params_for(metrics, CcMethod::PrecedenceAgreement);
+        let summary = Self::shape_for(txn, catalog, metrics).summary();
+        let params = MethodParamSet::measure(metrics);
+        evaluate_decision(&model, &summary, &params)
+    }
 
-        let cost_2pl = stl_2pl(&model, &shape, &params_2pl);
-        let cost_to = stl_to(&model, &shape, &params_to);
-        let cost_pa = stl_pa(&model, &shape, &params_pa);
-
-        let method = if cost_2pl <= cost_to && cost_2pl <= cost_pa {
-            CcMethod::TwoPhaseLocking
-        } else if cost_to <= cost_pa {
-            CcMethod::TimestampOrdering
-        } else {
-            CcMethod::PrecedenceAgreement
-        };
-        SelectionDecision {
-            method,
-            stl_2pl: cost_2pl,
-            stl_to: cost_to,
-            stl_pa: cost_pa,
-            exploratory: false,
-        }
+    /// True once every method has committed at least `warmup_commits`
+    /// transactions, i.e. its measured parameters are trustworthy.
+    pub fn warmed_up(metrics: &SimMetrics, warmup_commits: u64) -> bool {
+        CcMethod::ALL
+            .iter()
+            .all(|&m| metrics.method(m).committed.get() >= warmup_commits)
     }
 
     /// Build the system-wide STL model from measured rates.

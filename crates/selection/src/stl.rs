@@ -94,31 +94,33 @@ impl StlModel {
             }
             let beta = self.lambda_block(lambda);
             let mut current = vec![0.0f64; TIME_STEPS + 1];
-            for (i, slot) in current.iter_mut().enumerate() {
+            // Escalation integral, trapezoid over the grid cells:
+            // ∫₀ᵗ β e^{-βx} (λ x + f_upper(t − x)) dx. Evaluated naively this
+            // is O(steps) per time point (O(steps²) per level); both pieces
+            // admit exact O(1) per-step recurrences, making the whole grid
+            // O(levels · steps):
+            //   * the λx piece has no dependence on t beyond the upper
+            //     limit — a running prefix sum `own` of its trapezoid;
+            //   * the f_upper piece is a convolution against e^{-βx}; its
+            //     trapezoid satisfies
+            //       C_i = e^{-β·dt}·C_{i−1}
+            //             + ½·dt·β·(upper[i] + e^{-β·dt}·upper[i−1]),
+            //     which reproduces the summed trapezoid exactly (shift the
+            //     summation index to see the identity).
+            let decay = (-beta * dt).exp();
+            let g1 = |x: f64| beta * (-beta * x).exp() * lambda * x;
+            let mut own = 0.0f64;
+            let mut conv = 0.0f64;
+            for i in 1..=TIME_STEPS {
                 let t = i as f64 * dt;
-                if t == 0.0 {
-                    continue;
-                }
                 // No-escalation term.
                 let mut value = (-beta * t).exp() * lambda * t;
-                // Escalation integral, trapezoid over the first i grid cells:
-                // g(x) = β e^{-βx} (λ x + f_upper(t - x)).
                 if beta > 0.0 {
-                    let g = |x: f64, j_rem: usize| -> f64 {
-                        beta * (-beta * x).exp() * (lambda * x + upper[j_rem])
-                    };
-                    let mut integral = 0.0;
-                    for j in 0..i {
-                        let x0 = j as f64 * dt;
-                        let x1 = (j + 1) as f64 * dt;
-                        // f_upper evaluated at (t - x) = (i-j)·dt and (i-j-1)·dt.
-                        let a = g(x0, i - j);
-                        let b = g(x1, i - j - 1);
-                        integral += 0.5 * (a + b) * dt;
-                    }
-                    value += integral;
+                    own += 0.5 * (g1((i - 1) as f64 * dt) + g1(t)) * dt;
+                    conv = decay * conv + 0.5 * dt * beta * (upper[i] + decay * upper[i - 1]);
+                    value += own + conv;
                 }
-                *slot = value.min(self.lambda_a * t);
+                current[i] = value.min(self.lambda_a * t);
             }
             upper = current;
         }

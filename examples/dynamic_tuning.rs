@@ -5,12 +5,16 @@
 //! parameters change". This example runs the STL-dynamic policy over three
 //! load regimes (light, moderate, heavy) and prints the per-regime protocol
 //! mix the selector converged to, alongside the STL estimates for a sample
-//! transaction in each regime.
+//! transaction in each regime — evaluated both fresh and through the
+//! epoch-cached selector, whose decision must match byte for byte while
+//! costing a hash lookup instead of a dynamic-programming grid.
 //!
 //! Run with: `cargo run --release -p examples --bin dynamic_tuning`
 
+use std::time::Instant;
+
 use dbmodel::{CcMethod, LogicalItemId, SiteId, Transaction, TxnId};
-use selection::StlSelector;
+use selection::{CacheSettings, CachedStlSelector, StlSelector};
 use sim::{MethodPolicy, SimConfig, Simulation};
 
 fn main() {
@@ -41,7 +45,26 @@ fn main() {
             .write(LogicalItemId(4))
             .build();
         let mut selector = StlSelector::with_settings(0, 0);
+        let fresh_began = Instant::now();
         let decision = selector.select(&sample, simulation.catalog(), simulation.metrics());
+        let fresh_cost = fresh_began.elapsed();
+
+        // The cached selector agrees bit for bit (exact keys, same epoch
+        // snapshot) and answers repeat shapes from the decision grid.
+        let mut cached = CachedStlSelector::with_settings(CacheSettings {
+            quant_rel: 0.0,
+            warmup_commits: 0,
+            explore_every: 0,
+            ..CacheSettings::default()
+        });
+        let first = cached.select(&sample, simulation.catalog(), simulation.metrics());
+        assert_eq!(first.method, decision.method);
+        assert_eq!(first.stl_2pl.to_bits(), decision.stl_2pl.to_bits());
+        let hit_began = Instant::now();
+        let hit = cached.select(&sample, simulation.catalog(), simulation.metrics());
+        let hit_cost = hit_began.elapsed();
+        assert_eq!(hit.method, decision.method);
+        assert_eq!(cached.cache_stats().hits, 1);
 
         let report = simulation.into_report();
         assert!(report.serializable().is_ok());
@@ -76,6 +99,11 @@ fn main() {
             report.mean_system_time() * 1e3,
             report.throughput(),
             report.total_restarts()
+        );
+        println!(
+            "  selection cost: fresh {:.1} µs vs cached hit {:.2} µs (identical decision)",
+            fresh_cost.as_secs_f64() * 1e6,
+            hit_cost.as_secs_f64() * 1e6
         );
     }
 }

@@ -1,0 +1,251 @@
+//! Regression test for the PR 1 stale-grant bug: a PA issuer whose backoff
+//! round has fired must ignore a pre-backoff `ReplyMsg::Grant` still in
+//! flight, keyed off the grant's `at` timestamp tag.
+//!
+//! The lost-update window this closes: T1 (PA) gets a value-carrying write
+//! grant on X at its original timestamp, then backs off because another
+//! queue proposed a higher timestamp. The `UpdatedTs` broadcast makes X
+//! revoke the grant and admit T2 in between; X's value moves on. If the
+//! stale grant (tagged with the *pre-backoff* timestamp and carrying the
+//! *pre-T2* value) were honoured when it surfaces after the round, T1
+//! would compute its read-modify-write from the stale value and silently
+//! overwrite T2's update. The issuer must instead wait for the re-issued
+//! grant tagged with the backed-off timestamp and carrying the fresh
+//! value.
+//!
+//! The test drives the real sans-IO state machines — two `QueueManager`s
+//! and a `RequestIssuer` — with an adversarial transport (held, reordered
+//! and duplicated replies), exactly the interleavings a sharded runtime
+//! produces.
+
+use dbmodel::{
+    AccessMode, CcMethod, LogicalItemId, PhysicalItemId, SiteId, Timestamp, Transaction, TsTuple,
+    TxnId, Value,
+};
+use pam::{ReplyMsg, RequestMsg};
+use unified_cc::{EnforcementMode, QueueManager, RequestIssuer, RiAction};
+
+fn li(i: u64) -> LogicalItemId {
+    LogicalItemId(i)
+}
+
+/// Route one request to the queue manager owning its item and collect the
+/// replies.
+fn route(qms: &mut [QueueManager], origin: SiteId, msg: &RequestMsg) -> Vec<ReplyMsg> {
+    let site = msg.item().site;
+    let qm = qms
+        .iter_mut()
+        .find(|qm| qm.site() == site)
+        .expect("message routed to an unknown site");
+    qm.handle(origin, msg).replies
+}
+
+fn grant_at(reply: &ReplyMsg) -> Option<(TxnId, Timestamp, Option<Value>)> {
+    match reply {
+        ReplyMsg::Grant { txn, at, value, .. } => Some((*txn, *at, *value)),
+        _ => None,
+    }
+}
+
+#[test]
+fn pa_issuer_ignores_stale_pre_backoff_grant_and_no_update_is_lost() {
+    let x = PhysicalItemId::new(li(0), SiteId(0));
+    let y = PhysicalItemId::new(li(1), SiteId(1));
+    let mut qmx = QueueManager::new(SiteId(0));
+    qmx.add_item(x, 100, EnforcementMode::SemiLock);
+    let mut qmy = QueueManager::new(SiteId(1));
+    qmy.add_item(y, 0, EnforcementMode::SemiLock);
+    let mut qms = [qmx, qmy];
+
+    // T0 (PA, ts 40) writes Y and finishes, raising Y's timestamp
+    // thresholds so T1's ts 10 will be proposed a backoff there.
+    let t0 = TxnId(100);
+    let replies = route(
+        &mut qms,
+        SiteId(1),
+        &RequestMsg::Access {
+            txn: t0,
+            item: y,
+            mode: AccessMode::Write,
+            method: CcMethod::PrecedenceAgreement,
+            ts: TsTuple::new(Timestamp(40), 25),
+        },
+    );
+    assert!(
+        replies.iter().any(|r| grant_at(r).is_some()),
+        "T0's uncontended write grants immediately"
+    );
+    route(
+        &mut qms,
+        SiteId(1),
+        &RequestMsg::Release {
+            txn: t0,
+            item: y,
+            write_value: Some(7),
+        },
+    );
+
+    // T1 (PA, ts 10, INT 25) read-modify-writes X and Y.
+    let txn1 = Transaction::builder(TxnId(1), SiteId(0))
+        .method(CcMethod::PrecedenceAgreement)
+        .write(li(0))
+        .write(li(1))
+        .build();
+    let mut t1 = RequestIssuer::new(
+        txn1,
+        TsTuple::new(Timestamp(10), 25),
+        vec![(x, AccessMode::Write), (y, AccessMode::Write)],
+    );
+    let out = t1.start();
+    assert_eq!(out.sends.len(), 2);
+
+    // X grants T1 at its original timestamp, value attached. The reply is
+    // HELD in flight by the adversarial transport.
+    let x_replies = route(&mut qms, SiteId(0), &out.sends[0]);
+    let held_grant = x_replies
+        .iter()
+        .find(|r| grant_at(r).is_some())
+        .expect("X grants T1")
+        .clone();
+    let (_, at, value) = grant_at(&held_grant).unwrap();
+    assert_eq!(at, Timestamp(10), "grants are tagged with the issue ts");
+    assert_eq!(value, Some(100), "write grants carry the item value");
+
+    // Y proposes a backoff above T0's timestamp.
+    let y_replies = route(&mut qms, SiteId(0), &out.sends[1]);
+    let backoff = y_replies
+        .iter()
+        .find(|r| matches!(r, ReplyMsg::Backoff { .. }))
+        .expect("Y proposes a backoff")
+        .clone();
+    let proposed = match backoff {
+        ReplyMsg::Backoff { new_ts, .. } => new_ts,
+        _ => unreachable!(),
+    };
+    assert!(proposed > Timestamp(40), "proposal clears Y's thresholds");
+
+    // Deliver the backoff, then the held grant: the round fires.
+    assert!(t1.on_reply(&backoff).actions.is_empty());
+    let out = t1.on_reply(&held_grant);
+    assert_eq!(out.actions, vec![RiAction::BackoffRound]);
+    let backed_off = t1.ts().ts;
+    assert_eq!(backed_off, proposed, "TS' = max over proposals");
+    let updates = out.sends.clone();
+    assert!(updates
+        .iter()
+        .all(|m| matches!(m, RequestMsg::UpdatedTs { .. })));
+
+    // Before the UpdatedTs reaches X, T2 (PA, ts 20) queues a write on X.
+    let t2 = TxnId(2);
+    let replies = route(
+        &mut qms,
+        SiteId(0),
+        &RequestMsg::Access {
+            txn: t2,
+            item: x,
+            mode: AccessMode::Write,
+            method: CcMethod::PrecedenceAgreement,
+            ts: TsTuple::new(Timestamp(20), 25),
+        },
+    );
+    assert!(
+        replies.iter().all(|r| grant_at(r).is_none()),
+        "T2 queues behind T1's still-held grant"
+    );
+
+    // THE REGRESSION: a duplicate of the pre-backoff grant surfaces after
+    // the round fired. Its `at` tag (the original timestamp) must disqualify
+    // it — the issuer stays in its backoff-grant collection phase and the
+    // stale value must not count.
+    let out = t1.on_reply(&held_grant);
+    assert!(
+        out.actions.is_empty() && out.sends.is_empty(),
+        "stale pre-backoff grant must be ignored, got {:?}",
+        out.actions
+    );
+
+    // The UpdatedTs broadcast lands: X revokes T1's grant and admits T2;
+    // Y re-grants T1 at the backed-off timestamp.
+    let mut t2_grant = None;
+    let mut t1_regrants = Vec::new();
+    for update in &updates {
+        for reply in route(&mut qms, SiteId(0), update) {
+            match grant_at(&reply) {
+                Some((txn, at, _)) if txn == t2 => {
+                    assert_eq!(at, Timestamp(20), "T2's grant tagged with its own ts");
+                    t2_grant = Some(reply);
+                }
+                Some((txn, at, _)) if txn == t1.txn_id() => {
+                    assert_eq!(at, backed_off, "re-grants tagged with the new ts");
+                    t1_regrants.push(reply);
+                }
+                _ => {}
+            }
+        }
+    }
+    let t2_grant = t2_grant.expect("revoking T1's stale grant admits T2");
+
+    // T2 executes its read-modify-write and releases: X moves 100 → 111.
+    let (_, _, seen) = grant_at(&t2_grant).unwrap();
+    let t2_writes = seen.unwrap() + 11;
+    for reply in route(
+        &mut qms,
+        SiteId(0),
+        &RequestMsg::Release {
+            txn: t2,
+            item: x,
+            write_value: Some(t2_writes),
+        },
+    ) {
+        if grant_at(&reply).is_some_and(|(txn, _, _)| txn == t1.txn_id()) {
+            t1_regrants.push(reply);
+        }
+    }
+    assert_eq!(qms[0].value_of(x), Some(111));
+
+    // T1's re-issued grants (fresh values, new tag) complete the round.
+    // Deliver Y's first: were the stale X grant still counting, the issuer
+    // would consider itself fully granted here and start executing on the
+    // pre-T2 value — the exact lost-update window.
+    let (x_regrants, y_regrants): (Vec<_>, Vec<_>) =
+        t1_regrants.into_iter().partition(|r| r.item() == x);
+    assert!(!x_regrants.is_empty(), "X re-issues T1's grant after T2");
+    assert!(!y_regrants.is_empty(), "Y re-issues T1's grant at TS'");
+    for regrant in &y_regrants {
+        assert!(t1.on_reply(regrant).actions.is_empty());
+    }
+    assert!(
+        !t1.all_granted(),
+        "X still awaits its re-issued grant — the stale grant must not count"
+    );
+    let mut executing = false;
+    for regrant in &x_regrants {
+        let (_, at, _) = grant_at(regrant).unwrap();
+        assert_eq!(at, backed_off);
+        let out = t1.on_reply(regrant);
+        if out.actions.contains(&RiAction::StartExecution) {
+            executing = true;
+        }
+    }
+    assert!(executing, "fresh grants at TS' start execution");
+    assert_eq!(
+        t1.read_value(li(0)),
+        Some(111),
+        "T1 computes from the post-T2 value, not the stale 100"
+    );
+
+    // T1 increments what it actually read and commits.
+    t1.set_write_value(li(0), t1.read_value(li(0)).unwrap() + 1);
+    t1.set_write_value(li(1), 1);
+    let out = t1.on_execution_done();
+    assert!(out.actions.contains(&RiAction::FullyReleased));
+    for send in &out.sends {
+        route(&mut qms, SiteId(0), send);
+    }
+
+    // Both updates survived: T2's +11 and T1's +1 on top of it. Had the
+    // stale grant been honoured, T1 would have written 101 and erased
+    // T2's update.
+    assert_eq!(qms[0].value_of(x), Some(112), "no lost update");
+    assert_eq!(qms[1].value_of(y), Some(1), "T1's Y write landed");
+}

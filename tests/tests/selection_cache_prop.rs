@@ -1,0 +1,212 @@
+//! Property tests for the selection cache: memoizing the STL′ grid must
+//! never change a decision.
+//!
+//! The contract under test is the one the runtime relies on: within an
+//! epoch, the cached selector returns **byte-identical**
+//! [`SelectionDecision`]s to a fresh STL′ evaluation at the same epoch
+//! snapshot — memoization is transparency, not approximation. With
+//! quantization disabled the comparison is against the fresh evaluation of
+//! the transaction's own shape; with quantization enabled it is against
+//! the fresh evaluation of the bucket's canonical representative, and the
+//! hit and miss paths must agree with each other bit for bit.
+
+use dbmodel::{AccessMode, Catalog, Transaction};
+use dbmodel::{CcMethod, LogicalItemId, PhysicalItemId, ReplicationPolicy, SiteId, TxnId};
+use metrics::SimMetrics;
+use proptest::prelude::*;
+use selection::{
+    evaluate_decision, CacheSettings, CachedStlSelector, MethodParamSet, ProtocolParams,
+    SelectionCache, SelectionDecision, ShapeSummary, StlModel, StlSelector,
+};
+use simkit::time::{Duration, SimTime};
+
+/// Byte-level view of a decision (NaN-safe, unlike `PartialEq`).
+fn bits(d: &SelectionDecision) -> (CcMethod, u64, u64, u64, bool) {
+    (
+        d.method,
+        d.stl_2pl.to_bits(),
+        d.stl_to.to_bits(),
+        d.stl_pa.to_bits(),
+        d.exploratory,
+    )
+}
+
+fn arb_model() -> impl Strategy<Value = StlModel> {
+    // λ_w is kept a healthy fraction of λ_A so the escalation ladder stays
+    // shallow and 1000 cases stay fast; the estimators see the full range
+    // of regimes regardless (unloaded through saturated).
+    (
+        10.0f64..150.0,
+        0.02f64..0.25,
+        0.0f64..0.12,
+        0.0f64..=1.0,
+        1.0f64..8.0,
+    )
+        .prop_map(|(lambda_a, w_frac, r_frac, q_r, k)| StlModel {
+            lambda_a,
+            lambda_r: lambda_a * r_frac,
+            lambda_w: lambda_a * w_frac,
+            q_r,
+            k,
+        })
+}
+
+fn arb_params() -> impl Strategy<Value = ProtocolParams> {
+    (
+        0.0f64..0.2,
+        0.0f64..0.3,
+        0.0f64..=1.0,
+        0.0f64..=1.0,
+        0.0f64..=1.0,
+    )
+        .prop_map(
+            |(u_ok, u_denied, p_abort, p_read_denial, p_write_denial)| ProtocolParams {
+                u_ok,
+                u_denied,
+                p_abort,
+                p_read_denial,
+                p_write_denial,
+            },
+        )
+}
+
+fn arb_param_set() -> impl Strategy<Value = MethodParamSet> {
+    (arb_params(), arb_params(), arb_params()).prop_map(|(p2pl, to, pa)| MethodParamSet {
+        p2pl,
+        to,
+        pa,
+    })
+}
+
+fn arb_summary() -> impl Strategy<Value = ShapeSummary> {
+    (0usize..6, 0usize..6, 0.0f64..120.0, 0.0f64..240.0).prop_map(
+        |(m, n, read_loss, write_loss)| ShapeSummary {
+            m,
+            n,
+            read_loss,
+            write_loss,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 1000,
+        ..ProptestConfig::default()
+    })]
+
+    /// The headline equivalence: for random transaction shapes and random
+    /// protocol parameters, the cached selector's decision — miss path and
+    /// hit path alike — is byte-identical to a fresh `StlSelector`-style
+    /// evaluation at the same epoch snapshot (same model, same parameters).
+    #[test]
+    fn cached_decision_is_byte_identical_to_fresh_evaluation(
+        case in (arb_model(), arb_summary(), arb_param_set())
+    ) {
+        let (model, summary, params) = case;
+        let fresh = evaluate_decision(&model, &summary, &params);
+        let mut cache = SelectionCache::exact();
+        let miss = cache.decide(&model, &params, &summary);
+        let hit = cache.decide(&model, &params, &summary);
+        prop_assert_eq!(bits(&fresh), bits(&miss), "miss path diverged");
+        prop_assert_eq!(bits(&fresh), bits(&hit), "hit path diverged");
+        prop_assert_eq!(cache.hits(), 1);
+        prop_assert_eq!(cache.misses(), 1);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 300,
+        ..ProptestConfig::default()
+    })]
+
+    /// With quantization enabled, every decision equals the fresh
+    /// evaluation of the bucket's canonical representative, hit and miss
+    /// paths agree, and the representative lands in its own bucket.
+    #[test]
+    fn quantized_cache_is_internally_consistent(
+        case in (arb_model(), arb_summary(), arb_param_set(), 0.01f64..0.4)
+    ) {
+        let (model, summary, params, quant) = case;
+        let mut cache = SelectionCache::new(quant, 8192);
+        let key = cache.key_for(&summary);
+        let rep = cache.representative(key);
+        prop_assert_eq!(cache.key_for(&rep), key, "representative escaped its bucket");
+        let fresh_rep = evaluate_decision(&model, &rep, &params);
+        let miss = cache.decide(&model, &params, &summary);
+        let hit = cache.decide(&model, &params, &summary);
+        prop_assert_eq!(bits(&fresh_rep), bits(&miss));
+        prop_assert_eq!(bits(&miss), bits(&hit));
+    }
+}
+
+/// A warmed-up metrics collection whose rates are derived from `seed`.
+fn seeded_metrics(seed: u64, items: u64) -> SimMetrics {
+    let mut m = SimMetrics::new();
+    m.set_time_span(SimTime::ZERO, SimTime::from_secs(50));
+    for (mi, &method) in CcMethod::ALL.iter().enumerate() {
+        let commits = 40 + (seed >> (mi * 8)) % 60;
+        for _ in 0..commits {
+            m.record_commit(method, Duration::from_millis(20 + (seed % 50)));
+            m.record_lock_hold(method, Duration::from_millis(10 + (seed % 40)), false);
+        }
+        for _ in 0..(seed >> (mi * 4)) % 30 {
+            m.record_request_outcome(method, AccessMode::Read, seed.is_multiple_of(3));
+            m.record_request_outcome(method, AccessMode::Write, seed.is_multiple_of(5));
+        }
+    }
+    for i in 0..items {
+        let grants = 20 + (seed.wrapping_mul(i + 1) >> 7) % 400;
+        for _ in 0..grants {
+            m.record_grant(
+                PhysicalItemId::new(LogicalItemId(i), SiteId((i % 2) as u32)),
+                if (seed ^ i).is_multiple_of(3) {
+                    AccessMode::Write
+                } else {
+                    AccessMode::Read
+                },
+            );
+        }
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 60,
+        ..ProptestConfig::default()
+    })]
+
+    /// End to end: against frozen live-style metrics, the exact-keyed
+    /// cached selector and a fresh `StlSelector` walk in lockstep through
+    /// a stream of random transactions — warm-up rounds, exploration
+    /// rounds and cost-based decisions all byte-identical.
+    #[test]
+    fn cached_selector_matches_fresh_selector_against_frozen_metrics(seed in 0u64..u64::MAX) {
+        const ITEMS: u64 = 16;
+        let catalog = Catalog::generate(2, ITEMS, ReplicationPolicy::SingleCopy);
+        let metrics = seeded_metrics(seed, ITEMS);
+        let mut cached = CachedStlSelector::with_settings(CacheSettings {
+            quant_rel: 0.0,
+            warmup_commits: 20,
+            explore_every: 5,
+            ..CacheSettings::default()
+        });
+        let mut fresh = StlSelector::with_settings(20, 5);
+        for i in 0..12u64 {
+            let x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i);
+            let mut b = Transaction::builder(TxnId(i), SiteId(0));
+            for r in 0..(x % 4) {
+                b = b.read(LogicalItemId((x >> (r * 3)) % ITEMS));
+            }
+            for w in 0..(1 + (x >> 8) % 3) {
+                b = b.write(LogicalItemId((x >> (w * 5 + 16)) % ITEMS));
+            }
+            let txn = b.build();
+            let a = cached.select(&txn, &catalog, &metrics);
+            let e = fresh.select(&txn, &catalog, &metrics);
+            prop_assert_eq!(bits(&a), bits(&e), "selection {} diverged", i);
+        }
+    }
+}
