@@ -15,17 +15,18 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dbmodel::{CcMethod, LogicalItemId};
-use runtime::{CcPolicy, Database, RuntimeConfig, TxnSpec};
+use runtime::{CcPolicy, Database, RuntimeConfig, TransportKind, TxnSpec};
 
 const ITEMS: u64 = 64;
 const BATCH: u64 = 64;
 
-fn db(policy: CcPolicy) -> Database {
+fn db(policy: CcPolicy, transport: TransportKind) -> Database {
     Database::open(RuntimeConfig {
         num_shards: 4,
         num_items: ITEMS,
         initial_value: 100,
         policy,
+        transport,
         ..RuntimeConfig::default()
     })
     .expect("valid config")
@@ -65,16 +66,32 @@ fn throughput(c: &mut Criterion) {
     let policy_filter: Option<String> = std::env::var("M5_POLICY").ok();
 
     let mut group = c.benchmark_group("m5_runtime_batch64_latency");
-    for (label, policy) in [
-        ("static-2pl", CcPolicy::Static(CcMethod::TwoPhaseLocking)),
+    for (label, policy, transport) in [
+        (
+            "static-2pl",
+            CcPolicy::Static(CcMethod::TwoPhaseLocking),
+            TransportKind::BatchedRing,
+        ),
+        (
+            // The pre-batching baseline plane, for the transport
+            // before/after comparison on the same workload.
+            "static-2pl-mpsc",
+            CcPolicy::Static(CcMethod::TwoPhaseLocking),
+            TransportKind::Mpsc,
+        ),
         (
             "unified-mixed",
             CcPolicy::Mix {
                 p_2pl: 0.34,
                 p_to: 0.33,
             },
+            TransportKind::BatchedRing,
         ),
-        ("dynamic-stl", CcPolicy::DynamicStl),
+        (
+            "dynamic-stl",
+            CcPolicy::DynamicStl,
+            TransportKind::BatchedRing,
+        ),
     ] {
         if policy_filter.as_deref().is_some_and(|p| p != label) {
             continue;
@@ -83,7 +100,7 @@ fn throughput(c: &mut Criterion) {
             if thread_filter.is_some_and(|t| t != threads) {
                 continue;
             }
-            let database = db(policy);
+            let database = db(policy, transport);
             let mut round = 0u64;
             group.bench_function(format!("{label}/{threads}threads"), |b| {
                 b.iter(|| {

@@ -1,5 +1,5 @@
 //! E9 — live-runtime sweep: commit throughput and restart behaviour as a
-//! function of client count × shard count × method mix.
+//! function of client count × shard count × method mix × message plane.
 //!
 //! Unlike experiments E1–E8, which run on the discrete-event simulator,
 //! this experiment exercises the `runtime` crate: real client threads
@@ -8,39 +8,75 @@
 //! through the serializability oracle. The questions it answers are the
 //! ones the simulator cannot: how does *real* parallel throughput scale
 //! with cores (shards), how much does the method mix matter under genuine
-//! contention — and what does adaptive selection cost? The `dyn-cache`
-//! rows run the STL selector with the epoch-cached decision grid, the
-//! `dyn-fresh` rows re-evaluate the full STL′ dynamic program per
-//! transaction (the pre-cache behaviour); `sel us` and `hit%` report the
-//! mean per-selection overhead and the decision-grid hit rate.
+//! contention, what does adaptive selection cost — and what the message
+//! plane is worth. The `plane` column compares `ring` (the batched
+//! lock-free transport: per-shard send batching into an MPSC ring, whole
+//! ring drained per shard wakeup) against `mpsc` (the pre-batching
+//! `std::sync::mpsc` baseline, one message per send and one per recv).
+//! The `dyn-cache` rows run the STL selector with the epoch-cached
+//! decision grid over striped commit-path-free metrics; the `dyn-fresh`
+//! rows re-evaluate the full STL′ dynamic program per transaction against
+//! freshly merged metrics (the pre-cache behaviour); `sel us` and `hit%`
+//! report the mean per-selection overhead and the decision-grid hit rate.
 //!
 //! Run with: `cargo run --release -p bench --bin exp9_runtime_sweep`
+//!
+//! Environment knobs (used by the CI smoke step):
+//!
+//! * `EXP9_SMOKE=1` — restrict the sweep to the 8-clients × 4-shards
+//!   cells only.
+//! * `EXP9_GATE=<ratio>` — after the sweep, fail (exit 1) unless the
+//!   batched ring plane achieved at least `<ratio>` × the mpsc baseline's
+//!   txn/s on the 8 × 4 static-2PL cell.
 
 use std::time::Instant;
 
 use bench::table;
 use dbmodel::{CcMethod, LogicalItemId};
-use runtime::{CcPolicy, Database, RuntimeConfig, TxnSpec};
+use runtime::{CcPolicy, Database, RuntimeConfig, TransportKind, TxnSpec};
 
 const ITEMS: u64 = 96;
-const TXNS_PER_CLIENT: u64 = 150;
 
-/// One sweep configuration: an assignment policy plus, for the dynamic
-/// policy, whether the selection cache is enabled.
+/// Transfers per client thread; `EXP9_TXNS` overrides (longer runs give
+/// stabler txn/s on noisy machines).
+fn txns_per_client() -> u64 {
+    std::env::var("EXP9_TXNS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(150)
+}
+
+/// One sweep configuration: an assignment policy, the message plane,
+/// whether the dynamic policy runs cached, and the transaction shape.
 #[derive(Clone, Copy)]
 struct Cell {
     label: &'static str,
     policy: CcPolicy,
     cached: bool,
+    transport: TransportKind,
+    /// `false`: the classic 2-item transfer (one message per shard per
+    /// phase — the plane's batcher has nothing to group). `true`: a wide
+    /// 4-read + 4-write read-modify-write transaction, the message-heavy
+    /// shape the plane comparison is gated on.
+    wide: bool,
 }
 
-fn run_cell(clients: u64, shards: u32, cell: Cell) -> Vec<String> {
+fn plane_name(transport: TransportKind) -> &'static str {
+    match transport {
+        TransportKind::BatchedRing => "ring",
+        TransportKind::Mpsc => "mpsc",
+    }
+}
+
+/// Run one cell; returns the table row and the measured txn/s.
+fn run_cell(clients: u64, shards: u32, cell: Cell) -> (Vec<String>, f64) {
     let defaults = RuntimeConfig::default();
     let db = Database::open(RuntimeConfig {
         num_shards: shards,
         num_items: ITEMS,
         initial_value: 1_000,
         policy: cell.policy,
+        transport: cell.transport,
         selection_cache: if cell.cached {
             defaults.selection_cache
         } else {
@@ -51,22 +87,42 @@ fn run_cell(clients: u64, shards: u32, cell: Cell) -> Vec<String> {
     .expect("valid config");
 
     let begun = Instant::now();
+    let per_client = txns_per_client();
     let workers: Vec<_> = (0..clients)
         .map(|t| {
             let db = db.clone();
             std::thread::spawn(move || {
-                for k in 0..TXNS_PER_CLIENT {
+                for k in 0..per_client {
                     let i = t * 131 + k * 17;
-                    let from = LogicalItemId(i % ITEMS);
-                    let to = LogicalItemId((i * 5 + 1) % ITEMS);
-                    if from == to {
-                        continue;
+                    if cell.wide {
+                        // 4 reads + 4 writes on disjoint items: eight
+                        // messages per phase for the plane to batch.
+                        let base = i % ITEMS;
+                        let reads: Vec<_> = (0..4)
+                            .map(|j| LogicalItemId((base + 2 * j) % ITEMS))
+                            .collect();
+                        let writes: Vec<_> = (0..4)
+                            .map(|j| LogicalItemId((base + 2 * j + 1) % ITEMS))
+                            .collect();
+                        let spec = TxnSpec::new()
+                            .reads(reads.iter().copied())
+                            .writes(writes.iter().copied());
+                        db.run_transaction(&spec, |seen| {
+                            writes.iter().map(|&w| (w, seen[&w] + 1)).collect()
+                        })
+                        .expect("sweep transaction commits");
+                    } else {
+                        let from = LogicalItemId(i % ITEMS);
+                        let to = LogicalItemId((i * 5 + 1) % ITEMS);
+                        if from == to {
+                            continue;
+                        }
+                        let spec = TxnSpec::new().write(from).write(to);
+                        db.run_transaction(&spec, |reads| {
+                            vec![(from, reads[&from] - 1), (to, reads[&to] + 1)]
+                        })
+                        .expect("sweep transaction commits");
                     }
-                    let spec = TxnSpec::new().write(from).write(to);
-                    db.run_transaction(&spec, |reads| {
-                        vec![(from, reads[&from] - 1), (to, reads[&to] + 1)]
-                    })
-                    .expect("sweep transaction commits");
                 }
             })
         })
@@ -79,12 +135,14 @@ fn run_cell(clients: u64, shards: u32, cell: Cell) -> Vec<String> {
     let stats = db.stats();
     let report = db.shutdown().expect("shutdown");
     let serializable = report.serializable().is_ok();
-    vec![
+    let txn_per_sec = stats.committed as f64 / elapsed;
+    let row = vec![
         clients.to_string(),
         shards.to_string(),
         cell.label.to_string(),
+        plane_name(cell.transport).to_string(),
         stats.committed.to_string(),
-        format!("{:.0}", stats.committed as f64 / elapsed),
+        format!("{txn_per_sec:.0}"),
         stats.restarts().to_string(),
         stats.backoff_rounds.to_string(),
         if stats.selections > 0 {
@@ -102,20 +160,26 @@ fn run_cell(clients: u64, shards: u32, cell: Cell) -> Vec<String> {
         } else {
             "NO".into()
         },
-    ]
+    ];
+    (row, txn_per_sec)
 }
 
 fn main() {
-    println!("E9: live runtime sweep — clients x shards x method mix");
+    let smoke = std::env::var("EXP9_SMOKE").is_ok_and(|v| v == "1");
+    let gate: Option<f64> = std::env::var("EXP9_GATE").ok().and_then(|s| s.parse().ok());
+
+    println!("E9: live runtime sweep — clients x shards x method mix x plane");
     println!(
-        "    ({TXNS_PER_CLIENT} transfers per client over {ITEMS} items, read-modify-write)\n"
+        "    ({} transfers per client over {ITEMS} items, read-modify-write)\n",
+        txns_per_client()
     );
-    let widths = [7, 6, 9, 10, 10, 9, 9, 8, 5, 6];
+    let widths = [7, 6, 9, 5, 10, 10, 9, 9, 8, 5, 6];
     table::header(
         &[
             "clients",
             "shards",
             "policy",
+            "plane",
             "committed",
             "txn/s",
             "restarts",
@@ -131,6 +195,29 @@ fn main() {
             label: "2PL",
             policy: CcPolicy::Static(CcMethod::TwoPhaseLocking),
             cached: true,
+            transport: TransportKind::BatchedRing,
+            wide: false,
+        },
+        Cell {
+            label: "2PL",
+            policy: CcPolicy::Static(CcMethod::TwoPhaseLocking),
+            cached: true,
+            transport: TransportKind::Mpsc,
+            wide: false,
+        },
+        Cell {
+            label: "2PL-w8",
+            policy: CcPolicy::Static(CcMethod::TwoPhaseLocking),
+            cached: true,
+            transport: TransportKind::BatchedRing,
+            wide: true,
+        },
+        Cell {
+            label: "2PL-w8",
+            policy: CcPolicy::Static(CcMethod::TwoPhaseLocking),
+            cached: true,
+            transport: TransportKind::Mpsc,
+            wide: true,
         },
         Cell {
             label: "mixed",
@@ -139,24 +226,90 @@ fn main() {
                 p_to: 0.33,
             },
             cached: true,
+            transport: TransportKind::BatchedRing,
+            wide: false,
         },
         Cell {
             label: "dyn-cache",
             policy: CcPolicy::DynamicStl,
             cached: true,
+            transport: TransportKind::BatchedRing,
+            wide: false,
         },
         Cell {
             label: "dyn-fresh",
             policy: CcPolicy::DynamicStl,
             cached: false,
+            transport: TransportKind::BatchedRing,
+            wide: false,
         },
     ];
-    for &shards in &[1u32, 2, 4] {
-        for &clients in &[1u64, 4, 8] {
+    let shard_axis: &[u32] = if smoke { &[GATE_SHARDS] } else { &[1, 2, 4] };
+    let client_axis: &[u64] = if smoke { &[GATE_CLIENTS] } else { &[1, 4, 8] };
+    for &shards in shard_axis {
+        for &clients in client_axis {
             for &cell in &cells {
-                table::row(&run_cell(clients, shards, cell), &widths);
+                let (row, _) = run_cell(clients, shards, cell);
+                table::row(&row, &widths);
             }
         }
         println!();
     }
+
+    let ratio = gate_comparison(&cells);
+    if let Some(required) = gate {
+        if ratio < required {
+            eprintln!(
+                "FAIL: batched ring plane is below the required {required:.2}x \
+                 of the mpsc baseline"
+            );
+            std::process::exit(1);
+        }
+        println!("gate passed (required {required:.2}x)");
+    }
+}
+
+/// The cell the CI gate compares across planes: the message-heavy wide
+/// transaction, where the plane actually has batches to build.
+const GATE_CLIENTS: u64 = 8;
+const GATE_SHARDS: u32 = 4;
+
+/// Re-run the two gate cells alternately (`EXP9_REPS` repetitions,
+/// default 3) and compare the medians — single runs on a loaded machine
+/// swing by tens of percent, alternating medians cancel the drift.
+fn gate_comparison(cells: &[Cell]) -> f64 {
+    let reps: usize = std::env::var("EXP9_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let gate_cell = |transport| {
+        *cells
+            .iter()
+            .find(|c| c.wide && c.transport == transport)
+            .expect("gate cells present")
+    };
+    let mut ring_runs = Vec::new();
+    let mut mpsc_runs = Vec::new();
+    for _ in 0..reps {
+        ring_runs.push(
+            run_cell(
+                GATE_CLIENTS,
+                GATE_SHARDS,
+                gate_cell(TransportKind::BatchedRing),
+            )
+            .1,
+        );
+        mpsc_runs.push(run_cell(GATE_CLIENTS, GATE_SHARDS, gate_cell(TransportKind::Mpsc)).1);
+    }
+    let median = |runs: &mut Vec<f64>| {
+        runs.sort_by(f64::total_cmp);
+        runs[runs.len() / 2]
+    };
+    let (ring, mpsc) = (median(&mut ring_runs), median(&mut mpsc_runs));
+    let ratio = ring / mpsc;
+    println!(
+        "gate cell ({GATE_CLIENTS} clients x {GATE_SHARDS} shards, 2PL-w8, median of {reps}): \
+         ring {ring:.0} txn/s vs mpsc {mpsc:.0} txn/s — {ratio:.2}x"
+    );
+    ratio
 }

@@ -93,6 +93,22 @@ impl MethodStats {
         let attempts = self.committed.get() + self.restarts();
         ratio(self.deadlock_aborts.get(), attempts)
     }
+
+    /// Fold another method's statistics into this one (used to combine
+    /// per-thread metric stripes into one view).
+    pub fn merge_from(&mut self, other: &MethodStats) {
+        self.committed.add(other.committed.get());
+        self.rejections.add(other.rejections.get());
+        self.deadlock_aborts.add(other.deadlock_aborts.get());
+        self.backoff_rounds.add(other.backoff_rounds.get());
+        self.system_time.merge(&other.system_time);
+        self.lock_time_ok.merge(&other.lock_time_ok);
+        self.lock_time_aborted.merge(&other.lock_time_aborted);
+        self.read_requests.0 += other.read_requests.0;
+        self.read_requests.1 += other.read_requests.1;
+        self.write_requests.0 += other.write_requests.0;
+        self.write_requests.1 += other.write_requests.1;
+    }
 }
 
 fn ratio(num: u64, den: u64) -> f64 {
@@ -232,6 +248,30 @@ impl SimMetrics {
     /// Record that a transaction was observed blocked during a deadlock scan.
     pub fn record_blocked_observation(&mut self) {
         self.blocked_observations.incr();
+    }
+
+    /// Fold another collection into this one. Counts, histograms and
+    /// running statistics combine exactly (the merged result equals what
+    /// sequential recording of both event streams would have produced);
+    /// the receiver's time span is kept, so set it before deriving rates.
+    ///
+    /// This is the epoch-boundary half of commit-path-free metrics: client
+    /// threads record into private stripes, and only the selector's re-fit
+    /// (or a final report) pays for merging them.
+    pub fn merge_from(&mut self, other: &SimMetrics) {
+        for (&method, stats) in &other.per_method {
+            self.method_mut(method).merge_from(stats);
+        }
+        for (&item, &count) in &other.read_grants {
+            *self.read_grants.entry(item).or_insert(0) += count;
+        }
+        for (&item, &count) in &other.write_grants {
+            *self.write_grants.entry(item).or_insert(0) += count;
+        }
+        self.total_committed.add(other.total_committed.get());
+        self.blocked_observations
+            .add(other.blocked_observations.get());
+        self.overall_system_time.merge(&other.overall_system_time);
     }
 
     /// Read-lock throughput of one item, in grants per simulated second
@@ -445,6 +485,53 @@ mod tests {
             .method(CcMethod::TwoPhaseLocking)
             .deadlock_abort_prob();
         assert!((p - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_from_matches_sequential_recording() {
+        // The same event stream recorded once sequentially and once split
+        // over two collections must produce identical aggregates.
+        let mut all = m();
+        let mut a = SimMetrics::new();
+        let mut b = SimMetrics::new();
+        for i in 0..120u64 {
+            let target = if i % 3 == 0 { &mut a } else { &mut b };
+            let method = CcMethod::ALL[(i % 3) as usize];
+            let ms = 10 + (i % 7) * 13;
+            all.record_commit(method, Duration::from_millis(ms));
+            target.record_commit(method, Duration::from_millis(ms));
+            all.record_grant(pi(i % 5, 0), AccessMode::Read);
+            target.record_grant(pi(i % 5, 0), AccessMode::Read);
+            if i % 4 == 0 {
+                all.record_grant(pi(i % 5, 0), AccessMode::Write);
+                target.record_grant(pi(i % 5, 0), AccessMode::Write);
+                all.record_request_outcome(method, AccessMode::Write, i % 8 == 0);
+                target.record_request_outcome(method, AccessMode::Write, i % 8 == 0);
+                all.record_restart(method, TxnOutcome::RejectedRestart);
+                target.record_restart(method, TxnOutcome::RejectedRestart);
+                all.record_lock_hold(method, Duration::from_millis(ms), i % 8 == 0);
+                target.record_lock_hold(method, Duration::from_millis(ms), i % 8 == 0);
+            }
+        }
+        let mut merged = SimMetrics::new();
+        merged.merge_from(&a);
+        merged.merge_from(&b);
+        merged.set_time_span(SimTime::ZERO, SimTime::from_secs(10));
+        assert_eq!(merged.total_committed.get(), all.total_committed.get());
+        assert!((merged.mean_system_time() - all.mean_system_time()).abs() < 1e-12);
+        assert!((merged.system_throughput() - all.system_throughput()).abs() < 1e-9);
+        assert!((merged.read_fraction() - all.read_fraction()).abs() < 1e-12);
+        assert_eq!(merged.item_rates(), all.item_rates());
+        for &method in &CcMethod::ALL {
+            let (x, y) = (merged.method(method), all.method(method));
+            assert_eq!(x.committed.get(), y.committed.get());
+            assert_eq!(x.restarts(), y.restarts());
+            assert_eq!(x.read_requests, y.read_requests);
+            assert_eq!(x.write_requests, y.write_requests);
+            assert!((x.mean_system_time() - y.mean_system_time()).abs() < 1e-12);
+            assert!((x.lock_time_ok.mean() - y.lock_time_ok.mean()).abs() < 1e-12);
+            assert!((x.deadlock_abort_prob() - y.deadlock_abort_prob()).abs() < 1e-12);
+        }
     }
 
     #[test]

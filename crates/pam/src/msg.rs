@@ -62,7 +62,10 @@ pub enum GrantClass {
 }
 
 /// Messages from a request issuer to a data-queue manager.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Plain value data end to end (`Copy`), so the runtime's send batcher can
+/// regroup messages per destination without touching the heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RequestMsg {
     /// A read or write request for one physical item.
     Access {

@@ -25,6 +25,21 @@ pub enum CcPolicy {
     DynamicStl,
 }
 
+/// Which message plane carries protocol messages from client threads to
+/// the shard threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// The batched lock-free plane (default): per-transaction sends are
+    /// grouped per destination shard and enqueued on a bounded MPSC ring
+    /// (`transport::ring`); each shard wakeup drains the whole ring.
+    #[default]
+    BatchedRing,
+    /// The pre-batching baseline: one `std::sync::mpsc` sync-channel send
+    /// per protocol message, one recv per shard wakeup. Kept for
+    /// overhead comparisons (the `exp9` `*-mpsc` rows).
+    Mpsc,
+}
+
 /// Errors reported by [`RuntimeConfig::validate`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConfigError {
@@ -78,8 +93,11 @@ pub struct RuntimeConfig {
     /// PA's backoff interval `INT` (in timestamp units).
     pub pa_backoff_interval: u64,
     /// Bound of each shard's command inbox; clients block (backpressure)
-    /// when a shard falls behind.
+    /// when a shard falls behind. For [`TransportKind::BatchedRing`] the
+    /// bound is rounded up to the next power of two.
     pub shard_inbox_capacity: usize,
+    /// The message plane between clients and shards.
+    pub transport: TransportKind,
     /// Period of the background deadlock detector.
     pub deadlock_scan_interval: Duration,
     /// Restart attempts per transaction before giving up with
@@ -110,6 +128,7 @@ impl Default for RuntimeConfig {
             policy: CcPolicy::Static(CcMethod::TwoPhaseLocking),
             pa_backoff_interval: 1_000,
             shard_inbox_capacity: 256,
+            transport: TransportKind::BatchedRing,
             deadlock_scan_interval: Duration::from_millis(5),
             max_restarts: 256,
             restart_backoff: Duration::from_micros(200),

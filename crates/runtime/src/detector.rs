@@ -15,7 +15,7 @@
 //! incarnation that is no longer waiting.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -24,7 +24,7 @@ use dbmodel::{CcMethod, TxnId};
 use unified_cc::WaitForGraph;
 
 use crate::registry::Registry;
-use crate::shard::ShardCmd;
+use crate::shard::{ShardCmd, ShardSender};
 use crate::stats::RuntimeStats;
 
 /// How long the detector waits for one shard's edge report before skipping
@@ -34,7 +34,7 @@ const EDGE_REPORT_TIMEOUT: Duration = Duration::from_millis(100);
 /// Spawn the detector thread. It stops when `stop` receives a message or
 /// all senders of `stop` are dropped.
 pub(crate) fn spawn(
-    shards: Vec<SyncSender<ShardCmd>>,
+    shards: Vec<ShardSender>,
     registry: Arc<Registry>,
     stats: Arc<RuntimeStats>,
     interval: Duration,
@@ -57,20 +57,16 @@ pub(crate) fn spawn(
 }
 
 /// One scan: gather edges, find cycles, signal victims.
-pub(crate) fn scan_once(
-    shards: &[SyncSender<ShardCmd>],
-    registry: &Registry,
-    stats: &RuntimeStats,
-) {
+pub(crate) fn scan_once(shards: &[ShardSender], registry: &Registry, stats: &RuntimeStats) {
     let mut edges: Vec<(TxnId, TxnId)> = Vec::new();
     for shard in shards {
-        let (tx, rx) = mpsc::channel();
+        let (tx, rx) = transport::oneshot::channel();
         if shard.send(ShardCmd::WaitEdges(tx)).is_err() {
             continue; // shard already shut down
         }
         match rx.recv_timeout(EDGE_REPORT_TIMEOUT) {
             Ok(shard_edges) => edges.extend(shard_edges),
-            Err(_) => continue, // slow shard: skip this scan
+            Err(_) => continue, // slow or shut-down shard: skip this scan
         }
     }
     if edges.is_empty() {
@@ -89,11 +85,12 @@ pub(crate) fn scan_once(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::TransportKind;
     use crate::registry::ClientEvent;
-    use crate::shard::{ShardCmd, ShardHandle};
+    use crate::shard::{inbox_pair, ShardCmd, ShardHandle};
     use dbmodel::{AccessMode, LogicalItemId, PhysicalItemId, SiteId, Timestamp, TsTuple, TxnId};
     use pam::RequestMsg;
-    use std::sync::mpsc::Receiver;
+    use std::sync::mpsc::{self, Receiver};
     use std::time::Duration;
     use unified_cc::{EnforcementMode, QueueManager};
 
@@ -110,7 +107,7 @@ mod tests {
     ) -> ShardHandle {
         let mut qm = QueueManager::new(SiteId(site));
         qm.add_item(it, 0, EnforcementMode::SemiLock);
-        let (tx, rx) = mpsc::sync_channel(16);
+        let (tx, rx) = inbox_pair(TransportKind::BatchedRing, 16);
         crate::shard::spawn(qm, idx, rx, tx, Arc::clone(registry), Arc::clone(stats))
     }
 
@@ -129,16 +126,20 @@ mod tests {
 
     fn expect_grant(rx: &Receiver<ClientEvent>) {
         match rx.recv_timeout(Duration::from_secs(2)) {
-            Ok(ClientEvent::Reply(pam::ReplyMsg::Grant { .. })) => {}
+            Ok(ClientEvent::Replies(batch))
+                if matches!(batch.iter().next(), Some(pam::ReplyMsg::Grant { .. })) => {}
             other => panic!("expected a grant, got {other:?}"),
         }
     }
 
     /// Block until `shard` reports `txn` queued without a grant.
-    fn wait_until_waiting(shard: &SyncSender<ShardCmd>, txn: TxnId) {
+    fn wait_until_waiting(shard: &ShardSender, txn: TxnId) {
         for _ in 0..200 {
-            let (tx, rx) = mpsc::channel();
-            shard.send(ShardCmd::Waiting(tx)).expect("shard alive");
+            let (tx, rx) = transport::oneshot::channel();
+            shard
+                .send(ShardCmd::Waiting(tx))
+                .map_err(|_| ())
+                .expect("shard alive");
             if rx
                 .recv_timeout(Duration::from_secs(2))
                 .expect("shard replies")

@@ -13,12 +13,22 @@ use std::sync::Mutex;
 
 use dbmodel::{CcMethod, TxnId};
 use pam::ReplyMsg;
+use transport::batch::SmallBatch;
 
 /// An event delivered to the client thread driving one incarnation.
+// The variant size gap is deliberate: reply batches travel inline so no
+// heap allocation crosses the shard→client boundary, and the victim
+// signal is rare enough that padding it costs nothing.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub(crate) enum ClientEvent {
-    /// A queue-manager reply.
-    Reply(ReplyMsg),
+    /// One or more queue-manager replies for this incarnation, in
+    /// processing order. A shard's batch flush groups the consecutive
+    /// replies a transaction earned in one drained batch (e.g. all grants
+    /// of a multi-item access phase at that shard) into a single event,
+    /// so the waiting client is woken once per shard per phase, not once
+    /// per item.
+    Replies(SmallBatch<ReplyMsg>),
     /// The deadlock detector chose this incarnation as a victim.
     DeadlockVictim,
 }
@@ -56,15 +66,33 @@ impl Registry {
         self.inner.lock().expect("registry poisoned").len()
     }
 
-    /// Deliver a queue-manager reply to its incarnation; drops the reply if
-    /// the incarnation is gone (stale message).
-    pub(crate) fn deliver(&self, reply: ReplyMsg) {
+    /// Deliver a batch of replies under a single registry lock — the shard
+    /// loop flushes all replies produced by one drained command batch this
+    /// way, so registry lock traffic scales with batches, not messages —
+    /// coalescing consecutive same-transaction runs into single events.
+    pub(crate) fn deliver_all<I: IntoIterator<Item = ReplyMsg>>(&self, replies: I) {
         let map = self.inner.lock().expect("registry poisoned");
-        if let Some(entry) = map.get(&reply.txn()) {
-            // A send error means the client hung up between deregistering
-            // and dropping the receiver; equivalent to a stale reply.
-            let _ = entry.sender.send(ClientEvent::Reply(reply));
+        let mut run: SmallBatch<ReplyMsg> = SmallBatch::new();
+        let mut run_txn: Option<TxnId> = None;
+        let flush = |txn: Option<TxnId>, run: SmallBatch<ReplyMsg>| {
+            let Some(txn) = txn else { return };
+            if let Some(entry) = map.get(&txn) {
+                // A send error means the client hung up between
+                // deregistering and dropping the receiver; equivalent to a
+                // stale reply.
+                let _ = entry.sender.send(ClientEvent::Replies(run));
+            }
+        };
+        for reply in replies {
+            if run_txn == Some(reply.txn()) {
+                run.push(reply);
+                continue;
+            }
+            flush(run_txn, std::mem::take(&mut run));
+            run_txn = Some(reply.txn());
+            run.push(reply);
         }
+        flush(run_txn, run);
     }
 
     /// The method a live incarnation runs under.
@@ -105,13 +133,13 @@ mod tests {
         let (tx, rx) = mpsc::channel();
         registry.register(TxnId(1), CcMethod::TwoPhaseLocking, tx);
         assert_eq!(registry.len(), 1);
-        registry.deliver(reply(1));
-        registry.deliver(reply(2)); // unknown: dropped silently
-        assert!(matches!(rx.try_recv(), Ok(ClientEvent::Reply(_))));
+        // One locked pass delivers the known reply and drops the unknown.
+        registry.deliver_all([reply(1), reply(2)]);
+        assert!(matches!(rx.try_recv(), Ok(ClientEvent::Replies(_))));
         assert!(rx.try_recv().is_err());
         registry.deregister(TxnId(1));
         assert_eq!(registry.len(), 0);
-        registry.deliver(reply(1)); // now stale: dropped
+        registry.deliver_all([reply(1)]); // now stale: dropped
         assert!(rx.try_recv().is_err());
     }
 

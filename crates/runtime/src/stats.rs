@@ -1,8 +1,76 @@
-//! Lock-free runtime counters and their copyable snapshot.
+//! Lock-free runtime counters, striped metric shards and their copyable
+//! snapshot.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
+use metrics::SimMetrics;
 use selection::CacheStats;
+use simkit::time::SimTime;
+use transport::CachePadded;
+
+/// Commit-path-free metric collection: `SimMetrics` striped over
+/// thread-affine shards. Each recording thread owns one stripe (threads
+/// are assigned round-robin on first use), so the stripe mutex it takes
+/// is effectively private — recording never contends with other
+/// recorders, and never with admission. The only reader that touches
+/// other stripes is [`MetricsShards::merged`], which the selector calls
+/// at epoch-refit boundaries (and shutdown calls once); it locks each
+/// stripe briefly in turn, so a refit can run *while* commits keep
+/// recording.
+pub(crate) struct MetricsShards {
+    stripes: Box<[CachePadded<Mutex<SimMetrics>>]>,
+    next_stripe: AtomicUsize,
+}
+
+/// Stripes in a [`MetricsShards`]. Chosen to comfortably exceed typical
+/// client-thread counts; threads beyond this share stripes round-robin
+/// (still correct, marginally more contention).
+const METRIC_STRIPES: usize = 16;
+
+thread_local! {
+    /// This thread's stripe assignment (`usize::MAX` = unassigned).
+    static STRIPE: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+impl MetricsShards {
+    pub(crate) fn new() -> Self {
+        MetricsShards {
+            stripes: (0..METRIC_STRIPES)
+                .map(|_| CachePadded::new(Mutex::new(SimMetrics::new())))
+                .collect(),
+            next_stripe: AtomicUsize::new(0),
+        }
+    }
+
+    /// Record into the calling thread's stripe.
+    pub(crate) fn with_local<R>(&self, f: impl FnOnce(&mut SimMetrics) -> R) -> R {
+        let idx = STRIPE.with(|slot| {
+            let mut idx = slot.get();
+            if idx == usize::MAX {
+                idx = self.next_stripe.fetch_add(1, Ordering::Relaxed) % METRIC_STRIPES;
+                slot.set(idx);
+            }
+            idx
+        });
+        let mut stripe = self.stripes[idx % METRIC_STRIPES]
+            .lock()
+            .expect("metrics stripe poisoned");
+        f(&mut stripe)
+    }
+
+    /// Fold every stripe into one collection covering `[0, end]`.
+    pub(crate) fn merged(&self, end: SimTime) -> SimMetrics {
+        let mut merged = SimMetrics::new();
+        for stripe in self.stripes.iter() {
+            let stripe = stripe.lock().expect("metrics stripe poisoned");
+            merged.merge_from(&stripe);
+        }
+        merged.set_time_span(SimTime::ZERO, end);
+        merged
+    }
+}
 
 /// Counters one shard thread maintains about its own queue manager: the
 /// per-shard half of the feedback loop that drives the selection cache's
@@ -63,6 +131,15 @@ pub(crate) struct RuntimeStats {
     pub(crate) selections: AtomicU64,
     /// Wall-clock nanoseconds spent inside the selector (dynamic policy).
     pub(crate) selection_nanos: AtomicU64,
+    /// Mirror of the cached selector's counters, republished after every
+    /// selection so [`crate::Database::stats`] never takes the selector
+    /// mutex (stats polling must not contend with admission).
+    pub(crate) cache_hits: AtomicU64,
+    pub(crate) cache_misses: AtomicU64,
+    pub(crate) cache_refits: AtomicU64,
+    pub(crate) cache_flushes: AtomicU64,
+    pub(crate) cache_entries: AtomicU64,
+    pub(crate) cache_epoch: AtomicU64,
     pub(crate) per_shard: Vec<ShardCounters>,
 }
 
@@ -121,9 +198,29 @@ impl RuntimeStats {
             implemented_ops: self.implemented_ops.load(Ordering::Relaxed),
             selections: self.selections.load(Ordering::Relaxed),
             selection_nanos: self.selection_nanos.load(Ordering::Relaxed),
-            cache: CacheStats::default(),
+            cache: CacheStats {
+                hits: self.cache_hits.load(Ordering::Relaxed),
+                misses: self.cache_misses.load(Ordering::Relaxed),
+                refits: self.cache_refits.load(Ordering::Relaxed),
+                flushes: self.cache_flushes.load(Ordering::Relaxed),
+                entries: self.cache_entries.load(Ordering::Relaxed),
+                epoch: self.cache_epoch.load(Ordering::Relaxed),
+            },
             per_shard: self.per_shard.iter().map(ShardCounters::snapshot).collect(),
         }
+    }
+
+    /// Republish the cached selector's counters (called with the selector
+    /// mutex already released). Monotone counters use `fetch_max` so a
+    /// publisher racing with a fresher snapshot can never walk them
+    /// backwards; `entries` is a gauge and takes the last write.
+    pub(crate) fn publish_cache_stats(&self, cs: CacheStats) {
+        self.cache_hits.fetch_max(cs.hits, Ordering::Relaxed);
+        self.cache_misses.fetch_max(cs.misses, Ordering::Relaxed);
+        self.cache_refits.fetch_max(cs.refits, Ordering::Relaxed);
+        self.cache_flushes.fetch_max(cs.flushes, Ordering::Relaxed);
+        self.cache_entries.store(cs.entries, Ordering::Relaxed);
+        self.cache_epoch.fetch_max(cs.epoch, Ordering::Relaxed);
     }
 
     /// Total pre-scheduled (conflicted) grants over all shards.

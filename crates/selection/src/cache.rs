@@ -478,6 +478,36 @@ impl CacheStats {
     }
 }
 
+/// Where a selection reads its metrics from: a borrowed live collection
+/// (the simulator path), or a merge thunk evaluated at most once and only
+/// when the selection actually needs metrics — warm-up, a drift probe, or
+/// an epoch re-fit (the sharded runtime path, where "merge" folds the
+/// per-thread metric stripes and is deliberately kept off the fast path).
+enum MetricsSource<'a, F: FnOnce() -> SimMetrics> {
+    Borrowed(&'a SimMetrics),
+    Lazy {
+        merge: Option<F>,
+        merged: Option<SimMetrics>,
+    },
+}
+
+impl<F: FnOnce() -> SimMetrics> MetricsSource<'_, F> {
+    fn get(&mut self) -> &SimMetrics {
+        match self {
+            MetricsSource::Borrowed(m) => m,
+            MetricsSource::Lazy { merge, merged } => {
+                if merged.is_none() {
+                    *merged = Some((merge.take().expect("merge thunk consumed twice"))());
+                }
+                merged.as_ref().expect("just filled")
+            }
+        }
+    }
+}
+
+/// The `F` type for [`MetricsSource::Borrowed`], which never merges.
+type NoMerge = fn() -> SimMetrics;
+
 /// The drop-in cached variant of [`StlSelector`]: same warm-up and
 /// exploration behaviour, same decisions, but the STL′ grid is evaluated
 /// once per distinct (quantized) shape per epoch instead of once per
@@ -488,6 +518,10 @@ pub struct CachedStlSelector {
     pub settings: CacheSettings,
     counter: u64,
     refits: u64,
+    /// Latched once every method has enough commits. Warm-up is monotone
+    /// in the (monotone) metrics, so latching it lets the fast path skip
+    /// the metrics read entirely.
+    warmed: bool,
     snapshot: Option<EpochSnapshot>,
     cache: SelectionCache,
 }
@@ -510,6 +544,7 @@ impl CachedStlSelector {
             settings,
             counter: 0,
             refits: 0,
+            warmed: false,
             snapshot: None,
             cache: SelectionCache::new(settings.quant_rel, settings.max_entries),
         }
@@ -535,15 +570,70 @@ impl CachedStlSelector {
         metrics: &SimMetrics,
         signal: WorkloadSignal,
     ) -> SelectionDecision {
+        let commits = metrics.total_committed.get();
+        self.select_core::<NoMerge>(
+            txn,
+            catalog,
+            signal,
+            commits,
+            MetricsSource::Borrowed(metrics),
+        )
+    }
+
+    /// Choose the concurrency-control method for `txn` against *sharded*
+    /// metrics: `commits` is the embedder's commit counter and `merge`
+    /// folds its metric stripes into one collection. The thunk is invoked
+    /// at most once, and only when the selection needs metrics — before
+    /// warm-up completes, on a scheduled drift probe, or to fit a new
+    /// epoch snapshot. The steady-state fast path (a grid hit within an
+    /// epoch) never merges and never takes a metrics lock.
+    pub fn select_sharded<F: FnOnce() -> SimMetrics>(
+        &mut self,
+        txn: &Transaction,
+        catalog: &Catalog,
+        signal: WorkloadSignal,
+        commits: u64,
+        merge: F,
+    ) -> SelectionDecision {
+        self.select_core(
+            txn,
+            catalog,
+            signal,
+            commits,
+            MetricsSource::Lazy {
+                merge: Some(merge),
+                merged: None,
+            },
+        )
+    }
+
+    fn select_core<F: FnOnce() -> SimMetrics>(
+        &mut self,
+        txn: &Transaction,
+        catalog: &Catalog,
+        signal: WorkloadSignal,
+        commits: u64,
+        mut source: MetricsSource<'_, F>,
+    ) -> SelectionDecision {
         self.counter += 1;
-        if !StlSelector::warmed_up(metrics, self.settings.warmup_commits)
-            || is_exploration_round(self.counter, self.settings.explore_every)
-        {
+        if !self.warmed {
+            // Exact, metrics-free pre-filter: fewer than `3 × warmup`
+            // total commits means *some* method is still below its
+            // warm-up bar, so the (possibly expensive, lazily merged)
+            // per-method check can be skipped outright.
+            if commits < self.settings.warmup_commits.saturating_mul(3)
+                || !StlSelector::warmed_up(source.get(), self.settings.warmup_commits)
+            {
+                return exploratory_decision(self.counter);
+            }
+            self.warmed = true;
+        }
+        if is_exploration_round(self.counter, self.settings.explore_every) {
             return exploratory_decision(self.counter);
         }
 
-        if self.needs_refit(metrics, signal) {
-            self.refit_now(metrics, signal);
+        if self.needs_refit(signal, commits, &mut source) {
+            self.refit_now(source.get(), signal);
         }
         let snapshot = self
             .snapshot
@@ -554,11 +644,15 @@ impl CachedStlSelector {
             .decide(&snapshot.model, &snapshot.params, &summary)
     }
 
-    fn needs_refit(&self, metrics: &SimMetrics, signal: WorkloadSignal) -> bool {
+    fn needs_refit<F: FnOnce() -> SimMetrics>(
+        &self,
+        signal: WorkloadSignal,
+        commits: u64,
+        source: &mut MetricsSource<'_, F>,
+    ) -> bool {
         let Some(snapshot) = &self.snapshot else {
             return true;
         };
-        let commits = metrics.total_committed.get();
         if commits.saturating_sub(snapshot.fitted_at_commits) >= self.settings.epoch_commits.max(1)
         {
             return true;
@@ -568,7 +662,7 @@ impl CachedStlSelector {
         }
         self.settings.drift_check_every > 0
             && self.counter.is_multiple_of(self.settings.drift_check_every)
-            && snapshot.drifted_from(metrics, self.settings.drift_threshold)
+            && snapshot.drifted_from(source.get(), self.settings.drift_threshold)
     }
 
     /// Force an epoch re-fit from the live metrics, flushing the grid.
@@ -676,6 +770,46 @@ mod tests {
         let stats = cached.cache_stats();
         assert!(stats.hits > 0, "repeated shapes must hit: {stats:?}");
         assert_eq!(stats.refits, 1, "no drift, no extra commits: one epoch");
+    }
+
+    #[test]
+    fn sharded_selection_matches_borrowed_and_merges_lazily() {
+        let metrics = warmed_metrics();
+        let cat = catalog();
+        let settings = CacheSettings {
+            quant_rel: 0.0,
+            explore_every: 7,
+            warmup_commits: 10,
+            ..CacheSettings::default()
+        };
+        let mut borrowed = CachedStlSelector::with_settings(settings);
+        let mut sharded = CachedStlSelector::with_settings(settings);
+        let merges = std::cell::Cell::new(0u64);
+        for i in 0..60 {
+            let t = txn(i, &[i % 12, (i + 3) % 12], &[(i + 1) % 12]);
+            let a = borrowed.select_with_signal(&t, &cat, &metrics, WorkloadSignal::default());
+            let b = sharded.select_sharded(
+                &t,
+                &cat,
+                WorkloadSignal::default(),
+                metrics.total_committed.get(),
+                || {
+                    merges.set(merges.get() + 1);
+                    metrics.clone()
+                },
+            );
+            assert_eq!(bits(&a), bits(&b), "selection {i} diverged across sources");
+        }
+        // The merge thunk runs only when metrics are genuinely needed:
+        // once for the warm-up check + first fit, then only on scheduled
+        // drift probes — never on the grid-hit fast path.
+        let probes = 60 / settings.drift_check_every;
+        assert!(
+            merges.get() <= 1 + probes,
+            "{} merges for 60 selections (expected ≤ {})",
+            merges.get(),
+            1 + probes
+        );
     }
 
     #[test]

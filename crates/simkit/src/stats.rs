@@ -213,6 +213,26 @@ impl Histogram {
         self.overflow
     }
 
+    /// Merge another histogram into this one. Panics unless both were
+    /// built with the same bucket width and bucket count (merging
+    /// differently shaped histograms would silently mis-bucket).
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bucket_width, other.bucket_width,
+            "histogram merge requires identical bucket widths"
+        );
+        assert_eq!(
+            self.buckets.len(),
+            other.buckets.len(),
+            "histogram merge requires identical bucket counts"
+        );
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.overflow += other.overflow;
+        self.stat.merge(&other.stat);
+    }
+
     /// Access the underlying running statistics.
     pub fn stat(&self) -> &RunningStat {
         &self.stat
@@ -319,6 +339,29 @@ mod tests {
         assert_eq!(h.count(), 3);
         assert_eq!(h.quantile(0.0), 0.5); // first non-empty bucket midpoint
         assert_eq!(h.quantile(1.0), 100.0); // overflow reports observed max
+    }
+
+    #[test]
+    fn histogram_merge_matches_sequential_recording() {
+        let mut all = Histogram::new(1.0, 50);
+        let mut a = Histogram::new(1.0, 50);
+        let mut b = Histogram::new(1.0, 50);
+        for i in 0..300 {
+            let x = (i as f64 * 0.7) % 60.0; // exercises the overflow bucket
+            all.record(x);
+            if i % 3 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.overflow(), all.overflow());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), all.quantile(q));
+        }
     }
 
     #[test]

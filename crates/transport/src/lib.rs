@@ -1,0 +1,66 @@
+//! # transport — the runtime's message plane
+//!
+//! The primitives every byte crosses between runtime threads:
+//!
+//! * [`ring`] — a bounded lock-free MPSC ring (atomic head/tail over a
+//!   power-of-two slot array, cache-line padded) with park/unpark
+//!   backpressure on both sides. Producers never take a lock on the fast
+//!   path; the single consumer drains the whole ring per wakeup, so one
+//!   context switch amortises over every command enqueued since the last
+//!   one.
+//! * [`oneshot`] — a single-use reply channel for control-plane
+//!   request/response conversations (wait-for edges, log snapshots,
+//!   waiting-transaction reports), replacing the ad-hoc
+//!   `std::sync::mpsc::channel()` pair allocated per call.
+//! * [`CachePadded`] — align a value to its own cache line so hot atomics
+//!   (ring head/tail, per-stripe metric shards) do not false-share.
+//!
+//! The crate is deliberately free of runtime-specific types: it moves `T`s
+//! between threads and knows nothing about transactions.
+
+pub mod batch;
+pub mod oneshot;
+pub mod ring;
+
+/// Pads and aligns a value to 128 bytes, the size of two x86-64 cache
+/// lines (the adjacent-line prefetcher pulls pairs, so 64-byte alignment
+/// still false-shares across the pair boundary).
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub struct CachePadded<T>(pub T);
+
+impl<T> CachePadded<T> {
+    /// Wrap a value in its own cache line.
+    pub const fn new(value: T) -> Self {
+        CachePadded(value)
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_padded_is_aligned_and_transparent() {
+        let padded = CachePadded::new(7u64);
+        assert_eq!(*padded, 7);
+        assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 128);
+        let pair: [CachePadded<u8>; 2] = [CachePadded::new(1), CachePadded::new(2)];
+        let a = &pair[0].0 as *const u8 as usize;
+        let b = &pair[1].0 as *const u8 as usize;
+        assert!(b - a >= 128, "neighbours must sit on distinct line pairs");
+    }
+}

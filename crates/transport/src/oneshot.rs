@@ -1,0 +1,160 @@
+//! Single-use reply channels for control-plane conversations.
+//!
+//! The runtime's diagnostics (wait-for edges, waiting transactions, log
+//! snapshots) are request/response exchanges: the requester enqueues a
+//! command carrying a reply slot, the shard fills it exactly once. A
+//! oneshot is that slot — one mutex-guarded cell and a condvar, no
+//! allocation churn beyond the single `Arc`, with the usual disconnect
+//! semantics (a dropped sender wakes the receiver with an error instead
+//! of leaving it blocked).
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a receive completed without a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// The sender was dropped without sending.
+    Disconnected,
+    /// [`OneshotReceiver::recv_timeout`] gave up waiting.
+    Timeout,
+}
+
+struct State<T> {
+    value: Option<T>,
+    closed: bool,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+}
+
+/// The sending half; consumed by [`OneshotSender::send`].
+pub struct OneshotSender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half.
+pub struct OneshotReceiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Create a connected oneshot pair.
+pub fn channel<T>() -> (OneshotSender<T>, OneshotReceiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            value: None,
+            closed: false,
+        }),
+        ready: Condvar::new(),
+    });
+    (
+        OneshotSender {
+            shared: Arc::clone(&shared),
+        },
+        OneshotReceiver { shared },
+    )
+}
+
+impl<T> OneshotSender<T> {
+    /// Deliver the reply, waking the receiver. Consumes the sender.
+    pub fn send(self, value: T) {
+        let mut state = self.shared.state.lock().expect("oneshot poisoned");
+        state.value = Some(value);
+        drop(state);
+        self.shared.ready.notify_one();
+        // The trailing Drop marks the channel closed, which is harmless:
+        // the value is already in place and checked first by the receiver.
+    }
+}
+
+impl<T> Drop for OneshotSender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().expect("oneshot poisoned");
+        state.closed = true;
+        drop(state);
+        self.shared.ready.notify_one();
+    }
+}
+
+impl<T> OneshotReceiver<T> {
+    /// Block until the reply arrives or the sender is dropped.
+    pub fn recv(self) -> Result<T, RecvError> {
+        let mut state = self.shared.state.lock().expect("oneshot poisoned");
+        loop {
+            if let Some(value) = state.value.take() {
+                return Ok(value);
+            }
+            if state.closed {
+                return Err(RecvError::Disconnected);
+            }
+            state = self.shared.ready.wait(state).expect("oneshot poisoned");
+        }
+    }
+
+    /// Block until the reply arrives, the sender is dropped, or `timeout`
+    /// elapses.
+    pub fn recv_timeout(self, timeout: Duration) -> Result<T, RecvError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.state.lock().expect("oneshot poisoned");
+        loop {
+            if let Some(value) = state.value.take() {
+                return Ok(value);
+            }
+            if state.closed {
+                return Err(RecvError::Disconnected);
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Err(RecvError::Timeout);
+            }
+            let (guard, _) = self
+                .shared
+                .ready
+                .wait_timeout(state, left)
+                .expect("oneshot poisoned");
+            state = guard;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_across_threads() {
+        let (tx, rx) = channel::<u64>();
+        let sender = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            tx.send(7);
+        });
+        assert_eq!(rx.recv(), Ok(7));
+        sender.join().unwrap();
+    }
+
+    #[test]
+    fn dropped_sender_disconnects() {
+        let (tx, rx) = channel::<u64>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError::Disconnected));
+    }
+
+    #[test]
+    fn timeout_fires_without_a_reply() {
+        let (tx, rx) = channel::<u64>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvError::Timeout)
+        );
+        drop(tx);
+    }
+
+    #[test]
+    fn reply_beats_timeout() {
+        let (tx, rx) = channel::<&'static str>();
+        tx.send("now");
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok("now"));
+    }
+}
