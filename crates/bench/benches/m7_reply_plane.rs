@@ -1,0 +1,314 @@
+//! M7 — micro/macro benchmark: the reply plane in isolation.
+//!
+//! The m6 bench isolated the client→shard direction; this one isolates
+//! the way back. One registration + delivery round-trip is what every
+//! transaction incarnation pays before its first grant can reach it:
+//! bind the transaction id to a reply endpoint, have shards route reply
+//! batches to it, wake the waiting client, tear the binding down. Two
+//! implementations:
+//!
+//! * `mailbox-slab` — the lock-free plane as the runtime drives it:
+//!   each client holds one reusable slab [`Mailbox`] for the whole run;
+//!   a round-trip is `register` (one CAS into the packed index), one
+//!   coalesced reply batch delivered by each shard (index load +
+//!   ring push, no lock), a filtered consumer drain, `deregister`
+//!   (one CAS).
+//! * `mpsc-registry` — the PR-3 baseline: a global `Mutex<HashMap>` of
+//!   per-incarnation `std::sync::mpsc` senders; a round-trip allocates
+//!   a fresh channel, inserts under the lock, and every shard's
+//!   delivery locks the map again to find the sender.
+//!
+//! 8 client threads run round-trips against 4 shard threads; each
+//! transaction's request fans out to all shards and each shard answers
+//! with one coalesced batch of 2 replies (the exp9 wide-transaction
+//! reply shape). One benchmark iteration is one wave of `WAVE_TXNS`
+//! round-trips; the closing summary prints both planes' round-trips/s
+//! and the ratio. `M7_GATE=<ratio>` (the CI floor) fails the process if
+//! `mailbox-slab` falls below `<ratio>` × `mpsc-registry`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbmodel::{LogicalItemId, PhysicalItemId, SiteId, TxnId};
+use pam::ReplyMsg;
+use transport::batch::SmallBatch;
+use transport::mailbox::{MailboxOptions, MailboxRegistry};
+use transport::ring::{self, RingReceiver, RingSender};
+
+const SHARDS: usize = 4;
+const CLIENTS: u64 = 8;
+const WAVE_TXNS: u64 = 2048;
+const REPLIES_PER_SHARD: usize = 2;
+
+/// One coalesced reply event, as `Registry::deliver_all` produces it.
+type ReplyBatch = SmallBatch<ReplyMsg>;
+
+fn reply(txn: u64, item: u64, shard: usize) -> ReplyMsg {
+    ReplyMsg::Ack {
+        txn: TxnId(txn),
+        item: PhysicalItemId::new(LogicalItemId(item), SiteId(shard as u32)),
+    }
+}
+
+fn batch_for(txn: u64, shard: usize) -> ReplyBatch {
+    (0..REPLIES_PER_SHARD as u64)
+        .map(|i| reply(txn, txn % 64 + i, shard))
+        .collect()
+}
+
+/// What a shard consumes: "transaction `txn` expects your reply batch".
+#[derive(Debug)]
+enum Work {
+    Reply { txn: u64 },
+    Stop,
+}
+
+/// A running reply plane: clients drive registration+delivery
+/// round-trips through it.
+trait Plane: Sync {
+    /// Register `txn`, ask every shard for its reply batch, wait for all
+    /// of them, deregister. `client` identifies the calling thread.
+    fn round_trip(&self, client: u64, txn: u64);
+    fn stop(&self);
+}
+
+/// The lock-free slab plane.
+struct MailboxPlane {
+    registry: MailboxRegistry<ReplyBatch>,
+    shards: Vec<RingSender<Work>>,
+    /// One reusable mailbox per client thread, parked here between
+    /// waves (acquired once for the whole benchmark).
+    mailboxes: Vec<Mutex<transport::mailbox::Mailbox<ReplyBatch>>>,
+}
+
+impl Plane for MailboxPlane {
+    fn round_trip(&self, client: u64, txn: u64) {
+        let mut mailbox = self.mailboxes[client as usize]
+            .try_lock()
+            .expect("one thread per client mailbox");
+        self.registry.register(txn, 0, &mut mailbox);
+        for shard in &self.shards {
+            shard.send(Work::Reply { txn }).expect("shard alive");
+        }
+        let mut got = 0;
+        while got < SHARDS {
+            if mailbox
+                .recv_timeout(txn, std::time::Duration::from_secs(5))
+                .is_some()
+            {
+                got += 1;
+            } else {
+                panic!("reply batch lost");
+            }
+        }
+        self.registry.deregister(txn);
+    }
+
+    fn stop(&self) {
+        for shard in &self.shards {
+            let _ = shard.send(Work::Stop);
+        }
+    }
+}
+
+/// The mpsc baseline: global locked map + per-incarnation channels.
+struct MpscPlane {
+    registry: Arc<Mutex<HashMap<u64, Sender<ReplyBatch>>>>,
+    shards: Vec<SyncSender<Work>>,
+}
+
+impl Plane for MpscPlane {
+    fn round_trip(&self, _client: u64, txn: u64) {
+        let (tx, rx): (Sender<ReplyBatch>, Receiver<ReplyBatch>) = std::sync::mpsc::channel();
+        self.registry
+            .lock()
+            .expect("registry poisoned")
+            .insert(txn, tx);
+        for shard in &self.shards {
+            shard.send(Work::Reply { txn }).expect("shard alive");
+        }
+        for _ in 0..SHARDS {
+            rx.recv_timeout(std::time::Duration::from_secs(5))
+                .expect("reply batch lost");
+        }
+        self.registry
+            .lock()
+            .expect("registry poisoned")
+            .remove(&txn);
+    }
+
+    fn stop(&self) {
+        for shard in &self.shards {
+            let _ = shard.send(Work::Stop);
+        }
+    }
+}
+
+fn spawn_mailbox_plane() -> (Arc<MailboxPlane>, Vec<std::thread::JoinHandle<()>>) {
+    let registry = MailboxRegistry::with_options(MailboxOptions {
+        max_clients: CLIENTS as usize,
+        ..MailboxOptions::default()
+    });
+    let mut shards = Vec::new();
+    let mut joins = Vec::new();
+    for shard_id in 0..SHARDS {
+        let (tx, mut rx): (RingSender<Work>, RingReceiver<Work>) = ring::channel(256);
+        let registry = registry.clone();
+        joins.push(std::thread::spawn(move || {
+            let mut buf = Vec::with_capacity(64);
+            'outer: loop {
+                buf.clear();
+                if rx.drain_blocking(&mut buf).is_err() {
+                    break;
+                }
+                for work in buf.drain(..) {
+                    match work {
+                        Work::Reply { txn } => {
+                            registry.deliver(txn, batch_for(txn, shard_id));
+                        }
+                        Work::Stop => break 'outer,
+                    }
+                }
+            }
+        }));
+        shards.push(tx);
+    }
+    let mailboxes = (0..CLIENTS)
+        .map(|_| Mutex::new(registry.acquire()))
+        .collect();
+    (
+        Arc::new(MailboxPlane {
+            registry,
+            shards,
+            mailboxes,
+        }),
+        joins,
+    )
+}
+
+fn spawn_mpsc_plane() -> (Arc<MpscPlane>, Vec<std::thread::JoinHandle<()>>) {
+    let registry: Arc<Mutex<HashMap<u64, Sender<ReplyBatch>>>> =
+        Arc::new(Mutex::new(HashMap::new()));
+    let mut shards = Vec::new();
+    let mut joins = Vec::new();
+    for shard_id in 0..SHARDS {
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Work>(256);
+        let registry = Arc::clone(&registry);
+        joins.push(std::thread::spawn(move || {
+            while let Ok(work) = rx.recv() {
+                match work {
+                    Work::Reply { txn } => {
+                        // One lock per delivery, as `Registry::deliver_all`
+                        // pays per flush on the mpsc plane.
+                        let map = registry.lock().expect("registry poisoned");
+                        if let Some(sender) = map.get(&txn) {
+                            let _ = sender.send(batch_for(txn, shard_id));
+                        }
+                    }
+                    Work::Stop => break,
+                }
+            }
+        }));
+        shards.push(tx);
+    }
+    (Arc::new(MpscPlane { registry, shards }), joins)
+}
+
+/// One wave: all clients run their share of round-trips concurrently.
+fn run_wave(plane: &dyn Plane, txn_base: &AtomicU64) {
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let plane = &plane;
+            let txn_base = &txn_base;
+            scope.spawn(move || {
+                for _ in 0..WAVE_TXNS / CLIENTS {
+                    // Ids must be unique forever (the slab's tag relies
+                    // on it, like the runtime's monotone TxnIds).
+                    let txn = txn_base.fetch_add(1, Ordering::Relaxed);
+                    plane.round_trip(client, txn);
+                }
+            });
+        }
+    });
+}
+
+/// Round-trips/s over one block of `waves` waves.
+fn measure_block(plane: &dyn Plane, txn_base: &AtomicU64, waves: u64) -> f64 {
+    let begun = Instant::now();
+    for _ in 0..waves {
+        run_wave(plane, txn_base);
+    }
+    (waves * WAVE_TXNS) as f64 / begun.elapsed().as_secs_f64()
+}
+
+fn throughput(c: &mut Criterion) {
+    // Both planes run for the whole benchmark (idle shard consumers
+    // park) so the gate comparison below can alternate between them.
+    let mail_base = AtomicU64::new(1);
+    let mpsc_base = AtomicU64::new(1);
+    let (mail_plane, mail_joins) = spawn_mailbox_plane();
+    let (mpsc_plane, mpsc_joins) = spawn_mpsc_plane();
+
+    let mut group = c.benchmark_group("m7_reply_wave2048_latency");
+    group.bench_function("mailbox-slab/8clients-4shards", |b| {
+        b.iter(|| run_wave(mail_plane.as_ref(), &mail_base));
+    });
+    group.bench_function("mpsc-registry/8clients-4shards", |b| {
+        b.iter(|| run_wave(mpsc_plane.as_ref(), &mpsc_base));
+    });
+    group.finish();
+
+    // The gated comparison alternates measurement blocks between the two
+    // planes and compares medians — a sequential pair of one-shot
+    // measurements on a shared runner swings by tens of percent, which a
+    // 1.0x floor cannot absorb (same rationale as exp9's gate cells).
+    const REPS: usize = 5;
+    const BLOCK_WAVES: u64 = 5;
+    let mut mail_runs = Vec::new();
+    let mut mpsc_runs = Vec::new();
+    for _ in 0..REPS {
+        mail_runs.push(measure_block(mail_plane.as_ref(), &mail_base, BLOCK_WAVES));
+        mpsc_runs.push(measure_block(mpsc_plane.as_ref(), &mpsc_base, BLOCK_WAVES));
+    }
+    let median = |runs: &mut Vec<f64>| {
+        runs.sort_by(f64::total_cmp);
+        runs[runs.len() / 2]
+    };
+    let (mailbox, mpsc) = (median(&mut mail_runs), median(&mut mpsc_runs));
+    println!(
+        "    -> mailbox-slab: {mailbox:.0} registration+reply round-trips/s (median of {REPS})"
+    );
+    println!("    -> mpsc-registry: {mpsc:.0} registration+reply round-trips/s (median of {REPS})");
+
+    mail_plane.stop();
+    mpsc_plane.stop();
+    for j in mail_joins.into_iter().chain(mpsc_joins) {
+        let _ = j.join();
+    }
+
+    let ratio = mailbox / mpsc;
+    println!(
+        "    -> reply-plane ratio at {CLIENTS} clients x {SHARDS} shards: \
+         {ratio:.2}x (mailbox-slab vs mpsc-registry, alternating medians)"
+    );
+    if let Some(gate) = std::env::var("M7_GATE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+    {
+        if ratio < gate {
+            eprintln!(
+                "FAIL: mailbox-slab reply plane is below the required \
+                 {gate:.2}x of the mpsc-registry baseline"
+            );
+            std::process::exit(1);
+        }
+        println!("    -> m7 gate passed (required {gate:.2}x)");
+    }
+}
+
+criterion_group!(benches, throughput);
+criterion_main!(benches);

@@ -13,7 +13,10 @@
 //! lock-free transport: per-shard send batching into an MPSC ring, whole
 //! ring drained per shard wakeup) against `mpsc` (the pre-batching
 //! `std::sync::mpsc` baseline, one message per send and one per recv).
-//! The `dyn-cache` rows run the STL selector with the epoch-cached
+//! The `reply` column does the same for the reply direction: `mail`
+//! (the lock-free slab of reusable client mailboxes, PR 4) against
+//! `mpsc` (per-incarnation channels behind a global locked map). The
+//! `dyn-cache` rows run the STL selector with the epoch-cached
 //! decision grid over striped commit-path-free metrics; the `dyn-fresh`
 //! rows re-evaluate the full STL′ dynamic program per transaction against
 //! freshly merged metrics (the pre-cache behaviour); `sel us` and `hit%`
@@ -28,12 +31,16 @@
 //! * `EXP9_GATE=<ratio>` — after the sweep, fail (exit 1) unless the
 //!   batched ring plane achieved at least `<ratio>` × the mpsc baseline's
 //!   txn/s on the 8 × 4 static-2PL cell.
+//! * `EXP9_REPLY_GATE=<ratio>` — same for the reply plane: fail unless
+//!   the mailbox registry achieved at least `<ratio>` × the
+//!   mpsc-registry baseline on the same wide cell (both on the ring
+//!   transport).
 
 use std::time::Instant;
 
 use bench::table;
 use dbmodel::{CcMethod, LogicalItemId};
-use runtime::{CcPolicy, Database, RuntimeConfig, TransportKind, TxnSpec};
+use runtime::{CcPolicy, Database, ReplyPlaneKind, RuntimeConfig, TransportKind, TxnSpec};
 
 const ITEMS: u64 = 96;
 
@@ -54,6 +61,7 @@ struct Cell {
     policy: CcPolicy,
     cached: bool,
     transport: TransportKind,
+    reply: ReplyPlaneKind,
     /// `false`: the classic 2-item transfer (one message per shard per
     /// phase — the plane's batcher has nothing to group). `true`: a wide
     /// 4-read + 4-write read-modify-write transaction, the message-heavy
@@ -68,6 +76,13 @@ fn plane_name(transport: TransportKind) -> &'static str {
     }
 }
 
+fn reply_name(reply: ReplyPlaneKind) -> &'static str {
+    match reply {
+        ReplyPlaneKind::Mailbox => "mail",
+        ReplyPlaneKind::Mpsc => "mpsc",
+    }
+}
+
 /// Run one cell; returns the table row and the measured txn/s.
 fn run_cell(clients: u64, shards: u32, cell: Cell) -> (Vec<String>, f64) {
     let defaults = RuntimeConfig::default();
@@ -77,6 +92,7 @@ fn run_cell(clients: u64, shards: u32, cell: Cell) -> (Vec<String>, f64) {
         initial_value: 1_000,
         policy: cell.policy,
         transport: cell.transport,
+        reply_plane: cell.reply,
         selection_cache: if cell.cached {
             defaults.selection_cache
         } else {
@@ -141,6 +157,7 @@ fn run_cell(clients: u64, shards: u32, cell: Cell) -> (Vec<String>, f64) {
         shards.to_string(),
         cell.label.to_string(),
         plane_name(cell.transport).to_string(),
+        reply_name(cell.reply).to_string(),
         stats.committed.to_string(),
         format!("{txn_per_sec:.0}"),
         stats.restarts().to_string(),
@@ -167,19 +184,23 @@ fn run_cell(clients: u64, shards: u32, cell: Cell) -> (Vec<String>, f64) {
 fn main() {
     let smoke = std::env::var("EXP9_SMOKE").is_ok_and(|v| v == "1");
     let gate: Option<f64> = std::env::var("EXP9_GATE").ok().and_then(|s| s.parse().ok());
+    let reply_gate: Option<f64> = std::env::var("EXP9_REPLY_GATE")
+        .ok()
+        .and_then(|s| s.parse().ok());
 
-    println!("E9: live runtime sweep — clients x shards x method mix x plane");
+    println!("E9: live runtime sweep — clients x shards x method mix x planes");
     println!(
         "    ({} transfers per client over {ITEMS} items, read-modify-write)\n",
         txns_per_client()
     );
-    let widths = [7, 6, 9, 5, 10, 10, 9, 9, 8, 5, 6];
+    let widths = [7, 6, 9, 5, 5, 10, 10, 9, 9, 8, 5, 6];
     table::header(
         &[
             "clients",
             "shards",
             "policy",
             "plane",
+            "reply",
             "committed",
             "txn/s",
             "restarts",
@@ -196,6 +217,7 @@ fn main() {
             policy: CcPolicy::Static(CcMethod::TwoPhaseLocking),
             cached: true,
             transport: TransportKind::BatchedRing,
+            reply: ReplyPlaneKind::Mailbox,
             wide: false,
         },
         Cell {
@@ -203,6 +225,7 @@ fn main() {
             policy: CcPolicy::Static(CcMethod::TwoPhaseLocking),
             cached: true,
             transport: TransportKind::Mpsc,
+            reply: ReplyPlaneKind::Mailbox,
             wide: false,
         },
         Cell {
@@ -210,6 +233,7 @@ fn main() {
             policy: CcPolicy::Static(CcMethod::TwoPhaseLocking),
             cached: true,
             transport: TransportKind::BatchedRing,
+            reply: ReplyPlaneKind::Mailbox,
             wide: true,
         },
         Cell {
@@ -217,6 +241,18 @@ fn main() {
             policy: CcPolicy::Static(CcMethod::TwoPhaseLocking),
             cached: true,
             transport: TransportKind::Mpsc,
+            reply: ReplyPlaneKind::Mailbox,
+            wide: true,
+        },
+        // The reply-plane A/B cell: same wide shape and ring transport
+        // as the gate cell above, but replies through the per-incarnation
+        // mpsc registry.
+        Cell {
+            label: "2PL-w8",
+            policy: CcPolicy::Static(CcMethod::TwoPhaseLocking),
+            cached: true,
+            transport: TransportKind::BatchedRing,
+            reply: ReplyPlaneKind::Mpsc,
             wide: true,
         },
         Cell {
@@ -227,6 +263,7 @@ fn main() {
             },
             cached: true,
             transport: TransportKind::BatchedRing,
+            reply: ReplyPlaneKind::Mailbox,
             wide: false,
         },
         Cell {
@@ -234,6 +271,7 @@ fn main() {
             policy: CcPolicy::DynamicStl,
             cached: true,
             transport: TransportKind::BatchedRing,
+            reply: ReplyPlaneKind::Mailbox,
             wide: false,
         },
         Cell {
@@ -241,6 +279,7 @@ fn main() {
             policy: CcPolicy::DynamicStl,
             cached: false,
             transport: TransportKind::BatchedRing,
+            reply: ReplyPlaneKind::Mailbox,
             wide: false,
         },
     ];
@@ -256,60 +295,85 @@ fn main() {
         println!();
     }
 
-    let ratio = gate_comparison(&cells);
-    if let Some(required) = gate {
-        if ratio < required {
-            eprintln!(
-                "FAIL: batched ring plane is below the required {required:.2}x \
-                 of the mpsc baseline"
-            );
-            std::process::exit(1);
+    let medians = gate_medians(&cells);
+    let check = |label: &str, required: Option<f64>, fast: f64, base: f64| {
+        let ratio = fast / base;
+        println!(
+            "gate cell ({GATE_CLIENTS} clients x {GATE_SHARDS} shards, 2PL-w8, median of \
+             {}) {label}: {fast:.0} txn/s vs {base:.0} txn/s — {ratio:.2}x",
+            gate_reps()
+        );
+        if let Some(required) = required {
+            if ratio < required {
+                eprintln!("FAIL: {label} is below the required {required:.2}x of its baseline");
+                std::process::exit(1);
+            }
+            println!("gate passed (required {required:.2}x)");
         }
-        println!("gate passed (required {required:.2}x)");
-    }
+    };
+    check(
+        "message plane, ring vs mpsc transport (reply=mail)",
+        gate,
+        medians.ring_mail,
+        medians.mpsc_mail,
+    );
+    check(
+        "reply plane, mailbox slab vs mpsc registry (plane=ring)",
+        reply_gate,
+        medians.ring_mail,
+        medians.ring_mpsc_reply,
+    );
 }
 
-/// The cell the CI gate compares across planes: the message-heavy wide
+/// The cell the CI gates compare across planes: the message-heavy wide
 /// transaction, where the plane actually has batches to build.
 const GATE_CLIENTS: u64 = 8;
 const GATE_SHARDS: u32 = 4;
 
-/// Re-run the two gate cells alternately (`EXP9_REPS` repetitions,
-/// default 3) and compare the medians — single runs on a loaded machine
-/// swing by tens of percent, alternating medians cancel the drift.
-fn gate_comparison(cells: &[Cell]) -> f64 {
-    let reps: usize = std::env::var("EXP9_REPS")
+fn gate_reps() -> usize {
+    std::env::var("EXP9_REPS")
         .ok()
         .and_then(|s| s.parse().ok())
-        .unwrap_or(3);
-    let gate_cell = |transport| {
+        .unwrap_or(3)
+}
+
+/// Median txn/s of each wide gate cell. Both gates share the same
+/// contender (ring transport + mailbox registry), so all three distinct
+/// cells are measured once, round-robin across `EXP9_REPS` repetitions
+/// — single runs on a loaded machine swing by tens of percent;
+/// alternating medians cancel the drift.
+struct GateMedians {
+    ring_mail: f64,
+    mpsc_mail: f64,
+    ring_mpsc_reply: f64,
+}
+
+fn gate_medians(cells: &[Cell]) -> GateMedians {
+    let gate_cell = |transport: TransportKind, reply: ReplyPlaneKind| {
         *cells
             .iter()
-            .find(|c| c.wide && c.transport == transport)
+            .find(|c| c.wide && c.transport == transport && c.reply == reply)
             .expect("gate cells present")
     };
-    let mut ring_runs = Vec::new();
-    let mut mpsc_runs = Vec::new();
-    for _ in 0..reps {
-        ring_runs.push(
-            run_cell(
-                GATE_CLIENTS,
-                GATE_SHARDS,
-                gate_cell(TransportKind::BatchedRing),
-            )
-            .1,
-        );
-        mpsc_runs.push(run_cell(GATE_CLIENTS, GATE_SHARDS, gate_cell(TransportKind::Mpsc)).1);
+    let contenders = [
+        gate_cell(TransportKind::BatchedRing, ReplyPlaneKind::Mailbox),
+        gate_cell(TransportKind::Mpsc, ReplyPlaneKind::Mailbox),
+        gate_cell(TransportKind::BatchedRing, ReplyPlaneKind::Mpsc),
+    ];
+    let mut runs: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for _ in 0..gate_reps() {
+        for (cell, runs) in contenders.iter().zip(runs.iter_mut()) {
+            runs.push(run_cell(GATE_CLIENTS, GATE_SHARDS, *cell).1);
+        }
     }
     let median = |runs: &mut Vec<f64>| {
         runs.sort_by(f64::total_cmp);
         runs[runs.len() / 2]
     };
-    let (ring, mpsc) = (median(&mut ring_runs), median(&mut mpsc_runs));
-    let ratio = ring / mpsc;
-    println!(
-        "gate cell ({GATE_CLIENTS} clients x {GATE_SHARDS} shards, 2PL-w8, median of {reps}): \
-         ring {ring:.0} txn/s vs mpsc {mpsc:.0} txn/s — {ratio:.2}x"
-    );
-    ratio
+    let [ref mut a, ref mut b, ref mut c] = runs;
+    GateMedians {
+        ring_mail: median(a),
+        mpsc_mail: median(b),
+        ring_mpsc_reply: median(c),
+    }
 }

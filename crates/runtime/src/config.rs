@@ -40,6 +40,25 @@ pub enum TransportKind {
     Mpsc,
 }
 
+/// Which reply plane routes shard replies and deadlock-victim signals
+/// back to the waiting client threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplyPlaneKind {
+    /// The lock-free slab plane (default): each client thread drives its
+    /// transaction through a reusable bounded mailbox acquired from a
+    /// shared slab; delivery resolves `TxnId → mailbox` through a packed
+    /// atomic index and the transaction id doubles as the incarnation
+    /// tag that drops stale replies. No lock and no allocation on the
+    /// reply path.
+    #[default]
+    Mailbox,
+    /// The pre-slab baseline: a global `Mutex<HashMap>` of
+    /// per-incarnation `std::sync::mpsc` channels, one allocated per
+    /// incarnation. Kept for overhead comparisons (the `exp9`
+    /// `reply=mpsc` rows).
+    Mpsc,
+}
+
 /// Errors reported by [`RuntimeConfig::validate`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConfigError {
@@ -98,6 +117,15 @@ pub struct RuntimeConfig {
     pub shard_inbox_capacity: usize,
     /// The message plane between clients and shards.
     pub transport: TransportKind,
+    /// The reply plane between shards/detector and waiting clients.
+    pub reply_plane: ReplyPlaneKind,
+    /// Bound of each reusable reply mailbox ([`ReplyPlaneKind::Mailbox`]
+    /// only; rounded up to the next power of two). Must exceed the
+    /// replies one incarnation can have outstanding while its client is
+    /// between drains — in this runtime, a couple of replies per
+    /// accessed item — or delivering shards briefly yield for the
+    /// consumer.
+    pub reply_mailbox_capacity: usize,
     /// Period of the background deadlock detector.
     pub deadlock_scan_interval: Duration,
     /// Restart attempts per transaction before giving up with
@@ -129,6 +157,8 @@ impl Default for RuntimeConfig {
             pa_backoff_interval: 1_000,
             shard_inbox_capacity: 256,
             transport: TransportKind::BatchedRing,
+            reply_plane: ReplyPlaneKind::Mailbox,
+            reply_mailbox_capacity: 256,
             deadlock_scan_interval: Duration::from_millis(5),
             max_restarts: 256,
             restart_backoff: Duration::from_micros(200),

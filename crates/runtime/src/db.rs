@@ -11,7 +11,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{self, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -29,7 +29,7 @@ use unified_cc::{QueueManager, RequestIssuer, RiAction, RiOutput};
 
 use crate::config::{CcPolicy, ConfigError, RuntimeConfig, TransportKind};
 use crate::detector;
-use crate::registry::{ClientEvent, Registry};
+use crate::registry::{ClientEvent, ClientMailbox, ClientRecvError, Registry};
 use crate::report::RuntimeReport;
 use crate::shard::{self, ShardCmd, ShardHandle, ShardSender};
 use crate::stats::{MetricsShards, RuntimeStats, StatsSnapshot};
@@ -212,7 +212,10 @@ impl Database {
         catalog: Catalog,
     ) -> Result<Database, ConfigError> {
         config.validate()?;
-        let registry = Arc::new(Registry::new());
+        let registry = Arc::new(Registry::new(
+            config.reply_plane,
+            config.reply_mailbox_capacity,
+        ));
         let stats = Arc::new(RuntimeStats::with_shards(catalog.sites().len()));
         let stopped = Arc::new(AtomicBool::new(false));
 
@@ -292,7 +295,9 @@ impl Database {
     /// stats polling never takes the selector mutex, so it cannot contend
     /// with admission.
     pub fn stats(&self) -> StatsSnapshot {
-        self.inner.stats.snapshot()
+        let mut snapshot = self.inner.stats.snapshot();
+        snapshot.stale_reply_events = self.inner.registry.stale_reply_events();
+        snapshot
     }
 
     /// Number of transactions currently live (requesting, executing or
@@ -361,8 +366,14 @@ impl Database {
 
     /// Open a transaction and drive it to its execution phase: all requests
     /// granted, read values in hand. Restarts are retried internally.
+    ///
+    /// The reply endpoint is acquired **once** here and reused across
+    /// every restart incarnation — on the mailbox plane that is the
+    /// whole point of the slab: registration re-arms the same mailbox
+    /// under the new transaction id instead of allocating a channel.
     pub fn begin(&self, spec: &TxnSpec) -> Result<ActiveTxn, TxnError> {
         let inner = &self.inner;
+        let mut mailbox = inner.registry.client_mailbox();
         let mut attempt: u32 = 0;
         loop {
             if inner.stopped.load(Ordering::Relaxed) {
@@ -387,8 +398,7 @@ impl Database {
                 .map(|op| (op.item, op.mode))
                 .collect();
 
-            let (ev_tx, ev_rx) = mpsc::channel();
-            inner.registry.register(txn_id, method, ev_tx);
+            inner.registry.register(txn_id, method, &mut mailbox);
             let mut ri = RequestIssuer::new(
                 txn,
                 TsTuple::new(ts, inner.config.pa_backoff_interval),
@@ -403,12 +413,12 @@ impl Database {
             }
             if started_exec {
                 // Degenerate empty transaction: straight to execution.
-                return Ok(ActiveTxn::new(self.clone(), ri, ev_rx, begun, attempt));
+                return Ok(ActiveTxn::new(self.clone(), ri, mailbox, begun, attempt));
             }
 
-            match self.wait_for_execution(&mut ri, &ev_rx, origin, method)? {
+            match self.wait_for_execution(&mut ri, &mut mailbox, origin, method)? {
                 WaitOutcome::Executing => {
-                    return Ok(ActiveTxn::new(self.clone(), ri, ev_rx, begun, attempt));
+                    return Ok(ActiveTxn::new(self.clone(), ri, mailbox, begun, attempt));
                 }
                 WaitOutcome::Restart { rejected } => {
                     inner.registry.deregister(txn_id);
@@ -570,12 +580,12 @@ impl Database {
         choice
     }
 
-    /// Block on the event channel until the incarnation starts executing or
+    /// Block on the reply mailbox until the incarnation starts executing or
     /// must restart.
     fn wait_for_execution(
         &self,
         ri: &mut RequestIssuer,
-        events: &Receiver<ClientEvent>,
+        events: &mut ClientMailbox,
         origin: SiteId,
         method: CcMethod,
     ) -> Result<WaitOutcome, TxnError> {
@@ -587,16 +597,16 @@ impl Database {
         let mut outcome_seen: std::collections::HashSet<dbmodel::PhysicalItemId> =
             std::collections::HashSet::new();
         loop {
-            let event = match events.recv_timeout(SHUTDOWN_POLL) {
+            let event = match events.recv_timeout(ri.txn_id(), SHUTDOWN_POLL) {
                 Ok(ev) => ev,
-                Err(RecvTimeoutError::Timeout) => {
+                Err(ClientRecvError::Timeout) => {
                     if self.inner.stopped.load(Ordering::Relaxed) {
                         self.inner.registry.deregister(ri.txn_id());
                         return Err(TxnError::ShuttingDown);
                     }
                     continue;
                 }
-                Err(RecvTimeoutError::Disconnected) => {
+                Err(ClientRecvError::Disconnected) => {
                     self.inner.registry.deregister(ri.txn_id());
                     return Err(TxnError::ShuttingDown);
                 }
@@ -817,7 +827,7 @@ enum WaitOutcome {
 pub struct ActiveTxn {
     db: Database,
     ri: RequestIssuer,
-    events: Receiver<ClientEvent>,
+    events: ClientMailbox,
     reads: BTreeMap<LogicalItemId, Value>,
     staged: BTreeMap<LogicalItemId, Value>,
     begun: Instant,
@@ -829,7 +839,7 @@ impl ActiveTxn {
     fn new(
         db: Database,
         ri: RequestIssuer,
-        events: Receiver<ClientEvent>,
+        events: ClientMailbox,
         begun: Instant,
         restarts: u32,
     ) -> Self {
@@ -893,15 +903,15 @@ impl ActiveTxn {
         let mut released = out.actions.contains(&RiAction::FullyReleased);
         self.db.route_all(origin, out.sends)?;
         while !released {
-            let event = match self.events.recv_timeout(SHUTDOWN_POLL) {
+            let event = match self.events.recv_timeout(self.ri.txn_id(), SHUTDOWN_POLL) {
                 Ok(ev) => ev,
-                Err(RecvTimeoutError::Timeout) => {
+                Err(ClientRecvError::Timeout) => {
                     if self.db.inner.stopped.load(Ordering::Relaxed) {
                         break;
                     }
                     continue;
                 }
-                Err(RecvTimeoutError::Disconnected) => break,
+                Err(ClientRecvError::Disconnected) => break,
             };
             let replies = match event {
                 ClientEvent::Replies(replies) => replies,
@@ -1124,6 +1134,72 @@ mod tests {
         }
         let report = db.shutdown().unwrap();
         assert_eq!(report.stats.committed, 120);
+        assert!(report.serializable().is_ok());
+    }
+
+    /// The baseline reply plane (per-incarnation mpsc channels behind the
+    /// global map) still serves concurrent traffic — it is the A/B
+    /// comparison the exp9 `reply=mpsc` rows measure.
+    #[test]
+    fn mpsc_reply_plane_still_serves_concurrent_traffic() {
+        let db = Database::open(RuntimeConfig {
+            reply_plane: crate::config::ReplyPlaneKind::Mpsc,
+            ..config(2, 8)
+        })
+        .unwrap();
+        let threads: Vec<_> = (0..4)
+            .map(|k| {
+                let db = db.clone();
+                std::thread::spawn(move || {
+                    for i in 0..20 {
+                        let spec = TxnSpec::new()
+                            .write(li((k + i) % 8))
+                            .read(li((k + i + 1) % 8));
+                        db.run_transaction(&spec, |_| vec![(li((k + i) % 8), i as Value)])
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let report = db.shutdown().unwrap();
+        assert_eq!(report.stats.committed, 80);
+        assert!(report.serializable().is_ok());
+    }
+
+    /// Restart churn on the mailbox plane: the same reusable mailbox
+    /// serves every incarnation, and the replies still in flight when an
+    /// incarnation aborts surface as counted stale events, never as
+    /// grants to the wrong incarnation (the run stays serializable).
+    #[test]
+    fn restart_churn_reuses_mailboxes_and_counts_stale_replies() {
+        let db = Database::open(config(1, 1)).unwrap();
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let db = db.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..25 {
+                        let spec = TxnSpec::new()
+                            .write(li(0))
+                            .method(CcMethod::TimestampOrdering);
+                        db.run_transaction(&spec, |_| vec![(li(0), 1)]).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let report = db.shutdown().unwrap();
+        assert_eq!(report.stats.committed, 100);
+        // The oracle is the real check here: a reply leaked across a
+        // restart boundary would grant the wrong incarnation and produce
+        // a non-serializable history. (Stale replies themselves are
+        // scheduling-dependent, so their count cannot be asserted
+        // strictly positive — the registry race suite covers that
+        // deterministically.)
         assert!(report.serializable().is_ok());
     }
 

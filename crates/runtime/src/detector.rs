@@ -85,12 +85,11 @@ pub(crate) fn scan_once(shards: &[ShardSender], registry: &Registry, stats: &Run
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::TransportKind;
-    use crate::registry::ClientEvent;
+    use crate::config::{ReplyPlaneKind, TransportKind};
+    use crate::registry::{ClientEvent, ClientMailbox};
     use crate::shard::{inbox_pair, ShardCmd, ShardHandle};
     use dbmodel::{AccessMode, LogicalItemId, PhysicalItemId, SiteId, Timestamp, TsTuple, TxnId};
     use pam::RequestMsg;
-    use std::sync::mpsc::{self, Receiver};
     use std::time::Duration;
     use unified_cc::{EnforcementMode, QueueManager};
 
@@ -124,8 +123,8 @@ mod tests {
         }
     }
 
-    fn expect_grant(rx: &Receiver<ClientEvent>) {
-        match rx.recv_timeout(Duration::from_secs(2)) {
+    fn expect_grant(mb: &mut ClientMailbox, txn: TxnId) {
+        match mb.recv_timeout(txn, Duration::from_secs(2)) {
             Ok(ClientEvent::Replies(batch))
                 if matches!(batch.iter().next(), Some(pam::ReplyMsg::Grant { .. })) => {}
             other => panic!("expected a grant, got {other:?}"),
@@ -158,69 +157,73 @@ mod tests {
     /// member (Corollary 2's victim rule as the detector implements it).
     #[test]
     fn injected_cycle_victimises_the_youngest_2pl_member() {
-        let registry = Arc::new(Registry::new());
-        let stats = Arc::new(RuntimeStats::with_shards(2));
-        let a = item(0, 0);
-        let b = item(1, 1);
-        let shard0 = spawn_shard(0, 0, a, &registry, &stats);
-        let shard1 = spawn_shard(1, 1, b, &registry, &stats);
-        let shards = vec![shard0.tx.clone(), shard1.tx.clone()];
+        // Both reply planes must carry the victim signal identically.
+        for plane in [ReplyPlaneKind::Mailbox, ReplyPlaneKind::Mpsc] {
+            let registry = Arc::new(Registry::new(plane, 64));
+            let stats = Arc::new(RuntimeStats::with_shards(2));
+            let a = item(0, 0);
+            let b = item(1, 1);
+            let shard0 = spawn_shard(0, 0, a, &registry, &stats);
+            let shard1 = spawn_shard(1, 1, b, &registry, &stats);
+            let shards = vec![shard0.tx.clone(), shard1.tx.clone()];
 
-        let (tx1, rx1) = mpsc::channel();
-        let (tx2, rx2) = mpsc::channel();
-        registry.register(TxnId(1), CcMethod::TwoPhaseLocking, tx1);
-        registry.register(TxnId(2), CcMethod::TwoPhaseLocking, tx2);
+            let mut mb1 = registry.client_mailbox();
+            let mut mb2 = registry.client_mailbox();
+            registry.register(TxnId(1), CcMethod::TwoPhaseLocking, &mut mb1);
+            registry.register(TxnId(2), CcMethod::TwoPhaseLocking, &mut mb2);
 
-        // T1 locks a, T2 locks b.
-        shard0
-            .tx
-            .send(access(1, a, CcMethod::TwoPhaseLocking, 1))
-            .unwrap();
-        shard1
-            .tx
-            .send(access(2, b, CcMethod::TwoPhaseLocking, 2))
-            .unwrap();
-        expect_grant(&rx1);
-        expect_grant(&rx2);
-        // Cross requests: T1 waits for b (held by T2), T2 waits for a
-        // (held by T1) — a genuine deadlock.
-        shard1
-            .tx
-            .send(access(1, b, CcMethod::TwoPhaseLocking, 1))
-            .unwrap();
-        shard0
-            .tx
-            .send(access(2, a, CcMethod::TwoPhaseLocking, 2))
-            .unwrap();
-        wait_until_waiting(&shard1.tx, TxnId(1));
-        wait_until_waiting(&shard0.tx, TxnId(2));
+            // T1 locks a, T2 locks b.
+            shard0
+                .tx
+                .send(access(1, a, CcMethod::TwoPhaseLocking, 1))
+                .unwrap();
+            shard1
+                .tx
+                .send(access(2, b, CcMethod::TwoPhaseLocking, 2))
+                .unwrap();
+            expect_grant(&mut mb1, TxnId(1));
+            expect_grant(&mut mb2, TxnId(2));
+            // Cross requests: T1 waits for b (held by T2), T2 waits for a
+            // (held by T1) — a genuine deadlock.
+            shard1
+                .tx
+                .send(access(1, b, CcMethod::TwoPhaseLocking, 1))
+                .unwrap();
+            shard0
+                .tx
+                .send(access(2, a, CcMethod::TwoPhaseLocking, 2))
+                .unwrap();
+            wait_until_waiting(&shard1.tx, TxnId(1));
+            wait_until_waiting(&shard0.tx, TxnId(2));
 
-        scan_once(&shards, &registry, &stats);
+            scan_once(&shards, &registry, &stats);
 
-        // The youngest 2PL member (the larger TxnId) is the victim …
-        match rx2.recv_timeout(Duration::from_secs(2)) {
-            Ok(ClientEvent::DeadlockVictim) => {}
-            other => panic!("expected T2 to be the victim, got {other:?}"),
+            // The youngest 2PL member (the larger TxnId) is the victim …
+            match mb2.recv_timeout(TxnId(2), Duration::from_secs(2)) {
+                Ok(ClientEvent::DeadlockVictim) => {}
+                other => panic!("{plane:?}: expected T2 to be the victim, got {other:?}"),
+            }
+            // … and the older one is left alone.
+            assert!(
+                mb1.recv_timeout(TxnId(1), Duration::from_millis(50))
+                    .is_err(),
+                "{plane:?}: the older transaction must not be signalled"
+            );
+            assert_eq!(stats.deadlock_victims.load(Ordering::Relaxed), 1);
+
+            drop(shards);
+            let _ = shard0.tx.send(ShardCmd::Shutdown);
+            let _ = shard1.tx.send(ShardCmd::Shutdown);
+            let _ = shard0.join.join();
+            let _ = shard1.join.join();
         }
-        // … and the older one is left alone.
-        assert!(
-            rx1.try_recv().is_err(),
-            "the older transaction must not be signalled"
-        );
-        assert_eq!(stats.deadlock_victims.load(Ordering::Relaxed), 1);
-
-        drop(shards);
-        let _ = shard0.tx.send(ShardCmd::Shutdown);
-        let _ = shard1.tx.send(ShardCmd::Shutdown);
-        let _ = shard0.join.join();
-        let _ = shard1.join.join();
     }
 
     /// With a T/O transaction in the cycle, the victim is still the 2PL
     /// member — even when the T/O transaction is younger.
     #[test]
     fn to_member_of_a_cycle_is_never_the_victim() {
-        let registry = Arc::new(Registry::new());
+        let registry = Arc::new(Registry::new(ReplyPlaneKind::Mailbox, 64));
         let stats = Arc::new(RuntimeStats::with_shards(2));
         let a = item(0, 0);
         let b = item(1, 1);
@@ -228,10 +231,10 @@ mod tests {
         let shard1 = spawn_shard(1, 1, b, &registry, &stats);
         let shards = vec![shard0.tx.clone(), shard1.tx.clone()];
 
-        let (tx1, rx1) = mpsc::channel();
-        let (tx3, rx3) = mpsc::channel();
-        registry.register(TxnId(1), CcMethod::TwoPhaseLocking, tx1);
-        registry.register(TxnId(3), CcMethod::TimestampOrdering, tx3);
+        let mut mb1 = registry.client_mailbox();
+        let mut mb3 = registry.client_mailbox();
+        registry.register(TxnId(1), CcMethod::TwoPhaseLocking, &mut mb1);
+        registry.register(TxnId(3), CcMethod::TimestampOrdering, &mut mb3);
 
         // 2PL T1 locks a; T/O T3 locks b (fresh thresholds accept ts 3).
         shard0
@@ -242,8 +245,8 @@ mod tests {
             .tx
             .send(access(3, b, CcMethod::TimestampOrdering, 3))
             .unwrap();
-        expect_grant(&rx1);
-        expect_grant(&rx3);
+        expect_grant(&mut mb1, TxnId(1));
+        expect_grant(&mut mb3, TxnId(3));
         shard1
             .tx
             .send(access(1, b, CcMethod::TwoPhaseLocking, 1))
@@ -257,12 +260,13 @@ mod tests {
 
         scan_once(&shards, &registry, &stats);
 
-        match rx1.recv_timeout(Duration::from_secs(2)) {
+        match mb1.recv_timeout(TxnId(1), Duration::from_secs(2)) {
             Ok(ClientEvent::DeadlockVictim) => {}
             other => panic!("expected the 2PL member to be the victim, got {other:?}"),
         }
         assert!(
-            rx3.try_recv().is_err(),
+            mb3.recv_timeout(TxnId(3), Duration::from_millis(50))
+                .is_err(),
             "T/O transactions are never deadlock victims (Corollary 2)"
         );
 

@@ -58,7 +58,7 @@ mod registry;
 mod shard;
 mod stats;
 
-pub use config::{CcPolicy, ConfigError, RuntimeConfig, TransportKind};
+pub use config::{CcPolicy, ConfigError, ReplyPlaneKind, RuntimeConfig, TransportKind};
 pub use db::{ActiveTxn, Database, TxnError, TxnReceipt, TxnSpec};
 pub use report::RuntimeReport;
 pub use stats::StatsSnapshot;

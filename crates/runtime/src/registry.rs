@@ -1,19 +1,50 @@
 //! The live-transaction registry: the runtime's reply router.
 //!
-//! Shards and the deadlock detector address transactions by [`TxnId`]; the
-//! registry maps each live incarnation to the (unbounded) event channel its
-//! client thread is blocked on. Entries are registered when an incarnation
-//! starts and removed when it commits, aborts or restarts; events addressed
-//! to an unknown transaction are dropped, which is exactly the "stale reply
-//! for an aborted incarnation" rule the simulator implements.
+//! Shards and the deadlock detector address transactions by [`TxnId`];
+//! the registry routes each event to the client thread driving that
+//! incarnation. Entries are registered when an incarnation starts and
+//! removed when it commits, aborts or restarts; events addressed to an
+//! unknown — or no-longer-current — transaction are dropped, which is
+//! exactly the "stale reply for an aborted incarnation" rule the
+//! simulator implements.
+//!
+//! Two reply planes exist (see [`crate::config::ReplyPlaneKind`]):
+//!
+//! * **Mailbox** (default) — the lock-free plane. Every client holds a
+//!   reusable [`transport::mailbox::Mailbox`] acquired once per
+//!   transaction from the shared slab and re-registered across restart
+//!   incarnations; delivery resolves `TxnId → (mailbox slot, tag)`
+//!   through the slab's packed atomic index — no registry mutex, no
+//!   channel allocation, no reply-path lock at all. The incarnation tag
+//!   is the transaction id itself (ids are a monotone counter, never
+//!   reused), carried inside every event and checked by the consumer, so
+//!   a delivery racing a restart can never leak a stale grant into the
+//!   next incarnation.
+//! * **Mpsc** — the PR-3 baseline kept for A/B comparison: a global
+//!   `Mutex<HashMap>` of per-incarnation `std::sync::mpsc` senders, one
+//!   freshly allocated channel per incarnation.
+//!
+//! On both planes [`Registry::deliver_all`] groups **all** of a
+//! transaction's replies in one flush into a single [`ClientEvent`] —
+//! not merely consecutive runs. A shard's drained batch can interleave
+//! several transactions' replies (two clients' `HandleBatch` commands
+//! alternating in one drain), and the earlier consecutive-run coalescing
+//! woke the same client once per run; the registry now guarantees *one
+//! wakeup per transaction per flush*, with the transaction's replies in
+//! processing order.
 
 use std::collections::HashMap;
-use std::sync::mpsc::Sender;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::Mutex;
+use std::time::Duration;
 
 use dbmodel::{CcMethod, TxnId};
 use pam::ReplyMsg;
 use transport::batch::SmallBatch;
+use transport::mailbox::{Mailbox, MailboxOptions, MailboxRegistry};
+
+use crate::config::ReplyPlaneKind;
 
 /// An event delivered to the client thread driving one incarnation.
 // The variant size gap is deliberate: reply batches travel inline so no
@@ -23,94 +54,285 @@ use transport::batch::SmallBatch;
 #[derive(Debug)]
 pub(crate) enum ClientEvent {
     /// One or more queue-manager replies for this incarnation, in
-    /// processing order. A shard's batch flush groups the consecutive
-    /// replies a transaction earned in one drained batch (e.g. all grants
-    /// of a multi-item access phase at that shard) into a single event,
-    /// so the waiting client is woken once per shard per phase, not once
+    /// processing order. A shard's batch flush groups every reply a
+    /// transaction earned in one drained batch (e.g. all grants of a
+    /// multi-item access phase at that shard) into a single event, so
+    /// the waiting client is woken once per shard per flush, not once
     /// per item.
     Replies(SmallBatch<ReplyMsg>),
     /// The deadlock detector chose this incarnation as a victim.
     DeadlockVictim,
 }
 
-struct Entry {
+/// The per-client reply endpoint, plane-matched to the registry that
+/// issued it. Acquired once per transaction and reused across its
+/// restart incarnations; [`Registry::register`] re-arms it for each
+/// incarnation.
+pub(crate) enum ClientMailbox {
+    /// A reusable slab mailbox (no allocation per incarnation).
+    Mailbox(Mailbox<ClientEvent>),
+    /// The baseline: `register` installs a fresh per-incarnation
+    /// receiver here.
+    Mpsc(Option<Receiver<ClientEvent>>),
+}
+
+/// Why [`ClientMailbox::recv_timeout`] returned no event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ClientRecvError {
+    /// Nothing arrived within the timeout.
+    Timeout,
+    /// The sending side is gone (mpsc plane only — the mailbox plane's
+    /// slab always holds a sender and reports shutdown via timeouts).
+    Disconnected,
+}
+
+impl ClientMailbox {
+    /// Block up to `timeout` for the next event addressed to `txn`.
+    /// On the mailbox plane, events tagged for earlier incarnations of
+    /// this slot are discarded here — the consumer half of the
+    /// stale-reply rule.
+    pub(crate) fn recv_timeout(
+        &mut self,
+        txn: TxnId,
+        timeout: Duration,
+    ) -> Result<ClientEvent, ClientRecvError> {
+        match self {
+            ClientMailbox::Mailbox(mb) => mb
+                .recv_timeout(txn.0, timeout)
+                .ok_or(ClientRecvError::Timeout),
+            ClientMailbox::Mpsc(rx) => rx
+                .as_ref()
+                .expect("mpsc mailbox used before registration")
+                .recv_timeout(timeout)
+                .map_err(|e| match e {
+                    RecvTimeoutError::Timeout => ClientRecvError::Timeout,
+                    RecvTimeoutError::Disconnected => ClientRecvError::Disconnected,
+                }),
+        }
+    }
+}
+
+struct MpscEntry {
     sender: Sender<ClientEvent>,
     method: CcMethod,
 }
 
-/// Shared map of live incarnations.
-#[derive(Default)]
+struct MpscPlane {
+    inner: Mutex<HashMap<TxnId, MpscEntry>>,
+}
+
+enum Plane {
+    Mailbox(MailboxRegistry<ClientEvent>),
+    Mpsc(MpscPlane),
+}
+
+/// Shared router of live incarnations (see the module docs).
 pub(crate) struct Registry {
-    inner: Mutex<HashMap<TxnId, Entry>>,
+    plane: Plane,
+    /// Events dropped at delivery time because no live incarnation
+    /// matched — the producer half of the stale-reply rule.
+    dropped: AtomicU64,
+}
+
+/// `CcMethod` packed into the mailbox slab's registration metadata so
+/// the deadlock detector's `method_of` resolves without any map.
+fn method_meta(method: CcMethod) -> u64 {
+    match method {
+        CcMethod::TwoPhaseLocking => 1,
+        CcMethod::TimestampOrdering => 2,
+        CcMethod::PrecedenceAgreement => 3,
+    }
+}
+
+fn meta_method(meta: u64) -> Option<CcMethod> {
+    match meta {
+        1 => Some(CcMethod::TwoPhaseLocking),
+        2 => Some(CcMethod::TimestampOrdering),
+        3 => Some(CcMethod::PrecedenceAgreement),
+        _ => None,
+    }
 }
 
 impl Registry {
-    pub(crate) fn new() -> Self {
-        Registry::default()
+    /// A registry on the given plane. `mailbox_capacity` bounds each
+    /// slab mailbox (mailbox plane only); it must exceed the replies one
+    /// incarnation can have outstanding while its client is between
+    /// drains, or delivering shards briefly yield.
+    pub(crate) fn new(kind: ReplyPlaneKind, mailbox_capacity: usize) -> Self {
+        let plane = match kind {
+            ReplyPlaneKind::Mailbox => {
+                Plane::Mailbox(MailboxRegistry::with_options(MailboxOptions {
+                    mailbox_capacity,
+                    ..MailboxOptions::default()
+                }))
+            }
+            ReplyPlaneKind::Mpsc => Plane::Mpsc(MpscPlane {
+                inner: Mutex::new(HashMap::new()),
+            }),
+        };
+        Registry {
+            plane,
+            dropped: AtomicU64::new(0),
+        }
     }
 
-    /// Register a new incarnation.
-    pub(crate) fn register(&self, txn: TxnId, method: CcMethod, sender: Sender<ClientEvent>) {
-        let mut map = self.inner.lock().expect("registry poisoned");
-        let prev = map.insert(txn, Entry { sender, method });
-        debug_assert!(prev.is_none(), "transaction id {txn} reused while live");
+    /// Hand out the reply endpoint a client thread drives one
+    /// transaction (all its incarnations) through. On the mailbox plane
+    /// this pops a reusable slab slot; on the mpsc plane it is an empty
+    /// shell filled per incarnation by [`Registry::register`].
+    pub(crate) fn client_mailbox(&self) -> ClientMailbox {
+        match &self.plane {
+            Plane::Mailbox(reg) => ClientMailbox::Mailbox(reg.acquire()),
+            Plane::Mpsc(_) => ClientMailbox::Mpsc(None),
+        }
+    }
+
+    /// Register a new incarnation on `mailbox`. Must complete before the
+    /// incarnation's first request message is routed (the callers do:
+    /// register, then `RequestIssuer::start`, then route).
+    pub(crate) fn register(&self, txn: TxnId, method: CcMethod, mailbox: &mut ClientMailbox) {
+        match (&self.plane, mailbox) {
+            (Plane::Mailbox(reg), ClientMailbox::Mailbox(mb)) => {
+                reg.register(txn.0, method_meta(method), mb);
+            }
+            (Plane::Mpsc(plane), ClientMailbox::Mpsc(slot)) => {
+                let (tx, rx) = mpsc::channel();
+                let prev = plane
+                    .inner
+                    .lock()
+                    .expect("registry poisoned")
+                    .insert(txn, MpscEntry { sender: tx, method });
+                debug_assert!(prev.is_none(), "transaction id {txn} reused while live");
+                *slot = Some(rx);
+            }
+            _ => unreachable!("client mailbox from a different reply plane"),
+        }
     }
 
     /// Remove an incarnation (commit, abort or restart).
     pub(crate) fn deregister(&self, txn: TxnId) {
-        self.inner.lock().expect("registry poisoned").remove(&txn);
+        match &self.plane {
+            Plane::Mailbox(reg) => reg.deregister(txn.0),
+            Plane::Mpsc(plane) => {
+                plane.inner.lock().expect("registry poisoned").remove(&txn);
+            }
+        }
     }
 
     /// Number of live incarnations.
     pub(crate) fn len(&self) -> usize {
-        self.inner.lock().expect("registry poisoned").len()
+        match &self.plane {
+            Plane::Mailbox(reg) => reg.len(),
+            Plane::Mpsc(plane) => plane.inner.lock().expect("registry poisoned").len(),
+        }
     }
 
-    /// Deliver a batch of replies under a single registry lock — the shard
-    /// loop flushes all replies produced by one drained command batch this
-    /// way, so registry lock traffic scales with batches, not messages —
-    /// coalescing consecutive same-transaction runs into single events.
+    /// Deliver a batch of replies — the shard loop flushes all replies
+    /// produced by one drained command batch this way. Every reply a
+    /// transaction earned in the flush is grouped into one
+    /// [`ClientEvent::Replies`] (one wakeup per transaction per flush,
+    /// even when different transactions' replies interleave), with the
+    /// transaction's replies kept in processing order. The mpsc plane
+    /// takes its map lock once per flush; the mailbox plane takes no
+    /// lock at all.
+    ///
+    /// Allocation-conscious callers (the shard loop) use
+    /// [`Registry::deliver_all_with`] with a retained scratch buffer;
+    /// this convenience form allocates a fresh one.
+    #[cfg(test)]
     pub(crate) fn deliver_all<I: IntoIterator<Item = ReplyMsg>>(&self, replies: I) {
-        let map = self.inner.lock().expect("registry poisoned");
-        let mut run: SmallBatch<ReplyMsg> = SmallBatch::new();
-        let mut run_txn: Option<TxnId> = None;
-        let flush = |txn: Option<TxnId>, run: SmallBatch<ReplyMsg>| {
-            let Some(txn) = txn else { return };
-            if let Some(entry) = map.get(&txn) {
-                // A send error means the client hung up between
-                // deregistering and dropping the receiver; equivalent to a
-                // stale reply.
-                let _ = entry.sender.send(ClientEvent::Replies(run));
-            }
-        };
+        self.deliver_all_with(replies, &mut Vec::new());
+    }
+
+    /// [`Registry::deliver_all`] with a caller-retained scratch buffer
+    /// for the per-transaction groups, so a hot flush path pays no heap
+    /// allocation for the grouping (the inline `SmallBatch` runs already
+    /// cross for free). `scratch` is left empty with its capacity
+    /// intact.
+    pub(crate) fn deliver_all_with<I: IntoIterator<Item = ReplyMsg>>(
+        &self,
+        replies: I,
+        scratch: &mut Vec<(TxnId, SmallBatch<ReplyMsg>)>,
+    ) {
+        // Group by transaction, preserving first-appearance order across
+        // transactions and processing order within one. Flushes touch a
+        // handful of transactions, so a linear scan beats hashing.
+        debug_assert!(scratch.is_empty());
         for reply in replies {
-            if run_txn == Some(reply.txn()) {
-                run.push(reply);
-                continue;
+            let txn = reply.txn();
+            match scratch.iter_mut().find(|(t, _)| *t == txn) {
+                Some((_, run)) => run.push(reply),
+                None => {
+                    let mut run = SmallBatch::new();
+                    run.push(reply);
+                    scratch.push((txn, run));
+                }
             }
-            flush(run_txn, std::mem::take(&mut run));
-            run_txn = Some(reply.txn());
-            run.push(reply);
         }
-        flush(run_txn, run);
+        match &self.plane {
+            Plane::Mailbox(reg) => {
+                for (txn, run) in scratch.drain(..) {
+                    if !reg.deliver(txn.0, ClientEvent::Replies(run)) {
+                        self.dropped.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Plane::Mpsc(plane) => {
+                let map = plane.inner.lock().expect("registry poisoned");
+                for (txn, run) in scratch.drain(..) {
+                    match map.get(&txn) {
+                        // A send error means the client hung up between
+                        // deregistering and dropping the receiver;
+                        // equivalent to a stale reply.
+                        Some(entry) => {
+                            let _ = entry.sender.send(ClientEvent::Replies(run));
+                        }
+                        None => {
+                            self.dropped.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// The method a live incarnation runs under.
     pub(crate) fn method_of(&self, txn: TxnId) -> Option<CcMethod> {
-        self.inner
-            .lock()
-            .expect("registry poisoned")
-            .get(&txn)
-            .map(|e| e.method)
+        match &self.plane {
+            Plane::Mailbox(reg) => reg.resolve_meta(txn.0).and_then(meta_method),
+            Plane::Mpsc(plane) => plane
+                .inner
+                .lock()
+                .expect("registry poisoned")
+                .get(&txn)
+                .map(|e| e.method),
+        }
     }
 
-    /// Signal a deadlock victim. Returns true if the incarnation was live.
+    /// Signal a deadlock victim. Returns true if the incarnation was
+    /// live and the signal was queued.
     pub(crate) fn signal_deadlock(&self, txn: TxnId) -> bool {
-        let map = self.inner.lock().expect("registry poisoned");
-        match map.get(&txn) {
-            Some(entry) => entry.sender.send(ClientEvent::DeadlockVictim).is_ok(),
-            None => false,
+        match &self.plane {
+            Plane::Mailbox(reg) => reg.deliver(txn.0, ClientEvent::DeadlockVictim),
+            Plane::Mpsc(plane) => {
+                let map = plane.inner.lock().expect("registry poisoned");
+                match map.get(&txn) {
+                    Some(entry) => entry.sender.send(ClientEvent::DeadlockVictim).is_ok(),
+                    None => false,
+                }
+            }
         }
+    }
+
+    /// Stale reply events suppressed so far: deliveries dropped because
+    /// no live incarnation matched, plus (mailbox plane) events
+    /// discarded consumer-side by the incarnation tag.
+    pub(crate) fn stale_reply_events(&self) -> u64 {
+        let consumer_side = match &self.plane {
+            Plane::Mailbox(reg) => reg.stale_dropped(),
+            Plane::Mpsc(_) => 0,
+        };
+        self.dropped.load(Ordering::Relaxed) + consumer_side
     }
 }
 
@@ -118,43 +340,168 @@ impl Registry {
 mod tests {
     use super::*;
     use dbmodel::{LogicalItemId, PhysicalItemId, SiteId};
-    use std::sync::mpsc;
+
+    const PLANES: [ReplyPlaneKind; 2] = [ReplyPlaneKind::Mailbox, ReplyPlaneKind::Mpsc];
 
     fn reply(txn: u64) -> ReplyMsg {
+        reply_on(txn, 1)
+    }
+
+    fn reply_on(txn: u64, item: u64) -> ReplyMsg {
         ReplyMsg::Ack {
             txn: TxnId(txn),
-            item: PhysicalItemId::new(LogicalItemId(1), SiteId(0)),
+            item: PhysicalItemId::new(LogicalItemId(item), SiteId(0)),
         }
+    }
+
+    fn recv_now(mb: &mut ClientMailbox, txn: u64) -> Result<ClientEvent, ClientRecvError> {
+        mb.recv_timeout(TxnId(txn), Duration::from_millis(200))
+    }
+
+    /// Drain every event currently queued for `txn` (bounded wait).
+    fn drain_events(mb: &mut ClientMailbox, txn: u64) -> Vec<ClientEvent> {
+        let mut events = Vec::new();
+        while let Ok(ev) = mb.recv_timeout(TxnId(txn), Duration::from_millis(50)) {
+            events.push(ev);
+        }
+        events
     }
 
     #[test]
     fn delivers_to_registered_and_drops_unknown() {
-        let registry = Registry::new();
-        let (tx, rx) = mpsc::channel();
-        registry.register(TxnId(1), CcMethod::TwoPhaseLocking, tx);
-        assert_eq!(registry.len(), 1);
-        // One locked pass delivers the known reply and drops the unknown.
-        registry.deliver_all([reply(1), reply(2)]);
-        assert!(matches!(rx.try_recv(), Ok(ClientEvent::Replies(_))));
-        assert!(rx.try_recv().is_err());
-        registry.deregister(TxnId(1));
-        assert_eq!(registry.len(), 0);
-        registry.deliver_all([reply(1)]); // now stale: dropped
-        assert!(rx.try_recv().is_err());
+        for plane in PLANES {
+            let registry = Registry::new(plane, 64);
+            let mut mb = registry.client_mailbox();
+            registry.register(TxnId(1), CcMethod::TwoPhaseLocking, &mut mb);
+            assert_eq!(registry.len(), 1);
+            // One flush delivers the known reply and drops the unknown.
+            registry.deliver_all([reply(1), reply(2)]);
+            assert!(matches!(recv_now(&mut mb, 1), Ok(ClientEvent::Replies(_))));
+            assert!(recv_now(&mut mb, 1).is_err());
+            registry.deregister(TxnId(1));
+            assert_eq!(registry.len(), 0);
+            registry.deliver_all([reply(1)]); // now stale: dropped
+            assert!(recv_now(&mut mb, 1).is_err());
+            assert!(
+                registry.stale_reply_events() >= 2,
+                "{plane:?}: both stale replies counted"
+            );
+        }
     }
 
     #[test]
     fn deadlock_signal_reaches_live_victims_only() {
-        let registry = Registry::new();
-        let (tx, rx) = mpsc::channel();
-        registry.register(TxnId(7), CcMethod::TwoPhaseLocking, tx);
-        assert_eq!(
-            registry.method_of(TxnId(7)),
-            Some(CcMethod::TwoPhaseLocking)
+        for plane in PLANES {
+            let registry = Registry::new(plane, 64);
+            let mut mb = registry.client_mailbox();
+            registry.register(TxnId(7), CcMethod::TwoPhaseLocking, &mut mb);
+            assert_eq!(
+                registry.method_of(TxnId(7)),
+                Some(CcMethod::TwoPhaseLocking)
+            );
+            assert_eq!(registry.method_of(TxnId(8)), None);
+            assert!(registry.signal_deadlock(TxnId(7)));
+            assert!(!registry.signal_deadlock(TxnId(8)));
+            assert!(matches!(
+                recv_now(&mut mb, 7),
+                Ok(ClientEvent::DeadlockVictim)
+            ));
+            registry.deregister(TxnId(7));
+        }
+    }
+
+    /// The coalescing guarantee (and the fix for the consecutive-run
+    /// footgun): one flush interleaving two transactions' replies —
+    /// A,B,A,B,A,B — wakes each client exactly once, with its three
+    /// replies grouped in order. The old consecutive-run coalescing
+    /// produced three events (three wakeups) per client for the same
+    /// flush.
+    #[test]
+    fn interleaved_flush_coalesces_to_one_event_per_txn() {
+        for plane in PLANES {
+            let registry = Registry::new(plane, 64);
+            let mut mb_a = registry.client_mailbox();
+            let mut mb_b = registry.client_mailbox();
+            registry.register(TxnId(1), CcMethod::TwoPhaseLocking, &mut mb_a);
+            registry.register(TxnId(2), CcMethod::TwoPhaseLocking, &mut mb_b);
+            registry.deliver_all([
+                reply_on(1, 10),
+                reply_on(2, 20),
+                reply_on(1, 11),
+                reply_on(2, 21),
+                reply_on(1, 12),
+                reply_on(2, 22),
+            ]);
+            for (mb, txn, items) in [
+                (&mut mb_a, 1u64, [10u64, 11, 12]),
+                (&mut mb_b, 2, [20, 21, 22]),
+            ] {
+                let events = drain_events(mb, txn);
+                assert_eq!(
+                    events.len(),
+                    1,
+                    "{plane:?}: exactly one wakeup event per transaction per flush"
+                );
+                let ClientEvent::Replies(batch) = &events[0] else {
+                    panic!("{plane:?}: expected replies");
+                };
+                let seen: Vec<u64> = batch.iter().map(|r| r.item().logical.0).collect();
+                assert_eq!(seen, items, "{plane:?}: replies grouped in order");
+            }
+            registry.deregister(TxnId(1));
+            registry.deregister(TxnId(2));
+        }
+    }
+
+    /// Satellite 2, deterministic half: a `DeadlockVictim` signal
+    /// arriving between two reply flushes is neither lost nor reordered
+    /// around them — the client observes replies, then the victim, then
+    /// the later replies, on both planes.
+    #[test]
+    fn victim_signal_keeps_its_place_between_reply_flushes() {
+        for plane in PLANES {
+            let registry = Registry::new(plane, 64);
+            let mut mb = registry.client_mailbox();
+            registry.register(TxnId(5), CcMethod::TwoPhaseLocking, &mut mb);
+            registry.deliver_all([reply_on(5, 1), reply_on(5, 2)]);
+            assert!(registry.signal_deadlock(TxnId(5)));
+            registry.deliver_all([reply_on(5, 3)]);
+            let events = drain_events(&mut mb, 5);
+            let shape: Vec<&'static str> = events
+                .iter()
+                .map(|e| match e {
+                    ClientEvent::Replies(_) => "replies",
+                    ClientEvent::DeadlockVictim => "victim",
+                })
+                .collect();
+            assert_eq!(
+                shape,
+                ["replies", "victim", "replies"],
+                "{plane:?}: the victim signal must keep its place"
+            );
+            registry.deregister(TxnId(5));
+        }
+    }
+
+    /// A victim signal for an incarnation that restarted before the
+    /// client consumed it must not leak into the next incarnation.
+    #[test]
+    fn stale_victim_signal_never_reaches_the_next_incarnation() {
+        let registry = Registry::new(ReplyPlaneKind::Mailbox, 64);
+        let mut mb = registry.client_mailbox();
+        registry.register(TxnId(1), CcMethod::TwoPhaseLocking, &mut mb);
+        assert!(registry.signal_deadlock(TxnId(1)));
+        // The incarnation restarts without consuming the signal; the
+        // same mailbox serves the next incarnation.
+        registry.deregister(TxnId(1));
+        registry.register(TxnId(2), CcMethod::TwoPhaseLocking, &mut mb);
+        registry.deliver_all([reply(2)]);
+        let events = drain_events(&mut mb, 2);
+        assert_eq!(events.len(), 1);
+        assert!(
+            matches!(events[0], ClientEvent::Replies(_)),
+            "the stale victim must have been discarded, not delivered"
         );
-        assert_eq!(registry.method_of(TxnId(8)), None);
-        assert!(registry.signal_deadlock(TxnId(7)));
-        assert!(!registry.signal_deadlock(TxnId(8)));
-        assert!(matches!(rx.try_recv(), Ok(ClientEvent::DeadlockVictim)));
+        registry.deregister(TxnId(2));
     }
 }

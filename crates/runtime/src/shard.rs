@@ -229,6 +229,9 @@ fn shard_loop(
         shutdown: false,
     };
     let mut buf: Vec<ShardCmd> = Vec::with_capacity(64);
+    // Retained grouping scratch for the reply flushes: the flush path
+    // pays no allocation per drained batch.
+    let mut reply_groups = Vec::with_capacity(16);
     // Exiting on a closed inbox (all senders dropped) covers the case of
     // a `Database` dropped without an explicit shutdown.
     loop {
@@ -239,12 +242,12 @@ fn shard_loop(
         for cmd in buf.drain(..) {
             state.apply_cmd(cmd);
         }
-        // Replies are flushed once per drained batch: a single registry
-        // lock covers every reply the batch produced, and — measured on a
+        // Replies are flushed once per drained batch: one registry pass
+        // covers every reply the batch produced, and — measured on a
         // loaded single-CPU box — waking waiters mid-batch lets them
         // preempt the shard and roughly halves throughput.
         if !state.replies.is_empty() {
-            registry.deliver_all(state.replies.drain(..));
+            registry.deliver_all_with(state.replies.drain(..), &mut reply_groups);
         }
         if state.shutdown {
             // Drain-first shutdown: sweep and process everything already
@@ -257,7 +260,7 @@ fn shard_loop(
                 }
                 buf.clear();
                 if !state.replies.is_empty() {
-                    registry.deliver_all(state.replies.drain(..));
+                    registry.deliver_all_with(state.replies.drain(..), &mut reply_groups);
                 }
             }
             break;
@@ -298,11 +301,12 @@ impl ShardSender {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::TransportKind;
+    use crate::config::{ReplyPlaneKind, TransportKind};
+    use crate::registry::ClientMailbox;
     use dbmodel::{
         AccessMode, CcMethod, LogicalItemId, PhysicalItemId, Timestamp, TsTuple, TxnId, Value,
     };
-    use std::sync::mpsc;
+    use std::time::Duration;
     use unified_cc::EnforcementMode;
 
     fn item() -> PhysicalItemId {
@@ -312,11 +316,18 @@ mod tests {
     fn spawn_one(transport: TransportKind) -> (ShardHandle, Arc<Registry>, Arc<RuntimeStats>) {
         let mut qm = QueueManager::new(SiteId(0));
         qm.add_item(item(), 42, EnforcementMode::SemiLock);
-        let registry = Arc::new(Registry::new());
+        let registry = Arc::new(Registry::new(ReplyPlaneKind::Mailbox, 64));
         let stats = Arc::new(RuntimeStats::with_shards(1));
         let (tx, rx) = inbox_pair(transport, 16);
         let handle = spawn(qm, 0, rx, tx, Arc::clone(&registry), Arc::clone(&stats));
         (handle, registry, stats)
+    }
+
+    fn expect_replies(mb: &mut ClientMailbox, txn: u64) {
+        match mb.recv_timeout(TxnId(txn), Duration::from_secs(2)) {
+            Ok(crate::registry::ClientEvent::Replies(_)) => {}
+            other => panic!("expected replies, got {other:?}"),
+        }
     }
 
     fn access(txn: u64, mode: AccessMode, ts: u64) -> RequestMsg {
@@ -341,8 +352,8 @@ mod tests {
     fn shard_grants_logs_and_shuts_down() {
         for transport in [TransportKind::BatchedRing, TransportKind::Mpsc] {
             let (handle, registry, stats) = spawn_one(transport);
-            let (ev_tx, ev_rx) = mpsc::channel();
-            registry.register(TxnId(1), CcMethod::TwoPhaseLocking, ev_tx);
+            let mut mb = registry.client_mailbox();
+            registry.register(TxnId(1), CcMethod::TwoPhaseLocking, &mut mb);
             handle
                 .tx
                 .send(ShardCmd::Handle {
@@ -352,10 +363,7 @@ mod tests {
                 .map_err(|_| ())
                 .unwrap();
             // The grant is routed through the registry.
-            assert!(matches!(
-                ev_rx.recv().unwrap(),
-                crate::registry::ClientEvent::Replies(_)
-            ));
+            expect_replies(&mut mb, 1);
             handle
                 .tx
                 .send(ShardCmd::Handle {
@@ -399,8 +407,8 @@ mod tests {
     #[test]
     fn handle_batch_applies_messages_in_order() {
         let (handle, registry, stats) = spawn_one(TransportKind::BatchedRing);
-        let (ev_tx, ev_rx) = mpsc::channel();
-        registry.register(TxnId(1), CcMethod::TwoPhaseLocking, ev_tx);
+        let mut mb = registry.client_mailbox();
+        registry.register(TxnId(1), CcMethod::TwoPhaseLocking, &mut mb);
         handle
             .tx
             .send(ShardCmd::HandleBatch {
@@ -411,10 +419,7 @@ mod tests {
             })
             .map_err(|_| ())
             .unwrap();
-        assert!(matches!(
-            ev_rx.recv().unwrap(),
-            crate::registry::ClientEvent::Replies(_)
-        ));
+        expect_replies(&mut mb, 1);
         let _ = handle.tx.send(ShardCmd::Shutdown);
         let (_, logs) = handle.join.join().unwrap();
         assert_eq!(logs.total_ops(), 1, "access then release implemented");
@@ -435,7 +440,7 @@ mod tests {
             const TXNS: u64 = 50;
             let mut qm = QueueManager::new(SiteId(0));
             qm.add_item(item(), 42, EnforcementMode::SemiLock);
-            let registry = Arc::new(Registry::new());
+            let registry = Arc::new(Registry::new(ReplyPlaneKind::Mailbox, 64));
             let stats = Arc::new(RuntimeStats::with_shards(1));
             let (tx, inbox) = inbox_pair(transport, 128);
             for t in 1..=TXNS {

@@ -169,6 +169,12 @@ pub struct StatsSnapshot {
     /// Wall-clock nanoseconds spent inside the selector with its locks
     /// already held (dynamic policy).
     pub selection_nanos: u64,
+    /// Stale reply events suppressed by the reply plane: deliveries
+    /// dropped because no live incarnation matched, plus (mailbox plane)
+    /// events discarded by the consumer's incarnation tag. Filled in by
+    /// [`crate::Database::stats`] from the registry, not by
+    /// `RuntimeStats` itself.
+    pub stale_reply_events: u64,
     /// Selection-cache counters (all zero when the cache is disabled or
     /// the policy is not dynamic).
     pub cache: CacheStats,
@@ -198,6 +204,7 @@ impl RuntimeStats {
             implemented_ops: self.implemented_ops.load(Ordering::Relaxed),
             selections: self.selections.load(Ordering::Relaxed),
             selection_nanos: self.selection_nanos.load(Ordering::Relaxed),
+            stale_reply_events: 0,
             cache: CacheStats {
                 hits: self.cache_hits.load(Ordering::Relaxed),
                 misses: self.cache_misses.load(Ordering::Relaxed),

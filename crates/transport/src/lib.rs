@@ -12,6 +12,12 @@
 //!   request/response conversations (wait-for edges, log snapshots,
 //!   waiting-transaction reports), replacing the ad-hoc
 //!   `std::sync::mpsc::channel()` pair allocated per call.
+//! * [`mailbox`] — the reply direction: a slab of reusable bounded
+//!   mailboxes (one per client, recycled across registrations instead of
+//!   allocated per conversation) behind a lock-free generation-tagged
+//!   key index, so routing an event to its waiting consumer takes no
+//!   lock and no allocation, and stale events addressed to a retired key
+//!   are provably dropped.
 //! * [`CachePadded`] — align a value to its own cache line so hot atomics
 //!   (ring head/tail, per-stripe metric shards) do not false-share.
 //!
@@ -19,6 +25,7 @@
 //! between threads and knows nothing about transactions.
 
 pub mod batch;
+pub mod mailbox;
 pub mod oneshot;
 pub mod ring;
 

@@ -1,0 +1,777 @@
+//! Reusable reply mailboxes and the generation-tagged slab registry.
+//!
+//! The reply half of the message plane. Where [`crate::ring`] carries
+//! commands *towards* a single consumer (a shard), this module carries
+//! events *back* to many waiting clients — and does it without the two
+//! costs the naive design pays per transaction: allocating a fresh
+//! channel for every incarnation, and resolving the recipient under a
+//! global registry mutex.
+//!
+//! Three pieces:
+//!
+//! * **Mailboxes** — each [`Mailbox`] wraps one bounded MPSC ring
+//!   (the same Vyukov sequence-stamped slots and park/unpark handshake
+//!   as [`crate::ring`]) owned by one consumer thread at a time.
+//!   Mailboxes live in a slab and are *reused*: acquiring one pops a
+//!   free slot off a lock-free freelist (or lazily grows the slab by a
+//!   chunk), dropping it pushes the slot back. No channel is ever
+//!   allocated per registration.
+//! * **The slab registry** — [`MailboxRegistry`] maps a live `u64` key
+//!   (the runtime uses the transaction id) to its mailbox slot through a
+//!   fixed-size array of packed atomic entries: register is one CAS,
+//!   [`MailboxRegistry::deliver`] is one load plus a verified push,
+//!   deregister is one CAS. No lock is taken on any of them. Two live
+//!   keys that collide on the same bucket (ids a multiple of the index
+//!   size apart) spill into a mutex-guarded overflow map — a
+//!   correctness net that stays empty in practice and is skipped
+//!   entirely (one atomic load) while it is.
+//! * **The generation tag** — slots are reused by later transactions,
+//!   and a delivery can race the slot's rebinding: the producer resolves
+//!   key → slot, the old registration is torn down, a new one binds the
+//!   same slot, and only then does the producer's push land. To keep the
+//!   simulator's "a stale reply for an aborted incarnation is dropped"
+//!   rule under that race, every event travels through the mailbox
+//!   *tagged with the key it was addressed to*, and the consumer
+//!   discards any event whose tag is not the key it is currently
+//!   waiting on. Keys must never be reused (the runtime's transaction
+//!   ids are a monotone counter), which makes the key its own perfect
+//!   incarnation tag. Registering a new key also sweeps the mailbox of
+//!   leftovers from the previous incarnation, bounding occupancy to one
+//!   incarnation's traffic plus in-flight races.
+//!
+//! [`MailboxOptions::tag_check`] exists solely so the race-test suite
+//! can *disable* the tag machinery (no consumer filtering, no sweep on
+//! register) and demonstrate that the races it guards against are real:
+//! with the tag off, a delayed delivery for an earlier key observably
+//! surfaces in a later incarnation sharing the slot.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread;
+use std::time::Duration;
+
+use crate::ring::{self, RingReceiver, RingSender, TrySendError};
+
+/// One lazily initialised slab chunk of mailbox slots.
+type SlotChunk<E> = OnceLock<Box<[Slot<E>]>>;
+
+/// Slots per lazily initialised slab chunk.
+const CHUNK: usize = 64;
+
+/// A free index bucket. Packed entries put the key's low 48 bits in the
+/// high bits and the slot in the low 16, so no valid entry is all-ones
+/// (slots are capped below `0xFFFF`).
+const EMPTY: u64 = u64::MAX;
+
+/// Key bits kept in an index entry for verification. Two distinct keys
+/// collide only if they differ by a multiple of 2^48 — unreachable for
+/// keys drawn from a counter.
+const KEY_MASK: u64 = (1 << 48) - 1;
+
+/// Hard cap on slab slots (16-bit slot field, all-ones reserved so a
+/// packed entry can never equal [`EMPTY`]).
+const MAX_SLOTS: usize = (1 << 16) - 1;
+
+/// Freelist "no head" sentinel.
+const NO_SLOT: u64 = u32::MAX as u64;
+
+fn pack(key: u64, slot: u32) -> u64 {
+    ((key & KEY_MASK) << 16) | slot as u64
+}
+
+fn entry_matches(entry: u64, key: u64) -> bool {
+    entry != EMPTY && (entry >> 16) == (key & KEY_MASK)
+}
+
+fn entry_slot(entry: u64) -> u32 {
+    (entry & 0xFFFF) as u32
+}
+
+/// Tuning knobs for a [`MailboxRegistry`].
+#[derive(Debug, Clone, Copy)]
+pub struct MailboxOptions {
+    /// Buckets in the lock-free key index (rounded up to a power of
+    /// two). Two *live* keys landing in one bucket spill to the overflow
+    /// map; with keys from a counter that needs them `index_capacity`
+    /// apart and both still live.
+    pub index_capacity: usize,
+    /// Bounded capacity of each mailbox ring. Must exceed the events one
+    /// incarnation can have outstanding while its consumer is not
+    /// draining (for the runtime: replies to every in-flight request),
+    /// or producers briefly spin on the full mailbox.
+    pub mailbox_capacity: usize,
+    /// Maximum concurrently acquired mailboxes. The slab grows towards
+    /// this in chunks of 64; acquiring past it waits for a release.
+    pub max_clients: usize,
+    /// The stale-event guard (see the module docs). `false` is a
+    /// test-only mutation switch that disables consumer-side tag
+    /// filtering *and* the sweep-on-register, modelling a registry
+    /// without incarnation tags.
+    pub tag_check: bool,
+}
+
+impl Default for MailboxOptions {
+    fn default() -> Self {
+        MailboxOptions {
+            index_capacity: 4096,
+            mailbox_capacity: 256,
+            max_clients: 4096,
+            tag_check: true,
+        }
+    }
+}
+
+/// One slab slot: a ring whose sender side is shared by every producer
+/// and whose receiver side is held by the current [`Mailbox`] owner (and
+/// parked here between owners).
+struct Slot<E> {
+    tx: RingSender<(u64, E)>,
+    rx: Mutex<Option<RingReceiver<(u64, E)>>>,
+    /// The key currently bound to this slot (0 = unbound). Producers
+    /// re-check it before spinning on a full ring so deliveries to a
+    /// dead registration are dropped, never waited on.
+    bound: AtomicU64,
+    /// Caller-defined registration metadata (the runtime stores the
+    /// concurrency-control method for the deadlock detector).
+    meta: AtomicU64,
+    /// Freelist link (slot index, [`NO_SLOT`] terminated).
+    next_free: AtomicU64,
+}
+
+struct Shared<E> {
+    /// The lock-free key index: packed `(key₄₈, slot₁₆)` entries.
+    index: Box<[AtomicU64]>,
+    index_mask: usize,
+    /// Correctness net for live bucket collisions.
+    overflow: Mutex<HashMap<u64, u32>>,
+    /// Lets `lookup` skip the overflow mutex with one load while the map
+    /// is empty (the overwhelmingly common case).
+    overflow_len: AtomicUsize,
+    /// The slab, grown lazily chunk by chunk (readers index initialised
+    /// chunks without any lock).
+    chunks: Box<[SlotChunk<E>]>,
+    /// Slots handed out so far (high-water mark; freed slots recycle
+    /// through the freelist, not this counter).
+    allocated: AtomicUsize,
+    max_slots: usize,
+    /// Treiber stack of free slot indices: `(version₃₂ | index₃₂)`, the
+    /// version incremented on every successful swing to defeat ABA.
+    free_head: AtomicU64,
+    /// Live registrations.
+    live: AtomicUsize,
+    /// Stale events discarded by consumers (tag mismatches plus
+    /// sweep-on-register leftovers) — the observable count of the
+    /// drop-stale-replies rule firing.
+    stale_dropped: AtomicU64,
+    mailbox_capacity: usize,
+    tag_check: bool,
+}
+
+impl<E> Shared<E> {
+    fn slot(&self, idx: u32) -> &Slot<E> {
+        let chunk = self.chunks[idx as usize / CHUNK]
+            .get()
+            .expect("slot chunk initialised before use");
+        &chunk[idx as usize % CHUNK]
+    }
+
+    fn freelist_push(&self, idx: u32) {
+        loop {
+            let head = self.free_head.load(Ordering::SeqCst);
+            self.slot(idx)
+                .next_free
+                .store(head & 0xFFFF_FFFF, Ordering::SeqCst);
+            let next = ((head >> 32).wrapping_add(1)) << 32 | idx as u64;
+            if self
+                .free_head
+                .compare_exchange(head, next, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    fn freelist_pop(&self) -> Option<u32> {
+        loop {
+            let head = self.free_head.load(Ordering::SeqCst);
+            let idx = head & 0xFFFF_FFFF;
+            if idx == NO_SLOT {
+                return None;
+            }
+            let next = self.slot(idx as u32).next_free.load(Ordering::SeqCst);
+            let new = ((head >> 32).wrapping_add(1)) << 32 | next;
+            if self
+                .free_head
+                .compare_exchange(head, new, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return Some(idx as u32);
+            }
+        }
+    }
+
+    /// Resolve a key to its slot: one bucket load on the fast path, the
+    /// overflow map only while it is provably non-empty.
+    fn lookup(&self, key: u64) -> Option<u32> {
+        let entry = self.index[(key as usize) & self.index_mask].load(Ordering::SeqCst);
+        if entry_matches(entry, key) {
+            return Some(entry_slot(entry));
+        }
+        if self.overflow_len.load(Ordering::SeqCst) > 0 {
+            return self
+                .overflow
+                .lock()
+                .expect("overflow map poisoned")
+                .get(&key)
+                .copied();
+        }
+        None
+    }
+
+    fn deregister(&self, key: u64) {
+        let bucket = &self.index[(key as usize) & self.index_mask];
+        let entry = bucket.load(Ordering::SeqCst);
+        let slot = if entry_matches(entry, key) {
+            // CAS, not a store: a concurrent register for a colliding key
+            // must not be clobbered. (It cannot swing to another entry
+            // for *our* key — keys are never reused.) Losing the CAS
+            // means a racing deregister of the same key already removed
+            // it — only the winner unbinds and decrements `live`.
+            bucket
+                .compare_exchange(entry, EMPTY, Ordering::SeqCst, Ordering::SeqCst)
+                .ok()
+                .map(|_| entry_slot(entry))
+        } else if self.overflow_len.load(Ordering::SeqCst) > 0 {
+            let removed = self
+                .overflow
+                .lock()
+                .expect("overflow map poisoned")
+                .remove(&key);
+            if removed.is_some() {
+                self.overflow_len.fetch_sub(1, Ordering::SeqCst);
+            }
+            removed
+        } else {
+            None
+        };
+        if let Some(slot) = slot {
+            let _ =
+                self.slot(slot)
+                    .bound
+                    .compare_exchange(key, 0, Ordering::SeqCst, Ordering::SeqCst);
+            self.live.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// The shared reply registry: a slab of reusable mailboxes plus the
+/// lock-free key index routing deliveries to them. Cheap to share via
+/// the handles it hands out; see the module docs for the design.
+pub struct MailboxRegistry<E> {
+    shared: Arc<Shared<E>>,
+}
+
+impl<E: Send> Default for MailboxRegistry<E> {
+    fn default() -> Self {
+        MailboxRegistry::new()
+    }
+}
+
+impl<E: Send> MailboxRegistry<E> {
+    /// A registry with [`MailboxOptions::default`].
+    pub fn new() -> Self {
+        MailboxRegistry::with_options(MailboxOptions::default())
+    }
+
+    /// A registry with explicit tuning.
+    pub fn with_options(opts: MailboxOptions) -> Self {
+        let index_cap = opts.index_capacity.next_power_of_two().max(64);
+        let max_slots = opts.max_clients.clamp(1, MAX_SLOTS);
+        let shared = Arc::new(Shared {
+            index: (0..index_cap).map(|_| AtomicU64::new(EMPTY)).collect(),
+            index_mask: index_cap - 1,
+            overflow: Mutex::new(HashMap::new()),
+            overflow_len: AtomicUsize::new(0),
+            chunks: (0..max_slots.div_ceil(CHUNK))
+                .map(|_| OnceLock::new())
+                .collect(),
+            allocated: AtomicUsize::new(0),
+            max_slots,
+            free_head: AtomicU64::new(NO_SLOT),
+            live: AtomicUsize::new(0),
+            stale_dropped: AtomicU64::new(0),
+            mailbox_capacity: opts.mailbox_capacity.max(4),
+            tag_check: opts.tag_check,
+        });
+        MailboxRegistry { shared }
+    }
+
+    /// Take a mailbox out of the slab: a freelist pop when one is free, a
+    /// lazily initialised chunk slot otherwise. Blocks (yielding) only
+    /// when `max_clients` mailboxes are simultaneously held.
+    pub fn acquire(&self) -> Mailbox<E> {
+        let shared = &self.shared;
+        let slot = loop {
+            if let Some(idx) = shared.freelist_pop() {
+                break idx;
+            }
+            let n = shared.allocated.fetch_add(1, Ordering::SeqCst);
+            if n < shared.max_slots {
+                shared.chunks[n / CHUNK].get_or_init(|| {
+                    (0..CHUNK)
+                        .map(|_| {
+                            let (tx, rx) = ring::channel(shared.mailbox_capacity);
+                            Slot {
+                                tx,
+                                rx: Mutex::new(Some(rx)),
+                                bound: AtomicU64::new(0),
+                                meta: AtomicU64::new(0),
+                                next_free: AtomicU64::new(NO_SLOT),
+                            }
+                        })
+                        .collect()
+                });
+                break n as u32;
+            }
+            // Slab exhausted: hand the claim back and wait for a release.
+            shared.allocated.fetch_sub(1, Ordering::SeqCst);
+            thread::yield_now();
+        };
+        let rx = shared
+            .slot(slot)
+            .rx
+            .lock()
+            .expect("slot receiver poisoned")
+            .take()
+            .expect("a free slot parks its receiver");
+        Mailbox {
+            shared: Arc::clone(shared),
+            slot,
+            rx: Some(rx),
+            pending: VecDeque::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Bind `key` (nonzero, never reused) to `mailbox` with caller
+    /// metadata. Sweeps the mailbox of the previous incarnation's
+    /// leftovers first (unless the tag machinery is mutation-disabled).
+    /// Must complete before any event addressed to `key` can be produced
+    /// — the runtime registers before the incarnation's first request
+    /// message leaves the client thread.
+    pub fn register(&self, key: u64, meta: u64, mailbox: &mut Mailbox<E>) {
+        debug_assert!(key != 0, "key 0 is the unbound sentinel");
+        debug_assert!(
+            Arc::ptr_eq(&self.shared, &mailbox.shared),
+            "mailbox belongs to a different registry"
+        );
+        let shared = &self.shared;
+        if shared.tag_check {
+            mailbox.clear();
+        }
+        let slot = shared.slot(mailbox.slot);
+        slot.meta.store(meta, Ordering::SeqCst);
+        slot.bound.store(key, Ordering::SeqCst);
+        let bucket = &shared.index[(key as usize) & shared.index_mask];
+        debug_assert!(
+            !entry_matches(bucket.load(Ordering::SeqCst), key),
+            "key {key} registered while live"
+        );
+        let packed = pack(key, mailbox.slot);
+        if bucket
+            .compare_exchange(EMPTY, packed, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            // Bucket held by a live colliding key: the overflow map is
+            // the slow home for this registration. The length counter is
+            // raised first so a resolver that misses the bucket checks
+            // the map from the moment the entry exists.
+            shared.overflow_len.fetch_add(1, Ordering::SeqCst);
+            let prev = shared
+                .overflow
+                .lock()
+                .expect("overflow map poisoned")
+                .insert(key, mailbox.slot);
+            debug_assert!(prev.is_none(), "key {key} registered while live");
+        }
+        shared.live.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Tear down `key`'s registration. Deliveries for it become no-ops;
+    /// anything already in (or racing into) the mailbox is discarded by
+    /// the consumer's tag filter.
+    pub fn deregister(&self, key: u64) {
+        self.shared.deregister(key);
+    }
+
+    /// Route an event to the mailbox `key` is bound to. Returns `false`
+    /// — dropping the event — when the key is not live, which is exactly
+    /// the simulator's stale-reply rule. A full mailbox with a live
+    /// binding is waited out with yields (the consumer drains whole
+    /// rings per wakeup, so the wait is bounded by one scheduling
+    /// quantum in practice); a full mailbox whose binding died mid-wait
+    /// drops the event instead.
+    pub fn deliver(&self, key: u64, event: E) -> bool {
+        let shared = &self.shared;
+        let Some(slot_idx) = shared.lookup(key) else {
+            return false;
+        };
+        let slot = shared.slot(slot_idx);
+        let mut tagged = (key, event);
+        loop {
+            match slot.tx.try_send(tagged) {
+                Ok(()) => return true,
+                Err(TrySendError::Full(v)) => {
+                    if slot.bound.load(Ordering::SeqCst) != key {
+                        return false;
+                    }
+                    tagged = v;
+                    thread::yield_now();
+                }
+                // Unreachable while the slab is alive (it owns a sender),
+                // but a dropped registry mid-delivery is not an error.
+                Err(TrySendError::Disconnected(_)) => return false,
+            }
+        }
+    }
+
+    /// Like [`MailboxRegistry::deliver`] but never waits on a full
+    /// mailbox: the event is dropped (returning `false`) instead.
+    /// Required whenever the delivering thread might *be* the mailbox's
+    /// consumer — waiting on a ring only oneself can drain would
+    /// deadlock — and useful for best-effort signals.
+    pub fn try_deliver(&self, key: u64, event: E) -> bool {
+        let shared = &self.shared;
+        let Some(slot_idx) = shared.lookup(key) else {
+            return false;
+        };
+        shared.slot(slot_idx).tx.try_send((key, event)).is_ok()
+    }
+
+    /// The metadata `key` was registered with, if it is live.
+    pub fn resolve_meta(&self, key: u64) -> Option<u64> {
+        let shared = &self.shared;
+        let slot_idx = shared.lookup(key)?;
+        let slot = shared.slot(slot_idx);
+        let meta = slot.meta.load(Ordering::SeqCst);
+        // Re-check the binding so a slot rebound between lookup and the
+        // meta load cannot attribute the new key's metadata to the old.
+        (slot.bound.load(Ordering::SeqCst) == key).then_some(meta)
+    }
+
+    /// Live registrations.
+    pub fn len(&self) -> usize {
+        self.shared.live.load(Ordering::SeqCst)
+    }
+
+    /// True when no key is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Stale events consumers have discarded so far (tag mismatches and
+    /// register-time sweeps).
+    pub fn stale_dropped(&self) -> u64 {
+        self.shared.stale_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Registrations that had to take the overflow path (live bucket
+    /// collisions). Diagnostics: nonzero is correct but means the index
+    /// is undersized for the live-key spread.
+    pub fn overflow_entries(&self) -> usize {
+        self.shared.overflow_len.load(Ordering::SeqCst)
+    }
+}
+
+/// One reusable reply mailbox, owned by a single consumer thread at a
+/// time. Dropping it sweeps leftovers and returns the slot to the slab.
+pub struct Mailbox<E> {
+    shared: Arc<Shared<E>>,
+    slot: u32,
+    /// Taken out of the slot while owned; parked back on drop.
+    rx: Option<RingReceiver<(u64, E)>>,
+    /// Events drained from the ring but not yet handed to the consumer.
+    pending: VecDeque<(u64, E)>,
+    scratch: Vec<(u64, E)>,
+}
+
+impl<E> Mailbox<E> {
+    /// The slab slot this mailbox occupies (stable across incarnations
+    /// for as long as the mailbox is held).
+    pub fn slot(&self) -> u32 {
+        self.slot
+    }
+
+    /// Receive the next event addressed to `key`, parking up to
+    /// `timeout`. Events tagged with any other key are stale leftovers
+    /// or in-flight races from earlier incarnations of this slot; they
+    /// are discarded and counted. Returns `None` on timeout.
+    pub fn recv_timeout(&mut self, key: u64, timeout: Duration) -> Option<E> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            while let Some((tag, event)) = self.pending.pop_front() {
+                if tag == key || !self.shared.tag_check {
+                    return Some(event);
+                }
+                self.shared.stale_dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            let rx = self.rx.as_mut().expect("owned mailbox holds its receiver");
+            self.scratch.clear();
+            let drained = rx.drain_for(&mut self.scratch, left).unwrap_or(0);
+            self.pending.extend(self.scratch.drain(..));
+            if drained == 0 {
+                return None;
+            }
+        }
+    }
+
+    /// Discard everything queued (ring and local buffer), counting the
+    /// discards as stale drops.
+    pub fn clear(&mut self) {
+        let mut swept = self.pending.len() as u64;
+        self.pending.clear();
+        let rx = self.rx.as_mut().expect("owned mailbox holds its receiver");
+        self.scratch.clear();
+        while rx.drain_into(&mut self.scratch) > 0 {
+            swept += self.scratch.len() as u64;
+            self.scratch.clear();
+        }
+        if swept > 0 {
+            self.shared
+                .stale_dropped
+                .fetch_add(swept, Ordering::Relaxed);
+        }
+    }
+
+    /// Events currently buffered consumer-side (diagnostics for tests).
+    pub fn buffered(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+impl<E> Drop for Mailbox<E> {
+    fn drop(&mut self) {
+        // Defensive teardown: a mailbox dropped while its key is still
+        // registered (a panicking client) unbinds it so the slot's next
+        // owner cannot inherit the registration.
+        let key = self.shared.slot(self.slot).bound.load(Ordering::SeqCst);
+        if key != 0 {
+            self.shared.deregister(key);
+        }
+        // Sweep leftovers so their payloads do not outlive this owner —
+        // counted like every other consumer-side stale discard.
+        self.clear();
+        let slot = self.shared.slot(self.slot);
+        *slot.rx.lock().expect("slot receiver poisoned") = self.rx.take();
+        self.shared.freelist_push(self.slot);
+    }
+}
+
+impl<E: Send> Clone for MailboxRegistry<E> {
+    fn clone(&self) -> Self {
+        MailboxRegistry {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry(opts: MailboxOptions) -> MailboxRegistry<u64> {
+        MailboxRegistry::with_options(opts)
+    }
+
+    fn small() -> MailboxOptions {
+        MailboxOptions {
+            index_capacity: 64,
+            mailbox_capacity: 8,
+            max_clients: 8,
+            ..MailboxOptions::default()
+        }
+    }
+
+    #[test]
+    fn register_deliver_receive_deregister_roundtrip() {
+        let reg = registry(small());
+        let mut mb = reg.acquire();
+        reg.register(7, 42, &mut mb);
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.resolve_meta(7), Some(42));
+        assert!(reg.deliver(7, 700));
+        assert_eq!(mb.recv_timeout(7, Duration::from_secs(1)), Some(700));
+        reg.deregister(7);
+        assert_eq!(reg.len(), 0);
+        assert_eq!(reg.resolve_meta(7), None);
+        assert!(!reg.deliver(7, 701), "stale delivery is a no-op");
+    }
+
+    #[test]
+    fn slot_reuse_discards_earlier_incarnations_events() {
+        let reg = registry(small());
+        let mut mb = reg.acquire();
+        reg.register(1, 0, &mut mb);
+        assert!(reg.deliver(1, 10));
+        assert!(reg.deliver(1, 11));
+        // Consume only one of the two; the other is left in the ring.
+        assert_eq!(mb.recv_timeout(1, Duration::from_secs(1)), Some(10));
+        reg.deregister(1);
+        // Next incarnation on the *same* mailbox: the leftover for key 1
+        // is swept at register time and never surfaces.
+        reg.register(2, 0, &mut mb);
+        assert!(reg.deliver(2, 20));
+        assert_eq!(mb.recv_timeout(2, Duration::from_secs(1)), Some(20));
+        assert!(reg.stale_dropped() >= 1, "the leftover was counted");
+        reg.deregister(2);
+    }
+
+    #[test]
+    fn tag_filter_drops_in_flight_stale_events() {
+        // Simulate the delivery/rebind race directly: an event tagged
+        // with the old key lands *after* the new registration's sweep.
+        let reg = registry(small());
+        let mut mb = reg.acquire();
+        reg.register(1, 0, &mut mb);
+        reg.deregister(1);
+        reg.register(2, 0, &mut mb);
+        // Push through the slot's sender exactly as a racing deliver
+        // whose lookup resolved before the deregister would.
+        let slot = reg.shared.slot(mb.slot());
+        slot.tx.try_send((1, 999)).unwrap();
+        assert!(reg.deliver(2, 20));
+        assert_eq!(
+            mb.recv_timeout(2, Duration::from_secs(1)),
+            Some(20),
+            "the stale event must be filtered, not returned"
+        );
+        assert!(reg.stale_dropped() >= 1);
+        reg.deregister(2);
+    }
+
+    #[test]
+    fn disabling_the_tag_leaks_the_stale_event() {
+        // The mutation check: the identical sequence with the tag
+        // machinery disabled hands the earlier incarnation's event to
+        // the later one.
+        let reg = registry(MailboxOptions {
+            tag_check: false,
+            ..small()
+        });
+        let mut mb = reg.acquire();
+        reg.register(1, 0, &mut mb);
+        assert!(reg.deliver(1, 999));
+        reg.deregister(1);
+        reg.register(2, 0, &mut mb);
+        assert!(reg.deliver(2, 20));
+        assert_eq!(
+            mb.recv_timeout(2, Duration::from_secs(1)),
+            Some(999),
+            "without the tag, the stale reply reaches the new incarnation"
+        );
+        reg.deregister(2);
+    }
+
+    #[test]
+    fn mailboxes_recycle_through_the_freelist() {
+        let reg = registry(small());
+        let first = reg.acquire();
+        let first_slot = first.slot();
+        drop(first);
+        let second = reg.acquire();
+        assert_eq!(
+            second.slot(),
+            first_slot,
+            "a released slot is reused before the slab grows"
+        );
+        let third = reg.acquire();
+        assert_ne!(third.slot(), second.slot());
+    }
+
+    #[test]
+    fn colliding_live_keys_take_the_overflow_path() {
+        let reg = registry(small()); // index capacity 64
+        let mut a = reg.acquire();
+        let mut b = reg.acquire();
+        // 5 and 69 share bucket 5 of a 64-bucket index.
+        reg.register(5, 0, &mut a);
+        reg.register(69, 0, &mut b);
+        assert_eq!(reg.overflow_entries(), 1);
+        assert!(reg.deliver(5, 50));
+        assert!(reg.deliver(69, 690));
+        assert_eq!(a.recv_timeout(5, Duration::from_secs(1)), Some(50));
+        assert_eq!(b.recv_timeout(69, Duration::from_secs(1)), Some(690));
+        reg.deregister(5);
+        assert!(
+            reg.deliver(69, 691),
+            "overflow entry survives the other's deregister"
+        );
+        assert_eq!(b.recv_timeout(69, Duration::from_secs(1)), Some(691));
+        reg.deregister(69);
+        assert_eq!(reg.overflow_entries(), 0);
+        assert_eq!(reg.len(), 0);
+    }
+
+    #[test]
+    fn try_deliver_drops_on_full_instead_of_waiting() {
+        let reg = registry(small()); // capacity 8
+        let mut mb = reg.acquire();
+        reg.register(1, 0, &mut mb);
+        for i in 0..8 {
+            assert!(reg.try_deliver(1, i));
+        }
+        assert!(!reg.try_deliver(1, 99), "full mailbox: dropped, no wait");
+        assert_eq!(mb.recv_timeout(1, Duration::from_secs(1)), Some(0));
+        assert!(reg.try_deliver(1, 8), "freed slot accepts again");
+        reg.deregister(1);
+        assert!(!reg.try_deliver(1, 9), "stale delivery is a no-op");
+    }
+
+    #[test]
+    fn full_mailbox_with_dead_binding_drops_instead_of_spinning() {
+        let reg = registry(small()); // capacity 8
+        let mut mb = reg.acquire();
+        reg.register(1, 0, &mut mb);
+        for i in 0..8 {
+            assert!(reg.deliver(1, i));
+        }
+        // Ring full. Kill the binding from another thread after a beat —
+        // the delivery must return false rather than spin forever.
+        let t = std::thread::spawn({
+            let reg = reg.clone();
+            move || {
+                std::thread::sleep(Duration::from_millis(20));
+                reg.deregister(1);
+            }
+        });
+        assert!(!reg.deliver(1, 99));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn dropping_a_registered_mailbox_deregisters_it() {
+        let reg = registry(small());
+        let mut mb = reg.acquire();
+        reg.register(3, 9, &mut mb);
+        drop(mb);
+        assert_eq!(reg.len(), 0, "drop tears the registration down");
+        assert!(!reg.deliver(3, 1));
+    }
+
+    #[test]
+    fn acquire_waits_for_a_release_when_the_slab_is_full() {
+        let reg = Arc::new(registry(MailboxOptions {
+            max_clients: 1,
+            ..small()
+        }));
+        let held = reg.acquire();
+        let reg2 = Arc::clone(&reg);
+        let waiter = std::thread::spawn(move || reg2.acquire().slot());
+        std::thread::sleep(Duration::from_millis(20));
+        drop(held);
+        assert_eq!(waiter.join().unwrap(), 0, "the lone slot is recycled");
+    }
+}

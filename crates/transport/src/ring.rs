@@ -32,7 +32,7 @@ use std::mem::MaybeUninit;
 use std::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, Thread};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::CachePadded;
 
@@ -326,6 +326,30 @@ impl<T> RingReceiver<T> {
     /// `Err(RecvError)` once every sender is gone and the ring is drained.
     pub fn drain_blocking(&mut self, out: &mut Vec<T>) -> Result<usize, RecvError> {
         loop {
+            let n = self.drain_deadline(out, None)?;
+            if n > 0 {
+                return Ok(n);
+            }
+        }
+    }
+
+    /// Like [`RingReceiver::drain_blocking`], but gives up after `timeout`
+    /// and returns `Ok(0)` instead of parking further. The ring is always
+    /// swept at least once, so a zero timeout is a non-blocking poll that
+    /// still honours the park/unpark handshake.
+    pub fn drain_for(&mut self, out: &mut Vec<T>, timeout: Duration) -> Result<usize, RecvError> {
+        self.drain_deadline(out, Some(Instant::now() + timeout))
+    }
+
+    /// The one copy of the consumer's park protocol, shared by the
+    /// blocking and deadline-bounded drains (`deadline: None` parks
+    /// indefinitely; `Some` returns `Ok(0)` once it passes).
+    fn drain_deadline(
+        &mut self,
+        out: &mut Vec<T>,
+        deadline: Option<Instant>,
+    ) -> Result<usize, RecvError> {
+        loop {
             let n = self.drain_into(out);
             if n > 0 {
                 return Ok(n);
@@ -349,7 +373,18 @@ impl<T> RingReceiver<T> {
                 let n = self.drain_into(out);
                 return if n > 0 { Ok(n) } else { Err(RecvError) };
             }
-            thread::park_timeout(CONSUMER_PARK);
+            let park = match deadline {
+                None => CONSUMER_PARK,
+                Some(deadline) => {
+                    let left = deadline.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        self.shared.sleeping.store(false, Ordering::SeqCst);
+                        return Ok(0);
+                    }
+                    left.min(CONSUMER_PARK)
+                }
+            };
+            thread::park_timeout(park);
             self.shared.sleeping.store(false, Ordering::SeqCst);
         }
     }
@@ -397,8 +432,14 @@ impl<T> RingReceiver<T> {
             .consumer
             .lock()
             .expect("consumer handle poisoned");
-        if consumer.is_none() {
-            *consumer = Some(thread::current());
+        // Always overwrite a handle for a *different* thread: receivers
+        // migrate between threads when a reply mailbox is released to the
+        // slab and reacquired, and a stale handle would unpark the old
+        // owner while the new one sleeps out its full safety-net timeout.
+        let me = thread::current();
+        match consumer.as_ref() {
+            Some(t) if t.id() == me.id() => {}
+            _ => *consumer = Some(me),
         }
     }
 }
@@ -512,6 +553,32 @@ mod tests {
         });
         assert_eq!(rx.recv(), Ok(42));
         producer.join().unwrap();
+    }
+
+    #[test]
+    fn drain_for_times_out_then_delivers() {
+        let (tx, mut rx) = channel::<u32>(8);
+        let mut out = Vec::new();
+        // Nothing published: the bounded drain gives up with Ok(0).
+        assert_eq!(rx.drain_for(&mut out, Duration::from_millis(5)), Ok(0));
+        assert!(out.is_empty());
+        let producer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            tx.send(9).unwrap();
+            // Keep the sender alive long enough that the receiver's next
+            // drain observes the value, not the disconnect.
+            std::thread::sleep(Duration::from_millis(50));
+        });
+        // A generous deadline: the parked consumer must be woken by the
+        // producer's publish well before it.
+        assert_eq!(rx.drain_for(&mut out, Duration::from_secs(5)), Ok(1));
+        assert_eq!(out, vec![9]);
+        producer.join().unwrap();
+        // All senders gone and the ring empty: disconnect, not timeout.
+        assert_eq!(
+            rx.drain_for(&mut out, Duration::from_millis(5)),
+            Err(RecvError)
+        );
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! Reply-plane equivalence: the lock-free mailbox registry and the
+//! per-incarnation mpsc registry are observationally interchangeable.
+//!
+//! Mirrors `transport_stress.rs`'s plane-equivalence layers for the
+//! *reply* direction (satellite 3):
+//!
+//! 1. **Deterministic** — one seeded single-client workload produces
+//!    bit-identical reads, commits and final state on both reply planes.
+//! 2. **Concurrent** — the same seeded mixed-method multi-threaded
+//!    workload runs on each reply plane and both histories are certified
+//!    by the `sercheck` serializability oracle, with the balance
+//!    invariant checked on top.
+//! 3. **Crossed planes** — the reply plane composes with both message
+//!    planes (ring and mpsc transports), since the two are selected
+//!    independently.
+
+use std::time::Duration;
+
+use dbmodel::{CcMethod, LogicalItemId, Value};
+use runtime::{CcPolicy, Database, ReplyPlaneKind, RuntimeConfig, TransportKind, TxnSpec};
+
+fn li(i: u64) -> LogicalItemId {
+    LogicalItemId(i)
+}
+
+fn plane_config(reply: ReplyPlaneKind, shards: u32, items: u64) -> RuntimeConfig {
+    RuntimeConfig {
+        num_shards: shards,
+        num_items: items,
+        initial_value: 100,
+        reply_plane: reply,
+        deadlock_scan_interval: Duration::from_millis(2),
+        ..RuntimeConfig::default()
+    }
+}
+
+/// Drive one deterministic single-client workload and capture everything
+/// observable: per-transaction read values and the final state of every
+/// item.
+fn deterministic_run(reply: ReplyPlaneKind) -> (Vec<Vec<Value>>, Vec<Value>, u64) {
+    const ITEMS: u64 = 12;
+    let db = Database::open(plane_config(reply, 3, ITEMS)).unwrap();
+    let mut observed = Vec::new();
+    for i in 0..80u64 {
+        let a = li(i % ITEMS);
+        let b = li((i * 5 + 1) % ITEMS);
+        if a == b {
+            continue;
+        }
+        let method = CcMethod::ALL[(i % 3) as usize];
+        let spec = TxnSpec::new().write(a).write(b).method(method);
+        let receipt = db
+            .run_transaction(&spec, |reads| vec![(a, reads[&a] - 1), (b, reads[&b] + 1)])
+            .unwrap();
+        observed.push(receipt.reads.values().copied().collect::<Vec<_>>());
+    }
+    let finals: Vec<Value> = (0..ITEMS)
+        .map(|i| {
+            db.run_transaction(&TxnSpec::new().read(li(i)), |_| vec![])
+                .unwrap()
+                .reads[&li(i)]
+        })
+        .collect();
+    let report = db.shutdown().unwrap();
+    assert!(
+        report.serializable().is_ok(),
+        "{reply:?} run must be serializable"
+    );
+    (observed, finals, report.stats.committed)
+}
+
+/// Mailbox-vs-mpsc registry equivalence: a deterministic workload is
+/// bit-identical across the two reply planes — the slab only changes how
+/// replies are routed and woken, never what a transaction observes.
+#[test]
+fn mailbox_and_mpsc_registries_are_observationally_equivalent() {
+    let (mail_reads, mail_finals, mail_committed) = deterministic_run(ReplyPlaneKind::Mailbox);
+    let (mpsc_reads, mpsc_finals, mpsc_committed) = deterministic_run(ReplyPlaneKind::Mpsc);
+    assert_eq!(mail_committed, mpsc_committed);
+    assert_eq!(mail_reads, mpsc_reads, "per-transaction reads diverged");
+    assert_eq!(mail_finals, mpsc_finals, "final states diverged");
+}
+
+/// Concurrent mixed-method traffic on both reply planes, each run
+/// certified by the sercheck oracle, with the balance invariant checked
+/// on top — the reply plane's version of
+/// `both_planes_serializable_under_concurrent_mixed_load`.
+#[test]
+fn both_reply_planes_serializable_under_concurrent_mixed_load() {
+    for reply in [ReplyPlaneKind::Mailbox, ReplyPlaneKind::Mpsc] {
+        const ITEMS: u64 = 24;
+        const CLIENTS: u64 = 6;
+        const PER_CLIENT: u64 = 40;
+        let db = Database::open(RuntimeConfig {
+            policy: CcPolicy::Mix {
+                p_2pl: 0.34,
+                p_to: 0.33,
+            },
+            ..plane_config(reply, 3, ITEMS)
+        })
+        .unwrap();
+        let workers: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let db = db.clone();
+                std::thread::spawn(move || {
+                    for k in 0..PER_CLIENT {
+                        let i = c * 131 + k * 17;
+                        let from = li(i % ITEMS);
+                        let to = li((i * 3 + 1) % ITEMS);
+                        if from == to {
+                            continue;
+                        }
+                        let spec = TxnSpec::new().write(from).write(to);
+                        db.run_transaction(&spec, |reads| {
+                            vec![(from, reads[&from] - 1), (to, reads[&to] + 1)]
+                        })
+                        .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let total: Value = (0..ITEMS)
+            .map(|i| {
+                db.run_transaction(&TxnSpec::new().read(li(i)), |_| vec![])
+                    .unwrap()
+                    .reads[&li(i)]
+            })
+            .sum();
+        assert_eq!(total, 100 * ITEMS as Value, "{reply:?}: balance leaked");
+        let report = db.shutdown().unwrap();
+        assert!(
+            report.serializable().is_ok(),
+            "{reply:?}: oracle rejected the execution"
+        );
+    }
+}
+
+/// The reply plane is orthogonal to the shard message plane: all four
+/// combinations serve the same deterministic workload identically.
+#[test]
+fn reply_plane_composes_with_both_transports() {
+    let mut baseline: Option<(u64, Vec<Value>)> = None;
+    for transport in [TransportKind::BatchedRing, TransportKind::Mpsc] {
+        for reply in [ReplyPlaneKind::Mailbox, ReplyPlaneKind::Mpsc] {
+            const ITEMS: u64 = 8;
+            let db = Database::open(RuntimeConfig {
+                transport,
+                ..plane_config(reply, 2, ITEMS)
+            })
+            .unwrap();
+            for i in 0..40u64 {
+                let a = li(i % ITEMS);
+                let b = li((i * 3 + 1) % ITEMS);
+                if a == b {
+                    continue;
+                }
+                let spec = TxnSpec::new().write(a).write(b);
+                db.run_transaction(&spec, |reads| vec![(a, reads[&a] + 1), (b, reads[&b] - 1)])
+                    .unwrap();
+            }
+            let finals: Vec<Value> = (0..ITEMS)
+                .map(|i| {
+                    db.run_transaction(&TxnSpec::new().read(li(i)), |_| vec![])
+                        .unwrap()
+                        .reads[&li(i)]
+                })
+                .collect();
+            let report = db.shutdown().unwrap();
+            assert!(report.serializable().is_ok());
+            let signature = (report.stats.committed, finals);
+            match &baseline {
+                None => baseline = Some(signature),
+                Some(expected) => assert_eq!(
+                    expected, &signature,
+                    "{transport:?} + {reply:?} diverged from the baseline combination"
+                ),
+            }
+        }
+    }
+}
