@@ -2,13 +2,16 @@
 //!
 //! Measures the cost of one request/grant/release round trip through the
 //! unified item state under each of the three protocols, and the cost of a
-//! contended round where a waiter is promoted on release.
+//! contended round where a waiter is promoted on release. The item state
+//! pushes into a reusable [`QmSink`], so the numbers isolate the state
+//! transitions themselves (the engine-level batched-vs-per-message
+//! comparison lives in `m8_engine_core`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dbmodel::{
     AccessMode, CcMethod, LogicalItemId, PhysicalItemId, SiteId, Timestamp, TsTuple, TxnId,
 };
-use unified_cc::{EnforcementMode, ItemState};
+use unified_cc::{EnforcementMode, ItemState, QmSink};
 
 fn item() -> PhysicalItemId {
     PhysicalItemId::new(LogicalItemId(1), SiteId(0))
@@ -19,22 +22,24 @@ fn uncontended_round(c: &mut Criterion) {
     for method in CcMethod::ALL {
         group.bench_function(method.label(), |b| {
             let mut state = ItemState::new(item(), 0, EnforcementMode::SemiLock);
+            let mut sink = QmSink::new();
             let mut ts = 0u64;
             let mut id = 0u64;
             b.iter(|| {
                 ts += 1;
                 id += 1;
                 let txn = TxnId(id);
-                let events = state.handle_access(
+                sink.clear();
+                state.handle_access(
                     txn,
                     SiteId(0),
                     AccessMode::Write,
                     method,
                     TsTuple::new(Timestamp(ts), 10),
+                    &mut sink,
                 );
-                std::hint::black_box(&events);
-                let events = state.handle_release(txn, Some(ts as i64));
-                std::hint::black_box(&events);
+                state.handle_release(txn, Some(ts as i64), &mut sink);
+                std::hint::black_box(sink.replies.len());
             });
         });
     }
@@ -43,11 +48,13 @@ fn uncontended_round(c: &mut Criterion) {
 
 fn contended_round(c: &mut Criterion) {
     c.bench_function("m1_contended_writer_queue_of_8", |b| {
+        let mut sink = QmSink::new();
         let mut ts = 0u64;
         let mut id = 0u64;
         b.iter(|| {
             let mut state = ItemState::new(item(), 0, EnforcementMode::SemiLock);
             let base = id;
+            sink.clear();
             for k in 0..8 {
                 ts += 1;
                 id += 1;
@@ -57,10 +64,11 @@ fn contended_round(c: &mut Criterion) {
                     AccessMode::Write,
                     CcMethod::PrecedenceAgreement,
                     TsTuple::new(Timestamp(ts), 10),
+                    &mut sink,
                 );
             }
             for k in 1..=8 {
-                state.handle_release(TxnId(base + k), Some(k as i64));
+                state.handle_release(TxnId(base + k), Some(k as i64), &mut sink);
             }
             std::hint::black_box(state.value());
         });

@@ -24,11 +24,22 @@
 //! issues a second, *normal* grant for it. T/O transactions that executed
 //! while holding a pre-scheduled lock demote their locks to semi-locks and
 //! keep them until those normal grants arrive (driven by the request issuer).
+//!
+//! Every handler pushes its replies and events straight into the caller's
+//! reusable [`QmSink`] — the state transitions themselves never allocate,
+//! which is what makes the owning queue manager's batched hot path
+//! allocation-free in steady state. A normal-upgrade of a previously
+//! pre-scheduled lock appears in the sink as a second `Grant` reply with
+//! `class = Normal` and `value = None` (a real grant always carries
+//! `Some(value)`).
 
 use dbmodel::{AccessMode, CcMethod, PhysicalItemId, SiteId, Timestamp, TsTuple, TxnId, Value};
 use pam::precedence::{AssignmentPolicy, PrecClass, Precedence};
 use pam::queue::{DataQueue, EntryStatus, QueueEntry};
-use pam::{GrantClass, LockMode};
+use pam::{GrantClass, LockMode, ReplyMsg};
+
+use crate::qm::QmEvent;
+use crate::sink::QmSink;
 
 /// Which precedence-enforcement variant the item runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,66 +66,6 @@ pub struct HeldLock {
     /// The access mode of the underlying request (read/write), independent of
     /// later demotion.
     pub access: AccessMode,
-}
-
-/// Events produced by item-state transitions, to be turned into reply
-/// messages and metric updates by the owning queue manager.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ItemEvent {
-    /// A lock was granted.
-    Granted {
-        /// The transaction granted.
-        txn: TxnId,
-        /// The lock mode granted.
-        lock: LockMode,
-        /// Normal or pre-scheduled.
-        class: GrantClass,
-        /// The item value at grant time (the request's predecessor state).
-        value: Option<Value>,
-        /// The access mode of the request.
-        access: AccessMode,
-        /// The precedence timestamp the grant was issued at.
-        at: Timestamp,
-    },
-    /// A previously pre-scheduled lock became normal; a second (normal) grant
-    /// must be sent to the issuer.
-    BecameNormal {
-        /// The transaction whose lock became normal.
-        txn: TxnId,
-        /// The lock mode (as currently held, possibly a semi-lock).
-        lock: LockMode,
-        /// The precedence timestamp of the upgraded entry.
-        at: Timestamp,
-    },
-    /// A T/O request arrived out of timestamp order and is rejected.
-    Rejected {
-        /// The rejected transaction.
-        txn: TxnId,
-    },
-    /// A PA request was accepted at its own timestamp but is queued behind
-    /// earlier requests; the issuer is acknowledged so it can complete its
-    /// grant-or-backoff collection without waiting for the actual grant.
-    PaAccepted {
-        /// The accepted transaction.
-        txn: TxnId,
-    },
-    /// A PA request cannot be accepted at its timestamp; the proposed backoff
-    /// timestamp is attached.
-    BackedOff {
-        /// The transaction being backed off.
-        txn: TxnId,
-        /// The smallest acceptable backed-off timestamp at this item.
-        new_ts: Timestamp,
-    },
-    /// An operation of `txn` was *implemented* on this item (lock released
-    /// for 2PL/PA, lock demoted to a semi-lock or released for T/O). This is
-    /// the point at which the operation enters the item's log.
-    Implemented {
-        /// The transaction whose operation was implemented.
-        txn: TxnId,
-        /// The access mode implemented.
-        access: AccessMode,
-    },
 }
 
 /// The complete concurrency-control state of one physical data item.
@@ -194,8 +145,8 @@ impl ItemState {
         mode: AccessMode,
         method: CcMethod,
         ts: TsTuple,
-    ) -> Vec<ItemEvent> {
-        let mut events = Vec::new();
+        sink: &mut QmSink,
+    ) {
         let effective_method = self.effective_method(method);
         match effective_method {
             CcMethod::TwoPhaseLocking => {
@@ -223,8 +174,11 @@ impl ItemState {
                         granted: false,
                     });
                 } else {
-                    events.push(ItemEvent::Rejected { txn });
-                    return events;
+                    sink.replies.push(ReplyMsg::Reject {
+                        txn,
+                        item: self.item,
+                    });
+                    return;
                 }
             }
             CcMethod::PrecedenceAgreement => {
@@ -239,16 +193,24 @@ impl ItemState {
                         granted: false,
                     });
                     // Acknowledge the acceptance unless the grant is issued in
-                    // this very call (the grant then subsumes the ack).
-                    let grants = self.try_grants();
-                    let granted_now = grants
+                    // this very call (the grant then subsumes the ack). The
+                    // ack, when needed, precedes any grants the insertion
+                    // triggered, so it is spliced in at the pre-grant mark.
+                    let mark = sink.replies.len();
+                    self.try_grants(sink);
+                    let granted_now = sink.replies[mark..]
                         .iter()
-                        .any(|e| matches!(e, ItemEvent::Granted { txn: t, .. } if *t == txn));
+                        .any(|r| matches!(r, ReplyMsg::Grant { txn: t, .. } if *t == txn));
                     if !granted_now {
-                        events.push(ItemEvent::PaAccepted { txn });
+                        sink.replies.insert(
+                            mark,
+                            ReplyMsg::Ack {
+                                txn,
+                                item: self.item,
+                            },
+                        );
                     }
-                    events.extend(grants);
-                    return events;
+                    return;
                 } else {
                     let floor = match mode {
                         AccessMode::Read => self.w_ts,
@@ -264,24 +226,27 @@ impl ItemState {
                         status: EntryStatus::Blocked,
                         granted: false,
                     });
-                    events.push(ItemEvent::BackedOff { txn, new_ts });
+                    sink.replies.push(ReplyMsg::Backoff {
+                        txn,
+                        item: self.item,
+                        new_ts,
+                    });
                 }
             }
         }
-        events.extend(self.try_grants());
-        events
+        self.try_grants(sink);
     }
 
     /// Handle a PA `UpdatedTs` message: the issuer's final backed-off
     /// timestamp for this transaction.
-    pub fn handle_updated_ts(&mut self, txn: TxnId, new_ts: Timestamp) -> Vec<ItemEvent> {
+    pub fn handle_updated_ts(&mut self, txn: TxnId, new_ts: Timestamp, sink: &mut QmSink) {
         let Some(entry) = self.queue.get(txn) else {
-            return Vec::new();
+            return;
         };
         let site = match entry.precedence.class {
             PrecClass::NonTwoPl { site, .. } => site,
             // A 2PL entry never receives timestamp updates; ignore.
-            PrecClass::TwoPl { .. } => return Vec::new(),
+            PrecClass::TwoPl { .. } => return,
         };
         let was_granted = entry.granted;
         self.assign.observe_ts(new_ts);
@@ -303,22 +268,23 @@ impl ItemState {
             if let Some(pos) = self.locks.iter().position(|l| l.txn == txn) {
                 self.locks.remove(pos);
             }
-            return self.after_lock_removal();
+            self.after_lock_removal(sink);
+            return;
         }
-        self.try_grants()
+        self.try_grants(sink);
     }
 
     /// Handle a `Release` message: drop the transaction's lock and queue
     /// entry. For a write access of a 2PL/PA transaction (or of a T/O
     /// transaction that never demoted), the value is installed and the
     /// operation is implemented now.
-    pub fn handle_release(&mut self, txn: TxnId, write_value: Option<Value>) -> Vec<ItemEvent> {
-        let mut events = Vec::new();
+    pub fn handle_release(&mut self, txn: TxnId, write_value: Option<Value>, sink: &mut QmSink) {
         let Some(pos) = self.locks.iter().position(|l| l.txn == txn) else {
             // No lock held (already released, or the request never granted);
             // still drop any queue entry so the item does not leak state.
             self.queue.remove(txn);
-            return self.after_lock_removal();
+            self.after_lock_removal(sink);
+            return;
         };
         let lock = self.locks.remove(pos);
         // A semi-lock means the operation was already implemented at demote
@@ -329,27 +295,26 @@ impl ItemState {
                     self.value = v;
                 }
             }
-            events.push(ItemEvent::Implemented {
+            sink.events.push(QmEvent::Implemented {
+                item: self.item,
                 txn,
                 access: lock.access,
             });
         }
         self.queue.remove(txn);
-        events.extend(self.after_lock_removal());
-        events
+        self.after_lock_removal(sink);
     }
 
     /// Handle a T/O `Demote` message: the transaction executed while holding
     /// at least one pre-scheduled lock; its lock on this item becomes a
     /// semi-lock and the operation is implemented now.
-    pub fn handle_demote(&mut self, txn: TxnId, write_value: Option<Value>) -> Vec<ItemEvent> {
-        let mut events = Vec::new();
+    pub fn handle_demote(&mut self, txn: TxnId, write_value: Option<Value>, sink: &mut QmSink) {
         let Some(lock) = self.locks.iter_mut().find(|l| l.txn == txn) else {
-            return events;
+            return;
         };
         if lock.mode.is_semi() {
             // Already demoted; nothing to do.
-            return events;
+            return;
         }
         if lock.access == AccessMode::Write {
             if let Some(v) = write_value {
@@ -357,34 +322,34 @@ impl ItemState {
             }
         }
         lock.mode = lock.mode.demoted();
-        events.push(ItemEvent::Implemented {
+        let access = lock.access;
+        sink.events.push(QmEvent::Implemented {
+            item: self.item,
             txn,
-            access: lock.access,
+            access,
         });
         // Demotion can unblock waiting T/O requests (a WL that blocked a T/O
         // read became an SWL, an RL that blocked a T/O write became an SRL).
-        events.extend(self.try_grants());
-        events
+        self.try_grants(sink);
     }
 
     /// Handle an `Abort`: remove the transaction's lock and queue entry
     /// without implementing anything.
-    pub fn handle_abort(&mut self, txn: TxnId) -> Vec<ItemEvent> {
+    pub fn handle_abort(&mut self, txn: TxnId, sink: &mut QmSink) {
         self.locks.retain(|l| l.txn != txn);
         self.queue.remove(txn);
-        self.after_lock_removal()
+        self.after_lock_removal(sink);
     }
 
     // ------------------------------------------------------------------
     // Wait-for edges for deadlock detection
     // ------------------------------------------------------------------
 
-    /// The wait-for edges contributed by this item: `(waiter, holder)` pairs
+    /// Append this item's wait-for edges to `edges`: `(waiter, holder)` pairs
     /// where `waiter` is an ungranted request and `holder` is a transaction
     /// it must wait for (either the holder of a conflicting unreleased lock,
     /// or an earlier ungranted entry that must reach the head first).
-    pub fn wait_edges(&self) -> Vec<(TxnId, TxnId)> {
-        let mut edges = Vec::new();
+    pub fn wait_edges_into(&self, edges: &mut Vec<(TxnId, TxnId)>) {
         let mut earlier_ungranted: Vec<TxnId> = Vec::new();
         for entry in self.queue.iter() {
             if entry.granted {
@@ -439,17 +404,27 @@ impl ItemState {
                 }
             }
         }
+    }
+
+    /// The wait-for edges contributed by this item, as a fresh vector
+    /// (convenience over [`ItemState::wait_edges_into`]).
+    pub fn wait_edges(&self) -> Vec<(TxnId, TxnId)> {
+        let mut edges = Vec::new();
+        self.wait_edges_into(&mut edges);
         edges
     }
 
-    /// The transactions currently waiting (queued but not granted) at this
-    /// item.
+    /// Append the transactions currently waiting (queued but not granted) at
+    /// this item to `out`.
+    pub fn waiting_txns_into(&self, out: &mut Vec<TxnId>) {
+        out.extend(self.queue.iter().filter(|e| !e.granted).map(|e| e.txn));
+    }
+
+    /// The transactions currently waiting at this item, as a fresh vector.
     pub fn waiting_txns(&self) -> Vec<TxnId> {
-        self.queue
-            .iter()
-            .filter(|e| !e.granted)
-            .map(|e| e.txn)
-            .collect()
+        let mut out = Vec::new();
+        self.waiting_txns_into(&mut out);
+        out
     }
 
     // ------------------------------------------------------------------
@@ -504,8 +479,7 @@ impl ItemState {
         lock.mode.conflicts_with(requested)
     }
 
-    fn try_grants(&mut self) -> Vec<ItemEvent> {
-        let mut events = Vec::new();
+    fn try_grants(&mut self, sink: &mut QmSink) {
         while let Some(head) = self.queue.head() {
             if head.status == EntryStatus::Blocked {
                 break;
@@ -584,36 +558,44 @@ impl ItemState {
             // the value is the request's correct predecessor state. Write
             // grants carrying the value is what gives embedders
             // read-modify-write semantics for items in the write set.
-            let value = Some(self.value);
-            events.push(ItemEvent::Granted {
+            sink.replies.push(ReplyMsg::Grant {
                 txn,
+                item: self.item,
                 lock: lock_mode,
                 class,
-                value,
-                access: mode,
+                value: Some(self.value),
                 at: prec_ts,
             });
+            sink.events.push(QmEvent::GrantIssued {
+                item: self.item,
+                txn,
+                access: mode,
+                lock: lock_mode,
+                class,
+            });
         }
-        events
     }
 
     /// After a lock disappears (release or abort): upgrade pre-scheduled
     /// locks whose conflicts are gone, then try to grant the head.
-    fn after_lock_removal(&mut self) -> Vec<ItemEvent> {
-        let mut events = Vec::new();
+    fn after_lock_removal(&mut self, sink: &mut QmSink) {
         // Upgrade pre-scheduled locks that no longer have a conflicting lock
         // held by a smaller-precedence entry (mirror of the pre-scheduled
-        // classification at grant time).
-        let snapshot = self.locks.clone();
-        let mut upgrades: Vec<TxnId> = Vec::new();
-        for lock in snapshot
+        // classification at grant time). The upgrade decisions are all taken
+        // against the current lock table before any class is rewritten —
+        // only the transaction ids are snapshotted (into the sink's reusable
+        // scratch), not the whole lock vector.
+        let mut upgrades = std::mem::take(&mut sink.upgrade_scratch);
+        debug_assert!(upgrades.is_empty());
+        for lock in self
+            .locks
             .iter()
             .filter(|l| l.class == GrantClass::PreScheduled)
         {
             let Some(my_prec) = self.queue.get(lock.txn).map(|e| e.precedence) else {
                 continue;
             };
-            let still_conflicted = snapshot.iter().any(|other| {
+            let still_conflicted = self.locks.iter().any(|other| {
                 other.txn != lock.txn
                     && other.mode.conflicts_with(lock.mode)
                     && self
@@ -625,7 +607,7 @@ impl ItemState {
                 upgrades.push(lock.txn);
             }
         }
-        for txn in upgrades {
+        for &txn in &upgrades {
             let at = self
                 .queue
                 .get(txn)
@@ -633,15 +615,19 @@ impl ItemState {
                 .unwrap_or(Timestamp::ZERO);
             if let Some(lock) = self.locks.iter_mut().find(|l| l.txn == txn) {
                 lock.class = GrantClass::Normal;
-                events.push(ItemEvent::BecameNormal {
+                sink.replies.push(ReplyMsg::Grant {
                     txn: lock.txn,
+                    item: self.item,
                     lock: lock.mode,
+                    class: GrantClass::Normal,
+                    value: None,
                     at,
                 });
             }
         }
-        events.extend(self.try_grants());
-        events
+        upgrades.clear();
+        sink.upgrade_scratch = upgrades;
+        self.try_grants(sink);
     }
 }
 
@@ -662,11 +648,60 @@ mod tests {
         ItemState::new(item(), 100, EnforcementMode::SemiLock)
     }
 
-    fn grant_txns(events: &[ItemEvent]) -> Vec<TxnId> {
-        events
+    /// Run an access through a fresh sink and return it.
+    fn access(
+        s: &mut ItemState,
+        txn: u64,
+        site: u32,
+        mode: AccessMode,
+        method: CcMethod,
+        at: TsTuple,
+    ) -> QmSink {
+        let mut sink = QmSink::new();
+        s.handle_access(TxnId(txn), SiteId(site), mode, method, at, &mut sink);
+        sink
+    }
+
+    fn release(s: &mut ItemState, txn: u64, value: Option<Value>) -> QmSink {
+        let mut sink = QmSink::new();
+        s.handle_release(TxnId(txn), value, &mut sink);
+        sink
+    }
+
+    /// Transactions granted a *real* lock in this sink (a real grant always
+    /// carries the item value; normal-upgrade notices carry `None`).
+    fn grant_txns(sink: &QmSink) -> Vec<TxnId> {
+        sink.events
             .iter()
             .filter_map(|e| match e {
-                ItemEvent::Granted { txn, .. } => Some(*txn),
+                QmEvent::GrantIssued { txn, .. } => Some(*txn),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Transactions whose pre-scheduled lock became normal in this sink.
+    fn upgraded_txns(sink: &QmSink) -> Vec<(TxnId, LockMode)> {
+        sink.replies
+            .iter()
+            .filter_map(|r| match r {
+                ReplyMsg::Grant {
+                    txn,
+                    lock,
+                    class: GrantClass::Normal,
+                    value: None,
+                    ..
+                } => Some((*txn, *lock)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn implemented(sink: &QmSink) -> Vec<(TxnId, AccessMode)> {
+        sink.events
+            .iter()
+            .filter_map(|e| match e {
+                QmEvent::Implemented { txn, access, .. } => Some((*txn, *access)),
                 _ => None,
             })
             .collect()
@@ -675,62 +710,67 @@ mod tests {
     #[test]
     fn two_pl_requests_grant_fcfs_and_block_on_conflict() {
         let mut s = state();
-        let e1 = s.handle_access(
-            TxnId(1),
-            SiteId(0),
+        let e1 = access(
+            &mut s,
+            1,
+            0,
             AccessMode::Read,
             CcMethod::TwoPhaseLocking,
             ts(0),
         );
         assert_eq!(grant_txns(&e1), vec![TxnId(1)]);
         // A second reader is also granted (read locks are compatible).
-        let e2 = s.handle_access(
-            TxnId(2),
-            SiteId(1),
+        let e2 = access(
+            &mut s,
+            2,
+            1,
             AccessMode::Read,
             CcMethod::TwoPhaseLocking,
             ts(0),
         );
         assert_eq!(grant_txns(&e2), vec![TxnId(2)]);
         // A writer must wait for both readers.
-        let e3 = s.handle_access(
-            TxnId(3),
-            SiteId(2),
+        let e3 = access(
+            &mut s,
+            3,
+            2,
             AccessMode::Write,
             CcMethod::TwoPhaseLocking,
             ts(0),
         );
         assert!(grant_txns(&e3).is_empty());
         // Release one reader: still blocked; release the second: granted.
-        let e4 = s.handle_release(TxnId(1), None);
+        let e4 = release(&mut s, 1, None);
         assert!(grant_txns(&e4).is_empty());
-        let e5 = s.handle_release(TxnId(2), None);
+        let e5 = release(&mut s, 2, None);
         assert_eq!(grant_txns(&e5), vec![TxnId(3)]);
     }
 
     #[test]
     fn read_grant_attaches_current_value_and_write_applies_at_release() {
         let mut s = state();
-        let e = s.handle_access(
-            TxnId(1),
-            SiteId(0),
+        let e = access(
+            &mut s,
+            1,
+            0,
             AccessMode::Write,
             CcMethod::TwoPhaseLocking,
             ts(0),
         );
         assert_eq!(grant_txns(&e), vec![TxnId(1)]);
         assert_eq!(s.value(), 100, "value unchanged until release");
-        s.handle_release(TxnId(1), Some(250));
+        release(&mut s, 1, Some(250));
         assert_eq!(s.value(), 250);
-        let e = s.handle_access(
-            TxnId(2),
-            SiteId(0),
+        let e = access(
+            &mut s,
+            2,
+            0,
             AccessMode::Read,
             CcMethod::TwoPhaseLocking,
             ts(0),
         );
-        match &e[0] {
-            ItemEvent::Granted { value, .. } => assert_eq!(*value, Some(250)),
+        match &e.replies[0] {
+            ReplyMsg::Grant { value, .. } => assert_eq!(*value, Some(250)),
             other => panic!("expected grant, got {other:?}"),
         }
     }
@@ -739,27 +779,37 @@ mod tests {
     fn to_read_below_w_ts_is_rejected() {
         let mut s = state();
         // A T/O writer with ts 50 is granted and released, setting W-TS = 50.
-        s.handle_access(
-            TxnId(1),
-            SiteId(0),
+        access(
+            &mut s,
+            1,
+            0,
             AccessMode::Write,
             CcMethod::TimestampOrdering,
             ts(50),
         );
-        s.handle_release(TxnId(1), Some(7));
+        release(&mut s, 1, Some(7));
         // A reader with a smaller timestamp must be rejected.
-        let e = s.handle_access(
-            TxnId(2),
-            SiteId(1),
+        let e = access(
+            &mut s,
+            2,
+            1,
             AccessMode::Read,
             CcMethod::TimestampOrdering,
             ts(40),
         );
-        assert_eq!(e, vec![ItemEvent::Rejected { txn: TxnId(2) }]);
+        assert_eq!(
+            e.replies,
+            vec![ReplyMsg::Reject {
+                txn: TxnId(2),
+                item: item()
+            }]
+        );
+        assert!(e.events.is_empty());
         // A reader with a larger timestamp is accepted.
-        let e = s.handle_access(
-            TxnId(3),
-            SiteId(1),
+        let e = access(
+            &mut s,
+            3,
+            1,
             AccessMode::Read,
             CcMethod::TimestampOrdering,
             ts(60),
@@ -770,90 +820,136 @@ mod tests {
     #[test]
     fn to_write_checks_both_thresholds() {
         let mut s = state();
-        s.handle_access(
-            TxnId(1),
-            SiteId(0),
+        access(
+            &mut s,
+            1,
+            0,
             AccessMode::Read,
             CcMethod::TimestampOrdering,
             ts(80),
         );
         // R-TS is now 80; a write with ts 70 is rejected even though W-TS is 0.
-        let e = s.handle_access(
-            TxnId(2),
-            SiteId(1),
+        let e = access(
+            &mut s,
+            2,
+            1,
             AccessMode::Write,
             CcMethod::TimestampOrdering,
             ts(70),
         );
-        assert_eq!(e, vec![ItemEvent::Rejected { txn: TxnId(2) }]);
+        assert_eq!(
+            e.replies,
+            vec![ReplyMsg::Reject {
+                txn: TxnId(2),
+                item: item()
+            }]
+        );
     }
 
     #[test]
     fn pa_request_backs_off_instead_of_rejecting() {
         let mut s = state();
-        s.handle_access(
-            TxnId(1),
-            SiteId(0),
+        access(
+            &mut s,
+            1,
+            0,
             AccessMode::Write,
             CcMethod::PrecedenceAgreement,
             ts(50),
         );
-        s.handle_release(TxnId(1), Some(1));
+        release(&mut s, 1, Some(1));
         // PA read at ts 30 with interval 10: smallest 30 + 10k above 50 is 60.
-        let e = s.handle_access(
-            TxnId(2),
-            SiteId(1),
+        let e = access(
+            &mut s,
+            2,
+            1,
             AccessMode::Read,
             CcMethod::PrecedenceAgreement,
             TsTuple::new(Timestamp(30), 10),
         );
         assert_eq!(
-            e,
-            vec![ItemEvent::BackedOff {
+            e.replies,
+            vec![ReplyMsg::Backoff {
                 txn: TxnId(2),
+                item: item(),
                 new_ts: Timestamp(60)
             }]
         );
         // The blocked entry is not granted until the updated timestamp arrives.
         assert!(s.queue_len() == 1);
-        let e = s.handle_updated_ts(TxnId(2), Timestamp(75));
-        assert_eq!(grant_txns(&e), vec![TxnId(2)]);
+        let mut sink = QmSink::new();
+        s.handle_updated_ts(TxnId(2), Timestamp(75), &mut sink);
+        assert_eq!(grant_txns(&sink), vec![TxnId(2)]);
+    }
+
+    #[test]
+    fn pa_accepted_but_queued_is_acknowledged_before_grants() {
+        let mut s = state();
+        // A 2PL writer holds the item, so an accepted PA reader queues.
+        access(
+            &mut s,
+            1,
+            0,
+            AccessMode::Write,
+            CcMethod::TwoPhaseLocking,
+            ts(0),
+        );
+        let e = access(
+            &mut s,
+            2,
+            1,
+            AccessMode::Read,
+            CcMethod::PrecedenceAgreement,
+            ts(50),
+        );
+        assert_eq!(
+            e.replies,
+            vec![ReplyMsg::Ack {
+                txn: TxnId(2),
+                item: item()
+            }],
+            "accepted-but-queued PA request is acknowledged"
+        );
     }
 
     #[test]
     fn blocked_pa_entry_prevents_later_grants() {
         let mut s = state();
         // Seed thresholds with a granted+released PA write at ts 50.
-        s.handle_access(
-            TxnId(1),
-            SiteId(0),
+        access(
+            &mut s,
+            1,
+            0,
             AccessMode::Write,
             CcMethod::PrecedenceAgreement,
             ts(50),
         );
-        s.handle_release(TxnId(1), None);
+        release(&mut s, 1, None);
         // PA write at ts 20 gets backed off (blocked, proposed 60).
-        let e = s.handle_access(
-            TxnId(2),
-            SiteId(1),
+        let e = access(
+            &mut s,
+            2,
+            1,
             AccessMode::Write,
             CcMethod::PrecedenceAgreement,
             TsTuple::new(Timestamp(20), 40),
         );
-        assert!(matches!(e[0], ItemEvent::BackedOff { .. }));
+        assert!(matches!(e.replies[0], ReplyMsg::Backoff { .. }));
         // A later T/O read at ts 100 queues behind the blocked entry and must
         // not be granted while the head is blocked.
-        let e = s.handle_access(
-            TxnId(3),
-            SiteId(2),
+        let e = access(
+            &mut s,
+            3,
+            2,
             AccessMode::Read,
             CcMethod::TimestampOrdering,
             ts(100),
         );
         assert!(grant_txns(&e).is_empty(), "head is blocked; nothing grants");
         // Once the PA entry is accepted, both grant in precedence order.
-        let e = s.handle_updated_ts(TxnId(2), Timestamp(60));
-        assert_eq!(grant_txns(&e), vec![TxnId(2)]);
+        let mut sink = QmSink::new();
+        s.handle_updated_ts(TxnId(2), Timestamp(60), &mut sink);
+        assert_eq!(grant_txns(&sink), vec![TxnId(2)]);
     }
 
     #[test]
@@ -861,32 +957,31 @@ mod tests {
         let mut s = state();
         // A T/O writer is granted (normal), executes, and demotes because it
         // held a pre-scheduled lock elsewhere — here we just demote directly.
-        s.handle_access(
-            TxnId(1),
-            SiteId(0),
+        access(
+            &mut s,
+            1,
+            0,
             AccessMode::Write,
             CcMethod::TimestampOrdering,
             ts(10),
         );
-        let e = s.handle_demote(TxnId(1), Some(777));
-        assert!(e.contains(&ItemEvent::Implemented {
-            txn: TxnId(1),
-            access: AccessMode::Write
-        }));
+        let mut sink = QmSink::new();
+        s.handle_demote(TxnId(1), Some(777), &mut sink);
+        assert_eq!(implemented(&sink), vec![(TxnId(1), AccessMode::Write)]);
         assert_eq!(s.value(), 777, "demote implements the write");
         // A T/O reader with a later timestamp may be granted an SRL even
         // though the SWL is still held…
-        let e = s.handle_access(
-            TxnId(2),
-            SiteId(1),
+        let e = access(
+            &mut s,
+            2,
+            1,
             AccessMode::Read,
             CcMethod::TimestampOrdering,
             ts(20),
         );
-        let grants = grant_txns(&e);
-        assert_eq!(grants, vec![TxnId(2)]);
-        match &e[0] {
-            ItemEvent::Granted {
+        assert_eq!(grant_txns(&e), vec![TxnId(2)]);
+        match &e.replies[0] {
+            ReplyMsg::Grant {
                 lock, class, value, ..
             } => {
                 assert_eq!(*lock, LockMode::SemiRead);
@@ -896,9 +991,10 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         // …but a PA reader is still blocked by the semi-write lock.
-        let e = s.handle_access(
-            TxnId(3),
-            SiteId(2),
+        let e = access(
+            &mut s,
+            3,
+            2,
             AccessMode::Read,
             CcMethod::PrecedenceAgreement,
             ts(30),
@@ -906,32 +1002,28 @@ mod tests {
         assert!(grant_txns(&e).is_empty());
         // When the T/O writer finally releases, the pre-scheduled SRL becomes
         // normal and the PA reader is granted.
-        let e = s.handle_release(TxnId(1), None);
-        assert!(e.iter().any(|ev| matches!(
-            ev,
-            ItemEvent::BecameNormal {
-                txn: TxnId(2),
-                lock: LockMode::SemiRead,
-                ..
-            }
-        )));
+        let e = release(&mut s, 1, None);
+        assert_eq!(upgraded_txns(&e), vec![(TxnId(2), LockMode::SemiRead)]);
         assert!(grant_txns(&e).contains(&TxnId(3)));
     }
 
     #[test]
     fn lock_all_mode_blocks_to_read_behind_semi_write() {
         let mut s = ItemState::new(item(), 0, EnforcementMode::LockAll);
-        s.handle_access(
-            TxnId(1),
-            SiteId(0),
+        access(
+            &mut s,
+            1,
+            0,
             AccessMode::Write,
             CcMethod::TimestampOrdering,
             ts(10),
         );
-        s.handle_demote(TxnId(1), Some(5));
-        let e = s.handle_access(
-            TxnId(2),
-            SiteId(1),
+        let mut sink = QmSink::new();
+        s.handle_demote(TxnId(1), Some(5), &mut sink);
+        let e = access(
+            &mut s,
+            2,
+            1,
             AccessMode::Read,
             CcMethod::TimestampOrdering,
             ts(20),
@@ -940,59 +1032,48 @@ mod tests {
             grant_txns(&e).is_empty(),
             "under lock-all enforcement the T/O read waits for the release"
         );
-        let e = s.handle_release(TxnId(1), None);
+        let e = release(&mut s, 1, None);
         assert_eq!(grant_txns(&e), vec![TxnId(2)]);
     }
 
     #[test]
     fn release_implements_and_purges_state() {
         let mut s = state();
-        s.handle_access(
-            TxnId(1),
-            SiteId(0),
+        access(
+            &mut s,
+            1,
+            0,
             AccessMode::Write,
             CcMethod::PrecedenceAgreement,
             ts(5),
         );
-        let e = s.handle_release(TxnId(1), Some(9));
-        assert!(e.contains(&ItemEvent::Implemented {
-            txn: TxnId(1),
-            access: AccessMode::Write
-        }));
+        let e = release(&mut s, 1, Some(9));
+        assert_eq!(implemented(&e), vec![(TxnId(1), AccessMode::Write)]);
         assert!(s.is_idle());
         assert_eq!(s.value(), 9);
         // Releasing again is a no-op.
-        let e = s.handle_release(TxnId(1), Some(1000));
-        assert!(e
-            .iter()
-            .all(|ev| !matches!(ev, ItemEvent::Implemented { .. })));
+        let e = release(&mut s, 1, Some(1000));
+        assert!(implemented(&e).is_empty());
         assert_eq!(s.value(), 9);
     }
 
     #[test]
     fn release_after_demote_does_not_reimplement() {
         let mut s = state();
-        s.handle_access(
-            TxnId(1),
-            SiteId(0),
+        access(
+            &mut s,
+            1,
+            0,
             AccessMode::Write,
             CcMethod::TimestampOrdering,
             ts(5),
         );
-        let implemented_at_demote = s.handle_demote(TxnId(1), Some(1));
+        let mut sink = QmSink::new();
+        s.handle_demote(TxnId(1), Some(1), &mut sink);
+        assert_eq!(implemented(&sink).len(), 1);
+        let release_events = release(&mut s, 1, Some(2));
         assert_eq!(
-            implemented_at_demote
-                .iter()
-                .filter(|e| matches!(e, ItemEvent::Implemented { .. }))
-                .count(),
-            1
-        );
-        let release_events = s.handle_release(TxnId(1), Some(2));
-        assert_eq!(
-            release_events
-                .iter()
-                .filter(|e| matches!(e, ItemEvent::Implemented { .. }))
-                .count(),
+            implemented(&release_events).len(),
             0,
             "a demoted lock's operation is implemented only once"
         );
@@ -1002,24 +1083,25 @@ mod tests {
     #[test]
     fn abort_discards_without_implementing() {
         let mut s = state();
-        s.handle_access(
-            TxnId(1),
-            SiteId(0),
+        access(
+            &mut s,
+            1,
+            0,
             AccessMode::Write,
             CcMethod::TwoPhaseLocking,
             ts(0),
         );
-        s.handle_access(
-            TxnId(2),
-            SiteId(1),
+        access(
+            &mut s,
+            2,
+            1,
             AccessMode::Write,
             CcMethod::TwoPhaseLocking,
             ts(0),
         );
-        let e = s.handle_abort(TxnId(1));
-        assert!(e
-            .iter()
-            .all(|ev| !matches!(ev, ItemEvent::Implemented { .. })));
+        let mut e = QmSink::new();
+        s.handle_abort(TxnId(1), &mut e);
+        assert!(implemented(&e).is_empty());
         assert_eq!(
             grant_txns(&e),
             vec![TxnId(2)],
@@ -1031,23 +1113,26 @@ mod tests {
     #[test]
     fn wait_edges_capture_lock_and_order_waits() {
         let mut s = state();
-        s.handle_access(
-            TxnId(1),
-            SiteId(0),
+        access(
+            &mut s,
+            1,
+            0,
             AccessMode::Write,
             CcMethod::TwoPhaseLocking,
             ts(0),
         );
-        s.handle_access(
-            TxnId(2),
-            SiteId(1),
+        access(
+            &mut s,
+            2,
+            1,
             AccessMode::Write,
             CcMethod::TwoPhaseLocking,
             ts(0),
         );
-        s.handle_access(
-            TxnId(3),
-            SiteId(2),
+        access(
+            &mut s,
+            3,
+            2,
             AccessMode::Write,
             CcMethod::TwoPhaseLocking,
             ts(0),
@@ -1059,30 +1144,38 @@ mod tests {
         assert!(edges.contains(&(TxnId(3), TxnId(2))));
         assert!(!edges.iter().any(|&(w, _)| w == TxnId(1)));
         assert_eq!(s.waiting_txns(), vec![TxnId(2), TxnId(3)]);
+        // The `_into` variants append to the caller's buffers.
+        let mut buf = vec![(TxnId(99), TxnId(98))];
+        s.wait_edges_into(&mut buf);
+        assert_eq!(buf[0], (TxnId(99), TxnId(98)));
+        assert_eq!(buf.len(), 1 + edges.len());
     }
 
     #[test]
     fn to_timestamp_order_enforced_among_queued_requests() {
         let mut s = state();
         // Two T/O writers arrive out of order while a 2PL reader holds the item.
-        s.handle_access(
-            TxnId(1),
-            SiteId(0),
+        access(
+            &mut s,
+            1,
+            0,
             AccessMode::Read,
             CcMethod::TwoPhaseLocking,
             ts(0),
         );
-        let e = s.handle_access(
-            TxnId(2),
-            SiteId(1),
+        let e = access(
+            &mut s,
+            2,
+            1,
             AccessMode::Write,
             CcMethod::TimestampOrdering,
             ts(50),
         );
         assert!(grant_txns(&e).is_empty());
-        let e = s.handle_access(
-            TxnId(3),
-            SiteId(2),
+        let e = access(
+            &mut s,
+            3,
+            2,
             AccessMode::Write,
             CcMethod::TimestampOrdering,
             ts(40),
@@ -1090,9 +1183,9 @@ mod tests {
         assert!(grant_txns(&e).is_empty());
         // Release the reader: the smaller-timestamp writer (t3) must be
         // granted first, then t2 after t3 releases.
-        let e = s.handle_release(TxnId(1), None);
+        let e = release(&mut s, 1, None);
         assert_eq!(grant_txns(&e), vec![TxnId(3)]);
-        let e = s.handle_release(TxnId(3), Some(1));
+        let e = release(&mut s, 3, Some(1));
         assert_eq!(grant_txns(&e), vec![TxnId(2)]);
     }
 
@@ -1105,27 +1198,30 @@ mod tests {
         // attached to its original grant. Keeping the original grant would
         // let P overwrite T's update from a stale read.
         let mut s = state();
-        let e = s.handle_access(
-            TxnId(1),
-            SiteId(0),
+        let e = access(
+            &mut s,
+            1,
+            0,
             AccessMode::Write,
             CcMethod::PrecedenceAgreement,
             ts(10),
         );
         assert_eq!(grant_txns(&e), vec![TxnId(1)]);
-        let e = s.handle_access(
-            TxnId(2),
-            SiteId(1),
+        let e = access(
+            &mut s,
+            2,
+            1,
             AccessMode::Write,
             CcMethod::TimestampOrdering,
             ts(20),
         );
         assert!(grant_txns(&e).is_empty(), "blocked behind P's write lock");
 
-        let e = s.handle_updated_ts(TxnId(1), Timestamp(50));
+        let mut e = QmSink::new();
+        s.handle_updated_ts(TxnId(1), Timestamp(50), &mut e);
         assert_eq!(grant_txns(&e), vec![TxnId(2)], "revocation unblocks T");
-        let t_value = e.iter().find_map(|ev| match ev {
-            ItemEvent::Granted {
+        let t_value = e.replies.iter().find_map(|r| match r {
+            ReplyMsg::Grant {
                 txn: TxnId(2),
                 value,
                 ..
@@ -1134,10 +1230,10 @@ mod tests {
         });
         assert_eq!(t_value, Some(100), "T reads the original value");
 
-        let e = s.handle_release(TxnId(2), Some(7));
+        let e = release(&mut s, 2, Some(7));
         assert_eq!(grant_txns(&e), vec![TxnId(1)], "P re-granted after T");
-        let p_value = e.iter().find_map(|ev| match ev {
-            ItemEvent::Granted {
+        let p_value = e.replies.iter().find_map(|r| match r {
+            ReplyMsg::Grant {
                 txn: TxnId(1),
                 value,
                 ..

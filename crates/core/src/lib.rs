@@ -30,8 +30,10 @@ pub mod deadlock;
 pub mod item;
 pub mod qm;
 pub mod ri;
+pub mod sink;
 
 pub use deadlock::WaitForGraph;
-pub use item::{EnforcementMode, HeldLock, ItemEvent, ItemState};
+pub use item::{EnforcementMode, HeldLock, ItemState};
 pub use qm::{QmEvent, QmOutput, QueueManager};
 pub use ri::{RequestIssuer, RiAction, RiOutput, RiPhase};
+pub use sink::QmSink;

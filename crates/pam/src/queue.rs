@@ -45,14 +45,22 @@ pub struct QueueEntry {
     pub granted: bool,
 }
 
-/// A precedence-sorted data queue.
+/// Entry capacity a queue reserves on first use and retains from then on.
+/// Removal never shrinks the buffer, so steady-state enqueue/grant/release
+/// churn below this depth touches the allocator exactly once per item over
+/// the queue's whole lifetime (deeper queues grow once and keep the larger
+/// buffer).
+const MIN_ENTRY_CAPACITY: usize = 8;
+
+/// A precedence-sorted data queue with capacity-reusing entry storage.
 #[derive(Debug, Clone, Default)]
 pub struct DataQueue {
     entries: Vec<QueueEntry>,
 }
 
 impl DataQueue {
-    /// Create an empty queue.
+    /// Create an empty queue. The entry buffer is reserved lazily on the
+    /// first insert.
     pub fn new() -> Self {
         DataQueue::default()
     }
@@ -67,6 +75,11 @@ impl DataQueue {
         self.entries.is_empty()
     }
 
+    /// The retained entry capacity (allocation-stability diagnostics).
+    pub fn capacity(&self) -> usize {
+        self.entries.capacity()
+    }
+
     /// Insert an entry at its precedence-sorted position.
     ///
     /// Panics in debug builds if the transaction already has an entry in this
@@ -77,6 +90,9 @@ impl DataQueue {
             "transaction {:?} already queued",
             entry.txn
         );
+        if self.entries.capacity() == 0 {
+            self.entries.reserve(MIN_ENTRY_CAPACITY);
+        }
         let pos = self
             .entries
             .partition_point(|e| e.precedence <= entry.precedence);
@@ -262,6 +278,27 @@ mod tests {
         q.mark_granted(TxnId(1));
         let granted: Vec<u64> = q.granted().map(|e| e.txn.0).collect();
         assert_eq!(granted, vec![1, 3]);
+    }
+
+    #[test]
+    fn entry_storage_capacity_survives_churn() {
+        let mut q = DataQueue::new();
+        assert_eq!(q.capacity(), 0, "empty queues hold no buffer");
+        q.insert(entry(0, 1, AccessMode::Write));
+        let cap = q.capacity();
+        assert!(cap >= 8, "first insert reserves the retained minimum");
+        // Sustained enqueue/grant/remove churn below the retained depth
+        // must never touch the allocator again: capacity is stable.
+        for round in 1..500u64 {
+            for k in 0..4 {
+                q.insert(entry(round * 10 + k, round * 10 + k, AccessMode::Write));
+            }
+            q.mark_granted(TxnId(round * 10));
+            for k in 0..4 {
+                q.remove(TxnId(round * 10 + k));
+            }
+            assert_eq!(q.capacity(), cap, "churn round {round} reallocated");
+        }
     }
 
     #[test]

@@ -297,6 +297,7 @@ impl Database {
     pub fn stats(&self) -> StatsSnapshot {
         let mut snapshot = self.inner.stats.snapshot();
         snapshot.stale_reply_events = self.inner.registry.stale_reply_events();
+        snapshot.mailbox_overflow_entries = self.inner.registry.overflow_entries() as u64;
         snapshot
     }
 

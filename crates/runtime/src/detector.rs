@@ -43,22 +43,35 @@ pub(crate) fn spawn(
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name("cc-deadlock-detector".into())
-        .spawn(move || loop {
-            match stop.recv_timeout(interval) {
-                Ok(()) | Err(RecvTimeoutError::Disconnected) => return,
-                Err(RecvTimeoutError::Timeout) => {}
+        .spawn(move || {
+            // Merged-edge scratch reused across scans (the shards build
+            // their reports with `wait_edges_into`, so a scan's only
+            // steady-state allocations are the per-shard report vectors
+            // that cross the oneshot boundary).
+            let mut edges: Vec<(TxnId, TxnId)> = Vec::new();
+            loop {
+                match stop.recv_timeout(interval) {
+                    Ok(()) | Err(RecvTimeoutError::Disconnected) => return,
+                    Err(RecvTimeoutError::Timeout) => {}
+                }
+                if stopped.load(Ordering::Relaxed) {
+                    return;
+                }
+                scan_once(&shards, &registry, &stats, &mut edges);
             }
-            if stopped.load(Ordering::Relaxed) {
-                return;
-            }
-            scan_once(&shards, &registry, &stats);
         })
         .expect("failed to spawn deadlock detector")
 }
 
-/// One scan: gather edges, find cycles, signal victims.
-pub(crate) fn scan_once(shards: &[ShardSender], registry: &Registry, stats: &RuntimeStats) {
-    let mut edges: Vec<(TxnId, TxnId)> = Vec::new();
+/// One scan: gather edges into the reusable `edges` scratch, find cycles,
+/// signal victims. The scratch is left cleared with its capacity intact.
+pub(crate) fn scan_once(
+    shards: &[ShardSender],
+    registry: &Registry,
+    stats: &RuntimeStats,
+    edges: &mut Vec<(TxnId, TxnId)>,
+) {
+    debug_assert!(edges.is_empty());
     for shard in shards {
         let (tx, rx) = transport::oneshot::channel();
         if shard.send(ShardCmd::WaitEdges(tx)).is_err() {
@@ -72,7 +85,7 @@ pub(crate) fn scan_once(shards: &[ShardSender], registry: &Registry, stats: &Run
     if edges.is_empty() {
         return;
     }
-    let graph = WaitForGraph::from_edges(edges);
+    let graph = WaitForGraph::from_edges(edges.drain(..));
     let victims =
         graph.choose_victims(|txn| registry.method_of(txn) == Some(CcMethod::TwoPhaseLocking));
     for victim in victims {
@@ -196,7 +209,7 @@ mod tests {
             wait_until_waiting(&shard1.tx, TxnId(1));
             wait_until_waiting(&shard0.tx, TxnId(2));
 
-            scan_once(&shards, &registry, &stats);
+            scan_once(&shards, &registry, &stats, &mut Vec::new());
 
             // The youngest 2PL member (the larger TxnId) is the victim …
             match mb2.recv_timeout(TxnId(2), Duration::from_secs(2)) {
@@ -258,7 +271,7 @@ mod tests {
         wait_until_waiting(&shard1.tx, TxnId(1));
         wait_until_waiting(&shard0.tx, TxnId(3));
 
-        scan_once(&shards, &registry, &stats);
+        scan_once(&shards, &registry, &stats, &mut Vec::new());
 
         match mb1.recv_timeout(TxnId(1), Duration::from_secs(2)) {
             Ok(ClientEvent::DeadlockVictim) => {}

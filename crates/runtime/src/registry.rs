@@ -324,6 +324,18 @@ impl Registry {
         }
     }
 
+    /// Registrations currently parked on the mailbox slab's overflow map
+    /// (live index-bucket collisions). Always zero on the mpsc plane.
+    /// Nonzero values are correct but mean the packed index is undersized
+    /// for the live-transaction spread (see the ROADMAP's index-sizing
+    /// item).
+    pub(crate) fn overflow_entries(&self) -> usize {
+        match &self.plane {
+            Plane::Mailbox(reg) => reg.overflow_entries(),
+            Plane::Mpsc(_) => 0,
+        }
+    }
+
     /// Stale reply events suppressed so far: deliveries dropped because
     /// no live incarnation matched, plus (mailbox plane) events
     /// discarded consumer-side by the incarnation tag.

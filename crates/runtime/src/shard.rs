@@ -2,9 +2,12 @@
 //!
 //! A shard is the runtime analogue of the simulator's per-site queue
 //! manager. It drains a bounded command inbox (backpressure towards the
-//! clients), applies each [`RequestMsg`] to its item states, routes the
-//! produced replies through the [`Registry`], and appends every implemented
-//! operation to its private slice of the execution log. Because every
+//! clients), pushes each drained [`ShardCmd::HandleBatch`] through one
+//! `QueueManager::handle_batch` call into a reusable [`QmSink`] (no
+//! per-message `QmOutput` allocation anywhere on the path), flushes the
+//! accumulated replies through the [`Registry`] once per drained batch,
+//! and appends every implemented operation to its private slice of the
+//! execution log. Because every
 //! physical item lives on exactly one shard, the per-item implementation
 //! order — the thing the serializability oracle consumes — is exactly the
 //! order the owning shard processed the operations in, with no further
@@ -29,11 +32,11 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use dbmodel::{LogSet, SiteId, TxnId};
-use pam::{GrantClass, ReplyMsg, RequestMsg};
+use pam::{GrantClass, RequestMsg};
 use transport::batch::SmallBatch;
 use transport::oneshot::OneshotSender;
 use transport::ring::{RingReceiver, RingSender};
-use unified_cc::{QmEvent, QueueManager};
+use unified_cc::{QmEvent, QmSink, QueueManager};
 
 use crate::registry::Registry;
 use crate::stats::RuntimeStats;
@@ -164,21 +167,33 @@ pub(crate) fn spawn(
 struct ShardState<'a> {
     qm: QueueManager,
     logs: LogSet,
-    replies: Vec<ReplyMsg>,
+    /// The reusable engine sink: replies accumulate here across a whole
+    /// drained batch and are flushed straight to the registry (no
+    /// intermediate per-message `QmOutput`); events are folded into the
+    /// stats and logs after each protocol command.
+    sink: QmSink,
     stats: &'a RuntimeStats,
     idx: usize,
     shutdown: bool,
 }
 
 impl ShardState<'_> {
-    fn apply_msg(&mut self, origin: SiteId, msg: &RequestMsg) {
-        let counters = &self.stats.per_shard[self.idx];
+    fn count_msg(&self, msg: &RequestMsg) {
         if matches!(msg, RequestMsg::Abort { .. }) {
-            counters.aborts.fetch_add(1, Ordering::Relaxed);
+            self.stats.per_shard[self.idx]
+                .aborts
+                .fetch_add(1, Ordering::Relaxed);
         }
-        let output = self.qm.handle(origin, msg);
-        for event in &output.events {
-            match *event {
+    }
+
+    /// Drain the events the last engine call pushed into the sink. Runs
+    /// after *every* protocol command — a `LogSnapshot` later in the same
+    /// drained batch must observe the operations implemented before it.
+    /// Replies stay in the sink until the owning loop flushes them.
+    fn fold_events(&mut self) {
+        let counters = &self.stats.per_shard[self.idx];
+        for event in self.sink.events.drain(..) {
+            match event {
                 QmEvent::GrantIssued { class, .. } => {
                     self.stats.grants.fetch_add(1, Ordering::Relaxed);
                     counters.grants.fetch_add(1, Ordering::Relaxed);
@@ -193,19 +208,32 @@ impl ShardState<'_> {
                 }
             }
         }
-        self.replies.extend(output.replies);
     }
 
     fn apply_cmd(&mut self, cmd: ShardCmd) {
         match cmd {
-            ShardCmd::Handle { origin, msg } => self.apply_msg(origin, &msg),
+            ShardCmd::Handle { origin, msg } => {
+                self.count_msg(&msg);
+                self.qm.handle_into(origin, &msg, &mut self.sink);
+                self.fold_events();
+            }
             ShardCmd::HandleBatch { origin, msgs } => {
                 for msg in msgs.iter() {
-                    self.apply_msg(origin, msg);
+                    self.count_msg(msg);
                 }
+                self.qm.handle_batch(origin, msgs.iter(), &mut self.sink);
+                self.fold_events();
             }
-            ShardCmd::WaitEdges(reply_to) => reply_to.send(self.qm.wait_edges()),
-            ShardCmd::Waiting(reply_to) => reply_to.send(self.qm.waiting_txns()),
+            ShardCmd::WaitEdges(reply_to) => {
+                let mut edges = Vec::new();
+                self.qm.wait_edges_into(&mut edges);
+                reply_to.send(edges)
+            }
+            ShardCmd::Waiting(reply_to) => {
+                let mut waiting = Vec::new();
+                self.qm.waiting_txns_into(&mut waiting);
+                reply_to.send(waiting)
+            }
             ShardCmd::LogSnapshot(reply_to) => reply_to.send(self.logs.clone()),
             ShardCmd::Shutdown => self.shutdown = true,
         }
@@ -223,7 +251,9 @@ fn shard_loop(
     let mut state = ShardState {
         qm,
         logs: LogSet::new(),
-        replies: Vec::new(),
+        // Pre-size to the drain buffer's depth so the first batches skip
+        // the sink's warm-up growth.
+        sink: QmSink::with_capacity(64, 64),
         stats: &stats,
         idx,
         shutdown: false,
@@ -242,12 +272,13 @@ fn shard_loop(
         for cmd in buf.drain(..) {
             state.apply_cmd(cmd);
         }
-        // Replies are flushed once per drained batch: one registry pass
-        // covers every reply the batch produced, and — measured on a
-        // loaded single-CPU box — waking waiters mid-batch lets them
-        // preempt the shard and roughly halves throughput.
-        if !state.replies.is_empty() {
-            registry.deliver_all_with(state.replies.drain(..), &mut reply_groups);
+        // Replies are flushed once per drained batch, straight from the
+        // engine sink: one registry pass covers every reply the batch
+        // produced, and — measured on a loaded single-CPU box — waking
+        // waiters mid-batch lets them preempt the shard and roughly
+        // halves throughput.
+        if !state.sink.replies.is_empty() {
+            registry.deliver_all_with(state.sink.replies.drain(..), &mut reply_groups);
         }
         if state.shutdown {
             // Drain-first shutdown: sweep and process everything already
@@ -259,8 +290,8 @@ fn shard_loop(
                     state.apply_cmd(cmd);
                 }
                 buf.clear();
-                if !state.replies.is_empty() {
-                    registry.deliver_all_with(state.replies.drain(..), &mut reply_groups);
+                if !state.sink.replies.is_empty() {
+                    registry.deliver_all_with(state.sink.replies.drain(..), &mut reply_groups);
                 }
             }
             break;

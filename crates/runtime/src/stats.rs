@@ -175,6 +175,12 @@ pub struct StatsSnapshot {
     /// [`crate::Database::stats`] from the registry, not by
     /// `RuntimeStats` itself.
     pub stale_reply_events: u64,
+    /// Live registrations currently parked on the reply-mailbox slab's
+    /// overflow map (index-bucket collisions; always zero on the mpsc
+    /// reply plane). Nonzero is correct but means the packed index is
+    /// undersized for the number of concurrently live transactions.
+    /// Filled in by [`crate::Database::stats`] from the registry.
+    pub mailbox_overflow_entries: u64,
     /// Selection-cache counters (all zero when the cache is disabled or
     /// the policy is not dynamic).
     pub cache: CacheStats,
@@ -205,6 +211,7 @@ impl RuntimeStats {
             selections: self.selections.load(Ordering::Relaxed),
             selection_nanos: self.selection_nanos.load(Ordering::Relaxed),
             stale_reply_events: 0,
+            mailbox_overflow_entries: 0,
             cache: CacheStats {
                 hits: self.cache_hits.load(Ordering::Relaxed),
                 misses: self.cache_misses.load(Ordering::Relaxed),

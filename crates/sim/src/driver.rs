@@ -472,7 +472,7 @@ impl Simulation {
         // deadlocked transactions" observation of Section 5).
         let mut edges: Vec<(TxnId, TxnId)> = Vec::new();
         for qm in self.qms.values() {
-            edges.extend(qm.wait_edges());
+            qm.wait_edges_into(&mut edges);
         }
         let waiting: std::collections::BTreeSet<TxnId> =
             edges.iter().map(|&(waiter, _)| waiter).collect();

@@ -1,0 +1,364 @@
+//! Batched-engine equivalence: `QueueManager::handle_batch` must be a pure
+//! batching of the per-message `handle` loop.
+//!
+//! The property under test is the one the runtime's shard loop relies on:
+//! for *any* mixed-protocol request stream, pushing the stream through
+//! `handle_batch` in arbitrary chunk sizes with one reused [`QmSink`]
+//! produces **byte-identical** output — the same replies in the same
+//! order, the same events, the same item values, the same wait edges and
+//! waiting sets — as handling every message individually. Batching is an
+//! allocation strategy, not a semantics change.
+//!
+//! Streams are generated from proptest-drawn seeds: a pool of scripted
+//! transactions (2PL / T/O / PA, random read-write sets over four items,
+//! colliding timestamps so rejects, backoffs, revocations and queued
+//! waits all occur) interleaved step by step by a seeded RNG. PA backoff
+//! rounds and T/O reject-aborts are driven from the replies the reference
+//! engine actually produced, so the streams exercise `UpdatedTs`
+//! revocation and abort paths too.
+//!
+//! The companion concurrent test runs the real runtime (whose shards now
+//! drive `handle_batch` for every drained batch) under mixed-method
+//! clients and certifies the merged execution log through the `sercheck`
+//! oracle.
+
+use dbmodel::{
+    AccessMode, CcMethod, LogicalItemId, PhysicalItemId, SiteId, Timestamp, TsTuple, TxnId, Value,
+};
+use pam::{ReplyMsg, RequestMsg};
+use proptest::prelude::*;
+use simkit::rng::SimRng;
+use unified_cc::{EnforcementMode, QmEvent, QmSink, QueueManager};
+
+const SITE: SiteId = SiteId(0);
+const ITEMS: u64 = 4;
+const TXNS: u64 = 16;
+const INITIAL: Value = 100;
+
+fn pi(i: u64) -> PhysicalItemId {
+    PhysicalItemId::new(LogicalItemId(i), SITE)
+}
+
+fn build_qm() -> QueueManager {
+    let mut qm = QueueManager::new(SITE);
+    for i in 0..ITEMS {
+        qm.add_item(pi(i), INITIAL, EnforcementMode::SemiLock);
+    }
+    qm
+}
+
+/// One scripted transaction: the shape is fixed up front, the follow-up
+/// phase (release / demote+release / abort / PA timestamp update) is
+/// decided from the replies the reference engine produced.
+struct Script {
+    txn: TxnId,
+    method: CcMethod,
+    /// `(item, mode)` pairs, each accessed exactly once.
+    accesses: Vec<(PhysicalItemId, AccessMode)>,
+    ts: u64,
+    /// T/O only: demote before releasing.
+    demote: bool,
+    /// Abort instead of releasing (voluntary abort path).
+    abort: bool,
+    /// Next access index to issue; `accesses.len()` = access phase done.
+    issued: usize,
+    /// Follow-up messages (filled when the access phase completes).
+    followup: Vec<RequestMsg>,
+    /// Next follow-up index to issue.
+    followup_issued: usize,
+    /// Largest PA backoff timestamp observed for this transaction.
+    backoff_ts: Option<Timestamp>,
+    /// A T/O reject was observed for this transaction.
+    rejected: bool,
+}
+
+impl Script {
+    fn done(&self) -> bool {
+        self.issued == self.accesses.len()
+            && !self.followup.is_empty()
+            && self.followup_issued == self.followup.len()
+    }
+
+    fn write_value(&self, item: PhysicalItemId) -> Value {
+        (self.txn.0 * 10 + item.logical.0) as Value
+    }
+
+    /// Build the follow-up phase once every access has been issued.
+    fn plan_followup(&mut self) {
+        debug_assert!(self.followup.is_empty());
+        if self.rejected || self.abort {
+            for &(item, _) in &self.accesses {
+                self.followup.push(RequestMsg::Abort {
+                    txn: self.txn,
+                    item,
+                });
+            }
+            return;
+        }
+        if let Some(new_ts) = self.backoff_ts {
+            // The PA backoff round: broadcast the final timestamp first.
+            for &(item, _) in &self.accesses {
+                self.followup.push(RequestMsg::UpdatedTs {
+                    txn: self.txn,
+                    item,
+                    new_ts,
+                });
+            }
+        }
+        if self.demote && self.method == CcMethod::TimestampOrdering {
+            for &(item, mode) in &self.accesses {
+                self.followup.push(RequestMsg::Demote {
+                    txn: self.txn,
+                    item,
+                    write_value: (mode == AccessMode::Write).then(|| self.write_value(item)),
+                });
+            }
+        }
+        for &(item, mode) in &self.accesses {
+            self.followup.push(RequestMsg::Release {
+                txn: self.txn,
+                item,
+                write_value: (mode == AccessMode::Write).then(|| self.write_value(item)),
+            });
+        }
+    }
+
+    /// The next message of this script, if any.
+    fn next_msg(&mut self) -> Option<RequestMsg> {
+        if self.issued < self.accesses.len() {
+            let (item, mode) = self.accesses[self.issued];
+            self.issued += 1;
+            return Some(RequestMsg::Access {
+                txn: self.txn,
+                item,
+                mode,
+                method: self.method,
+                ts: TsTuple::new(Timestamp(self.ts), 10),
+            });
+        }
+        if self.followup.is_empty() {
+            self.plan_followup();
+        }
+        if self.followup_issued < self.followup.len() {
+            let msg = self.followup[self.followup_issued];
+            self.followup_issued += 1;
+            return Some(msg);
+        }
+        None
+    }
+}
+
+fn make_scripts(rng: &mut SimRng) -> Vec<Script> {
+    (1..=TXNS)
+        .map(|id| {
+            let method = CcMethod::ALL[rng.next_index(3)];
+            let mut accesses = Vec::new();
+            for i in 0..ITEMS {
+                if rng.next_below(4) < 3 {
+                    let mode = if rng.next_below(2) == 0 {
+                        AccessMode::Read
+                    } else {
+                        AccessMode::Write
+                    };
+                    accesses.push((pi(i), mode));
+                }
+            }
+            if accesses.is_empty() {
+                accesses.push((pi(id % ITEMS), AccessMode::Write));
+            }
+            Script {
+                txn: TxnId(id),
+                method,
+                accesses,
+                // Deliberately colliding timestamps: rejects, backoffs and
+                // queued waits are all reachable.
+                ts: 1 + rng.next_below(40),
+                demote: rng.next_below(2) == 0,
+                abort: rng.next_below(8) == 0,
+                issued: 0,
+                followup: Vec::new(),
+                followup_issued: 0,
+                backoff_ts: None,
+                rejected: false,
+            }
+        })
+        .collect()
+}
+
+/// Build the interleaved stream, driving the reference engine per message
+/// (its replies steer PA backoff rounds and T/O reject-aborts). Returns
+/// the stream plus the reference replies/events.
+fn reference_run(seed: u64) -> (Vec<RequestMsg>, Vec<ReplyMsg>, Vec<QmEvent>, QueueManager) {
+    let mut rng = SimRng::new(seed);
+    let mut scripts = make_scripts(&mut rng);
+    let mut qm = build_qm();
+    let mut msgs = Vec::new();
+    let mut replies = Vec::new();
+    let mut events = Vec::new();
+    while scripts.iter().any(|s| !s.done()) {
+        let pick = rng.next_index(scripts.len());
+        // Round-robin from a random start so every live script advances.
+        let Some((idx, msg)) = (0..scripts.len()).find_map(|off| {
+            let idx = (pick + off) % scripts.len();
+            scripts[idx].next_msg().map(|m| (idx, m))
+        }) else {
+            break;
+        };
+        let out = qm.handle(SITE, &msg);
+        for reply in &out.replies {
+            match reply {
+                ReplyMsg::Backoff { txn, new_ts, .. } if *txn == scripts[idx].txn => {
+                    let prev = scripts[idx].backoff_ts.unwrap_or(Timestamp::ZERO);
+                    scripts[idx].backoff_ts = Some(prev.max(*new_ts));
+                }
+                ReplyMsg::Reject { txn, .. } if *txn == scripts[idx].txn => {
+                    scripts[idx].rejected = true;
+                }
+                _ => {}
+            }
+        }
+        msgs.push(msg);
+        replies.extend(out.replies);
+        events.extend(out.events);
+    }
+    (msgs, replies, events, qm)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 150,
+        ..ProptestConfig::default()
+    })]
+
+    /// The lockstep property: any chunking of the stream through
+    /// `handle_batch` with one reused sink is byte-identical to the
+    /// per-message loop — replies, events, item values, wait edges and
+    /// waiting sets all agree.
+    #[test]
+    fn handle_batch_is_byte_identical_to_per_message_handle(
+        (seed, chunk) in (0u64..1 << 48, 1usize..=16)
+    ) {
+        let (msgs, replies_ref, events_ref, qm_ref) = reference_run(seed);
+        prop_assert!(!msgs.is_empty());
+
+        let mut qm = build_qm();
+        let mut sink = QmSink::new();
+        let mut replies = Vec::new();
+        let mut events = Vec::new();
+        for batch in msgs.chunks(chunk) {
+            sink.clear();
+            qm.handle_batch(SITE, batch.iter(), &mut sink);
+            replies.extend(sink.replies.iter().cloned());
+            events.extend(sink.events.iter().cloned());
+        }
+
+        prop_assert_eq!(&replies, &replies_ref, "replies diverge (seed {seed:#x}, chunk {chunk})");
+        prop_assert_eq!(&events, &events_ref, "events diverge (seed {seed:#x}, chunk {chunk})");
+        for i in 0..ITEMS {
+            prop_assert_eq!(
+                qm.value_of(pi(i)), qm_ref.value_of(pi(i)),
+                "item {i} value diverges (seed {seed:#x}, chunk {chunk})"
+            );
+        }
+        prop_assert_eq!(qm.wait_edges(), qm_ref.wait_edges());
+        prop_assert_eq!(qm.waiting_txns(), qm_ref.waiting_txns());
+    }
+
+    /// Sink reuse across batches leaves no residue: running the same
+    /// stream twice through the same sink (cleared between runs) yields
+    /// the same output both times.
+    #[test]
+    fn reused_sink_carries_no_state_between_streams(seed in 0u64..1 << 48) {
+        let (msgs, ..) = reference_run(seed);
+        let mut sink = QmSink::new();
+        let mut runs = Vec::new();
+        for _ in 0..2 {
+            let mut qm = build_qm();
+            sink.clear();
+            qm.handle_batch(SITE, msgs.iter(), &mut sink);
+            runs.push((sink.replies.clone(), sink.events.clone()));
+        }
+        prop_assert_eq!(&runs[0], &runs[1]);
+    }
+}
+
+/// The concurrent half (satellite): the runtime's shards now push every
+/// drained batch through `handle_batch`; a genuinely concurrent
+/// mixed-method run over wide read-modify-write transactions must stay
+/// conflict-serializable under the oracle.
+#[test]
+fn batched_engine_concurrent_run_is_serializable() {
+    use runtime::{Database, RuntimeConfig, TxnError, TxnSpec};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    const DB_ITEMS: u64 = 24;
+    const CLIENTS: u64 = 6;
+    const TXNS_PER_CLIENT: u64 = 40;
+    const WIDTH: u64 = 8;
+
+    let db = Database::open(RuntimeConfig {
+        num_shards: 4,
+        num_items: DB_ITEMS,
+        initial_value: INITIAL,
+        deadlock_scan_interval: std::time::Duration::from_millis(2),
+        ..RuntimeConfig::default()
+    })
+    .expect("valid config");
+
+    let committed = Arc::new(AtomicU64::new(0));
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|t| {
+            let db = db.clone();
+            let committed = Arc::clone(&committed);
+            let mut rng = SimRng::new(0xBA7C_4ED0).fork(t);
+            std::thread::spawn(move || {
+                for _ in 0..TXNS_PER_CLIENT {
+                    let method = CcMethod::ALL[rng.next_index(3)];
+                    // A wide transaction: WIDTH distinct items,
+                    // read-modify-write (the exp9 gate-cell shape).
+                    let base = rng.next_below(DB_ITEMS);
+                    let items: Vec<LogicalItemId> = (0..WIDTH)
+                        .map(|k| LogicalItemId((base + k) % DB_ITEMS))
+                        .collect();
+                    let spec = TxnSpec::new().writes(items.iter().copied()).method(method);
+                    match db.run_transaction(&spec, |reads| {
+                        // Rotate value mass around the ring: total conserved.
+                        items
+                            .iter()
+                            .zip(items.iter().cycle().skip(1))
+                            .map(|(a, b)| (*a, reads[b]))
+                            .collect()
+                    }) {
+                        Ok(_) => {
+                            committed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(TxnError::TooManyRestarts { .. }) => {}
+                        Err(other) => panic!("unexpected transaction error: {other:?}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("client panicked");
+    }
+
+    // Conservation audit before shutdown.
+    let audit = TxnSpec::new().reads((0..DB_ITEMS).map(LogicalItemId));
+    let receipt = db
+        .run_transaction(&audit, |_| vec![])
+        .expect("audit commits");
+    assert_eq!(
+        receipt.reads.values().sum::<i64>(),
+        DB_ITEMS as i64 * INITIAL,
+        "wide read-modify-writes conserve the total"
+    );
+
+    let report = db.shutdown().expect("first shutdown wins");
+    assert!(committed.load(Ordering::Relaxed) > 0, "work actually ran");
+    let order = report
+        .serializable()
+        .expect("batched-engine run must be conflict-serializable");
+    assert!(order.len() as u64 >= committed.load(Ordering::Relaxed));
+}
