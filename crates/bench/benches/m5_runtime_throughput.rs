@@ -13,9 +13,11 @@
 //! For CI smoke runs, `M5_THREADS=<n>` restricts the sweep to one thread
 //! count and `M5_POLICY=<label>` to one policy.
 
+use bench::Trajectory;
 use criterion::{criterion_group, criterion_main, Criterion};
 use dbmodel::{CcMethod, LogicalItemId};
 use runtime::{CcPolicy, Database, RuntimeConfig, TransportKind, TxnSpec};
+use trace::json::Json;
 
 const ITEMS: u64 = 64;
 const BATCH: u64 = 64;
@@ -66,6 +68,9 @@ fn throughput(c: &mut Criterion) {
     let policy_filter: Option<String> = std::env::var("M5_POLICY").ok();
 
     let mut group = c.benchmark_group("m5_runtime_batch64_latency");
+    let mut traj = Trajectory::new("m5");
+    traj.meta("batch", Json::Num(BATCH as f64));
+    traj.meta("items", Json::Num(ITEMS as f64));
     for (label, policy, transport) in [
         (
             "static-2pl",
@@ -108,11 +113,21 @@ fn throughput(c: &mut Criterion) {
                     run_batch(&database, threads, round);
                 });
             });
+            // A dedicated timed pass outside criterion's loop for the
+            // summary and the JSON trajectory.
+            const SUMMARY_BATCHES: u64 = 5;
+            let begun = std::time::Instant::now();
+            for _ in 0..SUMMARY_BATCHES {
+                round += 1;
+                run_batch(&database, threads, round);
+            }
+            let txn_per_sec = (SUMMARY_BATCHES * BATCH) as f64 / begun.elapsed().as_secs_f64();
             let stats = database.stats();
             let report = database.shutdown().expect("shutdown");
             assert!(report.serializable().is_ok());
             println!(
-                "    -> {label}/{threads}threads: {} committed, {} restarts, {} PA backoffs",
+                "    -> {label}/{threads}threads: {} committed, {} restarts, {} PA backoffs, \
+                 {txn_per_sec:.0} txn/s over the summary pass",
                 stats.committed,
                 stats.restarts(),
                 stats.backoff_rounds
@@ -126,9 +141,37 @@ fn throughput(c: &mut Criterion) {
                     stats.cache.refits
                 );
             }
+            traj.row([
+                ("policy", Json::str(label)),
+                ("threads", Json::Num(threads as f64)),
+                ("txn_per_sec", Json::Num(txn_per_sec)),
+                ("committed", Json::Num(stats.committed as f64)),
+                ("restarts", Json::Num(stats.restarts() as f64)),
+                ("backoff_rounds", Json::Num(stats.backoff_rounds as f64)),
+                (
+                    "sel_us",
+                    if stats.selections > 0 {
+                        Json::Num(stats.selection_micros_per_txn())
+                    } else {
+                        Json::Null
+                    },
+                ),
+                (
+                    "cache_hit_pct",
+                    if stats.cache.hits + stats.cache.misses > 0 {
+                        Json::Num(stats.cache.hit_rate() * 100.0)
+                    } else {
+                        Json::Null
+                    },
+                ),
+                ("trace_events", Json::Num(stats.trace_events as f64)),
+            ]);
         }
     }
     group.finish();
+    if !traj.is_empty() {
+        traj.emit();
+    }
 }
 
 criterion_group!(benches, throughput);

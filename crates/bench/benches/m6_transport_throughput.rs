@@ -26,11 +26,13 @@ use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::Arc;
 use std::time::Instant;
 
+use bench::Trajectory;
 use criterion::{criterion_group, criterion_main, Criterion};
 use dbmodel::{
     AccessMode, CcMethod, LogicalItemId, PhysicalItemId, SiteId, Timestamp, TsTuple, TxnId,
 };
 use pam::RequestMsg;
+use trace::json::Json;
 use transport::batch::SmallBatch;
 use transport::ring::{self, RingReceiver, RingSender};
 
@@ -248,12 +250,24 @@ fn throughput(c: &mut Criterion) {
     }
     group.finish();
 
+    let mut traj = Trajectory::new("m6");
+    traj.meta("producers", Json::Num(PRODUCERS as f64));
+    traj.meta("shards", Json::num(SHARDS as u32));
+    traj.meta("wave_txns", Json::Num(WAVE_TXNS as f64));
+    for &(plane, txn_per_sec) in &summary {
+        traj.row([
+            ("plane", Json::str(plane)),
+            ("txn_per_sec", Json::Num(txn_per_sec)),
+        ]);
+    }
     if let [(_, ring), (_, mpsc)] = summary[..] {
         println!(
             "    -> plane ratio at 8 producers x 4 shards: {:.2}x (ring-batched vs mpsc-single)",
             ring / mpsc
         );
+        traj.meta("plane_ratio", Json::Num(ring / mpsc));
     }
+    traj.emit();
 }
 
 criterion_group!(benches, throughput);

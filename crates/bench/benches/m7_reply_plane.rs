@@ -32,9 +32,11 @@ use std::sync::mpsc::{Receiver, Sender, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use bench::Trajectory;
 use criterion::{criterion_group, criterion_main, Criterion};
 use dbmodel::{LogicalItemId, PhysicalItemId, SiteId, TxnId};
 use pam::ReplyMsg;
+use trace::json::Json;
 use transport::batch::SmallBatch;
 use transport::mailbox::{MailboxOptions, MailboxRegistry};
 use transport::ring::{self, RingReceiver, RingSender};
@@ -295,6 +297,19 @@ fn throughput(c: &mut Criterion) {
         "    -> reply-plane ratio at {CLIENTS} clients x {SHARDS} shards: \
          {ratio:.2}x (mailbox-slab vs mpsc-registry, alternating medians)"
     );
+    let mut traj = Trajectory::new("m7");
+    traj.meta("clients", Json::Num(CLIENTS as f64));
+    traj.meta("shards", Json::num(SHARDS as u32));
+    traj.meta("wave_txns", Json::Num(WAVE_TXNS as f64));
+    traj.meta("reps", Json::num(REPS as u32));
+    traj.meta("reply_ratio", Json::Num(ratio));
+    for (plane, round_trips_per_sec) in [("mailbox-slab", mailbox), ("mpsc-registry", mpsc)] {
+        traj.row([
+            ("plane", Json::str(plane)),
+            ("round_trips_per_sec", Json::Num(round_trips_per_sec)),
+        ]);
+    }
+    traj.emit();
     if let Some(gate) = std::env::var("M7_GATE")
         .ok()
         .and_then(|s| s.parse::<f64>().ok())

@@ -22,15 +22,26 @@
 //! `M8_GATE=<ratio>` (the CI floor) fails the process if `dense-batched`
 //! falls below `<ratio>` × `btree-per-message` (medians of alternating
 //! measurement blocks, same rationale as the m7/exp9 gates).
+//!
+//! A third variant, `dense-traced`, reruns the dense-batched engine with a
+//! [`trace::TracePlane`] at `TraceLevel::Full` recording the shard-side
+//! events the runtime's shard loop emits (one `ShardRecv` per batch, one
+//! `Granted` per fold) — the flight recorder's worst-case overhead on the
+//! hottest loop we have. `M8_TRACE_GATE=<ratio>` fails the process if the
+//! traced engine falls below `<ratio>` × the untraced one. The closing
+//! summary also lands in `BENCH_m8.json` (see [`bench::traj`]).
 
 use std::collections::BTreeMap;
 use std::time::Instant;
 
+use bench::Trajectory;
 use criterion::{criterion_group, criterion_main, Criterion};
 use dbmodel::{
     AccessMode, CcMethod, LogicalItemId, PhysicalItemId, SiteId, Timestamp, TsTuple, TxnId, Value,
 };
 use pam::RequestMsg;
+use trace::json::Json;
+use trace::{Phase, TraceConfig, TracePlane};
 use unified_cc::{EnforcementMode, ItemState, QmOutput, QmSink, QueueManager};
 
 const SITE: SiteId = SiteId(0);
@@ -142,6 +153,26 @@ fn run_wave_batched(qm: &mut QueueManager, next_txn: &mut u64, s: &mut Scratch) 
     }
 }
 
+/// The dense-batched wave with the flight recorder on: the same events
+/// the runtime's shard loop records per drained batch (`ShardRecv` with
+/// the command count) and per sink fold (`Granted` with the grant count).
+fn run_wave_traced(qm: &mut QueueManager, next_txn: &mut u64, s: &mut Scratch, plane: &TracePlane) {
+    for _ in 0..WAVE_TXNS {
+        let txn = *next_txn;
+        *next_txn += 1;
+        fill_txn(txn, &mut s.access, &mut s.release);
+        s.sink.clear();
+        plane.record(0, txn, Phase::ShardRecv, s.access.len() as u32);
+        qm.handle_batch(SITE, s.access.iter(), &mut s.sink);
+        plane.record(0, txn, Phase::Granted, s.sink.events.len() as u32);
+        std::hint::black_box(s.sink.replies.len());
+        s.sink.clear();
+        plane.record(0, txn, Phase::ShardRecv, s.release.len() as u32);
+        qm.handle_batch(SITE, s.release.iter(), &mut s.sink);
+        std::hint::black_box(s.sink.events.len());
+    }
+}
+
 fn run_wave_btree(engine: &mut BTreeEngine, next_txn: &mut u64, s: &mut Scratch) {
     for _ in 0..WAVE_TXNS {
         let txn = *next_txn;
@@ -164,14 +195,20 @@ fn build_qm() -> QueueManager {
 
 fn throughput(c: &mut Criterion) {
     let mut qm = build_qm();
+    let mut traced_qm = build_qm();
     let mut btree = BTreeEngine::new();
     let mut qm_txn = 1u64;
+    let mut traced_txn = 1u64;
     let mut btree_txn = 1u64;
     let mut scratch = Scratch::new();
+    let plane = TracePlane::new(&TraceConfig::default(), 1);
 
     let mut group = c.benchmark_group("m8_engine_wave2048_latency");
     group.bench_function("dense-batched/8-item-txn", |b| {
         b.iter(|| run_wave_batched(&mut qm, &mut qm_txn, &mut scratch));
+    });
+    group.bench_function("dense-traced/8-item-txn", |b| {
+        b.iter(|| run_wave_traced(&mut traced_qm, &mut traced_txn, &mut scratch, &plane));
     });
     group.bench_function("btree-per-message/8-item-txn", |b| {
         b.iter(|| run_wave_btree(&mut btree, &mut btree_txn, &mut scratch));
@@ -191,10 +228,14 @@ fn throughput(c: &mut Criterion) {
         (BLOCK_WAVES * WAVE_TXNS) as f64 / begun.elapsed().as_secs_f64()
     };
     let mut dense_runs = Vec::new();
+    let mut traced_runs = Vec::new();
     let mut btree_runs = Vec::new();
     for _ in 0..REPS {
         dense_runs.push(measure(&mut || {
             run_wave_batched(&mut qm, &mut qm_txn, &mut scratch)
+        }));
+        traced_runs.push(measure(&mut || {
+            run_wave_traced(&mut traced_qm, &mut traced_txn, &mut scratch, &plane)
         }));
         btree_runs.push(measure(&mut || {
             run_wave_btree(&mut btree, &mut btree_txn, &mut scratch)
@@ -204,16 +245,49 @@ fn throughput(c: &mut Criterion) {
         runs.sort_by(f64::total_cmp);
         runs[runs.len() / 2]
     };
-    let (dense, btree) = (median(&mut dense_runs), median(&mut btree_runs));
+    let (dense, traced, btree) = (
+        median(&mut dense_runs),
+        median(&mut traced_runs),
+        median(&mut btree_runs),
+    );
     println!("    -> dense-batched: {dense:.0} wide txn/s through one engine (median of {REPS})");
+    println!(
+        "    -> dense-traced: {traced:.0} wide txn/s with the flight recorder on \
+         (median of {REPS}, {} events recorded)",
+        plane.events_recorded()
+    );
     println!(
         "    -> btree-per-message: {btree:.0} wide txn/s through one engine (median of {REPS})"
     );
     let ratio = dense / btree;
+    let trace_ratio = traced / dense;
     println!(
         "    -> engine-core ratio on the {ITEMS}-item wide-transaction shape: \
          {ratio:.2}x (dense-batched vs btree-per-message, alternating medians)"
     );
+    println!(
+        "    -> trace-overhead ratio: {trace_ratio:.2}x \
+         (dense-traced vs dense-batched, alternating medians)"
+    );
+
+    let mut traj = Trajectory::new("m8");
+    traj.meta("reps", Json::num(REPS as u32));
+    traj.meta("block_waves", Json::Num(BLOCK_WAVES as f64));
+    traj.meta("wave_txns", Json::Num(WAVE_TXNS as f64));
+    traj.meta("engine_ratio", Json::Num(ratio));
+    traj.meta("trace_ratio", Json::Num(trace_ratio));
+    for (engine, txn_per_sec) in [
+        ("dense-batched", dense),
+        ("dense-traced", traced),
+        ("btree-per-message", btree),
+    ] {
+        traj.row([
+            ("engine", Json::str(engine)),
+            ("txn_per_sec", Json::Num(txn_per_sec)),
+        ]);
+    }
+    traj.emit();
+
     if let Some(gate) = std::env::var("M8_GATE")
         .ok()
         .and_then(|s| s.parse::<f64>().ok())
@@ -226,6 +300,19 @@ fn throughput(c: &mut Criterion) {
             std::process::exit(1);
         }
         println!("    -> m8 gate passed (required {gate:.2}x)");
+    }
+    if let Some(gate) = std::env::var("M8_TRACE_GATE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+    {
+        if trace_ratio < gate {
+            eprintln!(
+                "FAIL: the flight recorder costs too much on the engine core — \
+                 dense-traced is below the required {gate:.2}x of dense-batched"
+            );
+            std::process::exit(1);
+        }
+        println!("    -> m8 trace gate passed (required {gate:.2}x)");
     }
 }
 

@@ -35,12 +35,20 @@
 //!   the mailbox registry achieved at least `<ratio>` × the
 //!   mpsc-registry baseline on the same wide cell (both on the ring
 //!   transport).
+//!
+//! Besides the table, the sweep emits a machine-readable trajectory,
+//! `BENCH_exp9.json` (into `$BENCH_JSON_DIR`, default `.`): one row per
+//! cell with the cell parameters and measured counters, plus the gate
+//! medians in `meta`. See [`bench::traj`] for the document shape.
 
 use std::time::Instant;
 
-use bench::table;
+use bench::{table, Trajectory};
 use dbmodel::{CcMethod, LogicalItemId};
-use runtime::{CcPolicy, Database, ReplyPlaneKind, RuntimeConfig, TransportKind, TxnSpec};
+use runtime::{
+    CcPolicy, Database, ReplyPlaneKind, RuntimeConfig, StatsSnapshot, TransportKind, TxnSpec,
+};
+use trace::json::Json;
 
 const ITEMS: u64 = 96;
 
@@ -83,8 +91,18 @@ fn reply_name(reply: ReplyPlaneKind) -> &'static str {
     }
 }
 
-/// Run one cell; returns the table row and the measured txn/s.
-fn run_cell(clients: u64, shards: u32, cell: Cell) -> (Vec<String>, f64) {
+/// Everything one measured cell leaves behind: the formatted table row,
+/// the throughput the gates compare, and the raw counters the JSON
+/// trajectory and the reply-plane footer are built from.
+struct CellOutcome {
+    row: Vec<String>,
+    txn_per_sec: f64,
+    stats: StatsSnapshot,
+    serializable: bool,
+}
+
+/// Run one cell; returns the table row and the measured counters.
+fn run_cell(clients: u64, shards: u32, cell: Cell) -> CellOutcome {
     let defaults = RuntimeConfig::default();
     let db = Database::open(RuntimeConfig {
         num_shards: shards,
@@ -178,7 +196,58 @@ fn run_cell(clients: u64, shards: u32, cell: Cell) -> (Vec<String>, f64) {
             "NO".into()
         },
     ];
-    (row, txn_per_sec)
+    CellOutcome {
+        row,
+        txn_per_sec,
+        stats,
+        serializable,
+    }
+}
+
+/// One JSON trajectory row for a measured sweep cell.
+fn traj_row(clients: u64, shards: u32, cell: Cell, outcome: &CellOutcome) -> Vec<(String, Json)> {
+    let stats = &outcome.stats;
+    vec![
+        ("clients".into(), Json::Num(clients as f64)),
+        ("shards".into(), Json::num(shards)),
+        ("policy".into(), Json::str(cell.label)),
+        ("plane".into(), Json::str(plane_name(cell.transport))),
+        ("reply".into(), Json::str(reply_name(cell.reply))),
+        ("wide".into(), Json::Bool(cell.wide)),
+        ("committed".into(), Json::Num(stats.committed as f64)),
+        ("txn_per_sec".into(), Json::Num(outcome.txn_per_sec)),
+        ("restarts".into(), Json::Num(stats.restarts() as f64)),
+        (
+            "backoff_rounds".into(),
+            Json::Num(stats.backoff_rounds as f64),
+        ),
+        (
+            "sel_us".into(),
+            if stats.selections > 0 {
+                Json::Num(stats.selection_micros_per_txn())
+            } else {
+                Json::Null
+            },
+        ),
+        (
+            "cache_hit_pct".into(),
+            if stats.cache.hits + stats.cache.misses > 0 {
+                Json::Num(stats.cache.hit_rate() * 100.0)
+            } else {
+                Json::Null
+            },
+        ),
+        ("serializable".into(), Json::Bool(outcome.serializable)),
+        (
+            "stale_reply_events".into(),
+            Json::Num(stats.stale_reply_events as f64),
+        ),
+        (
+            "mailbox_overflow_entries".into(),
+            Json::Num(stats.mailbox_overflow_entries as f64),
+        ),
+        ("trace_events".into(), Json::Num(stats.trace_events as f64)),
+    ]
 }
 
 fn main() {
@@ -285,17 +354,47 @@ fn main() {
     ];
     let shard_axis: &[u32] = if smoke { &[GATE_SHARDS] } else { &[1, 2, 4] };
     let client_axis: &[u64] = if smoke { &[GATE_CLIENTS] } else { &[1, 4, 8] };
+    let mut traj = Trajectory::new("exp9");
+    traj.meta("smoke", Json::Bool(smoke));
+    traj.meta("txns_per_client", Json::Num(txns_per_client() as f64));
+    traj.meta("items", Json::Num(ITEMS as f64));
+    traj.meta("gate_reps", Json::Num(gate_reps() as f64));
+    let mut stale_replies = 0u64;
+    let mut overflow_entries = 0u64;
     for &shards in shard_axis {
         for &clients in client_axis {
             for &cell in &cells {
-                let (row, _) = run_cell(clients, shards, cell);
-                table::row(&row, &widths);
+                let outcome = run_cell(clients, shards, cell);
+                table::row(&outcome.row, &widths);
+                stale_replies += outcome.stats.stale_reply_events;
+                overflow_entries += outcome.stats.mailbox_overflow_entries;
+                traj.row(traj_row(clients, shards, cell, &outcome));
             }
         }
         println!();
     }
+    // The reply-plane health footer: stale deliveries are the benign
+    // lost-race events the mailbox generation check absorbed; overflow
+    // entries should stay zero on a healthy run (each one triggered a
+    // postmortem dump when tracing was on).
+    println!(
+        "reply plane across all cells: {stale_replies} stale reply events, \
+         {overflow_entries} mailbox overflow entries"
+    );
 
     let medians = gate_medians(&cells);
+    traj.meta("stale_reply_events_total", Json::Num(stale_replies as f64));
+    traj.meta(
+        "mailbox_overflow_entries_total",
+        Json::Num(overflow_entries as f64),
+    );
+    traj.meta("gate_ring_mail_txn_s", Json::Num(medians.ring_mail));
+    traj.meta("gate_mpsc_mail_txn_s", Json::Num(medians.mpsc_mail));
+    traj.meta(
+        "gate_ring_mpsc_reply_txn_s",
+        Json::Num(medians.ring_mpsc_reply),
+    );
+    traj.emit();
     let check = |label: &str, required: Option<f64>, fast: f64, base: f64| {
         let ratio = fast / base;
         println!(
@@ -363,7 +462,7 @@ fn gate_medians(cells: &[Cell]) -> GateMedians {
     let mut runs: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
     for _ in 0..gate_reps() {
         for (cell, runs) in contenders.iter().zip(runs.iter_mut()) {
-            runs.push(run_cell(GATE_CLIENTS, GATE_SHARDS, *cell).1);
+            runs.push(run_cell(GATE_CLIENTS, GATE_SHARDS, *cell).txn_per_sec);
         }
     }
     let median = |runs: &mut Vec<f64>| {

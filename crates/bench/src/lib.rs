@@ -8,5 +8,7 @@
 
 pub mod harness;
 pub mod table;
+pub mod traj;
 
 pub use harness::{base_config, run_protocols, ProtocolRow, PROTOCOL_LABELS};
+pub use traj::{validate_bench_doc, Trajectory};

@@ -1,0 +1,177 @@
+//! Machine-readable benchmark trajectories: `BENCH_<name>.json` emitters.
+//!
+//! Every experiment binary and Criterion bench prints a human-readable
+//! table; this module writes the same numbers as a small JSON document so
+//! regression tooling can diff runs without scraping stdout. The layout is
+//! deliberately flat:
+//!
+//! ```json
+//! {
+//!   "bench": "exp9",
+//!   "meta": { "smoke": true, "txns_per_cell": 160 },
+//!   "rows": [ { "cell": "ring+mail", "txn_per_sec": 41250.0, ... }, ... ]
+//! }
+//! ```
+//!
+//! `bench` names the experiment, `meta` carries the sweep parameters that
+//! applied to every row (rep counts, smoke mode, gate thresholds), and
+//! `rows` holds one object per measured cell. Files land next to the
+//! invocation (or in `$BENCH_JSON_DIR` when set) as `BENCH_<name>.json`.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use trace::json::Json;
+
+/// Builder for one `BENCH_<name>.json` trajectory document.
+#[derive(Debug, Clone)]
+pub struct Trajectory {
+    name: String,
+    meta: Vec<(String, Json)>,
+    rows: Vec<Json>,
+}
+
+impl Trajectory {
+    /// Start a trajectory for the experiment `name` (`exp9`, `m8`, …).
+    pub fn new(name: impl Into<String>) -> Self {
+        Trajectory {
+            name: name.into(),
+            meta: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Attach a sweep-level parameter (applies to every row).
+    pub fn meta(&mut self, key: impl Into<String>, value: Json) -> &mut Self {
+        self.meta.push((key.into(), value));
+        self
+    }
+
+    /// Append one measured cell. `fields` become the row object's members.
+    pub fn row(
+        &mut self,
+        fields: impl IntoIterator<Item = (impl Into<String>, Json)>,
+    ) -> &mut Self {
+        self.rows.push(Json::obj(fields));
+        self
+    }
+
+    /// How many rows have been recorded.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no rows have been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The assembled document.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("bench", Json::str(self.name.clone())),
+            ("meta", Json::Obj(self.meta.clone())),
+            ("rows", Json::Arr(self.rows.clone())),
+        ])
+    }
+
+    /// Write `BENCH_<name>.json` into `dir` and return the path.
+    pub fn write_to(&self, dir: &Path) -> io::Result<PathBuf> {
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, format!("{}\n", self.to_json()))?;
+        Ok(path)
+    }
+
+    /// Write the trajectory into `$BENCH_JSON_DIR` (falling back to the
+    /// current directory) and print where it went. Emission is best-effort:
+    /// benches must not fail because the output directory is read-only.
+    pub fn emit(&self) {
+        let dir = std::env::var("BENCH_JSON_DIR").unwrap_or_else(|_| ".".into());
+        match self.write_to(Path::new(&dir)) {
+            Ok(path) => println!("  trajectory: {}", path.display()),
+            Err(err) => eprintln!(
+                "  trajectory: failed to write BENCH_{}.json: {err}",
+                self.name
+            ),
+        }
+    }
+}
+
+/// Validate the shape every `BENCH_*.json` document must have: a `"bench"`
+/// string, a `"meta"` object and a non-empty `"rows"` array of objects.
+pub fn validate_bench_doc(doc: &Json) -> Result<(), String> {
+    let name = doc
+        .get("bench")
+        .and_then(Json::as_str)
+        .ok_or("missing string member \"bench\"")?;
+    if name.is_empty() {
+        return Err("empty \"bench\" name".into());
+    }
+    match doc.get("meta") {
+        Some(Json::Obj(_)) => {}
+        _ => return Err("missing object member \"meta\"".into()),
+    }
+    let rows = doc
+        .get("rows")
+        .and_then(Json::as_array)
+        .ok_or("missing array member \"rows\"")?;
+    if rows.is_empty() {
+        return Err("\"rows\" is empty".into());
+    }
+    for (i, row) in rows.iter().enumerate() {
+        if !matches!(row, Json::Obj(_)) {
+            return Err(format!("row {i} is not an object"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_round_trips_a_valid_document() {
+        let mut traj = Trajectory::new("demo");
+        traj.meta("reps", Json::num(3u32));
+        traj.row([("cell", Json::str("a")), ("txn_per_sec", Json::Num(1234.5))]);
+        traj.row([("cell", Json::str("b")), ("txn_per_sec", Json::Num(99.0))]);
+        assert_eq!(traj.len(), 2);
+        let text = traj.to_json().to_string();
+        let back = Json::parse(&text).expect("emitted document parses");
+        validate_bench_doc(&back).expect("emitted document validates");
+        assert_eq!(back.get("bench").and_then(Json::as_str), Some("demo"));
+        let rows = back.get("rows").and_then(Json::as_array).unwrap();
+        assert_eq!(rows[0].get("cell").and_then(Json::as_str), Some("a"));
+    }
+
+    #[test]
+    fn write_to_produces_the_named_file() {
+        let dir = std::env::temp_dir().join(format!("traj_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut traj = Trajectory::new("unit");
+        traj.row([("x", Json::num(1u32))]);
+        let path = traj.write_to(&dir).expect("writes");
+        assert!(path.ends_with("BENCH_unit.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        validate_bench_doc(&Json::parse(text.trim()).unwrap()).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(validate_bench_doc(&Json::parse("{}").unwrap()).is_err());
+        assert!(
+            validate_bench_doc(&Json::parse(r#"{"bench":"x","meta":{},"rows":[]}"#).unwrap())
+                .is_err()
+        );
+        assert!(
+            validate_bench_doc(&Json::parse(r#"{"bench":"x","meta":{},"rows":[1]}"#).unwrap())
+                .is_err()
+        );
+        assert!(validate_bench_doc(
+            &Json::parse(r#"{"bench":"x","meta":{},"rows":[{}]}"#).unwrap()
+        )
+        .is_ok());
+    }
+}

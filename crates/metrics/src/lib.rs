@@ -10,3 +10,9 @@
 pub mod collector;
 
 pub use collector::{MethodStats, SimMetrics, TxnOutcome};
+
+// The histogram machinery all latency distributions in this workspace use
+// (fixed-width buckets with exact running moments, shape-checked `merge`).
+// Re-exported so consumers of the evaluation quantities — the trace
+// plane's per-phase breakdowns above all — name it through `metrics`.
+pub use simkit::stats::{Histogram, RunningStat};

@@ -70,6 +70,8 @@ pub enum ConfigError {
     BadMix,
     /// The selection-cache settings are internally inconsistent.
     BadSelectionCache(String),
+    /// The tracing-plane settings are internally inconsistent.
+    BadTrace(String),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -83,6 +85,7 @@ impl std::fmt::Display for ConfigError {
             ConfigError::BadSelectionCache(why) => {
                 write!(f, "bad selection-cache settings: {why}")
             }
+            ConfigError::BadTrace(why) => write!(f, "bad trace settings: {why}"),
         }
     }
 }
@@ -143,6 +146,12 @@ pub struct RuntimeConfig {
     /// re-evaluates the full dynamic-programming grid on every selection
     /// (the pre-cache behaviour, kept for overhead comparisons).
     pub selection_cache: Option<CacheSettings>,
+    /// The flight-recorder tracing plane: [`trace::TraceLevel::Off`]
+    /// records nothing (and allocates nothing), `Counters` keeps phase
+    /// counters and the Section-5 span accumulators, `Full` (default)
+    /// adds the per-lane event rings, transport dwell stamps and the
+    /// anomaly postmortem dumps.
+    pub trace: trace::TraceConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -164,6 +173,7 @@ impl Default for RuntimeConfig {
             restart_backoff: Duration::from_micros(200),
             seed: 0,
             selection_cache: Some(CacheSettings::default()),
+            trace: trace::TraceConfig::default(),
         }
     }
 }
@@ -190,6 +200,7 @@ impl RuntimeConfig {
                 .validate()
                 .map_err(ConfigError::BadSelectionCache)?;
         }
+        self.trace.validate().map_err(ConfigError::BadTrace)?;
         Ok(())
     }
 }
@@ -252,5 +263,26 @@ mod tests {
             ..RuntimeConfig::default()
         };
         assert_eq!(c.validate(), Ok(()), "uncached selection is valid");
+    }
+
+    #[test]
+    fn bad_trace_config_is_rejected() {
+        let c = RuntimeConfig {
+            trace: trace::TraceConfig {
+                ring_capacity: 0,
+                ..trace::TraceConfig::default()
+            },
+            ..RuntimeConfig::default()
+        };
+        assert!(matches!(c.validate(), Err(ConfigError::BadTrace(_))));
+        let c = RuntimeConfig {
+            trace: trace::TraceConfig {
+                level: trace::TraceLevel::Off,
+                ring_capacity: 0,
+                ..trace::TraceConfig::default()
+            },
+            ..RuntimeConfig::default()
+        };
+        assert_eq!(c.validate(), Ok(()), "ring capacity is ignored when off");
     }
 }

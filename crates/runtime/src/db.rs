@@ -25,6 +25,7 @@ use pam::{ReplyMsg, RequestMsg};
 use selection::{CachedStlSelector, SelectionDecision, StlSelector, WorkloadSignal};
 use simkit::rng::SimRng;
 use simkit::time::SimTime;
+use trace::{Phase, SpanTimings, TraceLevel, TracePlane, SELECTION_CACHE_HIT};
 use unified_cc::{QueueManager, RequestIssuer, RiAction, RiOutput};
 
 use crate::config::{CcPolicy, ConfigError, RuntimeConfig, TransportKind};
@@ -184,6 +185,13 @@ struct Inner {
     ts_counter: AtomicU64,
     started: Instant,
     stopped: Arc<AtomicBool>,
+    /// The flight-recorder tracing plane (see [`trace`]); shared with the
+    /// shard threads and the deadlock detector.
+    trace: Arc<TracePlane>,
+    /// Keeps the serializability-violation observer alive: a failing
+    /// oracle replay anywhere in the process latches this database's
+    /// postmortem dump.
+    _sercheck_guard: Option<sercheck::ObserverGuard>,
     // Taken exactly once, by whoever performs the shutdown.
     #[allow(clippy::type_complexity)]
     teardown: Mutex<Option<(Vec<ShardHandle>, Sender<()>, JoinHandle<()>)>>,
@@ -218,6 +226,7 @@ impl Database {
         ));
         let stats = Arc::new(RuntimeStats::with_shards(catalog.sites().len()));
         let stopped = Arc::new(AtomicBool::new(false));
+        let plane = Arc::new(TracePlane::new(&config.trace, catalog.sites().len()));
 
         let mut shard_handles = Vec::new();
         let mut shard_txs = Vec::new();
@@ -230,6 +239,14 @@ impl Database {
                 config.enforcement,
             );
             let (tx, rx) = shard::inbox_pair(config.transport, config.shard_inbox_capacity);
+            if plane.level() == TraceLevel::Full {
+                // Queue-dwell stamping on the batched ring: each slot
+                // carries its enqueue time, the consumer accumulates the
+                // dwell — the `qu/blk` segment's transport-side witness.
+                if let shard::ShardSender::Ring(ring) = &tx {
+                    ring.set_stamping(true);
+                }
+            }
             let handle = shard::spawn(
                 qm,
                 idx,
@@ -237,6 +254,7 @@ impl Database {
                 tx.clone(),
                 Arc::clone(&registry),
                 Arc::clone(&stats),
+                Arc::clone(&plane),
             );
             shard_txs.push(tx);
             site_index.insert(site, idx);
@@ -248,10 +266,26 @@ impl Database {
             shard_txs.clone(),
             Arc::clone(&registry),
             Arc::clone(&stats),
+            Arc::clone(&plane),
             config.deadlock_scan_interval,
             stop_rx,
             Arc::clone(&stopped),
         );
+
+        // A serializability violation observed anywhere in the process
+        // (the oracle is global) latches this database's postmortem dump.
+        // Installed only when a dump could actually be written.
+        let sercheck_guard =
+            if plane.level() == TraceLevel::Full && config.trace.postmortem_dir.is_some() {
+                let weak = Arc::downgrade(&plane);
+                Some(sercheck::observe_violations(move |_err| {
+                    if let Some(plane) = weak.upgrade() {
+                        let _ = plane.trigger_postmortem("sercheck-violation");
+                    }
+                }))
+            } else {
+                None
+            };
 
         let selector = match config.selection_cache {
             Some(settings) => {
@@ -274,6 +308,8 @@ impl Database {
                 ts_counter: AtomicU64::new(0),
                 started: Instant::now(),
                 stopped,
+                trace: plane,
+                _sercheck_guard: sercheck_guard,
                 teardown: Mutex::new(Some((shard_handles, stop_tx, detector_join))),
                 config,
             }),
@@ -298,7 +334,48 @@ impl Database {
         let mut snapshot = self.inner.stats.snapshot();
         snapshot.stale_reply_events = self.inner.registry.stale_reply_events();
         snapshot.mailbox_overflow_entries = self.inner.registry.overflow_entries() as u64;
+        snapshot.trace_events = self.inner.trace.events_recorded();
+        if snapshot.mailbox_overflow_entries > 0 {
+            // The packed mailbox index is overflowing — an anomaly worth
+            // a flight-recorder dump (latched; no-op without a dump dir).
+            let _ = self.inner.trace.trigger_postmortem("mailbox-overflow");
+        }
         snapshot
+    }
+
+    /// The Section-5-style phase breakdown accumulated by the tracing
+    /// plane so far: per-method segment histograms whose means telescope
+    /// exactly to the measured end-to-end latency, global phase-event
+    /// counters, and (on the batched-ring transport at
+    /// [`TraceLevel::Full`]) the per-shard inbox dwell meters. Empty at
+    /// [`TraceLevel::Off`].
+    pub fn trace_report(&self) -> trace::TraceReport {
+        let mut report = self.inner.trace.report();
+        report.transport_dwell = self
+            .inner
+            .shard_txs
+            .iter()
+            .enumerate()
+            .filter_map(|(shard, tx)| match tx {
+                shard::ShardSender::Ring(ring) => {
+                    let (messages, nanos) = ring.queue_dwell();
+                    (messages > 0).then(|| trace::LaneDwell {
+                        shard,
+                        messages,
+                        mean_dwell_us: nanos as f64 / messages as f64 / 1_000.0,
+                    })
+                }
+                shard::ShardSender::Mpsc(_) => None,
+            })
+            .collect();
+        report
+    }
+
+    /// A snapshot of every flight-recorder lane's surviving events
+    /// (empty below [`TraceLevel::Full`]). Feed it to
+    /// [`trace::TraceLog::from_events`] to reconstruct span trees.
+    pub fn trace_snapshot(&self) -> Vec<trace::TraceEvent> {
+        self.inner.trace.snapshot()
     }
 
     /// Number of transactions currently live (requesting, executing or
@@ -374,14 +451,26 @@ impl Database {
     /// under the new transaction id instead of allocating a channel.
     pub fn begin(&self, spec: &TxnSpec) -> Result<ActiveTxn, TxnError> {
         let inner = &self.inner;
+        let plane = &inner.trace;
+        let lane = plane.client_lane();
         let mut mailbox = inner.registry.client_mailbox();
         let mut attempt: u32 = 0;
         loop {
             if inner.stopped.load(Ordering::Relaxed) {
                 return Err(TxnError::ShuttingDown);
             }
+            let t_begin = plane.now();
+            let hits_before = inner.stats.cache_hits.load(Ordering::Relaxed);
             let method = spec.method.unwrap_or_else(|| self.pick_method(spec));
+            let t_sel = plane.now();
+            // Approximate under concurrency (the mirror is global), but
+            // exact on single-threaded runs — good enough for the
+            // hit-rate the selection-done arg carries.
+            let cache_hit = inner.stats.cache_hits.load(Ordering::Relaxed) > hits_before;
             let txn_id = TxnId(inner.next_txn_id.fetch_add(1, Ordering::Relaxed) + 1);
+            plane.record_at(lane, t_begin, txn_id.0, Phase::Begin, attempt);
+            let sel_arg = method_code(method) | if cache_hit { SELECTION_CACHE_HIT } else { 0 };
+            plane.record_at(lane, t_sel, txn_id.0, Phase::SelectionDone, sel_arg);
             let ts = Timestamp(inner.ts_counter.fetch_add(1, Ordering::Relaxed) + 1);
             let origin = spec
                 .origin
@@ -408,34 +497,68 @@ impl Database {
             let begun = Instant::now();
             let out = ri.start();
             let started_exec = out.actions.contains(&RiAction::StartExecution);
+            let n_sends = out.sends.len() as u32;
             if let Err(e) = self.route_all(origin, out.sends) {
                 inner.registry.deregister(txn_id);
                 return Err(e);
             }
+            let t_enq = plane.now();
+            plane.record_at(lane, t_enq, txn_id.0, Phase::TransportEnqueued, n_sends);
+            let timings = |exec_start: u64| SpanTimings {
+                begin: t_begin,
+                selection_done: t_sel,
+                enqueued: t_enq,
+                exec_start,
+                ..SpanTimings::default()
+            };
             if started_exec {
                 // Degenerate empty transaction: straight to execution.
-                return Ok(ActiveTxn::new(self.clone(), ri, mailbox, begun, attempt));
+                let t_exec = plane.now();
+                plane.record_at(lane, t_exec, txn_id.0, Phase::ExecutionStart, 0);
+                return Ok(ActiveTxn::new(
+                    self.clone(),
+                    ri,
+                    mailbox,
+                    begun,
+                    attempt,
+                    lane,
+                    timings(t_exec),
+                ));
             }
 
-            match self.wait_for_execution(&mut ri, &mut mailbox, origin, method)? {
+            match self.wait_for_execution(&mut ri, &mut mailbox, origin, method, lane)? {
                 WaitOutcome::Executing => {
-                    return Ok(ActiveTxn::new(self.clone(), ri, mailbox, begun, attempt));
+                    let t_exec = plane.now();
+                    plane.record_at(lane, t_exec, txn_id.0, Phase::ExecutionStart, 0);
+                    return Ok(ActiveTxn::new(
+                        self.clone(),
+                        ri,
+                        mailbox,
+                        begun,
+                        attempt,
+                        lane,
+                        timings(t_exec),
+                    ));
                 }
                 WaitOutcome::Restart { rejected } => {
                     inner.registry.deregister(txn_id);
+                    let t_restart = plane.now();
                     let outcome = if rejected {
                         inner
                             .stats
                             .rejected_restarts
                             .fetch_add(1, Ordering::Relaxed);
+                        plane.record_at(lane, t_restart, txn_id.0, Phase::RestartRejected, 0);
                         TxnOutcome::RejectedRestart
                     } else {
                         inner
                             .stats
                             .deadlock_restarts
                             .fetch_add(1, Ordering::Relaxed);
+                        plane.record_at(lane, t_restart, txn_id.0, Phase::RestartDeadlock, 0);
                         TxnOutcome::DeadlockRestart
                     };
+                    plane.record_restart(method, t_restart.saturating_sub(t_begin));
                     inner.metrics.with_local(|m| {
                         m.record_restart(method, outcome);
                         m.record_lock_hold(
@@ -494,6 +617,8 @@ impl Database {
             }
         }
         let metrics = self.inner.metrics.merged(self.now());
+        let trace_report =
+            (self.inner.trace.level() != TraceLevel::Off).then(|| self.trace_report());
         Some(RuntimeReport {
             logs,
             stats: self.stats(),
@@ -504,6 +629,7 @@ impl Database {
                 .lock()
                 .expect("selection counts poisoned")
                 .clone(),
+            trace: trace_report,
         })
     }
 
@@ -589,7 +715,9 @@ impl Database {
         events: &mut ClientMailbox,
         origin: SiteId,
         method: CcMethod,
+        lane: usize,
     ) -> Result<WaitOutcome, TxnError> {
+        let txn = ri.txn_id().0;
         // One request outcome is recorded per item per incarnation (the
         // reply to the initial `Access`), matching the simulator's
         // accounting; later replies for the same item (backoff re-grants,
@@ -634,6 +762,7 @@ impl Database {
                             self.inner
                                 .metrics
                                 .with_local(|m| m.record_backoff_round(method));
+                            self.inner.trace.record(lane, txn, Phase::BackoffRound, 0);
                         }
                         RiAction::Committed | RiAction::FullyReleased => {
                             unreachable!("cannot commit before executing")
@@ -809,6 +938,16 @@ impl Database {
     }
 }
 
+/// The CC method code carried in a `SelectionDone` event's arg (low
+/// byte; [`SELECTION_CACHE_HIT`] is OR-ed in above it).
+fn method_code(method: CcMethod) -> u32 {
+    match method {
+        CcMethod::TwoPhaseLocking => 0,
+        CcMethod::TimestampOrdering => 1,
+        CcMethod::PrecedenceAgreement => 2,
+    }
+}
+
 fn merge_logs(into: &mut LogSet, from: &LogSet) {
     for (item, log) in from.iter() {
         for entry in log.entries() {
@@ -834,6 +973,11 @@ pub struct ActiveTxn {
     begun: Instant,
     restarts: u32,
     finished: bool,
+    /// The client's trace lane, fixed at begin.
+    lane: usize,
+    /// Boundary timestamps collected so far (begin → exec-start); commit
+    /// fills the rest and folds them into the Section-5 accumulator.
+    timings: SpanTimings,
 }
 
 impl ActiveTxn {
@@ -843,6 +987,8 @@ impl ActiveTxn {
         events: ClientMailbox,
         begun: Instant,
         restarts: u32,
+        lane: usize,
+        timings: SpanTimings,
     ) -> Self {
         let reads = ri
             .read_results()
@@ -858,6 +1004,8 @@ impl ActiveTxn {
             begun,
             restarts,
             finished: false,
+            lane,
+            timings,
         }
     }
 
@@ -897,6 +1045,15 @@ impl ActiveTxn {
     pub fn commit(mut self) -> Result<TxnReceipt, TxnError> {
         let origin = self.ri.txn().origin;
         let method = self.ri.txn().method;
+        let plane = Arc::clone(&self.db.inner.trace);
+        let t_commit_start = plane.now();
+        plane.record_at(
+            self.lane,
+            t_commit_start,
+            self.ri.txn_id().0,
+            Phase::CommitStart,
+            0,
+        );
         for (&item, &value) in &self.staged {
             self.ri.set_write_value(item, value);
         }
@@ -944,6 +1101,18 @@ impl ActiveTxn {
                 m.record_lock_hold(method, latency, false);
             });
         }
+        let t_committed = plane.now();
+        plane.record_at(
+            self.lane,
+            t_committed,
+            self.ri.txn_id().0,
+            Phase::Committed,
+            0,
+        );
+        let mut timings = self.timings;
+        timings.commit_start = t_commit_start;
+        timings.committed = t_committed;
+        plane.record_span(method, &timings);
         Ok(TxnReceipt {
             id: self.ri.txn_id(),
             method,
@@ -979,6 +1148,10 @@ impl ActiveTxn {
             .stats
             .user_aborts
             .fetch_add(1, Ordering::Relaxed);
+        self.db
+            .inner
+            .trace
+            .record(self.lane, self.ri.txn_id().0, Phase::Aborted, 0);
     }
 }
 

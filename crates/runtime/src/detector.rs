@@ -21,6 +21,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use dbmodel::{CcMethod, TxnId};
+use trace::{Phase, TracePlane};
 use unified_cc::WaitForGraph;
 
 use crate::registry::Registry;
@@ -37,6 +38,7 @@ pub(crate) fn spawn(
     shards: Vec<ShardSender>,
     registry: Arc<Registry>,
     stats: Arc<RuntimeStats>,
+    plane: Arc<TracePlane>,
     interval: Duration,
     stop: Receiver<()>,
     stopped: Arc<AtomicBool>,
@@ -57,7 +59,7 @@ pub(crate) fn spawn(
                 if stopped.load(Ordering::Relaxed) {
                     return;
                 }
-                scan_once(&shards, &registry, &stats, &mut edges);
+                scan_once(&shards, &registry, &stats, &plane, &mut edges);
             }
         })
         .expect("failed to spawn deadlock detector")
@@ -69,6 +71,7 @@ pub(crate) fn scan_once(
     shards: &[ShardSender],
     registry: &Registry,
     stats: &RuntimeStats,
+    plane: &TracePlane,
     edges: &mut Vec<(TxnId, TxnId)>,
 ) {
     debug_assert!(edges.is_empty());
@@ -91,6 +94,10 @@ pub(crate) fn scan_once(
     for victim in victims {
         if registry.signal_deadlock(victim) {
             stats.deadlock_victims.fetch_add(1, Ordering::Relaxed);
+            plane.record(plane.client_lane(), victim.0, Phase::Victim, 0);
+            // The first victim latches the flight-recorder postmortem (a
+            // no-op unless a dump directory is configured).
+            let _ = plane.trigger_postmortem("deadlock-victim");
         }
     }
 }
@@ -120,7 +127,19 @@ mod tests {
         let mut qm = QueueManager::new(SiteId(site));
         qm.add_item(it, 0, EnforcementMode::SemiLock);
         let (tx, rx) = inbox_pair(TransportKind::BatchedRing, 16);
-        crate::shard::spawn(qm, idx, rx, tx, Arc::clone(registry), Arc::clone(stats))
+        crate::shard::spawn(
+            qm,
+            idx,
+            rx,
+            tx,
+            Arc::clone(registry),
+            Arc::clone(stats),
+            Arc::new(TracePlane::new(&trace::TraceConfig::default(), 2)),
+        )
+    }
+
+    fn test_plane() -> TracePlane {
+        TracePlane::new(&trace::TraceConfig::default(), 2)
     }
 
     fn access(txn: u64, it: PhysicalItemId, method: CcMethod, ts: u64) -> ShardCmd {
@@ -209,7 +228,13 @@ mod tests {
             wait_until_waiting(&shard1.tx, TxnId(1));
             wait_until_waiting(&shard0.tx, TxnId(2));
 
-            scan_once(&shards, &registry, &stats, &mut Vec::new());
+            let tracer = test_plane();
+            scan_once(&shards, &registry, &stats, &tracer, &mut Vec::new());
+            assert_eq!(
+                tracer.phase_counts()[Phase::Victim as usize],
+                1,
+                "{plane:?}: the victim signal must be traced"
+            );
 
             // The youngest 2PL member (the larger TxnId) is the victim …
             match mb2.recv_timeout(TxnId(2), Duration::from_secs(2)) {
@@ -271,7 +296,7 @@ mod tests {
         wait_until_waiting(&shard1.tx, TxnId(1));
         wait_until_waiting(&shard0.tx, TxnId(3));
 
-        scan_once(&shards, &registry, &stats, &mut Vec::new());
+        scan_once(&shards, &registry, &stats, &test_plane(), &mut Vec::new());
 
         match mb1.recv_timeout(TxnId(1), Duration::from_secs(2)) {
             Ok(ClientEvent::DeadlockVictim) => {}

@@ -62,3 +62,7 @@ pub use config::{CcPolicy, ConfigError, ReplyPlaneKind, RuntimeConfig, Transport
 pub use db::{ActiveTxn, Database, TxnError, TxnReceipt, TxnSpec};
 pub use report::RuntimeReport;
 pub use stats::StatsSnapshot;
+// The tracing-plane vocabulary callers need to configure tracing
+// ([`RuntimeConfig::trace`]) and consume [`Database::trace_report`] /
+// [`Database::trace_snapshot`].
+pub use trace::{Phase, TraceConfig, TraceEvent, TraceLevel, TraceLog, TraceReport};

@@ -22,6 +22,9 @@ pub struct RuntimeReport {
     pub metrics: SimMetrics,
     /// How many transactions each method was assigned.
     pub selection_counts: BTreeMap<CcMethod, u64>,
+    /// The Section-5 phase breakdown from the tracing plane (`None` when
+    /// the database ran with [`trace::TraceLevel::Off`]).
+    pub trace: Option<trace::TraceReport>,
 }
 
 impl RuntimeReport {

@@ -33,6 +33,7 @@ use std::thread::JoinHandle;
 
 use dbmodel::{LogSet, SiteId, TxnId};
 use pam::{GrantClass, RequestMsg};
+use trace::{Phase, TraceLevel, TracePlane};
 use transport::batch::SmallBatch;
 use transport::oneshot::OneshotSender;
 use transport::ring::{RingReceiver, RingSender};
@@ -154,11 +155,12 @@ pub(crate) fn spawn(
     tx: ShardSender,
     registry: Arc<Registry>,
     stats: Arc<RuntimeStats>,
+    plane: Arc<TracePlane>,
 ) -> ShardHandle {
     let site = qm.site();
     let join = std::thread::Builder::new()
         .name(format!("cc-shard-{}", site.0))
-        .spawn(move || shard_loop(qm, idx, inbox, registry, stats))
+        .spawn(move || shard_loop(qm, idx, inbox, registry, stats, plane))
         .expect("failed to spawn shard thread");
     ShardHandle { tx, join }
 }
@@ -173,6 +175,11 @@ struct ShardState<'a> {
     /// stats and logs after each protocol command.
     sink: QmSink,
     stats: &'a RuntimeStats,
+    /// The flight recorder; the shard records into lane `idx`. Events
+    /// are aggregated per engine call (one `Granted` per fold) and per
+    /// drained batch (one `ShardRecv`), all sharing one clock read, so
+    /// the traced shard loop stays allocation-free and branch-cheap.
+    plane: &'a TracePlane,
     idx: usize,
     shutdown: bool,
 }
@@ -192,14 +199,18 @@ impl ShardState<'_> {
     /// Replies stay in the sink until the owning loop flushes them.
     fn fold_events(&mut self) {
         let counters = &self.stats.per_shard[self.idx];
+        let mut granted = 0u32;
+        let mut last_granted = 0u64;
         for event in self.sink.events.drain(..) {
             match event {
-                QmEvent::GrantIssued { class, .. } => {
+                QmEvent::GrantIssued { txn, class, .. } => {
                     self.stats.grants.fetch_add(1, Ordering::Relaxed);
                     counters.grants.fetch_add(1, Ordering::Relaxed);
                     if class == GrantClass::PreScheduled {
                         counters.prescheduled.fetch_add(1, Ordering::Relaxed);
                     }
+                    granted += 1;
+                    last_granted = txn.0;
                 }
                 QmEvent::Implemented { item, txn, access } => {
                     self.logs.record(item, txn, access);
@@ -207,6 +218,12 @@ impl ShardState<'_> {
                     counters.implemented.fetch_add(1, Ordering::Relaxed);
                 }
             }
+        }
+        // One aggregated trace event per engine call keeps the traced
+        // shard overhead to a single clock read and ring write per fold.
+        if granted > 0 {
+            self.plane
+                .record(self.idx, last_granted, Phase::Granted, granted);
         }
     }
 
@@ -240,12 +257,40 @@ impl ShardState<'_> {
     }
 }
 
+/// Record one `ShardRecv` per drained batch: the trace plane sees when
+/// the shard woke and how many protocol commands the wakeup amortised,
+/// at the cost of one clock read for the whole batch.
+fn trace_batch(plane: &TracePlane, lane: usize, buf: &[ShardCmd]) {
+    if plane.level() == TraceLevel::Off {
+        return;
+    }
+    let mut txn = 0u64;
+    let mut protocol_cmds = 0u32;
+    for cmd in buf {
+        let first = match cmd {
+            ShardCmd::Handle { msg, .. } => Some(msg.txn().0),
+            ShardCmd::HandleBatch { msgs, .. } => msgs.iter().next().map(|m| m.txn().0),
+            _ => None,
+        };
+        if let Some(first) = first {
+            if protocol_cmds == 0 {
+                txn = first;
+            }
+            protocol_cmds += 1;
+        }
+    }
+    if protocol_cmds > 0 {
+        plane.record(lane, txn, Phase::ShardRecv, protocol_cmds);
+    }
+}
+
 fn shard_loop(
     qm: QueueManager,
     idx: usize,
     mut inbox: ShardInbox,
     registry: Arc<Registry>,
     stats: Arc<RuntimeStats>,
+    plane: Arc<TracePlane>,
 ) -> (SiteId, LogSet) {
     let site = qm.site();
     let mut state = ShardState {
@@ -255,6 +300,7 @@ fn shard_loop(
         // the sink's warm-up growth.
         sink: QmSink::with_capacity(64, 64),
         stats: &stats,
+        plane: &plane,
         idx,
         shutdown: false,
     };
@@ -269,6 +315,7 @@ fn shard_loop(
         if inbox.next_batch(&mut buf).is_err() {
             break;
         }
+        trace_batch(&plane, idx, &buf);
         for cmd in buf.drain(..) {
             state.apply_cmd(cmd);
         }
@@ -286,6 +333,7 @@ fn shard_loop(
             // committed write is dropped from the log.
             buf.clear();
             while inbox.drain_now(&mut buf) > 0 {
+                trace_batch(&plane, idx, &buf);
                 for cmd in buf.drain(..) {
                     state.apply_cmd(cmd);
                 }
@@ -349,8 +397,17 @@ mod tests {
         qm.add_item(item(), 42, EnforcementMode::SemiLock);
         let registry = Arc::new(Registry::new(ReplyPlaneKind::Mailbox, 64));
         let stats = Arc::new(RuntimeStats::with_shards(1));
+        let plane = Arc::new(TracePlane::new(&trace::TraceConfig::default(), 1));
         let (tx, rx) = inbox_pair(transport, 16);
-        let handle = spawn(qm, 0, rx, tx, Arc::clone(&registry), Arc::clone(&stats));
+        let handle = spawn(
+            qm,
+            0,
+            rx,
+            tx,
+            Arc::clone(&registry),
+            Arc::clone(&stats),
+            plane,
+        );
         (handle, registry, stats)
     }
 
@@ -495,6 +552,7 @@ mod tests {
                 tx.clone(),
                 Arc::clone(&registry),
                 Arc::clone(&stats),
+                Arc::new(TracePlane::new(&trace::TraceConfig::default(), 1)),
             );
             let (_, logs) = handle.join.join().unwrap();
             assert_eq!(

@@ -181,6 +181,10 @@ pub struct StatsSnapshot {
     /// undersized for the number of concurrently live transactions.
     /// Filled in by [`crate::Database::stats`] from the registry.
     pub mailbox_overflow_entries: u64,
+    /// Trace events recorded by the flight-recorder plane across every
+    /// lane (0 when tracing is off). Filled in by
+    /// [`crate::Database::stats`] from the trace plane.
+    pub trace_events: u64,
     /// Selection-cache counters (all zero when the cache is disabled or
     /// the policy is not dynamic).
     pub cache: CacheStats,
@@ -212,6 +216,7 @@ impl RuntimeStats {
             selection_nanos: self.selection_nanos.load(Ordering::Relaxed),
             stale_reply_events: 0,
             mailbox_overflow_entries: 0,
+            trace_events: 0,
             cache: CacheStats {
                 hits: self.cache_hits.load(Ordering::Relaxed),
                 misses: self.cache_misses.load(Ordering::Relaxed),

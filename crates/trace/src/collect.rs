@@ -1,0 +1,481 @@
+//! The off-thread side of the tracing plane: stitch flight-recorder
+//! events into per-transaction span trees, and aggregate client-side
+//! phase boundaries into the paper's Section-5 decomposition of average
+//! transaction system time `S`.
+//!
+//! Nothing here runs on a hot path — reports are built at shutdown or on
+//! demand, postmortems once per anomaly.
+
+use std::collections::BTreeMap;
+
+use dbmodel::CcMethod;
+use metrics::Histogram;
+
+use crate::event::{Phase, TraceEvent, NUM_PHASES};
+
+/// Number of client-side segments `S` decomposes into.
+pub const SEGMENTS: usize = 5;
+
+/// One segment of the Section-5 decomposition. Consecutive client-side
+/// phase boundaries telescope: the five segment durations of a committed
+/// incarnation sum *exactly* to its begin→commit latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Segment {
+    /// begin → selection-done: choosing the CC method (STL evaluation or
+    /// cache hit under dynamic selection).
+    Selection,
+    /// selection-done → transport-enqueued: building the incarnation and
+    /// fanning its access batches out onto the shard rings.
+    Transport,
+    /// transport-enqueued → execution-start: ring dwell, QM queueing and
+    /// lock blocking, until every first grant arrived.
+    QueueBlock,
+    /// execution-start → commit-start: the user closure and staging.
+    Execution,
+    /// commit-start → committed: release fan-out until fully released.
+    Reply,
+}
+
+impl Segment {
+    /// Every segment, in lifecycle order.
+    pub const ALL: [Segment; SEGMENTS] = [
+        Segment::Selection,
+        Segment::Transport,
+        Segment::QueueBlock,
+        Segment::Execution,
+        Segment::Reply,
+    ];
+
+    /// Short column label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Segment::Selection => "sel",
+            Segment::Transport => "xport",
+            Segment::QueueBlock => "qu/blk",
+            Segment::Execution => "exec",
+            Segment::Reply => "reply",
+        }
+    }
+}
+
+/// The six client-side phase-boundary timestamps of one incarnation, in
+/// nanoseconds on the shared clock. Collected on the client thread as
+/// the incarnation advances; turned into segment durations at commit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpanTimings {
+    pub begin: u64,
+    pub selection_done: u64,
+    pub enqueued: u64,
+    pub exec_start: u64,
+    pub commit_start: u64,
+    pub committed: u64,
+}
+
+impl SpanTimings {
+    /// The duration of one segment, in microseconds.
+    pub fn segment_us(&self, segment: Segment) -> f64 {
+        let (end, start) = match segment {
+            Segment::Selection => (self.selection_done, self.begin),
+            Segment::Transport => (self.enqueued, self.selection_done),
+            Segment::QueueBlock => (self.exec_start, self.enqueued),
+            Segment::Execution => (self.commit_start, self.exec_start),
+            Segment::Reply => (self.committed, self.commit_start),
+        };
+        end.saturating_sub(start) as f64 / 1_000.0
+    }
+
+    /// begin → committed, in microseconds.
+    pub fn end_to_end_us(&self) -> f64 {
+        self.committed.saturating_sub(self.begin) as f64 / 1_000.0
+    }
+}
+
+// Canonical histogram shapes — `Histogram::merge` panics on shape
+// mismatch, so every accumulation site must build from these.
+fn segment_histogram() -> Histogram {
+    Histogram::new(2.0, 256) // 2µs buckets to 512µs, overflow beyond
+}
+
+fn latency_histogram() -> Histogram {
+    Histogram::new(20.0, 256) // 20µs buckets to ~5ms, overflow beyond
+}
+
+/// The Section-5 decomposition for one CC method.
+#[derive(Debug, Clone)]
+pub struct MethodBreakdown {
+    pub method: CcMethod,
+    /// Per-segment duration histograms (µs), indexed like [`Segment::ALL`].
+    pub segments: [Histogram; SEGMENTS],
+    /// begin → committed latency of committed incarnations (µs).
+    pub end_to_end: Histogram,
+    /// Time burned by incarnations that restarted instead of committing
+    /// — begin → restart decision, per failed incarnation (µs).
+    pub restart_overhead: Histogram,
+}
+
+impl MethodBreakdown {
+    pub(crate) fn new(method: CcMethod) -> MethodBreakdown {
+        MethodBreakdown {
+            method,
+            segments: std::array::from_fn(|_| segment_histogram()),
+            end_to_end: latency_histogram(),
+            restart_overhead: latency_histogram(),
+        }
+    }
+
+    pub(crate) fn record_span(&mut self, t: &SpanTimings) {
+        for (i, segment) in Segment::ALL.iter().enumerate() {
+            self.segments[i].record(t.segment_us(*segment));
+        }
+        self.end_to_end.record(t.end_to_end_us());
+    }
+
+    pub(crate) fn merge_from(&mut self, other: &MethodBreakdown) {
+        for (mine, theirs) in self.segments.iter_mut().zip(&other.segments) {
+            mine.merge(theirs);
+        }
+        self.end_to_end.merge(&other.end_to_end);
+        self.restart_overhead.merge(&other.restart_overhead);
+    }
+
+    /// Committed spans recorded.
+    pub fn spans(&self) -> u64 {
+        self.end_to_end.count()
+    }
+
+    /// Sum of the five segment means — the decomposed `S` (µs). By
+    /// construction this telescopes to the mean end-to-end latency.
+    pub fn phase_sum_mean_us(&self) -> f64 {
+        self.segments.iter().map(Histogram::mean).sum()
+    }
+
+    /// Measured mean begin→commit latency (µs).
+    pub fn end_to_end_mean_us(&self) -> f64 {
+        self.end_to_end.mean()
+    }
+}
+
+/// Queue-dwell meter of one shard's inbox ring (from the transport
+/// plane's enqueue/dequeue stamps).
+#[derive(Debug, Clone, Copy)]
+pub struct LaneDwell {
+    pub shard: usize,
+    /// Messages the consumer took while stamping was enabled.
+    pub messages: u64,
+    /// Mean nanoseconds a message sat published in the ring.
+    pub mean_dwell_us: f64,
+}
+
+/// What [`record`](crate::TracePlane) activity aggregated to: the
+/// Section-5 phase breakdown per method, global phase-event counters and
+/// the transport dwell meters.
+#[derive(Debug, Clone, Default)]
+pub struct TraceReport {
+    /// One breakdown per method that committed at least one span.
+    pub methods: Vec<MethodBreakdown>,
+    /// Total events recorded per phase, over every lane.
+    pub phase_counts: Vec<(Phase, u64)>,
+    /// Per-shard inbox dwell (empty unless the runtime enabled ring
+    /// stamping — `TraceLevel::Full` on the batched-ring transport).
+    pub transport_dwell: Vec<LaneDwell>,
+}
+
+impl TraceReport {
+    /// The breakdown of one method, if it committed anything.
+    pub fn method(&self, method: CcMethod) -> Option<&MethodBreakdown> {
+        self.methods.iter().find(|m| m.method == method)
+    }
+
+    /// Total events recorded across all phases and lanes.
+    pub fn events_recorded(&self) -> u64 {
+        self.phase_counts.iter().map(|(_, n)| n).sum()
+    }
+
+    /// The Section-5-style breakdown table.
+    pub fn format_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("phase breakdown (µs means; S = sel + xport + qu/blk + exec + reply)\n");
+        out.push_str(&format!(
+            "{:<8} {:>7} {:>8} {:>8} {:>9} {:>9} {:>8} {:>9} {:>9} {:>9} {:>8}\n",
+            "method",
+            "spans",
+            "sel",
+            "xport",
+            "qu/blk",
+            "exec",
+            "reply",
+            "sum-S",
+            "e2e",
+            "p95-e2e",
+            "restarts",
+        ));
+        for m in &self.methods {
+            let label = match m.method {
+                CcMethod::TwoPhaseLocking => "2PL",
+                CcMethod::TimestampOrdering => "T/O",
+                CcMethod::PrecedenceAgreement => "PA",
+            };
+            out.push_str(&format!(
+                "{:<8} {:>7} {:>8.1} {:>8.1} {:>9.1} {:>9.1} {:>8.1} {:>9.1} {:>9.1} {:>9.1} {:>8}\n",
+                label,
+                m.spans(),
+                m.segments[0].mean(),
+                m.segments[1].mean(),
+                m.segments[2].mean(),
+                m.segments[3].mean(),
+                m.segments[4].mean(),
+                m.phase_sum_mean_us(),
+                m.end_to_end_mean_us(),
+                m.end_to_end.quantile(0.95),
+                m.restart_overhead.count(),
+            ));
+        }
+        for dwell in &self.transport_dwell {
+            out.push_str(&format!(
+                "shard {} inbox: {} msgs, mean ring dwell {:.1}µs\n",
+                dwell.shard, dwell.messages, dwell.mean_dwell_us
+            ));
+        }
+        out
+    }
+}
+
+/// One reconstructed span: a labelled `[start, end]` interval in
+/// nanoseconds on the shared clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    pub label: &'static str,
+    pub start_nanos: u64,
+    pub end_nanos: u64,
+}
+
+/// The span tree of one incarnation: the whole-lifetime root plus the
+/// client-side segment children reconstructed from its boundary events.
+#[derive(Debug, Clone)]
+pub struct SpanTree {
+    pub txn: u64,
+    /// begin → terminal event, when both exist.
+    pub root: Option<Span>,
+    /// Consecutive boundary segments actually present in the recorder.
+    pub children: Vec<Span>,
+    /// Every event of this incarnation, in timestamp order (including
+    /// shard-side context events).
+    pub events: Vec<TraceEvent>,
+}
+
+/// Flight-recorder events grouped per transaction incarnation — the
+/// collector's working form.
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    per_txn: BTreeMap<u64, Vec<TraceEvent>>,
+}
+
+impl TraceLog {
+    /// Group a snapshot by incarnation, each group sorted by timestamp.
+    pub fn from_events(events: impl IntoIterator<Item = TraceEvent>) -> TraceLog {
+        let mut per_txn: BTreeMap<u64, Vec<TraceEvent>> = BTreeMap::new();
+        for event in events {
+            per_txn.entry(event.txn).or_default().push(event);
+        }
+        for events in per_txn.values_mut() {
+            events.sort_by_key(|e| e.ts_nanos);
+        }
+        TraceLog { per_txn }
+    }
+
+    /// Incarnations with at least one event.
+    pub fn txns(&self) -> impl Iterator<Item = u64> + '_ {
+        self.per_txn.keys().copied()
+    }
+
+    /// Events of one incarnation (timestamp order), if recorded.
+    pub fn events_of(&self, txn: u64) -> Option<&[TraceEvent]> {
+        self.per_txn.get(&txn).map(Vec::as_slice)
+    }
+
+    /// Incarnations whose `Committed` event survived in the recorder.
+    pub fn committed(&self) -> Vec<u64> {
+        self.per_txn
+            .iter()
+            .filter(|(_, events)| events.iter().any(|e| e.phase == Phase::Committed))
+            .map(|(txn, _)| *txn)
+            .collect()
+    }
+
+    /// Restart events surviving in the recorder (rejected + deadlock).
+    pub fn restart_events(&self) -> u64 {
+        self.count_phase(Phase::RestartRejected) + self.count_phase(Phase::RestartDeadlock)
+    }
+
+    /// Events of one phase across all incarnations.
+    pub fn count_phase(&self, phase: Phase) -> u64 {
+        self.per_txn
+            .values()
+            .flatten()
+            .filter(|e| e.phase == phase)
+            .count() as u64
+    }
+
+    /// Build the span tree of one incarnation.
+    pub fn span_tree(&self, txn: u64) -> Option<SpanTree> {
+        let events = self.per_txn.get(&txn)?;
+        let find = |phase: Phase| events.iter().find(|e| e.phase == phase).map(|e| e.ts_nanos);
+        let begin = find(Phase::Begin);
+        let terminal = events
+            .iter()
+            .filter(|e| e.phase.is_terminal())
+            .map(|e| e.ts_nanos)
+            .next_back();
+        let root = match (begin, terminal) {
+            (Some(start), Some(end)) => Some(Span {
+                label: "incarnation",
+                start_nanos: start,
+                end_nanos: end,
+            }),
+            _ => None,
+        };
+        let boundaries = [
+            (Phase::Begin, Phase::SelectionDone, "sel"),
+            (Phase::SelectionDone, Phase::TransportEnqueued, "xport"),
+            (Phase::TransportEnqueued, Phase::ExecutionStart, "qu/blk"),
+            (Phase::ExecutionStart, Phase::CommitStart, "exec"),
+            (Phase::CommitStart, Phase::Committed, "reply"),
+        ];
+        let children = boundaries
+            .iter()
+            .filter_map(|(from, to, label)| match (find(*from), find(*to)) {
+                (Some(start), Some(end)) => Some(Span {
+                    label,
+                    start_nanos: start,
+                    end_nanos: end,
+                }),
+                _ => None,
+            })
+            .collect();
+        Some(SpanTree {
+            txn,
+            root,
+            children,
+            events: events.clone(),
+        })
+    }
+
+    /// Consistency checks over every incarnation's *client-side* events
+    /// (same-thread program order makes their timestamps authoritative):
+    /// at most one `Begin` and one terminal event per incarnation, and no
+    /// client-side event after the terminal one. Returns human-readable
+    /// violations; an empty list means the log is consistent.
+    pub fn lifecycle_violations(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        for (txn, events) in &self.per_txn {
+            let client: Vec<&TraceEvent> =
+                events.iter().filter(|e| e.phase.is_client_side()).collect();
+            let begins = client.iter().filter(|e| e.phase == Phase::Begin).count();
+            if begins > 1 {
+                violations.push(format!(
+                    "txn {txn}: {begins} Begin events (incarnation ids must be unique)"
+                ));
+            }
+            let terminals = client.iter().filter(|e| e.phase.is_terminal()).count();
+            if terminals > 1 {
+                violations.push(format!("txn {txn}: {terminals} terminal events"));
+            }
+            if let Some(terminal) = client.iter().find(|e| e.phase.is_terminal()) {
+                for late in client
+                    .iter()
+                    .filter(|e| e.ts_nanos > terminal.ts_nanos && !e.phase.is_terminal())
+                {
+                    violations.push(format!(
+                        "txn {txn}: {} at {}ns after terminal {} at {}ns",
+                        late.phase.name(),
+                        late.ts_nanos,
+                        terminal.phase.name(),
+                        terminal.ts_nanos,
+                    ));
+                }
+            }
+        }
+        violations
+    }
+}
+
+/// Aggregate raw phase counters into `(Phase, count)` pairs.
+pub(crate) fn phase_count_pairs(counts: [u64; NUM_PHASES]) -> Vec<(Phase, u64)> {
+    Phase::ALL
+        .iter()
+        .map(|phase| (*phase, counts[*phase as usize]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(txn: u64, ts: u64, phase: Phase) -> TraceEvent {
+        TraceEvent {
+            lane: 0,
+            ts_nanos: ts,
+            txn,
+            phase,
+            arg: 0,
+        }
+    }
+
+    #[test]
+    fn span_tree_telescopes_over_the_lifecycle() {
+        let log = TraceLog::from_events([
+            ev(7, 100, Phase::Begin),
+            ev(7, 110, Phase::SelectionDone),
+            ev(7, 130, Phase::TransportEnqueued),
+            ev(7, 200, Phase::ExecutionStart),
+            ev(7, 260, Phase::CommitStart),
+            ev(7, 300, Phase::Committed),
+        ]);
+        let tree = log.span_tree(7).unwrap();
+        let root = tree.root.unwrap();
+        assert_eq!((root.start_nanos, root.end_nanos), (100, 300));
+        assert_eq!(tree.children.len(), 5);
+        // Children tile the root exactly.
+        assert_eq!(tree.children.first().unwrap().start_nanos, 100);
+        assert_eq!(tree.children.last().unwrap().end_nanos, 300);
+        for pair in tree.children.windows(2) {
+            assert_eq!(pair[0].end_nanos, pair[1].start_nanos);
+        }
+        assert_eq!(log.committed(), vec![7]);
+        assert!(log.lifecycle_violations().is_empty());
+    }
+
+    #[test]
+    fn violations_catch_duplicate_begin_and_post_terminal_events() {
+        let log = TraceLog::from_events([
+            ev(1, 10, Phase::Begin),
+            ev(1, 20, Phase::Begin),
+            ev(2, 10, Phase::Begin),
+            ev(2, 30, Phase::Committed),
+            ev(2, 40, Phase::CommitStart),
+        ]);
+        let violations = log.lifecycle_violations();
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations[0].contains("2 Begin"));
+        assert!(violations[1].contains("after terminal"));
+    }
+
+    #[test]
+    fn breakdown_sums_telescope_exactly() {
+        let mut breakdown = MethodBreakdown::new(CcMethod::TwoPhaseLocking);
+        let t = SpanTimings {
+            begin: 1_000,
+            selection_done: 3_000,
+            enqueued: 4_000,
+            exec_start: 10_000,
+            commit_start: 15_000,
+            committed: 21_000,
+        };
+        breakdown.record_span(&t);
+        assert_eq!(breakdown.spans(), 1);
+        let sum = breakdown.phase_sum_mean_us();
+        let e2e = breakdown.end_to_end_mean_us();
+        assert!((sum - e2e).abs() < 1e-9, "sum {sum} vs e2e {e2e}");
+        assert_eq!(e2e, 20.0);
+    }
+}

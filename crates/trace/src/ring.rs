@@ -1,0 +1,185 @@
+//! The flight-recorder ring: a bounded, overwrite-on-wrap event buffer
+//! with a lock-free, allocation-free write path.
+//!
+//! Unlike the transport ring (a *queue* — every value is consumed
+//! exactly once, full means backpressure), a flight recorder never
+//! blocks and never fills: position `pos` simply overwrites slot
+//! `pos % capacity`, so the ring always holds the last `capacity` events
+//! written to it. Readers are rare (a report, a postmortem dump) and
+//! must tolerate racing writers; each slot is published under a seqlock
+//! word, and a reader discards any slot whose sequence moved while it
+//! was copying the three data words out. A discarded slot is an event
+//! that was being overwritten mid-snapshot — exactly the event the
+//! recorder was about to forget anyway.
+//!
+//! Writers are usually one thread per lane (each shard owns its lane),
+//! but client lanes may be shared by more threads than lanes exist; two
+//! writers lapping each other *on the same slot inside one snapshot
+//! window* can in principle interleave their data words under a matching
+//! final sequence. That requires a writer to stall mid-record for a full
+//! ring lap and costs at worst one garbled diagnostic event, which the
+//! phase-byte validation below usually rejects anyway.
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+use transport::CachePadded;
+
+use crate::event::{unpack_meta, TraceEvent};
+
+struct Slot {
+    /// Seqlock word: `0` while a write is in flight, `pos + 1` once the
+    /// event claimed at position `pos` is published.
+    seq: AtomicU64,
+    ts: AtomicU64,
+    txn: AtomicU64,
+    meta: AtomicU64,
+}
+
+/// A bounded overwrite-on-wrap event ring (one per traced lane).
+pub struct FlightRing {
+    /// Total events ever claimed; the write cursor.
+    head: CachePadded<AtomicU64>,
+    mask: u64,
+    slots: Box<[Slot]>,
+}
+
+impl FlightRing {
+    /// Create a ring holding the last `capacity` events (rounded up to a
+    /// power of two, minimum 2).
+    pub fn new(capacity: usize) -> FlightRing {
+        let cap = capacity.next_power_of_two().max(2);
+        FlightRing {
+            head: CachePadded::new(AtomicU64::new(0)),
+            mask: (cap - 1) as u64,
+            slots: (0..cap)
+                .map(|_| Slot {
+                    seq: AtomicU64::new(0),
+                    ts: AtomicU64::new(0),
+                    txn: AtomicU64::new(0),
+                    meta: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    /// Slots in the ring.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever written (≥ `capacity()` means wrap-around loss).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Write one event: one `fetch_add` and four plain stores, no lock,
+    /// no allocation, never blocks.
+    #[inline]
+    pub fn record(&self, ts_nanos: u64, txn: u64, meta: u64) {
+        let pos = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(pos & self.mask) as usize];
+        // Seqlock write: invalidate, fence so the invalidation is visible
+        // before any data word, publish data, then stamp the generation.
+        slot.seq.store(0, Ordering::Relaxed);
+        fence(Ordering::Release);
+        slot.ts.store(ts_nanos, Ordering::Relaxed);
+        slot.txn.store(txn, Ordering::Relaxed);
+        slot.meta.store(meta, Ordering::Relaxed);
+        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+    }
+
+    /// Copy every event still resident (oldest first) into `out`,
+    /// tagging each with `lane`. Slots a racing writer is overwriting are
+    /// skipped.
+    pub fn snapshot_into(&self, lane: u32, out: &mut Vec<TraceEvent>) {
+        let head = self.head.load(Ordering::Acquire);
+        let window = head.min(self.slots.len() as u64);
+        for pos in (head - window)..head {
+            let slot = &self.slots[(pos & self.mask) as usize];
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq != pos.wrapping_add(1) {
+                continue; // in-flight write or already overwritten
+            }
+            let ts_nanos = slot.ts.load(Ordering::Relaxed);
+            let txn = slot.txn.load(Ordering::Relaxed);
+            let meta = slot.meta.load(Ordering::Relaxed);
+            fence(Ordering::Acquire);
+            if slot.seq.load(Ordering::Relaxed) != seq {
+                continue; // overwritten while copying
+            }
+            if let Some((phase, arg)) = unpack_meta(meta) {
+                out.push(TraceEvent {
+                    lane,
+                    ts_nanos,
+                    txn,
+                    phase,
+                    arg,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::event::{pack_meta, Phase};
+
+    use super::*;
+
+    #[test]
+    fn holds_the_last_capacity_events() {
+        let ring = FlightRing::new(4);
+        for i in 0..10u64 {
+            ring.record(i, i, pack_meta(Phase::Begin, i as u32));
+        }
+        assert_eq!(ring.recorded(), 10);
+        let mut out = Vec::new();
+        ring.snapshot_into(7, &mut out);
+        assert_eq!(out.len(), 4, "only the last lap survives");
+        assert_eq!(
+            out.iter().map(|e| e.txn).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9],
+            "oldest first"
+        );
+        assert!(out.iter().all(|e| e.lane == 7 && e.phase == Phase::Begin));
+    }
+
+    #[test]
+    fn partial_fill_snapshots_everything() {
+        let ring = FlightRing::new(8);
+        ring.record(1, 42, pack_meta(Phase::Committed, 3));
+        let mut out = Vec::new();
+        ring.snapshot_into(0, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].txn, 42);
+        assert_eq!(out[0].phase, Phase::Committed);
+        assert_eq!(out[0].arg, 3);
+    }
+
+    #[test]
+    fn concurrent_writers_never_corrupt_a_snapshot() {
+        let ring = std::sync::Arc::new(FlightRing::new(512));
+        std::thread::scope(|scope| {
+            for w in 0..4u64 {
+                let ring = std::sync::Arc::clone(&ring);
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        // Every writer maintains ts == txn so a torn
+                        // cross-writer mix is detectable.
+                        let v = w * 1_000_000 + i;
+                        ring.record(v, v, pack_meta(Phase::Granted, w as u32));
+                    }
+                });
+            }
+            let mut out = Vec::new();
+            for _ in 0..50 {
+                out.clear();
+                ring.snapshot_into(0, &mut out);
+                for e in &out {
+                    assert_eq!(e.ts_nanos, e.txn, "torn slot escaped the seqlock");
+                }
+            }
+        });
+        assert_eq!(ring.recorded(), 40_000);
+    }
+}

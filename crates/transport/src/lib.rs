@@ -18,6 +18,10 @@
 //!   key index, so routing an event to its waiting consumer takes no
 //!   lock and no allocation, and stale events addressed to a retired key
 //!   are provably dropped.
+//! * [`stamp`] — the process-wide monotonic nanosecond clock every plane
+//!   timestamps against (ring dwell meters, the trace crate's
+//!   flight-recorder events), so durations measured on different threads
+//!   subtract meaningfully.
 //! * [`CachePadded`] — align a value to its own cache line so hot atomics
 //!   (ring head/tail, per-stripe metric shards) do not false-share.
 //!
@@ -28,6 +32,7 @@ pub mod batch;
 pub mod mailbox;
 pub mod oneshot;
 pub mod ring;
+pub mod stamp;
 
 /// Pads and aligns a value to 128 bytes, the size of two x86-64 cache
 /// lines (the adjacent-line prefetcher pulls pairs, so 64-byte alignment

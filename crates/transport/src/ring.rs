@@ -29,11 +29,12 @@
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, Thread};
 use std::time::{Duration, Instant};
 
+use crate::stamp::now_nanos;
 use crate::CachePadded;
 
 /// Safety-net bound on a consumer park: a correct handshake is woken by
@@ -92,6 +93,17 @@ struct Shared<T> {
     /// Cheap "is anyone in `waiters`" flag so the consumer's fast path
     /// never touches the mutex.
     has_waiters: AtomicBool,
+    /// When raised, every publish stamps its slot with [`now_nanos`] and
+    /// every take folds the dwell time into the meter below. Off by
+    /// default: the disabled cost is one relaxed load per side.
+    stamping: AtomicBool,
+    /// Per-slot enqueue timestamps, parallel to `buf` (written only while
+    /// `stamping` is raised, under the same seq protocol as the value).
+    stamps: Box<[AtomicU64]>,
+    /// Queue-dwell meter: messages taken and their summed nanoseconds in
+    /// the ring, accumulated by the consumer while `stamping` is raised.
+    dwell_count: AtomicU64,
+    dwell_nanos: AtomicU64,
 }
 
 // The UnsafeCell slots are handed across threads under the seq protocol.
@@ -178,6 +190,10 @@ pub fn channel<T: Send>(capacity: usize) -> (RingSender<T>, RingReceiver<T>) {
         rx_alive: AtomicBool::new(true),
         waiters: Mutex::new(Vec::new()),
         has_waiters: AtomicBool::new(false),
+        stamping: AtomicBool::new(false),
+        stamps: (0..cap).map(|_| AtomicU64::new(0)).collect(),
+        dwell_count: AtomicU64::new(0),
+        dwell_nanos: AtomicU64::new(0),
     });
     (
         RingSender {
@@ -226,6 +242,9 @@ impl<T> RingSender<T> {
                 ) {
                     Ok(_) => {
                         unsafe { (*slot.value.get()).write(value) };
+                        if shared.stamping.load(Ordering::Relaxed) {
+                            shared.stamps[pos & shared.mask].store(now_nanos(), Ordering::Relaxed);
+                        }
                         slot.seq.store(pos.wrapping_add(1), Ordering::Release);
                         // Publish must be globally ordered before the
                         // sleeping-flag read (pairs with the consumer's
@@ -285,6 +304,21 @@ impl<T> RingSender<T> {
     pub fn is_connected(&self) -> bool {
         self.shared.rx_alive.load(Ordering::SeqCst)
     }
+
+    /// Enable or disable enqueue/dequeue stamping on this ring (shared
+    /// with every clone and the receiver). Off by default.
+    pub fn set_stamping(&self, enabled: bool) {
+        self.shared.stamping.store(enabled, Ordering::SeqCst);
+    }
+
+    /// The queue-dwell meter: `(messages taken, summed nanoseconds each
+    /// spent published in the ring)` since stamping was enabled.
+    pub fn queue_dwell(&self) -> (u64, u64) {
+        (
+            self.shared.dwell_count.load(Ordering::Relaxed),
+            self.shared.dwell_nanos.load(Ordering::Relaxed),
+        )
+    }
 }
 
 impl<T> RingReceiver<T> {
@@ -298,6 +332,17 @@ impl<T> RingReceiver<T> {
             return None;
         }
         let value = unsafe { (*slot.value.get()).assume_init_read() };
+        if shared.stamping.load(Ordering::Relaxed) {
+            let queued = shared.stamps[head & shared.mask].load(Ordering::Relaxed);
+            // A zero stamp is a slot published before stamping was
+            // enabled — it carries no dwell information.
+            if queued != 0 {
+                shared
+                    .dwell_nanos
+                    .fetch_add(now_nanos().saturating_sub(queued), Ordering::Relaxed);
+                shared.dwell_count.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         slot.seq
             .store(head.wrapping_add(shared.buf.len()), Ordering::Release);
         shared.head.store(head.wrapping_add(1), Ordering::Release);
@@ -424,6 +469,19 @@ impl<T> RingReceiver<T> {
     /// Number of live senders (diagnostics).
     pub fn sender_count(&self) -> usize {
         self.shared.senders.load(Ordering::SeqCst)
+    }
+
+    /// See [`RingSender::set_stamping`].
+    pub fn set_stamping(&self, enabled: bool) {
+        self.shared.stamping.store(enabled, Ordering::SeqCst);
+    }
+
+    /// See [`RingSender::queue_dwell`].
+    pub fn queue_dwell(&self) -> (u64, u64) {
+        (
+            self.shared.dwell_count.load(Ordering::Relaxed),
+            self.shared.dwell_nanos.load(Ordering::Relaxed),
+        )
     }
 
     fn register_consumer(&self) {
@@ -579,6 +637,30 @@ mod tests {
             rx.drain_for(&mut out, Duration::from_millis(5)),
             Err(RecvError)
         );
+    }
+
+    #[test]
+    fn dwell_meter_counts_only_while_stamping() {
+        let (tx, mut rx) = channel::<u32>(8);
+        tx.try_send(1).unwrap();
+        assert_eq!(rx.try_recv(), Some(1));
+        assert_eq!(tx.queue_dwell(), (0, 0), "meter off by default");
+
+        tx.set_stamping(true);
+        tx.try_send(2).unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(rx.try_recv(), Some(2));
+        let (count, nanos) = rx.queue_dwell();
+        assert_eq!(count, 1);
+        assert!(
+            nanos >= 1_000_000,
+            "a value parked 2ms must show dwell, got {nanos}ns"
+        );
+
+        tx.set_stamping(false);
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.try_recv(), Some(3));
+        assert_eq!(rx.queue_dwell().0, 1, "meter frozen once disabled");
     }
 
     #[test]

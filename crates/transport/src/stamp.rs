@@ -1,0 +1,35 @@
+//! A process-wide monotonic nanosecond clock.
+//!
+//! Every plane that timestamps messages — the ring's enqueue/dequeue
+//! stamps below, the trace crate's flight-recorder events — reads the
+//! same clock, so a transport dwell time and a client-side phase span
+//! measured on different threads subtract meaningfully. The epoch is the
+//! first call in the process; `Instant` is monotonic across threads, so
+//! later reads on any thread are ordered consistently with real time.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since the process-wide epoch (the first call).
+#[inline]
+pub fn now_nanos() -> u64 {
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    epoch.elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_within_and_across_threads() {
+        let a = now_nanos();
+        let b = now_nanos();
+        assert!(b >= a);
+        let c = std::thread::spawn(now_nanos).join().unwrap();
+        let d = now_nanos();
+        assert!(c >= a && d >= c, "cross-thread reads share the epoch");
+    }
+}

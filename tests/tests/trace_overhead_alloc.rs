@@ -1,0 +1,151 @@
+//! The tracing plane's zero-overhead claims, asserted with a counting
+//! global allocator (the `engine_alloc` pattern):
+//!
+//! * at [`TraceLevel::Off`] the plane allocates nothing — not at
+//!   construction (no rings, no counters, no stripes) and not per record
+//!   call (every entry point returns on its first branch);
+//! * at [`TraceLevel::Full`] the steady-state hot path — ring event
+//!   writes, phase-counter bumps and warmed span folds — performs zero
+//!   heap allocations: every buffer (the lanes' fixed slot arrays, the
+//!   striped per-method histograms) exists after warm-up and is only
+//!   ever overwritten.
+//!
+//! As in `engine_alloc`, the measurement takes the minimum allocation
+//! delta over several windows so a stray harness allocation cannot flake
+//! the test, while a path that allocates *every* event would fail all
+//! windows. This file holds only this test: the counting allocator is
+//! process-wide and must not observe unrelated tests running
+//! concurrently.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dbmodel::CcMethod;
+use runtime::{Phase, TraceConfig, TraceLevel};
+use trace::{SpanTimings, TracePlane};
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+// SAFETY: defers entirely to `System`; the counter is a relaxed atomic.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// One steady-state burst of tracing work: the client-side lifecycle
+/// events of a few transactions, a shard-side batch event, and one span
+/// fold — everything the runtime's hot paths ask of the plane.
+fn burst(plane: &TracePlane, lane: usize, base_txn: u64) {
+    for k in 0..8 {
+        let txn = base_txn + k;
+        plane.record_at(lane, 10 * txn, txn, Phase::Begin, 0);
+        plane.record_at(lane, 10 * txn + 2, txn, Phase::SelectionDone, 0);
+        plane.record_at(lane, 10 * txn + 4, txn, Phase::TransportEnqueued, 2);
+        plane.record(0, txn, Phase::ShardRecv, 2);
+        plane.record_at(lane, 10 * txn + 6, txn, Phase::ExecutionStart, 0);
+        plane.record_at(lane, 10 * txn + 8, txn, Phase::Committed, 0);
+        plane.record_span(
+            CcMethod::TwoPhaseLocking,
+            &SpanTimings {
+                begin: 10 * txn,
+                selection_done: 10 * txn + 2,
+                enqueued: 10 * txn + 4,
+                exec_start: 10 * txn + 6,
+                commit_start: 10 * txn + 7,
+                committed: 10 * txn + 8,
+            },
+        );
+    }
+}
+
+/// Minimum allocation delta over `windows` repetitions of `work`.
+fn min_alloc_delta(windows: usize, mut work: impl FnMut()) -> u64 {
+    let mut min_delta = u64::MAX;
+    for _ in 0..windows {
+        let before = ALLOC_CALLS.load(Ordering::Relaxed);
+        work();
+        min_delta = min_delta.min(ALLOC_CALLS.load(Ordering::Relaxed) - before);
+    }
+    min_delta
+}
+
+#[test]
+fn tracing_adds_zero_allocations_off_and_in_full_steady_state() {
+    // --- TraceLevel::Off: construction plus every record call together
+    // must not touch the allocator (beyond the plane's own empty boxes,
+    // which `Box<[T]>::from([])` creates without allocating).
+    let off_delta = min_alloc_delta(5, || {
+        let plane = TracePlane::new(
+            &TraceConfig {
+                level: TraceLevel::Off,
+                ..TraceConfig::default()
+            },
+            4,
+        );
+        let lane = plane.client_lane();
+        burst(&plane, lane, 1);
+        assert_eq!(plane.now(), 0, "no clock reads when off");
+        assert_eq!(plane.events_recorded(), 0);
+    });
+    assert_eq!(
+        off_delta, 0,
+        "an Off plane must never ask the allocator for memory"
+    );
+
+    // --- TraceLevel::Full: after warm-up (rings exist from construction;
+    // the first span fold builds this thread's stripe's per-method
+    // histograms), the steady-state record/record_span path is
+    // allocation-free even while the rings wrap.
+    let plane = TracePlane::new(
+        &TraceConfig {
+            level: TraceLevel::Full,
+            ring_capacity: 64, // small, so the measured bursts wrap the rings
+            ..TraceConfig::default()
+        },
+        1,
+    );
+    let lane = plane.client_lane();
+    let mut next_txn = 1u64;
+    for _ in 0..50 {
+        burst(&plane, lane, next_txn);
+        next_txn += 8;
+    }
+    let warmed = plane.events_recorded();
+
+    let full_delta = min_alloc_delta(5, || {
+        for _ in 0..100 {
+            burst(&plane, lane, next_txn);
+            next_txn += 8;
+        }
+    });
+    assert_eq!(
+        full_delta, 0,
+        "steady-state Full-level tracing must not touch the allocator"
+    );
+
+    // The plane did real work the whole time: every burst's events were
+    // counted, and the wrapped rings still hold the most recent ones.
+    assert_eq!(plane.events_recorded(), warmed + 5 * 100 * 8 * 6);
+    assert!(!plane.snapshot().is_empty());
+}
