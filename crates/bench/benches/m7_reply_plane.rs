@@ -180,7 +180,7 @@ fn spawn_mailbox_plane() -> (Arc<MailboxPlane>, Vec<std::thread::JoinHandle<()>>
         shards.push(tx);
     }
     let mailboxes = (0..CLIENTS)
-        .map(|_| Mutex::new(registry.acquire()))
+        .map(|_| Mutex::new(registry.acquire().expect("mailbox slab exhausted")))
         .collect();
     (
         Arc::new(MailboxPlane {

@@ -1,0 +1,523 @@
+//! E10 — reply-plane scale sweep: tens of thousands of concurrently open
+//! registrations, Zipfian-skewed delivery, and mixed transaction shapes.
+//!
+//! PR 4's reply plane shipped with a fixed 4096-bucket packed index:
+//! past ~4096 concurrently live transactions every further registration
+//! fell onto a mutexed overflow map, quietly serialising the reply path
+//! exactly when the system was busiest. PR 7 made the index a resizable
+//! chain of tables; this experiment is the proof. It answers three
+//! questions the earlier sweeps could not:
+//!
+//! 1. **Section A (transport)** — how does the raw mailbox registry
+//!    behave as the *live* registration count ramps into the tens of
+//!    thousands? Each cell holds `live` keys open simultaneously while
+//!    churner threads cycle transient incarnations through the same
+//!    index, then drives Zipfian-skewed deliver/receive traffic across
+//!    the live set. The cell reports registrations/s on the ramp,
+//!    skewed deliveries/s, and — the gate — how many registrations
+//!    fell onto the overflow map (must be 0 below the growth ceiling).
+//! 2. **Section B (runtime hold)** — can the full engine keep tens of
+//!    thousands of transactions *open at once*? A cell begins `hold`
+//!    write transactions on disjoint items and keeps every one open
+//!    before aborting them all; with the old index anything past 4096
+//!    degraded, now `mailbox_overflow_entries` must stay 0.
+//! 3. **Section C (runtime mix)** — what does skew do to live commit
+//!    throughput? Shapes from [`bench::workload`] (read-heavy / rmw /
+//!    wide) crossed with uniform (`theta = 0`) and YCSB-hot
+//!    (`theta = 0.99`) access, with the reply-plane health counters and
+//!    the serializability oracle on every cell.
+//!
+//! Run with: `cargo run --release -p bench --bin exp10_scale_sweep`
+//!
+//! Environment knobs (used by the CI smoke step):
+//!
+//! * `EXP10_SMOKE=1` — restrict each axis to its gate-relevant points.
+//! * `EXP10_GATE=<live>` — fail (exit 1) unless a Section A cell and
+//!   the Section B cell both held at least `<live>` concurrently open
+//!   registrations with `mailbox_overflow_entries == 0` and no stale
+//!   leak.
+//! * `EXP10_TXNS=<n>` — Section C transactions per client (default 150).
+//!
+//! Besides the tables, the sweep emits `BENCH_exp10.json` (into
+//! `$BENCH_JSON_DIR`, default `.`): one row per cell tagged with its
+//! `section`, plus the gate outcome in `meta`. See [`bench::traj`].
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bench::{table, SkewedItems, Trajectory, TxnShape};
+use dbmodel::{CcMethod, LogicalItemId};
+use runtime::{CcPolicy, Database, RuntimeConfig, TxnSpec};
+use simkit::dist::Zipfian;
+use simkit::rng::SimRng;
+use trace::json::Json;
+use transport::mailbox::{Mailbox, MailboxOptions, MailboxRegistry};
+
+/// Skewed deliver/receive operations per Section A cell.
+const DELIVER_OPS: usize = 200_000;
+/// Concurrent churner threads racing each Section A ramp.
+const CHURNERS: u64 = 2;
+
+fn txns_per_client() -> u64 {
+    std::env::var("EXP10_TXNS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(150)
+}
+
+/// What one Section A (raw registry) cell measured.
+struct TransportOutcome {
+    live: usize,
+    theta: f64,
+    reg_per_sec: f64,
+    deliver_per_sec: f64,
+    index_capacity: usize,
+    index_resizes: u64,
+    overflow_entries: usize,
+    stale_dropped: u64,
+    full_dropped: u64,
+    leaks: u64,
+}
+
+/// Ramp `live` keys to concurrently registered (each with its own slab
+/// mailbox), race churners through the growing index, then drive
+/// Zipfian-skewed deliver/receive traffic over the live set.
+fn run_transport_cell(live: usize, theta: f64) -> TransportOutcome {
+    let registry = MailboxRegistry::<u64>::with_options(MailboxOptions {
+        index_capacity: 1024,
+        mailbox_capacity: 8,
+        max_clients: live + CHURNERS as usize + 8,
+        ..MailboxOptions::default()
+    });
+    let stop = Arc::new(AtomicBool::new(false));
+    let leaks = Arc::new(AtomicU64::new(0));
+    let mut outcome = None;
+
+    std::thread::scope(|scope| {
+        for t in 0..CHURNERS {
+            let stop = Arc::clone(&stop);
+            let leaks = Arc::clone(&leaks);
+            let registry = registry.clone();
+            scope.spawn(move || {
+                let mut mailbox = registry.acquire().expect("churner mailbox");
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    // Transient keys live above the ramp's key range.
+                    let key = (1 << 32) + t + n * CHURNERS;
+                    n += 1;
+                    registry.register(key, 0, &mut mailbox);
+                    registry.try_deliver(key, key);
+                    if let Some(payload) = mailbox.recv_timeout(key, Duration::from_millis(1)) {
+                        if payload != key {
+                            leaks.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    registry.deregister(key);
+                }
+            });
+        }
+
+        let ramp_begun = Instant::now();
+        let mut held: Vec<(u64, Mailbox<u64>)> = Vec::with_capacity(live);
+        for i in 0..live {
+            let key = (i + 1) as u64;
+            let mut mailbox = registry.acquire().expect("ramp mailbox");
+            registry.register(key, 0, &mut mailbox);
+            held.push((key, mailbox));
+        }
+        let ramp_secs = ramp_begun.elapsed().as_secs_f64();
+
+        // Skewed delivery across the live set: rank 0 (the hottest key)
+        // maps to the first-ramped key, so the hot head spans every
+        // generation of the grown index chain.
+        let zipf = Zipfian::new(live, theta);
+        let mut rng = SimRng::new(0xE10 ^ live as u64);
+        let deliver_begun = Instant::now();
+        let mut local_leaks = 0u64;
+        for _ in 0..DELIVER_OPS {
+            let idx = zipf.sample_index(&mut rng);
+            let (key, mailbox) = &mut held[idx];
+            if registry.try_deliver(*key, *key) {
+                if let Some(payload) = mailbox.recv_timeout(*key, Duration::from_millis(5)) {
+                    if payload != *key {
+                        local_leaks += 1;
+                    }
+                }
+            }
+        }
+        let deliver_secs = deliver_begun.elapsed().as_secs_f64();
+
+        let at_peak = TransportOutcome {
+            live,
+            theta,
+            reg_per_sec: live as f64 / ramp_secs,
+            deliver_per_sec: DELIVER_OPS as f64 / deliver_secs,
+            index_capacity: registry.index_capacity(),
+            index_resizes: registry.index_resizes(),
+            overflow_entries: registry.overflow_entries(),
+            stale_dropped: registry.stale_dropped(),
+            full_dropped: registry.full_dropped(),
+            leaks: local_leaks,
+        };
+        stop.store(true, Ordering::Relaxed);
+        for (key, _) in &held {
+            registry.deregister(*key);
+        }
+        outcome = Some(at_peak);
+    });
+
+    let mut outcome = outcome.expect("cell ran");
+    outcome.leaks += leaks.load(Ordering::Relaxed);
+    assert_eq!(registry.len(), 0, "all registrations torn down");
+    outcome
+}
+
+/// What the Section B (runtime open-hold) cell measured.
+struct HoldOutcome {
+    hold: usize,
+    begin_per_sec: f64,
+    index_capacity: u64,
+    index_resizes: u64,
+    overflow_entries: u64,
+    abort_secs: f64,
+}
+
+/// Begin `hold` write transactions on disjoint items and keep them all
+/// open simultaneously — the engine-level version of Section A's ramp.
+fn run_hold_cell(hold: usize) -> HoldOutcome {
+    let db = Database::open(RuntimeConfig {
+        num_shards: 4,
+        num_items: hold as u64 + 8,
+        policy: CcPolicy::Static(CcMethod::TwoPhaseLocking),
+        reply_mailbox_capacity: 8,
+        reply_max_clients: hold + 64,
+        ..RuntimeConfig::default()
+    })
+    .expect("valid config");
+
+    let begun = Instant::now();
+    let mut open = Vec::with_capacity(hold);
+    for i in 0..hold {
+        open.push(
+            db.begin(&TxnSpec::new().write(LogicalItemId(i as u64)))
+                .expect("disjoint begin succeeds"),
+        );
+    }
+    let ramp_secs = begun.elapsed().as_secs_f64();
+    let stats = db.stats();
+    let abort_begun = Instant::now();
+    for txn in open {
+        txn.abort();
+    }
+    let abort_secs = abort_begun.elapsed().as_secs_f64();
+    db.shutdown();
+    HoldOutcome {
+        hold,
+        begin_per_sec: hold as f64 / ramp_secs,
+        index_capacity: stats.mailbox_index_capacity,
+        index_resizes: stats.mailbox_index_resizes,
+        overflow_entries: stats.mailbox_overflow_entries,
+        abort_secs,
+    }
+}
+
+/// What one Section C (skewed mix) cell measured.
+struct MixOutcome {
+    shape: TxnShape,
+    theta: f64,
+    committed: u64,
+    failed: u64,
+    txn_per_sec: f64,
+    restarts: u64,
+    stale_replies: u64,
+    overflow_entries: u64,
+    full_drops: u64,
+    serializable: bool,
+}
+
+const MIX_CLIENTS: u64 = 8;
+const MIX_SHARDS: u32 = 4;
+const MIX_ITEMS: u64 = 4096;
+
+/// Clients drive skew-shaped read-modify-write transactions; every cell
+/// replays its log through the serializability oracle.
+fn run_mix_cell(shape: TxnShape, theta: f64) -> MixOutcome {
+    let db = Database::open(RuntimeConfig {
+        num_shards: MIX_SHARDS,
+        num_items: MIX_ITEMS,
+        initial_value: 1_000,
+        policy: CcPolicy::Static(CcMethod::TwoPhaseLocking),
+        ..RuntimeConfig::default()
+    })
+    .expect("valid config");
+
+    let begun = Instant::now();
+    let per_client = txns_per_client();
+    let workers: Vec<_> = (0..MIX_CLIENTS)
+        .map(|t| {
+            let db = db.clone();
+            std::thread::spawn(move || {
+                let skew = SkewedItems::new(MIX_ITEMS, theta);
+                let mut rng = SimRng::new(0xE10F00 + t);
+                let mut failed = 0u64;
+                for _ in 0..per_client {
+                    let (spec, writes) = skew.spec(&mut rng, shape);
+                    // Under theta=0.99 the hot head genuinely contends;
+                    // a transaction that exhausts its restart budget is
+                    // counted, not fatal.
+                    if db
+                        .run_transaction(&spec, |seen| {
+                            writes.iter().map(|&w| (w, seen[&w] + 1)).collect()
+                        })
+                        .is_err()
+                    {
+                        failed += 1;
+                    }
+                }
+                failed
+            })
+        })
+        .collect();
+    let failed: u64 = workers
+        .into_iter()
+        .map(|w| w.join().expect("mix worker panicked"))
+        .sum();
+    let elapsed = begun.elapsed().as_secs_f64();
+
+    let stats = db.stats();
+    let report = db.shutdown().expect("shutdown");
+    MixOutcome {
+        shape,
+        theta,
+        committed: stats.committed,
+        failed,
+        txn_per_sec: stats.committed as f64 / elapsed,
+        restarts: stats.restarts(),
+        stale_replies: stats.stale_reply_events,
+        overflow_entries: stats.mailbox_overflow_entries,
+        full_drops: stats.mailbox_full_drops,
+        serializable: report.serializable().is_ok(),
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("EXP10_SMOKE").is_ok_and(|v| v == "1");
+    let gate: Option<usize> = std::env::var("EXP10_GATE")
+        .ok()
+        .and_then(|s| s.parse().ok());
+
+    let mut traj = Trajectory::new("exp10");
+    traj.meta("smoke", Json::Bool(smoke));
+    traj.meta("deliver_ops", Json::Num(DELIVER_OPS as f64));
+    traj.meta("txns_per_client", Json::Num(txns_per_client() as f64));
+
+    // --- Section A: raw registry scale ---------------------------------
+    println!("E10.A: mailbox registry scale — live registrations x delivery skew");
+    println!("       (index starts at 1024 buckets; churners race every ramp)\n");
+    let widths_a = [7, 6, 8, 10, 9, 8, 9, 7, 7, 6];
+    table::header(
+        &[
+            "live",
+            "theta",
+            "reg/s",
+            "deliver/s",
+            "idx cap",
+            "resizes",
+            "overflow",
+            "stale",
+            "drops",
+            "leaks",
+        ],
+        &widths_a,
+    );
+    let live_axis: &[usize] = if smoke {
+        &[4096, 32_768]
+    } else {
+        &[4096, 16_384, 32_768, 65_536]
+    };
+    let theta_axis: &[f64] = if smoke { &[0.99] } else { &[0.0, 0.99] };
+    let mut transport_gate_ok = false;
+    for &live in live_axis {
+        for &theta in theta_axis {
+            let o = run_transport_cell(live, theta);
+            table::row(
+                &[
+                    o.live.to_string(),
+                    format!("{:.2}", o.theta),
+                    format!("{:.0}", o.reg_per_sec),
+                    format!("{:.0}", o.deliver_per_sec),
+                    o.index_capacity.to_string(),
+                    o.index_resizes.to_string(),
+                    o.overflow_entries.to_string(),
+                    o.stale_dropped.to_string(),
+                    o.full_dropped.to_string(),
+                    o.leaks.to_string(),
+                ],
+                &widths_a,
+            );
+            if let Some(required) = gate {
+                if o.live >= required && o.overflow_entries == 0 && o.leaks == 0 {
+                    transport_gate_ok = true;
+                }
+            }
+            traj.row(vec![
+                ("section", Json::str("transport")),
+                ("live", Json::Num(o.live as f64)),
+                ("theta", Json::Num(o.theta)),
+                ("reg_per_sec", Json::Num(o.reg_per_sec)),
+                ("deliver_per_sec", Json::Num(o.deliver_per_sec)),
+                ("index_capacity", Json::Num(o.index_capacity as f64)),
+                ("index_resizes", Json::Num(o.index_resizes as f64)),
+                (
+                    "mailbox_overflow_entries",
+                    Json::Num(o.overflow_entries as f64),
+                ),
+                ("stale_dropped", Json::Num(o.stale_dropped as f64)),
+                ("full_dropped", Json::Num(o.full_dropped as f64)),
+                ("leaks", Json::Num(o.leaks as f64)),
+            ]);
+        }
+    }
+
+    // --- Section B: engine open-hold -----------------------------------
+    println!("\nE10.B: engine open-hold — transactions held open simultaneously\n");
+    let widths_b = [7, 9, 9, 8, 9, 8];
+    table::header(
+        &[
+            "hold", "begin/s", "idx cap", "resizes", "overflow", "abort s",
+        ],
+        &widths_b,
+    );
+    let hold_axis: &[usize] = if smoke { &[32_768] } else { &[8192, 32_768] };
+    let mut hold_gate_ok = false;
+    for &hold in hold_axis {
+        let o = run_hold_cell(hold);
+        table::row(
+            &[
+                o.hold.to_string(),
+                format!("{:.0}", o.begin_per_sec),
+                o.index_capacity.to_string(),
+                o.index_resizes.to_string(),
+                o.overflow_entries.to_string(),
+                format!("{:.2}", o.abort_secs),
+            ],
+            &widths_b,
+        );
+        if let Some(required) = gate {
+            if o.hold >= required && o.overflow_entries == 0 {
+                hold_gate_ok = true;
+            }
+        }
+        traj.row(vec![
+            ("section", Json::str("hold")),
+            ("hold", Json::Num(o.hold as f64)),
+            ("begin_per_sec", Json::Num(o.begin_per_sec)),
+            ("index_capacity", Json::Num(o.index_capacity as f64)),
+            ("index_resizes", Json::Num(o.index_resizes as f64)),
+            (
+                "mailbox_overflow_entries",
+                Json::Num(o.overflow_entries as f64),
+            ),
+            ("abort_secs", Json::Num(o.abort_secs)),
+        ]);
+    }
+
+    // --- Section C: skewed mixed shapes --------------------------------
+    println!(
+        "\nE10.C: live commit throughput — shape x skew \
+         ({MIX_CLIENTS} clients x {MIX_SHARDS} shards, {} txns/client, {MIX_ITEMS} items)\n",
+        txns_per_client()
+    );
+    let widths_c = [11, 6, 10, 7, 10, 9, 7, 9, 6, 5];
+    table::header(
+        &[
+            "shape",
+            "theta",
+            "committed",
+            "failed",
+            "txn/s",
+            "restarts",
+            "stale",
+            "overflow",
+            "drops",
+            "ser.",
+        ],
+        &widths_c,
+    );
+    let shapes = [TxnShape::ReadHeavy, TxnShape::Rmw, TxnShape::Wide];
+    let mix_thetas: &[f64] = if smoke { &[0.99] } else { &[0.0, 0.99] };
+    for &shape in &shapes {
+        for &theta in mix_thetas {
+            let o = run_mix_cell(shape, theta);
+            table::row(
+                &[
+                    o.shape.label().to_string(),
+                    format!("{:.2}", o.theta),
+                    o.committed.to_string(),
+                    o.failed.to_string(),
+                    format!("{:.0}", o.txn_per_sec),
+                    o.restarts.to_string(),
+                    o.stale_replies.to_string(),
+                    o.overflow_entries.to_string(),
+                    o.full_drops.to_string(),
+                    if o.serializable {
+                        "yes".into()
+                    } else {
+                        "NO".into()
+                    },
+                ],
+                &widths_c,
+            );
+            assert!(
+                o.serializable,
+                "{} theta={theta}: execution log failed the oracle",
+                shape.label()
+            );
+            traj.row(vec![
+                ("section", Json::str("mix")),
+                ("shape", Json::str(shape.label())),
+                ("theta", Json::Num(theta)),
+                ("committed", Json::Num(o.committed as f64)),
+                ("failed", Json::Num(o.failed as f64)),
+                ("txn_per_sec", Json::Num(o.txn_per_sec)),
+                ("restarts", Json::Num(o.restarts as f64)),
+                ("stale_reply_events", Json::Num(o.stale_replies as f64)),
+                (
+                    "mailbox_overflow_entries",
+                    Json::Num(o.overflow_entries as f64),
+                ),
+                ("full_drops", Json::Num(o.full_drops as f64)),
+                ("serializable", Json::Bool(o.serializable)),
+            ]);
+        }
+    }
+
+    if let Some(required) = gate {
+        traj.meta("gate_live", Json::Num(required as f64));
+        traj.meta("gate_passed", Json::Bool(transport_gate_ok && hold_gate_ok));
+    }
+    traj.emit();
+
+    if let Some(required) = gate {
+        println!();
+        if !transport_gate_ok {
+            eprintln!(
+                "FAIL: no Section A cell held >= {required} live registrations \
+                 with a clean (overflow-free, leak-free) reply plane"
+            );
+            std::process::exit(1);
+        }
+        if !hold_gate_ok {
+            eprintln!(
+                "FAIL: the engine did not hold >= {required} transactions open \
+                 with mailbox_overflow_entries == 0"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "gate passed: >= {required} concurrently open registrations stayed \
+             entirely on the lock-free index (overflow 0, leaks 0)"
+        );
+    }
+}

@@ -9,6 +9,8 @@
 pub mod harness;
 pub mod table;
 pub mod traj;
+pub mod workload;
 
 pub use harness::{base_config, run_protocols, ProtocolRow, PROTOCOL_LABELS};
 pub use traj::{validate_bench_doc, Trajectory};
+pub use workload::{SkewedItems, TxnShape};

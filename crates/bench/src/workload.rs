@@ -1,0 +1,139 @@
+//! Skewed-access workload shapes for the live-runtime scale sweeps.
+//!
+//! E9 drives uniformly spread transfers; the scale sweep (E10) needs the
+//! opposite: Zipfian-skewed item choice (the YCSB-style hot set) crossed
+//! with a small family of transaction shapes, so the reply plane and the
+//! queue managers are measured under realistic contention rather than a
+//! perfectly balanced load. This module is the shared vocabulary: a
+//! seeded skewed item picker and the shape-to-[`TxnSpec`] builders.
+
+use dbmodel::LogicalItemId;
+use runtime::TxnSpec;
+use simkit::dist::Zipfian;
+use simkit::rng::SimRng;
+
+/// Transaction shapes the mixed sweep crosses with access skew.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TxnShape {
+    /// 4 reads + 1 read-modify-write: the lookup-dominated shape.
+    ReadHeavy,
+    /// The classic 2-item read-modify-write transfer.
+    Rmw,
+    /// 4 reads + 4 writes: the message-heavy shape the plane gates use.
+    Wide,
+}
+
+impl TxnShape {
+    pub fn label(self) -> &'static str {
+        match self {
+            TxnShape::ReadHeavy => "read-heavy",
+            TxnShape::Rmw => "rmw",
+            TxnShape::Wide => "wide",
+        }
+    }
+
+    /// Read-only items per transaction.
+    pub fn reads(self) -> usize {
+        match self {
+            TxnShape::ReadHeavy => 4,
+            TxnShape::Rmw => 0,
+            TxnShape::Wide => 4,
+        }
+    }
+
+    /// Written (read-modify-write) items per transaction.
+    pub fn writes(self) -> usize {
+        match self {
+            TxnShape::ReadHeavy => 1,
+            TxnShape::Rmw => 2,
+            TxnShape::Wide => 4,
+        }
+    }
+}
+
+/// A Zipfian-skewed picker over item ids `0..items`; `theta = 0` is the
+/// uniform distribution, `theta = 0.99` the standard YCSB hot set.
+pub struct SkewedItems {
+    items: u64,
+    zipf: Zipfian,
+}
+
+impl SkewedItems {
+    pub fn new(items: u64, theta: f64) -> Self {
+        SkewedItems {
+            items,
+            zipf: Zipfian::new(items as usize, theta),
+        }
+    }
+
+    /// One skew-weighted item.
+    pub fn pick(&self, rng: &mut SimRng) -> LogicalItemId {
+        LogicalItemId(self.zipf.sample_index(rng) as u64)
+    }
+
+    /// `k` *distinct* skew-weighted items. Collisions walk linearly to
+    /// the next free id, so the hot head stays hot while a transaction
+    /// never names the same item twice.
+    pub fn pick_distinct(&self, rng: &mut SimRng, k: usize) -> Vec<LogicalItemId> {
+        debug_assert!(k as u64 <= self.items);
+        let mut picked: Vec<LogicalItemId> = Vec::with_capacity(k);
+        for _ in 0..k {
+            let mut id = self.zipf.sample_index(rng) as u64;
+            while picked.iter().any(|p| p.0 == id) {
+                id = (id + 1) % self.items;
+            }
+            picked.push(LogicalItemId(id));
+        }
+        picked
+    }
+
+    /// Build one transaction of the given shape on distinct skew-picked
+    /// items; returns the spec and its write set (the body increments
+    /// every written item).
+    pub fn spec(&self, rng: &mut SimRng, shape: TxnShape) -> (TxnSpec, Vec<LogicalItemId>) {
+        let picked = self.pick_distinct(rng, shape.reads() + shape.writes());
+        let (reads, writes) = picked.split_at(shape.reads());
+        let spec = TxnSpec::new()
+            .reads(reads.iter().copied())
+            .writes(writes.iter().copied());
+        (spec, writes.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_have_distinct_items_and_declared_sizes() {
+        let skew = SkewedItems::new(64, 0.99);
+        let mut rng = SimRng::new(7);
+        for shape in [TxnShape::ReadHeavy, TxnShape::Rmw, TxnShape::Wide] {
+            for _ in 0..200 {
+                let picked = skew.pick_distinct(&mut rng, shape.reads() + shape.writes());
+                let mut ids: Vec<u64> = picked.iter().map(|i| i.0).collect();
+                ids.sort_unstable();
+                ids.dedup();
+                assert_eq!(ids.len(), shape.reads() + shape.writes());
+                assert!(ids.iter().all(|&i| i < 64));
+            }
+        }
+    }
+
+    #[test]
+    fn high_theta_concentrates_low_theta_spreads() {
+        let mut rng = SimRng::new(11);
+        let mut hot_share = |theta: f64| {
+            let skew = SkewedItems::new(1024, theta);
+            let hits = (0..4000).filter(|_| skew.pick(&mut rng).0 < 16).count();
+            hits as f64 / 4000.0
+        };
+        let uniform = hot_share(0.0);
+        let skewed = hot_share(0.99);
+        assert!(
+            skewed > 0.3 && uniform < 0.1,
+            "theta=0.99 must concentrate on the hot head \
+             (hot-16 share: skewed {skewed:.2} vs uniform {uniform:.2})"
+        );
+    }
+}

@@ -72,6 +72,8 @@ pub enum ConfigError {
     BadSelectionCache(String),
     /// The tracing-plane settings are internally inconsistent.
     BadTrace(String),
+    /// The reply-plane sizing is internally inconsistent.
+    BadReplyPlane(String),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -86,6 +88,7 @@ impl std::fmt::Display for ConfigError {
                 write!(f, "bad selection-cache settings: {why}")
             }
             ConfigError::BadTrace(why) => write!(f, "bad trace settings: {why}"),
+            ConfigError::BadReplyPlane(why) => write!(f, "bad reply-plane settings: {why}"),
         }
     }
 }
@@ -129,6 +132,29 @@ pub struct RuntimeConfig {
     /// accessed item — or delivering shards briefly yield for the
     /// consumer.
     pub reply_mailbox_capacity: usize,
+    /// Maximum concurrently open transactions ([`ReplyPlaneKind::Mailbox`]
+    /// only): the reply-mailbox slab holds one reusable mailbox per open
+    /// transaction and `begin` fails with
+    /// [`crate::TxnError::ReplyPlaneExhausted`] — after a bounded wait —
+    /// once this many stay open.
+    pub reply_max_clients: usize,
+    /// Initial bucket count of the reply plane's resizable lock-free
+    /// index (rounded up to a power of two). The index doubles itself as
+    /// open transactions approach its load-factor threshold, so this
+    /// only sets where growth starts.
+    pub reply_index_capacity: usize,
+    /// Ceiling on reply-index growth (rounded up to a power of two,
+    /// never below `reply_index_capacity`). Registrations colliding once
+    /// the index is at this size fall back to a mutex-guarded overflow
+    /// map — correct, but off the lock-free path; size it at or above
+    /// `reply_max_clients` to keep overflow unreachable.
+    pub reply_index_max_capacity: usize,
+    /// How long a shard may wait on one transaction's full reply mailbox
+    /// before dropping the reply (counted in
+    /// [`crate::StatsSnapshot::mailbox_full_drops`]; the client recovers
+    /// through the normal timeout/restart machinery). Zero drops as soon
+    /// as the bounded spin is exhausted.
+    pub reply_deliver_timeout: Duration,
     /// Period of the background deadlock detector.
     pub deadlock_scan_interval: Duration,
     /// Restart attempts per transaction before giving up with
@@ -168,6 +194,10 @@ impl Default for RuntimeConfig {
             transport: TransportKind::BatchedRing,
             reply_plane: ReplyPlaneKind::Mailbox,
             reply_mailbox_capacity: 256,
+            reply_max_clients: 65536,
+            reply_index_capacity: 1024,
+            reply_index_max_capacity: 1 << 20,
+            reply_deliver_timeout: Duration::from_secs(1),
             deadlock_scan_interval: Duration::from_millis(5),
             max_restarts: 256,
             restart_backoff: Duration::from_micros(200),
@@ -201,6 +231,22 @@ impl RuntimeConfig {
                 .map_err(ConfigError::BadSelectionCache)?;
         }
         self.trace.validate().map_err(ConfigError::BadTrace)?;
+        if self.reply_max_clients == 0 {
+            return Err(ConfigError::BadReplyPlane(
+                "reply_max_clients must be at least 1".into(),
+            ));
+        }
+        if self.reply_index_capacity == 0 {
+            return Err(ConfigError::BadReplyPlane(
+                "reply_index_capacity must be at least 1".into(),
+            ));
+        }
+        if self.reply_index_max_capacity < self.reply_index_capacity {
+            return Err(ConfigError::BadReplyPlane(format!(
+                "reply_index_max_capacity ({}) is below reply_index_capacity ({})",
+                self.reply_index_max_capacity, self.reply_index_capacity
+            )));
+        }
         Ok(())
     }
 }
@@ -263,6 +309,32 @@ mod tests {
             ..RuntimeConfig::default()
         };
         assert_eq!(c.validate(), Ok(()), "uncached selection is valid");
+    }
+
+    #[test]
+    fn bad_reply_plane_sizing_is_rejected() {
+        let c = RuntimeConfig {
+            reply_max_clients: 0,
+            ..RuntimeConfig::default()
+        };
+        assert!(matches!(c.validate(), Err(ConfigError::BadReplyPlane(_))));
+        let c = RuntimeConfig {
+            reply_index_capacity: 0,
+            ..RuntimeConfig::default()
+        };
+        assert!(matches!(c.validate(), Err(ConfigError::BadReplyPlane(_))));
+        let c = RuntimeConfig {
+            reply_index_capacity: 4096,
+            reply_index_max_capacity: 1024,
+            ..RuntimeConfig::default()
+        };
+        assert!(matches!(c.validate(), Err(ConfigError::BadReplyPlane(_))));
+        let c = RuntimeConfig {
+            reply_index_capacity: 1024,
+            reply_index_max_capacity: 1024,
+            ..RuntimeConfig::default()
+        };
+        assert_eq!(c.validate(), Ok(()), "a fixed-size index is valid");
     }
 
     #[test]

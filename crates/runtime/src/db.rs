@@ -26,6 +26,7 @@ use selection::{CachedStlSelector, SelectionDecision, StlSelector, WorkloadSigna
 use simkit::rng::SimRng;
 use simkit::time::SimTime;
 use trace::{Phase, SpanTimings, TraceLevel, TracePlane, SELECTION_CACHE_HIT};
+use transport::mailbox::MailboxOptions;
 use unified_cc::{QueueManager, RequestIssuer, RiAction, RiOutput};
 
 use crate::config::{CcPolicy, ConfigError, RuntimeConfig, TransportKind};
@@ -105,6 +106,14 @@ pub enum TxnError {
     },
     /// A write was staged for an item outside the transaction's write set.
     NotInWriteSet(LogicalItemId),
+    /// Every one of the reply plane's `reply_max_clients` mailboxes
+    /// stayed held by an open transaction for the whole bounded acquire
+    /// wait — the admission limit, reported instead of blocking `begin`
+    /// forever.
+    ReplyPlaneExhausted {
+        /// The configured `reply_max_clients` limit.
+        max_clients: usize,
+    },
     /// The database shut down while the transaction was in flight.
     ShuttingDown,
 }
@@ -119,6 +128,11 @@ impl std::fmt::Display for TxnError {
             TxnError::NotInWriteSet(item) => {
                 write!(f, "item {item} is not in the transaction's write set")
             }
+            TxnError::ReplyPlaneExhausted { max_clients } => write!(
+                f,
+                "all {max_clients} reply mailboxes are held by open transactions \
+                 (raise RuntimeConfig::reply_max_clients or commit sooner)"
+            ),
             TxnError::ShuttingDown => write!(f, "database is shutting down"),
         }
     }
@@ -220,9 +234,16 @@ impl Database {
         catalog: Catalog,
     ) -> Result<Database, ConfigError> {
         config.validate()?;
-        let registry = Arc::new(Registry::new(
+        let registry = Arc::new(Registry::with_options(
             config.reply_plane,
-            config.reply_mailbox_capacity,
+            MailboxOptions {
+                index_capacity: config.reply_index_capacity,
+                index_max_capacity: config.reply_index_max_capacity,
+                mailbox_capacity: config.reply_mailbox_capacity,
+                max_clients: config.reply_max_clients,
+                deliver_timeout: config.reply_deliver_timeout,
+                ..MailboxOptions::default()
+            },
         ));
         let stats = Arc::new(RuntimeStats::with_shards(catalog.sites().len()));
         let stopped = Arc::new(AtomicBool::new(false));
@@ -329,17 +350,17 @@ impl Database {
     /// A snapshot of the runtime counters, including the selection-cache
     /// counters when the dynamic policy runs cached. Reads only atomics —
     /// stats polling never takes the selector mutex, so it cannot contend
-    /// with admission.
+    /// with admission — and is side-effect-free (the mailbox-overflow
+    /// postmortem fires on the registration that overflows, in `begin`,
+    /// not here).
     pub fn stats(&self) -> StatsSnapshot {
         let mut snapshot = self.inner.stats.snapshot();
         snapshot.stale_reply_events = self.inner.registry.stale_reply_events();
         snapshot.mailbox_overflow_entries = self.inner.registry.overflow_entries() as u64;
+        snapshot.mailbox_index_capacity = self.inner.registry.index_capacity() as u64;
+        snapshot.mailbox_index_resizes = self.inner.registry.index_resizes();
+        snapshot.mailbox_full_drops = self.inner.registry.full_drops();
         snapshot.trace_events = self.inner.trace.events_recorded();
-        if snapshot.mailbox_overflow_entries > 0 {
-            // The packed mailbox index is overflowing — an anomaly worth
-            // a flight-recorder dump (latched; no-op without a dump dir).
-            let _ = self.inner.trace.trigger_postmortem("mailbox-overflow");
-        }
         snapshot
     }
 
@@ -453,7 +474,13 @@ impl Database {
         let inner = &self.inner;
         let plane = &inner.trace;
         let lane = plane.client_lane();
-        let mut mailbox = inner.registry.client_mailbox();
+        let mut mailbox =
+            inner
+                .registry
+                .client_mailbox()
+                .map_err(|e| TxnError::ReplyPlaneExhausted {
+                    max_clients: e.max_clients,
+                })?;
         let mut attempt: u32 = 0;
         loop {
             if inner.stopped.load(Ordering::Relaxed) {
@@ -488,7 +515,13 @@ impl Database {
                 .map(|op| (op.item, op.mode))
                 .collect();
 
-            inner.registry.register(txn_id, method, &mut mailbox);
+            if inner.registry.register(txn_id, method, &mut mailbox) {
+                // This registration fell off the lock-free path onto the
+                // overflow map — the transition into a degraded reply
+                // plane is the anomaly worth a flight-recorder dump
+                // (latched; no-op without a dump dir).
+                let _ = plane.trigger_postmortem("mailbox-overflow");
+            }
             let mut ri = RequestIssuer::new(
                 txn,
                 TsTuple::new(ts, inner.config.pa_backoff_interval),
@@ -1511,5 +1544,106 @@ mod tests {
             report.selection_counts
         );
         assert!(report.serializable().is_ok());
+    }
+
+    /// Files currently in `dir` whose names mention the given reason slug.
+    fn postmortems_in(dir: &std::path::Path, slug: &str) -> usize {
+        std::fs::read_dir(dir)
+            .map(|entries| {
+                entries
+                    .filter_map(|e| e.ok())
+                    .filter(|e| e.file_name().to_string_lossy().contains(slug))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Satellite regression (PR 7): the mailbox-overflow postmortem fires
+    /// on the *registration* that transitions the reply plane onto the
+    /// overflow map — before anyone polls stats — and `stats()` itself
+    /// never writes anything.
+    #[test]
+    fn overflow_postmortem_fires_at_registration_not_in_stats() {
+        let dir = std::env::temp_dir().join(format!(
+            "db_overflow_postmortem_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let db = Database::open(RuntimeConfig {
+            num_shards: 2,
+            num_items: 128,
+            // Pin the resizable index at a 64-bucket ceiling so holding
+            // 65+ open transactions forces a collision onto the overflow
+            // map (pigeonhole), exercising the degraded path on purpose.
+            reply_index_capacity: 64,
+            reply_index_max_capacity: 64,
+            reply_max_clients: 128,
+            trace: trace::TraceConfig {
+                postmortem_dir: Some(dir.clone()),
+                ..trace::TraceConfig::default()
+            },
+            ..RuntimeConfig::default()
+        })
+        .unwrap();
+        let mut open = Vec::new();
+        for i in 0..80u64 {
+            open.push(db.begin(&TxnSpec::new().write(li(i))).unwrap());
+        }
+        assert!(
+            postmortems_in(&dir, "mailbox-overflow") > 0,
+            "the overflow transition must dump a postmortem with no stats() call"
+        );
+        // stats() reports the degraded state but is side-effect-free:
+        // repeated polling writes nothing new.
+        let before = postmortems_in(&dir, "mailbox-overflow");
+        for _ in 0..5 {
+            let stats = db.stats();
+            assert!(stats.mailbox_overflow_entries > 0);
+            assert_eq!(stats.mailbox_index_capacity, 64);
+        }
+        assert_eq!(postmortems_in(&dir, "mailbox-overflow"), before);
+        for txn in open {
+            txn.abort();
+        }
+        db.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The no-overflow half: a healthy reply plane never dumps, no matter
+    /// how often stats is polled, and the new index counters surface.
+    #[test]
+    fn stats_polling_is_side_effect_free_on_a_healthy_plane() {
+        let dir = std::env::temp_dir().join(format!(
+            "db_healthy_postmortem_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let db = Database::open(RuntimeConfig {
+            num_shards: 1,
+            num_items: 8,
+            trace: trace::TraceConfig {
+                postmortem_dir: Some(dir.clone()),
+                ..trace::TraceConfig::default()
+            },
+            ..RuntimeConfig::default()
+        })
+        .unwrap();
+        for i in 0..10 {
+            let spec = TxnSpec::new().write(li(i % 8));
+            db.run_transaction(&spec, |_| vec![(li(i % 8), 1)]).unwrap();
+            let stats = db.stats();
+            assert_eq!(stats.mailbox_overflow_entries, 0);
+            assert_eq!(stats.mailbox_full_drops, 0);
+            assert!(stats.mailbox_index_capacity >= 1024);
+        }
+        assert_eq!(
+            postmortems_in(&dir, "mailbox-overflow"),
+            0,
+            "a healthy plane polled for stats must never dump"
+        );
+        db.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

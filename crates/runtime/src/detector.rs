@@ -199,8 +199,8 @@ mod tests {
             let shard1 = spawn_shard(1, 1, b, &registry, &stats);
             let shards = vec![shard0.tx.clone(), shard1.tx.clone()];
 
-            let mut mb1 = registry.client_mailbox();
-            let mut mb2 = registry.client_mailbox();
+            let mut mb1 = registry.client_mailbox().expect("mailbox");
+            let mut mb2 = registry.client_mailbox().expect("mailbox");
             registry.register(TxnId(1), CcMethod::TwoPhaseLocking, &mut mb1);
             registry.register(TxnId(2), CcMethod::TwoPhaseLocking, &mut mb2);
 
@@ -269,8 +269,8 @@ mod tests {
         let shard1 = spawn_shard(1, 1, b, &registry, &stats);
         let shards = vec![shard0.tx.clone(), shard1.tx.clone()];
 
-        let mut mb1 = registry.client_mailbox();
-        let mut mb3 = registry.client_mailbox();
+        let mut mb1 = registry.client_mailbox().expect("mailbox");
+        let mut mb3 = registry.client_mailbox().expect("mailbox");
         registry.register(TxnId(1), CcMethod::TwoPhaseLocking, &mut mb1);
         registry.register(TxnId(3), CcMethod::TimestampOrdering, &mut mb3);
 

@@ -42,7 +42,7 @@ use std::time::Duration;
 use dbmodel::{CcMethod, TxnId};
 use pam::ReplyMsg;
 use transport::batch::SmallBatch;
-use transport::mailbox::{Mailbox, MailboxOptions, MailboxRegistry};
+use transport::mailbox::{Mailbox, MailboxOptions, MailboxRegistry, SlabExhausted};
 
 use crate::config::ReplyPlaneKind;
 
@@ -154,18 +154,29 @@ fn meta_method(meta: u64) -> Option<CcMethod> {
 }
 
 impl Registry {
-    /// A registry on the given plane. `mailbox_capacity` bounds each
-    /// slab mailbox (mailbox plane only); it must exceed the replies one
+    /// A registry on the given plane with default sizing except
+    /// `mailbox_capacity` — the shape the tests use. The runtime builds
+    /// its registry through [`Registry::with_options`] from
+    /// [`crate::RuntimeConfig`].
+    #[cfg(test)]
+    pub(crate) fn new(kind: ReplyPlaneKind, mailbox_capacity: usize) -> Self {
+        Registry::with_options(
+            kind,
+            MailboxOptions {
+                mailbox_capacity,
+                ..MailboxOptions::default()
+            },
+        )
+    }
+
+    /// A registry on the given plane. `opts` sizes the mailbox slab and
+    /// its resizable index (mailbox plane only — the mpsc baseline has
+    /// no tuning): `mailbox_capacity` must exceed the replies one
     /// incarnation can have outstanding while its client is between
     /// drains, or delivering shards briefly yield.
-    pub(crate) fn new(kind: ReplyPlaneKind, mailbox_capacity: usize) -> Self {
+    pub(crate) fn with_options(kind: ReplyPlaneKind, opts: MailboxOptions) -> Self {
         let plane = match kind {
-            ReplyPlaneKind::Mailbox => {
-                Plane::Mailbox(MailboxRegistry::with_options(MailboxOptions {
-                    mailbox_capacity,
-                    ..MailboxOptions::default()
-                }))
-            }
+            ReplyPlaneKind::Mailbox => Plane::Mailbox(MailboxRegistry::with_options(opts)),
             ReplyPlaneKind::Mpsc => Plane::Mpsc(MpscPlane {
                 inner: Mutex::new(HashMap::new()),
             }),
@@ -178,22 +189,34 @@ impl Registry {
 
     /// Hand out the reply endpoint a client thread drives one
     /// transaction (all its incarnations) through. On the mailbox plane
-    /// this pops a reusable slab slot; on the mpsc plane it is an empty
-    /// shell filled per incarnation by [`Registry::register`].
-    pub(crate) fn client_mailbox(&self) -> ClientMailbox {
+    /// this pops a reusable slab slot — and fails with [`SlabExhausted`]
+    /// when all `max_clients` mailboxes stay held past the acquire
+    /// timeout; on the mpsc plane it is an empty shell filled per
+    /// incarnation by [`Registry::register`].
+    pub(crate) fn client_mailbox(&self) -> Result<ClientMailbox, SlabExhausted> {
         match &self.plane {
-            Plane::Mailbox(reg) => ClientMailbox::Mailbox(reg.acquire()),
-            Plane::Mpsc(_) => ClientMailbox::Mpsc(None),
+            Plane::Mailbox(reg) => reg.acquire().map(ClientMailbox::Mailbox),
+            Plane::Mpsc(_) => Ok(ClientMailbox::Mpsc(None)),
         }
     }
 
     /// Register a new incarnation on `mailbox`. Must complete before the
     /// incarnation's first request message is routed (the callers do:
     /// register, then `RequestIssuer::start`, then route).
-    pub(crate) fn register(&self, txn: TxnId, method: CcMethod, mailbox: &mut ClientMailbox) {
+    ///
+    /// Returns `true` when the registration fell off the lock-free path
+    /// onto the mailbox slab's overflow map (index at its growth ceiling
+    /// with a live bucket collision) — the transition the caller reports
+    /// via the trace plane. Always `false` on the mpsc plane.
+    pub(crate) fn register(
+        &self,
+        txn: TxnId,
+        method: CcMethod,
+        mailbox: &mut ClientMailbox,
+    ) -> bool {
         match (&self.plane, mailbox) {
             (Plane::Mailbox(reg), ClientMailbox::Mailbox(mb)) => {
-                reg.register(txn.0, method_meta(method), mb);
+                reg.register(txn.0, method_meta(method), mb)
             }
             (Plane::Mpsc(plane), ClientMailbox::Mpsc(slot)) => {
                 let (tx, rx) = mpsc::channel();
@@ -204,6 +227,7 @@ impl Registry {
                     .insert(txn, MpscEntry { sender: tx, method });
                 debug_assert!(prev.is_none(), "transaction id {txn} reused while live");
                 *slot = Some(rx);
+                false
             }
             _ => unreachable!("client mailbox from a different reply plane"),
         }
@@ -325,13 +349,40 @@ impl Registry {
     }
 
     /// Registrations currently parked on the mailbox slab's overflow map
-    /// (live index-bucket collisions). Always zero on the mpsc plane.
-    /// Nonzero values are correct but mean the packed index is undersized
-    /// for the live-transaction spread (see the ROADMAP's index-sizing
-    /// item).
+    /// (live bucket collisions with the resizable index at its growth
+    /// ceiling). Always zero on the mpsc plane. Nonzero values are
+    /// correct but mean `reply_index_max_capacity` is undersized for the
+    /// live-transaction spread.
     pub(crate) fn overflow_entries(&self) -> usize {
         match &self.plane {
             Plane::Mailbox(reg) => reg.overflow_entries(),
+            Plane::Mpsc(_) => 0,
+        }
+    }
+
+    /// Buckets in the newest generation of the mailbox slab's resizable
+    /// index (zero on the mpsc plane, which has no index).
+    pub(crate) fn index_capacity(&self) -> usize {
+        match &self.plane {
+            Plane::Mailbox(reg) => reg.index_capacity(),
+            Plane::Mpsc(_) => 0,
+        }
+    }
+
+    /// Completed growths of the mailbox slab's index.
+    pub(crate) fn index_resizes(&self) -> u64 {
+        match &self.plane {
+            Plane::Mailbox(reg) => reg.index_resizes(),
+            Plane::Mpsc(_) => 0,
+        }
+    }
+
+    /// Reply deliveries dropped because a live mailbox stayed full past
+    /// the deliver timeout (a stalled client; its incarnation recovers
+    /// through the normal restart machinery).
+    pub(crate) fn full_drops(&self) -> u64 {
+        match &self.plane {
+            Plane::Mailbox(reg) => reg.full_dropped(),
             Plane::Mpsc(_) => 0,
         }
     }
@@ -383,7 +434,7 @@ mod tests {
     fn delivers_to_registered_and_drops_unknown() {
         for plane in PLANES {
             let registry = Registry::new(plane, 64);
-            let mut mb = registry.client_mailbox();
+            let mut mb = registry.client_mailbox().expect("mailbox");
             registry.register(TxnId(1), CcMethod::TwoPhaseLocking, &mut mb);
             assert_eq!(registry.len(), 1);
             // One flush delivers the known reply and drops the unknown.
@@ -405,7 +456,7 @@ mod tests {
     fn deadlock_signal_reaches_live_victims_only() {
         for plane in PLANES {
             let registry = Registry::new(plane, 64);
-            let mut mb = registry.client_mailbox();
+            let mut mb = registry.client_mailbox().expect("mailbox");
             registry.register(TxnId(7), CcMethod::TwoPhaseLocking, &mut mb);
             assert_eq!(
                 registry.method_of(TxnId(7)),
@@ -432,8 +483,8 @@ mod tests {
     fn interleaved_flush_coalesces_to_one_event_per_txn() {
         for plane in PLANES {
             let registry = Registry::new(plane, 64);
-            let mut mb_a = registry.client_mailbox();
-            let mut mb_b = registry.client_mailbox();
+            let mut mb_a = registry.client_mailbox().expect("mailbox");
+            let mut mb_b = registry.client_mailbox().expect("mailbox");
             registry.register(TxnId(1), CcMethod::TwoPhaseLocking, &mut mb_a);
             registry.register(TxnId(2), CcMethod::TwoPhaseLocking, &mut mb_b);
             registry.deliver_all([
@@ -473,7 +524,7 @@ mod tests {
     fn victim_signal_keeps_its_place_between_reply_flushes() {
         for plane in PLANES {
             let registry = Registry::new(plane, 64);
-            let mut mb = registry.client_mailbox();
+            let mut mb = registry.client_mailbox().expect("mailbox");
             registry.register(TxnId(5), CcMethod::TwoPhaseLocking, &mut mb);
             registry.deliver_all([reply_on(5, 1), reply_on(5, 2)]);
             assert!(registry.signal_deadlock(TxnId(5)));
@@ -500,7 +551,7 @@ mod tests {
     #[test]
     fn stale_victim_signal_never_reaches_the_next_incarnation() {
         let registry = Registry::new(ReplyPlaneKind::Mailbox, 64);
-        let mut mb = registry.client_mailbox();
+        let mut mb = registry.client_mailbox().expect("mailbox");
         registry.register(TxnId(1), CcMethod::TwoPhaseLocking, &mut mb);
         assert!(registry.signal_deadlock(TxnId(1)));
         // The incarnation restarts without consuming the signal; the

@@ -440,7 +440,7 @@ mod tests {
     fn shard_grants_logs_and_shuts_down() {
         for transport in [TransportKind::BatchedRing, TransportKind::Mpsc] {
             let (handle, registry, stats) = spawn_one(transport);
-            let mut mb = registry.client_mailbox();
+            let mut mb = registry.client_mailbox().expect("mailbox");
             registry.register(TxnId(1), CcMethod::TwoPhaseLocking, &mut mb);
             handle
                 .tx
@@ -495,7 +495,7 @@ mod tests {
     #[test]
     fn handle_batch_applies_messages_in_order() {
         let (handle, registry, stats) = spawn_one(TransportKind::BatchedRing);
-        let mut mb = registry.client_mailbox();
+        let mut mb = registry.client_mailbox().expect("mailbox");
         registry.register(TxnId(1), CcMethod::TwoPhaseLocking, &mut mb);
         handle
             .tx

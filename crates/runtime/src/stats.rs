@@ -176,11 +176,25 @@ pub struct StatsSnapshot {
     /// `RuntimeStats` itself.
     pub stale_reply_events: u64,
     /// Live registrations currently parked on the reply-mailbox slab's
-    /// overflow map (index-bucket collisions; always zero on the mpsc
-    /// reply plane). Nonzero is correct but means the packed index is
-    /// undersized for the number of concurrently live transactions.
-    /// Filled in by [`crate::Database::stats`] from the registry.
+    /// overflow map (bucket collisions with the resizable index at its
+    /// growth ceiling; always zero on the mpsc reply plane). Nonzero is
+    /// correct but means `reply_index_max_capacity` is undersized for
+    /// the number of concurrently live transactions. Filled in by
+    /// [`crate::Database::stats`] from the registry.
     pub mailbox_overflow_entries: u64,
+    /// Buckets in the newest generation of the reply plane's resizable
+    /// index (zero on the mpsc reply plane). Filled in by
+    /// [`crate::Database::stats`] from the registry.
+    pub mailbox_index_capacity: u64,
+    /// Completed growths of the reply plane's resizable index since the
+    /// database was opened. Filled in by [`crate::Database::stats`] from
+    /// the registry.
+    pub mailbox_index_resizes: u64,
+    /// Reply deliveries dropped because a live mailbox stayed full past
+    /// `reply_deliver_timeout` (a stalled client thread; the transaction
+    /// recovers through the timeout/restart machinery). Filled in by
+    /// [`crate::Database::stats`] from the registry.
+    pub mailbox_full_drops: u64,
     /// Trace events recorded by the flight-recorder plane across every
     /// lane (0 when tracing is off). Filled in by
     /// [`crate::Database::stats`] from the trace plane.
@@ -216,6 +230,9 @@ impl RuntimeStats {
             selection_nanos: self.selection_nanos.load(Ordering::Relaxed),
             stale_reply_events: 0,
             mailbox_overflow_entries: 0,
+            mailbox_index_capacity: 0,
+            mailbox_index_resizes: 0,
+            mailbox_full_drops: 0,
             trace_events: 0,
             cache: CacheStats {
                 hits: self.cache_hits.load(Ordering::Relaxed),

@@ -16,15 +16,24 @@
 //!   free slot off a lock-free freelist (or lazily grows the slab by a
 //!   chunk), dropping it pushes the slot back. No channel is ever
 //!   allocated per registration.
-//! * **The slab registry** — [`MailboxRegistry`] maps a live `u64` key
-//!   (the runtime uses the transaction id) to its mailbox slot through a
-//!   fixed-size array of packed atomic entries: register is one CAS,
-//!   [`MailboxRegistry::deliver`] is one load plus a verified push,
-//!   deregister is one CAS. No lock is taken on any of them. Two live
-//!   keys that collide on the same bucket (ids a multiple of the index
-//!   size apart) spill into a mutex-guarded overflow map — a
-//!   correctness net that stays empty in practice and is skipped
-//!   entirely (one atomic load) while it is.
+//! * **The resizable index** — [`MailboxRegistry`] maps a live `u64`
+//!   key (the runtime uses the transaction id) to its mailbox slot
+//!   through a chain of power-of-two tables of packed atomic entries.
+//!   Register is one CAS into the newest table, deliver is one pointer
+//!   load plus one bucket load on the fast path, deregister is one CAS.
+//!   No lock is taken on any of them. When live registrations approach
+//!   the newest table's load-factor threshold — or two live keys
+//!   collide on one of its buckets — a doubled table is installed with
+//!   one pointer CAS and subsequent registers land there; entries in
+//!   older tables stay put and are found by walking the (short,
+//!   `prev`-linked) chain until their keys deregister, draining the old
+//!   generations passively. Growth stops at
+//!   [`MailboxOptions::index_max_capacity`]; only a collision at that
+//!   cap spills into the mutex-guarded overflow map, and overflow
+//!   entries migrate back onto the lock-free tables as soon as growth
+//!   or a deregistration frees their bucket. The map is skipped
+//!   entirely (one atomic load) while it is empty — the overwhelmingly
+//!   common case.
 //! * **The generation tag** — slots are reused by later transactions,
 //!   and a delivery can race the slot's rebinding: the producer resolves
 //!   key → slot, the old registration is torn down, a new one binds the
@@ -39,6 +48,16 @@
 //!   leftovers from the previous incarnation, bounding occupancy to one
 //!   incarnation's traffic plus in-flight races.
 //!
+//! Producers never wait unboundedly: a full mailbox whose binding is
+//! live is spun on briefly, then parked in short naps until
+//! [`MailboxOptions::deliver_timeout`] expires, at which point the
+//! event is dropped and counted ([`MailboxRegistry::full_dropped`]) —
+//! a stalled consumer can delay a shard thread, never wedge it. The
+//! same bound applies to [`MailboxRegistry::acquire`]: once
+//! `max_clients` mailboxes are simultaneously held, waiting past
+//! [`MailboxOptions::acquire_timeout`] returns [`SlabExhausted`]
+//! instead of blocking forever.
+//!
 //! [`MailboxOptions::tag_check`] exists solely so the race-test suite
 //! can *disable* the tag machinery (no consumer filtering, no sweep on
 //! register) and demonstrate that the races it guards against are real:
@@ -46,10 +65,11 @@
 //! surfaces in a later incarnation sharing the slot.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::fmt;
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::ring::{self, RingReceiver, RingSender, TrySendError};
 
@@ -59,51 +79,79 @@ type SlotChunk<E> = OnceLock<Box<[Slot<E>]>>;
 /// Slots per lazily initialised slab chunk.
 const CHUNK: usize = 64;
 
-/// A free index bucket. Packed entries put the key's low 48 bits in the
-/// high bits and the slot in the low 16, so no valid entry is all-ones
-/// (slots are capped below `0xFFFF`).
+/// A free index bucket. Packed entries put the key's low 40 bits in the
+/// high bits and the slot in the low 24, so no valid entry is all-ones
+/// (slots are capped below `0xFF_FFFF`).
 const EMPTY: u64 = u64::MAX;
 
-/// Key bits kept in an index entry for verification. Two distinct keys
-/// collide only if they differ by a multiple of 2^48 — unreachable for
-/// keys drawn from a counter.
-const KEY_MASK: u64 = (1 << 48) - 1;
+/// Slot bits in a packed index entry.
+const SLOT_BITS: u32 = 24;
 
-/// Hard cap on slab slots (16-bit slot field, all-ones reserved so a
+/// Key bits kept in an index entry for verification. Two distinct keys
+/// collide only if they differ by a multiple of 2^40 — unreachable for
+/// keys drawn from a counter.
+const KEY_MASK: u64 = (1 << 40) - 1;
+
+/// Hard cap on slab slots (24-bit slot field, all-ones reserved so a
 /// packed entry can never equal [`EMPTY`]).
-const MAX_SLOTS: usize = (1 << 16) - 1;
+const MAX_SLOTS: usize = (1 << SLOT_BITS) - 1;
 
 /// Freelist "no head" sentinel.
 const NO_SLOT: u64 = u32::MAX as u64;
 
+/// Nap length once a full-mailbox delivery has exhausted its spin
+/// budget and moved to timed waiting.
+const FULL_NAP: Duration = Duration::from_micros(50);
+
 fn pack(key: u64, slot: u32) -> u64 {
-    ((key & KEY_MASK) << 16) | slot as u64
+    ((key & KEY_MASK) << SLOT_BITS) | slot as u64
 }
 
 fn entry_matches(entry: u64, key: u64) -> bool {
-    entry != EMPTY && (entry >> 16) == (key & KEY_MASK)
+    entry != EMPTY && (entry >> SLOT_BITS) == (key & KEY_MASK)
 }
 
 fn entry_slot(entry: u64) -> u32 {
-    (entry & 0xFFFF) as u32
+    (entry & ((1 << SLOT_BITS) - 1)) as u32
 }
 
 /// Tuning knobs for a [`MailboxRegistry`].
 #[derive(Debug, Clone, Copy)]
 pub struct MailboxOptions {
-    /// Buckets in the lock-free key index (rounded up to a power of
-    /// two). Two *live* keys landing in one bucket spill to the overflow
-    /// map; with keys from a counter that needs them `index_capacity`
-    /// apart and both still live.
+    /// Buckets in the *initial* lock-free key index table (rounded up to
+    /// a power of two). The index doubles itself towards
+    /// `index_max_capacity` as live registrations approach the current
+    /// table's load-factor threshold or collide on a bucket, so this is
+    /// a starting size, not a ceiling.
     pub index_capacity: usize,
+    /// Ceiling on index growth (rounded up to a power of two, never
+    /// below `index_capacity`). Only once the table is at this size do
+    /// live bucket collisions spill to the mutex-guarded overflow map.
+    pub index_max_capacity: usize,
     /// Bounded capacity of each mailbox ring. Must exceed the events one
     /// incarnation can have outstanding while its consumer is not
     /// draining (for the runtime: replies to every in-flight request),
-    /// or producers briefly spin on the full mailbox.
+    /// or producers wait out — and past `deliver_timeout`, drop on —
+    /// the full mailbox.
     pub mailbox_capacity: usize,
     /// Maximum concurrently acquired mailboxes. The slab grows towards
-    /// this in chunks of 64; acquiring past it waits for a release.
+    /// this in chunks of 64; acquiring past it waits (bounded by
+    /// `acquire_timeout`) for a release.
     pub max_clients: usize,
+    /// How long [`MailboxRegistry::acquire`] may wait for a mailbox to
+    /// be released once all `max_clients` are held before returning
+    /// [`SlabExhausted`].
+    pub acquire_timeout: Duration,
+    /// Spin iterations a delivery burns on a full mailbox with a live
+    /// binding before falling back to timed naps (the consumer drains
+    /// whole rings per wakeup, so in practice the spin alone absorbs
+    /// one scheduling quantum).
+    pub deliver_spin: u32,
+    /// Total time a delivery may wait on a full, live mailbox before
+    /// dropping the event and counting it
+    /// ([`MailboxRegistry::full_dropped`]). Zero means "drop as soon as
+    /// the spin budget is exhausted".
+    pub deliver_timeout: Duration,
     /// The stale-event guard (see the module docs). `false` is a
     /// test-only mutation switch that disables consumer-side tag
     /// filtering *and* the sweep-on-register, modelling a registry
@@ -114,10 +162,96 @@ pub struct MailboxOptions {
 impl Default for MailboxOptions {
     fn default() -> Self {
         MailboxOptions {
-            index_capacity: 4096,
+            index_capacity: 1024,
+            index_max_capacity: 1 << 20,
             mailbox_capacity: 256,
-            max_clients: 4096,
+            max_clients: 65536,
+            acquire_timeout: Duration::from_secs(5),
+            deliver_spin: 64,
+            deliver_timeout: Duration::from_secs(1),
             tag_check: true,
+        }
+    }
+}
+
+/// Error returned by [`MailboxRegistry::acquire`] when every one of the
+/// registry's `max_clients` mailboxes stayed held for the whole
+/// `acquire_timeout`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlabExhausted {
+    /// The registry's `max_clients` setting at the time of the failure.
+    pub max_clients: usize,
+    /// How long the acquire waited before giving up.
+    pub waited: Duration,
+}
+
+impl fmt::Display for SlabExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reply-mailbox slab exhausted: all {} mailboxes stayed held for {:?} \
+             (raise MailboxOptions::max_clients or release mailboxes sooner)",
+            self.max_clients, self.waited
+        )
+    }
+}
+
+impl std::error::Error for SlabExhausted {}
+
+/// One generation of the key index: a power-of-two table of packed
+/// `(key₄₀, slot₂₄)` entries, linked to the generation it replaced.
+/// `prev` is fixed at construction and tables are only freed when the
+/// whole registry drops, so readers walk the chain without any
+/// reclamation protocol; superseded generations drain passively as
+/// their keys deregister.
+struct IndexTable {
+    buckets: Box<[AtomicU64]>,
+    mask: usize,
+    /// Live-registration count at which a register in this table
+    /// triggers growth (3/4 of capacity).
+    grow_at: usize,
+    prev: AtomicPtr<IndexTable>,
+}
+
+impl IndexTable {
+    fn new(capacity: usize, prev: *mut IndexTable) -> Self {
+        IndexTable {
+            buckets: (0..capacity).map(|_| AtomicU64::new(EMPTY)).collect(),
+            mask: capacity - 1,
+            grow_at: capacity - capacity / 4,
+            prev: AtomicPtr::new(prev),
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+}
+
+/// Owner of the table chain: `head` points at the newest generation,
+/// older generations hang off `prev`. Dropping it frees the chain.
+struct IndexChain {
+    head: AtomicPtr<IndexTable>,
+}
+
+impl IndexChain {
+    fn new(capacity: usize) -> Self {
+        let table = Box::into_raw(Box::new(IndexTable::new(capacity, std::ptr::null_mut())));
+        IndexChain {
+            head: AtomicPtr::new(table),
+        }
+    }
+}
+
+impl Drop for IndexChain {
+    fn drop(&mut self) {
+        let mut table = *self.head.get_mut();
+        while !table.is_null() {
+            // Tables are only ever published into this chain and never
+            // unlinked while the registry is alive, so each is freed
+            // exactly once here.
+            let boxed = unsafe { Box::from_raw(table) };
+            table = boxed.prev.load(Ordering::Relaxed);
         }
     }
 }
@@ -129,7 +263,7 @@ struct Slot<E> {
     tx: RingSender<(u64, E)>,
     rx: Mutex<Option<RingReceiver<(u64, E)>>>,
     /// The key currently bound to this slot (0 = unbound). Producers
-    /// re-check it before spinning on a full ring so deliveries to a
+    /// re-check it before waiting on a full ring so deliveries to a
     /// dead registration are dropped, never waited on.
     bound: AtomicU64,
     /// Caller-defined registration metadata (the runtime stores the
@@ -140,10 +274,13 @@ struct Slot<E> {
 }
 
 struct Shared<E> {
-    /// The lock-free key index: packed `(key₄₈, slot₁₆)` entries.
-    index: Box<[AtomicU64]>,
-    index_mask: usize,
-    /// Correctness net for live bucket collisions.
+    /// The resizable lock-free key index (see [`IndexTable`]).
+    index: IndexChain,
+    /// Growth ceiling for the index (power of two).
+    index_max_capacity: usize,
+    /// Completed index growths (generation counter).
+    index_resizes: AtomicU64,
+    /// Correctness net for live bucket collisions at `index_max_capacity`.
     overflow: Mutex<HashMap<u64, u32>>,
     /// Lets `lookup` skip the overflow mutex with one load while the map
     /// is empty (the overwhelmingly common case).
@@ -164,7 +301,13 @@ struct Shared<E> {
     /// sweep-on-register leftovers) — the observable count of the
     /// drop-stale-replies rule firing.
     stale_dropped: AtomicU64,
+    /// Deliveries dropped because a live mailbox stayed full past
+    /// `deliver_timeout`.
+    full_dropped: AtomicU64,
     mailbox_capacity: usize,
+    acquire_timeout: Duration,
+    deliver_spin: u32,
+    deliver_timeout: Duration,
     tag_check: bool,
 }
 
@@ -212,12 +355,25 @@ impl<E> Shared<E> {
         }
     }
 
-    /// Resolve a key to its slot: one bucket load on the fast path, the
-    /// overflow map only while it is provably non-empty.
+    /// The newest index generation. Tables live as long as the registry,
+    /// so the borrow is safe for any caller holding `&self`.
+    fn head_table(&self) -> &IndexTable {
+        unsafe { &*self.index.head.load(Ordering::SeqCst) }
+    }
+
+    /// Resolve a key to its slot: one pointer load plus one bucket load
+    /// on the fast path (key in the newest table), a short `prev`-chain
+    /// walk for keys registered before a growth, the overflow map only
+    /// while it is provably non-empty.
     fn lookup(&self, key: u64) -> Option<u32> {
-        let entry = self.index[(key as usize) & self.index_mask].load(Ordering::SeqCst);
-        if entry_matches(entry, key) {
-            return Some(entry_slot(entry));
+        let mut table = self.index.head.load(Ordering::SeqCst);
+        while !table.is_null() {
+            let t = unsafe { &*table };
+            let entry = t.buckets[(key as usize) & t.mask].load(Ordering::SeqCst);
+            if entry_matches(entry, key) {
+                return Some(entry_slot(entry));
+            }
+            table = t.prev.load(Ordering::SeqCst);
         }
         if self.overflow_len.load(Ordering::SeqCst) > 0 {
             return self
@@ -230,45 +386,151 @@ impl<E> Shared<E> {
         None
     }
 
-    fn deregister(&self, key: u64) {
-        let bucket = &self.index[(key as usize) & self.index_mask];
-        let entry = bucket.load(Ordering::SeqCst);
-        let slot = if entry_matches(entry, key) {
-            // CAS, not a store: a concurrent register for a colliding key
-            // must not be clobbered. (It cannot swing to another entry
-            // for *our* key — keys are never reused.) Losing the CAS
-            // means a racing deregister of the same key already removed
-            // it — only the winner unbinds and decrements `live`.
-            bucket
-                .compare_exchange(entry, EMPTY, Ordering::SeqCst, Ordering::SeqCst)
-                .ok()
-                .map(|_| entry_slot(entry))
-        } else if self.overflow_len.load(Ordering::SeqCst) > 0 {
-            let removed = self
-                .overflow
-                .lock()
-                .expect("overflow map poisoned")
-                .remove(&key);
-            if removed.is_some() {
-                self.overflow_len.fetch_sub(1, Ordering::SeqCst);
+    /// Install a doubled table on top of `from`. A no-op when `from` is
+    /// no longer the newest generation (someone else already grew) or
+    /// the ceiling is reached. On success, overflow entries are given
+    /// the chance to migrate into the fresh buckets.
+    fn grow(&self, from: *mut IndexTable) {
+        if self.index.head.load(Ordering::SeqCst) != from {
+            return;
+        }
+        let capacity = unsafe { &*from }.capacity();
+        if capacity >= self.index_max_capacity {
+            return;
+        }
+        let raw = Box::into_raw(Box::new(IndexTable::new(capacity * 2, from)));
+        match self
+            .index
+            .head
+            .compare_exchange(from, raw, Ordering::SeqCst, Ordering::SeqCst)
+        {
+            Ok(_) => {
+                self.index_resizes.fetch_add(1, Ordering::SeqCst);
+                self.drain_overflow();
             }
-            removed
-        } else {
-            None
-        };
-        if let Some(slot) = slot {
-            let _ =
-                self.slot(slot)
-                    .bound
-                    .compare_exchange(key, 0, Ordering::SeqCst, Ordering::SeqCst);
-            self.live.fetch_sub(1, Ordering::SeqCst);
+            Err(_) => {
+                // Lost the install race; the winner's table serves. Ours
+                // was never published, so freeing it here is safe.
+                drop(unsafe { Box::from_raw(raw) });
+            }
+        }
+    }
+
+    /// Move overflow-map entries whose bucket in the newest table is
+    /// free back onto the lock-free path. The table insert happens
+    /// *before* the map removal and both happen under the overflow
+    /// lock, so a concurrent deregister either finds the key in the
+    /// table, or misses, takes this lock, misses the map too — and its
+    /// bounded chain rescan (ordered after this lock release) finds the
+    /// migrated entry.
+    fn drain_overflow(&self) {
+        if self.overflow_len.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let mut map = self.overflow.lock().expect("overflow map poisoned");
+        map.retain(|&key, &mut slot| {
+            let t = self.head_table();
+            let bucket = &t.buckets[(key as usize) & t.mask];
+            if bucket
+                .compare_exchange(EMPTY, pack(key, slot), Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                self.overflow_len.fetch_sub(1, Ordering::SeqCst);
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// CAS `key`'s entry out of whichever generation holds it. `None`
+    /// means the chain has no live entry for it (or a racing deregister
+    /// of the same key won the CAS).
+    fn remove_from_chain(&self, key: u64) -> Option<u32> {
+        let mut table = self.index.head.load(Ordering::SeqCst);
+        while !table.is_null() {
+            let t = unsafe { &*table };
+            let bucket = &t.buckets[(key as usize) & t.mask];
+            let entry = bucket.load(Ordering::SeqCst);
+            if entry_matches(entry, key) {
+                // CAS, not a store: a concurrent register for a colliding
+                // key must not be clobbered. (It cannot swing to another
+                // entry for *our* key — keys are never reused.) Losing
+                // the CAS means a racing deregister of the same key
+                // already removed it — only the winner unbinds and
+                // decrements `live`.
+                return bucket
+                    .compare_exchange(entry, EMPTY, Ordering::SeqCst, Ordering::SeqCst)
+                    .ok()
+                    .map(|_| entry_slot(entry));
+            }
+            table = t.prev.load(Ordering::SeqCst);
+        }
+        None
+    }
+
+    fn deregister(&self, key: u64) {
+        // Two chain passes: a concurrent overflow→table migration can
+        // move the key between our chain scan and our map check. The
+        // migration inserts into the table before removing from the map
+        // (both under the overflow lock we take below), so after a
+        // locked map miss one rescan is guaranteed to see the entry.
+        for pass in 0..2 {
+            if let Some(slot) = self.remove_from_chain(key) {
+                self.finish_deregister(key, slot);
+                // Scrub the transient duplicate a migration may have
+                // left in the map, then let waiting overflow entries
+                // claim the bucket we just freed.
+                self.scrub_overflow(key);
+                self.drain_overflow();
+                return;
+            }
+            if self.overflow_len.load(Ordering::SeqCst) > 0 {
+                let removed = self
+                    .overflow
+                    .lock()
+                    .expect("overflow map poisoned")
+                    .remove(&key);
+                if let Some(slot) = removed {
+                    self.overflow_len.fetch_sub(1, Ordering::SeqCst);
+                    self.finish_deregister(key, slot);
+                    return;
+                }
+            } else if pass == 1 {
+                return;
+            }
+        }
+    }
+
+    fn finish_deregister(&self, key: u64, slot: u32) {
+        let _ = self
+            .slot(slot)
+            .bound
+            .compare_exchange(key, 0, Ordering::SeqCst, Ordering::SeqCst);
+        self.live.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Remove a possibly lingering overflow copy of `key` (the
+    /// insert-before-remove window of [`Shared::drain_overflow`]).
+    fn scrub_overflow(&self, key: u64) {
+        if self.overflow_len.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let removed = self
+            .overflow
+            .lock()
+            .expect("overflow map poisoned")
+            .remove(&key);
+        if removed.is_some() {
+            self.overflow_len.fetch_sub(1, Ordering::SeqCst);
         }
     }
 }
 
 /// The shared reply registry: a slab of reusable mailboxes plus the
-/// lock-free key index routing deliveries to them. Cheap to share via
-/// the handles it hands out; see the module docs for the design.
+/// resizable lock-free key index routing deliveries to them. Cheap to
+/// share via the handles it hands out; see the module docs for the
+/// design.
 pub struct MailboxRegistry<E> {
     shared: Arc<Shared<E>>,
 }
@@ -288,10 +550,12 @@ impl<E: Send> MailboxRegistry<E> {
     /// A registry with explicit tuning.
     pub fn with_options(opts: MailboxOptions) -> Self {
         let index_cap = opts.index_capacity.next_power_of_two().max(64);
+        let index_max = opts.index_max_capacity.next_power_of_two().max(index_cap);
         let max_slots = opts.max_clients.clamp(1, MAX_SLOTS);
         let shared = Arc::new(Shared {
-            index: (0..index_cap).map(|_| AtomicU64::new(EMPTY)).collect(),
-            index_mask: index_cap - 1,
+            index: IndexChain::new(index_cap),
+            index_max_capacity: index_max,
+            index_resizes: AtomicU64::new(0),
             overflow: Mutex::new(HashMap::new()),
             overflow_len: AtomicUsize::new(0),
             chunks: (0..max_slots.div_ceil(CHUNK))
@@ -302,17 +566,24 @@ impl<E: Send> MailboxRegistry<E> {
             free_head: AtomicU64::new(NO_SLOT),
             live: AtomicUsize::new(0),
             stale_dropped: AtomicU64::new(0),
+            full_dropped: AtomicU64::new(0),
             mailbox_capacity: opts.mailbox_capacity.max(4),
+            acquire_timeout: opts.acquire_timeout,
+            deliver_spin: opts.deliver_spin,
+            deliver_timeout: opts.deliver_timeout,
             tag_check: opts.tag_check,
         });
         MailboxRegistry { shared }
     }
 
     /// Take a mailbox out of the slab: a freelist pop when one is free, a
-    /// lazily initialised chunk slot otherwise. Blocks (yielding) only
-    /// when `max_clients` mailboxes are simultaneously held.
-    pub fn acquire(&self) -> Mailbox<E> {
+    /// lazily initialised chunk slot otherwise. Waits only when
+    /// `max_clients` mailboxes are simultaneously held, and no longer
+    /// than `acquire_timeout` before failing with [`SlabExhausted`].
+    pub fn acquire(&self) -> Result<Mailbox<E>, SlabExhausted> {
         let shared = &self.shared;
+        let mut deadline: Option<Instant> = None;
+        let mut waits = 0u32;
         let slot = loop {
             if let Some(idx) = shared.freelist_pop() {
                 break idx;
@@ -335,9 +606,22 @@ impl<E: Send> MailboxRegistry<E> {
                 });
                 break n as u32;
             }
-            // Slab exhausted: hand the claim back and wait for a release.
+            // Slab exhausted: hand the claim back and wait (bounded) for
+            // a release.
             shared.allocated.fetch_sub(1, Ordering::SeqCst);
-            thread::yield_now();
+            let deadline = *deadline.get_or_insert_with(|| Instant::now() + shared.acquire_timeout);
+            if Instant::now() >= deadline {
+                return Err(SlabExhausted {
+                    max_clients: shared.max_slots,
+                    waited: shared.acquire_timeout,
+                });
+            }
+            waits += 1;
+            if waits <= 64 {
+                thread::yield_now();
+            } else {
+                thread::sleep(Duration::from_micros(100));
+            }
         };
         let rx = shared
             .slot(slot)
@@ -346,13 +630,13 @@ impl<E: Send> MailboxRegistry<E> {
             .expect("slot receiver poisoned")
             .take()
             .expect("a free slot parks its receiver");
-        Mailbox {
+        Ok(Mailbox {
             shared: Arc::clone(shared),
             slot,
             rx: Some(rx),
             pending: VecDeque::new(),
             scratch: Vec::new(),
-        }
+        })
     }
 
     /// Bind `key` (nonzero, never reused) to `mailbox` with caller
@@ -361,7 +645,12 @@ impl<E: Send> MailboxRegistry<E> {
     /// Must complete before any event addressed to `key` can be produced
     /// — the runtime registers before the incarnation's first request
     /// message leaves the client thread.
-    pub fn register(&self, key: u64, meta: u64, mailbox: &mut Mailbox<E>) {
+    ///
+    /// Returns `true` when the registration had to take the overflow-map
+    /// path (a live bucket collision with the index already at
+    /// `index_max_capacity`) — the signal callers use to observe the
+    /// transition off the lock-free path.
+    pub fn register(&self, key: u64, meta: u64, mailbox: &mut Mailbox<E>) -> bool {
         debug_assert!(key != 0, "key 0 is the unbound sentinel");
         debug_assert!(
             Arc::ptr_eq(&self.shared, &mailbox.shared),
@@ -371,23 +660,42 @@ impl<E: Send> MailboxRegistry<E> {
         if shared.tag_check {
             mailbox.clear();
         }
+        debug_assert!(
+            shared.lookup(key).is_none(),
+            "key {key} registered while live"
+        );
         let slot = shared.slot(mailbox.slot);
         slot.meta.store(meta, Ordering::SeqCst);
         slot.bound.store(key, Ordering::SeqCst);
-        let bucket = &shared.index[(key as usize) & shared.index_mask];
-        debug_assert!(
-            !entry_matches(bucket.load(Ordering::SeqCst), key),
-            "key {key} registered while live"
-        );
         let packed = pack(key, mailbox.slot);
-        if bucket
-            .compare_exchange(EMPTY, packed, Ordering::SeqCst, Ordering::SeqCst)
-            .is_err()
-        {
-            // Bucket held by a live colliding key: the overflow map is
-            // the slow home for this registration. The length counter is
-            // raised first so a resolver that misses the bucket checks
-            // the map from the moment the entry exists.
+        let overflowed = loop {
+            let head = shared.index.head.load(Ordering::SeqCst);
+            let t = unsafe { &*head };
+            if t.capacity() < shared.index_max_capacity
+                && shared.live.load(Ordering::SeqCst) + 1 > t.grow_at
+            {
+                // Load factor reached: install a doubled generation and
+                // retry there (amortised — the fast path stays one CAS).
+                shared.grow(head);
+                continue;
+            }
+            let bucket = &t.buckets[(key as usize) & t.mask];
+            if bucket
+                .compare_exchange(EMPTY, packed, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                break false;
+            }
+            // Bucket held by a live colliding key. Growth rehashes new
+            // registrations across twice the buckets; only at the
+            // ceiling does the overflow map become the slow home.
+            if t.capacity() < shared.index_max_capacity {
+                shared.grow(head);
+                continue;
+            }
+            // The length counter is raised first so a resolver that
+            // misses the chain checks the map from the moment the entry
+            // exists.
             shared.overflow_len.fetch_add(1, Ordering::SeqCst);
             let prev = shared
                 .overflow
@@ -395,8 +703,10 @@ impl<E: Send> MailboxRegistry<E> {
                 .expect("overflow map poisoned")
                 .insert(key, mailbox.slot);
             debug_assert!(prev.is_none(), "key {key} registered while live");
-        }
+            break true;
+        };
         shared.live.fetch_add(1, Ordering::SeqCst);
+        overflowed
     }
 
     /// Tear down `key`'s registration. Deliveries for it become no-ops;
@@ -409,10 +719,10 @@ impl<E: Send> MailboxRegistry<E> {
     /// Route an event to the mailbox `key` is bound to. Returns `false`
     /// — dropping the event — when the key is not live, which is exactly
     /// the simulator's stale-reply rule. A full mailbox with a live
-    /// binding is waited out with yields (the consumer drains whole
-    /// rings per wakeup, so the wait is bounded by one scheduling
-    /// quantum in practice); a full mailbox whose binding died mid-wait
-    /// drops the event instead.
+    /// binding is spun on briefly, then napped on until
+    /// `deliver_timeout`, after which the event is dropped and counted
+    /// ([`MailboxRegistry::full_dropped`]); a full mailbox whose binding
+    /// died mid-wait drops the event immediately.
     pub fn deliver(&self, key: u64, event: E) -> bool {
         let shared = &self.shared;
         let Some(slot_idx) = shared.lookup(key) else {
@@ -420,6 +730,8 @@ impl<E: Send> MailboxRegistry<E> {
         };
         let slot = shared.slot(slot_idx);
         let mut tagged = (key, event);
+        let mut spins = 0u32;
+        let mut deadline: Option<Instant> = None;
         loop {
             match slot.tx.try_send(tagged) {
                 Ok(()) => return true,
@@ -428,7 +740,18 @@ impl<E: Send> MailboxRegistry<E> {
                         return false;
                     }
                     tagged = v;
-                    thread::yield_now();
+                    spins += 1;
+                    if spins <= shared.deliver_spin {
+                        thread::yield_now();
+                    } else {
+                        let deadline = *deadline
+                            .get_or_insert_with(|| Instant::now() + shared.deliver_timeout);
+                        if Instant::now() >= deadline {
+                            shared.full_dropped.fetch_add(1, Ordering::Relaxed);
+                            return false;
+                        }
+                        thread::sleep(FULL_NAP);
+                    }
                 }
                 // Unreachable while the slab is alive (it owns a sender),
                 // but a dropped registry mid-delivery is not an error.
@@ -477,9 +800,27 @@ impl<E: Send> MailboxRegistry<E> {
         self.shared.stale_dropped.load(Ordering::Relaxed)
     }
 
-    /// Registrations that had to take the overflow path (live bucket
-    /// collisions). Diagnostics: nonzero is correct but means the index
-    /// is undersized for the live-key spread.
+    /// Deliveries dropped because a live mailbox stayed full past
+    /// `deliver_timeout` — nonzero means a consumer stalled long enough
+    /// to cost it replies (the runtime's restart machinery recovers).
+    pub fn full_dropped(&self) -> u64 {
+        self.shared.full_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Buckets in the newest index generation.
+    pub fn index_capacity(&self) -> usize {
+        self.shared.head_table().capacity()
+    }
+
+    /// Completed index growths since construction.
+    pub fn index_resizes(&self) -> u64 {
+        self.shared.index_resizes.load(Ordering::SeqCst)
+    }
+
+    /// Registrations currently parked in the overflow map (live bucket
+    /// collisions with the index at `index_max_capacity`). Diagnostics:
+    /// nonzero is correct but means the ceiling is undersized for the
+    /// live-key spread.
     pub fn overflow_entries(&self) -> usize {
         self.shared.overflow_len.load(Ordering::SeqCst)
     }
@@ -586,9 +927,13 @@ mod tests {
         MailboxRegistry::with_options(opts)
     }
 
+    /// A small fixed-size index (growth disabled by the matching
+    /// ceiling), matching the PR-4 behaviour most tests were written
+    /// against.
     fn small() -> MailboxOptions {
         MailboxOptions {
             index_capacity: 64,
+            index_max_capacity: 64,
             mailbox_capacity: 8,
             max_clients: 8,
             ..MailboxOptions::default()
@@ -598,7 +943,7 @@ mod tests {
     #[test]
     fn register_deliver_receive_deregister_roundtrip() {
         let reg = registry(small());
-        let mut mb = reg.acquire();
+        let mut mb = reg.acquire().unwrap();
         reg.register(7, 42, &mut mb);
         assert_eq!(reg.len(), 1);
         assert_eq!(reg.resolve_meta(7), Some(42));
@@ -613,7 +958,7 @@ mod tests {
     #[test]
     fn slot_reuse_discards_earlier_incarnations_events() {
         let reg = registry(small());
-        let mut mb = reg.acquire();
+        let mut mb = reg.acquire().unwrap();
         reg.register(1, 0, &mut mb);
         assert!(reg.deliver(1, 10));
         assert!(reg.deliver(1, 11));
@@ -634,7 +979,7 @@ mod tests {
         // Simulate the delivery/rebind race directly: an event tagged
         // with the old key lands *after* the new registration's sweep.
         let reg = registry(small());
-        let mut mb = reg.acquire();
+        let mut mb = reg.acquire().unwrap();
         reg.register(1, 0, &mut mb);
         reg.deregister(1);
         reg.register(2, 0, &mut mb);
@@ -661,7 +1006,7 @@ mod tests {
             tag_check: false,
             ..small()
         });
-        let mut mb = reg.acquire();
+        let mut mb = reg.acquire().unwrap();
         reg.register(1, 0, &mut mb);
         assert!(reg.deliver(1, 999));
         reg.deregister(1);
@@ -678,27 +1023,30 @@ mod tests {
     #[test]
     fn mailboxes_recycle_through_the_freelist() {
         let reg = registry(small());
-        let first = reg.acquire();
+        let first = reg.acquire().unwrap();
         let first_slot = first.slot();
         drop(first);
-        let second = reg.acquire();
+        let second = reg.acquire().unwrap();
         assert_eq!(
             second.slot(),
             first_slot,
             "a released slot is reused before the slab grows"
         );
-        let third = reg.acquire();
+        let third = reg.acquire().unwrap();
         assert_ne!(third.slot(), second.slot());
     }
 
     #[test]
-    fn colliding_live_keys_take_the_overflow_path() {
-        let reg = registry(small()); // index capacity 64
-        let mut a = reg.acquire();
-        let mut b = reg.acquire();
+    fn colliding_live_keys_take_the_overflow_path_at_the_ceiling() {
+        let reg = registry(small()); // index capacity 64 == ceiling
+        let mut a = reg.acquire().unwrap();
+        let mut b = reg.acquire().unwrap();
         // 5 and 69 share bucket 5 of a 64-bucket index.
-        reg.register(5, 0, &mut a);
-        reg.register(69, 0, &mut b);
+        assert!(!reg.register(5, 0, &mut a));
+        assert!(
+            reg.register(69, 0, &mut b),
+            "the collision at the ceiling is reported"
+        );
         assert_eq!(reg.overflow_entries(), 1);
         assert!(reg.deliver(5, 50));
         assert!(reg.deliver(69, 690));
@@ -716,9 +1064,106 @@ mod tests {
     }
 
     #[test]
+    fn colliding_live_keys_grow_the_index_instead_of_overflowing() {
+        let reg = registry(MailboxOptions {
+            index_max_capacity: 1024,
+            ..small()
+        });
+        let mut a = reg.acquire().unwrap();
+        let mut b = reg.acquire().unwrap();
+        // 5 and 69 collide in a 64-bucket table but not a 128-bucket one.
+        assert!(!reg.register(5, 0, &mut a));
+        assert!(!reg.register(69, 0, &mut b));
+        assert_eq!(reg.overflow_entries(), 0, "growth absorbed the collision");
+        assert!(reg.index_resizes() >= 1);
+        assert!(reg.index_capacity() >= 128);
+        // Key 5 lives in the superseded generation, 69 in the new one;
+        // both stay deliverable through the chain.
+        assert!(reg.deliver(5, 50));
+        assert!(reg.deliver(69, 690));
+        assert_eq!(a.recv_timeout(5, Duration::from_secs(1)), Some(50));
+        assert_eq!(b.recv_timeout(69, Duration::from_secs(1)), Some(690));
+        assert_eq!(reg.resolve_meta(5), Some(0));
+        reg.deregister(5);
+        reg.deregister(69);
+        assert_eq!(reg.len(), 0);
+    }
+
+    #[test]
+    fn load_factor_growth_keeps_a_dense_key_range_lock_free() {
+        let reg = registry(MailboxOptions {
+            index_capacity: 64,
+            index_max_capacity: 1 << 12,
+            mailbox_capacity: 4,
+            max_clients: 256,
+            ..MailboxOptions::default()
+        });
+        let mut boxes = Vec::new();
+        for key in 1..=256u64 {
+            let mut mb = reg.acquire().unwrap();
+            assert!(
+                !reg.register(key, key, &mut mb),
+                "no overflow while growing"
+            );
+            boxes.push((key, mb));
+        }
+        assert_eq!(reg.len(), 256);
+        assert_eq!(reg.overflow_entries(), 0);
+        assert!(reg.index_resizes() >= 2, "64 buckets cannot hold 256 keys");
+        assert!(reg.index_capacity() >= 512, "3/4 load factor at 256 live");
+        // Every key — whichever generation holds it — delivers and
+        // resolves.
+        for (key, mb) in boxes.iter_mut() {
+            assert_eq!(reg.resolve_meta(*key), Some(*key));
+            assert!(reg.deliver(*key, *key * 10));
+            assert_eq!(
+                mb.recv_timeout(*key, Duration::from_secs(1)),
+                Some(*key * 10)
+            );
+        }
+        for (key, _) in &boxes {
+            reg.deregister(*key);
+        }
+        assert_eq!(reg.len(), 0);
+        let resizes = reg.index_resizes();
+        drop(boxes);
+        // New registrations land in the newest generation; no further
+        // growth is needed at this population.
+        let mut mb = reg.acquire().unwrap();
+        assert!(!reg.register(1000, 0, &mut mb));
+        assert_eq!(reg.index_resizes(), resizes);
+        reg.deregister(1000);
+    }
+
+    #[test]
+    fn overflow_entries_migrate_back_when_their_bucket_frees() {
+        let reg = registry(small()); // 64 buckets, growth disabled
+        let mut a = reg.acquire().unwrap();
+        let mut b = reg.acquire().unwrap();
+        reg.register(5, 0, &mut a);
+        assert!(reg.register(69, 7, &mut b));
+        assert_eq!(reg.overflow_entries(), 1);
+        // Deregistering the bucket holder re-homes the overflow entry
+        // onto the lock-free table.
+        reg.deregister(5);
+        assert_eq!(
+            reg.overflow_entries(),
+            0,
+            "the freed bucket reclaimed the overflow entry"
+        );
+        assert_eq!(reg.len(), 1);
+        assert!(reg.deliver(69, 690), "migrated entry still routes");
+        assert_eq!(b.recv_timeout(69, Duration::from_secs(1)), Some(690));
+        assert_eq!(reg.resolve_meta(69), Some(7));
+        reg.deregister(69);
+        assert_eq!(reg.len(), 0);
+        assert_eq!(reg.overflow_entries(), 0);
+    }
+
+    #[test]
     fn try_deliver_drops_on_full_instead_of_waiting() {
         let reg = registry(small()); // capacity 8
-        let mut mb = reg.acquire();
+        let mut mb = reg.acquire().unwrap();
         reg.register(1, 0, &mut mb);
         for i in 0..8 {
             assert!(reg.try_deliver(1, i));
@@ -733,7 +1178,7 @@ mod tests {
     #[test]
     fn full_mailbox_with_dead_binding_drops_instead_of_spinning() {
         let reg = registry(small()); // capacity 8
-        let mut mb = reg.acquire();
+        let mut mb = reg.acquire().unwrap();
         reg.register(1, 0, &mut mb);
         for i in 0..8 {
             assert!(reg.deliver(1, i));
@@ -749,12 +1194,38 @@ mod tests {
         });
         assert!(!reg.deliver(1, 99));
         t.join().unwrap();
+        assert_eq!(reg.full_dropped(), 0, "a dead binding is not a full drop");
+    }
+
+    #[test]
+    fn full_live_mailbox_drops_after_the_bounded_wait() {
+        let reg = registry(MailboxOptions {
+            deliver_spin: 4,
+            deliver_timeout: Duration::from_millis(25),
+            ..small()
+        });
+        let mut mb = reg.acquire().unwrap();
+        reg.register(1, 0, &mut mb);
+        for i in 0..8 {
+            assert!(reg.deliver(1, i));
+        }
+        // The binding stays live and the consumer never drains: the
+        // delivery must come back within the bound, counted.
+        let begun = Instant::now();
+        assert!(!reg.deliver(1, 99));
+        assert!(
+            begun.elapsed() < Duration::from_secs(2),
+            "the wait is bounded"
+        );
+        assert_eq!(reg.full_dropped(), 1);
+        assert_eq!(mb.recv_timeout(1, Duration::from_secs(1)), Some(0));
+        reg.deregister(1);
     }
 
     #[test]
     fn dropping_a_registered_mailbox_deregisters_it() {
         let reg = registry(small());
-        let mut mb = reg.acquire();
+        let mut mb = reg.acquire().unwrap();
         reg.register(3, 9, &mut mb);
         drop(mb);
         assert_eq!(reg.len(), 0, "drop tears the registration down");
@@ -767,11 +1238,33 @@ mod tests {
             max_clients: 1,
             ..small()
         }));
-        let held = reg.acquire();
+        let held = reg.acquire().unwrap();
         let reg2 = Arc::clone(&reg);
-        let waiter = std::thread::spawn(move || reg2.acquire().slot());
+        let waiter = std::thread::spawn(move || reg2.acquire().unwrap().slot());
         std::thread::sleep(Duration::from_millis(20));
         drop(held);
         assert_eq!(waiter.join().unwrap(), 0, "the lone slot is recycled");
+    }
+
+    #[test]
+    fn acquire_fails_with_a_clear_error_once_the_wait_expires() {
+        let reg = registry(MailboxOptions {
+            max_clients: 1,
+            acquire_timeout: Duration::from_millis(30),
+            ..small()
+        });
+        let _held = reg.acquire().unwrap();
+        let begun = Instant::now();
+        let err = match reg.acquire() {
+            Ok(_) => panic!("acquire must fail while the lone mailbox is held"),
+            Err(err) => err,
+        };
+        assert!(begun.elapsed() >= Duration::from_millis(30));
+        assert_eq!(err.max_clients, 1);
+        let msg = err.to_string();
+        assert!(
+            msg.contains("all 1 mailboxes") && msg.contains("max_clients"),
+            "error names the limit: {msg}"
+        );
     }
 }

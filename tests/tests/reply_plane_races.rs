@@ -27,7 +27,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use simkit::rng::SimRng;
-use transport::mailbox::{MailboxOptions, MailboxRegistry};
+use transport::mailbox::{Mailbox, MailboxOptions, MailboxRegistry};
 
 const CLIENTS: usize = 8;
 const PRODUCERS: usize = 4;
@@ -40,12 +40,15 @@ type Ev = u64;
 
 fn churn_options(tag_check: bool) -> MailboxOptions {
     MailboxOptions {
-        // Small index: live-key collisions (the overflow path) occur
-        // under churn, so the slow home is raced too.
+        // Small index pinned at its ceiling: live-key collisions (the
+        // overflow path) occur under churn, so the slow home is raced
+        // too. The resizable-index churn gets its own test below.
         index_capacity: 64,
+        index_max_capacity: 64,
         mailbox_capacity: 32,
         max_clients: CLIENTS,
         tag_check,
+        ..MailboxOptions::default()
     }
 }
 
@@ -94,7 +97,7 @@ fn run_churn(registry: &MailboxRegistry<Ev>, run_for: Duration, seed: u64) -> (u
                 // One mailbox per client thread, reused across every
                 // incarnation below — the allocation-free design under
                 // test.
-                let mut mailbox = registry.acquire();
+                let mut mailbox = registry.acquire().expect("mailbox slab exhausted");
                 while !stop.load(Ordering::Relaxed) {
                     let key = next_key.fetch_add(1, Ordering::Relaxed);
                     registry.register(key, 0, &mut mailbox);
@@ -192,6 +195,7 @@ fn victim_marker_racing_reply_batches_is_never_lost() {
         mailbox_capacity: 32,
         max_clients: 2,
         tag_check: true,
+        ..MailboxOptions::default()
     });
     let current = Arc::new(AtomicU64::new(0));
     let stop = Arc::new(AtomicBool::new(false));
@@ -213,7 +217,7 @@ fn victim_marker_racing_reply_batches_is_never_lost() {
         }
         // The "client": per incarnation, waits for the detector's marker
         // amid the reply noise.
-        let mut mailbox = registry.acquire();
+        let mut mailbox = registry.acquire().expect("mailbox slab exhausted");
         let mut rng = SimRng::new(0xDEAD10C);
         for round in 1..=ROUNDS {
             let key = round;
@@ -270,7 +274,7 @@ fn churn_leaves_consistent_bookkeeping() {
         0,
         "collision entries were cleaned up"
     );
-    let mut mailbox = registry.acquire();
+    let mut mailbox = registry.acquire().expect("mailbox slab exhausted");
     registry.register(u64::MAX - 1, 7, &mut mailbox);
     assert!(registry.deliver(u64::MAX - 1, 42));
     assert_eq!(
@@ -279,4 +283,145 @@ fn churn_leaves_consistent_bookkeeping() {
     );
     assert_eq!(registry.resolve_meta(u64::MAX - 1), Some(7));
     registry.deregister(u64::MAX - 1);
+}
+
+/// Shared harness for the resizable-index tests: ramp `ramp_n` keys to
+/// concurrently live (each holding its own mailbox) while churner
+/// threads cycle short-lived incarnations through the same index, then
+/// deliver exactly one payload to every held key and require it back.
+/// Returns `(index_capacity, index_resizes, overflow_entries)` sampled
+/// at peak liveness.
+fn ramp_under_churn(ramp_n: usize, opts: MailboxOptions) -> (usize, u64, usize) {
+    const CHURNERS: u64 = 3;
+    let registry = MailboxRegistry::<Ev>::with_options(opts);
+    let stop = Arc::new(AtomicBool::new(false));
+    let leaks = Arc::new(AtomicU64::new(0));
+    let mut at_peak = (0, 0, 0);
+
+    std::thread::scope(|scope| {
+        // Churners register/deliver/deregister transient keys (disjoint
+        // from the ramp's key range) so index growth races live
+        // registration traffic, not a quiesced registry.
+        for t in 0..CHURNERS {
+            let stop = Arc::clone(&stop);
+            let leaks = Arc::clone(&leaks);
+            let registry = registry.clone();
+            scope.spawn(move || {
+                let mut mailbox = registry.acquire().expect("mailbox slab exhausted");
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let key = (1 << 32) + t + n * CHURNERS;
+                    n += 1;
+                    registry.register(key, 0, &mut mailbox);
+                    registry.try_deliver(key, key);
+                    if let Some(payload) = mailbox.recv_timeout(key, Duration::from_millis(1)) {
+                        if payload != key {
+                            leaks.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    registry.deregister(key);
+                }
+            });
+        }
+
+        let mut held: Vec<(u64, Mailbox<Ev>)> = Vec::with_capacity(ramp_n);
+        for i in 0..ramp_n {
+            let key = (i + 1) as u64;
+            let mut mailbox = registry.acquire().expect("mailbox slab exhausted");
+            registry.register(key, 0, &mut mailbox);
+            held.push((key, mailbox));
+        }
+        // Every held key must still be individually addressable at peak
+        // liveness — and must receive its own payload, never another
+        // incarnation's.
+        for (key, mailbox) in &mut held {
+            assert!(
+                registry.deliver(*key, *key),
+                "delivery to live key {key} was refused at peak liveness"
+            );
+            assert_eq!(
+                mailbox.recv_timeout(*key, Duration::from_secs(5)),
+                Some(*key),
+                "held key {key} lost (or mis-received) its reply"
+            );
+        }
+        at_peak = (
+            registry.index_capacity(),
+            registry.index_resizes(),
+            registry.overflow_entries(),
+        );
+        stop.store(true, Ordering::Relaxed);
+        for (key, _) in &held {
+            registry.deregister(*key);
+        }
+    });
+
+    assert_eq!(
+        leaks.load(Ordering::Relaxed),
+        0,
+        "a churner observed a stale reply while the index was resizing"
+    );
+    assert_eq!(registry.len(), 0, "every registration was torn down");
+    assert_eq!(
+        registry.overflow_entries(),
+        0,
+        "overflow drained after teardown"
+    );
+    at_peak
+}
+
+/// Tentpole race certification: growing the index from a deliberately
+/// tiny starting table while churners race register/deliver/deregister
+/// traffic through it must lose nothing — and must actually have grown,
+/// or the test proved nothing about resizing.
+#[test]
+fn index_growth_under_churn_never_loses_a_delivery() {
+    let (capacity, resizes, _) = ramp_under_churn(
+        4096,
+        MailboxOptions {
+            index_capacity: 64,
+            mailbox_capacity: 8,
+            max_clients: 4096 + 64,
+            tag_check: true,
+            ..MailboxOptions::default()
+        },
+    );
+    assert!(
+        resizes >= 6,
+        "ramping 4096 live keys from 64 buckets grew only {resizes} times"
+    );
+    assert!(
+        capacity >= 4096,
+        "index stayed at {capacity} buckets under a 4096-key live set"
+    );
+}
+
+/// The acceptance gate for the old 4096-bucket ceiling: 32768 keys —
+/// 8x the fixed index PR 4 shipped — concurrently live under churn,
+/// with zero registrations shunted to the mutexed overflow map and
+/// zero stale-reply leaks.
+#[test]
+fn scale_32768_live_keys_stays_off_the_overflow_path() {
+    let (capacity, resizes, overflow) = ramp_under_churn(
+        32_768,
+        MailboxOptions {
+            index_capacity: 1024,
+            mailbox_capacity: 8,
+            max_clients: 32_768 + 64,
+            tag_check: true,
+            ..MailboxOptions::default()
+        },
+    );
+    assert_eq!(
+        overflow, 0,
+        "live registrations leaked onto the overflow map below the growth ceiling"
+    );
+    assert!(
+        resizes > 0,
+        "the index never resized on the way to 32768 live keys"
+    );
+    assert!(
+        capacity >= 32_768,
+        "index stopped at {capacity} buckets under a 32768-key live set"
+    );
 }
