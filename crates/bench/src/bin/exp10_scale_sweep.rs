@@ -26,6 +26,14 @@
 //!    wide) crossed with uniform (`theta = 0`) and YCSB-hot
 //!    (`theta = 0.99`) access, with the reply-plane health counters and
 //!    the serializability oracle on every cell.
+//! 4. **Section D (fast path, PR 8)** — what does the coordination-
+//!    avoidance bypass buy on an increment-heavy mix? Clients interleave
+//!    commutative two-item adds (4-in-5, classified confluent and routed
+//!    around the queue managers) with coordinated read-modify-write
+//!    transfers (1-in-5) on the same skewed items; each cell runs twice,
+//!    bypass on and off, reporting applied/refused counts, the bypass
+//!    commit rate and the speedup over the all-coordinated twin — every
+//!    history still replayed through the serializability oracle.
 //!
 //! Run with: `cargo run --release -p bench --bin exp10_scale_sweep`
 //!
@@ -36,7 +44,12 @@
 //!   the Section B cell both held at least `<live>` concurrently open
 //!   registrations with `mailbox_overflow_entries == 0` and no stale
 //!   leak.
-//! * `EXP10_TXNS=<n>` — Section C transactions per client (default 150).
+//! * `EXP10_TXNS=<n>` — Section C/D transactions per client (default
+//!   150).
+//! * `EXP10_FASTPATH_GATE=<rate>` — fail (exit 1) unless every Section D
+//!   bypass cell committed at least `<rate>` (a fraction) of its
+//!   transactions through the confluent fast path, with its history
+//!   certified serializable.
 //!
 //! Besides the tables, the sweep emits `BENCH_exp10.json` (into
 //! `$BENCH_JSON_DIR`, default `.`): one row per cell tagged with its
@@ -240,6 +253,11 @@ const MIX_CLIENTS: u64 = 8;
 const MIX_SHARDS: u32 = 4;
 const MIX_ITEMS: u64 = 4096;
 
+/// Section D runs over one shard: every increment is single-site and
+/// therefore routable through the confluent bypass.
+const FAST_SHARDS: u32 = 1;
+const FAST_ITEMS: u64 = 1024;
+
 /// Clients drive skew-shaped read-modify-write transactions; every cell
 /// replays its log through the serializability oracle.
 fn run_mix_cell(shape: TxnShape, theta: f64) -> MixOutcome {
@@ -297,6 +315,89 @@ fn run_mix_cell(shape: TxnShape, theta: f64) -> MixOutcome {
         stale_replies: stats.stale_reply_events,
         overflow_entries: stats.mailbox_overflow_entries,
         full_drops: stats.mailbox_full_drops,
+        serializable: report.serializable().is_ok(),
+    }
+}
+
+/// What one Section D (confluent fast-path mix) cell measured.
+struct FastOutcome {
+    theta: f64,
+    fastpath: bool,
+    committed: u64,
+    failed: u64,
+    txn_per_sec: f64,
+    applied: u64,
+    refused: u64,
+    /// Fraction of all commits that went through the bypass.
+    rate: f64,
+    serializable: bool,
+}
+
+/// Clients drive an increment-heavy mix (4-in-5 two-item commutative
+/// adds, 1-in-5 coordinated read-modify-write transfers) so the bypass
+/// stream and real lock traffic interleave on the same hot items. With
+/// `fastpath` off the identical workload runs all-coordinated — the
+/// baseline for the speedup column.
+fn run_fastpath_cell(theta: f64, fastpath: bool) -> FastOutcome {
+    let db = Database::open(RuntimeConfig {
+        num_shards: FAST_SHARDS,
+        num_items: FAST_ITEMS,
+        initial_value: 1_000,
+        policy: CcPolicy::Static(CcMethod::TwoPhaseLocking),
+        confluence_fastpath: fastpath,
+        ..RuntimeConfig::default()
+    })
+    .expect("valid config");
+
+    let begun = Instant::now();
+    let per_client = txns_per_client();
+    let workers: Vec<_> = (0..MIX_CLIENTS)
+        .map(|t| {
+            let db = db.clone();
+            std::thread::spawn(move || {
+                let skew = SkewedItems::new(FAST_ITEMS, theta);
+                let mut rng = SimRng::new(0xE10FA57 + t);
+                let mut failed = 0u64;
+                for i in 0..per_client {
+                    if i % 5 == 4 {
+                        let (spec, writes) = skew.spec(&mut rng, TxnShape::Rmw);
+                        if db
+                            .run_transaction(&spec, |seen| {
+                                writes.iter().map(|&w| (w, seen[&w] + 1)).collect()
+                            })
+                            .is_err()
+                        {
+                            failed += 1;
+                        }
+                    } else {
+                        let picked = skew.pick_distinct(&mut rng, 2);
+                        let spec = TxnSpec::new().add(picked[0], 1).add(picked[1], 1);
+                        if db.execute(&spec).is_err() {
+                            failed += 1;
+                        }
+                    }
+                }
+                failed
+            })
+        })
+        .collect();
+    let failed: u64 = workers
+        .into_iter()
+        .map(|w| w.join().expect("fastpath worker panicked"))
+        .sum();
+    let elapsed = begun.elapsed().as_secs_f64();
+
+    let stats = db.stats();
+    let report = db.shutdown().expect("shutdown");
+    FastOutcome {
+        theta,
+        fastpath,
+        committed: stats.committed,
+        failed,
+        txn_per_sec: stats.committed as f64 / elapsed,
+        applied: stats.fastpath_applied,
+        refused: stats.fastpath_refused,
+        rate: stats.fastpath_applied as f64 / stats.committed.max(1) as f64,
         serializable: report.serializable().is_ok(),
     }
 }
@@ -493,11 +594,117 @@ fn main() {
         }
     }
 
+    // --- Section D: coordination-avoidance fast path --------------------
+    println!(
+        "\nE10.D: confluent fast path — increment-heavy mix, bypass vs all-coordinated \
+         ({MIX_CLIENTS} clients x {FAST_SHARDS} shard, {} txns/client, {FAST_ITEMS} items)\n",
+        txns_per_client()
+    );
+    let widths_d = [12, 6, 10, 7, 10, 9, 8, 6, 5];
+    table::header(
+        &[
+            "mode",
+            "theta",
+            "committed",
+            "failed",
+            "txn/s",
+            "applied",
+            "refused",
+            "rate",
+            "ser.",
+        ],
+        &widths_d,
+    );
+    let fastpath_gate: Option<f64> = std::env::var("EXP10_FASTPATH_GATE")
+        .ok()
+        .and_then(|s| s.parse().ok());
+    let fast_thetas: &[f64] = if smoke { &[0.99] } else { &[0.0, 0.99] };
+    let mut fastpath_gate_ok = fastpath_gate.is_some();
+    for &theta in fast_thetas {
+        let mut pair = Vec::with_capacity(2);
+        for fastpath in [true, false] {
+            let o = run_fastpath_cell(theta, fastpath);
+            let mode = if o.fastpath {
+                "fastpath"
+            } else {
+                "coordinated"
+            };
+            table::row(
+                &[
+                    mode.to_string(),
+                    format!("{:.2}", o.theta),
+                    o.committed.to_string(),
+                    o.failed.to_string(),
+                    format!("{:.0}", o.txn_per_sec),
+                    o.applied.to_string(),
+                    o.refused.to_string(),
+                    format!("{:.2}", o.rate),
+                    if o.serializable {
+                        "yes".into()
+                    } else {
+                        "NO".into()
+                    },
+                ],
+                &widths_d,
+            );
+            assert!(
+                o.serializable,
+                "{mode} theta={theta}: execution log failed the oracle"
+            );
+            if let Some(required) = fastpath_gate {
+                if o.fastpath && o.rate < required {
+                    fastpath_gate_ok = false;
+                }
+            }
+            traj.row(vec![
+                ("section", Json::str("fastpath")),
+                ("mode", Json::str(mode)),
+                ("theta", Json::Num(o.theta)),
+                ("committed", Json::Num(o.committed as f64)),
+                ("failed", Json::Num(o.failed as f64)),
+                ("txn_per_sec", Json::Num(o.txn_per_sec)),
+                ("fastpath_applied", Json::Num(o.applied as f64)),
+                ("fastpath_refused", Json::Num(o.refused as f64)),
+                ("fastpath_rate", Json::Num(o.rate)),
+                ("serializable", Json::Bool(o.serializable)),
+            ]);
+            pair.push(o);
+        }
+        let speedup = pair[0].txn_per_sec / pair[1].txn_per_sec;
+        println!(
+            "    -> theta {theta:.2}: bypass commit rate {:.2} of all commits, \
+             {speedup:.2}x over all-coordinated",
+            pair[0].rate
+        );
+        traj.meta(
+            format!("fastpath_speedup_theta{theta:.2}"),
+            Json::Num(speedup),
+        );
+    }
+
     if let Some(required) = gate {
         traj.meta("gate_live", Json::Num(required as f64));
         traj.meta("gate_passed", Json::Bool(transport_gate_ok && hold_gate_ok));
     }
+    if let Some(required) = fastpath_gate {
+        traj.meta("fastpath_gate_rate", Json::Num(required));
+        traj.meta("fastpath_gate_passed", Json::Bool(fastpath_gate_ok));
+    }
     traj.emit();
+
+    if let Some(required) = fastpath_gate {
+        if !fastpath_gate_ok {
+            eprintln!(
+                "FAIL: an increment-heavy fast-path cell committed fewer than \
+                 {required:.2} of its transactions through the bypass"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "\nfast-path gate passed: every bypass cell committed >= {required:.2} of its \
+             transactions through the confluent fast path (histories certified)"
+        );
+    }
 
     if let Some(required) = gate {
         println!();

@@ -71,16 +71,31 @@ impl SkewedItems {
         LogicalItemId(self.zipf.sample_index(rng) as u64)
     }
 
-    /// `k` *distinct* skew-weighted items. Collisions walk linearly to
-    /// the next free id, so the hot head stays hot while a transaction
-    /// never names the same item twice.
+    /// `k` *distinct* skew-weighted items. A collision re-samples a
+    /// bounded number of times (keeping the hot head hot), then falls
+    /// back to a linear sweep from the last sample — so the degenerate
+    /// high-theta case where `k` approaches the item count terminates in
+    /// `O(k · items)` worst case instead of degrading into unbounded
+    /// rejection. `k > items` is a caller bug and panics in every build
+    /// (the old debug-only assert let release builds spin forever).
     pub fn pick_distinct(&self, rng: &mut SimRng, k: usize) -> Vec<LogicalItemId> {
-        debug_assert!(k as u64 <= self.items);
+        assert!(
+            k as u64 <= self.items,
+            "cannot pick {k} distinct items out of {}",
+            self.items
+        );
+        const MAX_RESAMPLES: u32 = 8;
         let mut picked: Vec<LogicalItemId> = Vec::with_capacity(k);
         for _ in 0..k {
             let mut id = self.zipf.sample_index(rng) as u64;
+            let mut resamples = 0;
             while picked.iter().any(|p| p.0 == id) {
-                id = (id + 1) % self.items;
+                if resamples < MAX_RESAMPLES {
+                    resamples += 1;
+                    id = self.zipf.sample_index(rng) as u64;
+                } else {
+                    id = (id + 1) % self.items;
+                }
             }
             picked.push(LogicalItemId(id));
         }
@@ -118,6 +133,35 @@ mod tests {
                 assert!(ids.iter().all(|&i| i < 64));
             }
         }
+    }
+
+    /// The degenerate case the old rejection loop mishandled: `k` equal
+    /// to the whole item count under heavy skew must return every item
+    /// exactly once, quickly, for any seed.
+    #[test]
+    fn pick_distinct_survives_k_equal_to_item_count() {
+        for theta in [0.0, 0.99, 1.2] {
+            let skew = SkewedItems::new(32, theta);
+            for seed in 0..20 {
+                let mut rng = SimRng::new(seed);
+                let picked = skew.pick_distinct(&mut rng, 32);
+                let mut ids: Vec<u64> = picked.iter().map(|i| i.0).collect();
+                ids.sort_unstable();
+                assert_eq!(
+                    ids,
+                    (0..32).collect::<Vec<u64>>(),
+                    "theta {theta} seed {seed}: all 32 items, each once"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot pick")]
+    fn pick_distinct_rejects_k_beyond_item_count() {
+        let skew = SkewedItems::new(4, 0.5);
+        let mut rng = SimRng::new(1);
+        let _ = skew.pick_distinct(&mut rng, 5);
     }
 
     #[test]

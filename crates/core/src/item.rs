@@ -133,6 +133,27 @@ impl ItemState {
         self.queue.is_empty() && self.locks.is_empty()
     }
 
+    /// True when a coordination-free read of this item must be refused: a
+    /// write-kind lock is held (the holder's write will implement at some
+    /// later point on *every* item it touches, and a fast-path read
+    /// slipping between those points could close a precedence cycle), or a
+    /// write-access request is queued (granting it later has the same
+    /// effect). Held read-kind locks and queued reads are harmless — reads
+    /// commute with reads.
+    pub fn confluent_read_blocked(&self) -> bool {
+        self.locks.iter().any(|l| l.mode.is_write_kind())
+            || self.queue.iter().any(|e| e.mode == AccessMode::Write)
+    }
+
+    /// Install a value written by the coordination-free fast path. Only
+    /// legal on an idle item (the caller checks); deliberately leaves
+    /// `R-TS`/`W-TS` untouched — fast-path writes are not part of any
+    /// timestamp order, they occupy a single point in the owning shard's
+    /// command order instead.
+    pub(crate) fn apply_confluent_write(&mut self, value: Value) {
+        self.value = value;
+    }
+
     // ------------------------------------------------------------------
     // Incoming protocol actions
     // ------------------------------------------------------------------

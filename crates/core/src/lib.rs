@@ -34,6 +34,6 @@ pub mod sink;
 
 pub use deadlock::WaitForGraph;
 pub use item::{EnforcementMode, HeldLock, ItemState};
-pub use qm::{QmEvent, QmOutput, QueueManager};
+pub use qm::{ConfluentOp, QmEvent, QmOutput, QueueManager};
 pub use ri::{RequestIssuer, RiAction, RiOutput, RiPhase};
 pub use sink::QmSink;

@@ -78,6 +78,29 @@ pub struct QmOutput {
 /// spaces; catalog-generated ids are contiguous from zero and never spill.
 const DENSE_LIMIT: u64 = 1 << 20;
 
+/// One operation of an invariant-confluent fast-path transaction,
+/// applied directly through the dense slot table by
+/// [`QueueManager::apply_confluent`] — no grants, no precedence entries,
+/// no queue transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfluentOp {
+    /// Read the item's current committed value.
+    Read(PhysicalItemId),
+    /// Commutative increment/decrement: `value += delta` (wrapping).
+    Add(PhysicalItemId, Value),
+    /// Blind absolute write: `value = v` (last-writer-wins).
+    Put(PhysicalItemId, Value),
+}
+
+impl ConfluentOp {
+    /// The physical item this op touches.
+    pub fn item(&self) -> PhysicalItemId {
+        match *self {
+            ConfluentOp::Read(item) | ConfluentOp::Add(item, _) | ConfluentOp::Put(item, _) => item,
+        }
+    }
+}
+
 /// The queue manager of one site.
 #[derive(Debug, Clone)]
 pub struct QueueManager {
@@ -297,6 +320,91 @@ impl QueueManager {
         for msg in msgs {
             self.handle_into(origin_site, msg, sink);
         }
+    }
+
+    /// Apply an invariant-confluent transaction directly through the dense
+    /// slot table — the coordination-avoidance bypass. No grants, no
+    /// precedence entries, no queue transitions; only [`QmEvent::Implemented`]
+    /// events flow into `sink` so the execution logs stay complete for the
+    /// serializability oracle.
+    ///
+    /// Safety rests on an all-or-nothing refusal check performed *before*
+    /// any mutation (when `check` is true):
+    ///
+    /// * `Add`/`Put` refuse unless the touched slot is fully idle (no held
+    ///   locks, no queued work) — a bypass write racing granted or queued
+    ///   coordinated work could be serialized on neither side of it;
+    /// * `Read` refuses if any held lock is write-kind **or any queued
+    ///   entry requests write access** — reading past a queued writer
+    ///   orders the bypass before it, but the writer's later implement
+    ///   would need to order before any coordinated work the bypass
+    ///   already observed, closing a precedence cycle.
+    ///
+    /// Returns `Some(reads)` (the `(item, value)` pairs observed by `Read`
+    /// ops, in op order) when applied, `None` when refused — the caller
+    /// falls back to the coordinated path. Ops addressing items this site
+    /// does not hold always refuse (routing bug or replicated copy; both
+    /// belong on the coordinated path). With `check == false` the refusal
+    /// rules are skipped — the mutation switch used to demonstrate that an
+    /// unchecked bypass admits non-serializable histories.
+    ///
+    /// Timestamps (`r_ts`/`w_ts`) are deliberately untouched: the bypass
+    /// only applies to slots with no coordinated work in flight, and a
+    /// later T/O or PA request conflicting with a *committed* bypass write
+    /// sees the item's value exactly as it would after an idle-site
+    /// restart.
+    pub fn apply_confluent(
+        &mut self,
+        _origin: SiteId,
+        txn: TxnId,
+        ops: &[ConfluentOp],
+        check: bool,
+        sink: &mut QmSink,
+    ) -> Option<Vec<(PhysicalItemId, Value)>> {
+        // Pass 1: resolve every slot and test blockedness before touching
+        // anything — refusal must leave the site exactly as it was.
+        for op in ops {
+            let slot = self.slot_of(op.item())?;
+            if check {
+                let item = &self.items[slot];
+                let blocked = match op {
+                    ConfluentOp::Read(_) => item.confluent_read_blocked(),
+                    ConfluentOp::Add(..) | ConfluentOp::Put(..) => !item.is_idle(),
+                };
+                if blocked {
+                    return None;
+                }
+            }
+        }
+        // Pass 2: apply. Every op emits `Implemented` so the shard folds it
+        // into the execution logs.
+        let mut reads = Vec::new();
+        for op in ops {
+            let slot = self
+                .slot_of(op.item())
+                .expect("slot resolved in the check pass");
+            let item = &mut self.items[slot];
+            let access = match *op {
+                ConfluentOp::Read(id) => {
+                    reads.push((id, item.value()));
+                    AccessMode::Read
+                }
+                ConfluentOp::Add(_, delta) => {
+                    item.apply_confluent_write(item.value().wrapping_add(delta));
+                    AccessMode::Write
+                }
+                ConfluentOp::Put(_, value) => {
+                    item.apply_confluent_write(value);
+                    AccessMode::Write
+                }
+            };
+            sink.events.push(QmEvent::Implemented {
+                item: op.item(),
+                txn,
+                access,
+            });
+        }
+        Some(reads)
     }
 
     /// Process one request message into an owned [`QmOutput`] — the thin
@@ -543,6 +651,168 @@ mod tests {
         let mut buf = Vec::new();
         qm.wait_edges_into(&mut buf);
         assert_eq!(buf, edges, "the `_into` variant appends the same edges");
+    }
+
+    #[test]
+    fn apply_confluent_applies_on_idle_items() {
+        let mut qm = QueueManager::new(SiteId(0));
+        qm.add_item(pi(1, 0), 10, EnforcementMode::SemiLock);
+        qm.add_item(pi(2, 0), 20, EnforcementMode::SemiLock);
+        let mut sink = QmSink::new();
+        let ops = [
+            ConfluentOp::Add(pi(1, 0), 5),
+            ConfluentOp::Put(pi(2, 0), 99),
+            ConfluentOp::Read(pi(1, 0)),
+        ];
+        let reads = qm
+            .apply_confluent(SiteId(0), TxnId(7), &ops, true, &mut sink)
+            .expect("idle items must accept the bypass");
+        assert_eq!(reads, vec![(pi(1, 0), 15)], "read sees the applied add");
+        assert_eq!(qm.value_of(pi(1, 0)), Some(15));
+        assert_eq!(qm.value_of(pi(2, 0)), Some(99));
+        assert!(sink.replies.is_empty(), "the bypass never replies via PAM");
+        assert_eq!(sink.events.len(), 3, "one Implemented per op");
+        assert!(sink
+            .events
+            .iter()
+            .all(|e| matches!(e, QmEvent::Implemented { txn: TxnId(7), .. })));
+    }
+
+    #[test]
+    fn apply_confluent_write_refuses_any_coordination() {
+        let mut qm = QueueManager::new(SiteId(0));
+        qm.add_item(pi(1, 0), 10, EnforcementMode::SemiLock);
+        // A granted read lock is enough to block a bypass write.
+        qm.handle(
+            SiteId(0),
+            &access(1, pi(1, 0), AccessMode::Read, CcMethod::TwoPhaseLocking, 0),
+        );
+        let mut sink = QmSink::new();
+        for op in [ConfluentOp::Add(pi(1, 0), 1), ConfluentOp::Put(pi(1, 0), 0)] {
+            assert!(
+                qm.apply_confluent(SiteId(0), TxnId(9), &[op], true, &mut sink)
+                    .is_none(),
+                "{op:?} must refuse on a locked item"
+            );
+        }
+        assert_eq!(qm.value_of(pi(1, 0)), Some(10), "refusal mutates nothing");
+        assert!(sink.events.is_empty());
+    }
+
+    #[test]
+    fn apply_confluent_read_refuses_writers_but_not_readers() {
+        let mut qm = QueueManager::new(SiteId(0));
+        qm.add_item(pi(1, 0), 10, EnforcementMode::SemiLock);
+        qm.add_item(pi(2, 0), 20, EnforcementMode::SemiLock);
+        // Item 1: held read lock — a bypass read is fine.
+        qm.handle(
+            SiteId(0),
+            &access(1, pi(1, 0), AccessMode::Read, CcMethod::TwoPhaseLocking, 0),
+        );
+        let mut sink = QmSink::new();
+        let reads = qm
+            .apply_confluent(
+                SiteId(0),
+                TxnId(9),
+                &[ConfluentOp::Read(pi(1, 0))],
+                true,
+                &mut sink,
+            )
+            .expect("held read locks do not block a bypass read");
+        assert_eq!(reads, vec![(pi(1, 0), 10)]);
+        // Item 2: held write lock — refuse.
+        qm.handle(
+            SiteId(0),
+            &access(2, pi(2, 0), AccessMode::Write, CcMethod::TwoPhaseLocking, 0),
+        );
+        assert!(qm
+            .apply_confluent(
+                SiteId(0),
+                TxnId(9),
+                &[ConfluentOp::Read(pi(2, 0))],
+                true,
+                &mut sink,
+            )
+            .is_none());
+        // Item 1 again, now with a *queued* writer behind the read lock:
+        // reading past it would close a precedence cycle — refuse.
+        qm.handle(
+            SiteId(0),
+            &access(3, pi(1, 0), AccessMode::Write, CcMethod::TwoPhaseLocking, 0),
+        );
+        assert!(qm
+            .apply_confluent(
+                SiteId(0),
+                TxnId(9),
+                &[ConfluentOp::Read(pi(1, 0))],
+                true,
+                &mut sink,
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn apply_confluent_is_all_or_nothing() {
+        let mut qm = QueueManager::new(SiteId(0));
+        qm.add_item(pi(1, 0), 10, EnforcementMode::SemiLock);
+        qm.add_item(pi(2, 0), 20, EnforcementMode::SemiLock);
+        qm.handle(
+            SiteId(0),
+            &access(1, pi(2, 0), AccessMode::Write, CcMethod::TwoPhaseLocking, 0),
+        );
+        let mut sink = QmSink::new();
+        // First op targets an idle item, second a locked one: nothing may
+        // be applied.
+        let ops = [ConfluentOp::Add(pi(1, 0), 5), ConfluentOp::Add(pi(2, 0), 5)];
+        assert!(qm
+            .apply_confluent(SiteId(0), TxnId(9), &ops, true, &mut sink)
+            .is_none());
+        assert_eq!(qm.value_of(pi(1, 0)), Some(10));
+        assert!(sink.events.is_empty());
+        // Unknown items refuse too, before any mutation.
+        let ops = [
+            ConfluentOp::Add(pi(1, 0), 5),
+            ConfluentOp::Add(pi(77, 0), 5),
+        ];
+        assert!(qm
+            .apply_confluent(SiteId(0), TxnId(9), &ops, true, &mut sink)
+            .is_none());
+        assert_eq!(qm.value_of(pi(1, 0)), Some(10));
+    }
+
+    #[test]
+    fn apply_confluent_unchecked_ignores_coordination() {
+        let mut qm = QueueManager::new(SiteId(0));
+        qm.add_item(pi(1, 0), 10, EnforcementMode::SemiLock);
+        qm.handle(
+            SiteId(0),
+            &access(1, pi(1, 0), AccessMode::Write, CcMethod::TwoPhaseLocking, 0),
+        );
+        let mut sink = QmSink::new();
+        // check = false: the mutation switch writes straight through the
+        // held write lock (this is what the non-serializable-history test
+        // in the runtime exploits).
+        let reads = qm
+            .apply_confluent(
+                SiteId(0),
+                TxnId(9),
+                &[ConfluentOp::Add(pi(1, 0), 5)],
+                false,
+                &mut sink,
+            )
+            .expect("unchecked bypass never refuses on blockedness");
+        assert!(reads.is_empty());
+        assert_eq!(qm.value_of(pi(1, 0)), Some(15));
+        // Unknown items still refuse even unchecked.
+        assert!(qm
+            .apply_confluent(
+                SiteId(0),
+                TxnId(9),
+                &[ConfluentOp::Read(pi(88, 0))],
+                false,
+                &mut sink,
+            )
+            .is_none());
     }
 
     #[test]

@@ -172,6 +172,17 @@ pub struct RuntimeConfig {
     /// re-evaluates the full dynamic-programming grid on every selection
     /// (the pre-cache behaviour, kept for overhead comparisons).
     pub selection_cache: Option<CacheSettings>,
+    /// Route invariant-confluent transactions (commutative adds, blind
+    /// puts, read-only shapes — see [`selection::classify`]) around the
+    /// queue managers through the shard's direct-apply bypass. Off forces
+    /// every transaction through full coordination (the `m9` baseline).
+    pub confluence_fastpath: bool,
+    /// The at-apply refusal check of the bypass: the queue manager refuses
+    /// a fast-path transaction whenever a touched slot has queued or
+    /// granted coordinated work. **Disabling this admits non-serializable
+    /// histories** — it exists only as the mutation switch proving the
+    /// check is load-bearing (see the runtime's mutation test).
+    pub confluence_check: bool,
     /// The flight-recorder tracing plane: [`trace::TraceLevel::Off`]
     /// records nothing (and allocates nothing), `Counters` keeps phase
     /// counters and the Section-5 span accumulators, `Full` (default)
@@ -203,6 +214,8 @@ impl Default for RuntimeConfig {
             restart_backoff: Duration::from_micros(200),
             seed: 0,
             selection_cache: Some(CacheSettings::default()),
+            confluence_fastpath: true,
+            confluence_check: true,
             trace: trace::TraceConfig::default(),
         }
     }

@@ -22,12 +22,15 @@ use dbmodel::{
 };
 use metrics::{SimMetrics, TxnOutcome};
 use pam::{ReplyMsg, RequestMsg};
-use selection::{CachedStlSelector, SelectionDecision, StlSelector, WorkloadSignal};
+use selection::{
+    classify, CachedStlSelector, Confluence, OpProfile, SelectionDecision, StlSelector,
+    WorkloadSignal,
+};
 use simkit::rng::SimRng;
 use simkit::time::SimTime;
 use trace::{Phase, SpanTimings, TraceLevel, TracePlane, SELECTION_CACHE_HIT};
 use transport::mailbox::MailboxOptions;
-use unified_cc::{QueueManager, RequestIssuer, RiAction, RiOutput};
+use unified_cc::{ConfluentOp, QueueManager, RequestIssuer, RiAction, RiOutput};
 
 use crate::config::{CcPolicy, ConfigError, RuntimeConfig, TransportKind};
 use crate::detector;
@@ -46,6 +49,13 @@ const SHUTDOWN_POLL: Duration = Duration::from_millis(50);
 pub struct TxnSpec {
     reads: Vec<LogicalItemId>,
     writes: Vec<LogicalItemId>,
+    /// Commutative increments (`item += delta`): confluent, fast-path
+    /// eligible. On the coordinated path they stage
+    /// `predecessor.wrapping_add(delta)` from the write grant's value.
+    adds: Vec<(LogicalItemId, Value)>,
+    /// Blind absolute writes (`item = value`): confluent, fast-path
+    /// eligible.
+    puts: Vec<(LogicalItemId, Value)>,
     origin: Option<SiteId>,
     method: Option<CcMethod>,
 }
@@ -80,6 +90,22 @@ impl TxnSpec {
         self
     }
 
+    /// Add a commutative increment: `item += delta` (wrapping). Confluent —
+    /// eligible for the coordination-avoidance fast path of
+    /// [`Database::execute`].
+    pub fn add(mut self, item: LogicalItemId, delta: Value) -> Self {
+        self.adds.push((item, delta));
+        self
+    }
+
+    /// Add a blind absolute write: `item = value` (last-writer-wins).
+    /// Confluent — eligible for the coordination-avoidance fast path of
+    /// [`Database::execute`].
+    pub fn put(mut self, item: LogicalItemId, value: Value) -> Self {
+        self.puts.push((item, value));
+        self
+    }
+
     /// Pin the origin site (default: round-robin over sites).
     pub fn origin(mut self, site: SiteId) -> Self {
         self.origin = Some(site);
@@ -90,6 +116,21 @@ impl TxnSpec {
     pub fn method(mut self, method: CcMethod) -> Self {
         self.method = Some(method);
         self
+    }
+
+    /// Every logical item this spec writes — declared writes, adds and
+    /// puts — deduplicated, as the coordinated path's write set.
+    fn write_items(&self) -> Vec<LogicalItemId> {
+        let mut items: Vec<LogicalItemId> = self
+            .writes
+            .iter()
+            .copied()
+            .chain(self.adds.iter().map(|&(item, _)| item))
+            .chain(self.puts.iter().map(|&(item, _)| item))
+            .collect();
+        items.sort_unstable();
+        items.dedup();
+        items
     }
 }
 
@@ -145,12 +186,17 @@ impl std::error::Error for TxnError {}
 pub struct TxnReceipt {
     /// Transaction id of the committed incarnation.
     pub id: TxnId,
-    /// The method the committed incarnation ran under.
+    /// The method the committed incarnation ran under. Fast-path commits
+    /// bypass the protocols entirely and report the default method as a
+    /// placeholder — check [`TxnReceipt::fastpath`].
     pub method: CcMethod,
     /// Restart attempts before the committed incarnation (0 = first try).
     pub restarts: u32,
     /// The values read, keyed by logical item.
     pub reads: BTreeMap<LogicalItemId, Value>,
+    /// True when the transaction committed through the
+    /// coordination-avoidance bypass (no grants, no queue time).
+    pub fastpath: bool,
 }
 
 /// The dynamic-policy selector engine: the amortized cached variant (the
@@ -194,7 +240,10 @@ struct Inner {
     metrics: MetricsShards,
     selector: Mutex<SelectorEngine>,
     mix_rng: Mutex<SimRng>,
-    selection_counts: Mutex<BTreeMap<CcMethod, u64>>,
+    /// Per-method selection tally, indexed by [`method_code`] — a fixed
+    /// atomic array, the last lock the stats read path used to take.
+    /// [`Database::shutdown`] folds it back into the report's `BTreeMap`.
+    selection_counts: [AtomicU64; 3],
     next_txn_id: AtomicU64,
     ts_counter: AtomicU64,
     started: Instant,
@@ -324,7 +373,7 @@ impl Database {
                 stats,
                 metrics: MetricsShards::new(),
                 selector: Mutex::new(selector),
-                selection_counts: Mutex::new(BTreeMap::new()),
+                selection_counts: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
                 next_txn_id: AtomicU64::new(0),
                 ts_counter: AtomicU64::new(0),
                 started: Instant::now(),
@@ -505,7 +554,7 @@ impl Database {
             let txn = Transaction::builder(txn_id, origin)
                 .method(method)
                 .reads(spec.reads.iter().copied())
-                .writes(spec.writes.iter().copied())
+                .writes(spec.write_items())
                 .build();
             let accesses: Vec<(dbmodel::PhysicalItemId, AccessMode)> = inner
                 .catalog
@@ -627,6 +676,192 @@ impl Database {
         txn.commit()
     }
 
+    /// Run one predeclared transaction end to end, routing it around the
+    /// queue managers when its shape is invariant confluent.
+    ///
+    /// Shapes built only from reads, [`TxnSpec::add`]s and
+    /// [`TxnSpec::put`]s classify as [`Confluence::ConfluentFastPath`]
+    /// (see [`selection::classify`]) and are applied by the owning shard
+    /// in one direct command — no grants, no precedence entries, no
+    /// deadlock exposure. The owning queue manager still *refuses* the
+    /// bypass whenever a touched slot has queued or granted coordinated
+    /// work; on refusal — and for every non-confluent, pinned-method,
+    /// replicated-item or (with the safety check on) multi-site shape —
+    /// the transaction transparently runs the coordinated
+    /// `begin`/stage/`commit` path instead. Fast-path commits and
+    /// refusals surface in [`StatsSnapshot::fastpath_applied`] /
+    /// [`StatsSnapshot::fastpath_refused`].
+    pub fn execute(&self, spec: &TxnSpec) -> Result<TxnReceipt, TxnError> {
+        if self.inner.config.confluence_fastpath {
+            if let Some(receipt) = self.try_fastpath(spec)? {
+                return Ok(receipt);
+            }
+        }
+        self.execute_coordinated(spec)
+    }
+
+    /// The coordinated half of [`Database::execute`]: a normal
+    /// `begin`/stage/`commit` incarnation. `add` ops stage the
+    /// predecessor value the write grant carried plus their (per-item
+    /// accumulated) delta; `put` ops stage their value directly.
+    fn execute_coordinated(&self, spec: &TxnSpec) -> Result<TxnReceipt, TxnError> {
+        let mut txn = self.begin(spec)?;
+        let mut deltas: BTreeMap<LogicalItemId, Value> = BTreeMap::new();
+        for &(item, delta) in &spec.adds {
+            let slot = deltas.entry(item).or_insert(0);
+            *slot = slot.wrapping_add(delta);
+        }
+        for (&item, &delta) in &deltas {
+            let base = txn.read(item).unwrap_or(0);
+            txn.write(item, base.wrapping_add(delta))?;
+        }
+        for &(item, value) in &spec.puts {
+            txn.write(item, value)?;
+        }
+        txn.commit()
+    }
+
+    /// Attempt the coordination-avoidance bypass. `Ok(None)` means "run
+    /// coordinated": the shape is not confluent, the spec pins a method,
+    /// a written item is replicated, the footprint spans several sites
+    /// while the safety check is on (the bypass is atomic only within
+    /// one shard's command order), or the owning queue manager refused.
+    fn try_fastpath(&self, spec: &TxnSpec) -> Result<Option<TxnReceipt>, TxnError> {
+        let inner = &self.inner;
+        if spec.method.is_some() {
+            return Ok(None);
+        }
+        let mut profile = OpProfile::empty();
+        if !spec.reads.is_empty() {
+            profile = profile.with(OpProfile::READS);
+        }
+        if !spec.adds.is_empty() {
+            profile = profile.with(OpProfile::ADDS);
+        }
+        if !spec.puts.is_empty() {
+            profile = profile.with(OpProfile::PUTS);
+        }
+        if !spec.writes.is_empty() {
+            // Declared read-modify-write items: their commit values come
+            // from arbitrary computation over coordinated reads.
+            profile = profile.with(OpProfile::RMW_WRITES);
+        }
+        let writes = spec.adds.len() + spec.puts.len() + spec.writes.len();
+        // Pure classification — identical to the verdict the routed
+        // selection cache memoizes for this profile (classification is
+        // model-independent by construction), so the bypass gate never
+        // takes the selector mutex.
+        if classify(profile, spec.reads.len(), writes) == Confluence::Coordinated {
+            return Ok(None);
+        }
+        let plane = &inner.trace;
+        let lane = plane.client_lane();
+        let t_begin = plane.now();
+        let txn_id = TxnId(inner.next_txn_id.fetch_add(1, Ordering::Relaxed) + 1);
+        let origin = spec
+            .origin
+            .unwrap_or_else(|| inner.catalog.origin_for(txn_id));
+        // Translate: reads go to the preferred copy, adds/puts to the
+        // single physical copy. Replicated written items fall back to the
+        // coordinated path, which knows how to fan a write out.
+        let mut per_site: BTreeMap<SiteId, Vec<ConfluentOp>> = BTreeMap::new();
+        for &item in &spec.reads {
+            let copy = inner
+                .catalog
+                .read_copy(item, origin)
+                .map_err(TxnError::UnknownItem)?;
+            per_site
+                .entry(copy.site)
+                .or_default()
+                .push(ConfluentOp::Read(copy));
+        }
+        for &(item, delta) in &spec.adds {
+            let copies = inner
+                .catalog
+                .physical_copies(item)
+                .map_err(TxnError::UnknownItem)?;
+            if copies.len() != 1 {
+                return Ok(None);
+            }
+            per_site
+                .entry(copies[0].site)
+                .or_default()
+                .push(ConfluentOp::Add(copies[0], delta));
+        }
+        for &(item, value) in &spec.puts {
+            let copies = inner
+                .catalog
+                .physical_copies(item)
+                .map_err(TxnError::UnknownItem)?;
+            if copies.len() != 1 {
+                return Ok(None);
+            }
+            per_site
+                .entry(copies[0].site)
+                .or_default()
+                .push(ConfluentOp::Put(copies[0], value));
+        }
+        let check = inner.config.confluence_check;
+        if check && per_site.len() != 1 {
+            return Ok(None);
+        }
+        let mut n_ops = 0u32;
+        let mut pending = Vec::with_capacity(per_site.len());
+        for (site, ops) in per_site {
+            let idx = *inner
+                .site_index
+                .get(&site)
+                .expect("catalog routed an op to an unknown site");
+            n_ops += ops.len() as u32;
+            let (tx, rx) = transport::oneshot::channel();
+            if inner.shard_txs[idx]
+                .send(ShardCmd::ApplyConfluent {
+                    origin,
+                    txn: txn_id,
+                    ops,
+                    check,
+                    reply: tx,
+                })
+                .is_err()
+            {
+                return Err(TxnError::ShuttingDown);
+            }
+            pending.push(rx);
+        }
+        let mut reads = BTreeMap::new();
+        let mut refused = false;
+        for rx in pending {
+            match rx.recv() {
+                Ok(Some(values)) => {
+                    for (item, value) in values {
+                        reads.insert(item.logical, value);
+                    }
+                }
+                Ok(None) => refused = true,
+                Err(_) => return Err(TxnError::ShuttingDown),
+            }
+        }
+        if refused {
+            inner.stats.fastpath_refused.fetch_add(1, Ordering::Relaxed);
+            // Nothing is recorded for the refused incarnation: it never
+            // entered any log and its id is simply abandoned.
+            return Ok(None);
+        }
+        let t_applied = plane.now();
+        inner.stats.committed.fetch_add(1, Ordering::Relaxed);
+        inner.stats.fastpath_applied.fetch_add(1, Ordering::Relaxed);
+        plane.record_at(lane, t_begin, txn_id.0, Phase::Begin, 0);
+        plane.record_at(lane, t_applied, txn_id.0, Phase::FastPathApplied, n_ops);
+        plane.record_at(lane, t_applied, txn_id.0, Phase::Committed, 0);
+        Ok(Some(TxnReceipt {
+            id: txn_id,
+            method: CcMethod::TwoPhaseLocking,
+            restarts: 0,
+            reads,
+            fastpath: true,
+        }))
+    }
+
     /// Stop accepting work, drain the shards and collapse the runtime into
     /// its final report. Returns `None` on every call but the first.
     pub fn shutdown(&self) -> Option<RuntimeReport> {
@@ -652,16 +887,23 @@ impl Database {
         let metrics = self.inner.metrics.merged(self.now());
         let trace_report =
             (self.inner.trace.level() != TraceLevel::Off).then(|| self.trace_report());
+        let mut selection_counts = BTreeMap::new();
+        for method in [
+            CcMethod::TwoPhaseLocking,
+            CcMethod::TimestampOrdering,
+            CcMethod::PrecedenceAgreement,
+        ] {
+            let n =
+                self.inner.selection_counts[method_code(method) as usize].load(Ordering::Relaxed);
+            if n > 0 {
+                selection_counts.insert(method, n);
+            }
+        }
         Some(RuntimeReport {
             logs,
             stats: self.stats(),
             metrics,
-            selection_counts: self
-                .inner
-                .selection_counts
-                .lock()
-                .expect("selection counts poisoned")
-                .clone(),
+            selection_counts,
             trace: trace_report,
         })
     }
@@ -691,7 +933,7 @@ impl Database {
             CcPolicy::DynamicStl => {
                 let probe = Transaction::builder(TxnId(u64::MAX), SiteId(0))
                     .reads(spec.reads.iter().copied())
-                    .writes(spec.writes.iter().copied())
+                    .writes(spec.write_items())
                     .build();
                 // The per-shard feedback loop: grant / conflict counters
                 // maintained by the shard threads drive the cached
@@ -730,13 +972,7 @@ impl Database {
                 method
             }
         };
-        *self
-            .inner
-            .selection_counts
-            .lock()
-            .expect("selection counts poisoned")
-            .entry(choice)
-            .or_insert(0) += 1;
+        self.inner.selection_counts[method_code(choice) as usize].fetch_add(1, Ordering::Relaxed);
         choice
     }
 
@@ -1151,6 +1387,7 @@ impl ActiveTxn {
             method,
             restarts: self.restarts,
             reads: std::mem::take(&mut self.reads),
+            fastpath: false,
         })
     }
 
@@ -1645,5 +1882,176 @@ mod tests {
         );
         db.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Sequential fast-path correctness: every increment applies through
+    /// the bypass (no grants anywhere), the final value is exact, and the
+    /// flight recorder saw the `FastPathApplied` phase.
+    #[test]
+    fn fast_adds_apply_through_the_bypass() {
+        let db = Database::open(config(1, 4)).unwrap();
+        const N: u64 = 50;
+        for _ in 0..N {
+            let receipt = db.execute(&TxnSpec::new().add(li(0), 2)).unwrap();
+            assert!(receipt.fastpath);
+            assert_eq!(receipt.restarts, 0);
+        }
+        let receipt = db.execute(&TxnSpec::new().read(li(0))).unwrap();
+        assert!(receipt.fastpath, "an idle-item read is confluent");
+        assert_eq!(receipt.reads[&li(0)], 2 * N as Value);
+        let stats = db.stats();
+        assert_eq!(stats.fastpath_applied, N + 1);
+        assert_eq!(stats.fastpath_refused, 0);
+        assert_eq!(stats.committed, N + 1);
+        assert_eq!(stats.grants, 0, "the bypass issues no grants");
+        assert!(db
+            .trace_snapshot()
+            .iter()
+            .any(|e| e.phase == Phase::FastPathApplied));
+        let report = db.shutdown().unwrap();
+        assert!(report.serializable().is_ok());
+    }
+
+    /// A non-confluent shape (declared rmw write) never takes the bypass,
+    /// and puts land last-writer-wins through it.
+    #[test]
+    fn rmw_shapes_stay_coordinated_and_puts_apply() {
+        let db = Database::open(config(1, 4)).unwrap();
+        let receipt = db.execute(&TxnSpec::new().put(li(1), 77)).unwrap();
+        assert!(receipt.fastpath);
+        let receipt = db
+            .execute(&TxnSpec::new().read(li(1)).write(li(2)))
+            .unwrap();
+        assert!(!receipt.fastpath, "an rmw write forces coordination");
+        assert_eq!(receipt.reads[&li(1)], 77);
+        let stats = db.stats();
+        assert_eq!(stats.fastpath_applied, 1);
+        let report = db.shutdown().unwrap();
+        assert!(report.serializable().is_ok());
+    }
+
+    /// The queue manager refuses the bypass while a coordinated writer
+    /// holds the item, and the transparent fallback commits the increment
+    /// on top of the writer's value.
+    #[test]
+    fn bypass_refusal_falls_back_to_coordination() {
+        let db = Database::open(config(1, 2)).unwrap();
+        let mut holder = db.begin(&TxnSpec::new().write(li(0))).unwrap();
+        holder.write(li(0), 7).unwrap();
+        let worker = {
+            let db = db.clone();
+            std::thread::spawn(move || db.execute(&TxnSpec::new().add(li(0), 1)).unwrap())
+        };
+        // The fast attempt is refused (the holder's lock is live), then
+        // the fallback queues behind the lock until the holder commits.
+        while db.stats().fastpath_refused == 0 {
+            std::thread::yield_now();
+        }
+        holder.commit().unwrap();
+        let receipt = worker.join().unwrap();
+        assert!(!receipt.fastpath, "the refused txn re-ran coordinated");
+        let check = db.execute(&TxnSpec::new().read(li(0))).unwrap();
+        assert_eq!(
+            check.reads[&li(0)],
+            8,
+            "the fallback added on top of the committed write"
+        );
+        assert!(db.stats().fastpath_refused >= 1);
+        let report = db.shutdown().unwrap();
+        assert!(report.serializable().is_ok());
+    }
+
+    /// The mixed-plane certification the tentpole demands: fast-path
+    /// increments and coordinated read-modify-writes hammer the same hot
+    /// items from concurrent threads, and the serializability oracle
+    /// certifies the merged history.
+    #[test]
+    fn mixed_fastpath_and_coordinated_traffic_stays_serializable() {
+        let db = Database::open(config(2, 8)).unwrap();
+        let fast: Vec<_> = (0..3u64)
+            .map(|k| {
+                let db = db.clone();
+                std::thread::spawn(move || {
+                    for i in 0..40u64 {
+                        db.execute(&TxnSpec::new().add(li((k + i) % 8), 1)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let coordinated: Vec<_> = (0..3u64)
+            .map(|k| {
+                let db = db.clone();
+                std::thread::spawn(move || {
+                    for i in 0..40u64 {
+                        let item = li((k + i) % 8);
+                        let spec = TxnSpec::new().write(item).read(li((k + i + 1) % 8));
+                        db.run_transaction(&spec, |reads| {
+                            vec![(item, reads[&li((k + i + 1) % 8)].wrapping_add(3))]
+                        })
+                        .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in fast.into_iter().chain(coordinated) {
+            t.join().unwrap();
+        }
+        let stats = db.stats();
+        assert_eq!(stats.committed, 240);
+        assert_eq!(
+            stats.fastpath_applied + stats.fastpath_refused,
+            120,
+            "every fast txn either applied or was refused exactly once"
+        );
+        let report = db.shutdown().unwrap();
+        assert_eq!(report.stats.committed, 240);
+        assert!(report.serializable().is_ok());
+    }
+
+    /// The mutation gate: with `confluence_check = false` the bypass
+    /// ignores in-flight coordinated work, and a deliberately interleaved
+    /// fast transaction closes a precedence cycle the oracle must reject.
+    /// (This is the proof that the at-apply refusal check is what keeps
+    /// the fast path serializable.)
+    #[test]
+    fn disabling_the_confluence_check_admits_a_non_serializable_history() {
+        let db = Database::open(RuntimeConfig {
+            confluence_check: false,
+            ..config(2, 2)
+        })
+        .unwrap();
+        // T holds write locks on both items across both shards.
+        let mut t = db.begin(&TxnSpec::new().write(li(0)).write(li(1))).unwrap();
+        t.write(li(0), 10).unwrap();
+        t.write(li(1), 20).unwrap();
+        let phys0 = db.catalog().physical_copies(li(0)).unwrap()[0];
+        let phys1 = db.catalog().physical_copies(li(1)).unwrap()[0];
+        let f = TxnId(1_000_000);
+        let send = |ops: Vec<ConfluentOp>| {
+            let site = ops[0].item().site;
+            let idx = db.inner.site_index[&site];
+            let (tx, rx) = transport::oneshot::channel();
+            db.inner.shard_txs[idx]
+                .send(ShardCmd::ApplyConfluent {
+                    origin: SiteId(0),
+                    txn: f,
+                    ops,
+                    check: false,
+                    reply: tx,
+                })
+                .map_err(|_| ())
+                .unwrap();
+            rx.recv().unwrap()
+        };
+        // F reads item 0 *before* T implements its write there (F → T)...
+        assert!(send(vec![ConfluentOp::Read(phys0)]).is_some());
+        t.commit().unwrap();
+        // ...and writes item 1 *after* T implemented (T → F): a cycle.
+        assert!(send(vec![ConfluentOp::Add(phys1, 1)]).is_some());
+        let report = db.shutdown().unwrap();
+        assert!(
+            report.serializable().is_err(),
+            "the unchecked bypass must admit a non-serializable history"
+        );
     }
 }

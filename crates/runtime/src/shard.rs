@@ -31,13 +31,13 @@ use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use dbmodel::{LogSet, SiteId, TxnId};
+use dbmodel::{LogSet, PhysicalItemId, SiteId, TxnId, Value};
 use pam::{GrantClass, RequestMsg};
 use trace::{Phase, TraceLevel, TracePlane};
 use transport::batch::SmallBatch;
 use transport::oneshot::OneshotSender;
 use transport::ring::{RingReceiver, RingSender};
-use unified_cc::{QmEvent, QmSink, QueueManager};
+use unified_cc::{ConfluentOp, QmEvent, QmSink, QueueManager};
 
 use crate::registry::Registry;
 use crate::stats::RuntimeStats;
@@ -54,6 +54,19 @@ pub(crate) enum ShardCmd {
     HandleBatch {
         origin: SiteId,
         msgs: SmallBatch<RequestMsg>,
+    },
+    /// Apply an invariant-confluent transaction through the queue
+    /// manager's coordination-avoidance bypass: one command, no grants,
+    /// no queue transitions. The shard answers through `reply` —
+    /// `Some(reads)` when applied, `None` when the queue manager refused
+    /// (a touched slot had coordinated work in flight) and the client
+    /// must fall back to the coordinated path.
+    ApplyConfluent {
+        origin: SiteId,
+        txn: TxnId,
+        ops: Vec<ConfluentOp>,
+        check: bool,
+        reply: OneshotSender<Option<Vec<(PhysicalItemId, Value)>>>,
     },
     /// Report the shard's current wait-for edges (deadlock detector).
     WaitEdges(OneshotSender<Vec<(TxnId, TxnId)>>),
@@ -241,6 +254,21 @@ impl ShardState<'_> {
                 self.qm.handle_batch(origin, msgs.iter(), &mut self.sink);
                 self.fold_events();
             }
+            ShardCmd::ApplyConfluent {
+                origin,
+                txn,
+                ops,
+                check,
+                reply,
+            } => {
+                let result = self
+                    .qm
+                    .apply_confluent(origin, txn, &ops, check, &mut self.sink);
+                // Implemented events must land in the log slice in the
+                // shard's processing order, like every protocol command.
+                self.fold_events();
+                reply.send(result)
+            }
             ShardCmd::WaitEdges(reply_to) => {
                 let mut edges = Vec::new();
                 self.qm.wait_edges_into(&mut edges);
@@ -270,6 +298,7 @@ fn trace_batch(plane: &TracePlane, lane: usize, buf: &[ShardCmd]) {
         let first = match cmd {
             ShardCmd::Handle { msg, .. } => Some(msg.txn().0),
             ShardCmd::HandleBatch { msgs, .. } => msgs.iter().next().map(|m| m.txn().0),
+            ShardCmd::ApplyConfluent { txn, .. } => Some(txn.0),
             _ => None,
         };
         if let Some(first) = first {

@@ -127,6 +127,11 @@ pub(crate) struct RuntimeStats {
     pub(crate) failed: AtomicU64,
     pub(crate) grants: AtomicU64,
     pub(crate) implemented_ops: AtomicU64,
+    /// Transactions applied through the coordination-avoidance bypass.
+    pub(crate) fastpath_applied: AtomicU64,
+    /// Bypass attempts refused by a queue manager (touched slot had
+    /// coordinated work in flight) and re-run on the coordinated path.
+    pub(crate) fastpath_refused: AtomicU64,
     /// Dynamic-policy selections performed.
     pub(crate) selections: AtomicU64,
     /// Wall-clock nanoseconds spent inside the selector (dynamic policy).
@@ -164,6 +169,12 @@ pub struct StatsSnapshot {
     pub grants: u64,
     /// Operations implemented (entered the execution log) across all shards.
     pub implemented_ops: u64,
+    /// Transactions committed through the coordination-avoidance bypass
+    /// (no grants, no precedence entries, no queue time).
+    pub fastpath_applied: u64,
+    /// Bypass attempts refused because a touched slot had queued or
+    /// granted coordinated work; each re-ran on the coordinated path.
+    pub fastpath_refused: u64,
     /// Dynamic-policy selections performed.
     pub selections: u64,
     /// Wall-clock nanoseconds spent inside the selector with its locks
@@ -226,6 +237,8 @@ impl RuntimeStats {
             failed: self.failed.load(Ordering::Relaxed),
             grants: self.grants.load(Ordering::Relaxed),
             implemented_ops: self.implemented_ops.load(Ordering::Relaxed),
+            fastpath_applied: self.fastpath_applied.load(Ordering::Relaxed),
+            fastpath_refused: self.fastpath_refused.load(Ordering::Relaxed),
             selections: self.selections.load(Ordering::Relaxed),
             selection_nanos: self.selection_nanos.load(Ordering::Relaxed),
             stale_reply_events: 0,

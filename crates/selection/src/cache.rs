@@ -29,6 +29,7 @@ use std::collections::{BTreeMap, HashMap};
 use dbmodel::{Catalog, PhysicalItemId, Transaction};
 use metrics::SimMetrics;
 
+use crate::confluence::{classify, Confluence, OpProfile};
 use crate::estimators::{ProtocolParams, ShapeSummary};
 use crate::selector::{
     evaluate_decision, exploratory_decision, is_exploration_round, MethodParamSet,
@@ -136,12 +137,15 @@ impl WorkloadSignal {
 }
 
 /// The quantized memoization key of one transaction shape: request counts
-/// exactly, aggregate losses as bucket indices (or raw bit patterns when
-/// quantization is disabled).
+/// and the op-kind profile exactly, aggregate losses as bucket indices (or
+/// raw bit patterns when quantization is disabled). Keeping the profile
+/// and counts exact is what makes the routed confluence verdict pure
+/// across every representative of a key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ShapeKey {
     m: u32,
     n: u32,
+    profile: u8,
     read_loss: u64,
     write_loss: u64,
 }
@@ -169,15 +173,29 @@ fn representative(b: u64, g: f64) -> f64 {
     ((b as f64 - 0.5) * g.ln_1p()).exp_m1()
 }
 
+/// One memoized grid entry: the four-way verdict for a quantized shape —
+/// which protocol to use if the transaction is coordinated, and whether
+/// it may skip coordination entirely.
+#[derive(Debug, Clone, Copy)]
+pub struct RoutedDecision {
+    /// The STL-optimal protocol of the coordinated path (2PL / T/O / PA).
+    pub decision: SelectionDecision,
+    /// Whether the shape is provably invariant-confluent and may be
+    /// routed around the queue managers (subject to the at-apply check).
+    pub confluence: Confluence,
+}
+
 /// The memoized decision grid: maps [`ShapeKey`]s to the
-/// [`SelectionDecision`] of the key's canonical shape. Model and protocol
+/// [`RoutedDecision`] of the key's canonical shape. Model and protocol
 /// parameters are *not* part of the key — the owner must clear the grid
-/// whenever they change (the epoch re-fit does exactly that).
+/// whenever they change (the epoch re-fit does exactly that). The
+/// confluence half of an entry depends only on the key's exact fields
+/// (profile and request counts), so a flush can never change it.
 #[derive(Debug, Clone)]
 pub struct SelectionCache {
     quant_rel: f64,
     max_entries: usize,
-    grid: HashMap<ShapeKey, SelectionDecision>,
+    grid: HashMap<ShapeKey, RoutedDecision>,
     hits: u64,
     misses: u64,
     flushes: u64,
@@ -202,8 +220,15 @@ impl SelectionCache {
         SelectionCache::new(0.0, CacheSettings::default().max_entries)
     }
 
-    /// The memoization key of a summary.
+    /// The memoization key of a summary (op profile unknown — keys built
+    /// here never collide with profiled keys carrying a nonzero profile).
     pub fn key_for(&self, summary: &ShapeSummary) -> ShapeKey {
+        self.key_with_profile(summary, OpProfile::empty())
+    }
+
+    /// The memoization key of a summary together with the transaction's
+    /// op-kind profile (carried exactly, never quantized).
+    pub fn key_with_profile(&self, summary: &ShapeSummary, profile: OpProfile) -> ShapeKey {
         let (read_loss, write_loss) = if self.quant_rel > 0.0 {
             (
                 bucket(summary.read_loss, self.quant_rel),
@@ -218,6 +243,7 @@ impl SelectionCache {
         ShapeKey {
             m: summary.m.min(u32::MAX as usize) as u32,
             n: summary.n.min(u32::MAX as usize) as u32,
+            profile: profile.bits(),
             read_loss,
             write_loss,
         }
@@ -253,19 +279,40 @@ impl SelectionCache {
         params: &MethodParamSet,
         summary: &ShapeSummary,
     ) -> SelectionDecision {
-        let key = self.key_for(summary);
-        if let Some(decision) = self.grid.get(&key) {
+        self.decide_routed(model, params, summary, OpProfile::empty())
+            .decision
+    }
+
+    /// The four-way lookup: protocol *and* confluence routing in one hash
+    /// probe. The confluence half is classified from the key's own exact
+    /// fields, so hit and miss paths cannot disagree about it.
+    pub fn decide_routed(
+        &mut self,
+        model: &StlModel,
+        params: &MethodParamSet,
+        summary: &ShapeSummary,
+        profile: OpProfile,
+    ) -> RoutedDecision {
+        let key = self.key_with_profile(summary, profile);
+        if let Some(routed) = self.grid.get(&key) {
             self.hits += 1;
-            return *decision;
+            return *routed;
         }
         self.misses += 1;
-        let decision = evaluate_decision(model, &self.representative(key), params);
+        let routed = RoutedDecision {
+            decision: evaluate_decision(model, &self.representative(key), params),
+            confluence: classify(
+                OpProfile::from_bits(key.profile),
+                key.m as usize,
+                key.n as usize,
+            ),
+        };
         if self.grid.len() >= self.max_entries {
             self.grid.clear();
             self.flushes += 1;
         }
-        self.grid.insert(key, decision);
-        decision
+        self.grid.insert(key, routed);
+        routed
     }
 
     /// Drop every memoized decision (the epoch re-fit path).
@@ -577,7 +624,9 @@ impl CachedStlSelector {
             signal,
             commits,
             MetricsSource::Borrowed(metrics),
+            OpProfile::empty(),
         )
+        .decision
     }
 
     /// Choose the concurrency-control method for `txn` against *sharded*
@@ -604,6 +653,36 @@ impl CachedStlSelector {
                 merge: Some(merge),
                 merged: None,
             },
+            OpProfile::empty(),
+        )
+        .decision
+    }
+
+    /// The four-way variant of [`CachedStlSelector::select_sharded`]:
+    /// alongside the 2PL / T/O / PA protocol choice, the returned
+    /// [`RoutedDecision`] says whether the shape (described by `profile`)
+    /// is invariant-confluent and may bypass coordination entirely. Both
+    /// halves are memoized in the same [`ShapeKey`] grid — one hash
+    /// lookup in steady state.
+    pub fn select_routed_sharded<F: FnOnce() -> SimMetrics>(
+        &mut self,
+        txn: &Transaction,
+        catalog: &Catalog,
+        signal: WorkloadSignal,
+        commits: u64,
+        merge: F,
+        profile: OpProfile,
+    ) -> RoutedDecision {
+        self.select_core(
+            txn,
+            catalog,
+            signal,
+            commits,
+            MetricsSource::Lazy {
+                merge: Some(merge),
+                merged: None,
+            },
+            profile,
         )
     }
 
@@ -614,7 +693,12 @@ impl CachedStlSelector {
         signal: WorkloadSignal,
         commits: u64,
         mut source: MetricsSource<'_, F>,
-    ) -> SelectionDecision {
+        profile: OpProfile,
+    ) -> RoutedDecision {
+        // Confluence is a pure function of the profile and access-set
+        // sizes — independent of the fitted model, so warm-up and
+        // exploration rounds route exactly like steady state.
+        let confluence = classify(profile, txn.read_set().len(), txn.write_set().len());
         self.counter += 1;
         if !self.warmed {
             // Exact, metrics-free pre-filter: fewer than `3 × warmup`
@@ -624,12 +708,18 @@ impl CachedStlSelector {
             if commits < self.settings.warmup_commits.saturating_mul(3)
                 || !StlSelector::warmed_up(source.get(), self.settings.warmup_commits)
             {
-                return exploratory_decision(self.counter);
+                return RoutedDecision {
+                    decision: exploratory_decision(self.counter),
+                    confluence,
+                };
             }
             self.warmed = true;
         }
         if is_exploration_round(self.counter, self.settings.explore_every) {
-            return exploratory_decision(self.counter);
+            return RoutedDecision {
+                decision: exploratory_decision(self.counter),
+                confluence,
+            };
         }
 
         if self.needs_refit(signal, commits, &mut source) {
@@ -641,7 +731,7 @@ impl CachedStlSelector {
             .expect("needs_refit guarantees a snapshot");
         let summary = snapshot.summary_for(txn, catalog);
         self.cache
-            .decide(&snapshot.model, &snapshot.params, &summary)
+            .decide_routed(&snapshot.model, &snapshot.params, &summary, profile)
     }
 
     fn needs_refit<F: FnOnce() -> SimMetrics>(
@@ -861,6 +951,82 @@ mod tests {
         let key = cache.key_for(&base);
         let rep = cache.representative(key);
         assert_eq!(cache.key_for(&rep), key);
+    }
+
+    #[test]
+    fn routed_hit_and_miss_agree_and_key_on_profile() {
+        let metrics = warmed_metrics();
+        let model = StlSelector::model_from_metrics(&metrics);
+        let params = MethodParamSet::measure(&metrics);
+        let mut cache = SelectionCache::new(0.05, 1024);
+        let summary = ShapeSummary {
+            m: 1,
+            n: 2,
+            read_loss: 7.0,
+            write_loss: 3.0,
+        };
+        let adds = OpProfile::ADDS;
+        let rmw = OpProfile::RMW_WRITES;
+        let miss = cache.decide_routed(&model, &params, &summary, adds);
+        let hit = cache.decide_routed(&model, &params, &summary, adds);
+        assert_eq!(miss.confluence, Confluence::ConfluentFastPath);
+        assert_eq!(hit.confluence, miss.confluence);
+        assert_eq!(bits(&hit.decision), bits(&miss.decision));
+        // Same summary under an rmw profile is a different key with a
+        // different routing verdict; the protocol decision is identical
+        // (same representative summary).
+        let coord = cache.decide_routed(&model, &params, &summary, rmw);
+        assert_eq!(coord.confluence, Confluence::Coordinated);
+        assert_eq!(bits(&coord.decision), bits(&miss.decision));
+        assert_ne!(
+            cache.key_with_profile(&summary, adds),
+            cache.key_with_profile(&summary, rmw)
+        );
+        // The profile-free key is the empty profile's key.
+        assert_eq!(
+            cache.key_for(&summary),
+            cache.key_with_profile(&summary, OpProfile::empty())
+        );
+    }
+
+    #[test]
+    fn routed_selection_classifies_through_warmup_and_steady_state() {
+        let metrics = warmed_metrics();
+        let cat = catalog();
+        let mut cached = CachedStlSelector::with_settings(CacheSettings {
+            warmup_commits: 10,
+            explore_every: 3,
+            quant_rel: 0.05,
+            ..CacheSettings::default()
+        });
+        // 2 adds, no reads: confluent on every round — exploration and
+        // cache hits alike (routing never depends on the fitted model).
+        let t = txn(1, &[], &[2, 3]);
+        for i in 0..30 {
+            let routed = cached.select_routed_sharded(
+                &t,
+                &cat,
+                WorkloadSignal::default(),
+                metrics.total_committed.get(),
+                || metrics.clone(),
+                OpProfile::ADDS,
+            );
+            assert_eq!(
+                routed.confluence,
+                Confluence::ConfluentFastPath,
+                "round {i} must route fast"
+            );
+        }
+        let rmw = cached.select_routed_sharded(
+            &t,
+            &cat,
+            WorkloadSignal::default(),
+            metrics.total_committed.get(),
+            || metrics.clone(),
+            OpProfile::RMW_WRITES,
+        );
+        assert_eq!(rmw.confluence, Confluence::Coordinated);
+        assert!(cached.cache_stats().hits > 0, "routed lookups must hit");
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! Invariant-confluence classification: which transaction shapes may skip
+//! queue-manager coordination entirely.
+//!
+//! Bailis et al.'s coordination-avoidance result (see PAPERS.md) proves
+//! that operations whose effects are *invariant confluent* — any
+//! interleaving of their per-item applications preserves the registered
+//! invariants and admits a serial order — need no grants, no precedence
+//! entries and no deadlock exposure. For this engine the provable shapes
+//! are:
+//!
+//! * **commutative single-item increments/decrements** (`add` ops):
+//!   `x += a; x += b` reaches the same state in either order;
+//! * **disjoint-key blind writes** (`put` ops): last-writer-wins on an
+//!   item nobody is coordinating over;
+//! * **read-only transactions** over items with no in-flight writers.
+//!
+//! Classification is deliberately a *pure* function of the transaction's
+//! [`OpProfile`] and its read/write-set sizes — never of the quantized
+//! loss estimates that share the [`crate::ShapeKey`] grid. Every summary
+//! that quantizes to the same key therefore classifies identically, so a
+//! memoized routing decision can never flip a transaction onto a bypass
+//! its fresh evaluation would refuse (the property-tested contract).
+//!
+//! The classifier only decides *eligibility*. The dynamic safety half —
+//! "no in-flight writers", "nobody is coordinating over this key" — is
+//! checked by the owning queue manager at apply time, which refuses the
+//! bypass whenever a touched slot has queued or granted coordinated work.
+
+/// Bit-set of the operation kinds one transaction performs. The raw `u8`
+/// is embedded verbatim in the [`crate::ShapeKey`] memoization grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct OpProfile(u8);
+
+impl OpProfile {
+    /// Plain reads (the transaction's read set).
+    pub const READS: OpProfile = OpProfile(1);
+    /// Commutative increments/decrements (`add` ops).
+    pub const ADDS: OpProfile = OpProfile(1 << 1);
+    /// Blind absolute writes (`put` ops).
+    pub const PUTS: OpProfile = OpProfile(1 << 2);
+    /// Read-modify-write writes: items whose new value is computed from
+    /// values observed under coordination. Never confluent.
+    pub const RMW_WRITES: OpProfile = OpProfile(1 << 3);
+
+    /// The profile of a transaction performing none of the known op kinds.
+    pub const fn empty() -> OpProfile {
+        OpProfile(0)
+    }
+
+    /// Union with another profile.
+    #[must_use]
+    pub const fn with(self, other: OpProfile) -> OpProfile {
+        OpProfile(self.0 | other.0)
+    }
+
+    /// True when every bit of `other` is set in `self`.
+    pub const fn contains(self, other: OpProfile) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// True when no op kind is recorded.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The raw bit pattern (what the [`crate::ShapeKey`] stores).
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Rebuild a profile from its raw bit pattern.
+    pub const fn from_bits(raw: u8) -> OpProfile {
+        OpProfile(raw)
+    }
+}
+
+/// How a classified transaction is routed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Confluence {
+    /// Through the queue managers: grants, precedence, the full protocol.
+    Coordinated,
+    /// Around them: a single direct apply at the owning shard, subject to
+    /// the queue manager's at-apply refusal check.
+    ConfluentFastPath,
+}
+
+/// Largest read+write footprint eligible for the fast path. A bypass
+/// apply holds the shard thread for the whole transaction; bounding the
+/// footprint bounds the latency it can impose on queued coordinated work.
+pub const FAST_PATH_MAX_OPS: usize = 16;
+
+/// Classify a transaction shape: `profile` says which op kinds it
+/// performs, `reads`/`writes` are its read- and write-set sizes.
+///
+/// Pure in `(profile, reads, writes)` by construction — the quantized
+/// loss buckets a [`crate::ShapeKey`] carries play no part, so all
+/// representatives of one key agree.
+pub fn classify(profile: OpProfile, reads: usize, writes: usize) -> Confluence {
+    if profile.is_empty() || profile.contains(OpProfile::RMW_WRITES) {
+        return Confluence::Coordinated;
+    }
+    if reads + writes > FAST_PATH_MAX_OPS {
+        return Confluence::Coordinated;
+    }
+    Confluence::ConfluentFastPath
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_shapes_are_confluent() {
+        // Read-only, increment-only, blind-put-only, and their mixes.
+        assert_eq!(
+            classify(OpProfile::READS, 4, 0),
+            Confluence::ConfluentFastPath
+        );
+        assert_eq!(
+            classify(OpProfile::ADDS, 0, 2),
+            Confluence::ConfluentFastPath
+        );
+        assert_eq!(
+            classify(OpProfile::PUTS, 0, 3),
+            Confluence::ConfluentFastPath
+        );
+        assert_eq!(
+            classify(OpProfile::READS.with(OpProfile::ADDS), 2, 2),
+            Confluence::ConfluentFastPath
+        );
+    }
+
+    #[test]
+    fn rmw_and_unknown_shapes_stay_coordinated() {
+        assert_eq!(
+            classify(OpProfile::RMW_WRITES, 0, 2),
+            Confluence::Coordinated
+        );
+        assert_eq!(
+            classify(OpProfile::READS.with(OpProfile::RMW_WRITES), 2, 1),
+            Confluence::Coordinated,
+            "one rmw write poisons the whole transaction"
+        );
+        assert_eq!(
+            classify(OpProfile::empty(), 0, 0),
+            Confluence::Coordinated,
+            "an empty profile says nothing about the ops — stay safe"
+        );
+    }
+
+    #[test]
+    fn footprint_bound_is_enforced() {
+        assert_eq!(
+            classify(OpProfile::ADDS, 0, FAST_PATH_MAX_OPS),
+            Confluence::ConfluentFastPath
+        );
+        assert_eq!(
+            classify(OpProfile::ADDS, 1, FAST_PATH_MAX_OPS),
+            Confluence::Coordinated
+        );
+    }
+
+    #[test]
+    fn profile_bits_round_trip() {
+        let p = OpProfile::READS.with(OpProfile::PUTS);
+        assert_eq!(OpProfile::from_bits(p.bits()), p);
+        assert!(p.contains(OpProfile::READS));
+        assert!(!p.contains(OpProfile::ADDS));
+        assert!(OpProfile::empty().is_empty());
+    }
+}

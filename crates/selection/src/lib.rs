@@ -25,14 +25,16 @@
 //!   fresh STL′ evaluation within an epoch.
 
 pub mod cache;
+pub mod confluence;
 pub mod estimators;
 pub mod selector;
 pub mod stl;
 
 pub use cache::{
-    CacheSettings, CacheStats, CachedStlSelector, EpochSnapshot, SelectionCache, ShapeKey,
-    WorkloadSignal,
+    CacheSettings, CacheStats, CachedStlSelector, EpochSnapshot, RoutedDecision, SelectionCache,
+    ShapeKey, WorkloadSignal,
 };
+pub use confluence::{classify, Confluence, OpProfile, FAST_PATH_MAX_OPS};
 pub use estimators::{
     stl_2pl, stl_2pl_summary, stl_pa, stl_pa_summary, stl_to, stl_to_summary, ProtocolParams,
     ShapeSummary, TxnShape,

@@ -11,7 +11,7 @@
 //! phases.
 
 /// Number of distinct lifecycle phases (the length of [`Phase::ALL`]).
-pub const NUM_PHASES: usize = 13;
+pub const NUM_PHASES: usize = 14;
 
 /// A lifecycle phase tag. The first group marks the client-side phase
 /// *boundaries* whose consecutive differences telescope exactly over an
@@ -52,6 +52,10 @@ pub enum Phase {
     Granted = 11,
     /// Detector: a deadlock victim was signalled (`txn` = the victim).
     Victim = 12,
+    /// Client: an invariant-confluent transaction was applied through the
+    /// coordination-avoidance bypass — no grants, no queue time
+    /// (`arg` = number of ops applied).
+    FastPathApplied = 13,
 }
 
 impl Phase {
@@ -70,6 +74,7 @@ impl Phase {
         Phase::ShardRecv,
         Phase::Granted,
         Phase::Victim,
+        Phase::FastPathApplied,
     ];
 
     /// Decode a raw discriminant (a torn ring slot yields `None`).
@@ -93,6 +98,7 @@ impl Phase {
             Phase::ShardRecv => "shard-recv",
             Phase::Granted => "granted",
             Phase::Victim => "victim",
+            Phase::FastPathApplied => "fastpath-applied",
         }
     }
 

@@ -15,8 +15,8 @@ use dbmodel::{CcMethod, LogicalItemId, PhysicalItemId, ReplicationPolicy, SiteId
 use metrics::SimMetrics;
 use proptest::prelude::*;
 use selection::{
-    evaluate_decision, CacheSettings, CachedStlSelector, MethodParamSet, ProtocolParams,
-    SelectionCache, SelectionDecision, ShapeSummary, StlModel, StlSelector,
+    classify, evaluate_decision, CacheSettings, CachedStlSelector, MethodParamSet, OpProfile,
+    ProtocolParams, SelectionCache, SelectionDecision, ShapeSummary, StlModel, StlSelector,
 };
 use simkit::time::{Duration, SimTime};
 
@@ -138,6 +138,48 @@ proptest! {
         let hit = cache.decide(&model, &params, &summary);
         prop_assert_eq!(bits(&fresh_rep), bits(&miss));
         prop_assert_eq!(bits(&miss), bits(&hit));
+    }
+
+    /// The fast-path safety contract of the `ShapeKey` grid (PR 8): the
+    /// confluence classification memoized alongside the protocol decision
+    /// is stable across *every* representative of a quantized key. Two
+    /// summaries landing in the same bucket — however far apart their
+    /// loss estimates sit inside it — must classify identically, both by
+    /// the pure classifier and through the cache's hit path, so a cache
+    /// hit can never flip a transaction onto a bypass its own fresh
+    /// evaluation would refuse.
+    #[test]
+    fn classification_is_stable_across_bucket_representatives(
+        case in (
+            arb_model(),
+            arb_summary(),
+            arb_summary(),
+            arb_param_set(),
+            0.01f64..0.4,
+            0u8..16,
+        )
+    ) {
+        let (model, a, b, params, quant, raw_profile) = case;
+        let profile = OpProfile::from_bits(raw_profile);
+        let mut cache = SelectionCache::new(quant, 8192);
+        let key_a = cache.key_with_profile(&a, profile);
+        // Only pairs that quantize to the same key are constrained; steer
+        // `b` into `a`'s bucket by reusing `a`'s sizes (sizes are exact
+        // key fields, losses are the quantized ones).
+        let b = ShapeSummary { m: a.m, n: a.n, ..b };
+        if cache.key_with_profile(&b, profile) == key_a {
+            let fresh_a = classify(profile, a.m, a.n);
+            let fresh_b = classify(profile, b.m, b.n);
+            prop_assert_eq!(fresh_a, fresh_b, "same key, different fresh classification");
+            // The memoized verdict (seeded by whichever summary misses
+            // first) matches the other summary's fresh classification on
+            // its hit.
+            let routed_miss = cache.decide_routed(&model, &params, &a, profile);
+            let routed_hit = cache.decide_routed(&model, &params, &b, profile);
+            prop_assert_eq!(routed_miss.confluence, fresh_b);
+            prop_assert_eq!(routed_hit.confluence, fresh_b);
+            prop_assert_eq!(cache.hits(), 1);
+        }
     }
 }
 
