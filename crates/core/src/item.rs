@@ -133,6 +133,44 @@ impl ItemState {
         self.queue.is_empty() && self.locks.is_empty()
     }
 
+    /// True when `txn` has an entry (granted or waiting) in this item's
+    /// queue. A queue entry exists from admission until release/abort, so
+    /// this is the idempotence key for duplicate `Access` suppression:
+    /// TxnIds are never reused across incarnations, and one incarnation
+    /// issues at most one request per item.
+    pub fn has_queued(&self, txn: TxnId) -> bool {
+        self.queue.get(txn).is_some()
+    }
+
+    /// True when `txn` holds any state at this item — a queue entry or a
+    /// (possibly semi-) lock. Used by the stranded-transaction sweep.
+    pub fn involves(&self, txn: TxnId) -> bool {
+        self.has_queued(txn) || self.locks.iter().any(|l| l.txn == txn)
+    }
+
+    /// Append every transaction holding any state at this item (queued or
+    /// locked) to `out`.
+    pub fn present_txns_into(&self, out: &mut Vec<TxnId>) {
+        out.extend(self.queue.iter().map(|e| e.txn));
+        out.extend(self.locks.iter().map(|l| l.txn));
+    }
+
+    /// Crash with partial amnesia: drop every *ungranted* queue entry
+    /// (in-flight admissions that never reached stable storage) while
+    /// keeping granted entries, held locks, the item value and the
+    /// `R-TS`/`W-TS` thresholds (all durable). Lock upgrades and grants
+    /// are re-evaluated afterwards (defensively — every surviving entry
+    /// is granted already, so this is normally a no-op) with any output
+    /// flowing into `sink` like any other transition. Returns how many
+    /// entries were wiped.
+    pub fn crash_recover(&mut self, sink: &mut QmSink) -> usize {
+        let wiped = self.queue.retain_granted();
+        if wiped > 0 {
+            self.after_lock_removal(sink);
+        }
+        wiped
+    }
+
     /// True when a coordination-free read of this item must be refused: a
     /// write-kind lock is held (the holder's write will implement at some
     /// later point on *every* item it touches, and a fast-path read
@@ -1129,6 +1167,101 @@ mod tests {
             "the waiter is granted after the abort"
         );
         assert_eq!(s.value(), 100);
+    }
+
+    #[test]
+    fn crash_recover_wipes_waiters_keeps_grants_and_regrants() {
+        let mut s = state();
+        // t1 holds the write lock; t2 and t3 wait.
+        access(
+            &mut s,
+            1,
+            0,
+            AccessMode::Write,
+            CcMethod::TwoPhaseLocking,
+            ts(0),
+        );
+        access(
+            &mut s,
+            2,
+            1,
+            AccessMode::Write,
+            CcMethod::TwoPhaseLocking,
+            ts(0),
+        );
+        access(
+            &mut s,
+            3,
+            2,
+            AccessMode::Read,
+            CcMethod::TwoPhaseLocking,
+            ts(0),
+        );
+        assert!(s.involves(TxnId(2)) && s.has_queued(TxnId(3)));
+        let mut sink = QmSink::new();
+        let wiped = s.crash_recover(&mut sink);
+        assert_eq!(wiped, 2, "both waiters wiped");
+        assert!(grant_txns(&sink).is_empty(), "nothing new grantable yet");
+        assert_eq!(s.locks().len(), 1, "the granted lock survives");
+        assert_eq!(s.queue_len(), 1);
+        assert!(!s.involves(TxnId(2)));
+        // The holder's release still implements its write after the crash.
+        let e = release(&mut s, 1, Some(41));
+        assert_eq!(implemented(&e), vec![(TxnId(1), AccessMode::Write)]);
+        assert_eq!(s.value(), 41);
+        assert!(s.is_idle());
+        // A present-txns report covers queued and locked transactions.
+        access(
+            &mut s,
+            4,
+            0,
+            AccessMode::Write,
+            CcMethod::TwoPhaseLocking,
+            ts(0),
+        );
+        let mut present = Vec::new();
+        s.present_txns_into(&mut present);
+        present.sort_unstable();
+        present.dedup();
+        assert_eq!(present, vec![TxnId(4)]);
+    }
+
+    #[test]
+    fn crash_recover_wipes_blocked_heads_too() {
+        let mut s = state();
+        // Seed thresholds, then park a blocked PA head in front of an
+        // ungranted T/O read (same shape as
+        // `blocked_pa_entry_prevents_later_grants`).
+        access(
+            &mut s,
+            1,
+            0,
+            AccessMode::Write,
+            CcMethod::PrecedenceAgreement,
+            ts(50),
+        );
+        release(&mut s, 1, None);
+        access(
+            &mut s,
+            2,
+            1,
+            AccessMode::Write,
+            CcMethod::PrecedenceAgreement,
+            TsTuple::new(Timestamp(20), 40),
+        );
+        let e = access(
+            &mut s,
+            3,
+            2,
+            AccessMode::Read,
+            CcMethod::TimestampOrdering,
+            ts(100),
+        );
+        assert!(grant_txns(&e).is_empty(), "blocked head holds t3 back");
+        let mut sink = QmSink::new();
+        let wiped = s.crash_recover(&mut sink);
+        assert_eq!(wiped, 2, "both ungranted entries wiped");
+        assert!(s.is_idle(), "no locks were held; item empty after crash");
     }
 
     #[test]

@@ -147,6 +147,16 @@ impl DataQueue {
         self.entries.iter().find(|e| !e.granted)
     }
 
+    /// Drop every *ungranted* entry, keeping granted ones — the queue half
+    /// of crash recovery with partial amnesia: grants (and the locks that
+    /// back them) have reached stable storage, in-flight admissions have
+    /// not. Returns how many entries were wiped.
+    pub fn retain_granted(&mut self) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.granted);
+        before - self.entries.len()
+    }
+
     /// All currently granted entries, in precedence order.
     pub fn granted(&self) -> impl Iterator<Item = &QueueEntry> + '_ {
         self.entries.iter().filter(|e| e.granted)
@@ -212,6 +222,19 @@ mod tests {
         assert_eq!(q.head().unwrap().txn, TxnId(2));
         q.mark_granted(TxnId(2));
         assert!(q.head().is_none());
+    }
+
+    #[test]
+    fn retain_granted_wipes_only_waiters() {
+        let mut q = DataQueue::new();
+        q.insert(entry(1, 10, AccessMode::Write));
+        q.insert(entry(2, 20, AccessMode::Write));
+        q.insert(entry(3, 30, AccessMode::Read));
+        q.mark_granted(TxnId(1));
+        assert_eq!(q.retain_granted(), 2);
+        let left: Vec<u64> = q.iter().map(|e| e.txn.0).collect();
+        assert_eq!(left, vec![1]);
+        assert_eq!(q.retain_granted(), 0, "idempotent once waiters are gone");
     }
 
     #[test]

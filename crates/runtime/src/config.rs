@@ -74,6 +74,10 @@ pub enum ConfigError {
     BadTrace(String),
     /// The reply-plane sizing is internally inconsistent.
     BadReplyPlane(String),
+    /// A wait bound is zero (the runtime would spin).
+    BadTimeout(String),
+    /// The fault schedule does not match the runtime shape.
+    BadFaults(String),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -89,6 +93,8 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::BadTrace(why) => write!(f, "bad trace settings: {why}"),
             ConfigError::BadReplyPlane(why) => write!(f, "bad reply-plane settings: {why}"),
+            ConfigError::BadTimeout(why) => write!(f, "bad timeout settings: {why}"),
+            ConfigError::BadFaults(why) => write!(f, "bad fault schedule: {why}"),
         }
     }
 }
@@ -160,6 +166,26 @@ pub struct RuntimeConfig {
     /// Restart attempts per transaction before giving up with
     /// [`crate::TxnError::TooManyRestarts`].
     pub max_restarts: u32,
+    /// Bound on one incarnation's wait for grants/replies in `begin`.
+    /// An incarnation that sees nothing for this long is aborted and
+    /// restarted (with backoff, counted in
+    /// [`crate::StatsSnapshot::timeout_restarts`]); a transaction that
+    /// exhausts `max_restarts` this way fails with
+    /// [`crate::TxnError::ShardUnavailable`] instead of blocking forever
+    /// on a dead or partitioned shard.
+    pub request_timeout: Duration,
+    /// Bound on the commit-time wait for the transaction's trailing
+    /// normal grants (the T/O demote conversation). On expiry the commit
+    /// returns [`crate::TxnError::ShardUnavailable`]; the writes were
+    /// already implemented at demote time, so the outcome is "decided
+    /// but unacknowledged", exactly like a timed-out distributed commit.
+    pub commit_timeout: Duration,
+    /// Per-shard bound on the diagnostic oneshot conversations
+    /// ([`crate::Database::waiting_transactions`],
+    /// [`crate::Database::log_snapshot`] and the fast-path apply
+    /// round-trip). A shard that stays silent past the deadline is
+    /// skipped (diagnostics) or reported unavailable (fast path).
+    pub diagnostic_timeout: Duration,
     /// Base delay between restart attempts (doubled per attempt up to 128×,
     /// plus a per-transaction jitter to break symmetry).
     pub restart_backoff: Duration,
@@ -183,6 +209,20 @@ pub struct RuntimeConfig {
     /// histories** — it exists only as the mutation switch proving the
     /// check is load-bearing (see the runtime's mutation test).
     pub confluence_check: bool,
+    /// Deterministic fault injection on the client→shard message plane:
+    /// `Some(schedule)` arms a [`faultsim::FaultPlane`] with the given
+    /// seeded schedule (drop / duplicate / delay / partition per link,
+    /// scheduled shard crashes). The schedule must cover exactly
+    /// `num_shards` links. `None` (default) is the reliable plane.
+    pub faults: Option<faultsim::FaultSchedule>,
+    /// Suppress re-delivered duplicate `Access` messages at the queue
+    /// manager (keyed by the queued incarnation — TxnIds are never
+    /// reused, so a second `Access` from the same incarnation at an item
+    /// it already queued at is always a transport-level duplicate).
+    /// **Disabling this admits double-queued entries** — it exists only
+    /// as the mutation switch proving the guard is load-bearing under
+    /// the duplicate-injection schedule.
+    pub dedup_access: bool,
     /// The flight-recorder tracing plane: [`trace::TraceLevel::Off`]
     /// records nothing (and allocates nothing), `Counters` keeps phase
     /// counters and the Section-5 span accumulators, `Full` (default)
@@ -211,11 +251,16 @@ impl Default for RuntimeConfig {
             reply_deliver_timeout: Duration::from_secs(1),
             deadlock_scan_interval: Duration::from_millis(5),
             max_restarts: 256,
+            request_timeout: Duration::from_secs(30),
+            commit_timeout: Duration::from_secs(30),
+            diagnostic_timeout: Duration::from_secs(1),
             restart_backoff: Duration::from_micros(200),
             seed: 0,
             selection_cache: Some(CacheSettings::default()),
             confluence_fastpath: true,
             confluence_check: true,
+            faults: None,
+            dedup_access: true,
             trace: trace::TraceConfig::default(),
         }
     }
@@ -259,6 +304,24 @@ impl RuntimeConfig {
                 "reply_index_max_capacity ({}) is below reply_index_capacity ({})",
                 self.reply_index_max_capacity, self.reply_index_capacity
             )));
+        }
+        for (name, value) in [
+            ("request_timeout", self.request_timeout),
+            ("commit_timeout", self.commit_timeout),
+            ("diagnostic_timeout", self.diagnostic_timeout),
+        ] {
+            if value.is_zero() {
+                return Err(ConfigError::BadTimeout(format!("{name} must be nonzero")));
+            }
+        }
+        if let Some(schedule) = &self.faults {
+            if schedule.num_links() != self.num_shards as usize {
+                return Err(ConfigError::BadFaults(format!(
+                    "schedule covers {} links but the runtime has {} shards",
+                    schedule.num_links(),
+                    self.num_shards
+                )));
+            }
         }
         Ok(())
     }
@@ -348,6 +411,36 @@ mod tests {
             ..RuntimeConfig::default()
         };
         assert_eq!(c.validate(), Ok(()), "a fixed-size index is valid");
+    }
+
+    #[test]
+    fn zero_timeouts_are_rejected() {
+        for patch in [
+            |c: &mut RuntimeConfig| c.request_timeout = Duration::ZERO,
+            |c: &mut RuntimeConfig| c.commit_timeout = Duration::ZERO,
+            |c: &mut RuntimeConfig| c.diagnostic_timeout = Duration::ZERO,
+        ] {
+            let mut c = RuntimeConfig::default();
+            patch(&mut c);
+            assert!(matches!(c.validate(), Err(ConfigError::BadTimeout(_))));
+        }
+    }
+
+    #[test]
+    fn fault_schedule_link_count_must_match_shards() {
+        let schedule = faultsim::FaultSchedule::generate(faultsim::FaultProfile::default(), 1, 2);
+        let c = RuntimeConfig {
+            num_shards: 4,
+            faults: Some(schedule.clone()),
+            ..RuntimeConfig::default()
+        };
+        assert!(matches!(c.validate(), Err(ConfigError::BadFaults(_))));
+        let c = RuntimeConfig {
+            num_shards: 2,
+            faults: Some(schedule),
+            ..RuntimeConfig::default()
+        };
+        assert_eq!(c.validate(), Ok(()));
     }
 
     #[test]

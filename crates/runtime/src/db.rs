@@ -157,6 +157,16 @@ pub enum TxnError {
     },
     /// The database shut down while the transaction was in flight.
     ShuttingDown,
+    /// A shard stopped answering within the configured deadline
+    /// ([`crate::RuntimeConfig::request_timeout`] /
+    /// [`crate::RuntimeConfig::commit_timeout`] /
+    /// [`crate::RuntimeConfig::diagnostic_timeout`]), and the bounded
+    /// retry budget is exhausted. Before the execution phase this is a
+    /// clean failure (nothing was implemented); at commit time the
+    /// transaction's writes were already implemented when its locks
+    /// demoted — the outcome is *decided but unacknowledged*, never a
+    /// partial commit.
+    ShardUnavailable,
 }
 
 impl std::fmt::Display for TxnError {
@@ -175,6 +185,10 @@ impl std::fmt::Display for TxnError {
                  (raise RuntimeConfig::reply_max_clients or commit sooner)"
             ),
             TxnError::ShuttingDown => write!(f, "database is shutting down"),
+            TxnError::ShardUnavailable => write!(
+                f,
+                "a shard stopped answering within the configured deadline"
+            ),
         }
     }
 }
@@ -248,6 +262,9 @@ struct Inner {
     ts_counter: AtomicU64,
     started: Instant,
     stopped: Arc<AtomicBool>,
+    /// The armed fault-injection plane wrapping the client→shard
+    /// transport boundary (`None` when the config schedules no faults).
+    faults: Option<Arc<faultsim::FaultPlane>>,
     /// The flight-recorder tracing plane (see [`trace`]); shared with the
     /// shard threads and the deadlock detector.
     trace: Arc<TracePlane>,
@@ -302,12 +319,13 @@ impl Database {
         let mut shard_txs = Vec::new();
         let mut site_index = HashMap::new();
         for (idx, &site) in catalog.sites().iter().enumerate() {
-            let qm = QueueManager::from_catalog(
+            let mut qm = QueueManager::from_catalog(
                 site,
                 &catalog,
                 config.initial_value,
                 config.enforcement,
             );
+            qm.set_dedup_access(config.dedup_access);
             let (tx, rx) = shard::inbox_pair(config.transport, config.shard_inbox_capacity);
             if plane.level() == TraceLevel::Full {
                 // Queue-dwell stamping on the batched ring: each slot
@@ -363,6 +381,10 @@ impl Database {
             }
             None => SelectorEngine::Fresh(StlSelector::new()),
         };
+        let faults = config
+            .faults
+            .clone()
+            .map(|schedule| Arc::new(faultsim::FaultPlane::new(schedule)));
         Ok(Database {
             inner: Arc::new(Inner {
                 mix_rng: Mutex::new(SimRng::new(config.seed)),
@@ -378,6 +400,7 @@ impl Database {
                 ts_counter: AtomicU64::new(0),
                 started: Instant::now(),
                 stopped,
+                faults,
                 trace: plane,
                 _sercheck_guard: sercheck_guard,
                 teardown: Mutex::new(Some((shard_handles, stop_tx, detector_join))),
@@ -455,13 +478,17 @@ impl Database {
     }
 
     /// Transactions currently queued at some shard without a grant
-    /// (diagnostics).
+    /// (diagnostics). Bounded: a shard that does not answer within
+    /// [`crate::RuntimeConfig::diagnostic_timeout`] (e.g. mid-outage
+    /// under the fault plane) is skipped rather than blocking the caller
+    /// forever.
     pub fn waiting_transactions(&self) -> Vec<TxnId> {
+        let deadline = self.inner.config.diagnostic_timeout;
         let mut waiting = Vec::new();
         for shard in &self.inner.shard_txs {
             let (tx, rx) = transport::oneshot::channel();
             if shard.send(ShardCmd::Waiting(tx)).is_ok() {
-                if let Ok(mut txns) = rx.recv() {
+                if let Ok(mut txns) = rx.recv_timeout(deadline) {
                     waiting.append(&mut txns);
                 }
             }
@@ -472,18 +499,43 @@ impl Database {
     }
 
     /// A live copy of the execution log accumulated so far, merged across
-    /// shards — the tap the serializability oracle replays.
+    /// shards — the tap the serializability oracle replays. Bounded like
+    /// [`Database::waiting_transactions`]: an unresponsive shard's slice
+    /// is missing from the snapshot instead of hanging the caller.
     pub fn log_snapshot(&self) -> LogSet {
+        let deadline = self.inner.config.diagnostic_timeout;
         let mut merged = LogSet::new();
         for shard in &self.inner.shard_txs {
             let (tx, rx) = transport::oneshot::channel();
             if shard.send(ShardCmd::LogSnapshot(tx)).is_ok() {
-                if let Ok(slice) = rx.recv() {
+                if let Ok(slice) = rx.recv_timeout(deadline) {
                     merge_logs(&mut merged, &slice);
                 }
             }
         }
         merged
+    }
+
+    /// Deactivate the fault plane and flush every message it still holds
+    /// (delayed and partition-buffered) to its destination shard. Call
+    /// before draining a chaos run so invariants are checked against a
+    /// fully delivered history. No-op without an armed fault plane.
+    pub fn quiesce_faults(&self) {
+        if let Some(plane) = &self.inner.faults {
+            plane.quiesce(|link, msg| {
+                // The flushed message's origin is lost with the buffer;
+                // precedence tie-breaking by origin only needs *a* site,
+                // and the destination's own id is deterministic.
+                let origin = self.inner.catalog.sites()[link];
+                let _ = self.inner.shard_txs[link].send(ShardCmd::Handle { origin, msg });
+            });
+        }
+    }
+
+    /// Counters of every fault the armed plane injected so far (`None`
+    /// without a fault schedule).
+    pub fn fault_counters(&self) -> Option<faultsim::FaultCounters> {
+        self.inner.faults.as_ref().map(|plane| plane.counters())
     }
 
     /// Force an epoch re-fit of the cached dynamic selector right now,
@@ -653,6 +705,31 @@ impl Database {
                     if attempt > inner.config.max_restarts {
                         inner.stats.failed.fetch_add(1, Ordering::Relaxed);
                         return Err(TxnError::TooManyRestarts { attempts: attempt });
+                    }
+                    self.restart_pause(txn_id, attempt);
+                }
+                WaitOutcome::TimedOut => {
+                    // Abort the incarnation's residual queue state (best
+                    // effort — the Aborts cross the fault plane too; the
+                    // detector's stranded-transaction sweep covers
+                    // whatever they don't reach) and retry under a fresh
+                    // id. Exhausting the budget is a clean
+                    // `ShardUnavailable`: nothing of this transaction was
+                    // ever implemented.
+                    let aborts: Vec<RequestMsg> = ri
+                        .accessed_items()
+                        .map(|(item, _)| RequestMsg::Abort { txn: txn_id, item })
+                        .collect();
+                    let _ = self.route_all(origin, aborts);
+                    inner.registry.deregister(txn_id);
+                    inner.stats.timeout_restarts.fetch_add(1, Ordering::Relaxed);
+                    attempt += 1;
+                    if attempt > inner.config.max_restarts {
+                        inner
+                            .stats
+                            .shard_unavailable
+                            .fetch_add(1, Ordering::Relaxed);
+                        return Err(TxnError::ShardUnavailable);
                     }
                     self.restart_pause(txn_id, attempt);
                 }
@@ -831,14 +908,28 @@ impl Database {
         let mut reads = BTreeMap::new();
         let mut refused = false;
         for rx in pending {
-            match rx.recv() {
+            // Bounded: a shard mid-outage must not hang the bypass. The
+            // timeout is NOT a refusal — the command may still apply when
+            // the shard recovers, so falling back to the coordinated path
+            // here could double-apply. The whole transaction fails
+            // instead.
+            match rx.recv_timeout(inner.config.diagnostic_timeout) {
                 Ok(Some(values)) => {
                     for (item, value) in values {
                         reads.insert(item.logical, value);
                     }
                 }
                 Ok(None) => refused = true,
-                Err(_) => return Err(TxnError::ShuttingDown),
+                Err(transport::oneshot::RecvError::Disconnected) => {
+                    return Err(TxnError::ShuttingDown)
+                }
+                Err(transport::oneshot::RecvError::Timeout) => {
+                    inner
+                        .stats
+                        .shard_unavailable
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Err(TxnError::ShardUnavailable);
+                }
             }
         }
         if refused {
@@ -872,6 +963,9 @@ impl Database {
             .expect("teardown poisoned")
             .take()?;
         self.inner.stopped.store(true, Ordering::Relaxed);
+        // Flush anything still parked in the fault plane so the final
+        // drain sees every surviving message.
+        self.quiesce_faults();
         // Stop the detector first so it cannot block on a draining shard.
         let _ = stop_tx.send(());
         let _ = detector_join.join();
@@ -994,8 +1088,17 @@ impl Database {
         // probabilities the STL selector consumes.
         let mut outcome_seen: std::collections::HashSet<dbmodel::PhysicalItemId> =
             std::collections::HashSet::new();
+        // The bounded wait: replies may keep trickling in (partial
+        // grants) without execution ever starting — a dropped Access or a
+        // crashed shard strands the incarnation — so the deadline is
+        // checked on every pass, not only on empty polls.
+        let deadline = Instant::now() + self.inner.config.request_timeout;
+        let poll = SHUTDOWN_POLL.min(self.inner.config.request_timeout);
         loop {
-            let event = match events.recv_timeout(ri.txn_id(), SHUTDOWN_POLL) {
+            if Instant::now() >= deadline {
+                return Ok(WaitOutcome::TimedOut);
+            }
+            let event = match events.recv_timeout(ri.txn_id(), poll) {
                 Ok(ev) => ev,
                 Err(ClientRecvError::Timeout) => {
                     if self.inner.stopped.load(Ordering::Relaxed) {
@@ -1111,6 +1214,13 @@ impl Database {
         if sends.is_empty() {
             return Ok(());
         }
+        let sends = match &self.inner.faults {
+            Some(plane) if plane.is_active() => self.fault_filter(plane, sends)?,
+            _ => sends,
+        };
+        if sends.is_empty() {
+            return Ok(());
+        }
         let shard_of = |msg: &RequestMsg| -> usize {
             *self
                 .inner
@@ -1188,6 +1298,45 @@ impl Database {
         Ok(())
     }
 
+    /// Pass an outbound message list through the armed fault plane. Each
+    /// message crosses the plane on the link of its destination shard;
+    /// what comes back (possibly nothing — a drop or a hold — possibly
+    /// more — duplicates, released delays, healed partitions) replaces it
+    /// in the send list, still addressed to the same shard, so the
+    /// plane-specific packing below works unchanged. A crossed crash
+    /// point enqueues the crash command at the destination *before* the
+    /// messages of this call, mirroring a node that goes down as traffic
+    /// arrives.
+    fn fault_filter(
+        &self,
+        plane: &faultsim::FaultPlane,
+        sends: Vec<RequestMsg>,
+    ) -> Result<Vec<RequestMsg>, TxnError> {
+        let mut surviving = Vec::with_capacity(sends.len());
+        let mut delivered = Vec::new();
+        for msg in sends {
+            let link = *self
+                .inner
+                .site_index
+                .get(&msg.item().site)
+                .expect("catalog routed a message to an unknown site");
+            delivered.clear();
+            let crash = plane.on_send(link, msg, &mut delivered);
+            if let Some(signal) = crash {
+                if self.inner.shard_txs[link]
+                    .send(ShardCmd::Crash {
+                        outage: signal.outage,
+                    })
+                    .is_err()
+                {
+                    return Err(TxnError::ShuttingDown);
+                }
+            }
+            surviving.append(&mut delivered);
+        }
+        Ok(surviving)
+    }
+
     /// Exponential backoff with a deterministic per-transaction jitter.
     /// Basic T/O livelocks under sustained write contention unless retries
     /// are spread out (the losing transaction must reach every queue before
@@ -1227,7 +1376,13 @@ fn merge_logs(into: &mut LogSet, from: &LogSet) {
 
 enum WaitOutcome {
     Executing,
-    Restart { rejected: bool },
+    Restart {
+        rejected: bool,
+    },
+    /// `request_timeout` expired before every access was granted: a
+    /// shard is down, a message was dropped, or the grant is parked
+    /// behind a partition. The incarnation is aborted and retried.
+    TimedOut,
 }
 
 /// A transaction in its execution phase: every request granted, read values
@@ -1329,8 +1484,31 @@ impl ActiveTxn {
         let out = self.ri.on_execution_done();
         let mut released = out.actions.contains(&RiAction::FullyReleased);
         self.db.route_all(origin, out.sends)?;
+        // Bounded commit wait: T/O transactions that executed on
+        // pre-scheduled locks wait here for trailing normal grants, and a
+        // dead or partitioned shard would otherwise hold the client
+        // forever. At this point every write is already implemented (the
+        // releases/demotes travel the reliable channel), so expiry is
+        // "decided but unacknowledged" — surfaced as `ShardUnavailable`,
+        // never a partial commit.
+        let deadline = Instant::now() + self.db.inner.config.commit_timeout;
+        let poll = SHUTDOWN_POLL.min(self.db.inner.config.commit_timeout);
         while !released {
-            let event = match self.events.recv_timeout(self.ri.txn_id(), SHUTDOWN_POLL) {
+            if Instant::now() >= deadline {
+                self.finished = true;
+                self.db.inner.registry.deregister(self.ri.txn_id());
+                self.db
+                    .inner
+                    .stats
+                    .shard_unavailable
+                    .fetch_add(1, Ordering::Relaxed);
+                self.db
+                    .inner
+                    .trace
+                    .record(self.lane, self.ri.txn_id().0, Phase::Aborted, 1);
+                return Err(TxnError::ShardUnavailable);
+            }
+            let event = match self.events.recv_timeout(self.ri.txn_id(), poll) {
                 Ok(ev) => ev,
                 Err(ClientRecvError::Timeout) => {
                     if self.db.inner.stopped.load(Ordering::Relaxed) {
@@ -2005,6 +2183,181 @@ mod tests {
         );
         let report = db.shutdown().unwrap();
         assert_eq!(report.stats.committed, 240);
+        assert!(report.serializable().is_ok());
+    }
+
+    /// Satellite regression (PR 9): a dead shard must not hang `begin`.
+    /// The only shard is taken down for far longer than the whole retry
+    /// budget; the client's bounded request wait aborts each incarnation
+    /// at `request_timeout`, exhausts `max_restarts`, and surfaces a
+    /// clean `ShardUnavailable` well before the outage ends.
+    #[test]
+    fn dead_shard_request_wait_is_bounded() {
+        let db = Database::open(RuntimeConfig {
+            request_timeout: Duration::from_millis(40),
+            max_restarts: 1,
+            ..config(1, 4)
+        })
+        .unwrap();
+        db.inner.shard_txs[0]
+            .send(ShardCmd::Crash {
+                outage: Duration::from_millis(400),
+            })
+            .map_err(|_| ())
+            .unwrap();
+        let begun = Instant::now();
+        let err = db.begin(&TxnSpec::new().write(li(0))).unwrap_err();
+        assert_eq!(err, TxnError::ShardUnavailable);
+        assert!(
+            begun.elapsed() < Duration::from_millis(350),
+            "the bounded wait must give up before the outage ends, took {:?}",
+            begun.elapsed()
+        );
+        let stats = db.stats();
+        assert!(stats.timeout_restarts >= 1, "each expiry is counted");
+        assert_eq!(stats.shard_unavailable, 1);
+        assert_eq!(stats.committed, 0, "nothing was implemented");
+        db.shutdown();
+    }
+
+    /// Satellite regression (PR 9): the diagnostic taps
+    /// (`waiting_transactions`, `log_snapshot`) skip an unresponsive
+    /// shard within `diagnostic_timeout` instead of blocking forever.
+    #[test]
+    fn diagnostics_skip_an_unresponsive_shard() {
+        let db = Database::open(RuntimeConfig {
+            diagnostic_timeout: Duration::from_millis(30),
+            ..config(2, 8)
+        })
+        .unwrap();
+        for i in 0..8 {
+            db.run_transaction(&TxnSpec::new().write(li(i)), |_| vec![(li(i), 1)])
+                .unwrap();
+        }
+        db.inner.shard_txs[0]
+            .send(ShardCmd::Crash {
+                outage: Duration::from_millis(300),
+            })
+            .map_err(|_| ())
+            .unwrap();
+        let begun = Instant::now();
+        let waiting = db.waiting_transactions();
+        let snapshot = db.log_snapshot();
+        assert!(
+            begun.elapsed() < Duration::from_millis(200),
+            "diagnostics must return within the bound, took {:?}",
+            begun.elapsed()
+        );
+        assert!(waiting.is_empty());
+        assert!(
+            snapshot.total_ops() > 0,
+            "the responsive shard's slice is still served"
+        );
+        db.shutdown();
+    }
+
+    /// Satellite regression (PR 9): a commit wait parked on a trailing
+    /// normal-grant upgrade gives up at `commit_timeout` with
+    /// `ShardUnavailable` — decided but unacknowledged, never a hang. A
+    /// T/O reader holds a share lock; a later T/O writer executes on its
+    /// pre-scheduled lock and demotes at commit, which implements the
+    /// write but cannot fully release until the reader leaves.
+    #[test]
+    fn commit_wait_on_a_parked_upgrade_is_bounded() {
+        let db = Database::open(RuntimeConfig {
+            commit_timeout: Duration::from_millis(60),
+            ..config(1, 2)
+        })
+        .unwrap();
+        let reader = db
+            .begin(
+                &TxnSpec::new()
+                    .read(li(0))
+                    .method(CcMethod::TimestampOrdering),
+            )
+            .unwrap();
+        let mut writer = db
+            .begin(
+                &TxnSpec::new()
+                    .write(li(0))
+                    .method(CcMethod::TimestampOrdering),
+            )
+            .unwrap();
+        writer.write(li(0), 9).unwrap();
+        let begun = Instant::now();
+        let err = writer.commit().unwrap_err();
+        assert_eq!(err, TxnError::ShardUnavailable);
+        assert!(
+            begun.elapsed() < Duration::from_millis(300),
+            "commit wait must be bounded, took {:?}",
+            begun.elapsed()
+        );
+        assert_eq!(db.stats().shard_unavailable, 1);
+        // The write was implemented when the lock demoted: the decision
+        // stands even though the acknowledgement never came.
+        reader.commit().unwrap();
+        let check = db
+            .run_transaction(&TxnSpec::new().read(li(0)), |_| vec![])
+            .unwrap();
+        assert_eq!(check.reads[&li(0)], 9);
+        let report = db.shutdown().unwrap();
+        assert!(report.serializable().is_ok());
+    }
+
+    /// Satellite 4 (PR 9): a victim storm — the same logical transaction
+    /// repeatedly victimised while queued behind a holder — stays
+    /// bounded: every restart is counted, the storm cannot exceed the
+    /// `max_restarts` budget, and the survivor either commits or fails
+    /// with a clean error. The history stays oracle-certified.
+    #[test]
+    fn victim_storm_is_bounded_and_oracle_certified() {
+        let db = Database::open(RuntimeConfig {
+            max_restarts: 6,
+            ..config(1, 2)
+        })
+        .unwrap();
+        let holder = db
+            .begin(
+                &TxnSpec::new()
+                    .write(li(0))
+                    .method(CcMethod::TwoPhaseLocking),
+            )
+            .unwrap();
+        let worker = {
+            let db = db.clone();
+            std::thread::spawn(move || {
+                let spec = TxnSpec::new()
+                    .write(li(0))
+                    .method(CcMethod::TwoPhaseLocking);
+                db.run_transaction(&spec, |_| vec![(li(0), 7)])
+            })
+        };
+        // Storm: blanket-victimise every plausible incarnation id until
+        // the worker has been through several deadlock restarts.
+        while db.stats().deadlock_restarts < 3 && !worker.is_finished() {
+            for i in 1..=64 {
+                let _ = db.inner.registry.signal_deadlock(TxnId(i));
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        holder.commit().unwrap();
+        match worker.join().unwrap() {
+            Ok(receipt) => {
+                assert!(
+                    (3..=6).contains(&receipt.restarts),
+                    "storm restarts must be counted and bounded: {}",
+                    receipt.restarts
+                );
+            }
+            Err(TxnError::TooManyRestarts { attempts }) => {
+                assert_eq!(attempts, 7, "the budget is exact");
+            }
+            Err(other) => panic!("victim storm must end cleanly, got {other:?}"),
+        }
+        let stats = db.stats();
+        assert!(stats.deadlock_restarts >= 3);
+        assert!(stats.deadlock_restarts <= 7);
+        let report = db.shutdown().unwrap();
         assert!(report.serializable().is_ok());
     }
 

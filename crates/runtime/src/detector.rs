@@ -14,6 +14,20 @@
 //! that is harmless — `RequestIssuer::abort_for_deadlock` refuses to abort an
 //! incarnation that is no longer waiting.
 
+//! The detector thread also runs the **stranded-transaction sweep**: under
+//! fault injection (dropped aborts, late-delivered accesses, crash
+//! amnesia) a shard can hold queue entries or locks for a transaction no
+//! client will ever finish. Each scan collects every transaction present
+//! at any shard and checks it against the registry; a transaction present
+//! at a shard but registered nowhere is a *suspect*. A suspect seen on
+//! two consecutive scans is cleaned up with [`ShardCmd::Cleanup`] (an
+//! engine-level abort of its residual state). The two-scan grace guards
+//! the deregister-vs-in-flight-release race: a committing client
+//! deregisters before its releases are processed, but releases travel the
+//! reliable channel and land within microseconds, far inside one scan
+//! interval.
+
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::sync::Arc;
@@ -51,6 +65,8 @@ pub(crate) fn spawn(
             // steady-state allocations are the per-shard report vectors
             // that cross the oneshot boundary).
             let mut edges: Vec<(TxnId, TxnId)> = Vec::new();
+            // Suspects carried across scans (the two-scan grace).
+            let mut suspects: HashSet<TxnId> = HashSet::new();
             loop {
                 match stop.recv_timeout(interval) {
                     Ok(()) | Err(RecvTimeoutError::Disconnected) => return,
@@ -60,6 +76,7 @@ pub(crate) fn spawn(
                     return;
                 }
                 scan_once(&shards, &registry, &stats, &plane, &mut edges);
+                sweep_stranded(&shards, &registry, &mut suspects);
             }
         })
         .expect("failed to spawn deadlock detector")
@@ -100,6 +117,43 @@ pub(crate) fn scan_once(
             let _ = plane.trigger_postmortem("deadlock-victim");
         }
     }
+}
+
+/// One stranded-transaction sweep (see the module docs): collect every
+/// transaction present at each shard, suspect those registered nowhere,
+/// and clean up suspects already seen on the previous sweep. `suspects`
+/// is the grace set carried between sweeps.
+pub(crate) fn sweep_stranded(
+    shards: &[ShardSender],
+    registry: &Registry,
+    suspects: &mut HashSet<TxnId>,
+) {
+    let mut next_suspects: HashSet<TxnId> = HashSet::new();
+    for shard in shards {
+        let (tx, rx) = transport::oneshot::channel();
+        if shard.send(ShardCmd::PresentTxns(tx)).is_err() {
+            continue;
+        }
+        let present = match rx.recv_timeout(EDGE_REPORT_TIMEOUT) {
+            Ok(present) => present,
+            Err(_) => continue, // mid-outage or shut down: next sweep
+        };
+        let mut confirmed = Vec::new();
+        for txn in present {
+            if registry.method_of(txn).is_some() {
+                continue; // live somewhere — not stranded
+            }
+            if suspects.contains(&txn) {
+                confirmed.push(txn);
+            } else {
+                next_suspects.insert(txn);
+            }
+        }
+        if !confirmed.is_empty() {
+            let _ = shard.send(ShardCmd::Cleanup(confirmed));
+        }
+    }
+    *suspects = next_suspects;
 }
 
 #[cfg(test)]
@@ -313,5 +367,54 @@ mod tests {
         let _ = shard1.tx.send(ShardCmd::Shutdown);
         let _ = shard0.join.join();
         let _ = shard1.join.join();
+    }
+
+    /// The stranded-transaction sweep: a lock held by a transaction that
+    /// is registered nowhere survives the first sweep (grace) and is
+    /// cleaned on the second, unblocking the registered waiter queued
+    /// behind it.
+    #[test]
+    fn stranded_lock_is_cleaned_after_two_sweeps() {
+        let registry = Arc::new(Registry::new(ReplyPlaneKind::Mailbox, 64));
+        let stats = Arc::new(RuntimeStats::with_shards(1));
+        let a = item(0, 0);
+        let shard = spawn_shard(0, 0, a, &registry, &stats);
+        let shards = vec![shard.tx.clone()];
+
+        // T9 takes the write lock but is never registered — the ghost a
+        // dropped Abort or a crashed client leaves behind. T1 is a live,
+        // registered transaction stuck behind it.
+        let mut mb1 = registry.client_mailbox().expect("mailbox");
+        registry.register(TxnId(1), CcMethod::TwoPhaseLocking, &mut mb1);
+        shard
+            .tx
+            .send(access(9, a, CcMethod::TwoPhaseLocking, 9))
+            .unwrap();
+        shard
+            .tx
+            .send(access(1, a, CcMethod::TwoPhaseLocking, 1))
+            .unwrap();
+        wait_until_waiting(&shard.tx, TxnId(1));
+
+        let mut suspects = HashSet::new();
+        sweep_stranded(&shards, &registry, &mut suspects);
+        assert!(
+            suspects.contains(&TxnId(9)),
+            "first sweep only suspects the ghost"
+        );
+        assert!(
+            mb1.recv_timeout(TxnId(1), Duration::from_millis(20))
+                .is_err(),
+            "grace: nothing cleaned on the first sweep"
+        );
+        sweep_stranded(&shards, &registry, &mut suspects);
+        // The cleanup aborts T9's residual state and the freed lock
+        // grants T1.
+        expect_grant(&mut mb1, TxnId(1));
+        assert!(!suspects.contains(&TxnId(9)), "cleaned, no longer suspect");
+
+        drop(shards);
+        let _ = shard.tx.send(ShardCmd::Shutdown);
+        let _ = shard.join.join();
     }
 }

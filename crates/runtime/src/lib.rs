@@ -60,6 +60,9 @@ mod stats;
 
 pub use config::{CcPolicy, ConfigError, ReplyPlaneKind, RuntimeConfig, TransportKind};
 pub use db::{ActiveTxn, Database, TxnError, TxnReceipt, TxnSpec};
+// The fault-plane vocabulary callers need to arm [`RuntimeConfig::faults`]
+// and consume [`Database::fault_counters`].
+pub use faultsim::{FaultCounters, FaultProfile, FaultSchedule};
 pub use report::RuntimeReport;
 pub use stats::StatsSnapshot;
 // The tracing-plane vocabulary callers need to configure tracing

@@ -68,6 +68,20 @@ pub(crate) enum ShardCmd {
         check: bool,
         reply: OneshotSender<Option<Vec<(PhysicalItemId, Value)>>>,
     },
+    /// Injected node fault: go unresponsive for `outage` (the inbox backs
+    /// up, exerting real backpressure on clients), then come back having
+    /// lost all *ungranted* queue entries — the partial-amnesia crash
+    /// model. Granted entries, held locks, item values and timestamps
+    /// survive (they model state re-read from the durable log tap on
+    /// restart); waiters that had not been granted are simply gone and
+    /// their clients recover through the timeout/restart machinery.
+    Crash { outage: std::time::Duration },
+    /// Report every transaction with any queue or lock presence on this
+    /// shard (detector's stranded-transaction sweep).
+    PresentTxns(OneshotSender<Vec<TxnId>>),
+    /// Abort the listed transactions' residual state on this shard (the
+    /// detector's cleanup of transactions no longer registered anywhere).
+    Cleanup(Vec<TxnId>),
     /// Report the shard's current wait-for edges (deadlock detector).
     WaitEdges(OneshotSender<Vec<(TxnId, TxnId)>>),
     /// Report the transactions currently queued and not granted
@@ -232,6 +246,10 @@ impl ShardState<'_> {
                 }
             }
         }
+        let dups = self.qm.take_dup_suppressed();
+        if dups > 0 {
+            self.stats.dup_suppressed.fetch_add(dups, Ordering::Relaxed);
+        }
         // One aggregated trace event per engine call keeps the traced
         // shard overhead to a single clock read and ring write per fold.
         if granted > 0 {
@@ -268,6 +286,33 @@ impl ShardState<'_> {
                 // shard's processing order, like every protocol command.
                 self.fold_events();
                 reply.send(result)
+            }
+            ShardCmd::Crash { outage } => {
+                // Unresponsive for the outage, then partial amnesia: the
+                // ungranted tail of every queue is wiped. Lock removal may
+                // re-grant survivors; those grants flow out like any
+                // other replies/events.
+                std::thread::sleep(outage);
+                self.qm.crash_recover(&mut self.sink);
+                self.fold_events();
+                self.stats.shard_crashes.fetch_add(1, Ordering::Relaxed);
+            }
+            ShardCmd::PresentTxns(reply_to) => {
+                let mut present = Vec::new();
+                self.qm.present_txns_into(&mut present);
+                reply_to.send(present)
+            }
+            ShardCmd::Cleanup(txns) => {
+                let mut cleaned = 0u64;
+                for txn in txns {
+                    cleaned += self.qm.cleanup_txn(txn, &mut self.sink);
+                }
+                self.fold_events();
+                if cleaned > 0 {
+                    self.stats
+                        .cleanup_aborts
+                        .fetch_add(cleaned, Ordering::Relaxed);
+                }
             }
             ShardCmd::WaitEdges(reply_to) => {
                 let mut edges = Vec::new();

@@ -145,6 +145,21 @@ pub(crate) struct RuntimeStats {
     pub(crate) cache_flushes: AtomicU64,
     pub(crate) cache_entries: AtomicU64,
     pub(crate) cache_epoch: AtomicU64,
+    /// Incarnations restarted because `request_timeout` expired before
+    /// every access was granted (fault plane / dead shard).
+    pub(crate) timeout_restarts: AtomicU64,
+    /// Transactions that gave up with [`crate::TxnError::ShardUnavailable`]
+    /// after exhausting timeout restarts or a bounded commit wait.
+    pub(crate) shard_unavailable: AtomicU64,
+    /// Stranded-transaction queue entries aborted by the detector's
+    /// cleanup sweep (zombie state left by dropped or late messages).
+    pub(crate) cleanup_aborts: AtomicU64,
+    /// Duplicate `Access` deliveries suppressed by the queue managers'
+    /// idempotent-redelivery guard.
+    pub(crate) dup_suppressed: AtomicU64,
+    /// Shard crash faults injected (each wipes the shard's ungranted
+    /// queue entries after an unresponsive outage).
+    pub(crate) shard_crashes: AtomicU64,
     pub(crate) per_shard: Vec<ShardCounters>,
 }
 
@@ -210,6 +225,19 @@ pub struct StatsSnapshot {
     /// lane (0 when tracing is off). Filled in by
     /// [`crate::Database::stats`] from the trace plane.
     pub trace_events: u64,
+    /// Incarnations restarted because `request_timeout` expired before
+    /// every access was granted (fault plane / dead shard).
+    pub timeout_restarts: u64,
+    /// Transactions that gave up with [`crate::TxnError::ShardUnavailable`]
+    /// after exhausting timeout restarts or a bounded commit wait.
+    pub shard_unavailable: u64,
+    /// Stranded-transaction queue entries aborted by the detector's
+    /// cleanup sweep.
+    pub cleanup_aborts: u64,
+    /// Duplicate `Access` deliveries suppressed by the queue managers.
+    pub dup_suppressed: u64,
+    /// Shard crash faults injected by the fault plane.
+    pub shard_crashes: u64,
     /// Selection-cache counters (all zero when the cache is disabled or
     /// the policy is not dynamic).
     pub cache: CacheStats,
@@ -247,6 +275,11 @@ impl RuntimeStats {
             mailbox_index_resizes: 0,
             mailbox_full_drops: 0,
             trace_events: 0,
+            timeout_restarts: self.timeout_restarts.load(Ordering::Relaxed),
+            shard_unavailable: self.shard_unavailable.load(Ordering::Relaxed),
+            cleanup_aborts: self.cleanup_aborts.load(Ordering::Relaxed),
+            dup_suppressed: self.dup_suppressed.load(Ordering::Relaxed),
+            shard_crashes: self.shard_crashes.load(Ordering::Relaxed),
             cache: CacheStats {
                 hits: self.cache_hits.load(Ordering::Relaxed),
                 misses: self.cache_misses.load(Ordering::Relaxed),
