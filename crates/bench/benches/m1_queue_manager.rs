@@ -38,7 +38,13 @@ fn uncontended_round(c: &mut Criterion) {
                     TsTuple::new(Timestamp(ts), 10),
                     &mut sink,
                 );
-                state.handle_release(txn, Some(ts as i64), &mut sink);
+                state.handle_release(
+                    txn,
+                    Some(ts as i64),
+                    Timestamp::ZERO,
+                    Timestamp::ZERO,
+                    &mut sink,
+                );
                 std::hint::black_box(sink.replies.len());
             });
         });
@@ -68,7 +74,13 @@ fn contended_round(c: &mut Criterion) {
                 );
             }
             for k in 1..=8 {
-                state.handle_release(TxnId(base + k), Some(k as i64), &mut sink);
+                state.handle_release(
+                    TxnId(base + k),
+                    Some(k as i64),
+                    Timestamp::ZERO,
+                    Timestamp::ZERO,
+                    &mut sink,
+                );
             }
             std::hint::black_box(state.value());
         });

@@ -88,11 +88,17 @@ impl BTreeEngine {
                 item.handle_updated_ts(*txn, *new_ts, &mut sink)
             }
             RequestMsg::Release {
-                txn, write_value, ..
-            } => item.handle_release(*txn, *write_value, &mut sink),
+                txn,
+                write_value,
+                commit_ts,
+                ..
+            } => item.handle_release(*txn, *write_value, *commit_ts, Timestamp::ZERO, &mut sink),
             RequestMsg::Demote {
-                txn, write_value, ..
-            } => item.handle_demote(*txn, *write_value, &mut sink),
+                txn,
+                write_value,
+                commit_ts,
+                ..
+            } => item.handle_demote(*txn, *write_value, *commit_ts, Timestamp::ZERO, &mut sink),
             RequestMsg::Abort { txn, .. } => item.handle_abort(*txn, &mut sink),
         }
         QmOutput {
@@ -119,6 +125,7 @@ fn fill_txn(txn: u64, access: &mut Vec<RequestMsg>, release: &mut Vec<RequestMsg
             txn: TxnId(txn),
             item: pi(i),
             write_value: Some((txn % 1000) as Value),
+            commit_ts: Timestamp::ZERO,
         });
     }
 }

@@ -34,6 +34,14 @@
 //!    bypass on and off, reporting applied/refused counts, the bypass
 //!    commit rate and the speedup over the all-coordinated twin — every
 //!    history still replayed through the serializability oracle.
+//! 5. **Section E (snapshot reads, PR 10)** — what does the MVCC
+//!    snapshot-read plane buy on a read-mostly contended mix? Clients
+//!    interleave four-item read-only transactions (7-in-8, served from
+//!    the version chains at the read watermark) with read-modify-write
+//!    transfers (1-in-8) on the same skewed items across two shards;
+//!    each cell runs twice, snapshot plane on and off, reporting
+//!    served/refused counts, the snapshot serve rate and the speedup
+//!    over the share-grant twin — histories oracle-certified.
 //!
 //! Run with: `cargo run --release -p bench --bin exp10_scale_sweep`
 //!
@@ -44,12 +52,15 @@
 //!   the Section B cell both held at least `<live>` concurrently open
 //!   registrations with `mailbox_overflow_entries == 0` and no stale
 //!   leak.
-//! * `EXP10_TXNS=<n>` — Section C/D transactions per client (default
+//! * `EXP10_TXNS=<n>` — Section C/D/E transactions per client (default
 //!   150).
 //! * `EXP10_FASTPATH_GATE=<rate>` — fail (exit 1) unless every Section D
 //!   bypass cell committed at least `<rate>` (a fraction) of its
 //!   transactions through the confluent fast path, with its history
 //!   certified serializable.
+//! * `EXP10_SNAPSHOT_GATE=<rate>` — fail (exit 1) unless every Section E
+//!   snapshot cell served at least `<rate>` (a fraction) of its commits
+//!   from the version chains, with its history certified serializable.
 //!
 //! Besides the tables, the sweep emits `BENCH_exp10.json` (into
 //! `$BENCH_JSON_DIR`, default `.`): one row per cell tagged with its
@@ -315,6 +326,98 @@ fn run_mix_cell(shape: TxnShape, theta: f64) -> MixOutcome {
         stale_replies: stats.stale_reply_events,
         overflow_entries: stats.mailbox_overflow_entries,
         full_drops: stats.mailbox_full_drops,
+        serializable: report.serializable().is_ok(),
+    }
+}
+
+/// What one Section E (snapshot-read mix, PR 10) cell measured.
+struct SnapOutcome {
+    theta: f64,
+    snapshot: bool,
+    committed: u64,
+    failed: u64,
+    txn_per_sec: f64,
+    served: u64,
+    refused: u64,
+    /// Fraction of all commits served from the version chains.
+    rate: f64,
+    serializable: bool,
+}
+
+/// Section E runs over two shards: snapshot reads cut one consistent
+/// watermark across both, so the cell exercises the cross-shard path.
+const SNAP_SHARDS: u32 = 2;
+const SNAP_ITEMS: u64 = 1024;
+
+/// Clients drive a read-mostly contended mix (7-in-8 four-item read-only
+/// transactions, 1-in-8 read-modify-write transfers on the same Zipfian
+/// head) so snapshot reads race real writer traffic on the hot items.
+/// With `snapshot` off the identical workload acquires share grants —
+/// the baseline for the speedup column. The confluence fast path is off
+/// in both modes so the comparison isolates the read plane.
+fn run_snapshot_cell(theta: f64, snapshot: bool) -> SnapOutcome {
+    let db = Database::open(RuntimeConfig {
+        num_shards: SNAP_SHARDS,
+        num_items: SNAP_ITEMS,
+        initial_value: 1_000,
+        policy: CcPolicy::Static(CcMethod::TwoPhaseLocking),
+        confluence_fastpath: false,
+        snapshot_reads: snapshot,
+        ..RuntimeConfig::default()
+    })
+    .expect("valid config");
+
+    let begun = Instant::now();
+    let per_client = txns_per_client();
+    let workers: Vec<_> = (0..MIX_CLIENTS)
+        .map(|t| {
+            let db = db.clone();
+            std::thread::spawn(move || {
+                let skew = SkewedItems::new(SNAP_ITEMS, theta);
+                let mut rng = SimRng::new(0xE105AA9 + t);
+                let mut failed = 0u64;
+                for i in 0..per_client {
+                    if i % 8 == 7 {
+                        let (spec, writes) = skew.spec(&mut rng, TxnShape::Rmw);
+                        if db
+                            .run_transaction(&spec, |seen| {
+                                writes.iter().map(|&w| (w, seen[&w] + 1)).collect()
+                            })
+                            .is_err()
+                        {
+                            failed += 1;
+                        }
+                    } else {
+                        let mut spec = TxnSpec::new();
+                        for item in skew.pick_distinct(&mut rng, 4) {
+                            spec = spec.read(item);
+                        }
+                        if db.execute(&spec).is_err() {
+                            failed += 1;
+                        }
+                    }
+                }
+                failed
+            })
+        })
+        .collect();
+    let failed: u64 = workers
+        .into_iter()
+        .map(|w| w.join().expect("snapshot worker panicked"))
+        .sum();
+    let elapsed = begun.elapsed().as_secs_f64();
+
+    let stats = db.stats();
+    let report = db.shutdown().expect("shutdown");
+    SnapOutcome {
+        theta,
+        snapshot,
+        committed: stats.committed,
+        failed,
+        txn_per_sec: stats.committed as f64 / elapsed,
+        served: stats.snapshot_reads,
+        refused: stats.snapshot_refused,
+        rate: stats.snapshot_reads as f64 / stats.committed.max(1) as f64,
         serializable: report.serializable().is_ok(),
     }
 }
@@ -682,6 +785,95 @@ fn main() {
         );
     }
 
+    // --- Section E: MVCC snapshot-read plane ----------------------------
+    println!(
+        "\nE10.E: snapshot reads — read-mostly contended mix, version chains vs share \
+         grants ({MIX_CLIENTS} clients x {SNAP_SHARDS} shards, {} txns/client, \
+         {SNAP_ITEMS} items)\n",
+        txns_per_client()
+    );
+    let widths_e = [12, 6, 10, 7, 10, 9, 8, 6, 5];
+    table::header(
+        &[
+            "mode",
+            "theta",
+            "committed",
+            "failed",
+            "txn/s",
+            "served",
+            "refused",
+            "rate",
+            "ser.",
+        ],
+        &widths_e,
+    );
+    let snapshot_gate: Option<f64> = std::env::var("EXP10_SNAPSHOT_GATE")
+        .ok()
+        .and_then(|s| s.parse().ok());
+    let snap_thetas: &[f64] = if smoke { &[0.99] } else { &[0.0, 0.99] };
+    let mut snapshot_gate_ok = snapshot_gate.is_some();
+    for &theta in snap_thetas {
+        let mut pair = Vec::with_capacity(2);
+        for snapshot in [true, false] {
+            let o = run_snapshot_cell(theta, snapshot);
+            let mode = if o.snapshot {
+                "snapshot"
+            } else {
+                "coordinated"
+            };
+            table::row(
+                &[
+                    mode.to_string(),
+                    format!("{:.2}", o.theta),
+                    o.committed.to_string(),
+                    o.failed.to_string(),
+                    format!("{:.0}", o.txn_per_sec),
+                    o.served.to_string(),
+                    o.refused.to_string(),
+                    format!("{:.2}", o.rate),
+                    if o.serializable {
+                        "yes".into()
+                    } else {
+                        "NO".into()
+                    },
+                ],
+                &widths_e,
+            );
+            assert!(
+                o.serializable,
+                "{mode} theta={theta}: execution log failed the oracle"
+            );
+            if let Some(required) = snapshot_gate {
+                if o.snapshot && o.rate < required {
+                    snapshot_gate_ok = false;
+                }
+            }
+            traj.row(vec![
+                ("section", Json::str("snapshot")),
+                ("mode", Json::str(mode)),
+                ("theta", Json::Num(o.theta)),
+                ("committed", Json::Num(o.committed as f64)),
+                ("failed", Json::Num(o.failed as f64)),
+                ("txn_per_sec", Json::Num(o.txn_per_sec)),
+                ("snapshot_served", Json::Num(o.served as f64)),
+                ("snapshot_refused", Json::Num(o.refused as f64)),
+                ("snapshot_rate", Json::Num(o.rate)),
+                ("serializable", Json::Bool(o.serializable)),
+            ]);
+            pair.push(o);
+        }
+        let speedup = pair[0].txn_per_sec / pair[1].txn_per_sec;
+        println!(
+            "    -> theta {theta:.2}: snapshot serve rate {:.2} of all commits, \
+             {speedup:.2}x over all-coordinated",
+            pair[0].rate
+        );
+        traj.meta(
+            format!("snapshot_speedup_theta{theta:.2}"),
+            Json::Num(speedup),
+        );
+    }
+
     if let Some(required) = gate {
         traj.meta("gate_live", Json::Num(required as f64));
         traj.meta("gate_passed", Json::Bool(transport_gate_ok && hold_gate_ok));
@@ -690,7 +882,25 @@ fn main() {
         traj.meta("fastpath_gate_rate", Json::Num(required));
         traj.meta("fastpath_gate_passed", Json::Bool(fastpath_gate_ok));
     }
+    if let Some(required) = snapshot_gate {
+        traj.meta("snapshot_gate_rate", Json::Num(required));
+        traj.meta("snapshot_gate_passed", Json::Bool(snapshot_gate_ok));
+    }
     traj.emit();
+
+    if let Some(required) = snapshot_gate {
+        if !snapshot_gate_ok {
+            eprintln!(
+                "FAIL: a read-mostly snapshot cell served fewer than {required:.2} of \
+                 its commits from the version chains"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "\nsnapshot gate passed: every snapshot cell served >= {required:.2} of its \
+             commits from the version chains (histories certified)"
+        );
+    }
 
     if let Some(required) = fastpath_gate {
         if !fastpath_gate_ok {

@@ -17,8 +17,13 @@
 //!   wiping the shard's ungranted queue entries after an outage.
 //!
 //! Every cell also arms a light duplicate + delay drizzle so the
-//! idempotence and reorder paths stay live in every run. A cell drives a
-//! mixed-protocol (2PL / T/O / PA) bank-transfer workload, then:
+//! idempotence and reorder paths stay live in every run. The
+//! fully-armed cell additionally runs with the MVCC snapshot plane
+//! (PR 10) exercised: an auditor thread reads every account through
+//! coordination-free snapshot reads *while* the chaos schedule is live,
+//! and every answer it gets must be a transaction-consistent cut (the
+//! conserved bank total). A cell drives a mixed-protocol (2PL / T/O /
+//! PA) bank-transfer workload, then:
 //!
 //! 1. quiesces the plane (flushes delayed / partition-buffered traffic),
 //! 2. audits the conserved bank total (no lost or half-applied writes),
@@ -70,12 +75,14 @@ fn li(i: u64) -> LogicalItemId {
     LogicalItemId(i % ACCOUNTS)
 }
 
-/// One grid cell: which fault classes are armed and how hard.
+/// One grid cell: which fault classes are armed and how hard, and
+/// whether a snapshot auditor races the transfers (PR 10).
 #[derive(Clone, Copy)]
 struct Cell {
     drop_rate: f64,
     partition: bool,
     crashes: u32,
+    snapshot: bool,
 }
 
 impl Cell {
@@ -85,7 +92,7 @@ impl Cell {
             self.drop_rate * 100.0,
             if self.partition { "+part" } else { "" },
             if self.crashes > 0 { "+crash" } else { "" },
-        )
+        ) + if self.snapshot { "+snap" } else { "" }
     }
 
     /// The materialized schedule: the cell's heavy knobs plus a light
@@ -121,6 +128,7 @@ struct ChaosOutcome {
     shard_unavailable: u64,
     cleanup_aborts: u64,
     dup_suppressed: u64,
+    snapshot_served: u64,
     conserved: bool,
     drained: bool,
     serializable: bool,
@@ -213,7 +221,39 @@ fn run_cell(cell: Cell, seed: u64) -> ChaosOutcome {
             })
         })
         .collect();
-    for worker in workers {
+    // PR 10: in snapshot cells an auditor thread reads every account
+    // through the coordination-free snapshot plane while the transfers
+    // (and the fault schedule) are live. Any successful answer must be a
+    // transaction-consistent cut — the conserved bank total — and a
+    // crashed shard may only surface as a bounded clean error.
+    let snapshot_served = Arc::new(AtomicU64::new(0));
+    let auditor = cell.snapshot.then(|| {
+        let db = db.clone();
+        let served = Arc::clone(&snapshot_served);
+        std::thread::spawn(move || {
+            let spec = TxnSpec::new().reads((0..ACCOUNTS).map(LogicalItemId));
+            for _ in 0..per_client {
+                match db.execute(&spec) {
+                    Ok(receipt) => {
+                        let total: i64 = receipt.reads.values().sum();
+                        assert_eq!(
+                            total,
+                            ACCOUNTS as i64 * INITIAL,
+                            "a live read observed a torn cut (snapshot={})",
+                            receipt.snapshot,
+                        );
+                        if receipt.snapshot {
+                            served.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    Err(TxnError::TooManyRestarts { .. }) | Err(TxnError::ShardUnavailable) => {}
+                    Err(err) => panic!("unexpected snapshot auditor error under chaos: {err}"),
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        })
+    });
+    for worker in workers.into_iter().chain(auditor) {
         worker.join().expect("chaos client panicked");
     }
     let elapsed = begun.elapsed().as_secs_f64();
@@ -271,6 +311,7 @@ fn run_cell(cell: Cell, seed: u64) -> ChaosOutcome {
         shard_unavailable: stats.shard_unavailable,
         cleanup_aborts: stats.cleanup_aborts,
         dup_suppressed: stats.dup_suppressed,
+        snapshot_served: snapshot_served.load(Ordering::Relaxed),
         conserved,
         drained,
         serializable,
@@ -321,10 +362,18 @@ fn main() {
                         drop_rate,
                         partition,
                         crashes,
+                        snapshot: false,
                     });
                 }
             }
         }
+        // The fully-armed cell again with the snapshot auditor racing it.
+        cells.push(Cell {
+            drop_rate: 0.20,
+            partition: true,
+            crashes: 2,
+            snapshot: true,
+        });
         cells
     };
     // The smoke grid keeps one quiet cell and the two fully-armed ones:
@@ -334,16 +383,19 @@ fn main() {
             drop_rate: 0.05,
             partition: false,
             crashes: 0,
+            snapshot: false,
         },
         Cell {
             drop_rate: 0.20,
             partition: true,
             crashes: 0,
+            snapshot: false,
         },
         Cell {
             drop_rate: 0.20,
             partition: true,
             crashes: 2,
+            snapshot: true,
         },
     ];
     let grid = if smoke { smoke_grid } else { full_grid };
@@ -385,16 +437,20 @@ fn main() {
         if cell.crashes > 0 {
             live &= o.crashes > 0;
         }
+        if cell.snapshot {
+            live &= o.snapshot_served > 0;
+        }
         if gate && !live {
             eprintln!(
                 "gate: cell {} armed fault classes that never fired \
-                 (drops {} dups {} delay {} part {} crash {})",
+                 (drops {} dups {} delay {} part {} crash {} snap {})",
                 cell.label(),
                 o.dropped,
                 o.duplicated,
                 o.delayed,
                 o.partitioned,
-                o.crashes
+                o.crashes,
+                o.snapshot_served
             );
             gate_ok = false;
         }
@@ -417,6 +473,7 @@ fn main() {
             ("shard_unavailable", Json::Num(o.shard_unavailable as f64)),
             ("cleanup_aborts", Json::Num(o.cleanup_aborts as f64)),
             ("dup_suppressed", Json::Num(o.dup_suppressed as f64)),
+            ("snapshot_served", Json::Num(o.snapshot_served as f64)),
             ("conserved", Json::Bool(o.conserved)),
             ("drained", Json::Bool(o.drained)),
             ("serializable", Json::Bool(o.serializable)),

@@ -33,6 +33,8 @@
 //! `class = Normal` and `value = None` (a real grant always carries
 //! `Some(value)`).
 
+use std::collections::VecDeque;
+
 use dbmodel::{AccessMode, CcMethod, PhysicalItemId, SiteId, Timestamp, TsTuple, TxnId, Value};
 use pam::precedence::{AssignmentPolicy, PrecClass, Precedence};
 use pam::queue::{DataQueue, EntryStatus, QueueEntry};
@@ -40,6 +42,28 @@ use pam::{GrantClass, LockMode, ReplyMsg};
 
 use crate::qm::QmEvent;
 use crate::sink::QmSink;
+
+/// Default number of versions each item retains above the read watermark.
+pub const DEFAULT_VERSION_RETAIN: usize = 8;
+
+/// Hard bound on the chain as a multiple of the retain knob: if the
+/// watermark stalls (a commit decided but unacknowledged pins it), the
+/// chain still cannot grow past `retain * VERSION_HARD_CAP_FACTOR` —
+/// the oldest versions are dropped instead, and a snapshot read that
+/// needed them is *refused* (it falls back to the coordinated path)
+/// rather than served a wrong value.
+pub const VERSION_HARD_CAP_FACTOR: usize = 4;
+
+/// One committed version of an item's value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Version {
+    /// The global commit timestamp the value was installed at
+    /// (`Timestamp::ZERO` only for the seed version holding the initial
+    /// value).
+    pub ts: Timestamp,
+    /// The committed value.
+    pub value: Value,
+}
 
 /// Which precedence-enforcement variant the item runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,11 +104,27 @@ pub struct ItemState {
     value: Value,
     grant_counter: u64,
     enforcement: EnforcementMode,
+    /// Committed versions in commit-timestamp order (append-only ring:
+    /// writers on one item are serialized by lock exclusivity, and
+    /// fast-path writes draw their stamp at apply time on an idle item,
+    /// so stamps only ever grow). The chain always holds at least one
+    /// version — the seed at `Timestamp::ZERO` until the first stamped
+    /// write prunes past it.
+    versions: VecDeque<Version>,
+    /// How many versions to keep above the watermark (see
+    /// [`ItemState::set_version_retain`]).
+    version_retain: usize,
 }
 
 impl ItemState {
     /// Create the state of `item` with an initial value.
     pub fn new(item: PhysicalItemId, initial_value: Value, enforcement: EnforcementMode) -> Self {
+        let mut versions =
+            VecDeque::with_capacity(DEFAULT_VERSION_RETAIN * VERSION_HARD_CAP_FACTOR + 1);
+        versions.push_back(Version {
+            ts: Timestamp::ZERO,
+            value: initial_value,
+        });
         ItemState {
             item,
             queue: DataQueue::new(),
@@ -95,6 +135,8 @@ impl ItemState {
             value: initial_value,
             grant_counter: 0,
             enforcement,
+            versions,
+            version_retain: DEFAULT_VERSION_RETAIN,
         }
     }
 
@@ -187,9 +229,75 @@ impl ItemState {
     /// legal on an idle item (the caller checks); deliberately leaves
     /// `R-TS`/`W-TS` untouched — fast-path writes are not part of any
     /// timestamp order, they occupy a single point in the owning shard's
-    /// command order instead.
-    pub(crate) fn apply_confluent_write(&mut self, value: Value) {
+    /// command order instead. `commit_ts` is the stamp drawn *at the shard*
+    /// when the command was applied (drawing at the client would let two
+    /// idle-window writers install out of stamp order).
+    pub(crate) fn apply_confluent_write(
+        &mut self,
+        value: Value,
+        commit_ts: Timestamp,
+        watermark: Timestamp,
+    ) {
         self.value = value;
+        self.install_version(commit_ts, value, watermark);
+    }
+
+    // ------------------------------------------------------------------
+    // Version chain (MVCC snapshot-read plane)
+    // ------------------------------------------------------------------
+
+    /// The committed versions currently retained, oldest first.
+    pub fn versions(&self) -> impl Iterator<Item = &Version> + '_ {
+        self.versions.iter()
+    }
+
+    /// Set how many versions to keep above the watermark (at least one),
+    /// re-reserving the ring so steady-state installs never reallocate.
+    pub fn set_version_retain(&mut self, retain: usize) {
+        self.version_retain = retain.max(1);
+        let want = self.version_retain * VERSION_HARD_CAP_FACTOR + 1;
+        if self.versions.capacity() < want {
+            self.versions.reserve(want - self.versions.len());
+        }
+    }
+
+    /// The newest committed value with a stamp at or below `ts`, or `None`
+    /// when the chain no longer reaches back that far (pruned past `ts`) —
+    /// the caller must refuse the snapshot read and fall back.
+    pub fn snapshot_value_at(&self, ts: Timestamp) -> Option<Version> {
+        self.versions.iter().rev().find(|v| v.ts <= ts).copied()
+    }
+
+    /// The raw head of the chain: the newest committed version regardless
+    /// of any watermark. Only the `snapshot_validation = false` mutation
+    /// switch serves this — it is exactly the torn read the watermark
+    /// check exists to prevent.
+    pub fn head_version(&self) -> Version {
+        *self.versions.back().expect("the chain is never empty")
+    }
+
+    /// Append a committed `(ts, value)` version and prune: versions
+    /// shadowed at the watermark (a newer version also ≤ watermark exists)
+    /// are dropped once the chain exceeds the retain knob, and the hard
+    /// cap drops oldest-first unconditionally. Unstamped writes
+    /// (`Timestamp::ZERO`, the simulator path) keep the chain untouched.
+    fn install_version(&mut self, ts: Timestamp, value: Value, watermark: Timestamp) {
+        if ts == Timestamp::ZERO {
+            return;
+        }
+        debug_assert!(
+            self.versions.back().is_none_or(|v| v.ts <= ts),
+            "commit stamps on one item must be monotone"
+        );
+        self.versions.push_back(Version { ts, value });
+        while self.versions.len() > self.version_retain
+            && self.versions.get(1).is_some_and(|v| v.ts <= watermark)
+        {
+            self.versions.pop_front();
+        }
+        while self.versions.len() > self.version_retain * VERSION_HARD_CAP_FACTOR {
+            self.versions.pop_front();
+        }
     }
 
     // ------------------------------------------------------------------
@@ -336,8 +444,16 @@ impl ItemState {
     /// Handle a `Release` message: drop the transaction's lock and queue
     /// entry. For a write access of a 2PL/PA transaction (or of a T/O
     /// transaction that never demoted), the value is installed and the
-    /// operation is implemented now.
-    pub fn handle_release(&mut self, txn: TxnId, write_value: Option<Value>, sink: &mut QmSink) {
+    /// operation is implemented now — appending `(commit_ts, value)` to the
+    /// version chain when the release carries a stamp.
+    pub fn handle_release(
+        &mut self,
+        txn: TxnId,
+        write_value: Option<Value>,
+        commit_ts: Timestamp,
+        watermark: Timestamp,
+        sink: &mut QmSink,
+    ) {
         let Some(pos) = self.locks.iter().position(|l| l.txn == txn) else {
             // No lock held (already released, or the request never granted);
             // still drop any queue entry so the item does not leak state.
@@ -349,15 +465,21 @@ impl ItemState {
         // A semi-lock means the operation was already implemented at demote
         // time; a normal lock is implemented now.
         if !lock.mode.is_semi() {
+            let mut stamp = None;
             if lock.access == AccessMode::Write {
                 if let Some(v) = write_value {
                     self.value = v;
+                    self.install_version(commit_ts, v, watermark);
+                    if commit_ts != Timestamp::ZERO {
+                        stamp = Some(commit_ts);
+                    }
                 }
             }
             sink.events.push(QmEvent::Implemented {
                 item: self.item,
                 txn,
                 access: lock.access,
+                commit_ts: stamp,
             });
         }
         self.queue.remove(txn);
@@ -367,7 +489,14 @@ impl ItemState {
     /// Handle a T/O `Demote` message: the transaction executed while holding
     /// at least one pre-scheduled lock; its lock on this item becomes a
     /// semi-lock and the operation is implemented now.
-    pub fn handle_demote(&mut self, txn: TxnId, write_value: Option<Value>, sink: &mut QmSink) {
+    pub fn handle_demote(
+        &mut self,
+        txn: TxnId,
+        write_value: Option<Value>,
+        commit_ts: Timestamp,
+        watermark: Timestamp,
+        sink: &mut QmSink,
+    ) {
         let Some(lock) = self.locks.iter_mut().find(|l| l.txn == txn) else {
             return;
         };
@@ -375,17 +504,25 @@ impl ItemState {
             // Already demoted; nothing to do.
             return;
         }
+        let mut stamp = None;
         if lock.access == AccessMode::Write {
             if let Some(v) = write_value {
                 self.value = v;
+                if commit_ts != Timestamp::ZERO {
+                    stamp = Some(commit_ts);
+                }
             }
         }
         lock.mode = lock.mode.demoted();
         let access = lock.access;
+        if let (Some(ts), Some(v)) = (stamp, write_value) {
+            self.install_version(ts, v, watermark);
+        }
         sink.events.push(QmEvent::Implemented {
             item: self.item,
             txn,
             access,
+            commit_ts: stamp,
         });
         // Demotion can unblock waiting T/O requests (a WL that blocked a T/O
         // read became an SWL, an RL that blocked a T/O write became an SRL).
@@ -723,7 +860,13 @@ mod tests {
 
     fn release(s: &mut ItemState, txn: u64, value: Option<Value>) -> QmSink {
         let mut sink = QmSink::new();
-        s.handle_release(TxnId(txn), value, &mut sink);
+        s.handle_release(
+            TxnId(txn),
+            value,
+            Timestamp::ZERO,
+            Timestamp::ZERO,
+            &mut sink,
+        );
         sink
     }
 
@@ -1025,7 +1168,13 @@ mod tests {
             ts(10),
         );
         let mut sink = QmSink::new();
-        s.handle_demote(TxnId(1), Some(777), &mut sink);
+        s.handle_demote(
+            TxnId(1),
+            Some(777),
+            Timestamp::ZERO,
+            Timestamp::ZERO,
+            &mut sink,
+        );
         assert_eq!(implemented(&sink), vec![(TxnId(1), AccessMode::Write)]);
         assert_eq!(s.value(), 777, "demote implements the write");
         // A T/O reader with a later timestamp may be granted an SRL even
@@ -1078,7 +1227,13 @@ mod tests {
             ts(10),
         );
         let mut sink = QmSink::new();
-        s.handle_demote(TxnId(1), Some(5), &mut sink);
+        s.handle_demote(
+            TxnId(1),
+            Some(5),
+            Timestamp::ZERO,
+            Timestamp::ZERO,
+            &mut sink,
+        );
         let e = access(
             &mut s,
             2,
@@ -1128,7 +1283,13 @@ mod tests {
             ts(5),
         );
         let mut sink = QmSink::new();
-        s.handle_demote(TxnId(1), Some(1), &mut sink);
+        s.handle_demote(
+            TxnId(1),
+            Some(1),
+            Timestamp::ZERO,
+            Timestamp::ZERO,
+            &mut sink,
+        );
         assert_eq!(implemented(&sink).len(), 1);
         let release_events = release(&mut s, 1, Some(2));
         assert_eq!(

@@ -33,7 +33,9 @@ pub mod ri;
 pub mod sink;
 
 pub use deadlock::WaitForGraph;
-pub use item::{EnforcementMode, HeldLock, ItemState};
+pub use item::{
+    EnforcementMode, HeldLock, ItemState, DEFAULT_VERSION_RETAIN, VERSION_HARD_CAP_FACTOR,
+};
 pub use qm::{ConfluentOp, QmEvent, QmOutput, QueueManager};
 pub use ri::{RequestIssuer, RiAction, RiOutput, RiPhase};
 pub use sink::QmSink;

@@ -25,7 +25,7 @@
 //! per-message wrapper returning an owned [`QmOutput`] for the simulator,
 //! examples and tests.
 
-use dbmodel::{Catalog, PhysicalItemId, SiteId, TxnId, Value};
+use dbmodel::{Catalog, PhysicalItemId, SiteId, Timestamp, TxnId, Value};
 use pam::{GrantClass, LockMode, RequestMsg};
 
 pub use crate::sink::QmSink;
@@ -58,6 +58,11 @@ pub enum QmEvent {
         txn: TxnId,
         /// Read or write.
         access: AccessMode,
+        /// For stamped writes: the global commit timestamp the value was
+        /// installed at (`None` for reads and on the unstamped simulator
+        /// path). Flows into the execution log so the serializability
+        /// oracle can order snapshot reads against writers.
+        commit_ts: Option<Timestamp>,
     },
 }
 
@@ -119,6 +124,18 @@ pub struct QueueManager {
     /// Duplicate `Access` messages suppressed so far (drained by
     /// [`QueueManager::take_dup_suppressed`]).
     dup_suppressed: u64,
+    /// The global read watermark as last published by the owning shard
+    /// (see [`QueueManager::set_watermark`]): version-chain pruning never
+    /// drops the newest version at or below it.
+    watermark: Timestamp,
+    /// Versions retained per item above the watermark; forwarded to items
+    /// on [`QueueManager::set_version_retain`] and applied to items added
+    /// later.
+    version_retain: usize,
+    /// When false (the mutation switch), snapshot reads serve the raw
+    /// chain head instead of the newest version at or below the requested
+    /// timestamp — torn reads, demonstrably non-serializable.
+    snapshot_validation: bool,
 }
 
 impl QueueManager {
@@ -131,6 +148,9 @@ impl QueueManager {
             spill: Vec::new(),
             dedup_access: true,
             dup_suppressed: 0,
+            watermark: Timestamp::ZERO,
+            version_retain: crate::item::DEFAULT_VERSION_RETAIN,
+            snapshot_validation: true,
         }
     }
 
@@ -165,13 +185,14 @@ impl QueueManager {
         enforcement: EnforcementMode,
     ) {
         assert_eq!(item.site, self.site, "item must belong to this site");
+        let mut state = ItemState::new(item, initial_value, enforcement);
+        state.set_version_retain(self.version_retain);
         if let Some(slot) = self.slot_of(item) {
-            self.items[slot] = ItemState::new(item, initial_value, enforcement);
+            self.items[slot] = state;
             return;
         }
         let pos = self.items.partition_point(|i| i.item() < item);
-        self.items
-            .insert(pos, ItemState::new(item, initial_value, enforcement));
+        self.items.insert(pos, state);
         assert!(
             self.items.len() < u32::MAX as usize,
             "item table exceeds slot-index range"
@@ -288,6 +309,71 @@ impl QueueManager {
         self.dedup_access = dedup;
     }
 
+    /// Publish the current global read watermark. The owning shard calls
+    /// this before processing a batch; version-chain pruning keeps the
+    /// newest version at or below it answerable.
+    pub fn set_watermark(&mut self, watermark: Timestamp) {
+        self.watermark = watermark;
+    }
+
+    /// Set how many versions each item retains above the watermark
+    /// (clamped to at least one); applies to current and future items.
+    pub fn set_version_retain(&mut self, retain: usize) {
+        self.version_retain = retain.max(1);
+        for item in &mut self.items {
+            item.set_version_retain(retain);
+        }
+    }
+
+    /// Toggle the snapshot watermark check. On by default; turning it off
+    /// exists only as the mutation switch demonstrating the check is
+    /// load-bearing: unvalidated snapshot reads serve each item's raw
+    /// chain head, which tears across a multi-item commit.
+    pub fn set_snapshot_validation(&mut self, validate: bool) {
+        self.snapshot_validation = validate;
+    }
+
+    /// Serve a snapshot read at `ts`: for every item, the newest committed
+    /// version with stamp at or below `ts`, appended to `out` as
+    /// `(item, value, served_ts)` — `served_ts` is the stamp of the version
+    /// actually served, which is what enters the execution log (the oracle
+    /// orders the read against writers by it). Touches no queue, no locks,
+    /// no timestamps: this is the coordination-free read plane.
+    ///
+    /// All-or-nothing: returns `false` and rolls `out` back to its length
+    /// on entry when any item is unknown at this site or its chain has
+    /// been pruned past `ts` — the caller falls back to the coordinated
+    /// path. With validation off (the mutation switch) each item serves
+    /// its raw head instead, whatever the head's stamp.
+    pub fn snapshot_read_into(
+        &self,
+        ts: Timestamp,
+        items: &[PhysicalItemId],
+        out: &mut Vec<(PhysicalItemId, Value, Timestamp)>,
+    ) -> bool {
+        let mark = out.len();
+        for &id in items {
+            let Some(slot) = self.slot_of(id) else {
+                out.truncate(mark);
+                return false;
+            };
+            let item = &self.items[slot];
+            let version = if self.snapshot_validation {
+                match item.snapshot_value_at(ts) {
+                    Some(v) => v,
+                    None => {
+                        out.truncate(mark);
+                        return false;
+                    }
+                }
+            } else {
+                item.head_version()
+            };
+            out.push((id, version.value, version.ts));
+        }
+        true
+    }
+
     /// Duplicate `Access` messages suppressed since the last call, and
     /// reset the counter (drained into the runtime's stats per batch).
     pub fn take_dup_suppressed(&mut self) -> u64 {
@@ -371,6 +457,7 @@ impl QueueManager {
                 }
             }
         }
+        let watermark = self.watermark;
         let item = &mut self.items[slot];
         match msg {
             RequestMsg::Access {
@@ -384,11 +471,17 @@ impl QueueManager {
                 item.handle_updated_ts(*txn, *new_ts, sink)
             }
             RequestMsg::Release {
-                txn, write_value, ..
-            } => item.handle_release(*txn, *write_value, sink),
+                txn,
+                write_value,
+                commit_ts,
+                ..
+            } => item.handle_release(*txn, *write_value, *commit_ts, watermark, sink),
             RequestMsg::Demote {
-                txn, write_value, ..
-            } => item.handle_demote(*txn, *write_value, sink),
+                txn,
+                write_value,
+                commit_ts,
+                ..
+            } => item.handle_demote(*txn, *write_value, *commit_ts, watermark, sink),
             RequestMsg::Abort { txn, .. } => item.handle_abort(*txn, sink),
         }
     }
@@ -443,6 +536,7 @@ impl QueueManager {
         txn: TxnId,
         ops: &[ConfluentOp],
         check: bool,
+        commit_ts: Timestamp,
         sink: &mut QmSink,
     ) -> Option<Vec<(PhysicalItemId, Value)>> {
         // Pass 1: resolve every slot and test blockedness before touching
@@ -461,31 +555,40 @@ impl QueueManager {
             }
         }
         // Pass 2: apply. Every op emits `Implemented` so the shard folds it
-        // into the execution logs.
+        // into the execution logs. Writes install into the version chain at
+        // `commit_ts` — drawn by the owning shard at apply time, so chain
+        // stamps stay monotone even across fast-path/coordinated interleave.
+        let watermark = self.watermark;
+        let write_stamp = (commit_ts != Timestamp::ZERO).then_some(commit_ts);
         let mut reads = Vec::new();
         for op in ops {
             let slot = self
                 .slot_of(op.item())
                 .expect("slot resolved in the check pass");
             let item = &mut self.items[slot];
-            let access = match *op {
+            let (access, stamp) = match *op {
                 ConfluentOp::Read(id) => {
                     reads.push((id, item.value()));
-                    AccessMode::Read
+                    (AccessMode::Read, None)
                 }
                 ConfluentOp::Add(_, delta) => {
-                    item.apply_confluent_write(item.value().wrapping_add(delta));
-                    AccessMode::Write
+                    item.apply_confluent_write(
+                        item.value().wrapping_add(delta),
+                        commit_ts,
+                        watermark,
+                    );
+                    (AccessMode::Write, write_stamp)
                 }
                 ConfluentOp::Put(_, value) => {
-                    item.apply_confluent_write(value);
-                    AccessMode::Write
+                    item.apply_confluent_write(value, commit_ts, watermark);
+                    (AccessMode::Write, write_stamp)
                 }
             };
             sink.events.push(QmEvent::Implemented {
                 item: op.item(),
                 txn,
                 access,
+                commit_ts: stamp,
             });
         }
         Some(reads)
@@ -530,6 +633,139 @@ mod tests {
         }
     }
 
+    /// Grant a write lock and release it with a stamped value.
+    fn stamped_write(qm: &mut QueueManager, txn: u64, item: PhysicalItemId, value: Value, ts: u64) {
+        qm.handle(
+            SiteId(0),
+            &access(txn, item, AccessMode::Write, CcMethod::TwoPhaseLocking, 0),
+        );
+        qm.handle(
+            SiteId(0),
+            &RequestMsg::Release {
+                txn: TxnId(txn),
+                item,
+                write_value: Some(value),
+                commit_ts: Timestamp(ts),
+            },
+        );
+    }
+
+    #[test]
+    fn stamped_release_builds_a_version_chain() {
+        let mut qm = QueueManager::new(SiteId(0));
+        qm.add_item(pi(1, 0), 100, EnforcementMode::SemiLock);
+        stamped_write(&mut qm, 1, pi(1, 0), 111, 3);
+        stamped_write(&mut qm, 2, pi(1, 0), 222, 7);
+        let item = qm.item(pi(1, 0)).unwrap();
+        let chain: Vec<(u64, Value)> = item.versions().map(|v| (v.ts.0, v.value)).collect();
+        assert_eq!(chain, vec![(0, 100), (3, 111), (7, 222)]);
+        // Snapshot reads serve the newest version at or below the asked ts.
+        let mut out = Vec::new();
+        assert!(qm.snapshot_read_into(Timestamp(5), &[pi(1, 0)], &mut out));
+        assert_eq!(out, vec![(pi(1, 0), 111, Timestamp(3))]);
+        out.clear();
+        assert!(qm.snapshot_read_into(Timestamp(7), &[pi(1, 0)], &mut out));
+        assert_eq!(out, vec![(pi(1, 0), 222, Timestamp(7))]);
+        out.clear();
+        assert!(qm.snapshot_read_into(Timestamp(1), &[pi(1, 0)], &mut out));
+        assert_eq!(out, vec![(pi(1, 0), 100, Timestamp(0))], "seed version");
+    }
+
+    #[test]
+    fn snapshot_read_is_all_or_nothing() {
+        let mut qm = QueueManager::new(SiteId(0));
+        qm.add_item(pi(1, 0), 10, EnforcementMode::SemiLock);
+        let mut out = vec![(pi(9, 0), 0, Timestamp::ZERO)];
+        // Unknown item refuses and rolls back to the entry length.
+        assert!(!qm.snapshot_read_into(Timestamp(5), &[pi(1, 0), pi(2, 0)], &mut out));
+        assert_eq!(out.len(), 1, "refusal truncates back to the entry mark");
+    }
+
+    #[test]
+    fn version_chain_is_pruned_to_retain_above_watermark() {
+        let mut qm = QueueManager::new(SiteId(0));
+        qm.add_item(pi(1, 0), 0, EnforcementMode::SemiLock);
+        qm.set_version_retain(2);
+        // Watermark advances with the writes: shadowed versions are pruned
+        // down to the retain bound.
+        for ts in 1..=10u64 {
+            qm.set_watermark(Timestamp(ts.saturating_sub(1)));
+            stamped_write(&mut qm, ts, pi(1, 0), ts as Value * 10, ts);
+        }
+        let item = qm.item(pi(1, 0)).unwrap();
+        let len = item.versions().count();
+        assert!(len <= 3, "retain 2 (+ the in-flight head), got {len}");
+        // The newest version at the watermark is still answerable…
+        let mut out = Vec::new();
+        assert!(qm.snapshot_read_into(Timestamp(9), &[pi(1, 0)], &mut out));
+        assert_eq!(out, vec![(pi(1, 0), 90, Timestamp(9))]);
+        // …but a read far below the pruned range refuses (fallback).
+        out.clear();
+        assert!(!qm.snapshot_read_into(Timestamp(1), &[pi(1, 0)], &mut out));
+    }
+
+    #[test]
+    fn version_chain_hard_cap_bounds_a_stalled_watermark() {
+        let mut qm = QueueManager::new(SiteId(0));
+        qm.add_item(pi(1, 0), 0, EnforcementMode::SemiLock);
+        qm.set_version_retain(2);
+        // Watermark never advances (e.g. a decided-but-unacknowledged commit
+        // pins it): the chain still cannot grow past the hard cap.
+        for ts in 1..=100u64 {
+            stamped_write(&mut qm, ts, pi(1, 0), ts as Value, ts);
+        }
+        let len = qm.item(pi(1, 0)).unwrap().versions().count();
+        assert!(
+            len <= 2 * crate::item::VERSION_HARD_CAP_FACTOR,
+            "hard cap must bound a stalled watermark, got {len}"
+        );
+        // Reads at the stalled watermark refuse rather than serve a wrong
+        // value — the caller falls back to the coordinated path.
+        let mut out = Vec::new();
+        assert!(!qm.snapshot_read_into(Timestamp(0), &[pi(1, 0)], &mut out));
+    }
+
+    #[test]
+    fn snapshot_validation_off_serves_the_raw_head() {
+        let mut qm = QueueManager::new(SiteId(0));
+        qm.add_item(pi(1, 0), 10, EnforcementMode::SemiLock);
+        stamped_write(&mut qm, 1, pi(1, 0), 55, 8);
+        let mut out = Vec::new();
+        // Validated: a read at ts 3 sees the seed value.
+        assert!(qm.snapshot_read_into(Timestamp(3), &[pi(1, 0)], &mut out));
+        assert_eq!(out, vec![(pi(1, 0), 10, Timestamp(0))]);
+        // Mutation switch off: the same read serves the head — a value from
+        // the future of its snapshot. The served ts exposes the tear to the
+        // oracle.
+        qm.set_snapshot_validation(false);
+        out.clear();
+        assert!(qm.snapshot_read_into(Timestamp(3), &[pi(1, 0)], &mut out));
+        assert_eq!(out, vec![(pi(1, 0), 55, Timestamp(8))]);
+    }
+
+    #[test]
+    fn confluent_writes_stamp_versions_at_the_shard() {
+        let mut qm = QueueManager::new(SiteId(0));
+        qm.add_item(pi(1, 0), 10, EnforcementMode::SemiLock);
+        let mut sink = QmSink::new();
+        let ops = [ConfluentOp::Add(pi(1, 0), 5)];
+        qm.apply_confluent(SiteId(0), TxnId(7), &ops, true, Timestamp(4), &mut sink)
+            .expect("idle item accepts the bypass");
+        assert!(sink.events.iter().any(|e| matches!(
+            e,
+            QmEvent::Implemented {
+                commit_ts: Some(Timestamp(4)),
+                ..
+            }
+        )));
+        let mut out = Vec::new();
+        assert!(qm.snapshot_read_into(Timestamp(4), &[pi(1, 0)], &mut out));
+        assert_eq!(out, vec![(pi(1, 0), 15, Timestamp(4))]);
+        out.clear();
+        assert!(qm.snapshot_read_into(Timestamp(3), &[pi(1, 0)], &mut out));
+        assert_eq!(out, vec![(pi(1, 0), 10, Timestamp(0))]);
+    }
+
     #[test]
     fn from_catalog_holds_only_local_items() {
         let catalog = Catalog::generate(3, 9, ReplicationPolicy::SingleCopy);
@@ -563,6 +799,7 @@ mod tests {
                 txn: TxnId(1),
                 item: pi(1, 0),
                 write_value: None,
+                commit_ts: Timestamp::ZERO,
             },
         );
         assert!(out
@@ -583,11 +820,13 @@ mod tests {
                 txn: TxnId(1),
                 item: pi(1, 0),
                 write_value: Some(50),
+                commit_ts: Timestamp::ZERO,
             },
             RequestMsg::Release {
                 txn: TxnId(1),
                 item: pi(2, 0),
                 write_value: Some(70),
+                commit_ts: Timestamp::ZERO,
             },
         ];
         let mut sink = QmSink::new();
@@ -672,6 +911,7 @@ mod tests {
                 txn: TxnId(1),
                 item: pi(1, 0),
                 write_value: Some(3),
+                commit_ts: Timestamp::ZERO,
             },
         );
         let out = qm.handle(
@@ -749,7 +989,7 @@ mod tests {
             ConfluentOp::Read(pi(1, 0)),
         ];
         let reads = qm
-            .apply_confluent(SiteId(0), TxnId(7), &ops, true, &mut sink)
+            .apply_confluent(SiteId(0), TxnId(7), &ops, true, Timestamp::ZERO, &mut sink)
             .expect("idle items must accept the bypass");
         assert_eq!(reads, vec![(pi(1, 0), 15)], "read sees the applied add");
         assert_eq!(qm.value_of(pi(1, 0)), Some(15));
@@ -774,7 +1014,7 @@ mod tests {
         let mut sink = QmSink::new();
         for op in [ConfluentOp::Add(pi(1, 0), 1), ConfluentOp::Put(pi(1, 0), 0)] {
             assert!(
-                qm.apply_confluent(SiteId(0), TxnId(9), &[op], true, &mut sink)
+                qm.apply_confluent(SiteId(0), TxnId(9), &[op], true, Timestamp::ZERO, &mut sink)
                     .is_none(),
                 "{op:?} must refuse on a locked item"
             );
@@ -800,6 +1040,7 @@ mod tests {
                 TxnId(9),
                 &[ConfluentOp::Read(pi(1, 0))],
                 true,
+                Timestamp::ZERO,
                 &mut sink,
             )
             .expect("held read locks do not block a bypass read");
@@ -815,6 +1056,7 @@ mod tests {
                 TxnId(9),
                 &[ConfluentOp::Read(pi(2, 0))],
                 true,
+                Timestamp::ZERO,
                 &mut sink,
             )
             .is_none());
@@ -830,6 +1072,7 @@ mod tests {
                 TxnId(9),
                 &[ConfluentOp::Read(pi(1, 0))],
                 true,
+                Timestamp::ZERO,
                 &mut sink,
             )
             .is_none());
@@ -849,7 +1092,7 @@ mod tests {
         // be applied.
         let ops = [ConfluentOp::Add(pi(1, 0), 5), ConfluentOp::Add(pi(2, 0), 5)];
         assert!(qm
-            .apply_confluent(SiteId(0), TxnId(9), &ops, true, &mut sink)
+            .apply_confluent(SiteId(0), TxnId(9), &ops, true, Timestamp::ZERO, &mut sink)
             .is_none());
         assert_eq!(qm.value_of(pi(1, 0)), Some(10));
         assert!(sink.events.is_empty());
@@ -859,7 +1102,7 @@ mod tests {
             ConfluentOp::Add(pi(77, 0), 5),
         ];
         assert!(qm
-            .apply_confluent(SiteId(0), TxnId(9), &ops, true, &mut sink)
+            .apply_confluent(SiteId(0), TxnId(9), &ops, true, Timestamp::ZERO, &mut sink)
             .is_none());
         assert_eq!(qm.value_of(pi(1, 0)), Some(10));
     }
@@ -882,6 +1125,7 @@ mod tests {
                 TxnId(9),
                 &[ConfluentOp::Add(pi(1, 0), 5)],
                 false,
+                Timestamp::ZERO,
                 &mut sink,
             )
             .expect("unchecked bypass never refuses on blockedness");
@@ -894,6 +1138,7 @@ mod tests {
                 TxnId(9),
                 &[ConfluentOp::Read(pi(88, 0))],
                 false,
+                Timestamp::ZERO,
                 &mut sink,
             )
             .is_none());
@@ -915,6 +1160,7 @@ mod tests {
                 txn: TxnId(1),
                 item: pi(7, 0),
                 write_value: Some(99),
+                commit_ts: Timestamp::ZERO,
             },
         );
         assert_eq!(qm.value_of(pi(7, 0)), Some(99));
@@ -996,6 +1242,7 @@ mod tests {
                 txn: TxnId(1),
                 item: pi(1, 0),
                 write_value: Some(50),
+                commit_ts: Timestamp::ZERO,
             },
         );
         assert!(out

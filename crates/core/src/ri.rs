@@ -118,6 +118,9 @@ pub struct RequestIssuer {
     had_prescheduled: bool,
     read_results: BTreeMap<PhysicalItemId, Value>,
     write_values: BTreeMap<LogicalItemId, Value>,
+    /// Global commit stamp the incarnation's writes are implemented at;
+    /// `Timestamp::ZERO` = unstamped (simulator path).
+    commit_ts: Timestamp,
 }
 
 impl RequestIssuer {
@@ -143,7 +146,16 @@ impl RequestIssuer {
             had_prescheduled: false,
             read_results: BTreeMap::new(),
             write_values: BTreeMap::new(),
+            commit_ts: Timestamp::ZERO,
         }
+    }
+
+    /// Stamp the incarnation's writes with a global commit timestamp; the
+    /// Release/Demote messages built by [`Self::on_execution_done`] carry it
+    /// so the queue managers can append to the item version chains. Must be
+    /// called before `on_execution_done` to take effect.
+    pub fn set_commit_ts(&mut self, ts: Timestamp) {
+        self.commit_ts = ts;
     }
 
     /// The transaction this issuer coordinates.
@@ -323,6 +335,7 @@ impl RequestIssuer {
                     txn: self.txn.id,
                     item: req.item,
                     write_value: self.write_value_for(req),
+                    commit_ts: self.commit_ts,
                 });
             }
             out.action(RiAction::Committed);
@@ -337,6 +350,7 @@ impl RequestIssuer {
                     txn: self.txn.id,
                     item: req.item,
                     write_value: self.write_value_for(req),
+                    commit_ts: self.commit_ts,
                 });
             }
             out.action(RiAction::Committed);
@@ -453,6 +467,7 @@ impl RequestIssuer {
                 txn: self.txn.id,
                 item: req.item,
                 write_value: None,
+                commit_ts: self.commit_ts,
             });
         }
         out.action(RiAction::FullyReleased);

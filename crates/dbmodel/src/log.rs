@@ -12,7 +12,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::ids::{PhysicalItemId, TxnId};
+use crate::ids::{PhysicalItemId, Timestamp, TxnId};
 use crate::op::AccessMode;
 
 /// One implemented physical operation, as recorded in an item's log.
@@ -24,6 +24,15 @@ pub struct ImplementedOp {
     pub mode: AccessMode,
     /// Position in the item's log (0 = first implemented).
     pub seq: u64,
+    /// For writes: the global commit timestamp the write was stamped with
+    /// (`None` on the unstamped simulator path). For snapshot reads: the
+    /// commit timestamp of the version the read actually served.
+    pub commit_ts: Option<Timestamp>,
+    /// True when the entry was recorded by the MVCC snapshot-read plane.
+    /// Snapshot entries are ordered against writers by `commit_ts`, not by
+    /// log position (they never enter a queue, so their position in the
+    /// log says nothing about the serialization order).
+    pub snapshot: bool,
 }
 
 /// The implementation log of one physical data item.
@@ -40,8 +49,26 @@ impl ItemLog {
 
     /// Append an implemented operation and return its sequence number.
     pub fn append(&mut self, txn: TxnId, mode: AccessMode) -> u64 {
+        self.append_full(txn, mode, None, false)
+    }
+
+    /// Append an implemented operation carrying its commit-timestamp
+    /// stamp and snapshot-plane flag (see [`ImplementedOp`]).
+    pub fn append_full(
+        &mut self,
+        txn: TxnId,
+        mode: AccessMode,
+        commit_ts: Option<Timestamp>,
+        snapshot: bool,
+    ) -> u64 {
         let seq = self.entries.len() as u64;
-        self.entries.push(ImplementedOp { txn, mode, seq });
+        self.entries.push(ImplementedOp {
+            txn,
+            mode,
+            seq,
+            commit_ts,
+            snapshot,
+        });
         seq
     }
 
@@ -62,13 +89,18 @@ impl ItemLog {
 
     /// Pairs `(earlier, later)` of *conflicting* operations in this log, in
     /// implementation order. These are exactly the edges contributed by this
-    /// item to the conflict (serialization) graph.
+    /// item to the conflict (serialization) graph. Snapshot-plane entries
+    /// are excluded: their log position carries no ordering information —
+    /// the oracle orders them against writers by `commit_ts` instead.
     pub fn conflict_pairs(&self) -> Vec<(ImplementedOp, ImplementedOp)> {
         let mut pairs = Vec::new();
         for i in 0..self.entries.len() {
             for j in (i + 1)..self.entries.len() {
                 let a = self.entries[i];
                 let b = self.entries[j];
+                if a.snapshot || b.snapshot {
+                    continue;
+                }
                 if a.txn != b.txn && a.mode.conflicts_with(b.mode) {
                     pairs.push((a, b));
                 }
@@ -103,6 +135,22 @@ impl LogSet {
     /// `item`.
     pub fn record(&mut self, item: PhysicalItemId, txn: TxnId, mode: AccessMode) -> u64 {
         self.logs.entry(item).or_default().append(txn, mode)
+    }
+
+    /// Record an implemented operation carrying its commit-timestamp stamp
+    /// and snapshot-plane flag (see [`ImplementedOp`]).
+    pub fn record_full(
+        &mut self,
+        item: PhysicalItemId,
+        txn: TxnId,
+        mode: AccessMode,
+        commit_ts: Option<Timestamp>,
+        snapshot: bool,
+    ) -> u64 {
+        self.logs
+            .entry(item)
+            .or_default()
+            .append_full(txn, mode, commit_ts, snapshot)
     }
 
     /// The log of one item, if any operation has been implemented on it.
@@ -170,6 +218,26 @@ mod tests {
         // Only r1(t1)→w(t3) and r(t2)→w(t3) conflict; read/read pairs and
         // same-transaction pairs contribute nothing.
         assert_eq!(as_txns, vec![(1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn snapshot_entries_are_excluded_from_position_conflicts() {
+        use crate::ids::Timestamp;
+        let mut log = ItemLog::new();
+        log.append_full(TxnId(1), AccessMode::Write, Some(Timestamp(3)), false);
+        log.append_full(TxnId(2), AccessMode::Read, Some(Timestamp(3)), true);
+        log.append(TxnId(3), AccessMode::Write);
+        let as_txns: Vec<(u64, u64)> = log
+            .conflict_pairs()
+            .iter()
+            .map(|(a, b)| (a.txn.0, b.txn.0))
+            .collect();
+        // The snapshot read's position contributes nothing; only the two
+        // position-ordered writers conflict.
+        assert_eq!(as_txns, vec![(1, 3)]);
+        assert!(log.entries()[1].snapshot);
+        assert_eq!(log.entries()[1].commit_ts, Some(Timestamp(3)));
+        assert_eq!(log.entries()[2].commit_ts, None);
     }
 
     #[test]

@@ -1,10 +1,20 @@
 //! Per-site in-memory storage of physical data items.
 //!
-//! The store is deliberately simple — a map from physical item to a
+//! The store is deliberately simple — a record per physical item holding a
 //! [`Value`] plus a write-version counter — because the concurrency-control
 //! protocols above it are what this reproduction studies. The version counter
 //! lets tests and examples observe lost updates or out-of-order writes
 //! directly at the storage level, independent of the serializability oracle.
+//!
+//! ## The dense item index
+//!
+//! Records live in a dense `Vec` sorted by item id; the
+//! `PhysicalItemId → slot` resolution is a direct-mapped table indexed by
+//! the logical item id (catalog-generated ids are small and contiguous),
+//! with a sorted spill vector as the correctness net for ids past the
+//! direct-map bound — the same scheme the `QueueManager` slot table uses.
+//! Resolving an item is an array load instead of a `BTreeMap` pointer
+//! chase on the simulator's hot read/write path.
 
 use std::collections::BTreeMap;
 
@@ -16,6 +26,13 @@ use crate::ids::{PhysicalItemId, SiteId, TxnId};
 /// reproduction (account balances, stock counts, counters) while keeping the
 /// store trivially cloneable for snapshot-based assertions in tests.
 pub type Value = i64;
+
+/// Logical item ids below this bound resolve through the direct-mapped
+/// table; ids at or above it fall back to the sorted spill vector. Same
+/// bound as the `QueueManager` slot table: it caps the direct map at
+/// 4 MiB per store even for adversarial id spaces, and catalog-generated
+/// ids are contiguous from zero so they never spill.
+const DENSE_LIMIT: u64 = 1 << 20;
 
 /// Errors reported by the store.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,6 +64,7 @@ impl std::error::Error for StoreError {}
 /// A record for one physical item.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Record {
+    item: PhysicalItemId,
     value: Value,
     version: u64,
     last_writer: Option<TxnId>,
@@ -56,7 +74,13 @@ struct Record {
 #[derive(Debug, Clone)]
 pub struct SiteStore {
     site: SiteId,
-    records: BTreeMap<PhysicalItemId, Record>,
+    /// Records, sorted by `PhysicalItemId` (so iteration order matches the
+    /// seed's `BTreeMap` exactly).
+    records: Vec<Record>,
+    /// Direct map: `logical id → slot + 1` (`0` = no such item here).
+    dense: Vec<u32>,
+    /// Sorted `(logical id, slot)` pairs for ids `>= DENSE_LIMIT`.
+    spill: Vec<(u64, u32)>,
 }
 
 impl SiteStore {
@@ -64,7 +88,9 @@ impl SiteStore {
     pub fn new(site: SiteId) -> Self {
         SiteStore {
             site,
-            records: BTreeMap::new(),
+            records: Vec::new(),
+            dense: Vec::new(),
+            spill: Vec::new(),
         }
     }
 
@@ -87,24 +113,30 @@ impl SiteStore {
     /// record and resets its version to zero.
     pub fn install(&mut self, item: PhysicalItemId, value: Value) -> Result<(), StoreError> {
         self.check_site(item)?;
-        self.records.insert(
+        let fresh = Record {
             item,
-            Record {
-                value,
-                version: 0,
-                last_writer: None,
-            },
-        );
+            value,
+            version: 0,
+            last_writer: None,
+        };
+        if let Some(slot) = self.slot_of(item) {
+            self.records[slot] = fresh;
+            return Ok(());
+        }
+        let pos = self.records.partition_point(|r| r.item < item);
+        self.records.insert(pos, fresh);
+        // Slots at or past the insertion point shifted right by one;
+        // rebuild their id → slot entries. Install is construction-time
+        // only, so the linear fix-up never sits on a hot path.
+        for slot in pos..self.records.len() {
+            self.set_slot(self.records[slot].item.logical.0, slot as u32);
+        }
         Ok(())
     }
 
     /// Read the current value of an item.
     pub fn read(&self, item: PhysicalItemId) -> Result<Value, StoreError> {
-        self.check_site(item)?;
-        self.records
-            .get(&item)
-            .map(|r| r.value)
-            .ok_or(StoreError::UnknownItem(item))
+        self.record(item).map(|r| r.value)
     }
 
     /// Write a new value on behalf of `writer`, bumping the version counter.
@@ -115,10 +147,8 @@ impl SiteStore {
         writer: TxnId,
     ) -> Result<(), StoreError> {
         self.check_site(item)?;
-        let rec = self
-            .records
-            .get_mut(&item)
-            .ok_or(StoreError::UnknownItem(item))?;
+        let slot = self.slot_of(item).ok_or(StoreError::UnknownItem(item))?;
+        let rec = &mut self.records[slot];
         rec.value = value;
         rec.version += 1;
         rec.last_writer = Some(writer);
@@ -127,25 +157,61 @@ impl SiteStore {
 
     /// The number of committed writes applied to the item so far.
     pub fn version(&self, item: PhysicalItemId) -> Result<u64, StoreError> {
-        self.check_site(item)?;
-        self.records
-            .get(&item)
-            .map(|r| r.version)
-            .ok_or(StoreError::UnknownItem(item))
+        self.record(item).map(|r| r.version)
     }
 
     /// The transaction that last wrote the item, if any write has occurred.
     pub fn last_writer(&self, item: PhysicalItemId) -> Result<Option<TxnId>, StoreError> {
-        self.check_site(item)?;
-        self.records
-            .get(&item)
-            .map(|r| r.last_writer)
-            .ok_or(StoreError::UnknownItem(item))
+        self.record(item).map(|r| r.last_writer)
     }
 
     /// Iterate over `(item, value)` pairs in item order.
     pub fn iter(&self) -> impl Iterator<Item = (PhysicalItemId, Value)> + '_ {
-        self.records.iter().map(|(&k, r)| (k, r.value))
+        self.records.iter().map(|r| (r.item, r.value))
+    }
+
+    fn record(&self, item: PhysicalItemId) -> Result<&Record, StoreError> {
+        self.check_site(item)?;
+        self.slot_of(item)
+            .map(|slot| &self.records[slot])
+            .ok_or(StoreError::UnknownItem(item))
+    }
+
+    /// Point the id → slot resolution of `logical` at `slot`
+    /// (construction-time only; the hot path never calls this).
+    fn set_slot(&mut self, logical: u64, slot: u32) {
+        if logical < DENSE_LIMIT {
+            let idx = logical as usize;
+            if idx >= self.dense.len() {
+                self.dense.resize(idx + 1, 0);
+            }
+            self.dense[idx] = slot + 1;
+        } else {
+            match self.spill.binary_search_by_key(&logical, |&(l, _)| l) {
+                Ok(i) => self.spill[i].1 = slot,
+                Err(i) => self.spill.insert(i, (logical, slot)),
+            }
+        }
+    }
+
+    /// Resolve an item id to its slot in the dense record table.
+    #[inline]
+    fn slot_of(&self, item: PhysicalItemId) -> Option<usize> {
+        if item.site != self.site {
+            return None;
+        }
+        let logical = item.logical.0;
+        if logical < DENSE_LIMIT {
+            match self.dense.get(logical as usize) {
+                Some(&slot) if slot != 0 => Some(slot as usize - 1),
+                _ => None,
+            }
+        } else {
+            self.spill
+                .binary_search_by_key(&logical, |&(l, _)| l)
+                .ok()
+                .map(|i| self.spill[i].1 as usize)
+        }
     }
 
     fn check_site(&self, item: PhysicalItemId) -> Result<(), StoreError> {
@@ -253,5 +319,106 @@ mod tests {
         let store = SiteStore::new(SiteId(1));
         assert!(store.is_empty());
         assert_eq!(store.len(), 0);
+    }
+
+    #[test]
+    fn dense_index_resolves_sparse_and_spilled_ids() {
+        let mut store = SiteStore::new(SiteId(0));
+        // Sparse dense-range ids, installed out of order so later installs
+        // shift earlier slots.
+        store.install(pi(512, 0), 1).unwrap();
+        store.install(pi(3, 0), 2).unwrap();
+        // An id past the direct-map bound exercises the spill path.
+        let big = DENSE_LIMIT + 17;
+        store.install(pi(big, 0), 3).unwrap();
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.read(pi(3, 0)).unwrap(), 2);
+        assert_eq!(store.read(pi(512, 0)).unwrap(), 1);
+        assert_eq!(store.read(pi(big, 0)).unwrap(), 3);
+        assert!(store.read(pi(4, 0)).is_err());
+        // Iteration stays in item order despite out-of-order installs.
+        let order: Vec<u64> = store.iter().map(|(i, _)| i.logical.0).collect();
+        assert_eq!(order, vec![3, 512, big]);
+        // Writes through the index land on the right record.
+        store.write(pi(big, 0), 33, TxnId(9)).unwrap();
+        assert_eq!(store.read(pi(big, 0)).unwrap(), 33);
+        assert_eq!(store.read(pi(512, 0)).unwrap(), 1);
+    }
+
+    /// Equivalence net for the dense-index rewrite: drive the store and the
+    /// seed's `BTreeMap` model through an identical pseudo-random command
+    /// stream and compare every observable after every step.
+    #[test]
+    fn dense_index_matches_btreemap_model() {
+        #[derive(Clone, Copy)]
+        struct Model {
+            value: Value,
+            version: u64,
+            last_writer: Option<TxnId>,
+        }
+        let mut store = SiteStore::new(SiteId(0));
+        let mut model: BTreeMap<PhysicalItemId, Model> = BTreeMap::new();
+        // Deterministic xorshift so the test needs no RNG dependency.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for step in 0..4000u64 {
+            let r = next();
+            // Mix dense-range and spill-range ids.
+            let logical = if r % 11 == 0 {
+                DENSE_LIMIT + (r >> 8) % 16
+            } else {
+                (r >> 8) % 48
+            };
+            let item = pi(logical, 0);
+            match r % 5 {
+                0 => {
+                    let v = (r >> 16) as i64 % 1000;
+                    store.install(item, v).unwrap();
+                    model.insert(
+                        item,
+                        Model {
+                            value: v,
+                            version: 0,
+                            last_writer: None,
+                        },
+                    );
+                }
+                1 | 2 => {
+                    let v = (r >> 16) as i64 % 1000;
+                    let w = TxnId(step);
+                    let got = store.write(item, v, w);
+                    match model.get_mut(&item) {
+                        Some(m) => {
+                            got.unwrap();
+                            m.value = v;
+                            m.version += 1;
+                            m.last_writer = Some(w);
+                        }
+                        None => assert_eq!(got.unwrap_err(), StoreError::UnknownItem(item)),
+                    }
+                }
+                _ => match model.get(&item) {
+                    Some(m) => {
+                        assert_eq!(store.read(item).unwrap(), m.value);
+                        assert_eq!(store.version(item).unwrap(), m.version);
+                        assert_eq!(store.last_writer(item).unwrap(), m.last_writer);
+                    }
+                    None => {
+                        assert_eq!(store.read(item).unwrap_err(), StoreError::UnknownItem(item))
+                    }
+                },
+            }
+            assert_eq!(store.len(), model.len());
+        }
+        // Full sweep: identical contents in identical order.
+        let store_view: Vec<(PhysicalItemId, Value)> = store.iter().collect();
+        let model_view: Vec<(PhysicalItemId, Value)> =
+            model.iter().map(|(&k, m)| (k, m.value)).collect();
+        assert_eq!(store_view, model_view);
     }
 }

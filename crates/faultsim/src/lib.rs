@@ -480,6 +480,7 @@ mod tests {
             txn: TxnId(txn),
             item: PhysicalItemId::new(LogicalItemId(1), SiteId(0)),
             write_value: Some(7),
+            commit_ts: Timestamp::ZERO,
         }
     }
 

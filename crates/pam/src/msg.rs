@@ -100,6 +100,10 @@ pub enum RequestMsg {
         item: PhysicalItemId,
         /// New value for write accesses; `None` for reads.
         write_value: Option<Value>,
+        /// The global commit stamp the write is implemented at, feeding the
+        /// item's version chain; `Timestamp::ZERO` = unstamped (simulator
+        /// path, or a read-only release carrying no value).
+        commit_ts: Timestamp,
     },
     /// T/O only: the transaction executed while holding at least one
     /// pre-scheduled lock; transform its locks on this item into semi-locks
@@ -112,6 +116,9 @@ pub enum RequestMsg {
         item: PhysicalItemId,
         /// New value for write accesses; `None` for reads.
         write_value: Option<Value>,
+        /// The global commit stamp the write is implemented at, feeding the
+        /// item's version chain; `Timestamp::ZERO` = unstamped.
+        commit_ts: Timestamp,
     },
     /// Abort: drop the transaction's queue entry and any locks it holds on
     /// this item without implementing anything (T/O restarts, 2PL deadlock
@@ -282,6 +289,7 @@ mod tests {
             txn: TxnId(5),
             item: pi(3, 0),
             write_value: Some(11),
+            commit_ts: Timestamp::ZERO,
         };
         assert_eq!(r.item(), pi(3, 0));
         assert_eq!(r.txn(), TxnId(5));

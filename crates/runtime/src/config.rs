@@ -78,6 +78,8 @@ pub enum ConfigError {
     BadTimeout(String),
     /// The fault schedule does not match the runtime shape.
     BadFaults(String),
+    /// The snapshot-plane settings are internally inconsistent.
+    BadSnapshot(String),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -95,6 +97,7 @@ impl std::fmt::Display for ConfigError {
             ConfigError::BadReplyPlane(why) => write!(f, "bad reply-plane settings: {why}"),
             ConfigError::BadTimeout(why) => write!(f, "bad timeout settings: {why}"),
             ConfigError::BadFaults(why) => write!(f, "bad fault schedule: {why}"),
+            ConfigError::BadSnapshot(why) => write!(f, "bad snapshot settings: {why}"),
         }
     }
 }
@@ -209,6 +212,27 @@ pub struct RuntimeConfig {
     /// histories** — it exists only as the mutation switch proving the
     /// check is load-bearing (see the runtime's mutation test).
     pub confluence_check: bool,
+    /// Serve read-only-classified transactions (see
+    /// [`selection::is_read_only`]) from the per-item version chains at
+    /// the global read watermark — the fourth method. No grants, no wait
+    /// edges, no restart exposure. Off forces read-only transactions
+    /// through whatever coordinated method the selector picks (the `m10`
+    /// baseline).
+    pub snapshot_reads: bool,
+    /// The watermark check of the snapshot plane: a snapshot read serves
+    /// the newest version stamped at or below the global read watermark.
+    /// **Disabling this serves the raw chain head instead — uncommitted
+    /// prefixes of in-flight multi-item writers become visible and the
+    /// history stops being serializable.** It exists only as the mutation
+    /// switch proving the watermark is load-bearing (see the runtime's
+    /// mutation test).
+    pub snapshot_validation: bool,
+    /// Committed versions retained per item **above** what the global
+    /// read watermark needs: each item keeps every version a watermark
+    /// read could serve plus at most this many newer ones, with a hard
+    /// cap of 4× this value against a stalled watermark. Must be at
+    /// least 1.
+    pub version_retain: usize,
     /// Deterministic fault injection on the client→shard message plane:
     /// `Some(schedule)` arms a [`faultsim::FaultPlane`] with the given
     /// seeded schedule (drop / duplicate / delay / partition per link,
@@ -259,6 +283,9 @@ impl Default for RuntimeConfig {
             selection_cache: Some(CacheSettings::default()),
             confluence_fastpath: true,
             confluence_check: true,
+            snapshot_reads: true,
+            snapshot_validation: true,
+            version_retain: unified_cc::DEFAULT_VERSION_RETAIN,
             faults: None,
             dedup_access: true,
             trace: trace::TraceConfig::default(),
@@ -313,6 +340,11 @@ impl RuntimeConfig {
             if value.is_zero() {
                 return Err(ConfigError::BadTimeout(format!("{name} must be nonzero")));
             }
+        }
+        if self.version_retain == 0 {
+            return Err(ConfigError::BadSnapshot(
+                "version_retain must be at least 1 (the head version is always kept)".into(),
+            ));
         }
         if let Some(schedule) = &self.faults {
             if schedule.num_links() != self.num_shards as usize {
@@ -411,6 +443,15 @@ mod tests {
             ..RuntimeConfig::default()
         };
         assert_eq!(c.validate(), Ok(()), "a fixed-size index is valid");
+    }
+
+    #[test]
+    fn zero_version_retain_is_rejected() {
+        let c = RuntimeConfig {
+            version_retain: 0,
+            ..RuntimeConfig::default()
+        };
+        assert!(matches!(c.validate(), Err(ConfigError::BadSnapshot(_))));
     }
 
     #[test]

@@ -23,8 +23,8 @@ use dbmodel::{
 use metrics::{SimMetrics, TxnOutcome};
 use pam::{ReplyMsg, RequestMsg};
 use selection::{
-    classify, CachedStlSelector, Confluence, OpProfile, SelectionDecision, StlSelector,
-    WorkloadSignal,
+    classify, is_read_only, CachedStlSelector, Confluence, OpProfile, SelectionDecision,
+    StlSelector, WorkloadSignal,
 };
 use simkit::rng::SimRng;
 use simkit::time::SimTime;
@@ -134,6 +134,12 @@ impl TxnSpec {
     }
 }
 
+/// A served snapshot read: the assigned transaction id and the values
+/// observed at one watermark cut. `None` means the spec is not
+/// snapshot-eligible (or the plane is disabled) and the caller should
+/// route through coordination instead.
+type SnapshotAnswer = Option<(TxnId, BTreeMap<LogicalItemId, Value>)>;
+
 /// Why a transaction could not run to commit.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TxnError {
@@ -211,6 +217,9 @@ pub struct TxnReceipt {
     /// True when the transaction committed through the
     /// coordination-avoidance bypass (no grants, no queue time).
     pub fastpath: bool,
+    /// True when the transaction was served from the MVCC snapshot plane
+    /// at the global read watermark (read-only; no coordination at all).
+    pub snapshot: bool,
 }
 
 /// The dynamic-policy selector engine: the amortized cached variant (the
@@ -268,6 +277,10 @@ struct Inner {
     /// The flight-recorder tracing plane (see [`trace`]); shared with the
     /// shard threads and the deadlock detector.
     trace: Arc<TracePlane>,
+    /// The global commit clock: coordinated commits draw/retire their
+    /// stamp here; snapshot reads load its watermark. Shared with the
+    /// shard threads (fast-path stamping and version-chain pruning).
+    clock: Arc<crate::clock::CommitClock>,
     /// Keeps the serializability-violation observer alive: a failing
     /// oracle replay anywhere in the process latches this database's
     /// postmortem dump.
@@ -314,6 +327,7 @@ impl Database {
         let stats = Arc::new(RuntimeStats::with_shards(catalog.sites().len()));
         let stopped = Arc::new(AtomicBool::new(false));
         let plane = Arc::new(TracePlane::new(&config.trace, catalog.sites().len()));
+        let clock = Arc::new(crate::clock::CommitClock::new());
 
         let mut shard_handles = Vec::new();
         let mut shard_txs = Vec::new();
@@ -326,6 +340,8 @@ impl Database {
                 config.enforcement,
             );
             qm.set_dedup_access(config.dedup_access);
+            qm.set_version_retain(config.version_retain);
+            qm.set_snapshot_validation(config.snapshot_validation);
             let (tx, rx) = shard::inbox_pair(config.transport, config.shard_inbox_capacity);
             if plane.level() == TraceLevel::Full {
                 // Queue-dwell stamping on the batched ring: each slot
@@ -343,6 +359,7 @@ impl Database {
                 Arc::clone(&registry),
                 Arc::clone(&stats),
                 Arc::clone(&plane),
+                Arc::clone(&clock),
             );
             shard_txs.push(tx);
             site_index.insert(site, idx);
@@ -402,6 +419,7 @@ impl Database {
                 stopped,
                 faults,
                 trace: plane,
+                clock,
                 _sercheck_guard: sercheck_guard,
                 teardown: Mutex::new(Some((shard_handles, stop_tx, detector_join))),
                 config,
@@ -567,12 +585,46 @@ impl Database {
     /// Open a transaction and drive it to its execution phase: all requests
     /// granted, read values in hand. Restarts are retried internally.
     ///
+    /// Pure read-only shapes (with
+    /// [`crate::RuntimeConfig::snapshot_reads`] on, no pinned method) are
+    /// served from the MVCC snapshot plane instead: the returned
+    /// transaction already holds its reads — observed at the global read
+    /// watermark, with no locks, queue entries or restart exposure —
+    /// and its [`ActiveTxn::commit`] is a pure local accounting step.
+    /// Staging a write on such a transaction fails with
+    /// [`TxnError::NotInWriteSet`], exactly as it would on the
+    /// coordinated path.
+    ///
     /// The reply endpoint is acquired **once** here and reused across
     /// every restart incarnation — on the mailbox plane that is the
     /// whole point of the slab: registration re-arms the same mailbox
     /// under the new transaction id instead of allocating a channel.
     pub fn begin(&self, spec: &TxnSpec) -> Result<ActiveTxn, TxnError> {
         let inner = &self.inner;
+        if inner.config.snapshot_reads {
+            if let Some((txn_id, reads)) = self.snapshot_read_values(spec)? {
+                let origin = spec
+                    .origin
+                    .unwrap_or_else(|| inner.catalog.origin_for(txn_id));
+                let txn = Transaction::builder(txn_id, origin)
+                    .reads(spec.reads.iter().copied())
+                    .build();
+                // A snapshot transaction never talks to a queue manager:
+                // its issuer exists only to carry the id/shape (empty
+                // access list, never started, never registered).
+                let ri = RequestIssuer::new(
+                    txn,
+                    TsTuple::new(Timestamp::ZERO, inner.config.pa_backoff_interval),
+                    Vec::new(),
+                );
+                return Ok(ActiveTxn::new_snapshot(
+                    self.clone(),
+                    ri,
+                    reads,
+                    inner.trace.client_lane(),
+                ));
+            }
+        }
         let plane = &inner.trace;
         let lane = plane.client_lane();
         let mut mailbox =
@@ -754,7 +806,16 @@ impl Database {
     }
 
     /// Run one predeclared transaction end to end, routing it around the
-    /// queue managers when its shape is invariant confluent.
+    /// queue managers when its shape is invariant confluent — or, for
+    /// pure read-only shapes, around *everything*: with
+    /// [`crate::RuntimeConfig::snapshot_reads`] on, a shape classified
+    /// read-only (see [`selection::is_read_only`]) is served from the
+    /// per-item version chains at the global read watermark — no grants,
+    /// no wait edges, no restart exposure — and its receipt reports
+    /// [`TxnReceipt::snapshot`]. A shard that cannot serve the watermark
+    /// (chain pruned past it) refuses, counted in
+    /// [`StatsSnapshot::snapshot_refused`], and the transaction falls
+    /// through to the paths below.
     ///
     /// Shapes built only from reads, [`TxnSpec::add`]s and
     /// [`TxnSpec::put`]s classify as [`Confluence::ConfluentFastPath`]
@@ -769,6 +830,25 @@ impl Database {
     /// refusals surface in [`StatsSnapshot::fastpath_applied`] /
     /// [`StatsSnapshot::fastpath_refused`].
     pub fn execute(&self, spec: &TxnSpec) -> Result<TxnReceipt, TxnError> {
+        // Read-only shapes try the MVCC snapshot plane first — even less
+        // coordination than the confluent bypass (no at-apply refusal
+        // window to lose: a watermark read conflicts with nothing).
+        if self.inner.config.snapshot_reads {
+            if let Some((txn_id, reads)) = self.snapshot_read_values(spec)? {
+                let inner = &self.inner;
+                inner.stats.committed.fetch_add(1, Ordering::Relaxed);
+                let plane = &inner.trace;
+                plane.record(plane.client_lane(), txn_id.0, Phase::Committed, 0);
+                return Ok(TxnReceipt {
+                    id: txn_id,
+                    method: CcMethod::TwoPhaseLocking,
+                    restarts: 0,
+                    reads,
+                    fastpath: false,
+                    snapshot: true,
+                });
+            }
+        }
         if self.inner.config.confluence_fastpath {
             if let Some(receipt) = self.try_fastpath(spec)? {
                 return Ok(receipt);
@@ -950,7 +1030,130 @@ impl Database {
             restarts: 0,
             reads,
             fastpath: true,
+            snapshot: false,
         }))
+    }
+
+    /// Attempt to serve `spec` from the MVCC snapshot plane. `Ok(None)`
+    /// means "run another path": the shape is not pure read-only, the
+    /// spec pins a method, or some shard could not serve the watermark
+    /// (its chain was pruned past it — counted as a refusal). On success
+    /// the reads are final: every shard answered from the version chains
+    /// at one watermark load, each served read already entered that
+    /// shard's execution log stamped with the version it observed, and
+    /// the caller only has to account the commit.
+    ///
+    /// Consistency rests on the commit clock's draw/retire protocol: a
+    /// write's stamp is retired only after its installs are enqueued at
+    /// every owning shard, so by the time a watermark load observes the
+    /// stamp, per-shard FIFO order puts every install ahead of any
+    /// snapshot command sent afterwards. One watermark therefore cuts the
+    /// history at a transaction-consistent prefix across all shards.
+    fn snapshot_read_values(&self, spec: &TxnSpec) -> Result<SnapshotAnswer, TxnError> {
+        let inner = &self.inner;
+        if spec.method.is_some() {
+            return Ok(None);
+        }
+        let mut profile = OpProfile::empty();
+        if !spec.reads.is_empty() {
+            profile = profile.with(OpProfile::READS);
+        }
+        if !spec.adds.is_empty() {
+            profile = profile.with(OpProfile::ADDS);
+        }
+        if !spec.puts.is_empty() {
+            profile = profile.with(OpProfile::PUTS);
+        }
+        if !spec.writes.is_empty() {
+            profile = profile.with(OpProfile::RMW_WRITES);
+        }
+        let writes = spec.adds.len() + spec.puts.len() + spec.writes.len();
+        // Pure classification, identical to the snapshot verdict the
+        // routed selection cache memoizes for this shape — the snapshot
+        // gate never takes the selector mutex.
+        if !is_read_only(profile, spec.reads.len(), writes) {
+            return Ok(None);
+        }
+        let plane = &inner.trace;
+        let lane = plane.client_lane();
+        let t_begin = plane.now();
+        let txn_id = TxnId(inner.next_txn_id.fetch_add(1, Ordering::Relaxed) + 1);
+        let origin = spec
+            .origin
+            .unwrap_or_else(|| inner.catalog.origin_for(txn_id));
+        // The single watermark load that defines the snapshot: every
+        // shard serves at this timestamp.
+        let ts = inner.clock.watermark();
+        let mut per_site: BTreeMap<SiteId, Vec<dbmodel::PhysicalItemId>> = BTreeMap::new();
+        for &item in &spec.reads {
+            let copy = inner
+                .catalog
+                .read_copy(item, origin)
+                .map_err(TxnError::UnknownItem)?;
+            per_site.entry(copy.site).or_default().push(copy);
+        }
+        let mut n_items = 0u32;
+        let mut pending = Vec::with_capacity(per_site.len());
+        for (site, items) in per_site {
+            let idx = *inner
+                .site_index
+                .get(&site)
+                .expect("catalog routed a read to an unknown site");
+            n_items += items.len() as u32;
+            let (tx, rx) = transport::oneshot::channel();
+            if inner.shard_txs[idx]
+                .send(ShardCmd::SnapshotRead {
+                    txn: txn_id,
+                    ts,
+                    items,
+                    reply: tx,
+                })
+                .is_err()
+            {
+                return Err(TxnError::ShuttingDown);
+            }
+            pending.push(rx);
+        }
+        let mut reads = BTreeMap::new();
+        let mut refused = false;
+        for rx in pending {
+            // Bounded: a shard mid-outage must not hang the read. The
+            // timeout is surfaced as `ShardUnavailable` rather than a
+            // silent fallback — a fallback would be correct (reads apply
+            // nothing), but the caller asked for data a shard could not
+            // produce within its deadline, and the chaos harness asserts
+            // exactly this bounded failure instead of a torn answer.
+            match rx.recv_timeout(inner.config.diagnostic_timeout) {
+                Ok(Some(values)) => {
+                    for (item, value) in values {
+                        reads.insert(item.logical, value);
+                    }
+                }
+                Ok(None) => refused = true,
+                Err(transport::oneshot::RecvError::Disconnected) => {
+                    return Err(TxnError::ShuttingDown)
+                }
+                Err(transport::oneshot::RecvError::Timeout) => {
+                    inner
+                        .stats
+                        .shard_unavailable
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Err(TxnError::ShardUnavailable);
+                }
+            }
+        }
+        if refused {
+            // A shard already serving the watermark logged its reads —
+            // harmless (they observed committed state); the abandoned id
+            // simply never commits. The fallback runs under a fresh id.
+            inner.stats.snapshot_refused.fetch_add(1, Ordering::Relaxed);
+            return Ok(None);
+        }
+        inner.stats.snapshot_reads.fetch_add(1, Ordering::Relaxed);
+        let t_served = plane.now();
+        plane.record_at(lane, t_begin, txn_id.0, Phase::Begin, 0);
+        plane.record_at(lane, t_served, txn_id.0, Phase::SnapshotRead, n_items);
+        Ok(Some((txn_id, reads)))
     }
 
     /// Stop accepting work, drain the shards and collapse the runtime into
@@ -1369,7 +1572,7 @@ fn method_code(method: CcMethod) -> u32 {
 fn merge_logs(into: &mut LogSet, from: &LogSet) {
     for (item, log) in from.iter() {
         for entry in log.entries() {
-            into.record(item, entry.txn, entry.mode);
+            into.record_full(item, entry.txn, entry.mode, entry.commit_ts, entry.snapshot);
         }
     }
 }
@@ -1391,12 +1594,18 @@ enum WaitOutcome {
 pub struct ActiveTxn {
     db: Database,
     ri: RequestIssuer,
-    events: ClientMailbox,
+    /// The reply endpoint of a coordinated transaction; `None` for a
+    /// snapshot transaction, which never receives a reply.
+    events: Option<ClientMailbox>,
     reads: BTreeMap<LogicalItemId, Value>,
     staged: BTreeMap<LogicalItemId, Value>,
     begun: Instant,
     restarts: u32,
     finished: bool,
+    /// True when the reads were served from the MVCC snapshot plane at
+    /// the global read watermark: nothing is held anywhere, commit is a
+    /// local accounting step and abort has nothing to send.
+    snapshot: bool,
     /// The client's trace lane, fixed at begin.
     lane: usize,
     /// Boundary timestamps collected so far (begin → exec-start); commit
@@ -1422,15 +1631,43 @@ impl ActiveTxn {
         ActiveTxn {
             db,
             ri,
-            events,
+            events: Some(events),
             reads,
             staged: BTreeMap::new(),
             begun,
             restarts,
             finished: false,
+            snapshot: false,
             lane,
             timings,
         }
+    }
+
+    fn new_snapshot(
+        db: Database,
+        ri: RequestIssuer,
+        reads: BTreeMap<LogicalItemId, Value>,
+        lane: usize,
+    ) -> Self {
+        ActiveTxn {
+            db,
+            ri,
+            events: None,
+            reads,
+            staged: BTreeMap::new(),
+            begun: Instant::now(),
+            restarts: 0,
+            finished: false,
+            snapshot: true,
+            lane,
+            timings: SpanTimings::default(),
+        }
+    }
+
+    /// True when this transaction's reads came from the MVCC snapshot
+    /// plane (see [`Database::begin`]).
+    pub fn is_snapshot(&self) -> bool {
+        self.snapshot
     }
 
     /// The id of this incarnation.
@@ -1467,6 +1704,28 @@ impl ActiveTxn {
     /// transactions that executed on pre-scheduled locks this waits for the
     /// trailing normal grants, per the semi-lock protocol).
     pub fn commit(mut self) -> Result<TxnReceipt, TxnError> {
+        if self.snapshot {
+            // Nothing is held anywhere: the reads were served and logged
+            // at begin, so committing is pure local accounting.
+            self.finished = true;
+            self.db
+                .inner
+                .stats
+                .committed
+                .fetch_add(1, Ordering::Relaxed);
+            self.db
+                .inner
+                .trace
+                .record(self.lane, self.ri.txn_id().0, Phase::Committed, 0);
+            return Ok(TxnReceipt {
+                id: self.ri.txn_id(),
+                method: self.ri.txn().method,
+                restarts: 0,
+                reads: std::mem::take(&mut self.reads),
+                fastpath: false,
+                snapshot: true,
+            });
+        }
         let origin = self.ri.txn().origin;
         let method = self.ri.txn().method;
         let plane = Arc::clone(&self.db.inner.trace);
@@ -1481,6 +1740,18 @@ impl ActiveTxn {
         for (&item, &value) in &self.staged {
             self.ri.set_write_value(item, value);
         }
+        // A writing commit draws its global stamp before any release or
+        // demote is built: every install this transaction performs
+        // carries `cts`, and the stamp stays in flight — holding the read
+        // watermark below it — until the installs are enqueued at every
+        // owning shard.
+        let cts = if self.ri.txn().write_set().is_empty() {
+            None
+        } else {
+            let cts = self.db.inner.clock.draw();
+            self.ri.set_commit_ts(cts);
+            Some(cts)
+        };
         let out = self.ri.on_execution_done();
         let mut released = out.actions.contains(&RiAction::FullyReleased);
         self.db.route_all(origin, out.sends)?;
@@ -1506,9 +1777,18 @@ impl ActiveTxn {
                     .inner
                     .trace
                     .record(self.lane, self.ri.txn_id().0, Phase::Aborted, 1);
+                // Deliberately NOT retiring `cts`: the commit is decided
+                // but unacknowledged, so the read watermark stalls below
+                // it — snapshot reads keep serving the last provably
+                // consistent prefix instead of racing an unconfirmed
+                // install (see [`crate::clock::CommitClock`]).
                 return Err(TxnError::ShardUnavailable);
             }
-            let event = match self.events.recv_timeout(self.ri.txn_id(), poll) {
+            let events = self
+                .events
+                .as_mut()
+                .expect("coordinated transaction has a reply mailbox");
+            let event = match events.recv_timeout(self.ri.txn_id(), poll) {
                 Ok(ev) => ev,
                 Err(ClientRecvError::Timeout) => {
                     if self.db.inner.stopped.load(Ordering::Relaxed) {
@@ -1530,6 +1810,14 @@ impl ActiveTxn {
                 sends.extend(out.sends);
             }
             self.db.route_all(origin, sends)?;
+        }
+        // Every release/demote is now enqueued at its owning shard (the
+        // loop above routed the last of them), so retiring the stamp is
+        // safe: a watermark load that observes it happens-after these
+        // enqueues, and per-shard FIFO order puts the installs ahead of
+        // any snapshot command sent from then on.
+        if let Some(cts) = cts {
+            self.db.inner.clock.retire(cts);
         }
         self.finished = true;
         self.db.inner.registry.deregister(self.ri.txn_id());
@@ -1566,6 +1854,7 @@ impl ActiveTxn {
             restarts: self.restarts,
             reads: std::mem::take(&mut self.reads),
             fastpath: false,
+            snapshot: false,
         })
     }
 
@@ -1580,6 +1869,20 @@ impl ActiveTxn {
             return;
         }
         self.finished = true;
+        if self.snapshot {
+            // Nothing was ever held or queued anywhere; the logged reads
+            // observed committed state and are harmless to leave behind.
+            self.db
+                .inner
+                .stats
+                .user_aborts
+                .fetch_add(1, Ordering::Relaxed);
+            self.db
+                .inner
+                .trace
+                .record(self.lane, self.ri.txn_id().0, Phase::Aborted, 0);
+            return;
+        }
         let origin = self.ri.txn().origin;
         let sends: Vec<RequestMsg> = self
             .ri
@@ -2075,10 +2378,11 @@ mod tests {
             assert_eq!(receipt.restarts, 0);
         }
         let receipt = db.execute(&TxnSpec::new().read(li(0))).unwrap();
-        assert!(receipt.fastpath, "an idle-item read is confluent");
+        assert!(receipt.snapshot, "a pure read takes the snapshot plane");
         assert_eq!(receipt.reads[&li(0)], 2 * N as Value);
         let stats = db.stats();
-        assert_eq!(stats.fastpath_applied, N + 1);
+        assert_eq!(stats.fastpath_applied, N);
+        assert_eq!(stats.snapshot_reads, 1);
         assert_eq!(stats.fastpath_refused, 0);
         assert_eq!(stats.committed, N + 1);
         assert_eq!(stats.grants, 0, "the bypass issues no grants");
@@ -2294,10 +2598,16 @@ mod tests {
         );
         assert_eq!(db.stats().shard_unavailable, 1);
         // The write was implemented when the lock demoted: the decision
-        // stands even though the acknowledgement never came.
+        // stands even though the acknowledgement never came. The check
+        // read pins a coordinated method: the unacknowledged commit stamp
+        // is never retired, so the watermark stalls below it and a
+        // snapshot read would (correctly) serve the pre-write version.
         reader.commit().unwrap();
         let check = db
-            .run_transaction(&TxnSpec::new().read(li(0)), |_| vec![])
+            .run_transaction(
+                &TxnSpec::new().read(li(0)).method(CcMethod::TwoPhaseLocking),
+                |_| vec![],
+            )
             .unwrap();
         assert_eq!(check.reads[&li(0)], 9);
         let report = db.shutdown().unwrap();
@@ -2405,6 +2715,230 @@ mod tests {
         assert!(
             report.serializable().is_err(),
             "the unchecked bypass must admit a non-serializable history"
+        );
+    }
+
+    /// Tentpole routing (PR 10): a pure read rides the snapshot plane —
+    /// no grants, no restarts — `begin` hands back a snapshot handle
+    /// whose reads are already served, and writes outside the (empty)
+    /// write set stay rejected. A pinned method opts out.
+    #[test]
+    fn snapshot_reads_route_around_coordination() {
+        let db = Database::open(config(2, 8)).unwrap();
+        db.run_transaction(&TxnSpec::new().write(li(3)), |_| vec![(li(3), 42)])
+            .unwrap();
+        let grants_before = db.stats().grants;
+        let receipt = db.execute(&TxnSpec::new().read(li(3)).read(li(4))).unwrap();
+        assert!(receipt.snapshot);
+        assert_eq!(receipt.restarts, 0);
+        assert_eq!(receipt.reads[&li(3)], 42);
+        assert_eq!(receipt.reads[&li(4)], 0);
+        let mut txn = db.begin(&TxnSpec::new().read(li(3))).unwrap();
+        assert!(txn.is_snapshot());
+        assert_eq!(txn.read(li(3)), Some(42));
+        assert_eq!(txn.write(li(3), 1), Err(TxnError::NotInWriteSet(li(3))));
+        let receipt = txn.commit().unwrap();
+        assert!(receipt.snapshot);
+        // An aborted snapshot handle counts as a user abort and leaves
+        // no residue to clean up.
+        db.begin(&TxnSpec::new().read(li(4))).unwrap().abort();
+        // Pinning a method forces the coordinated plane.
+        let receipt = db
+            .execute(
+                &TxnSpec::new()
+                    .read(li(3))
+                    .method(CcMethod::TimestampOrdering),
+            )
+            .unwrap();
+        assert!(!receipt.snapshot);
+        let stats = db.stats();
+        assert_eq!(stats.snapshot_reads, 3);
+        assert_eq!(stats.snapshot_refused, 0);
+        assert_eq!(
+            stats.grants,
+            grants_before + 1,
+            "only the pinned-method read took a grant"
+        );
+        assert_eq!(stats.user_aborts, 1);
+        assert_eq!(stats.committed, 4);
+        assert_eq!(db.live_transactions(), 0);
+        let report = db.shutdown().unwrap();
+        assert!(report.serializable().is_ok());
+    }
+
+    /// Tentpole certification (PR 10): snapshot readers race coordinated
+    /// read-modify-writes and fast-path increments on the same hot items,
+    /// and the merged history — snapshot reads ordered by served stamp,
+    /// not log position — is oracle-certified.
+    #[test]
+    fn mixed_snapshot_and_writer_traffic_stays_serializable() {
+        let db = Database::open(config(2, 8)).unwrap();
+        let writers: Vec<_> = (0..2u64)
+            .map(|k| {
+                let db = db.clone();
+                std::thread::spawn(move || {
+                    for i in 0..40u64 {
+                        let item = li((k + i) % 8);
+                        db.run_transaction(
+                            &TxnSpec::new().write(item).read(li((k + i + 1) % 8)),
+                            |reads| vec![(item, reads[&li((k + i + 1) % 8)].wrapping_add(3))],
+                        )
+                        .unwrap();
+                        db.execute(&TxnSpec::new().add(li((k + i + 3) % 8), 1))
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..2u64)
+            .map(|k| {
+                let db = db.clone();
+                std::thread::spawn(move || {
+                    for i in 0..40u64 {
+                        let receipt = db
+                            .execute(
+                                &TxnSpec::new()
+                                    .read(li((k + i) % 8))
+                                    .read(li((k + i + 4) % 8)),
+                            )
+                            .unwrap();
+                        assert!(receipt.snapshot, "a pure read must never coordinate");
+                    }
+                })
+            })
+            .collect();
+        for t in writers.into_iter().chain(readers) {
+            t.join().unwrap();
+        }
+        let stats = db.stats();
+        assert_eq!(stats.committed, 240);
+        assert_eq!(stats.snapshot_reads, 80);
+        assert_eq!(stats.snapshot_refused, 0);
+        let report = db.shutdown().unwrap();
+        assert_eq!(report.stats.committed, 240);
+        assert!(report.serializable().is_ok());
+    }
+
+    /// Chaos regression (PR 10): a snapshot read against a crashed shard
+    /// surfaces a bounded `ShardUnavailable` — never a hang, never a
+    /// silent fall-through to a torn answer.
+    #[test]
+    fn snapshot_read_on_a_dead_shard_is_bounded() {
+        let db = Database::open(RuntimeConfig {
+            diagnostic_timeout: Duration::from_millis(40),
+            ..config(1, 4)
+        })
+        .unwrap();
+        db.inner.shard_txs[0]
+            .send(ShardCmd::Crash {
+                outage: Duration::from_millis(400),
+            })
+            .map_err(|_| ())
+            .unwrap();
+        let begun = Instant::now();
+        let err = db.execute(&TxnSpec::new().read(li(0))).unwrap_err();
+        assert_eq!(err, TxnError::ShardUnavailable);
+        assert!(
+            begun.elapsed() < Duration::from_millis(350),
+            "the snapshot wait must give up before the outage ends, took {:?}",
+            begun.elapsed()
+        );
+        let stats = db.stats();
+        assert_eq!(stats.shard_unavailable, 1);
+        assert_eq!(stats.committed, 0);
+        db.shutdown();
+    }
+
+    /// Satellite 3 (PR 10): when the hard cap has pruned the chain past
+    /// the (stalled) watermark, the snapshot plane refuses rather than
+    /// serving a wrong version, and the transparent fallback still
+    /// commits the read coordinated — correct answer, counted refusal.
+    #[test]
+    fn pruned_chain_refuses_and_falls_back() {
+        let db = Database::open(RuntimeConfig {
+            commit_timeout: Duration::from_millis(40),
+            version_retain: 1,
+            ..config(1, 4)
+        })
+        .unwrap();
+        // Stall the watermark at zero: a T/O writer parked behind a
+        // share-holding reader draws the first commit stamp and times
+        // out, so the stamp is never retired.
+        let reader = db
+            .begin(
+                &TxnSpec::new()
+                    .read(li(1))
+                    .method(CcMethod::TimestampOrdering),
+            )
+            .unwrap();
+        let mut writer = db
+            .begin(
+                &TxnSpec::new()
+                    .write(li(1))
+                    .method(CcMethod::TimestampOrdering),
+            )
+            .unwrap();
+        writer.write(li(1), 9).unwrap();
+        assert_eq!(writer.commit().unwrap_err(), TxnError::ShardUnavailable);
+        reader.commit().unwrap();
+        // Six stamped writes against retain=1 (hard cap 4) prune li(0)'s
+        // seed version out of the chain.
+        for v in 1..=6 {
+            db.run_transaction(&TxnSpec::new().write(li(0)), |_| vec![(li(0), v)])
+                .unwrap();
+        }
+        let receipt = db.execute(&TxnSpec::new().read(li(0))).unwrap();
+        assert!(
+            !receipt.snapshot,
+            "a chain pruned past the watermark must not serve a snapshot"
+        );
+        assert_eq!(receipt.reads[&li(0)], 6);
+        assert!(db.stats().snapshot_refused >= 1);
+        let report = db.shutdown().unwrap();
+        assert!(report.serializable().is_ok());
+    }
+
+    /// The mutation gate (PR 10): with `snapshot_validation = false` the
+    /// plane serves raw heads, and a snapshot transaction whose two reads
+    /// straddle a writer's commit observes a torn state — the oracle must
+    /// reject the cycle. (This is the proof that the watermark visibility
+    /// check is what keeps snapshot reads serializable.)
+    #[test]
+    fn disabling_snapshot_validation_admits_a_non_serializable_history() {
+        let db = Database::open(RuntimeConfig {
+            snapshot_validation: false,
+            ..config(1, 2)
+        })
+        .unwrap();
+        let mut t = db.begin(&TxnSpec::new().write(li(0)).write(li(1))).unwrap();
+        t.write(li(0), 10).unwrap();
+        t.write(li(1), 20).unwrap();
+        let phys0 = db.catalog().physical_copies(li(0)).unwrap()[0];
+        let phys1 = db.catalog().physical_copies(li(1)).unwrap()[0];
+        let f = TxnId(1_000_000);
+        let send = |items: Vec<dbmodel::PhysicalItemId>| {
+            let (tx, rx) = transport::oneshot::channel();
+            db.inner.shard_txs[0]
+                .send(ShardCmd::SnapshotRead {
+                    txn: f,
+                    ts: Timestamp::ZERO,
+                    items,
+                    reply: tx,
+                })
+                .map_err(|_| ())
+                .unwrap();
+            rx.recv().unwrap()
+        };
+        // F reads item 0 *before* T installs (seed version: F → T)...
+        assert_eq!(send(vec![phys0]), Some(vec![(phys0, 0)]));
+        t.commit().unwrap();
+        // ...and item 1 *after*: the unvalidated head is T's stamped
+        // write, far above F's snapshot timestamp (T → F): a cycle.
+        assert_eq!(send(vec![phys1]), Some(vec![(phys1, 20)]));
+        let report = db.shutdown().unwrap();
+        assert!(
+            report.serializable().is_err(),
+            "the unvalidated snapshot plane must admit a torn read"
         );
     }
 }

@@ -189,6 +189,7 @@ mod tests {
             Arc::clone(registry),
             Arc::clone(stats),
             Arc::new(TracePlane::new(&trace::TraceConfig::default(), 2)),
+            Arc::new(crate::clock::CommitClock::new()),
         )
     }
 

@@ -53,6 +53,7 @@ pub mod config;
 pub mod db;
 pub mod report;
 
+mod clock;
 mod detector;
 mod registry;
 mod shard;

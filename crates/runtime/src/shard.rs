@@ -31,7 +31,7 @@ use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use dbmodel::{LogSet, PhysicalItemId, SiteId, TxnId, Value};
+use dbmodel::{AccessMode, LogSet, PhysicalItemId, SiteId, Timestamp, TxnId, Value};
 use pam::{GrantClass, RequestMsg};
 use trace::{Phase, TraceLevel, TracePlane};
 use transport::batch::SmallBatch;
@@ -39,6 +39,7 @@ use transport::oneshot::OneshotSender;
 use transport::ring::{RingReceiver, RingSender};
 use unified_cc::{ConfluentOp, QmEvent, QmSink, QueueManager};
 
+use crate::clock::CommitClock;
 use crate::registry::Registry;
 use crate::stats::RuntimeStats;
 
@@ -66,6 +67,20 @@ pub(crate) enum ShardCmd {
         txn: TxnId,
         ops: Vec<ConfluentOp>,
         check: bool,
+        reply: OneshotSender<Option<Vec<(PhysicalItemId, Value)>>>,
+    },
+    /// Serve a read-only transaction from the item version chains at
+    /// timestamp `ts` (the global read watermark the client loaded): no
+    /// grants, no queue transitions, no wait edges. The shard answers
+    /// `Some(values)` when every item had a version at `ts`, `None` when
+    /// any chain was pruned past it (or the item is unknown here) and the
+    /// client must fall back to the coordinated path. Served reads enter
+    /// the execution log stamped with the version they observed so the
+    /// serializability oracle can order them against writers.
+    SnapshotRead {
+        txn: TxnId,
+        ts: Timestamp,
+        items: Vec<PhysicalItemId>,
         reply: OneshotSender<Option<Vec<(PhysicalItemId, Value)>>>,
     },
     /// Injected node fault: go unresponsive for `outage` (the inbox backs
@@ -175,6 +190,7 @@ pub(crate) struct ShardHandle {
 /// Spawn the shard thread for `site`, taking ownership of its queue
 /// manager. `idx` is the shard's slot in the runtime's per-shard counter
 /// table.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn spawn(
     qm: QueueManager,
     idx: usize,
@@ -183,11 +199,12 @@ pub(crate) fn spawn(
     registry: Arc<Registry>,
     stats: Arc<RuntimeStats>,
     plane: Arc<TracePlane>,
+    clock: Arc<CommitClock>,
 ) -> ShardHandle {
     let site = qm.site();
     let join = std::thread::Builder::new()
         .name(format!("cc-shard-{}", site.0))
-        .spawn(move || shard_loop(qm, idx, inbox, registry, stats, plane))
+        .spawn(move || shard_loop(qm, idx, inbox, registry, stats, plane, clock))
         .expect("failed to spawn shard thread");
     ShardHandle { tx, join }
 }
@@ -207,6 +224,11 @@ struct ShardState<'a> {
     /// drained batch (one `ShardRecv`), all sharing one clock read, so
     /// the traced shard loop stays allocation-free and branch-cheap.
     plane: &'a TracePlane,
+    /// The global commit clock: fast-path writes draw/retire their stamp
+    /// here (shard-side — the apply is the whole commit), and each
+    /// drained batch republishes the read watermark into the queue
+    /// manager so version-chain pruning tracks it.
+    clock: &'a CommitClock,
     idx: usize,
     shutdown: bool,
 }
@@ -239,8 +261,13 @@ impl ShardState<'_> {
                     granted += 1;
                     last_granted = txn.0;
                 }
-                QmEvent::Implemented { item, txn, access } => {
-                    self.logs.record(item, txn, access);
+                QmEvent::Implemented {
+                    item,
+                    txn,
+                    access,
+                    commit_ts,
+                } => {
+                    self.logs.record_full(item, txn, access, commit_ts, false);
                     self.stats.implemented_ops.fetch_add(1, Ordering::Relaxed);
                     counters.implemented.fetch_add(1, Ordering::Relaxed);
                 }
@@ -279,13 +306,56 @@ impl ShardState<'_> {
                 check,
                 reply,
             } => {
+                // A writing fast-path transaction commits inside this one
+                // command, so its stamp is drawn and retired right here:
+                // the draw happens before any install (a concurrent
+                // watermark load either precedes it — and cannot serve
+                // the new versions — or sees it in flight and stays
+                // below), and the retire happens only after every install
+                // has entered the log slice.
+                let writes = ops.iter().any(|op| !matches!(op, ConfluentOp::Read(_)));
+                let cts = if writes {
+                    self.clock.draw()
+                } else {
+                    Timestamp::ZERO
+                };
                 let result = self
                     .qm
-                    .apply_confluent(origin, txn, &ops, check, &mut self.sink);
+                    .apply_confluent(origin, txn, &ops, check, cts, &mut self.sink);
                 // Implemented events must land in the log slice in the
                 // shard's processing order, like every protocol command.
                 self.fold_events();
+                if writes {
+                    self.clock.retire(cts);
+                }
                 reply.send(result)
+            }
+            ShardCmd::SnapshotRead {
+                txn,
+                ts,
+                items,
+                reply,
+            } => {
+                let mut out = Vec::with_capacity(items.len());
+                if self.qm.snapshot_read_into(ts, &items, &mut out) {
+                    let counters = &self.stats.per_shard[self.idx];
+                    for &(item, _, served) in &out {
+                        // Logged at the stamp of the version actually
+                        // served — the oracle orders the read against
+                        // writers by it, not by log position.
+                        self.logs
+                            .record_full(item, txn, AccessMode::Read, Some(served), true);
+                        self.stats.implemented_ops.fetch_add(1, Ordering::Relaxed);
+                        counters.implemented.fetch_add(1, Ordering::Relaxed);
+                    }
+                    reply.send(Some(
+                        out.into_iter()
+                            .map(|(item, value, _)| (item, value))
+                            .collect(),
+                    ))
+                } else {
+                    reply.send(None)
+                }
             }
             ShardCmd::Crash { outage } => {
                 // Unresponsive for the outage, then partial amnesia: the
@@ -344,6 +414,7 @@ fn trace_batch(plane: &TracePlane, lane: usize, buf: &[ShardCmd]) {
             ShardCmd::Handle { msg, .. } => Some(msg.txn().0),
             ShardCmd::HandleBatch { msgs, .. } => msgs.iter().next().map(|m| m.txn().0),
             ShardCmd::ApplyConfluent { txn, .. } => Some(txn.0),
+            ShardCmd::SnapshotRead { txn, .. } => Some(txn.0),
             _ => None,
         };
         if let Some(first) = first {
@@ -365,6 +436,7 @@ fn shard_loop(
     registry: Arc<Registry>,
     stats: Arc<RuntimeStats>,
     plane: Arc<TracePlane>,
+    clock: Arc<CommitClock>,
 ) -> (SiteId, LogSet) {
     let site = qm.site();
     let mut state = ShardState {
@@ -375,6 +447,7 @@ fn shard_loop(
         sink: QmSink::with_capacity(64, 64),
         stats: &stats,
         plane: &plane,
+        clock: &clock,
         idx,
         shutdown: false,
     };
@@ -390,6 +463,10 @@ fn shard_loop(
             break;
         }
         trace_batch(&plane, idx, &buf);
+        // Republish the read watermark once per drained batch: pruning a
+        // stale (lower) watermark only retains more versions, never
+        // fewer, so a batch-granularity refresh is always safe.
+        state.qm.set_watermark(clock.watermark());
         for cmd in buf.drain(..) {
             state.apply_cmd(cmd);
         }
@@ -481,6 +558,7 @@ mod tests {
             Arc::clone(&registry),
             Arc::clone(&stats),
             plane,
+            Arc::new(CommitClock::new()),
         );
         (handle, registry, stats)
     }
@@ -507,6 +585,7 @@ mod tests {
             txn: TxnId(txn),
             item: item(),
             write_value: Some(value),
+            commit_ts: Timestamp::ZERO,
         }
     }
 
@@ -627,6 +706,7 @@ mod tests {
                 Arc::clone(&registry),
                 Arc::clone(&stats),
                 Arc::new(TracePlane::new(&trace::TraceConfig::default(), 1)),
+                Arc::new(CommitClock::new()),
             );
             let (_, logs) = handle.join.join().unwrap();
             assert_eq!(

@@ -132,6 +132,13 @@ pub(crate) struct RuntimeStats {
     /// Bypass attempts refused by a queue manager (touched slot had
     /// coordinated work in flight) and re-run on the coordinated path.
     pub(crate) fastpath_refused: AtomicU64,
+    /// Read-only transactions served from the version chains at the
+    /// global read watermark (no coordination at all).
+    pub(crate) snapshot_reads: AtomicU64,
+    /// Snapshot attempts refused by a shard (a requested item had no
+    /// version at the watermark — pruned or crash-wiped) and re-run on
+    /// the coordinated path.
+    pub(crate) snapshot_refused: AtomicU64,
     /// Dynamic-policy selections performed.
     pub(crate) selections: AtomicU64,
     /// Wall-clock nanoseconds spent inside the selector (dynamic policy).
@@ -190,6 +197,12 @@ pub struct StatsSnapshot {
     /// Bypass attempts refused because a touched slot had queued or
     /// granted coordinated work; each re-ran on the coordinated path.
     pub fastpath_refused: u64,
+    /// Read-only transactions served from the per-item version chains at
+    /// the global read watermark — the snapshot plane's fourth method.
+    pub snapshot_reads: u64,
+    /// Snapshot attempts a shard refused (no version at the watermark);
+    /// each re-ran on the coordinated path.
+    pub snapshot_refused: u64,
     /// Dynamic-policy selections performed.
     pub selections: u64,
     /// Wall-clock nanoseconds spent inside the selector with its locks
@@ -267,6 +280,8 @@ impl RuntimeStats {
             implemented_ops: self.implemented_ops.load(Ordering::Relaxed),
             fastpath_applied: self.fastpath_applied.load(Ordering::Relaxed),
             fastpath_refused: self.fastpath_refused.load(Ordering::Relaxed),
+            snapshot_reads: self.snapshot_reads.load(Ordering::Relaxed),
+            snapshot_refused: self.snapshot_refused.load(Ordering::Relaxed),
             selections: self.selections.load(Ordering::Relaxed),
             selection_nanos: self.selection_nanos.load(Ordering::Relaxed),
             stale_reply_events: 0,

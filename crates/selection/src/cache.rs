@@ -29,7 +29,7 @@ use std::collections::{BTreeMap, HashMap};
 use dbmodel::{Catalog, PhysicalItemId, Transaction};
 use metrics::SimMetrics;
 
-use crate::confluence::{classify, Confluence, OpProfile};
+use crate::confluence::{classify, is_read_only, Confluence, OpProfile};
 use crate::estimators::{ProtocolParams, ShapeSummary};
 use crate::selector::{
     evaluate_decision, exploratory_decision, is_exploration_round, MethodParamSet,
@@ -146,8 +146,22 @@ pub struct ShapeKey {
     m: u32,
     n: u32,
     profile: u8,
+    /// Read fraction `m/(m+n)` quantized to sixteenths (0 for an empty
+    /// shape). Derived from the exact counts above, so it splits no bucket
+    /// they would share — it names the axis the snapshot-routing verdict
+    /// lives on (`rf == 16` ⇔ pure reads) and keeps that verdict visibly a
+    /// function of the key.
+    rf: u8,
     read_loss: u64,
     write_loss: u64,
+}
+
+/// The read-fraction coordinate of a shape, in sixteenths.
+fn read_fraction(m: usize, n: usize) -> u8 {
+    match (m * 16).checked_div(m + n) {
+        Some(rf) => rf as u8,
+        None => 0,
+    }
 }
 
 /// Bucket index of a non-negative loss on a `ln(1+x)` grid of pitch
@@ -174,8 +188,9 @@ fn representative(b: u64, g: f64) -> f64 {
 }
 
 /// One memoized grid entry: the four-way verdict for a quantized shape —
-/// which protocol to use if the transaction is coordinated, and whether
-/// it may skip coordination entirely.
+/// which protocol to use if the transaction is coordinated, whether it may
+/// skip coordination via the confluent fast path, and whether it is a pure
+/// read-only shape eligible for the versioned snapshot plane.
 #[derive(Debug, Clone, Copy)]
 pub struct RoutedDecision {
     /// The STL-optimal protocol of the coordinated path (2PL / T/O / PA).
@@ -183,6 +198,11 @@ pub struct RoutedDecision {
     /// Whether the shape is provably invariant-confluent and may be
     /// routed around the queue managers (subject to the at-apply check).
     pub confluence: Confluence,
+    /// Whether the shape is pure read-only and may be served from the
+    /// item version chains at the global read watermark — the fourth
+    /// method, with no coordination at all (subject to the shard's
+    /// version-availability refusal, which falls back to `decision`).
+    pub snapshot: bool,
 }
 
 /// The memoized decision grid: maps [`ShapeKey`]s to the
@@ -244,6 +264,7 @@ impl SelectionCache {
             m: summary.m.min(u32::MAX as usize) as u32,
             n: summary.n.min(u32::MAX as usize) as u32,
             profile: profile.bits(),
+            rf: read_fraction(summary.m, summary.n),
             read_loss,
             write_loss,
         }
@@ -302,6 +323,11 @@ impl SelectionCache {
         let routed = RoutedDecision {
             decision: evaluate_decision(model, &self.representative(key), params),
             confluence: classify(
+                OpProfile::from_bits(key.profile),
+                key.m as usize,
+                key.n as usize,
+            ),
+            snapshot: is_read_only(
                 OpProfile::from_bits(key.profile),
                 key.m as usize,
                 key.n as usize,
@@ -695,10 +721,12 @@ impl CachedStlSelector {
         mut source: MetricsSource<'_, F>,
         profile: OpProfile,
     ) -> RoutedDecision {
-        // Confluence is a pure function of the profile and access-set
-        // sizes — independent of the fitted model, so warm-up and
-        // exploration rounds route exactly like steady state.
+        // Confluence and snapshot eligibility are pure functions of the
+        // profile and access-set sizes — independent of the fitted model,
+        // so warm-up and exploration rounds route exactly like steady
+        // state.
         let confluence = classify(profile, txn.read_set().len(), txn.write_set().len());
+        let snapshot = is_read_only(profile, txn.read_set().len(), txn.write_set().len());
         self.counter += 1;
         if !self.warmed {
             // Exact, metrics-free pre-filter: fewer than `3 × warmup`
@@ -711,6 +739,7 @@ impl CachedStlSelector {
                 return RoutedDecision {
                     decision: exploratory_decision(self.counter),
                     confluence,
+                    snapshot,
                 };
             }
             self.warmed = true;
@@ -719,6 +748,7 @@ impl CachedStlSelector {
             return RoutedDecision {
                 decision: exploratory_decision(self.counter),
                 confluence,
+                snapshot,
             };
         }
 
@@ -1027,6 +1057,84 @@ mod tests {
         );
         assert_eq!(rmw.confluence, Confluence::Coordinated);
         assert!(cached.cache_stats().hits > 0, "routed lookups must hit");
+    }
+
+    #[test]
+    fn snapshot_verdict_is_pure_and_memoized_with_the_key() {
+        let metrics = warmed_metrics();
+        let model = StlSelector::model_from_metrics(&metrics);
+        let params = MethodParamSet::measure(&metrics);
+        let mut cache = SelectionCache::new(0.05, 1024);
+        let read_only = ShapeSummary {
+            m: 3,
+            n: 0,
+            read_loss: 2.0,
+            write_loss: 0.0,
+        };
+        let miss = cache.decide_routed(&model, &params, &read_only, OpProfile::READS);
+        let hit = cache.decide_routed(&model, &params, &read_only, OpProfile::READS);
+        assert!(miss.snapshot, "pure reads route to the snapshot plane");
+        assert_eq!(hit.snapshot, miss.snapshot, "hit and miss agree");
+        // One write in the set — or a non-read op kind — kills eligibility.
+        let mixed = ShapeSummary { n: 1, ..read_only };
+        assert!(
+            !cache
+                .decide_routed(&model, &params, &mixed, OpProfile::READS)
+                .snapshot
+        );
+        assert!(
+            !cache
+                .decide_routed(
+                    &model,
+                    &params,
+                    &read_only,
+                    OpProfile::READS.with(OpProfile::ADDS)
+                )
+                .snapshot
+        );
+        // The read-fraction coordinate separates pure-read keys from
+        // mixed keys even before the loss buckets do.
+        assert_ne!(
+            cache.key_with_profile(&read_only, OpProfile::READS),
+            cache.key_with_profile(&mixed, OpProfile::READS)
+        );
+    }
+
+    #[test]
+    fn snapshot_routing_holds_through_warmup_and_steady_state() {
+        let metrics = warmed_metrics();
+        let cat = catalog();
+        let mut cached = CachedStlSelector::with_settings(CacheSettings {
+            warmup_commits: 10,
+            explore_every: 3,
+            quant_rel: 0.05,
+            ..CacheSettings::default()
+        });
+        let t = txn(1, &[2, 3, 4], &[]);
+        for i in 0..30 {
+            let routed = cached.select_routed_sharded(
+                &t,
+                &cat,
+                WorkloadSignal::default(),
+                metrics.total_committed.get(),
+                || metrics.clone(),
+                OpProfile::READS,
+            );
+            assert!(routed.snapshot, "round {i} must stay snapshot-eligible");
+        }
+        let writer = txn(2, &[2], &[3]);
+        let routed = cached.select_routed_sharded(
+            &writer,
+            &cat,
+            WorkloadSignal::default(),
+            metrics.total_committed.get(),
+            || metrics.clone(),
+            OpProfile::READS.with(OpProfile::PUTS),
+        );
+        assert!(
+            !routed.snapshot,
+            "a writer never routes to the snapshot plane"
+        );
     }
 
     #[test]

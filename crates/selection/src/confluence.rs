@@ -105,6 +105,21 @@ pub fn classify(profile: OpProfile, reads: usize, writes: usize) -> Confluence {
     Confluence::ConfluentFastPath
 }
 
+/// True when the shape is a pure read-only transaction: it performs reads
+/// and nothing else. Such a transaction can be served from the versioned
+/// snapshot plane at the global read watermark without any coordination at
+/// all — no grants, no wait edges, no restart exposure — because a
+/// watermark read observes only fully committed state.
+///
+/// Pure in `(profile, reads, writes)` like [`classify`], and for the same
+/// reason: every summary quantizing to one [`crate::ShapeKey`] must agree,
+/// so a memoized snapshot routing can never disagree with a fresh one.
+/// Unlike the fast path there is no footprint bound — a snapshot read
+/// holds no locks and blocks nobody, so its size only costs itself.
+pub fn is_read_only(profile: OpProfile, reads: usize, writes: usize) -> bool {
+    profile == OpProfile::READS && writes == 0 && reads > 0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,6 +173,29 @@ mod tests {
             classify(OpProfile::ADDS, 1, FAST_PATH_MAX_OPS),
             Confluence::Coordinated
         );
+    }
+
+    #[test]
+    fn read_only_classifier_requires_pure_reads() {
+        assert!(is_read_only(OpProfile::READS, 1, 0));
+        assert!(is_read_only(OpProfile::READS, 64, 0), "no footprint bound");
+        assert!(
+            !is_read_only(OpProfile::READS.with(OpProfile::ADDS), 2, 1),
+            "any write op kind disqualifies"
+        );
+        assert!(
+            !is_read_only(OpProfile::READS, 2, 1),
+            "a write-set entry disqualifies"
+        );
+        assert!(
+            !is_read_only(OpProfile::empty(), 0, 0),
+            "empty shape says nothing"
+        );
+        assert!(
+            !is_read_only(OpProfile::READS, 0, 0),
+            "zero reads is not a read-only txn"
+        );
+        assert!(!is_read_only(OpProfile::PUTS, 0, 2));
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub use cache::{
     CacheSettings, CacheStats, CachedStlSelector, EpochSnapshot, RoutedDecision, SelectionCache,
     ShapeKey, WorkloadSignal,
 };
-pub use confluence::{classify, Confluence, OpProfile, FAST_PATH_MAX_OPS};
+pub use confluence::{classify, is_read_only, Confluence, OpProfile, FAST_PATH_MAX_OPS};
 pub use estimators::{
     stl_2pl, stl_2pl_summary, stl_pa, stl_pa_summary, stl_to, stl_to_summary, ProtocolParams,
     ShapeSummary, TxnShape,

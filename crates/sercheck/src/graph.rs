@@ -50,6 +50,26 @@ impl ConflictGraph {
             for (earlier, later) in log.conflict_pairs() {
                 g.add_edge(earlier.txn, later.txn, item);
             }
+            // Snapshot-plane reads never enter a queue, so their log
+            // position is meaningless; they are ordered against this item's
+            // writers by commit timestamp instead. A write stamped at or
+            // below the read's served timestamp was visible to the read
+            // (W → R); one stamped above it was not (R → W). Unstamped
+            // writes (sim path) fall back to log-position order.
+            for r in log.entries().iter().filter(|e| e.snapshot) {
+                let t = r.commit_ts.unwrap_or(dbmodel::Timestamp::ZERO);
+                for w in log.entries() {
+                    if w.snapshot || w.txn == r.txn || !w.mode.conflicts_with(r.mode) {
+                        continue;
+                    }
+                    match w.commit_ts {
+                        Some(c) if c <= t => g.add_edge(w.txn, r.txn, item),
+                        Some(_) => g.add_edge(r.txn, w.txn, item),
+                        None if w.seq < r.seq => g.add_edge(w.txn, r.txn, item),
+                        None => g.add_edge(r.txn, w.txn, item),
+                    }
+                }
+            }
         }
         g
     }
@@ -250,6 +270,111 @@ mod tests {
         assert_eq!(g.num_nodes(), 3);
         assert_eq!(g.num_edges(), 0);
         assert_eq!(g.serialization_order().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn snapshot_reads_are_ordered_by_commit_ts_not_position() {
+        use dbmodel::Timestamp;
+        let mut logs = LogSet::new();
+        // Writer t1 stamped at ts 2, writer t3 stamped at ts 5. The snapshot
+        // reader t9 is logged FIRST on the item but served the ts-2 version,
+        // so it must land between the writers, not before both.
+        logs.record_full(
+            pi(0, 0),
+            TxnId(9),
+            AccessMode::Read,
+            Some(Timestamp(2)),
+            true,
+        );
+        logs.record_full(
+            pi(0, 0),
+            TxnId(1),
+            AccessMode::Write,
+            Some(Timestamp(2)),
+            false,
+        );
+        logs.record_full(
+            pi(0, 0),
+            TxnId(3),
+            AccessMode::Write,
+            Some(Timestamp(5)),
+            false,
+        );
+        let g = ConflictGraph::from_logs(&logs);
+        assert!(g.has_edge(TxnId(1), TxnId(9)), "w@2 visible to read@2");
+        assert!(g.has_edge(TxnId(9), TxnId(3)), "w@5 invisible to read@2");
+        let order = check_serializable(&logs).unwrap();
+        assert_eq!(order, vec![TxnId(1), TxnId(9), TxnId(3)]);
+    }
+
+    #[test]
+    fn torn_snapshot_read_forms_a_cycle() {
+        use dbmodel::Timestamp;
+        let mut logs = LogSet::new();
+        // Writer t3 commits x and y atomically at ts 5. A torn reader t9
+        // observes the NEW x (served ts 5) but the OLD y (served ts 2,
+        // written by t1): t3 -> t9 on x and t9 -> t3 on y — a cycle.
+        logs.record_full(
+            pi(0, 0),
+            TxnId(3),
+            AccessMode::Write,
+            Some(Timestamp(5)),
+            false,
+        );
+        logs.record_full(
+            pi(0, 0),
+            TxnId(9),
+            AccessMode::Read,
+            Some(Timestamp(5)),
+            true,
+        );
+        logs.record_full(
+            pi(1, 0),
+            TxnId(1),
+            AccessMode::Write,
+            Some(Timestamp(2)),
+            false,
+        );
+        logs.record_full(
+            pi(1, 0),
+            TxnId(3),
+            AccessMode::Write,
+            Some(Timestamp(5)),
+            false,
+        );
+        logs.record_full(
+            pi(1, 0),
+            TxnId(9),
+            AccessMode::Read,
+            Some(Timestamp(2)),
+            true,
+        );
+        let err = check_serializable(&logs).unwrap_err();
+        let SerializabilityError::Cycle(cycle) = err;
+        let set: BTreeSet<TxnId> = cycle.iter().copied().collect();
+        assert!(set.contains(&TxnId(3)) && set.contains(&TxnId(9)));
+    }
+
+    #[test]
+    fn snapshot_read_against_unstamped_writer_uses_position() {
+        use dbmodel::Timestamp;
+        let mut logs = LogSet::new();
+        logs.record(pi(0, 0), TxnId(1), AccessMode::Write); // unstamped, seq 0
+        logs.record_full(
+            pi(0, 0),
+            TxnId(9),
+            AccessMode::Read,
+            Some(Timestamp(0)),
+            true,
+        ); // seq 1
+        logs.record(pi(0, 0), TxnId(2), AccessMode::Write); // unstamped, seq 2
+        let g = ConflictGraph::from_logs(&logs);
+        assert!(g.has_edge(TxnId(1), TxnId(9)));
+        assert!(g.has_edge(TxnId(9), TxnId(2)));
+        assert_eq!(
+            check_serializable(&logs).unwrap(),
+            vec![TxnId(1), TxnId(9), TxnId(2)]
+        );
     }
 
     #[test]

@@ -340,7 +340,9 @@ impl Simulation {
                     self.metrics.record_grant(item, access);
                     self.grant_times.entry((txn, item)).or_insert(now);
                 }
-                QmEvent::Implemented { item, txn, access } => {
+                QmEvent::Implemented {
+                    item, txn, access, ..
+                } => {
                     self.logs.record(item, txn, access);
                     if let Some(granted_at) = self.grant_times.remove(&(txn, item)) {
                         let method = self

@@ -11,7 +11,7 @@
 //! phases.
 
 /// Number of distinct lifecycle phases (the length of [`Phase::ALL`]).
-pub const NUM_PHASES: usize = 14;
+pub const NUM_PHASES: usize = 15;
 
 /// A lifecycle phase tag. The first group marks the client-side phase
 /// *boundaries* whose consecutive differences telescope exactly over an
@@ -56,6 +56,10 @@ pub enum Phase {
     /// coordination-avoidance bypass — no grants, no queue time
     /// (`arg` = number of ops applied).
     FastPathApplied = 13,
+    /// Client: a read-only transaction was served from the item version
+    /// chains at the global read watermark — no grants, no wait edges, no
+    /// restart exposure (`arg` = number of items read).
+    SnapshotRead = 14,
 }
 
 impl Phase {
@@ -75,6 +79,7 @@ impl Phase {
         Phase::Granted,
         Phase::Victim,
         Phase::FastPathApplied,
+        Phase::SnapshotRead,
     ];
 
     /// Decode a raw discriminant (a torn ring slot yields `None`).
@@ -99,6 +104,7 @@ impl Phase {
             Phase::Granted => "granted",
             Phase::Victim => "victim",
             Phase::FastPathApplied => "fastpath-applied",
+            Phase::SnapshotRead => "snapshot-read",
         }
     }
 

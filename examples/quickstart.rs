@@ -54,7 +54,10 @@ fn main() {
                 println!("  RI -> QM : {msg:?}");
                 let out = qm.handle(site, &msg);
                 for event in out.events {
-                    if let QmEvent::Implemented { item, txn, access } = event {
+                    if let QmEvent::Implemented {
+                        item, txn, access, ..
+                    } = event
+                    {
                         println!("     QM implements {access:?} of {txn} on {item}");
                         logs.record(item, txn, access);
                     }

@@ -157,7 +157,10 @@ fn concurrent_transfers_preserve_total_balance() {
         let msg = txn.outbox.remove(0);
         let out = qm.handle(SiteId(0), &msg);
         for event in out.events {
-            if let QmEvent::Implemented { item, txn, access } = event {
+            if let QmEvent::Implemented {
+                item, txn, access, ..
+            } = event
+            {
                 logs.record(item, txn, access);
             }
         }

@@ -104,6 +104,7 @@ struct RunOutcome {
     committed: u64,
     faults_injected: u64,
     dup_suppressed: u64,
+    snapshot_served: u64,
 }
 
 /// Run one seeded chaos schedule end to end and check every invariant.
@@ -149,7 +150,46 @@ fn run_seed(seed: u64) -> RunOutcome {
         })
         .collect();
 
-    for worker in workers {
+    // PR 10: a snapshot auditor races the transfer threads. Every
+    // read-only execute that succeeds — snapshot-served or fallen back —
+    // must observe a transaction-consistent cut, i.e. the conserved bank
+    // total, no matter what the schedule does to the coordinated traffic
+    // around it. A crashed shard may only surface as a bounded clean
+    // error, never as a torn answer.
+    let snapshot_served = Arc::new(AtomicU64::new(0));
+    let auditor = {
+        let db = db.clone();
+        let served = Arc::clone(&snapshot_served);
+        let schedule = schedule.clone();
+        std::thread::spawn(move || {
+            let spec = TxnSpec::new().reads((0..ACCOUNTS).map(LogicalItemId));
+            for _ in 0..6 {
+                match db.execute(&spec) {
+                    Ok(receipt) => {
+                        let total: i64 = receipt.reads.values().sum();
+                        assert_eq!(
+                            total,
+                            ACCOUNTS as i64 * INITIAL,
+                            "a read observed a torn cut (snapshot={})\n{}",
+                            receipt.snapshot,
+                            replay_banner(seed, &schedule),
+                        );
+                        if receipt.snapshot {
+                            served.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    Err(TxnError::TooManyRestarts { .. }) | Err(TxnError::ShardUnavailable) => {}
+                    Err(err) => panic!(
+                        "unexpected snapshot auditor error: {err}\n{}",
+                        replay_banner(seed, &schedule)
+                    ),
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        })
+    };
+
+    for worker in workers.into_iter().chain(std::iter::once(auditor)) {
         if worker.join().is_err() {
             panic!(
                 "a client thread panicked\n{}",
@@ -192,6 +232,7 @@ fn run_seed(seed: u64) -> RunOutcome {
         committed: committed.load(Ordering::Relaxed),
         faults_injected: counters.total(),
         dup_suppressed: stats.dup_suppressed,
+        snapshot_served: snapshot_served.load(Ordering::Relaxed),
     }
 }
 
@@ -200,10 +241,12 @@ fn run_seed(seed: u64) -> RunOutcome {
 fn sweep_chunk(range: std::ops::Range<u64>) {
     let mut committed = 0;
     let mut faults = 0;
+    let mut snapshots = 0;
     for seed in range.clone() {
         let outcome = run_seed(seed);
         committed += outcome.committed;
         faults += outcome.faults_injected;
+        snapshots += outcome.snapshot_served;
     }
     assert!(
         committed > 0,
@@ -212,6 +255,10 @@ fn sweep_chunk(range: std::ops::Range<u64>) {
     assert!(
         faults > 0,
         "no fault fired across seeds {range:?} — the plane is not wired in"
+    );
+    assert!(
+        snapshots > 0,
+        "no snapshot read served across seeds {range:?} — the plane is not wired in"
     );
 }
 
@@ -247,8 +294,8 @@ fn replay_one() {
         .expect("CHAOS_REPLAY_SEED must be a u64");
     let outcome = run_seed(seed);
     println!(
-        "seed {seed:#018x}: committed={} faults_injected={} dup_suppressed={}",
-        outcome.committed, outcome.faults_injected, outcome.dup_suppressed
+        "seed {seed:#018x}: committed={} faults_injected={} dup_suppressed={} snapshot_served={}",
+        outcome.committed, outcome.faults_injected, outcome.dup_suppressed, outcome.snapshot_served
     );
 }
 

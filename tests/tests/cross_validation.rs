@@ -77,6 +77,7 @@ fn to_decisions_match_standalone_basic_to() {
                     } else {
                         None
                     },
+                    commit_ts: Timestamp::ZERO,
                 },
             );
         }
@@ -120,6 +121,7 @@ fn pa_backoff_proposals_match_standalone_pa() {
                 txn: TxnId(1_000_000),
                 item: item(1),
                 write_value: Some(1),
+                commit_ts: Timestamp::ZERO,
             },
         );
 
@@ -163,6 +165,7 @@ fn pa_backoff_proposals_match_standalone_pa() {
                         } else {
                             None
                         },
+                        commit_ts: Timestamp::ZERO,
                     },
                 );
             }
@@ -210,6 +213,7 @@ fn pa_backoff_proposals_match_standalone_pa() {
                         } else {
                             None
                         },
+                        commit_ts: Timestamp::ZERO,
                     },
                 );
             }
@@ -272,6 +276,7 @@ fn two_pl_grant_order_matches_standalone_lock_manager() {
                 txn: TxnId(txn),
                 item: item(1),
                 write_value: None,
+                commit_ts: Timestamp::ZERO,
             },
         );
         for reply in out.replies {

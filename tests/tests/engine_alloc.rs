@@ -73,12 +73,25 @@ fn pi(i: u64) -> PhysicalItemId {
 struct Clock {
     txn: u64,
     ts: u64,
+    /// Commit-stamp domain (PR 10): the wide 2PL release installs a
+    /// stamped version each wave, and the watermark follows it.
+    cts: u64,
 }
 
-/// One steady-state wave: wide 2PL, T/O with demote, PA with a backoff
-/// round — every message batched through `handle_batch` into `sink`, with
-/// `msgs` as the reused message scratch.
-fn wave(qm: &mut QueueManager, sink: &mut QmSink, msgs: &mut Vec<RequestMsg>, clock: &mut Clock) {
+/// One steady-state wave: wide 2PL (stamped — each release appends to
+/// the item's version ring), T/O with demote, PA with a backoff round,
+/// and a snapshot read of every item at the advanced watermark — every
+/// message batched through `handle_batch` into `sink`, with `msgs` as
+/// the reused message scratch and `snap_out` as the reused snapshot
+/// reply buffer.
+fn wave(
+    qm: &mut QueueManager,
+    sink: &mut QmSink,
+    msgs: &mut Vec<RequestMsg>,
+    snap_items: &[PhysicalItemId],
+    snap_out: &mut Vec<(PhysicalItemId, Value, Timestamp)>,
+    clock: &mut Clock,
+) {
     // --- Wide 2PL write transaction over all items (access then release,
     // the two HandleBatch commands the runtime shard would see).
     let t = TxnId(clock.txn);
@@ -96,16 +109,30 @@ fn wave(qm: &mut QueueManager, sink: &mut QmSink, msgs: &mut Vec<RequestMsg>, cl
     sink.clear();
     qm.handle_batch(SITE, msgs.iter(), sink);
     assert_eq!(sink.replies.len(), ITEMS as usize, "all 2PL writes granted");
+    clock.cts += 1;
+    let cts = Timestamp(clock.cts);
     msgs.clear();
     for i in 0..ITEMS {
         msgs.push(RequestMsg::Release {
             txn: t,
             item: pi(i),
             write_value: Some(INITIAL),
+            commit_ts: cts,
         });
     }
     sink.clear();
     qm.handle_batch(SITE, msgs.iter(), sink);
+
+    // --- Snapshot read of every item at the freshly advanced watermark:
+    // version-ring installs and chain walks at steady state must be as
+    // allocation-free as the queue machinery (PR 10 satellite).
+    qm.set_watermark(cts);
+    snap_out.clear();
+    assert!(
+        qm.snapshot_read_into(cts, snap_items, snap_out),
+        "the watermark version is always retained"
+    );
+    assert!(snap_out.iter().all(|&(_, v, ts)| v == INITIAL && ts == cts));
 
     // --- T/O transaction at a strictly rising timestamp: grant, demote
     // (semi-locks + implementation), release.
@@ -128,6 +155,7 @@ fn wave(qm: &mut QueueManager, sink: &mut QmSink, msgs: &mut Vec<RequestMsg>, cl
             txn: t,
             item: pi(i),
             write_value: Some(INITIAL),
+            commit_ts: Timestamp::ZERO,
         });
     }
     for i in 0..2 {
@@ -135,6 +163,7 @@ fn wave(qm: &mut QueueManager, sink: &mut QmSink, msgs: &mut Vec<RequestMsg>, cl
             txn: t,
             item: pi(i),
             write_value: None,
+            commit_ts: Timestamp::ZERO,
         });
     }
     sink.clear();
@@ -173,6 +202,7 @@ fn wave(qm: &mut QueueManager, sink: &mut QmSink, msgs: &mut Vec<RequestMsg>, cl
         txn: t,
         item: pi(0),
         write_value: Some(INITIAL),
+        commit_ts: Timestamp::ZERO,
     });
     sink.clear();
     qm.handle_batch(SITE, msgs.iter(), sink);
@@ -186,11 +216,24 @@ fn steady_state_handle_batch_performs_zero_allocations() {
     }
     let mut sink = QmSink::new();
     let mut msgs: Vec<RequestMsg> = Vec::new();
-    let mut clock = Clock { txn: 1, ts: 100 };
+    let snap_items: Vec<PhysicalItemId> = (0..ITEMS).map(pi).collect();
+    let mut snap_out: Vec<(PhysicalItemId, Value, Timestamp)> = Vec::new();
+    let mut clock = Clock {
+        txn: 1,
+        ts: 100,
+        cts: 0,
+    };
 
     // Warm-up: grow every buffer the steady-state wave touches.
     for _ in 0..50 {
-        wave(&mut qm, &mut sink, &mut msgs, &mut clock);
+        wave(
+            &mut qm,
+            &mut sink,
+            &mut msgs,
+            &snap_items,
+            &mut snap_out,
+            &mut clock,
+        );
     }
     let reply_cap = sink.reply_capacity();
     let event_cap = sink.event_capacity();
@@ -201,7 +244,14 @@ fn steady_state_handle_batch_performs_zero_allocations() {
     for _ in 0..5 {
         let before = ALLOC_CALLS.load(Ordering::Relaxed);
         for _ in 0..100 {
-            wave(&mut qm, &mut sink, &mut msgs, &mut clock);
+            wave(
+                &mut qm,
+                &mut sink,
+                &mut msgs,
+                &snap_items,
+                &mut snap_out,
+                &mut clock,
+            );
         }
         let delta = ALLOC_CALLS.load(Ordering::Relaxed) - before;
         min_delta = min_delta.min(delta);
@@ -217,4 +267,12 @@ fn steady_state_handle_batch_performs_zero_allocations() {
 
     // The engine still did real work the whole time.
     assert!(qm.items().all(|i| i.is_idle()), "every wave fully drained");
+
+    // Bounded-memory claim (PR 10): hundreds of stamped installs later,
+    // every version ring is pruned to the retain knob.
+    assert!(
+        qm.items()
+            .all(|i| i.versions().count() <= unified_cc::DEFAULT_VERSION_RETAIN),
+        "version chains must stay pruned to the retain bound"
+    );
 }

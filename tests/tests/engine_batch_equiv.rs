@@ -111,6 +111,7 @@ impl Script {
                     txn: self.txn,
                     item,
                     write_value: (mode == AccessMode::Write).then(|| self.write_value(item)),
+                    commit_ts: Timestamp::ZERO,
                 });
             }
         }
@@ -119,6 +120,7 @@ impl Script {
                 txn: self.txn,
                 item,
                 write_value: (mode == AccessMode::Write).then(|| self.write_value(item)),
+                commit_ts: Timestamp::ZERO,
             });
         }
     }

@@ -82,6 +82,7 @@ fn pa_issuer_ignores_stale_pre_backoff_grant_and_no_update_is_lost() {
             txn: t0,
             item: y,
             write_value: Some(7),
+            commit_ts: Timestamp::ZERO,
         },
     );
 
@@ -195,6 +196,7 @@ fn pa_issuer_ignores_stale_pre_backoff_grant_and_no_update_is_lost() {
             txn: t2,
             item: x,
             write_value: Some(t2_writes),
+            commit_ts: Timestamp::ZERO,
         },
     ) {
         if grant_at(&reply).is_some_and(|(txn, _, _)| txn == t1.txn_id()) {

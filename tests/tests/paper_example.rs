@@ -41,7 +41,10 @@ fn drive(qm: &mut QueueManager, issuers: &mut [RequestIssuer], logs: &mut LogSet
                 progressed = true;
                 let out = qm.handle(SiteId(0), &msg);
                 for event in out.events {
-                    if let unified_cc::QmEvent::Implemented { item, txn, access } = event {
+                    if let unified_cc::QmEvent::Implemented {
+                        item, txn, access, ..
+                    } = event
+                    {
                         logs.record(item, txn, access);
                     }
                 }
@@ -156,6 +159,7 @@ fn to_read_does_take_a_semi_lock_that_blocks_2pl_writers() {
         txn: TxnId(1),
         item: item(1),
         write_value: None,
+        commit_ts: Timestamp::ZERO,
     };
     let out = qm.handle(SiteId(0), &release);
     assert!(
